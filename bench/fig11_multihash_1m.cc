@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 11: the Figure 10 design space under severe pressure — 1M
+ * interval / 0.1% threshold / 2K total entries, gcc and go. Shape
+ * claim: C1-R0 again best; without conservative update errors stay
+ * enormous on go even with resetting.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "support/table_printer.h"
+
+int
+main()
+{
+    using namespace mhp;
+    bench::banner("Figure 11",
+                  "multi-hash C/R design space, 1M @ 0.1%, gcc & go");
+
+    const auto configs =
+        bench::multiHashCrSweep(1'000'000, 0.001, {1, 2, 4, 8});
+    const uint64_t intervals = bench::scaledIntervals(4);
+
+    TablePrinter table(bench::errorHeader());
+    for (const auto &rows : bench::runSuiteConfigs(
+             {"gcc", "go"}, false, configs, intervals))
+        bench::addErrorRows(table, rows);
+    table.print(std::cout);
+    mhp::bench::maybeWriteCsv("fig11_multihash_1m", table);
+    std::printf("\nShape check: C1,R0 best; with C0 the error on go "
+                "remains enormous\n(the paper reports ~100%% or more "
+                "without conservative update).\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: event throughput of each profiler
+ * architecture (events/second a software implementation sustains) and
+ * the cost of the hash function itself. Not a paper figure — the
+ * paper's profiler is hardware with zero run-time overhead — but
+ * essential for anyone using this library for trace analysis.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/factory.h"
+#include "core/hash_function.h"
+#include "core/perfect_profiler.h"
+#include "core/stratified_sampler.h"
+#include "trace/transforms.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace mhp;
+
+/** A reusable pre-generated stream (generation excluded from timing). */
+const std::vector<Tuple> &
+stream()
+{
+    static const std::vector<Tuple> tuples = [] {
+        auto workload = makeValueWorkload("gcc");
+        return collect(*workload, 200'000);
+    }();
+    return tuples;
+}
+
+void
+BM_HashFunction(benchmark::State &state)
+{
+    TupleHasher hasher(1, 2048);
+    const auto &tuples = stream();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hasher.index(tuples[i]));
+        i = (i + 1) % tuples.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashFunction);
+
+void
+BM_Profiler(benchmark::State &state, unsigned numTables)
+{
+    ProfilerConfig cfg = bestMultiHashConfig(10'000, 0.01);
+    cfg.numHashTables = numTables;
+    if (numTables == 1) {
+        cfg = bestSingleHashConfig(10'000, 0.01);
+    }
+    auto profiler = makeProfiler(cfg);
+    const auto &tuples = stream();
+    size_t i = 0;
+    uint64_t in_interval = 0;
+    for (auto _ : state) {
+        profiler->onEvent(tuples[i]);
+        i = (i + 1) % tuples.size();
+        if (++in_interval == cfg.intervalLength) {
+            benchmark::DoNotOptimize(profiler->endInterval());
+            in_interval = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Profiler, single_hash, 1u);
+BENCHMARK_CAPTURE(BM_Profiler, multi_hash_2, 2u);
+BENCHMARK_CAPTURE(BM_Profiler, multi_hash_4, 4u);
+BENCHMARK_CAPTURE(BM_Profiler, multi_hash_8, 8u);
+
+void
+BM_PerfectProfiler(benchmark::State &state)
+{
+    PerfectProfiler profiler(100);
+    const auto &tuples = stream();
+    size_t i = 0;
+    uint64_t in_interval = 0;
+    for (auto _ : state) {
+        profiler.onEvent(tuples[i]);
+        i = (i + 1) % tuples.size();
+        if (++in_interval == 10'000) {
+            benchmark::DoNotOptimize(profiler.endInterval());
+            in_interval = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerfectProfiler);
+
+void
+BM_StratifiedSampler(benchmark::State &state)
+{
+    StratifiedSamplerConfig cfg;
+    cfg.entries = 2048;
+    cfg.samplingThreshold = 32;
+    StratifiedSampler sampler(cfg, 100);
+    const auto &tuples = stream();
+    size_t i = 0;
+    uint64_t in_interval = 0;
+    for (auto _ : state) {
+        sampler.onEvent(tuples[i]);
+        i = (i + 1) % tuples.size();
+        if (++in_interval == 10'000) {
+            benchmark::DoNotOptimize(sampler.endInterval());
+            in_interval = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StratifiedSampler);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto workload = makeValueWorkload("go");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workload->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace

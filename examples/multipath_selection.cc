@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Use case: selecting branches for Multiple Path Execution (paper
+ * Section 2, "Multiple Path Execution").
+ *
+ * A mini-CPU program runs through a real branch predictor; the
+ * profiler captures the <branchPC, actualTarget> tuples of the
+ * MISPREDICTIONS (not all branches — exactly the filtering a hardware
+ * profiler exists for). The MultipathSelector then picks the top
+ * problematic branches, and we measure what fraction of all
+ * mispredictions those few branches cover — the payoff a multipath
+ * engine with a small fork budget would get.
+ */
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "cache/miss_probe.h"
+#include "core/factory.h"
+#include "opt/multipath_selector.h"
+#include "sim/codegen.h"
+#include "support/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("profile mispredictions, select multipath branches");
+    cli.addInt("seed", 11, "program-generator seed");
+    cli.addInt("events", 100'000, "mispredict events to profile");
+    cli.addInt("budget", 8, "multipath fork budget (branches)");
+    cli.parse(argc, argv);
+
+    CodegenConfig gen;
+    gen.seed = static_cast<uint64_t>(cli.getInt("seed"));
+    gen.numFunctions = 12;
+    gen.numArrays = 6;
+    gen.arrayLen = 512;
+    gen.ifProbability = 0.9; // plenty of data-dependent branches
+    Machine machine(generateProgram(gen), 1 << 16);
+
+    BimodalPredictor predictor(4096);
+    MispredictProbe probe(machine, predictor);
+
+    const auto events = static_cast<uint64_t>(cli.getInt("events"));
+    ProfilerConfig pcfg = bestMultiHashConfig(10'000, 0.01);
+    auto profiler = makeProfiler(pcfg);
+
+    // Track ground truth alongside (for the coverage number).
+    std::unordered_map<uint64_t, uint64_t> truth;
+    IntervalSnapshot last;
+    for (uint64_t i = 1; i <= events && !probe.done(); ++i) {
+        const Tuple t = probe.next();
+        profiler->onEvent(t);
+        ++truth[t.first];
+        if (i % pcfg.intervalLength == 0)
+            last = profiler->endInterval();
+    }
+
+    std::printf("predictor: %s, %llu predictions, %.1f%% mispredict "
+                "rate\n",
+                predictor.name().c_str(),
+                static_cast<unsigned long long>(
+                    predictor.stats().predictions),
+                100.0 * predictor.stats().mispredictRate());
+    std::printf("profiler captured %zu hot mispredicting branches in "
+                "the last interval\n\n",
+                last.size());
+
+    MultipathConfig mcfg;
+    mcfg.maxBranches = static_cast<unsigned>(cli.getInt("budget"));
+    const auto chosen =
+        MultipathSelector(mcfg).fromMispredictProfile(last);
+
+    uint64_t total_mispredicts = 0;
+    for (const auto &[pc, n] : truth)
+        total_mispredicts += n;
+    uint64_t covered = 0;
+    std::printf("selected for multipath (budget %u):\n",
+                mcfg.maxBranches);
+    for (const auto &choice : chosen) {
+        const auto it = truth.find(choice.branchPc);
+        const uint64_t actual = it == truth.end() ? 0 : it->second;
+        covered += actual;
+        std::printf("  pc %#llx  profiled x%llu  actual mispredicts "
+                    "x%llu\n",
+                    static_cast<unsigned long long>(choice.branchPc),
+                    static_cast<unsigned long long>(choice.weight),
+                    static_cast<unsigned long long>(actual));
+    }
+    std::printf("\n%zu branches out of %zu mispredicting ones cover "
+                "%.1f%% of all mispredictions\n",
+                chosen.size(), truth.size(),
+                100.0 * static_cast<double>(covered) /
+                    static_cast<double>(total_mispredicts));
+    std::printf("-- the skew a multipath engine exploits, found "
+                "entirely in hardware.\n");
+    return 0;
+}

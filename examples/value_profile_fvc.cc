@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Use case: frequent-value cache compression (paper Section 2,
+ * "Value based optimizations").
+ *
+ * Zhang et al. observed that ~10 distinct values dominate about half
+ * of all memory accesses, and built a compressed data cache around
+ * them — but left open how to capture those values dynamically. This
+ * example closes that loop with the Multi-Hash profiler: it profiles
+ * <loadPC, value> tuples, aggregates the captured candidates by VALUE,
+ * and reports the frequent-value set a hardware FVC would load for the
+ * next interval, along with the hit rate that set would achieve.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "core/factory.h"
+#include "support/cli.h"
+#include "workload/benchmarks.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("frequent-value set capture for cache compression");
+    cli.addString("benchmark", "m88ksim", "workload model");
+    cli.addInt("intervals", 8, "profile intervals to run");
+    cli.addInt("fvc-size", 8, "frequent-value register count");
+    cli.parse(argc, argv);
+
+    const ProfilerConfig config = bestMultiHashConfig(10'000, 0.01);
+    auto profiler = makeProfiler(config);
+    auto workload = makeValueWorkload(cli.getString("benchmark"));
+    const auto fvc_size = static_cast<size_t>(cli.getInt("fvc-size"));
+    const auto intervals =
+        static_cast<uint64_t>(cli.getInt("intervals"));
+
+    std::printf("capturing a %zu-entry frequent-value set from %s "
+                "(%llu intervals)\n\n",
+                fvc_size, workload->name().c_str(),
+                static_cast<unsigned long long>(intervals));
+
+    std::vector<uint64_t> fv_set; // the set loaded into the "FVC"
+    for (uint64_t iv = 0; iv < intervals; ++iv) {
+        // Run one profile interval, measuring how the *previous*
+        // interval's frequent-value set would have performed — the
+        // profile-then-optimize-next-interval loop of Section 5.6.1.
+        uint64_t hits = 0;
+        for (uint64_t i = 0; i < config.intervalLength; ++i) {
+            const Tuple t = workload->next();
+            profiler->onEvent(t);
+            if (std::find(fv_set.begin(), fv_set.end(), t.second) !=
+                fv_set.end())
+                ++hits;
+        }
+        const IntervalSnapshot snap = profiler->endInterval();
+
+        // Aggregate candidates by value: several load PCs may share a
+        // frequent value.
+        std::unordered_map<uint64_t, uint64_t> by_value;
+        for (const auto &cand : snap)
+            by_value[cand.tuple.second] += cand.count;
+        std::vector<std::pair<uint64_t, uint64_t>> ranked(
+            by_value.begin(), by_value.end());
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+
+        if (iv > 0) {
+            std::printf("interval %llu: FVC hit rate with previous "
+                        "set: %.1f%%\n",
+                        static_cast<unsigned long long>(iv),
+                        100.0 * static_cast<double>(hits) /
+                            static_cast<double>(config.intervalLength));
+        }
+        fv_set.clear();
+        for (size_t k = 0; k < ranked.size() && k < fvc_size; ++k)
+            fv_set.push_back(ranked[k].first);
+
+        std::printf("interval %llu captured %zu candidate tuples -> "
+                    "%zu frequent values:",
+                    static_cast<unsigned long long>(iv), snap.size(),
+                    fv_set.size());
+        for (uint64_t v : fv_set)
+            std::printf(" %#llx", static_cast<unsigned long long>(v));
+        std::printf("\n");
+    }
+
+    std::printf("\nThe captured set is what a frequent-value cache "
+                "would preload each\ninterval -- captured entirely in "
+                "hardware, no software sampling.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+#include "analysis/candidate_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/perfect_profiler.h"
+#include "support/panic.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+namespace {
+
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+/** Jaccard distance between candidate sets, in percent. */
+double
+variationPercent(const TupleSet &prev, const TupleSet &cur)
+{
+    if (prev.empty() && cur.empty())
+        return 0.0;
+    uint64_t intersection = 0;
+    for (const auto &t : cur) {
+        if (prev.count(t))
+            ++intersection;
+    }
+    const uint64_t unions = prev.size() + cur.size() - intersection;
+    return 100.0 *
+           (1.0 - static_cast<double>(intersection) /
+                      static_cast<double>(unions));
+}
+
+} // namespace
+
+double
+CandidateAnalysis::variationQuantile(double q) const
+{
+    if (variations.empty())
+        return 0.0;
+    std::vector<double> sorted = variations;
+    std::sort(sorted.begin(), sorted.end());
+    if (q <= 0.0)
+        return sorted.front();
+    if (q >= 1.0)
+        return sorted.back();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+CandidateAnalysis
+analyzeCandidates(EventSource &source, uint64_t intervalLength,
+                  uint64_t thresholdCount, uint64_t numIntervals)
+{
+    MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
+
+    CandidateAnalysis out;
+    PerfectProfiler perfect(thresholdCount);
+    TupleSet prev;
+    bool have_prev = false;
+
+    for (uint64_t interval = 0; interval < numIntervals; ++interval) {
+        uint64_t consumed = 0;
+        while (consumed < intervalLength && !source.done()) {
+            perfect.onEvent(source.next());
+            ++consumed;
+        }
+        if (consumed < intervalLength)
+            break; // discard partial interval
+
+        out.distinctPerInterval.add(
+            static_cast<double>(perfect.distinctTuples()));
+        const IntervalSnapshot snap = perfect.endInterval();
+        out.candidatesPerInterval.add(static_cast<double>(snap.size()));
+
+        TupleSet cur;
+        cur.reserve(snap.size() * 2);
+        for (const auto &cand : snap)
+            cur.insert(cand.tuple);
+        if (have_prev)
+            out.variations.push_back(variationPercent(prev, cur));
+        prev = std::move(cur);
+        have_prev = true;
+        ++out.intervalsCompleted;
+    }
+    return out;
+}
+
+} // namespace mhp

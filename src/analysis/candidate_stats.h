@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stream characterization with a perfect profiler (paper Section
+ * 5.6.1, Figures 4-6).
+ *
+ *  - distinct tuples per interval (Fig. 4);
+ *  - unique candidate tuples per interval (Fig. 5);
+ *  - candidate variation between consecutive intervals (Fig. 6),
+ *    measured as the Jaccard distance between consecutive candidate
+ *    sets (100% = completely different, 0% = identical).
+ */
+
+#ifndef MHP_ANALYSIS_CANDIDATE_STATS_H
+#define MHP_ANALYSIS_CANDIDATE_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** Results of a perfect-profiler characterization run. */
+struct CandidateAnalysis
+{
+    RunningStats distinctPerInterval;
+    RunningStats candidatesPerInterval;
+
+    /** Percent variation for each consecutive interval pair. */
+    std::vector<double> variations;
+
+    uint64_t intervalsCompleted = 0;
+
+    /**
+     * Variation value v(q) such that fraction q of interval pairs saw
+     * variation <= v (exact order statistic). q in [0, 1].
+     */
+    double variationQuantile(double q) const;
+};
+
+/**
+ * Characterize a stream with a perfect interval profiler.
+ *
+ * @param source The event stream (consumed).
+ * @param intervalLength Events per interval.
+ * @param thresholdCount Candidate threshold in occurrences.
+ * @param numIntervals Intervals to execute (or until source is dry).
+ */
+CandidateAnalysis analyzeCandidates(EventSource &source,
+                                    uint64_t intervalLength,
+                                    uint64_t thresholdCount,
+                                    uint64_t numIntervals);
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_CANDIDATE_STATS_H

@@ -1,0 +1,135 @@
+#include "analysis/error_metrics.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+ErrorCategory
+classifyTuple(uint64_t perfectFreq, uint64_t hardwareFreq,
+              uint64_t thresholdCount)
+{
+    const bool in_perfect = perfectFreq >= thresholdCount;
+    const bool in_hardware = hardwareFreq >= thresholdCount;
+    if (in_perfect && in_hardware) {
+        return hardwareFreq >= perfectFreq ? ErrorCategory::NeutralPositive
+                                           : ErrorCategory::NeutralNegative;
+    }
+    if (!in_perfect && in_hardware)
+        return ErrorCategory::FalsePositive;
+    if (in_perfect && !in_hardware)
+        return ErrorCategory::FalseNegative;
+    return ErrorCategory::DontCare;
+}
+
+const char *
+errorCategoryName(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::NeutralPositive:
+        return "neutral-positive";
+      case ErrorCategory::NeutralNegative:
+        return "neutral-negative";
+      case ErrorCategory::FalsePositive:
+        return "false-positive";
+      case ErrorCategory::FalseNegative:
+        return "false-negative";
+      case ErrorCategory::DontCare:
+        return "dont-care";
+    }
+    return "?";
+}
+
+ErrorBreakdown &
+ErrorBreakdown::operator+=(const ErrorBreakdown &o)
+{
+    falsePositive += o.falsePositive;
+    falseNegative += o.falseNegative;
+    neutralPositive += o.neutralPositive;
+    neutralNegative += o.neutralNegative;
+    return *this;
+}
+
+ErrorBreakdown &
+ErrorBreakdown::operator/=(double d)
+{
+    MHP_ASSERT(d != 0.0, "division by zero");
+    falsePositive /= d;
+    falseNegative /= d;
+    neutralPositive /= d;
+    neutralNegative /= d;
+    return *this;
+}
+
+IntervalScore
+scoreInterval(
+    const std::unordered_map<Tuple, uint64_t, TupleHash> &perfectCounts,
+    const IntervalSnapshot &hardware, uint64_t thresholdCount)
+{
+    IntervalScore score;
+
+    // Index the hardware snapshot for lookups.
+    std::unordered_map<Tuple, uint64_t, TupleHash> hw;
+    hw.reserve(hardware.size() * 2);
+    for (const auto &cand : hardware)
+        hw.emplace(cand.tuple, cand.count);
+
+    double num_fp = 0.0, num_fn = 0.0, num_np = 0.0, num_nn = 0.0;
+    double denom = 0.0;
+
+    // Pass 1: every perfect candidate (covers FN, NP, NN).
+    for (const auto &[tuple, fp] : perfectCounts) {
+        if (fp < thresholdCount)
+            continue;
+        ++score.perfectCandidates;
+        denom += static_cast<double>(fp);
+        const auto it = hw.find(tuple);
+        const uint64_t fh = it == hw.end() ? 0 : it->second;
+        const double diff = fp > fh ? static_cast<double>(fp - fh)
+                                    : static_cast<double>(fh - fp);
+        switch (classifyTuple(fp, fh, thresholdCount)) {
+          case ErrorCategory::FalseNegative:
+            num_fn += diff;
+            ++score.counts.falseNegative;
+            break;
+          case ErrorCategory::NeutralPositive:
+            num_np += diff;
+            ++score.counts.neutralPositive;
+            break;
+          case ErrorCategory::NeutralNegative:
+            num_nn += diff;
+            ++score.counts.neutralNegative;
+            break;
+          default:
+            MHP_PANIC("perfect candidate classified as FP/DontCare");
+        }
+    }
+
+    // Pass 2: hardware candidates that are not perfect candidates (FP).
+    for (const auto &cand : hardware) {
+        ++score.hardwareCandidates;
+        const auto it = perfectCounts.find(cand.tuple);
+        const uint64_t fp = it == perfectCounts.end() ? 0 : it->second;
+        if (fp >= thresholdCount)
+            continue; // already handled in pass 1
+        denom += static_cast<double>(fp);
+        const double diff =
+            cand.count > fp ? static_cast<double>(cand.count - fp)
+                            : static_cast<double>(fp - cand.count);
+        num_fp += diff;
+        ++score.counts.falsePositive;
+    }
+
+    if (denom > 0.0) {
+        score.breakdown.falsePositive = num_fp / denom;
+        score.breakdown.falseNegative = num_fn / denom;
+        score.breakdown.neutralPositive = num_np / denom;
+        score.breakdown.neutralNegative = num_nn / denom;
+    } else if (score.hardwareCandidates > 0) {
+        // No true candidates at all but the hardware reported some:
+        // pure false-positive noise; call it 100% FP error.
+        score.breakdown.falsePositive = 1.0;
+    }
+    return score;
+}
+
+} // namespace mhp

@@ -1,0 +1,117 @@
+#include "analysis/interval_runner.h"
+
+#include "core/perfect_profiler.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+ErrorBreakdown
+RunResult::averageError() const
+{
+    ErrorBreakdown avg;
+    if (intervals.empty())
+        return avg;
+    for (const auto &score : intervals)
+        avg += score.breakdown;
+    avg /= static_cast<double>(intervals.size());
+    return avg;
+}
+
+double
+RunResult::averageErrorPercent() const
+{
+    return averageError().total() * 100.0;
+}
+
+double
+RunResult::meanHardwareCandidates() const
+{
+    if (intervals.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &score : intervals)
+        sum += static_cast<double>(score.hardwareCandidates);
+    return sum / static_cast<double>(intervals.size());
+}
+
+double
+RunResult::meanPerfectCandidates() const
+{
+    if (intervals.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &score : intervals)
+        sum += static_cast<double>(score.perfectCandidates);
+    return sum / static_cast<double>(intervals.size());
+}
+
+double
+StreamStats::meanDistinctTuples() const
+{
+    if (distinctTuples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (uint64_t d : distinctTuples)
+        sum += static_cast<double>(d);
+    return sum / static_cast<double>(distinctTuples.size());
+}
+
+RunOutput
+runIntervals(EventSource &source,
+             const std::vector<HardwareProfiler *> &profilers,
+             uint64_t intervalLength, uint64_t thresholdCount,
+             uint64_t numIntervals)
+{
+    MHP_REQUIRE(!profilers.empty(), "no profilers to run");
+    MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
+
+    RunOutput out;
+    out.results.resize(profilers.size());
+    for (size_t i = 0; i < profilers.size(); ++i) {
+        MHP_REQUIRE(profilers[i] != nullptr, "null profiler");
+        out.results[i].profilerName = profilers[i]->name();
+        out.results[i].intervals.reserve(numIntervals);
+    }
+
+    PerfectProfiler perfect(thresholdCount);
+
+    for (uint64_t interval = 0; interval < numIntervals; ++interval) {
+        uint64_t consumed = 0;
+        while (consumed < intervalLength && !source.done()) {
+            const Tuple t = source.next();
+            perfect.onEvent(t);
+            for (auto *profiler : profilers)
+                profiler->onEvent(t);
+            ++consumed;
+        }
+        out.eventsConsumed += consumed;
+        if (consumed < intervalLength) {
+            // Source ran dry: discard the partial interval.
+            perfect.reset();
+            break;
+        }
+
+        out.stream.distinctTuples.push_back(perfect.distinctTuples());
+        const auto &truth = perfect.counts();
+        for (size_t i = 0; i < profilers.size(); ++i) {
+            const IntervalSnapshot snap = profilers[i]->endInterval();
+            out.results[i].intervals.push_back(
+                scoreInterval(truth, snap, thresholdCount));
+        }
+        perfect.endInterval();
+        ++out.intervalsCompleted;
+    }
+    return out;
+}
+
+RunOutput
+runIntervals(EventSource &source, HardwareProfiler &profiler,
+             uint64_t intervalLength, uint64_t thresholdCount,
+             uint64_t numIntervals)
+{
+    std::vector<HardwareProfiler *> profilers{&profiler};
+    return runIntervals(source, profilers, intervalLength, thresholdCount,
+                        numIntervals);
+}
+
+} // namespace mhp

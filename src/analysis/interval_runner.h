@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Drives event streams through hardware profilers interval by interval
+ * and scores every interval against the perfect profiler.
+ *
+ * Several profiler configurations can be evaluated simultaneously on
+ * the *same* stream (the stream is generated once and fanned out),
+ * which is how the benches sweep Figure 7/10/11/12 design spaces
+ * efficiently and with identical inputs per configuration.
+ */
+
+#ifndef MHP_ANALYSIS_INTERVAL_RUNNER_H
+#define MHP_ANALYSIS_INTERVAL_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/error_metrics.h"
+#include "core/profiler.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** The scored history of one profiler over a whole run. */
+struct RunResult
+{
+    std::string profilerName;
+
+    /** One score per completed interval, in execution order. */
+    std::vector<IntervalScore> intervals;
+
+    /** Simple average of interval errors (the paper's net error). */
+    ErrorBreakdown averageError() const;
+
+    /** Average total error as a percentage. */
+    double averageErrorPercent() const;
+
+    /** Mean candidates per interval as seen by this profiler. */
+    double meanHardwareCandidates() const;
+
+    /** Mean candidates per interval in the perfect profile. */
+    double meanPerfectCandidates() const;
+};
+
+/** Per-interval stream statistics shared by all profilers in a run. */
+struct StreamStats
+{
+    /** Distinct tuples in each interval. */
+    std::vector<uint64_t> distinctTuples;
+
+    double meanDistinctTuples() const;
+};
+
+/** Everything a run produced. */
+struct RunOutput
+{
+    std::vector<RunResult> results; ///< one per profiler, input order
+    StreamStats stream;
+    uint64_t eventsConsumed = 0;
+    uint64_t intervalsCompleted = 0;
+};
+
+/**
+ * Run the stream through every profiler for a number of intervals.
+ *
+ * @param source The event stream (consumed).
+ * @param profilers The hardware profilers under test (not owned).
+ * @param intervalLength Events per profile interval.
+ * @param thresholdCount Candidate threshold in occurrences.
+ * @param numIntervals Intervals to execute; a finite source may end
+ *        the run early (partial final intervals are discarded).
+ */
+RunOutput runIntervals(EventSource &source,
+                       const std::vector<HardwareProfiler *> &profilers,
+                       uint64_t intervalLength, uint64_t thresholdCount,
+                       uint64_t numIntervals);
+
+/** Convenience overload for a single profiler. */
+RunOutput runIntervals(EventSource &source, HardwareProfiler &profiler,
+                       uint64_t intervalLength, uint64_t thresholdCount,
+                       uint64_t numIntervals);
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_INTERVAL_RUNNER_H

@@ -1,0 +1,116 @@
+#include "analysis/profile_io.h"
+
+#include <cstring>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'H', 'P', 'R', 'O', 'F', '1', '\0'};
+constexpr size_t kHeaderSize = 32;
+
+void
+putLe64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+getLe64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+ProfileWriter::ProfileWriter(const std::string &path, ProfileKind kind,
+                             uint64_t intervalLength,
+                             uint64_t thresholdCount)
+    : out(path, std::ios::binary)
+{
+    if (!out)
+        return;
+    uint8_t header[kHeaderSize] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    header[8] = static_cast<uint8_t>(kind);
+    putLe64(header + 16, intervalLength);
+    putLe64(header + 24, thresholdCount);
+    out.write(reinterpret_cast<const char *>(header), kHeaderSize);
+}
+
+void
+ProfileWriter::writeInterval(const IntervalSnapshot &snapshot)
+{
+    MHP_ASSERT(ok(), "write on a bad profile stream");
+    uint8_t le[8];
+    putLe64(le, snapshot.size());
+    out.write(reinterpret_cast<const char *>(le), 8);
+    for (const auto &cand : snapshot) {
+        uint8_t rec[24];
+        putLe64(rec, cand.tuple.first);
+        putLe64(rec + 8, cand.tuple.second);
+        putLe64(rec + 16, cand.count);
+        out.write(reinterpret_cast<const char *>(rec), 24);
+    }
+    ++intervals;
+}
+
+ProfileReader::ProfileReader(const std::string &path)
+    : in(path, std::ios::binary)
+{
+    MHP_REQUIRE(static_cast<bool>(in), "cannot open profile file");
+    uint8_t header[kHeaderSize];
+    in.read(reinterpret_cast<char *>(header), kHeaderSize);
+    MHP_REQUIRE(in.gcount() == kHeaderSize, "truncated profile header");
+    MHP_REQUIRE(std::memcmp(header, kMagic, sizeof(kMagic)) == 0,
+                "bad profile magic");
+    MHP_REQUIRE(header[8] <=
+                    static_cast<uint8_t>(ProfileKind::Mispredict),
+                "unknown profile kind");
+    profileKind = static_cast<ProfileKind>(header[8]);
+    length = getLe64(header + 16);
+    threshold = getLe64(header + 24);
+}
+
+bool
+ProfileReader::readInterval(IntervalSnapshot &snapshot)
+{
+    uint8_t le[8];
+    in.read(reinterpret_cast<char *>(le), 8);
+    if (in.gcount() == 0)
+        return false; // clean EOF
+    MHP_REQUIRE(in.gcount() == 8, "truncated profile interval header");
+    const uint64_t count = getLe64(le);
+    IntervalSnapshot out_snapshot;
+    out_snapshot.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        uint8_t rec[24];
+        in.read(reinterpret_cast<char *>(rec), 24);
+        MHP_REQUIRE(in.gcount() == 24, "truncated profile record");
+        CandidateCount cand;
+        cand.tuple.first = getLe64(rec);
+        cand.tuple.second = getLe64(rec + 8);
+        cand.count = getLe64(rec + 16);
+        out_snapshot.push_back(cand);
+    }
+    snapshot = std::move(out_snapshot);
+    return true;
+}
+
+std::vector<IntervalSnapshot>
+ProfileReader::readAll()
+{
+    std::vector<IntervalSnapshot> all;
+    IntervalSnapshot snapshot;
+    while (readInterval(snapshot))
+        all.push_back(std::move(snapshot));
+    return all;
+}
+
+} // namespace mhp

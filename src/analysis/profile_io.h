@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary serialization of captured profiles (.mhp files).
+ *
+ * A profile file stores the sequence of interval snapshots a profiler
+ * produced — the artifact a run-time optimizer (or an offline tool)
+ * consumes. Format:
+ *
+ *   header:   magic "MHPROF1\0" (8 bytes)
+ *             kind (1 byte)    reserved (7 bytes)
+ *             intervalLength (8 bytes LE)
+ *             thresholdCount (8 bytes LE)
+ *   per interval:
+ *             candidateCount (8 bytes LE)
+ *             candidateCount * { first, second, count } (24 bytes LE)
+ *
+ * The interval count is implicit (read until EOF), so profiles can be
+ * streamed and appended.
+ */
+
+#ifndef MHP_ANALYSIS_PROFILE_IO_H
+#define MHP_ANALYSIS_PROFILE_IO_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** Streams interval snapshots into a .mhp file. */
+class ProfileWriter
+{
+  public:
+    /**
+     * @param path Output file (truncated).
+     * @param kind What the tuples represent.
+     * @param intervalLength Events per interval (metadata).
+     * @param thresholdCount Candidate threshold (metadata).
+     */
+    ProfileWriter(const std::string &path, ProfileKind kind,
+                  uint64_t intervalLength, uint64_t thresholdCount);
+
+    bool ok() const { return static_cast<bool>(out); }
+
+    /** Append one interval's snapshot. */
+    void writeInterval(const IntervalSnapshot &snapshot);
+
+    uint64_t intervalsWritten() const { return intervals; }
+
+  private:
+    std::ofstream out;
+    uint64_t intervals = 0;
+};
+
+/** Reads a .mhp file back. */
+class ProfileReader
+{
+  public:
+    /** Open a profile; fatal on a missing/corrupt header. */
+    explicit ProfileReader(const std::string &path);
+
+    ProfileKind kind() const { return profileKind; }
+    uint64_t intervalLength() const { return length; }
+    uint64_t thresholdCount() const { return threshold; }
+
+    /**
+     * Read the next snapshot.
+     * @return false at end of file (snapshot untouched).
+     */
+    bool readInterval(IntervalSnapshot &snapshot);
+
+    /** Read all remaining snapshots. */
+    std::vector<IntervalSnapshot> readAll();
+
+  private:
+    std::ifstream in;
+    ProfileKind profileKind = ProfileKind::Value;
+    uint64_t length = 0;
+    uint64_t threshold = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_PROFILE_IO_H

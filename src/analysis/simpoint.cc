@@ -1,0 +1,188 @@
+#include "analysis/simpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+FrequencyVector::FrequencyVector(const IntervalSnapshot &snapshot,
+                                 unsigned dimensions)
+{
+    MHP_REQUIRE(dimensions >= 1, "need at least one dimension");
+    v.assign(dimensions, 0.0);
+    double total = 0.0;
+    TupleHash hasher;
+    for (const auto &cand : snapshot) {
+        const size_t bucket = hasher(cand.tuple) % dimensions;
+        v[bucket] += static_cast<double>(cand.count);
+        total += static_cast<double>(cand.count);
+    }
+    if (total > 0.0) {
+        for (double &x : v)
+            x /= total;
+    }
+}
+
+double
+FrequencyVector::distance(const FrequencyVector &other) const
+{
+    MHP_ASSERT(v.size() == other.v.size(), "dimension mismatch");
+    double d = 0.0;
+    for (size_t i = 0; i < v.size(); ++i)
+        d += std::abs(v[i] - other.v[i]);
+    return d;
+}
+
+SimpointAnalysis::SimpointAnalysis(unsigned maxPhases_, unsigned dims_,
+                                   unsigned iterations_)
+    : maxPhases(maxPhases_), dims(dims_), iterations(iterations_)
+{
+    MHP_REQUIRE(maxPhases >= 1, "need at least one phase");
+    MHP_REQUIRE(dims >= 1, "need at least one dimension");
+    MHP_REQUIRE(iterations >= 1, "need at least one iteration");
+}
+
+std::vector<Phase>
+SimpointAnalysis::analyze(
+        const std::vector<IntervalSnapshot> &snapshots) const
+{
+    if (snapshots.empty())
+        return {};
+
+    std::vector<FrequencyVector> vectors;
+    vectors.reserve(snapshots.size());
+    for (const auto &snap : snapshots)
+        vectors.emplace_back(snap, dims);
+
+    const unsigned k = std::min<unsigned>(
+        maxPhases, static_cast<unsigned>(snapshots.size()));
+
+    // Deterministic farthest-point seeding: first centroid is interval
+    // 0; each next centroid is the interval farthest from all chosen.
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(vectors[0].values());
+    while (centroids.size() < k) {
+        size_t best = 0;
+        double best_d = -1.0;
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            double nearest = 1e300;
+            for (const auto &c : centroids) {
+                double d = 0.0;
+                for (size_t j = 0; j < c.size(); ++j)
+                    d += std::abs(vectors[i].values()[j] - c[j]);
+                nearest = std::min(nearest, d);
+            }
+            if (nearest > best_d) {
+                best_d = nearest;
+                best = i;
+            }
+        }
+        if (best_d <= 1e-12)
+            break; // every interval coincides with a centroid
+        centroids.push_back(vectors[best].values());
+    }
+
+    // Lloyd iterations.
+    std::vector<uint32_t> assignment(vectors.size(), 0);
+    for (unsigned it = 0; it < iterations; ++it) {
+        bool moved = false;
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            size_t best_c = 0;
+            double best_d = 1e300;
+            for (size_t c = 0; c < centroids.size(); ++c) {
+                double d = 0.0;
+                for (size_t j = 0; j < centroids[c].size(); ++j) {
+                    d += std::abs(vectors[i].values()[j] -
+                                  centroids[c][j]);
+                }
+                if (d < best_d) {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            if (assignment[i] != best_c) {
+                assignment[i] = static_cast<uint32_t>(best_c);
+                moved = true;
+            }
+        }
+        if (!moved && it > 0)
+            break;
+        // Recompute centroids (empty clusters keep their position).
+        for (size_t c = 0; c < centroids.size(); ++c) {
+            std::vector<double> sum(dims, 0.0);
+            uint64_t members = 0;
+            for (size_t i = 0; i < vectors.size(); ++i) {
+                if (assignment[i] != c)
+                    continue;
+                ++members;
+                for (unsigned j = 0; j < dims; ++j)
+                    sum[j] += vectors[i].values()[j];
+            }
+            if (members == 0)
+                continue;
+            for (double &x : sum)
+                x /= static_cast<double>(members);
+            centroids[c] = std::move(sum);
+        }
+    }
+
+    // Build phases: members, representative (closest to centroid),
+    // weight. Drop empty clusters.
+    std::vector<Phase> phases;
+    for (size_t c = 0; c < centroids.size(); ++c) {
+        Phase phase;
+        double best_d = 1e300;
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            if (assignment[i] != c)
+                continue;
+            phase.intervals.push_back(static_cast<uint32_t>(i));
+            double d = 0.0;
+            for (unsigned j = 0; j < dims; ++j)
+                d += std::abs(vectors[i].values()[j] - centroids[c][j]);
+            if (d < best_d) {
+                best_d = d;
+                phase.representative = static_cast<uint32_t>(i);
+            }
+        }
+        if (phase.intervals.empty())
+            continue;
+        phase.weight = static_cast<double>(phase.intervals.size()) /
+                       static_cast<double>(vectors.size());
+        phases.push_back(std::move(phase));
+    }
+    std::sort(phases.begin(), phases.end(),
+              [](const Phase &a, const Phase &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.representative < b.representative;
+              });
+    return phases;
+}
+
+size_t
+SimpointAnalysis::classify(
+        const IntervalSnapshot &snapshot,
+        const std::vector<IntervalSnapshot> &snapshots,
+        const std::vector<Phase> &phases) const
+{
+    MHP_REQUIRE(!phases.empty(), "no phases to classify against");
+    const FrequencyVector probe(snapshot, dims);
+    size_t best = 0;
+    double best_d = 1e300;
+    for (size_t p = 0; p < phases.size(); ++p) {
+        MHP_REQUIRE(phases[p].representative < snapshots.size(),
+                    "phase references a missing snapshot");
+        const FrequencyVector rep(
+            snapshots[phases[p].representative], dims);
+        const double d = probe.distance(rep);
+        if (d < best_d) {
+            best_d = d;
+            best = p;
+        }
+    }
+    return best;
+}
+
+} // namespace mhp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SimPoint-style phase analysis over profiling intervals.
+ *
+ * The paper's methodology fast-forwards each benchmark to a
+ * representative region "using the fast forward numbers from SimPoint"
+ * (Sherwood, Perelman, Calder). SimPoint clusters per-interval basic
+ * block vectors and simulates one representative per cluster. This
+ * module provides the equivalent machinery over *profiling* intervals:
+ *
+ *  - each interval is summarized as a fixed-dimension frequency vector
+ *    (candidate tuples hashed into buckets, L1-normalized);
+ *  - intervals are clustered with deterministic k-means
+ *    (k-means++-style farthest-point seeding, but fully seeded);
+ *  - each cluster's representative is the interval closest to its
+ *    centroid, weighted by cluster population.
+ *
+ * Downstream uses: detecting program phases from hardware profiles,
+ * and choosing which intervals of a long trace deserve detailed
+ * simulation.
+ */
+
+#ifndef MHP_ANALYSIS_SIMPOINT_H
+#define MHP_ANALYSIS_SIMPOINT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.h"
+
+namespace mhp {
+
+/** A fixed-dimension, L1-normalized interval signature. */
+class FrequencyVector
+{
+  public:
+    /**
+     * Build from an interval snapshot.
+     * @param snapshot The interval's captured candidates.
+     * @param dimensions Vector dimensionality (tuples are hashed into
+     *        buckets; 32-128 is plenty, per the SimPoint papers).
+     */
+    explicit FrequencyVector(const IntervalSnapshot &snapshot,
+                             unsigned dimensions = 64);
+
+    /** Manhattan (L1) distance to another vector; in [0, 2]. */
+    double distance(const FrequencyVector &other) const;
+
+    const std::vector<double> &values() const { return v; }
+    unsigned dimensions() const { return v.size(); }
+
+  private:
+    friend class SimpointAnalysis;
+    FrequencyVector() = default;
+
+    std::vector<double> v;
+};
+
+/** One discovered phase. */
+struct Phase
+{
+    /** Indices of the member intervals. */
+    std::vector<uint32_t> intervals;
+
+    /** The member chosen to represent the phase. */
+    uint32_t representative = 0;
+
+    /** Fraction of all intervals belonging to this phase. */
+    double weight = 0.0;
+};
+
+/** Deterministic k-means phase clustering of interval snapshots. */
+class SimpointAnalysis
+{
+  public:
+    /**
+     * @param maxPhases Upper bound on discovered phases (k).
+     * @param dimensions Frequency-vector dimensionality.
+     * @param iterations k-means refinement iterations.
+     */
+    explicit SimpointAnalysis(unsigned maxPhases = 4,
+                              unsigned dimensions = 64,
+                              unsigned iterations = 20);
+
+    /**
+     * Cluster a run's interval snapshots into phases.
+     * Fewer than maxPhases clusters result when intervals coincide.
+     * @return Phases sorted by descending weight.
+     */
+    std::vector<Phase>
+    analyze(const std::vector<IntervalSnapshot> &snapshots) const;
+
+    /**
+     * Classify one new snapshot against previously discovered phases
+     * (given the same snapshots used for analyze()).
+     * @return Index into `phases` of the closest representative.
+     */
+    size_t classify(const IntervalSnapshot &snapshot,
+                    const std::vector<IntervalSnapshot> &snapshots,
+                    const std::vector<Phase> &phases) const;
+
+  private:
+    unsigned maxPhases;
+    unsigned dims;
+    unsigned iterations;
+};
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_SIMPOINT_H

@@ -1,0 +1,70 @@
+#include "cache/branch_predictor.h"
+
+#include "support/bit_util.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+namespace {
+
+/** Advance a 2-bit saturating counter toward the outcome. */
+inline void
+train(uint8_t &counter, bool taken)
+{
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(uint64_t entries)
+{
+    MHP_REQUIRE(isPowerOfTwo(entries), "entries must be a power of two");
+    counters.assign(entries, 1); // weakly not-taken
+    mask = entries - 1;
+}
+
+bool
+BimodalPredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    uint8_t &counter = counters[(pc >> 2) & mask];
+    const bool predicted = counter >= 2;
+    train(counter, taken);
+    ++statistics.predictions;
+    const bool correct = predicted == taken;
+    if (!correct)
+        ++statistics.mispredictions;
+    return correct;
+}
+
+GsharePredictor::GsharePredictor(uint64_t entries, unsigned historyBits)
+{
+    MHP_REQUIRE(isPowerOfTwo(entries), "entries must be a power of two");
+    MHP_REQUIRE(historyBits >= 1 && historyBits <= 32,
+                "history length out of range");
+    counters.assign(entries, 1);
+    mask = entries - 1;
+    historyMask = (1ULL << historyBits) - 1;
+}
+
+bool
+GsharePredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    const uint64_t index = ((pc >> 2) ^ history) & mask;
+    uint8_t &counter = counters[index];
+    const bool predicted = counter >= 2;
+    train(counter, taken);
+    history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+    ++statistics.predictions;
+    const bool correct = predicted == taken;
+    if (!correct)
+        ++statistics.mispredictions;
+    return correct;
+}
+
+} // namespace mhp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Branch predictors: bimodal (2-bit counters) and gshare.
+ *
+ * Substrate for the paper's Section 2 motivation "Multiple Path
+ * Execution": selecting branches for multipath requires knowing which
+ * branches actually mispredict. The predictors consume the mini-CPU's
+ * edge hook (branch pc + taken/not-taken) and expose misprediction
+ * statistics; MispredictProbe in miss_probe.h turns mispredictions
+ * into profiling tuples.
+ */
+
+#ifndef MHP_CACHE_BRANCH_PREDICTOR_H
+#define MHP_CACHE_BRANCH_PREDICTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mhp {
+
+/** Prediction statistics. */
+struct PredictorStats
+{
+    uint64_t predictions = 0;
+    uint64_t mispredictions = 0;
+
+    double
+    mispredictRate() const
+    {
+        return predictions == 0
+                   ? 0.0
+                   : static_cast<double>(mispredictions) /
+                         static_cast<double>(predictions);
+    }
+};
+
+/** Abstract taken/not-taken predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict, then update with the actual outcome.
+     * @return true if the prediction was correct.
+     */
+    virtual bool predictAndUpdate(uint64_t pc, bool taken) = 0;
+
+    virtual std::string name() const = 0;
+
+    const PredictorStats &stats() const { return statistics; }
+    void resetStats() { statistics = PredictorStats{}; }
+
+  protected:
+    PredictorStats statistics;
+};
+
+/** Classic bimodal predictor: a table of 2-bit saturating counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param entries Counter-table entries (power of two). */
+    explicit BimodalPredictor(uint64_t entries = 4096);
+
+    bool predictAndUpdate(uint64_t pc, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::vector<uint8_t> counters; // 0..3, >=2 predicts taken
+    uint64_t mask;
+};
+
+/** gshare: global history xor pc indexes the counter table. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param entries Counter-table entries (power of two).
+     * @param historyBits Global-history length.
+     */
+    explicit GsharePredictor(uint64_t entries = 4096,
+                             unsigned historyBits = 12);
+
+    bool predictAndUpdate(uint64_t pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::vector<uint8_t> counters;
+    uint64_t mask;
+    uint64_t history = 0;
+    uint64_t historyMask;
+};
+
+} // namespace mhp
+
+#endif // MHP_CACHE_BRANCH_PREDICTOR_H

@@ -1,0 +1,120 @@
+#include "cache/cache.h"
+
+#include "support/bit_util.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+Cache::Cache(const CacheConfig &config_) : config(config_)
+{
+    MHP_REQUIRE(isPowerOfTwo(config.lineBytes),
+                "line size must be a power of two");
+    MHP_REQUIRE(config.ways >= 1, "cache needs at least one way");
+    MHP_REQUIRE(config.sizeBytes >= config.lineBytes * config.ways,
+                "cache smaller than one set");
+    sets = config.sizeBytes / (config.lineBytes * config.ways);
+    MHP_REQUIRE(sets >= 1 && isPowerOfTwo(sets),
+                "set count must be a power of two");
+    lineMask = config.lineBytes - 1;
+    lineShift = floorLog2(config.lineBytes);
+    waysStorage.resize(sets * config.ways);
+}
+
+uint64_t
+Cache::setIndex(uint64_t address) const
+{
+    return (address >> lineShift) & (sets - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t address) const
+{
+    return address >> lineShift;
+}
+
+Cache::Way *
+Cache::findWay(uint64_t address)
+{
+    const uint64_t set = setIndex(address);
+    const uint64_t tag = tagOf(address);
+    Way *base = &waysStorage[set * config.ways];
+    for (unsigned w = 0; w < config.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(uint64_t address) const
+{
+    return const_cast<Cache *>(this)->findWay(address);
+}
+
+Cache::Way &
+Cache::victimWay(uint64_t address)
+{
+    const uint64_t set = setIndex(address);
+    Way *base = &waysStorage[set * config.ways];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < config.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+bool
+Cache::access(uint64_t address)
+{
+    ++clock;
+    ++statistics.accesses;
+    if (Way *way = findWay(address)) {
+        way->lastUse = clock;
+        if (way->prefetched) {
+            ++statistics.prefetchHits;
+            way->prefetched = false; // count the first demand hit only
+        }
+        return true;
+    }
+    ++statistics.misses;
+    Way &victim = victimWay(address);
+    if (victim.valid)
+        ++statistics.evictions;
+    victim = Way{tagOf(address), clock, true, false};
+    return false;
+}
+
+void
+Cache::prefetch(uint64_t address)
+{
+    ++clock;
+    ++statistics.prefetches;
+    if (Way *way = findWay(address)) {
+        way->lastUse = clock;
+        return;
+    }
+    Way &victim = victimWay(address);
+    if (victim.valid)
+        ++statistics.evictions;
+    victim = Way{tagOf(address), clock, true, true};
+}
+
+bool
+Cache::contains(uint64_t address) const
+{
+    return findWay(address) != nullptr;
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : waysStorage)
+        way = Way{};
+    clock = 0;
+    statistics = CacheStats{};
+}
+
+} // namespace mhp

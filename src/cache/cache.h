@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A set-associative data-cache model with LRU replacement.
+ *
+ * Substrate for the paper's Section 2 motivation "Cache Replacement
+ * and Prefetching": profiling which loads miss (delinquent loads) and
+ * what they miss on is only meaningful with a cache in the loop. The
+ * model is a timing-free hit/miss simulator — exactly what a profiler
+ * of <loadPC, missedLine> tuples needs.
+ */
+
+#ifndef MHP_CACHE_CACHE_H
+#define MHP_CACHE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mhp {
+
+/** Geometry and identity of a cache instance. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    uint64_t sizeBytes = 16 * 1024;
+
+    /** Line size in bytes (power of two). */
+    uint64_t lineBytes = 64;
+
+    /** Associativity (ways per set). */
+    unsigned ways = 4;
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t prefetches = 0;
+    uint64_t prefetchHits = 0; ///< demand hits on prefetched lines
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
+/** LRU set-associative cache (byte-addressed). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Demand access to a byte address.
+     * @return true on hit; on a miss the line is filled (LRU evict).
+     */
+    bool access(uint64_t address);
+
+    /**
+     * Install a line without a demand access (a prefetch). No effect
+     * beyond an LRU refresh if already present.
+     */
+    void prefetch(uint64_t address);
+
+    /** True if the line holding the address is resident. */
+    bool contains(uint64_t address) const;
+
+    /** Align an address down to its line base. */
+    uint64_t lineOf(uint64_t address) const { return address & ~lineMask; }
+
+    const CacheStats &stats() const { return statistics; }
+    const CacheConfig &configuration() const { return config; }
+    uint64_t numSets() const { return sets; }
+
+    /** Drop all contents and statistics. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool prefetched = false;
+    };
+
+    Way *findWay(uint64_t address);
+    const Way *findWay(uint64_t address) const;
+    Way &victimWay(uint64_t address);
+    uint64_t setIndex(uint64_t address) const;
+    uint64_t tagOf(uint64_t address) const;
+
+    CacheConfig config;
+    uint64_t sets;
+    uint64_t lineMask;
+    unsigned lineShift;
+    std::vector<Way> waysStorage; // sets * ways, row-major
+    uint64_t clock = 0;
+    CacheStats statistics;
+};
+
+} // namespace mhp
+
+#endif // MHP_CACHE_CACHE_H

@@ -1,0 +1,88 @@
+#include "cache/miss_probe.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+CacheMissProbe::CacheMissProbe(Machine &machine_, Cache &cache_,
+                               bool includeStores_, MissNaming naming_)
+    : machine(machine_), cache(cache_), includeStores(includeStores_),
+      naming(naming_)
+{
+    machine.setMemHook([this](uint64_t pc, uint64_t addr, bool store) {
+        if (store && !this->includeStores)
+            return;
+        const bool hit = this->cache.access(addr);
+        if (!hit && !store) {
+            pending = naming == MissNaming::PcOnly
+                          ? Tuple{pc, 0}
+                          : Tuple{pc, this->cache.lineOf(addr)};
+        }
+    });
+}
+
+CacheMissProbe::~CacheMissProbe()
+{
+    machine.setMemHook(nullptr);
+}
+
+bool
+CacheMissProbe::done() const
+{
+    auto *self = const_cast<CacheMissProbe *>(this);
+    while (!self->pending.has_value()) {
+        if (!self->machine.step())
+            return true;
+    }
+    return false;
+}
+
+Tuple
+CacheMissProbe::next()
+{
+    const bool dry = done();
+    MHP_ASSERT(!dry, "next() on a halted machine");
+    const Tuple t = *pending;
+    pending.reset();
+    return t;
+}
+
+MispredictProbe::MispredictProbe(Machine &machine_,
+                                 BranchPredictor &predictor_)
+    : machine(machine_), predictor(predictor_)
+{
+    machine.setEdgeHook([this](uint64_t pc, uint64_t target) {
+        // Fall-through target is pc + 4; anything else was taken.
+        const bool taken = target != pc + 4;
+        if (!this->predictor.predictAndUpdate(pc, taken))
+            pending = Tuple{pc, target};
+    });
+}
+
+MispredictProbe::~MispredictProbe()
+{
+    machine.setEdgeHook(nullptr);
+}
+
+bool
+MispredictProbe::done() const
+{
+    auto *self = const_cast<MispredictProbe *>(this);
+    while (!self->pending.has_value()) {
+        if (!self->machine.step())
+            return true;
+    }
+    return false;
+}
+
+Tuple
+MispredictProbe::next()
+{
+    const bool dry = done();
+    MHP_ASSERT(!dry, "next() on a halted machine");
+    const Tuple t = *pending;
+    pending.reset();
+    return t;
+}
+
+} // namespace mhp

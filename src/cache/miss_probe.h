@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Probes turning microarchitectural events into profiling tuples.
+ *
+ * CacheMissProbe drives a Machine through a Cache and emits
+ * <loadPC, missedLineAddress> tuples for every demand miss — the
+ * "delinquent load" events the paper's Section 2 prefetching
+ * motivation wants profiled.
+ *
+ * MispredictProbe drives the Machine's conditional branches through a
+ * BranchPredictor and emits <branchPC, actualTargetPC> tuples on every
+ * misprediction — the "problematic branch" events of the multiple-path
+ * execution motivation.
+ */
+
+#ifndef MHP_CACHE_MISS_PROBE_H
+#define MHP_CACHE_MISS_PROBE_H
+
+#include <optional>
+#include <string>
+
+#include "cache/branch_predictor.h"
+#include "cache/cache.h"
+#include "sim/machine.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** How a cache miss is named as a tuple. */
+enum class MissNaming
+{
+    /** <loadPC, missedLineAddress>: which data a load misses on. */
+    PcAndLine,
+    /** <loadPC, 0>: delinquent-load detection — the PC alone is the
+     *  event, so every miss of a load adds to one counter. */
+    PcOnly,
+};
+
+/** EventSource of cache-miss tuples from a running machine. */
+class CacheMissProbe : public EventSource
+{
+  public:
+    /**
+     * @param machine The machine to drive (not owned).
+     * @param cache The cache every load/store goes through (not owned).
+     * @param includeStores Also run stores through the cache (their
+     *        misses are not emitted; they just warm/pollute the cache).
+     * @param naming Tuple naming scheme (see MissNaming).
+     */
+    CacheMissProbe(Machine &machine, Cache &cache,
+                   bool includeStores = true,
+                   MissNaming naming = MissNaming::PcAndLine);
+    ~CacheMissProbe() override;
+
+    Tuple next() override;
+    bool done() const override;
+    ProfileKind kind() const override { return ProfileKind::CacheMiss; }
+    std::string name() const override { return "cache-miss"; }
+
+  private:
+    Machine &machine;
+    Cache &cache;
+    bool includeStores;
+    MissNaming naming;
+    std::optional<Tuple> pending;
+};
+
+/** EventSource of misprediction tuples from a running machine. */
+class MispredictProbe : public EventSource
+{
+  public:
+    /**
+     * @param machine The machine to drive (not owned).
+     * @param predictor The predictor every conditional branch trains
+     *        (not owned).
+     */
+    MispredictProbe(Machine &machine, BranchPredictor &predictor);
+    ~MispredictProbe() override;
+
+    Tuple next() override;
+    bool done() const override;
+    ProfileKind kind() const override
+    {
+        return ProfileKind::Mispredict;
+    }
+    std::string name() const override { return "mispredict"; }
+
+  private:
+    Machine &machine;
+    BranchPredictor &predictor;
+    std::optional<Tuple> pending;
+};
+
+} // namespace mhp
+
+#endif // MHP_CACHE_MISS_PROBE_H

@@ -1,0 +1,57 @@
+#include "cache/prefetcher.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+ProfileGuidedPrefetcher::ProfileGuidedPrefetcher(Cache &cache_,
+                                                 unsigned degree_)
+    : cache(cache_), degree(degree_)
+{
+    MHP_REQUIRE(degree >= 1, "prefetch degree must be positive");
+}
+
+void
+ProfileGuidedPrefetcher::retrain(const IntervalSnapshot &hotMisses)
+{
+    hotPcs.clear();
+    for (const auto &cand : hotMisses)
+        hotPcs.insert(cand.tuple.first);
+    // Keep learned strides for PCs that stay delinquent; drop the rest.
+    for (auto it = states.begin(); it != states.end();) {
+        if (hotPcs.count(it->first) == 0)
+            it = states.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+ProfileGuidedPrefetcher::onAccess(uint64_t pc, uint64_t address)
+{
+    if (hotPcs.count(pc) == 0)
+        return;
+    PcState &state = states[pc];
+    const uint64_t line = cache.lineOf(address);
+    int64_t stride = static_cast<int64_t>(cache.configuration().lineBytes);
+    if (state.primed) {
+        const int64_t observed = static_cast<int64_t>(line) -
+                                 static_cast<int64_t>(state.lastAddress);
+        if (observed != 0)
+            state.stride = observed;
+        if (state.stride != 0)
+            stride = state.stride;
+    }
+    state.lastAddress = line;
+    state.primed = true;
+
+    uint64_t target = line;
+    for (unsigned d = 0; d < degree; ++d) {
+        target = static_cast<uint64_t>(static_cast<int64_t>(target) +
+                                       stride);
+        cache.prefetch(target);
+        ++issued;
+    }
+}
+
+} // namespace mhp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Profile-guided prefetching (the paper's Section 2 use case).
+ *
+ * The ProfileGuidedPrefetcher takes the set of delinquent load PCs a
+ * hardware profiler captured (hot <loadPC, missedLine> tuples) and
+ * issues next-line/stride prefetches only for those PCs — the
+ * "improve the accuracy and efficiency of these techniques" loop the
+ * paper motivates. Stride is learned per delinquent PC from its last
+ * seen address.
+ */
+
+#ifndef MHP_CACHE_PREFETCHER_H
+#define MHP_CACHE_PREFETCHER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/cache.h"
+#include "core/profiler.h"
+
+namespace mhp {
+
+/** Per-PC stride prefetcher gated by a profiled delinquent-load set. */
+class ProfileGuidedPrefetcher
+{
+  public:
+    /**
+     * @param cache The cache prefetches are installed into (not owned).
+     * @param degree Lines fetched ahead per trigger (1 = next line).
+     */
+    explicit ProfileGuidedPrefetcher(Cache &cache, unsigned degree = 2);
+
+    /**
+     * Install the delinquent-load set from a profiler snapshot of
+     * <loadPC, missedLine> tuples (e.g. the previous interval's
+     * accumulator contents). Replaces the previous set.
+     */
+    void retrain(const IntervalSnapshot &hotMisses);
+
+    /**
+     * Observe a demand access (after the cache saw it). If the PC is
+     * in the delinquent set, learn its stride and prefetch ahead.
+     */
+    void onAccess(uint64_t pc, uint64_t address);
+
+    /** Number of PCs currently selected for prefetching. */
+    size_t delinquentPcs() const { return hotPcs.size(); }
+
+    uint64_t prefetchesIssued() const { return issued; }
+
+  private:
+    struct PcState
+    {
+        uint64_t lastAddress = 0;
+        int64_t stride = 0;
+        bool primed = false;
+    };
+
+    Cache &cache;
+    unsigned degree;
+    std::unordered_set<uint64_t> hotPcs;
+    std::unordered_map<uint64_t, PcState> states;
+    uint64_t issued = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_CACHE_PREFETCHER_H

@@ -1,0 +1,147 @@
+#include "core/accumulator_table.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+AccumulatorTable::AccumulatorTable(uint64_t capacity,
+                                   uint64_t thresholdCount_,
+                                   bool retaining_)
+    : thresholdCount(thresholdCount_), retaining(retaining_)
+{
+    MHP_REQUIRE(capacity >= 1, "accumulator needs capacity");
+    MHP_REQUIRE(thresholdCount >= 1, "threshold must be positive");
+    slots.resize(capacity);
+    index.reserve(capacity * 2);
+    freeSlots.reserve(capacity);
+    for (uint64_t i = capacity; i-- > 0;)
+        freeSlots.push_back(static_cast<uint32_t>(i));
+}
+
+bool
+AccumulatorTable::incrementIfPresent(const Tuple &t)
+{
+    auto it = index.find(t);
+    if (it == index.end())
+        return false;
+    Slot &slot = slots[it->second];
+    ++slot.count;
+    // A retained entry that re-crosses the threshold is a candidate
+    // again: pin it for the rest of the interval (Section 5.4.1).
+    if (slot.replaceable && slot.count >= thresholdCount)
+        slot.replaceable = false;
+    return true;
+}
+
+bool
+AccumulatorTable::contains(const Tuple &t) const
+{
+    return index.find(t) != index.end();
+}
+
+bool
+AccumulatorTable::insert(const Tuple &t, uint64_t initialCount)
+{
+    MHP_ASSERT(!contains(t), "inserting an already-present tuple");
+
+    uint32_t victim;
+    if (!freeSlots.empty()) {
+        victim = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        // Evict any replaceable (retained, not-yet-candidate) entry.
+        uint32_t found = UINT32_MAX;
+        for (uint32_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].valid && slots[i].replaceable) {
+                found = i;
+                break;
+            }
+        }
+        if (found == UINT32_MAX) {
+            ++dropped;
+            return false;
+        }
+        index.erase(slots[found].tuple);
+        victim = found;
+    }
+
+    Slot &slot = slots[victim];
+    slot.tuple = t;
+    slot.count = initialCount;
+    slot.valid = true;
+    // Promoted entries are non-replaceable for the rest of the
+    // interval (Section 5.2); a promotion implies the threshold was
+    // crossed, so this matches the re-pinning rule as well.
+    slot.replaceable = initialCount < thresholdCount;
+    index.emplace(t, victim);
+    return true;
+}
+
+IntervalSnapshot
+AccumulatorTable::endInterval()
+{
+    IntervalSnapshot out;
+    out.reserve(index.size());
+    for (auto &slot : slots) {
+        if (slot.valid && slot.count >= thresholdCount)
+            out.push_back({slot.tuple, slot.count});
+    }
+    canonicalize(out);
+
+    if (!retaining) {
+        // P0: flush the whole table.
+        for (auto &slot : slots)
+            slot.valid = false;
+        index.clear();
+        freeSlots.clear();
+        for (uint64_t i = slots.size(); i-- > 0;)
+            freeSlots.push_back(static_cast<uint32_t>(i));
+        return out;
+    }
+
+    // P1: drop sub-threshold entries, keep candidates as replaceable
+    // zero-count entries for the next interval.
+    for (uint32_t i = 0; i < slots.size(); ++i) {
+        Slot &slot = slots[i];
+        if (!slot.valid)
+            continue;
+        if (slot.count < thresholdCount) {
+            index.erase(slot.tuple);
+            slot.valid = false;
+            freeSlots.push_back(i);
+        } else {
+            slot.count = 0;
+            slot.replaceable = true;
+        }
+    }
+    return out;
+}
+
+void
+AccumulatorTable::reset()
+{
+    for (auto &slot : slots)
+        slot.valid = false;
+    index.clear();
+    freeSlots.clear();
+    for (uint64_t i = slots.size(); i-- > 0;)
+        freeSlots.push_back(static_cast<uint32_t>(i));
+    dropped = 0;
+}
+
+uint64_t
+AccumulatorTable::countOf(const Tuple &t) const
+{
+    auto it = index.find(t);
+    return it == index.end() ? 0 : slots[it->second].count;
+}
+
+bool
+AccumulatorTable::isReplaceable(const Tuple &t) const
+{
+    auto it = index.find(t);
+    MHP_ASSERT(it != index.end(), "tuple not present");
+    return slots[it->second].replaceable;
+}
+
+} // namespace mhp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The fully-associative, tagged accumulator table (Section 5.2).
+ *
+ * Tuples whose hash counters cross the candidate threshold are promoted
+ * here; from then on the table counts their exact occurrences
+ * (shielding keeps them out of the hash tables entirely). The table's
+ * capacity is bounded by the Section 5.1 argument: at most
+ * 1/threshold tuples can exceed the threshold in an interval.
+ *
+ * Retaining (Section 5.4.1) keeps the previous interval's candidates
+ * in the table as *replaceable* entries so recurring candidates never
+ * touch the hash tables again; a retained entry is re-pinned (made
+ * non-replaceable) once it crosses the threshold in the new interval.
+ */
+
+#ifndef MHP_CORE_ACCUMULATOR_TABLE_H
+#define MHP_CORE_ACCUMULATOR_TABLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/profiler.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** Fully-associative table of candidate tuples with exact counters. */
+class AccumulatorTable
+{
+  public:
+    /**
+     * @param capacity Maximum simultaneous entries.
+     * @param thresholdCount Per-interval occurrences that make a tuple
+     *        a candidate (controls replaceability and snapshots).
+     * @param retaining Keep candidates across intervals (P1) or flush
+     *        the whole table every interval (P0).
+     */
+    AccumulatorTable(uint64_t capacity, uint64_t thresholdCount,
+                     bool retaining);
+
+    /**
+     * If the tuple has an entry, bump its counter and return true
+     * (the caller then skips the hash tables — shielding). Crossing
+     * the threshold re-pins a retained replaceable entry.
+     */
+    bool incrementIfPresent(const Tuple &t);
+
+    /** True if the tuple currently has an entry. */
+    bool contains(const Tuple &t) const;
+
+    /**
+     * Promote a tuple with an initial count (the hash-counter value
+     * that triggered promotion). Allocation prefers empty slots, then
+     * evicts a replaceable entry; returns false when neither exists
+     * (the event is dropped, per Section 5.2).
+     */
+    bool insert(const Tuple &t, uint64_t initialCount);
+
+    /**
+     * Close the interval: return the candidates (entries at or above
+     * the threshold, canonically sorted) and apply the retention
+     * policy for the next interval.
+     */
+    IntervalSnapshot endInterval();
+
+    /** Drop everything, including retained entries. */
+    void reset();
+
+    uint64_t size() const { return index.size(); }
+    uint64_t capacity() const { return slots.size(); }
+
+    /** Number of promotions rejected for lack of space (statistics). */
+    uint64_t droppedInsertions() const { return dropped; }
+
+    /** Current count for a tuple, or 0 if absent (tests/analysis). */
+    uint64_t countOf(const Tuple &t) const;
+
+    /** Whether a present tuple is replaceable (tests). */
+    bool isReplaceable(const Tuple &t) const;
+
+  private:
+    struct Slot
+    {
+        Tuple tuple;
+        uint64_t count = 0;
+        bool valid = false;
+        bool replaceable = false;
+    };
+
+    std::vector<Slot> slots;
+    std::unordered_map<Tuple, uint32_t, TupleHash> index;
+    std::vector<uint32_t> freeSlots;
+    uint64_t thresholdCount;
+    bool retaining;
+    uint64_t dropped = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_ACCUMULATOR_TABLE_H

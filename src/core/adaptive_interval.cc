@@ -1,0 +1,76 @@
+#include "core/adaptive_interval.h"
+
+#include <algorithm>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+AdaptiveIntervalController::AdaptiveIntervalController(
+        const AdaptiveIntervalConfig &config_, uint64_t initialLength)
+    : config(config_)
+{
+    MHP_REQUIRE(config.minLength >= 1, "minLength must be positive");
+    MHP_REQUIRE(config.minLength <= config.maxLength,
+                "empty length range");
+    MHP_REQUIRE(config.growBelowPercent <= config.shrinkAbovePercent,
+                "grow/shrink thresholds overlap");
+    MHP_REQUIRE(config.holdIntervals >= 1, "holdIntervals >= 1");
+    length = std::clamp(initialLength, config.minLength,
+                        config.maxLength);
+}
+
+uint64_t
+AdaptiveIntervalController::onIntervalEnd(const IntervalSnapshot &snapshot)
+{
+    std::unordered_set<Tuple, TupleHash> cur;
+    cur.reserve(snapshot.size() * 2);
+    for (const auto &cand : snapshot)
+        cur.insert(cand.tuple);
+
+    if (!havePrev) {
+        prev = std::move(cur);
+        havePrev = true;
+        return length;
+    }
+
+    if (prev.empty() && cur.empty()) {
+        variation = 0.0;
+    } else {
+        uint64_t inter = 0;
+        for (const auto &t : cur)
+            inter += prev.count(t);
+        const uint64_t uni = prev.size() + cur.size() - inter;
+        variation = 100.0 * (1.0 - static_cast<double>(inter) /
+                                       static_cast<double>(uni));
+    }
+    prev = std::move(cur);
+
+    if (variation < config.growBelowPercent) {
+        ++growStreak;
+        shrinkStreak = 0;
+    } else if (variation > config.shrinkAbovePercent) {
+        ++shrinkStreak;
+        growStreak = 0;
+    } else {
+        growStreak = 0;
+        shrinkStreak = 0;
+    }
+
+    if (growStreak >= config.holdIntervals &&
+        length < config.maxLength) {
+        length = std::min(length * 2, config.maxLength);
+        ++changeCount;
+        growStreak = 0;
+        havePrev = false; // don't compare across a length change
+    } else if (shrinkStreak >= config.holdIntervals &&
+               length > config.minLength) {
+        length = std::max(length / 2, config.minLength);
+        ++changeCount;
+        shrinkStreak = 0;
+        havePrev = false;
+    }
+    return length;
+}
+
+} // namespace mhp

@@ -1,0 +1,25 @@
+#include "core/area_model.h"
+
+namespace mhp {
+
+uint64_t
+accumulatorBytesPerEntry(unsigned counterBits)
+{
+    const unsigned bits =
+        kAccumulatorTagBits + counterBits + kAccumulatorFlagBits;
+    return (bits + 7) / 8;
+}
+
+AreaEstimate
+estimateArea(const ProfilerConfig &config)
+{
+    AreaEstimate a;
+    // Counters are untagged: each hash-table entry is just the counter.
+    a.hashTableBytes =
+        config.totalHashEntries * ((config.counterBits + 7) / 8);
+    a.accumulatorBytes = config.accumulatorSize() *
+                         accumulatorBytesPerEntry(config.counterBits);
+    return a;
+}
+
+} // namespace mhp

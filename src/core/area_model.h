@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Hardware area accounting (paper Section 7).
+ *
+ * The paper budgets 6 KB for the hash tables (2K entries of 3-byte
+ * counters) plus 1 KB (1% threshold, 100 accumulator entries) or
+ * 10 KB (0.1%, 1000 entries) for the accumulator — 7 to 16 KB total.
+ * This model reproduces those numbers from a ProfilerConfig so benches
+ * and tests can verify the claim.
+ */
+
+#ifndef MHP_CORE_AREA_MODEL_H
+#define MHP_CORE_AREA_MODEL_H
+
+#include <cstdint>
+
+#include "core/config.h"
+
+namespace mhp {
+
+/** Byte breakdown of one profiler configuration. */
+struct AreaEstimate
+{
+    uint64_t hashTableBytes = 0;
+    uint64_t accumulatorBytes = 0;
+
+    uint64_t total() const { return hashTableBytes + accumulatorBytes; }
+};
+
+/**
+ * Storage bits of one accumulator entry: a tag wide enough to identify
+ * the tuple, the exact counter, and valid/replaceable flags. The paper
+ * arrives at ~10 bytes/entry; the default tag width matches that.
+ */
+constexpr unsigned kAccumulatorTagBits = 54;
+constexpr unsigned kAccumulatorFlagBits = 2;
+
+/** Area for a single- or multi-hash profiler configuration. */
+AreaEstimate estimateArea(const ProfilerConfig &config);
+
+/** Bytes per accumulator entry under the model above. */
+uint64_t accumulatorBytesPerEntry(unsigned counterBits);
+
+} // namespace mhp
+
+#endif // MHP_CORE_AREA_MODEL_H

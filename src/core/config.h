@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Configuration of the interval-based hardware profilers.
+ *
+ * The paper's architecture knobs, all in one aggregate:
+ *
+ *  - interval length and candidate threshold (Section 5.1);
+ *  - total hash-table entries and how many tables they are split
+ *    across (Section 6: n tables of totalHashEntries / n each);
+ *  - the P/R/C optimizations — retaining, resetting, conservative
+ *    update (Sections 5.4 and 6.1);
+ *  - counter width (the paper uses 3-byte counters) and the derived
+ *    accumulator-table size bound of Section 5.1.
+ */
+
+#ifndef MHP_CORE_CONFIG_H
+#define MHP_CORE_CONFIG_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+/** All knobs of a single- or multi-hash profiler instance. */
+struct ProfilerConfig
+{
+    /** Profile interval length in events (paper: 10K and 1M). */
+    uint64_t intervalLength = 10'000;
+
+    /**
+     * Candidate threshold as a fraction of the interval length
+     * (paper: 0.01 and 0.001). An event is a candidate when it occurs
+     * at least thresholdCount() times within one interval.
+     */
+    double candidateThreshold = 0.01;
+
+    /** Total counters across all hash tables (paper: 2K). */
+    uint64_t totalHashEntries = 2048;
+
+    /** Number of hash tables the entries are split across (1 = single). */
+    unsigned numHashTables = 4;
+
+    /** Width of each hash-table counter (paper: 3 bytes). */
+    unsigned counterBits = 24;
+
+    /** P: retain above-threshold candidates across intervals (5.4.1). */
+    bool retaining = true;
+
+    /** R: zero the hash counter(s) when a tuple is promoted (5.4.2). */
+    bool resetOnPromote = false;
+
+    /** C: conservative update — bump only the minimum counters (6.1). */
+    bool conservativeUpdate = true;
+
+    /** Shielding: accumulated tuples bypass the hash tables (5.2). */
+    bool shielding = true;
+
+    /**
+     * Flush (zero) the hash tables at every interval end, as the
+     * paper specifies ("At the end of an interval, the hash table is
+     * flushed"). Disabling this is an ablation: stale counts from
+     * prior intervals leak across the boundary and inflate false
+     * positives (see bench/ablation_interval_flush).
+     */
+    bool flushHashTables = true;
+
+    /**
+     * Accumulator capacity; 0 derives the paper's worst-case bound of
+     * ceil(1 / candidateThreshold) entries.
+     */
+    uint64_t accumulatorEntries = 0;
+
+    /** Seed for the hash-function family's random tables. */
+    uint64_t seed = 0xcafef00dULL;
+
+    /** Occurrences needed within an interval to become a candidate. */
+    uint64_t
+    thresholdCount() const
+    {
+        const double t =
+            static_cast<double>(intervalLength) * candidateThreshold;
+        const auto count = static_cast<uint64_t>(std::ceil(t));
+        return count == 0 ? 1 : count;
+    }
+
+    /** Effective accumulator capacity (the Section 5.1 bound). */
+    uint64_t
+    accumulatorSize() const
+    {
+        if (accumulatorEntries != 0)
+            return accumulatorEntries;
+        const auto bound =
+            static_cast<uint64_t>(std::ceil(1.0 / candidateThreshold));
+        return bound == 0 ? 1 : bound;
+    }
+
+    /** Entries in each individual hash table. */
+    uint64_t
+    entriesPerTable() const
+    {
+        return totalHashEntries / numHashTables;
+    }
+
+    /** Abort on nonsensical parameter combinations. */
+    void
+    validate() const
+    {
+        MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
+        MHP_REQUIRE(candidateThreshold > 0.0 && candidateThreshold <= 1.0,
+                    "candidateThreshold must be in (0, 1]");
+        MHP_REQUIRE(numHashTables >= 1, "need at least one hash table");
+        MHP_REQUIRE(entriesPerTable() >= 1,
+                    "more hash tables than total entries");
+        MHP_REQUIRE(counterBits >= 1 && counterBits <= 64,
+                    "counterBits out of range");
+    }
+
+    /** Compact description, e.g. "mh4 C1R0P1 2048e 1M/0.1%". */
+    std::string
+    describe() const
+    {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%s%u C%dR%dP%d %llue %llu/%.4g%%",
+                      numHashTables == 1 ? "sh" : "mh", numHashTables,
+                      conservativeUpdate ? 1 : 0, resetOnPromote ? 1 : 0,
+                      retaining ? 1 : 0,
+                      static_cast<unsigned long long>(totalHashEntries),
+                      static_cast<unsigned long long>(intervalLength),
+                      candidateThreshold * 100.0);
+        return buf;
+    }
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_CONFIG_H

@@ -1,0 +1,46 @@
+#include "core/counter_table.h"
+
+#include <algorithm>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+CounterTable::CounterTable(uint64_t entries, unsigned counterBits)
+{
+    MHP_REQUIRE(entries >= 1, "counter table needs entries");
+    MHP_REQUIRE(counterBits >= 1 && counterBits <= 64,
+                "counter width out of range");
+    saturation =
+        counterBits >= 64 ? ~0ULL : (1ULL << counterBits) - 1;
+    counts.assign(entries, 0);
+}
+
+uint64_t
+CounterTable::increment(uint64_t index)
+{
+    MHP_ASSERT(index < counts.size(), "counter index out of range");
+    uint64_t &c = counts[index];
+    if (c < saturation)
+        ++c;
+    return c;
+}
+
+void
+CounterTable::flush()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+}
+
+uint64_t
+CounterTable::countAtLeast(uint64_t value) const
+{
+    uint64_t n = 0;
+    for (uint64_t c : counts) {
+        if (c >= value)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mhp

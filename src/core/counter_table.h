@@ -1,0 +1,54 @@
+/**
+ * @file
+ * An untagged table of saturating counters — the filtering stage of
+ * both the single- and multi-hash architectures.
+ *
+ * The table deliberately has no tags (Section 5.2), so distinct tuples
+ * can alias to the same counter; the profiler architectures above it
+ * are what turn this cheap, lossy structure into accurate profiles.
+ */
+
+#ifndef MHP_CORE_COUNTER_TABLE_H
+#define MHP_CORE_COUNTER_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mhp {
+
+/** Fixed-size array of width-limited saturating up-counters. */
+class CounterTable
+{
+  public:
+    /**
+     * @param entries Number of counters.
+     * @param counterBits Width of each counter (saturation point).
+     */
+    CounterTable(uint64_t entries, unsigned counterBits);
+
+    /** Increment a counter by one (saturating); returns the new value. */
+    uint64_t increment(uint64_t index);
+
+    /** Current value of a counter. */
+    uint64_t value(uint64_t index) const { return counts[index]; }
+
+    /** Zero one counter (the paper's resetting optimization). */
+    void reset(uint64_t index) { counts[index] = 0; }
+
+    /** Zero every counter (end-of-interval flush). */
+    void flush();
+
+    uint64_t size() const { return counts.size(); }
+    uint64_t maxValue() const { return saturation; }
+
+    /** Number of counters currently at or above a value (analysis). */
+    uint64_t countAtLeast(uint64_t value) const;
+
+  private:
+    std::vector<uint64_t> counts;
+    uint64_t saturation;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_COUNTER_TABLE_H

@@ -1,0 +1,44 @@
+#include "core/hash_function.h"
+
+#include "support/bit_util.h"
+#include "support/panic.h"
+#include "support/rng.h"
+
+namespace mhp {
+
+TupleHasher::TupleHasher(uint64_t seed, uint64_t tableSize)
+    : pcTable(SplitMix64(seed).next()),
+      valueTable(SplitMix64(seed ^ 0x76a1ebeefULL).next()),
+      size(tableSize)
+{
+    MHP_REQUIRE(isPowerOfTwo(tableSize),
+                "hash table size must be a power of two");
+    MHP_REQUIRE(tableSize >= 2, "hash table needs at least two entries");
+    bits = floorLog2(tableSize);
+}
+
+uint64_t
+TupleHasher::signature(const Tuple &t) const
+{
+    const uint64_t npc = byteFlip(pcTable.randomize(t.first));
+    const uint64_t nv = valueTable.randomize(t.second);
+    return npc ^ nv;
+}
+
+uint64_t
+TupleHasher::index(const Tuple &t) const
+{
+    return xorFold(signature(t), bits);
+}
+
+TupleHasherFamily::TupleHasherFamily(uint64_t seed, unsigned numFunctions,
+                                     uint64_t tableSize)
+{
+    MHP_REQUIRE(numFunctions >= 1, "family needs at least one function");
+    members.reserve(numFunctions);
+    SplitMix64 sm(seed);
+    for (unsigned i = 0; i < numFunctions; ++i)
+        members.emplace_back(sm.next(), tableSize);
+}
+
+} // namespace mhp

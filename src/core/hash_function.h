@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's tuple hash function (Section 5.3) and families thereof.
+ *
+ * For a tuple <pc, value> the index is computed as
+ *
+ *     npc   = flip(randomize(pc))
+ *     nv    = randomize(value)
+ *     index = xor-fold(npc ^ nv, log2(table size))
+ *
+ * randomize magnifies the small variation between temporally close PCs
+ * and values; flip moves the PC's variation into the high-order bytes
+ * so xor-ing with the value yields a greater degree of variation.
+ *
+ * A TupleHasherFamily provides n independent functions by giving each
+ * member its own random tables, exactly as the paper does.
+ */
+
+#ifndef MHP_CORE_HASH_FUNCTION_H
+#define MHP_CORE_HASH_FUNCTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random_table.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** One hardware hash function over tuples. */
+class TupleHasher
+{
+  public:
+    /**
+     * @param seed Seed for this function's two random tables (one for
+     *        each tuple member).
+     * @param tableSize Number of entries in the indexed table; must be
+     *        a power of two (the xor-fold width is log2 of it).
+     */
+    TupleHasher(uint64_t seed, uint64_t tableSize);
+
+    /** The table index for a tuple, in [0, tableSize). */
+    uint64_t index(const Tuple &t) const;
+
+    /** The full 64-bit signature before folding (for tests). */
+    uint64_t signature(const Tuple &t) const;
+
+    uint64_t tableSize() const { return size; }
+    unsigned indexBits() const { return bits; }
+
+  private:
+    RandomTable pcTable;
+    RandomTable valueTable;
+    uint64_t size;
+    unsigned bits;
+};
+
+/** n independent hash functions for an n-table multi-hash profiler. */
+class TupleHasherFamily
+{
+  public:
+    /**
+     * @param seed Family seed; member i derives its tables from
+     *        (seed, i).
+     * @param numFunctions Number of independent members.
+     * @param tableSize Entries per indexed table (power of two).
+     */
+    TupleHasherFamily(uint64_t seed, unsigned numFunctions,
+                      uint64_t tableSize);
+
+    const TupleHasher &function(unsigned i) const { return members[i]; }
+    unsigned size() const { return members.size(); }
+
+  private:
+    std::vector<TupleHasher> members;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_HASH_FUNCTION_H

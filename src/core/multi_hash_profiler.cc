@@ -1,0 +1,130 @@
+#include "core/multi_hash_profiler.h"
+
+#include <algorithm>
+
+#include "core/area_model.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+MultiHashProfiler::MultiHashProfiler(const ProfilerConfig &config_)
+    : config(config_),
+      hashers(config_.seed, config_.numHashTables,
+              config_.entriesPerTable()),
+      accumulator(config_.accumulatorSize(), config_.thresholdCount(),
+                  config_.retaining),
+      thresholdCount(config_.thresholdCount())
+{
+    config.validate();
+    tables.reserve(config.numHashTables);
+    for (unsigned i = 0; i < config.numHashTables; ++i)
+        tables.emplace_back(config.entriesPerTable(), config.counterBits);
+    indexScratch.resize(config.numHashTables);
+}
+
+void
+MultiHashProfiler::onEvent(const Tuple &t)
+{
+    if (accumulator.incrementIfPresent(t)) {
+        if (!config.shielding) {
+            // Ablation only: keep pressuring the hash tables.
+            for (unsigned i = 0; i < tables.size(); ++i)
+                tables[i].increment(hashers.function(i).index(t));
+        }
+        return;
+    }
+
+    const unsigned n = tables.size();
+    for (unsigned i = 0; i < n; ++i)
+        indexScratch[i] = hashers.function(i).index(t);
+
+    if (config.conservativeUpdate) {
+        // Increment only the counter(s) at the current minimum; ties
+        // all advance so the minimum strictly increases.
+        uint64_t minVal = ~0ULL;
+        for (unsigned i = 0; i < n; ++i)
+            minVal = std::min(minVal, tables[i].value(indexScratch[i]));
+        for (unsigned i = 0; i < n; ++i) {
+            if (tables[i].value(indexScratch[i]) == minVal)
+                tables[i].increment(indexScratch[i]);
+        }
+    } else {
+        for (unsigned i = 0; i < n; ++i)
+            tables[i].increment(indexScratch[i]);
+    }
+
+    // Promotion requires every table's counter to be at threshold.
+    uint64_t newMin = ~0ULL;
+    for (unsigned i = 0; i < n; ++i)
+        newMin = std::min(newMin, tables[i].value(indexScratch[i]));
+    if (newMin >= thresholdCount) {
+        if (accumulator.insert(t, newMin) && config.resetOnPromote) {
+            for (unsigned i = 0; i < n; ++i)
+                tables[i].reset(indexScratch[i]);
+        }
+    }
+}
+
+IntervalSnapshot
+MultiHashProfiler::endInterval()
+{
+    if (config.flushHashTables) {
+        for (auto &table : tables)
+            table.flush();
+    }
+    return accumulator.endInterval();
+}
+
+void
+MultiHashProfiler::reset()
+{
+    for (auto &table : tables)
+        table.flush();
+    accumulator.reset();
+}
+
+std::string
+MultiHashProfiler::name() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "mh%u-C%dR%dP%d",
+                  config.numHashTables,
+                  config.conservativeUpdate ? 1 : 0,
+                  config.resetOnPromote ? 1 : 0,
+                  config.retaining ? 1 : 0);
+    return buf;
+}
+
+uint64_t
+MultiHashProfiler::areaBytes() const
+{
+    return estimateArea(config).total();
+}
+
+uint64_t
+MultiHashProfiler::estimateCount(const Tuple &t) const
+{
+    if (accumulator.contains(t))
+        return accumulator.countOf(t);
+    return minCounterFor(t);
+}
+
+uint64_t
+MultiHashProfiler::counterValueIn(unsigned table, const Tuple &t) const
+{
+    MHP_ASSERT(table < tables.size(), "table index out of range");
+    return tables[table].value(hashers.function(table).index(t));
+}
+
+uint64_t
+MultiHashProfiler::minCounterFor(const Tuple &t) const
+{
+    uint64_t minVal = ~0ULL;
+    for (unsigned i = 0; i < tables.size(); ++i) {
+        minVal = std::min(minVal,
+                          tables[i].value(hashers.function(i).index(t)));
+    }
+    return minVal;
+}
+
+} // namespace mhp

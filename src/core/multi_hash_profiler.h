@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The Multi-Hash interval profiler (paper Section 6, Figure 8).
+ *
+ * n untagged counter tables, each with an independent hash function,
+ * front-end the accumulator table. A tuple is promoted only when the
+ * counters in *all* n tables reach the candidate threshold — two
+ * tuples that alias in one table almost surely separate in another,
+ * which is what collapses the false-positive rate (the Estan-Varghese
+ * multistage-filter insight applied to profiling).
+ *
+ * Optional behaviours:
+ *  - conservative update (C1): increment only the counter(s) holding
+ *    the minimum value among the tuple's n counters (Section 6.1);
+ *  - resetting (R1): zero all n counters on promotion;
+ *  - retaining (P1): as in the single-hash design.
+ */
+
+#ifndef MHP_CORE_MULTI_HASH_PROFILER_H
+#define MHP_CORE_MULTI_HASH_PROFILER_H
+
+#include <string>
+#include <vector>
+
+#include "core/accumulator_table.h"
+#include "core/config.h"
+#include "core/counter_table.h"
+#include "core/hash_function.h"
+#include "core/profiler.h"
+
+namespace mhp {
+
+/** Multiple hash-table hardware profiler. */
+class MultiHashProfiler : public HardwareProfiler
+{
+  public:
+    explicit MultiHashProfiler(const ProfilerConfig &config);
+
+    void onEvent(const Tuple &t) override;
+    IntervalSnapshot endInterval() override;
+    void reset() override;
+    std::string name() const override;
+    uint64_t areaBytes() const override;
+
+    const ProfilerConfig &configuration() const { return config; }
+
+    /**
+     * Point estimate of a tuple's occurrences so far this interval
+     * (Estan-Varghese style): the exact accumulator count if the tuple
+     * was promoted, otherwise the minimum of its hash counters (an
+     * upper bound under conservative update). Usable mid-interval by
+     * hardware that wants a "how hot is this?" answer on demand.
+     */
+    uint64_t estimateCount(const Tuple &t) const;
+
+    /** Minimum counter value across tables for a tuple (tests). */
+    uint64_t minCounterFor(const Tuple &t) const;
+
+    /** Counter value a tuple hashes to in one specific table (tests). */
+    uint64_t counterValueIn(unsigned table, const Tuple &t) const;
+
+    /** Promotions rejected because the accumulator was full. */
+    uint64_t droppedPromotions() const
+    {
+        return accumulator.droppedInsertions();
+    }
+
+  private:
+    ProfilerConfig config;
+    TupleHasherFamily hashers;
+    std::vector<CounterTable> tables;
+    AccumulatorTable accumulator;
+    uint64_t thresholdCount;
+    std::vector<uint64_t> indexScratch;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_MULTI_HASH_PROFILER_H

@@ -1,0 +1,39 @@
+#include "core/perfect_profiler.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+PerfectProfiler::PerfectProfiler(uint64_t thresholdCount)
+    : threshold(thresholdCount)
+{
+    MHP_REQUIRE(threshold >= 1, "threshold must be positive");
+    table.reserve(1 << 16);
+}
+
+void
+PerfectProfiler::onEvent(const Tuple &t)
+{
+    ++table[t];
+}
+
+IntervalSnapshot
+PerfectProfiler::endInterval()
+{
+    IntervalSnapshot out;
+    for (const auto &[tuple, count] : table) {
+        if (count >= threshold)
+            out.push_back({tuple, count});
+    }
+    canonicalize(out);
+    table.clear();
+    return out;
+}
+
+void
+PerfectProfiler::reset()
+{
+    table.clear();
+}
+
+} // namespace mhp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The abstract hardware-profiler interface and its snapshot type.
+ *
+ * A profiler consumes one tuple per profiling event; at the end of each
+ * profile interval, endInterval() reports the candidate tuples the
+ * hardware captured (the contents of its accumulator table that are at
+ * or above the candidate threshold) and prepares the structures for the
+ * next interval.
+ */
+
+#ifndef MHP_CORE_PROFILER_H
+#define MHP_CORE_PROFILER_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/source.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** One captured candidate: a tuple and its measured frequency. */
+struct CandidateCount
+{
+    Tuple tuple;
+    uint64_t count = 0;
+
+    friend bool operator==(const CandidateCount &,
+                           const CandidateCount &) = default;
+};
+
+/**
+ * The candidates a profiler captured in one interval, sorted by
+ * descending count (ties broken by tuple members for determinism).
+ */
+using IntervalSnapshot = std::vector<CandidateCount>;
+
+/** Sort a snapshot into its canonical order. */
+void canonicalize(IntervalSnapshot &snapshot);
+
+/** Abstract interval-based hardware profiler. */
+class HardwareProfiler : public EventSink
+{
+  public:
+    ~HardwareProfiler() override = default;
+
+    /** Observe one profiling event. */
+    virtual void onEvent(const Tuple &t) = 0;
+
+    /** EventSink adapter. */
+    void accept(const Tuple &t) final { onEvent(t); }
+
+    /**
+     * Close the current interval: report the captured candidates and
+     * reset per-interval state (hash tables flushed; accumulator
+     * handled per the retaining policy).
+     */
+    virtual IntervalSnapshot endInterval() = 0;
+
+    /** Discard all state, including anything retained across intervals. */
+    virtual void reset() = 0;
+
+    /** Short architecture name for reports (e.g. "mh4-C1R0P1"). */
+    virtual std::string name() const = 0;
+
+    /** Total hardware storage this configuration requires, in bytes. */
+    virtual uint64_t areaBytes() const = 0;
+};
+
+inline void
+canonicalize(IntervalSnapshot &snapshot)
+{
+    std::sort(snapshot.begin(), snapshot.end(),
+              [](const CandidateCount &a, const CandidateCount &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  if (a.tuple.first != b.tuple.first)
+                      return a.tuple.first < b.tuple.first;
+                  return a.tuple.second < b.tuple.second;
+              });
+}
+
+} // namespace mhp
+
+#endif // MHP_CORE_PROFILER_H

@@ -1,0 +1,114 @@
+#include "core/query_coprocessor.h"
+
+#include <cmath>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+QueryCoprocessor::QueryCoprocessor(const CoprocessorConfig &config_,
+                                   uint64_t thresholdCount_)
+    : config(config_), thresholdCount(thresholdCount_)
+{
+    MHP_REQUIRE(config.queueEntries >= 1, "queue needs capacity");
+    MHP_REQUIRE(config.processRate > 0.0, "processRate must be > 0");
+    MHP_REQUIRE(thresholdCount >= 1, "threshold must be positive");
+}
+
+void
+QueryCoprocessor::drainOne()
+{
+    if (queue.empty())
+        return;
+    const Tuple t = queue.front();
+    queue.pop_front();
+    ++processedEvents;
+    ++processedInterval;
+    if (!config.query.matches(t))
+        return;
+    ++matchedInterval;
+    Tuple key = t;
+    switch (config.query.groupBy) {
+      case QueryGroupBy::WholeTuple:
+        break;
+      case QueryGroupBy::First:
+        key = Tuple{t.first, 0};
+        break;
+      case QueryGroupBy::Second:
+        key = Tuple{0, t.second};
+        break;
+    }
+    ++counts[key];
+}
+
+void
+QueryCoprocessor::onEvent(const Tuple &t)
+{
+    ++arrivedEvents;
+    if (queue.size() >= config.queueEntries) {
+        ++droppedEvents; // the main processor never stalls for us
+    } else {
+        queue.push_back(t);
+    }
+    // Spend the per-event processing budget.
+    credit += config.processRate;
+    while (credit >= 1.0) {
+        credit -= 1.0;
+        drainOne();
+    }
+}
+
+IntervalSnapshot
+QueryCoprocessor::endInterval()
+{
+    // Interval boundary: the co-processor gets to drain its queue
+    // (the original backs its buffer to memory on demand).
+    while (!queue.empty())
+        drainOne();
+
+    // Scale the sub-stream counts back to the full stream.
+    const double scale =
+        processedInterval == 0
+            ? 0.0
+            : static_cast<double>(arrivedEvents) /
+                  static_cast<double>(processedInterval);
+    IntervalSnapshot out;
+    for (const auto &[key, count] : counts) {
+        const auto scaled = static_cast<uint64_t>(
+            std::llround(static_cast<double>(count) * scale));
+        if (scaled >= thresholdCount)
+            out.push_back({key, scaled});
+    }
+    canonicalize(out);
+
+    counts.clear();
+    arrivedEvents = 0;
+    processedInterval = 0;
+    matchedInterval = 0;
+    credit = 0.0;
+    return out;
+}
+
+void
+QueryCoprocessor::reset()
+{
+    queue.clear();
+    counts.clear();
+    credit = 0.0;
+    arrivedEvents = 0;
+    processedEvents = 0;
+    processedInterval = 0;
+    matchedInterval = 0;
+    droppedEvents = 0;
+}
+
+uint64_t
+QueryCoprocessor::areaBytes() const
+{
+    // The queue plus the co-processor core; its counting memory is
+    // ordinary main memory (that generality is the design's point),
+    // so only the queue is dedicated profiling hardware.
+    return config.queueEntries * 16 + 64;
+}
+
+} // namespace mhp

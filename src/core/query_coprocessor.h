@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A programmable profiling co-processor — the Section 4.1.4 class
+ * (Zilles & Sohi's profiling co-processor; Heil & Smith's relational
+ * profiling engine).
+ *
+ * The main processor deposits profiling events into a bounded queue;
+ * a co-processor drains the queue at its own (limited) rate and runs a
+ * programmable QUERY over each event: filter by masked match on either
+ * tuple member, group by a key derived from the tuple, count per
+ * group. Flexibility is the selling point; the modelled weakness is
+ * bandwidth — when events arrive faster than the co-processor drains
+ * them, the queue overflows and events are dropped, so counts must be
+ * scaled up by the observed processing fraction (estimation noise the
+ * paper's fixed-function design never incurs).
+ *
+ * Scoring uses the same interval metric as every other profiler: the
+ * snapshot reports scaled per-group counts at or above the candidate
+ * threshold.
+ */
+
+#ifndef MHP_CORE_QUERY_COPROCESSOR_H
+#define MHP_CORE_QUERY_COPROCESSOR_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "core/profiler.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** The grouping key a query counts by. */
+enum class QueryGroupBy
+{
+    WholeTuple, ///< count distinct <first, second> pairs
+    First,      ///< count by tuple.first (e.g. per-PC totals)
+    Second,     ///< count by tuple.second (e.g. per-value totals)
+};
+
+/** A filter+group-by+count query program. */
+struct Query
+{
+    /** Event passes iff (first & firstMask) == firstMatch, same for
+     *  second. Default masks of 0 accept everything. */
+    uint64_t firstMask = 0;
+    uint64_t firstMatch = 0;
+    uint64_t secondMask = 0;
+    uint64_t secondMatch = 0;
+
+    QueryGroupBy groupBy = QueryGroupBy::WholeTuple;
+
+    /** True iff the tuple passes the filter. */
+    bool
+    matches(const Tuple &t) const
+    {
+        return (t.first & firstMask) == firstMatch &&
+               (t.second & secondMask) == secondMatch;
+    }
+};
+
+/** Co-processor shape and bandwidth. */
+struct CoprocessorConfig
+{
+    /** Event-queue capacity between processor and co-processor. */
+    uint64_t queueEntries = 64;
+
+    /**
+     * Events the co-processor processes per incoming event (its
+     * relative speed). 1.0 keeps up with everything; 0.25 models a
+     * co-processor four times slower than the event rate.
+     */
+    double processRate = 0.5;
+
+    /** The query program it runs. */
+    Query query;
+};
+
+/** Bounded-bandwidth programmable profiling co-processor. */
+class QueryCoprocessor : public HardwareProfiler
+{
+  public:
+    /**
+     * @param config Shape, bandwidth, and query.
+     * @param thresholdCount Candidate threshold for snapshots
+     *        (applied to the scaled estimates).
+     */
+    QueryCoprocessor(const CoprocessorConfig &config,
+                     uint64_t thresholdCount);
+
+    void onEvent(const Tuple &t) override;
+    IntervalSnapshot endInterval() override;
+    void reset() override;
+    std::string name() const override { return "query-coproc"; }
+    uint64_t areaBytes() const override;
+
+    /** Events dropped on queue overflow so far. */
+    uint64_t dropped() const { return droppedEvents; }
+
+    /** Events the co-processor actually processed so far. */
+    uint64_t processed() const { return processedEvents; }
+
+  private:
+    void drainOne();
+
+    CoprocessorConfig config;
+    uint64_t thresholdCount;
+
+    std::deque<Tuple> queue;
+    double credit = 0.0; ///< fractional processing budget
+
+    /** Per-group exact counts over the processed sub-stream. */
+    std::unordered_map<Tuple, uint64_t, TupleHash> counts;
+
+    uint64_t arrivedEvents = 0;   // this interval
+    uint64_t processedEvents = 0; // lifetime
+    uint64_t processedInterval = 0;
+    uint64_t matchedInterval = 0;
+    uint64_t droppedEvents = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_QUERY_COPROCESSOR_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The 256-entry random-number table behind the paper's hash function.
+ *
+ * Section 5.3: "The function randomize looks up for each byte of the
+ * input value a random number from a 256-entry random number table."
+ * In hardware this table is hardwired; here it is filled from a seeded
+ * generator so each hash function in a multi-hash family gets its own
+ * independent table ("We obtained such independent hash functions by
+ * just choosing different random number tables").
+ */
+
+#ifndef MHP_CORE_RANDOM_TABLE_H
+#define MHP_CORE_RANDOM_TABLE_H
+
+#include <array>
+#include <cstdint>
+
+namespace mhp {
+
+/** A fixed 256-entry table of 64-bit random words. */
+class RandomTable
+{
+  public:
+    /** Fill the table deterministically from a seed. */
+    explicit RandomTable(uint64_t seed);
+
+    /** Look up the random word for a byte value. */
+    uint64_t lookup(uint8_t byte) const { return table[byte]; }
+
+    /**
+     * The paper's "randomize": substitute every byte of v through the
+     * table and compose the results. Composition rotates each byte's
+     * random word by its byte position so different positions of the
+     * same byte value contribute differently.
+     */
+    uint64_t randomize(uint64_t v) const;
+
+  private:
+    std::array<uint64_t, 256> table;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_RANDOM_TABLE_H

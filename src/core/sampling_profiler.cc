@@ -1,0 +1,66 @@
+#include "core/sampling_profiler.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+SamplingProfiler::SamplingProfiler(uint64_t samplingPeriod,
+                                   uint64_t thresholdCount,
+                                   SamplingMode mode_, uint64_t seed)
+    : period(samplingPeriod), threshold(thresholdCount), mode(mode_),
+      rng(seed), untilNext(samplingPeriod)
+{
+    MHP_REQUIRE(period >= 1, "sampling period must be positive");
+    MHP_REQUIRE(threshold >= 1, "threshold must be positive");
+}
+
+void
+SamplingProfiler::onEvent(const Tuple &t)
+{
+    bool take = false;
+    if (mode == SamplingMode::Periodic) {
+        if (--untilNext == 0) {
+            take = true;
+            untilNext = period;
+        }
+    } else {
+        take = period == 1 ||
+               rng.nextBool(1.0 / static_cast<double>(period));
+    }
+    if (take) {
+        // Software credits the sample with the sampling period.
+        software[t] += period;
+        ++samples;
+    }
+}
+
+IntervalSnapshot
+SamplingProfiler::endInterval()
+{
+    IntervalSnapshot out;
+    for (const auto &[tuple, count] : software) {
+        if (count >= threshold)
+            out.push_back({tuple, count});
+    }
+    canonicalize(out);
+    software.clear();
+    untilNext = period;
+    return out;
+}
+
+void
+SamplingProfiler::reset()
+{
+    software.clear();
+    untilNext = period;
+    samples = 0;
+}
+
+std::string
+SamplingProfiler::name() const
+{
+    return mode == SamplingMode::Periodic ? "periodic-sampler"
+                                          : "random-sampler";
+}
+
+} // namespace mhp

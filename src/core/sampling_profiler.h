@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Periodic / random sampling profilers — the hardware-counter-assisted
+ * baseline class of paper Section 4.1.2 (DCPI-style).
+ *
+ * A sampler observes every Nth event (periodic) or each event with
+ * probability 1/N (random), hands the sample to "software", and the
+ * software profile scales each sample by N. This is the design the
+ * Stratified Sampler improved upon ("this periodic or random sampler
+ * will experience less error rate as its input substream is biased"),
+ * and the natural floor baseline for the paper's profilers.
+ */
+
+#ifndef MHP_CORE_SAMPLING_PROFILER_H
+#define MHP_CORE_SAMPLING_PROFILER_H
+
+#include <string>
+#include <unordered_map>
+
+#include "core/profiler.h"
+#include "support/rng.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** Sampling discipline. */
+enum class SamplingMode
+{
+    Periodic, ///< every Nth event exactly
+    Random,   ///< each event independently with probability 1/N
+};
+
+/** DCPI-style sampling profiler with software accumulation. */
+class SamplingProfiler : public HardwareProfiler
+{
+  public:
+    /**
+     * @param samplingPeriod N: one sample per N events (expected).
+     * @param thresholdCount Candidate threshold for snapshots.
+     * @param mode Periodic or random sampling.
+     * @param seed Seed for the random mode.
+     */
+    SamplingProfiler(uint64_t samplingPeriod, uint64_t thresholdCount,
+                     SamplingMode mode = SamplingMode::Periodic,
+                     uint64_t seed = 0x5a3b1e);
+
+    void onEvent(const Tuple &t) override;
+    IntervalSnapshot endInterval() override;
+    void reset() override;
+    std::string name() const override;
+
+    /**
+     * One event register + a period counter; the accumulation lives in
+     * software, so hardware area is a handful of bytes.
+     */
+    uint64_t areaBytes() const override { return 32; }
+
+    /** Samples delivered to software so far (interrupt cost proxy). */
+    uint64_t samplesTaken() const { return samples; }
+
+  private:
+    uint64_t period;
+    uint64_t threshold;
+    SamplingMode mode;
+    Rng rng;
+    uint64_t untilNext;
+    uint64_t samples = 0;
+    std::unordered_map<Tuple, uint64_t, TupleHash> software;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_SAMPLING_PROFILER_H

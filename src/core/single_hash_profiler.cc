@@ -1,0 +1,78 @@
+#include "core/single_hash_profiler.h"
+
+#include "core/area_model.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+SingleHashProfiler::SingleHashProfiler(const ProfilerConfig &config_)
+    : config(config_), hasher(config_.seed, config_.totalHashEntries),
+      table(config_.totalHashEntries, config_.counterBits),
+      accumulator(config_.accumulatorSize(), config_.thresholdCount(),
+                  config_.retaining),
+      thresholdCount(config_.thresholdCount())
+{
+    config.validate();
+    MHP_REQUIRE(config.numHashTables == 1,
+                "SingleHashProfiler requires numHashTables == 1");
+}
+
+void
+SingleHashProfiler::onEvent(const Tuple &t)
+{
+    if (config.shielding) {
+        if (accumulator.incrementIfPresent(t))
+            return;
+    } else if (accumulator.incrementIfPresent(t)) {
+        // Shielding disabled (ablation): the accumulator still counts
+        // exactly, but the tuple keeps pressuring the hash table.
+        table.increment(hasher.index(t));
+        return;
+    }
+
+    const uint64_t idx = hasher.index(t);
+    const uint64_t count = table.increment(idx);
+    if (count >= thresholdCount) {
+        if (accumulator.insert(t, count) && config.resetOnPromote)
+            table.reset(idx);
+    }
+}
+
+IntervalSnapshot
+SingleHashProfiler::endInterval()
+{
+    if (config.flushHashTables)
+        table.flush();
+    return accumulator.endInterval();
+}
+
+void
+SingleHashProfiler::reset()
+{
+    table.flush();
+    accumulator.reset();
+}
+
+std::string
+SingleHashProfiler::name() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "sh-R%dP%d",
+                  config.resetOnPromote ? 1 : 0,
+                  config.retaining ? 1 : 0);
+    return buf;
+}
+
+uint64_t
+SingleHashProfiler::areaBytes() const
+{
+    return estimateArea(config).total();
+}
+
+uint64_t
+SingleHashProfiler::counterValueFor(const Tuple &t) const
+{
+    return table.value(hasher.index(t));
+}
+
+} // namespace mhp

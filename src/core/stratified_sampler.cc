@@ -1,0 +1,181 @@
+#include "core/stratified_sampler.h"
+
+#include <algorithm>
+
+#include "support/bit_util.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+StratifiedSampler::StratifiedSampler(
+        const StratifiedSamplerConfig &config_, uint64_t thresholdCount_)
+    : config(config_), thresholdCount(thresholdCount_),
+      hasher(config_.seed, config_.entries)
+{
+    MHP_REQUIRE(config.entries >= 2, "sampler needs counters");
+    MHP_REQUIRE(config.samplingThreshold >= 1,
+                "sampling threshold must be positive");
+    MHP_REQUIRE(config.bufferEntries >= 1, "buffer needs capacity");
+    MHP_REQUIRE(thresholdCount >= 1, "candidate threshold positive");
+    if (config.tagged)
+        taggedEntries.resize(config.entries);
+    else
+        counters.assign(config.entries, 0);
+    aggregator.reserve(config.aggregatorEntries);
+    buffer.reserve(config.bufferEntries);
+}
+
+uint64_t
+StratifiedSampler::partialTag(const Tuple &t) const
+{
+    // Tags are taken from the un-folded signature so they are mostly
+    // independent of the index bits.
+    return lowBits(hasher.signature(t) >> 20, config.tagBits);
+}
+
+void
+StratifiedSampler::onEvent(const Tuple &t)
+{
+    ++eventClock;
+    const uint64_t idx = hasher.index(t);
+
+    if (!config.tagged) {
+        uint64_t &c = counters[idx];
+        if (++c >= config.samplingThreshold) {
+            c = 0;
+            report(t, config.samplingThreshold);
+        }
+        return;
+    }
+
+    TaggedEntry &e = taggedEntries[idx];
+    const uint64_t tag = partialTag(t);
+    if (!e.valid) {
+        e = TaggedEntry{tag, 1, 0, true};
+        return;
+    }
+    if (e.tag == tag) {
+        if (++e.hits >= config.samplingThreshold) {
+            e.hits = 0;
+            report(t, config.samplingThreshold);
+        }
+        return;
+    }
+    // Tag mismatch: count the miss; if the occupant is losing the
+    // entry (more misses than hits), replace it with the newcomer.
+    ++e.misses;
+    if (e.misses > e.hits)
+        e = TaggedEntry{tag, 1, 0, true};
+}
+
+void
+StratifiedSampler::report(const Tuple &t, uint64_t weight)
+{
+    if (config.aggregatorEntries == 0) {
+        enqueue(t, weight);
+        return;
+    }
+
+    // Aggregate in the small associative table before messaging.
+    for (auto &entry : aggregator) {
+        if (entry.tuple == t) {
+            entry.count += weight;
+            entry.lastUse = eventClock;
+            if (entry.count >= config.aggregatorMax * weight) {
+                enqueue(entry.tuple, entry.count);
+                entry = aggregator.back();
+                aggregator.pop_back();
+            }
+            return;
+        }
+    }
+    if (aggregator.size() < config.aggregatorEntries) {
+        aggregator.push_back({t, weight, eventClock});
+        return;
+    }
+    // Capacity eviction: flush the least-recently-used entry.
+    size_t victim = 0;
+    for (size_t i = 1; i < aggregator.size(); ++i) {
+        if (aggregator[i].lastUse < aggregator[victim].lastUse)
+            victim = i;
+    }
+    enqueue(aggregator[victim].tuple, aggregator[victim].count);
+    aggregator[victim] = {t, weight, eventClock};
+}
+
+void
+StratifiedSampler::enqueue(const Tuple &t, uint64_t weight)
+{
+    buffer.push_back({t, weight});
+    ++messageCount;
+    if (buffer.size() >= config.bufferEntries)
+        interrupt();
+}
+
+void
+StratifiedSampler::interrupt()
+{
+    if (buffer.empty())
+        return;
+    ++interruptCount;
+    for (const auto &msg : buffer)
+        software[msg.tuple] += msg.count;
+    buffer.clear();
+}
+
+IntervalSnapshot
+StratifiedSampler::endInterval()
+{
+    // Flush everything still in flight so the software profile is as
+    // complete as this architecture can make it.
+    for (const auto &entry : aggregator)
+        enqueue(entry.tuple, entry.count);
+    aggregator.clear();
+    interrupt();
+
+    IntervalSnapshot out;
+    for (const auto &[tuple, count] : software) {
+        if (count >= thresholdCount)
+            out.push_back({tuple, count});
+    }
+    canonicalize(out);
+
+    software.clear();
+    if (config.tagged) {
+        for (auto &e : taggedEntries)
+            e = TaggedEntry{};
+    } else {
+        std::fill(counters.begin(), counters.end(), 0);
+    }
+    return out;
+}
+
+void
+StratifiedSampler::reset()
+{
+    endInterval();
+    interruptCount = 0;
+    messageCount = 0;
+    eventClock = 0;
+}
+
+std::string
+StratifiedSampler::name() const
+{
+    return config.tagged ? "stratified-tagged" : "stratified";
+}
+
+uint64_t
+StratifiedSampler::areaBytes() const
+{
+    // Counter or tagged entries, plus aggregator and buffer storage.
+    uint64_t entryBits = 24;
+    if (config.tagged)
+        entryBits = config.tagBits + 24 + 24 + 1;
+    const uint64_t tableBytes = config.entries * ((entryBits + 7) / 8);
+    const uint64_t aggBytes = config.aggregatorEntries * 16;
+    const uint64_t bufBytes = config.bufferEntries * 16;
+    return tableBytes + aggBytes + bufBytes;
+}
+
+} // namespace mhp

@@ -1,0 +1,43 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+double
+falsePositiveProbability(uint64_t totalEntries, unsigned numTables,
+                         double thresholdPercent)
+{
+    MHP_REQUIRE(totalEntries >= 1, "need at least one entry");
+    MHP_REQUIRE(numTables >= 1, "need at least one table");
+    MHP_REQUIRE(thresholdPercent > 0.0, "threshold must be positive");
+
+    const double z = static_cast<double>(totalEntries);
+    const double n = static_cast<double>(numTables);
+    const double perTable = 100.0 * n / (thresholdPercent * z);
+    if (perTable >= 1.0)
+        return 1.0;
+    return std::pow(perTable, n);
+}
+
+unsigned
+optimalTableCount(uint64_t totalEntries, double thresholdPercent,
+                  unsigned maxTables)
+{
+    unsigned best = 1;
+    double bestP = falsePositiveProbability(totalEntries, 1,
+                                            thresholdPercent);
+    for (unsigned n = 2; n <= maxTables; ++n) {
+        const double p =
+            falsePositiveProbability(totalEntries, n, thresholdPercent);
+        if (p < bestP) {
+            bestP = p;
+            best = n;
+        }
+    }
+    return best;
+}
+
+} // namespace mhp

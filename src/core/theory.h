@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's closed-form false-positive analysis (Section 6.2 and
+ * Figure 9).
+ *
+ * With candidate threshold t% there can be at most 100/t counters at
+ * or above the threshold; a tuple hashing into one of Z counters is a
+ * false positive with probability 100/(tZ). Splitting Z total entries
+ * across n independent tables of Z/n entries each, the tuple must hit
+ * an above-threshold counter in *every* table:
+ *
+ *     p_fp(Z, n, t) = (100 * n / (t * Z))^n
+ *
+ * This is a loose upper bound — it ignores the tuple distribution and
+ * the retaining/shielding/conservative-update optimizations — but it
+ * explains the U-shape: more tables help until each table becomes so
+ * small that per-table aliasing dominates.
+ */
+
+#ifndef MHP_CORE_THEORY_H
+#define MHP_CORE_THEORY_H
+
+#include <cstdint>
+
+namespace mhp {
+
+/**
+ * Upper bound on the probability that an input tuple becomes a false
+ * positive.
+ *
+ * @param totalEntries Total counters across all tables (Z).
+ * @param numTables Number of hash tables (n >= 1).
+ * @param thresholdPercent Candidate threshold in percent (t).
+ * @return Probability in [0, 1] (clamped).
+ */
+double falsePositiveProbability(uint64_t totalEntries, unsigned numTables,
+                                double thresholdPercent);
+
+/**
+ * The table count minimizing the bound for a given budget, scanning
+ * n in [1, maxTables].
+ */
+unsigned optimalTableCount(uint64_t totalEntries, double thresholdPercent,
+                           unsigned maxTables = 16);
+
+} // namespace mhp
+
+#endif // MHP_CORE_THEORY_H

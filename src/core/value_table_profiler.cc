@@ -1,0 +1,102 @@
+#include "core/value_table_profiler.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+ValueTableProfiler::ValueTableProfiler(const ValueTableConfig &config_,
+                                       uint64_t thresholdCount_)
+    : config(config_), thresholdCount(thresholdCount_)
+{
+    MHP_REQUIRE(config.pcEntries >= 1, "need PC entries");
+    MHP_REQUIRE(config.valuesPerPc >= 1, "need value slots");
+    MHP_REQUIRE(thresholdCount >= 1, "threshold must be positive");
+    table.reserve(config.pcEntries * 2);
+}
+
+void
+ValueTableProfiler::onEvent(const Tuple &t)
+{
+    auto it = table.find(t.first);
+    if (it == table.end()) {
+        // Allocate a PC entry, evicting the coldest if full.
+        if (table.size() >= config.pcEntries) {
+            auto victim = table.begin();
+            for (auto cand = table.begin(); cand != table.end();
+                 ++cand) {
+                if (cand->second.totalCount <
+                    victim->second.totalCount)
+                    victim = cand;
+            }
+            table.erase(victim);
+            ++evictedPcs;
+        }
+        PcEntry entry;
+        entry.slots.resize(config.valuesPerPc);
+        it = table.emplace(t.first, std::move(entry)).first;
+    }
+
+    PcEntry &entry = it->second;
+    ++entry.totalCount;
+
+    // Hit?
+    for (auto &slot : entry.slots) {
+        if (slot.valid && slot.value == t.second) {
+            ++slot.count;
+            return;
+        }
+    }
+    // Free slot?
+    for (auto &slot : entry.slots) {
+        if (!slot.valid) {
+            slot = ValueSlot{t.second, 1, true};
+            return;
+        }
+    }
+    // LFU with aging: halve the weakest slot's count; steal it once
+    // it decays to the steal threshold (Calder's replacement spirit).
+    ValueSlot *weakest = &entry.slots[0];
+    for (auto &slot : entry.slots) {
+        if (slot.count < weakest->count)
+            weakest = &slot;
+    }
+    weakest->count /= 2;
+    if (weakest->count <= config.stealThreshold) {
+        *weakest = ValueSlot{t.second, 1, true};
+        ++stolenValues;
+    }
+}
+
+IntervalSnapshot
+ValueTableProfiler::endInterval()
+{
+    IntervalSnapshot out;
+    for (const auto &[pc, entry] : table) {
+        for (const auto &slot : entry.slots) {
+            if (slot.valid && slot.count >= thresholdCount)
+                out.push_back({Tuple{pc, slot.value}, slot.count});
+        }
+    }
+    canonicalize(out);
+    table.clear();
+    return out;
+}
+
+void
+ValueTableProfiler::reset()
+{
+    table.clear();
+    evictedPcs = 0;
+    stolenValues = 0;
+}
+
+uint64_t
+ValueTableProfiler::areaBytes() const
+{
+    // Per PC: a full tag (8 B) + total counter (3 B) + per-slot value
+    // (8 B) and counter (3 B).
+    const uint64_t perPc = 8 + 3 + config.valuesPerPc * (8 + 3);
+    return config.pcEntries * perPc;
+}
+
+} // namespace mhp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A per-PC top-N-values profiler — the classic value-profiling table
+ * of Calder, Feller & Eustace (MICRO 1997), the software-profiling
+ * class of paper Section 4.1.1, here with hardware-style capacity
+ * bounds.
+ *
+ * Structure: a bounded table of PC entries; each entry keeps the top N
+ * values seen at that PC with LFU counters. Replacement follows the
+ * original's spirit: within a PC, a new value replaces the
+ * least-frequent slot only if that slot's count is low (its count is
+ * halved first, so stale values age out); across PCs, a new PC evicts
+ * the PC with the smallest total count.
+ *
+ * Compared under the paper's interval metric, this design's errors
+ * come from (a) per-PC slot pressure when a PC has many values and
+ * (b) PC-table capacity pressure — both absent in the Multi-Hash
+ * design, which spends its area on untagged counters instead.
+ */
+
+#ifndef MHP_CORE_VALUE_TABLE_PROFILER_H
+#define MHP_CORE_VALUE_TABLE_PROFILER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/profiler.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** Knobs of the Calder-style value-profiling table. */
+struct ValueTableConfig
+{
+    /** Maximum PCs tracked simultaneously. */
+    uint64_t pcEntries = 256;
+
+    /** Value slots per PC (the paper's TVPT keeps a handful). */
+    unsigned valuesPerPc = 4;
+
+    /**
+     * A new value steals the weakest slot when that slot's halved
+     * count falls to or below this.
+     */
+    uint64_t stealThreshold = 1;
+};
+
+/** Bounded per-PC top-N-values profiler. */
+class ValueTableProfiler : public HardwareProfiler
+{
+  public:
+    /**
+     * @param config Table shape.
+     * @param thresholdCount Candidate threshold for snapshots.
+     */
+    ValueTableProfiler(const ValueTableConfig &config,
+                       uint64_t thresholdCount);
+
+    void onEvent(const Tuple &t) override;
+    IntervalSnapshot endInterval() override;
+    void reset() override;
+    std::string name() const override { return "calder-tvpt"; }
+    uint64_t areaBytes() const override;
+
+    /** PC entries evicted for capacity (error source, for analysis). */
+    uint64_t pcEvictions() const { return evictedPcs; }
+
+    /** Value slots stolen within a PC (error source, for analysis). */
+    uint64_t valueSteals() const { return stolenValues; }
+
+  private:
+    struct ValueSlot
+    {
+        uint64_t value = 0;
+        uint64_t count = 0;
+        bool valid = false;
+    };
+
+    struct PcEntry
+    {
+        std::vector<ValueSlot> slots;
+        uint64_t totalCount = 0;
+    };
+
+    ValueTableConfig config;
+    uint64_t thresholdCount;
+    std::unordered_map<uint64_t, PcEntry> table;
+    uint64_t evictedPcs = 0;
+    uint64_t stolenValues = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_CORE_VALUE_TABLE_PROFILER_H

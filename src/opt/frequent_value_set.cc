@@ -1,0 +1,49 @@
+#include "opt/frequent_value_set.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mhp {
+
+FrequentValueSet::FrequentValueSet(const IntervalSnapshot &snapshot,
+                                   size_t maxValues)
+{
+    std::unordered_map<uint64_t, uint64_t> by_value;
+    for (const auto &cand : snapshot)
+        by_value[cand.tuple.second] += cand.count;
+
+    ranked.reserve(by_value.size());
+    for (const auto &[value, weight] : by_value)
+        ranked.push_back({value, weight});
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.value < b.value;
+              });
+    if (ranked.size() > maxValues)
+        ranked.resize(maxValues);
+}
+
+bool
+FrequentValueSet::contains(uint64_t value) const
+{
+    for (const auto &entry : ranked) {
+        if (entry.value == value)
+            return true;
+    }
+    return false;
+}
+
+double
+FrequentValueSet::coverage(const std::vector<uint64_t> &values) const
+{
+    if (values.empty())
+        return 0.0;
+    uint64_t hits = 0;
+    for (uint64_t v : values)
+        hits += contains(v) ? 1 : 0;
+    return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+} // namespace mhp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Frequent-value set extraction (paper Section 2, "Value based
+ * optimizations").
+ *
+ * Zhang et al. found ~10 distinct values dominating about half of all
+ * memory accesses and built a compressed (frequent-value) data cache
+ * around them, but "do not detail how those values can be captured
+ * dynamically". This module closes the loop: it turns a profiler's
+ * interval snapshot of <loadPC, value> candidates into the value set a
+ * frequent-value cache would latch for the next interval.
+ */
+
+#ifndef MHP_OPT_FREQUENT_VALUE_SET_H
+#define MHP_OPT_FREQUENT_VALUE_SET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.h"
+
+namespace mhp {
+
+/** A ranked set of frequent values with their profiled weights. */
+class FrequentValueSet
+{
+  public:
+    /** One frequent value and its total profiled occurrence count. */
+    struct Entry
+    {
+        uint64_t value = 0;
+        uint64_t weight = 0;
+    };
+
+    FrequentValueSet() = default;
+
+    /**
+     * Build from a value-profiling snapshot: candidate counts are
+     * aggregated by value (several load PCs can share a frequent
+     * value) and the top maxValues kept.
+     */
+    FrequentValueSet(const IntervalSnapshot &snapshot, size_t maxValues);
+
+    /** True if the value is in the set. */
+    bool contains(uint64_t value) const;
+
+    /** Ranked entries, heaviest first. */
+    const std::vector<Entry> &entries() const { return ranked; }
+
+    size_t size() const { return ranked.size(); }
+    bool empty() const { return ranked.empty(); }
+
+    /**
+     * Fraction of a stream of values covered by this set (the
+     * compression opportunity a frequent-value cache would see).
+     */
+    double coverage(const std::vector<uint64_t> &values) const;
+
+  private:
+    std::vector<Entry> ranked;
+};
+
+} // namespace mhp
+
+#endif // MHP_OPT_FREQUENT_VALUE_SET_H

@@ -1,0 +1,78 @@
+#include "opt/multipath_selector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+MultipathSelector::MultipathSelector(const MultipathConfig &config_)
+    : config(config_)
+{
+    MHP_REQUIRE(config.maxBranches >= 1, "need a branch budget");
+    MHP_REQUIRE(config.maxBias > 0.0 && config.maxBias <= 1.0,
+                "maxBias must be a fraction");
+}
+
+std::vector<MultipathChoice>
+MultipathSelector::fromEdgeProfile(const IntervalSnapshot &hotEdges) const
+{
+    struct BranchAgg
+    {
+        uint64_t total = 0;
+        uint64_t maxEdge = 0;
+    };
+    std::unordered_map<uint64_t, BranchAgg> branches;
+    for (const auto &edge : hotEdges) {
+        BranchAgg &agg = branches[edge.tuple.first];
+        agg.total += edge.count;
+        agg.maxEdge = std::max(agg.maxEdge, edge.count);
+    }
+
+    std::vector<MultipathChoice> chosen;
+    for (const auto &[pc, agg] : branches) {
+        if (agg.total < config.minExecutions)
+            continue;
+        const double bias = static_cast<double>(agg.maxEdge) /
+                            static_cast<double>(agg.total);
+        if (bias > config.maxBias)
+            continue; // predictable enough; not worth forking
+        chosen.push_back({pc, agg.total, bias});
+    }
+    // Most-executed, least-biased first.
+    std::sort(chosen.begin(), chosen.end(),
+              [](const MultipathChoice &a, const MultipathChoice &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.bias < b.bias;
+              });
+    if (chosen.size() > config.maxBranches)
+        chosen.resize(config.maxBranches);
+    return chosen;
+}
+
+std::vector<MultipathChoice>
+MultipathSelector::fromMispredictProfile(
+        const IntervalSnapshot &hotMispredicts) const
+{
+    std::unordered_map<uint64_t, uint64_t> by_branch;
+    for (const auto &cand : hotMispredicts)
+        by_branch[cand.tuple.first] += cand.count;
+
+    std::vector<MultipathChoice> chosen;
+    chosen.reserve(by_branch.size());
+    for (const auto &[pc, weight] : by_branch)
+        chosen.push_back({pc, weight, 0.0});
+    std::sort(chosen.begin(), chosen.end(),
+              [](const MultipathChoice &a, const MultipathChoice &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.branchPc < b.branchPc;
+              });
+    if (chosen.size() > config.maxBranches)
+        chosen.resize(config.maxBranches);
+    return chosen;
+}
+
+} // namespace mhp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Branch selection for Multiple Path Execution (paper Section 2).
+ *
+ * Multipath execution eliminates misprediction stalls by forking down
+ * both paths of a branch — but it costs execution resources, so it
+ * "should not be done on all branches, only those that are known to be
+ * problematic". This module identifies those branches from profiler
+ * snapshots in either of two ways:
+ *
+ *  - from EDGE profiles: a branch whose two captured edges are both
+ *    hot and nearly balanced has low bias, i.e. it is hard for a
+ *    history-free predictor;
+ *  - from MISPREDICT profiles (<branchPC, target> tuples emitted on
+ *    actual mispredictions): any captured candidate is, by
+ *    construction, a frequent mispredictor.
+ */
+
+#ifndef MHP_OPT_MULTIPATH_SELECTOR_H
+#define MHP_OPT_MULTIPATH_SELECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.h"
+
+namespace mhp {
+
+/** One branch selected for multipath execution. */
+struct MultipathChoice
+{
+    uint64_t branchPc = 0;
+
+    /** Executions (edge mode) or mispredictions (mispredict mode). */
+    uint64_t weight = 0;
+
+    /** max(edge)/total in edge mode; 0 in mispredict mode. */
+    double bias = 0.0;
+};
+
+/** Tuning knobs. */
+struct MultipathConfig
+{
+    /** Maximum branches forked simultaneously (resource budget). */
+    unsigned maxBranches = 8;
+
+    /** Edge mode: select only branches with bias below this. */
+    double maxBias = 0.75;
+
+    /** Edge mode: ignore branches executed fewer times than this. */
+    uint64_t minExecutions = 1;
+};
+
+/** Profile-driven multipath branch selector. */
+class MultipathSelector
+{
+  public:
+    explicit MultipathSelector(const MultipathConfig &config = {});
+
+    /**
+     * Select from an edge-profiling snapshot: group candidate edges by
+     * branch PC, compute each branch's bias, keep the least-biased
+     * frequent branches.
+     */
+    std::vector<MultipathChoice>
+    fromEdgeProfile(const IntervalSnapshot &hotEdges) const;
+
+    /**
+     * Select from a misprediction-profiling snapshot: the heaviest
+     * mispredicting branches, aggregated over their targets.
+     */
+    std::vector<MultipathChoice>
+    fromMispredictProfile(const IntervalSnapshot &hotMispredicts) const;
+
+  private:
+    MultipathConfig config;
+};
+
+} // namespace mhp
+
+#endif // MHP_OPT_MULTIPATH_SELECTOR_H

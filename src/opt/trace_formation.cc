@@ -1,0 +1,101 @@
+#include "opt/trace_formation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+TraceFormationEngine::TraceFormationEngine(
+        const TraceFormationConfig &config_)
+    : config(config_)
+{
+    MHP_REQUIRE(config.maxTraceLength >= 1, "traces need length");
+    MHP_REQUIRE(config.maxTraces >= 1, "need at least one trace");
+    MHP_REQUIRE(config.minRelativeWeight >= 0.0 &&
+                    config.minRelativeWeight <= 1.0,
+                "minRelativeWeight must be a fraction");
+}
+
+std::vector<Trace>
+TraceFormationEngine::form(const IntervalSnapshot &hotEdges) const
+{
+    // Index edges by source PC, hottest first per source.
+    std::unordered_map<uint64_t, std::vector<size_t>> by_source;
+    for (size_t i = 0; i < hotEdges.size(); ++i)
+        by_source[hotEdges[i].tuple.first].push_back(i);
+    for (auto &[pc, indices] : by_source) {
+        std::sort(indices.begin(), indices.end(),
+                  [&](size_t a, size_t b) {
+                      return hotEdges[a].count > hotEdges[b].count;
+                  });
+    }
+
+    std::vector<bool> used(hotEdges.size(), false);
+    std::vector<Trace> traces;
+
+    // Seeds are taken in snapshot order, which is hottest-first.
+    for (size_t seed = 0; seed < hotEdges.size(); ++seed) {
+        if (used[seed])
+            continue;
+        if (traces.size() >= config.maxTraces)
+            break;
+
+        Trace trace;
+        const uint64_t head_count = hotEdges[seed].count;
+        size_t current = seed;
+        std::unordered_set<uint64_t> visited_pcs;
+
+        while (trace.edges.size() < config.maxTraceLength) {
+            if (used[current])
+                break;
+            const CandidateCount &edge = hotEdges[current];
+            if (static_cast<double>(edge.count) <
+                config.minRelativeWeight *
+                    static_cast<double>(head_count))
+                break;
+            if (!visited_pcs.insert(edge.tuple.first).second)
+                break; // loop closed; stop the straight-line trace
+            used[current] = true;
+            trace.edges.push_back(edge);
+            trace.weight += edge.count;
+
+            // Follow the hottest unused edge out of the target.
+            const auto it = by_source.find(edge.tuple.second);
+            if (it == by_source.end())
+                break;
+            bool advanced = false;
+            for (size_t idx : it->second) {
+                if (!used[idx]) {
+                    current = idx;
+                    advanced = true;
+                    break;
+                }
+            }
+            if (!advanced)
+                break;
+        }
+        if (!trace.edges.empty())
+            traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+double
+TraceFormationEngine::coverage(const std::vector<Trace> &traces,
+                               const IntervalSnapshot &hotEdges)
+{
+    uint64_t total = 0;
+    for (const auto &edge : hotEdges)
+        total += edge.count;
+    if (total == 0)
+        return 0.0;
+    uint64_t covered = 0;
+    for (const auto &trace : traces)
+        covered += trace.weight;
+    return static_cast<double>(covered) / static_cast<double>(total);
+}
+
+} // namespace mhp

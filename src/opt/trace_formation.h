@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace formation from hot edges (paper Section 2, "Trace
+ * Formation").
+ *
+ * A trace cache / code-relayout engine (Rotenberg et al., Merten et
+ * al.) needs the hot control-flow paths. Given a profiler's interval
+ * snapshot of <branchPC, targetPC> candidates, this module greedily
+ * chains each unvisited hot edge through the hottest captured
+ * successor of its target, producing weighted straight-line traces and
+ * a coverage metric (how much of the profiled edge mass the traces
+ * absorb).
+ */
+
+#ifndef MHP_OPT_TRACE_FORMATION_H
+#define MHP_OPT_TRACE_FORMATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.h"
+
+namespace mhp {
+
+/** One formed trace: a chain of edges with an aggregate weight. */
+struct Trace
+{
+    /** The chained edges, in control-flow order. */
+    std::vector<CandidateCount> edges;
+
+    /** Sum of the edge counts. */
+    uint64_t weight = 0;
+
+    /** The trace's entry PC. */
+    uint64_t entryPc() const
+    {
+        return edges.empty() ? 0 : edges.front().tuple.first;
+    }
+};
+
+/** Tuning knobs for trace formation. */
+struct TraceFormationConfig
+{
+    /** Maximum edges chained into one trace. */
+    unsigned maxTraceLength = 16;
+
+    /** Maximum traces formed per interval. */
+    unsigned maxTraces = 8;
+
+    /**
+     * Stop extending a trace when the next edge's count falls below
+     * this fraction of the trace head's count (avoids diluting hot
+     * traces with lukewarm tails).
+     */
+    double minRelativeWeight = 0.05;
+};
+
+/** Greedy hottest-successor trace builder. */
+class TraceFormationEngine
+{
+  public:
+    explicit TraceFormationEngine(
+        const TraceFormationConfig &config = {});
+
+    /**
+     * Form traces from one interval's hot-edge snapshot.
+     * Each captured edge joins at most one trace.
+     */
+    std::vector<Trace> form(const IntervalSnapshot &hotEdges) const;
+
+    /**
+     * Fraction of the snapshot's total edge mass covered by the given
+     * traces (quality metric for the layout).
+     */
+    static double coverage(const std::vector<Trace> &traces,
+                           const IntervalSnapshot &hotEdges);
+
+  private:
+    TraceFormationConfig config;
+};
+
+} // namespace mhp
+
+#endif // MHP_OPT_TRACE_FORMATION_H

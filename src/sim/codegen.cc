@@ -1,0 +1,155 @@
+#include "sim/codegen.h"
+
+#include <string>
+#include <vector>
+
+#include "support/panic.h"
+#include "support/rng.h"
+#include "support/zipf.h"
+
+namespace mhp {
+
+namespace {
+
+// Register conventions for generated code (see isa.h for r0/r31).
+constexpr unsigned rScratchA = 1;  // loop counter
+constexpr unsigned rScratchB = 2;  // index computation
+constexpr unsigned rScratchC = 3;  // loaded value
+constexpr unsigned rScratchD = 4;  // comparison constant
+constexpr unsigned rBase = 5;      // array base
+constexpr unsigned rLimit = 6;     // loop bound
+constexpr unsigned rScratchE = 7;  // dispatch target computation
+constexpr unsigned rScratchF = 8;  // dispatch base address
+constexpr unsigned rGlobal = 20;   // main-loop iteration counter
+
+} // namespace
+
+Program
+generateProgram(const CodegenConfig &config)
+{
+    MHP_REQUIRE(config.numFunctions >= 1, "need at least one function");
+    MHP_REQUIRE(config.numArrays >= 1, "need at least one array");
+    MHP_REQUIRE(config.arrayLen >= 2, "arrays need at least two words");
+    MHP_REQUIRE(config.valuesPerArray >= 1, "need at least one value");
+    MHP_REQUIRE(config.minTrip >= 1 && config.minTrip <= config.maxTrip,
+                "bad trip-count range");
+    MHP_REQUIRE(config.loadsPerLoop >= 1 && config.loadsPerLoop <= 4,
+                "loadsPerLoop out of range");
+
+    Rng rng(config.seed);
+    ProgramBuilder b;
+
+    // --- Data segment: arrays with frequent-value contents. ---------
+    std::vector<uint64_t> data(config.numArrays * config.arrayLen);
+    ZipfDistribution valuePick(config.valuesPerArray, config.valueSkew);
+    for (unsigned a = 0; a < config.numArrays; ++a) {
+        // Each array draws from its own small value set; values are
+        // small-integer-biased like real program data.
+        std::vector<uint64_t> values(config.valuesPerArray);
+        for (auto &v : values) {
+            v = rng.nextBool(0.5) ? rng.nextBelow(256)
+                                  : (rng.next() >> 16);
+        }
+        for (uint64_t i = 0; i < config.arrayLen; ++i)
+            data[a * config.arrayLen + i] = values[valuePick.sample(rng)];
+    }
+    b.setData(std::move(data));
+
+    // --- Entry: jump over the functions to main. --------------------
+    b.jmp("main");
+
+    // --- Leaf functions. ---------------------------------------------
+    for (unsigned f = 0; f < config.numFunctions; ++f) {
+        const std::string fn = "func" + std::to_string(f);
+        const std::string loop = fn + "_loop";
+        const std::string done = fn + "_done";
+        b.label(fn);
+
+        const unsigned array = rng.nextBelow(config.numArrays);
+        const uint64_t base =
+            static_cast<uint64_t>(array) * config.arrayLen;
+        const unsigned trip =
+            config.minTrip +
+            rng.nextBelow(config.maxTrip - config.minTrip + 1);
+        const unsigned stride = 1 + rng.nextBelow(7);
+
+        b.loadImm(rScratchA, 0);
+        b.loadImm(rLimit, trip);
+        b.loadImm(rBase, static_cast<int64_t>(base));
+        b.label(loop);
+
+        // Index = (counter * stride + globalCounter) % arrayLen via
+        // masking when arrayLen is a power of two, else a cheap mix.
+        b.loadImm(rScratchB, stride);
+        b.mul(rScratchB, rScratchA, rScratchB);
+        b.add(rScratchB, rScratchB, rGlobal);
+        // Keep the index inside the array (memory also wraps, but a
+        // bounded index makes locality deliberate, not accidental).
+        b.loadImm(rScratchD,
+                  static_cast<int64_t>(config.arrayLen - 1));
+        b.emit({Opcode::And, rScratchB, rScratchB, rScratchD, 0});
+        b.add(rScratchB, rScratchB, rBase);
+
+        for (unsigned l = 0; l < config.loadsPerLoop; ++l) {
+            const int64_t offset = static_cast<int64_t>(
+                rng.nextBelow(config.arrayLen / 2));
+            b.load(rScratchC, rScratchB, offset);
+            if (l == 0 && rng.nextBool(config.ifProbability)) {
+                // Data-dependent if: bias comes from the skewed array
+                // contents.
+                const std::string skip =
+                    fn + "_skip" + std::to_string(f * 8 + l);
+                b.loadImm(rScratchD, static_cast<int64_t>(
+                                         rng.nextBelow(256)));
+                b.blt(rScratchC, rScratchD, skip);
+                b.xorReg(rScratchC, rScratchC, rGlobal);
+                b.addImm(rScratchC, rScratchC, 3);
+                b.label(skip);
+            }
+        }
+
+        // Occasionally write back, so stores exist in the mix.
+        if (rng.nextBool(0.4))
+            b.store(rScratchC, rScratchB, 0);
+
+        // Computed 4-way dispatch on the loaded value (a switch):
+        // each case is a fixed-size 2-instruction stub, so the target
+        // is disp_base + (value & 3) * 2. Indirect jumps emit edge
+        // events with up to 4 distinct targets from one pc.
+        if (rng.nextBool(config.switchProbability)) {
+            const std::string disp = fn + "_disp";
+            const std::string join = fn + "_join";
+            b.loadImm(rScratchD, 3);
+            b.emit({Opcode::And, rScratchE, rScratchC, rScratchD, 0});
+            b.add(rScratchE, rScratchE, rScratchE); // *2 (stub size)
+            b.loadLabel(rScratchF, disp);
+            b.add(rScratchE, rScratchE, rScratchF);
+            b.jmpReg(rScratchE);
+            b.label(disp);
+            for (int c = 0; c < 4; ++c) {
+                b.addImm(rScratchC, rScratchC, c + 1);
+                b.jmp(join);
+            }
+            b.label(join);
+        }
+
+        b.addImm(rScratchA, rScratchA, 1);
+        b.blt(rScratchA, rLimit, loop); // mostly-taken back edge
+        b.label(done);
+        b.ret();
+    }
+
+    // --- Main: cycle through every function forever. ----------------
+    b.label("main");
+    b.loadImm(rGlobal, 1);
+    b.label("main_loop");
+    for (unsigned f = 0; f < config.numFunctions; ++f)
+        b.call("func" + std::to_string(f));
+    b.addImm(rGlobal, rGlobal, 7);
+    b.jmp("main_loop");
+
+    b.setEntry("main");
+    return b.build();
+}
+
+} // namespace mhp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Random structured program generation for the mini-CPU.
+ *
+ * Generates programs that look like the paper's workloads from the
+ * profiler's point of view: functions containing loops whose loads hit
+ * arrays with skewed (frequent-value) contents and whose branches have
+ * per-site bias. The main routine cycles through the functions forever
+ * so a machine can be run for any number of instructions.
+ *
+ * Everything is a pure function of the config (including the seed), so
+ * generated programs are reproducible.
+ */
+
+#ifndef MHP_SIM_CODEGEN_H
+#define MHP_SIM_CODEGEN_H
+
+#include <cstdint>
+
+#include "sim/program.h"
+
+namespace mhp {
+
+/** Shape parameters of a generated program. */
+struct CodegenConfig
+{
+    uint64_t seed = 42;
+
+    /** Number of generated leaf functions. */
+    unsigned numFunctions = 12;
+
+    /** Number of data arrays in the initial image. */
+    unsigned numArrays = 8;
+
+    /** Words per data array. */
+    uint64_t arrayLen = 1024;
+
+    /**
+     * Distinct values a single array's cells are drawn from; small
+     * numbers give strong value locality (Zhang et al. observe ~10
+     * values dominating 50% of accesses).
+     */
+    unsigned valuesPerArray = 12;
+
+    /** Zipf skew of the per-array value distribution. */
+    double valueSkew = 1.2;
+
+    /** Loop trip counts are drawn from [minTrip, maxTrip]. */
+    unsigned minTrip = 4;
+    unsigned maxTrip = 48;
+
+    /** Loads emitted per loop body, [1, 4]. */
+    unsigned loadsPerLoop = 2;
+
+    /** Probability a loop body includes a data-dependent if. */
+    double ifProbability = 0.6;
+
+    /**
+     * Probability a function ends its loop body with a 4-way computed
+     * dispatch (switch on the loaded value via an indirect jump) —
+     * the source of multi-target edge-profiling tuples.
+     */
+    double switchProbability = 0.3;
+};
+
+/** Generate a program from the config. */
+Program generateProgram(const CodegenConfig &config);
+
+} // namespace mhp
+
+#endif // MHP_SIM_CODEGEN_H

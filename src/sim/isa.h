@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The toy RISC ISA executed by the mini-CPU simulator.
+ *
+ * The simulator plays the role ATOM + an Alpha played for the paper:
+ * a real instruction stream whose loads and branches are instrumented
+ * into profiling tuples. The ISA is deliberately small — enough to
+ * express loops, calls, loads with value locality, and biased
+ * branches — because the profiler only ever sees the event stream.
+ *
+ * Conventions:
+ *  - 32 general-purpose 64-bit registers; r0 reads as zero.
+ *  - r31 is the link register written by CALL.
+ *  - Memory is a flat array of 64-bit words addressed by word index.
+ *  - Branch/jump targets are absolute instruction indices.
+ */
+
+#ifndef MHP_SIM_ISA_H
+#define MHP_SIM_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace mhp {
+
+/** Number of architectural registers. */
+constexpr unsigned kNumRegs = 32;
+
+/** The link register used by CALL/RET. */
+constexpr unsigned kLinkReg = 31;
+
+/** Operation codes of the toy ISA. */
+enum class Opcode : uint8_t
+{
+    Nop,
+    Halt,
+    LoadImm, ///< rd = imm
+    Add,     ///< rd = rs1 + rs2
+    AddImm,  ///< rd = rs1 + imm
+    Sub,     ///< rd = rs1 - rs2
+    Mul,     ///< rd = rs1 * rs2
+    And,     ///< rd = rs1 & rs2
+    Or,      ///< rd = rs1 | rs2
+    Xor,     ///< rd = rs1 ^ rs2
+    ShrImm,  ///< rd = rs1 >> imm
+    Load,    ///< rd = mem[rs1 + imm]        (emits a load-value event)
+    Store,   ///< mem[rs1 + imm] = rs2
+    Beq,     ///< if (rs1 == rs2) pc = imm   (emits an edge event)
+    Bne,     ///< if (rs1 != rs2) pc = imm   (emits an edge event)
+    Blt,     ///< if (rs1 <  rs2) pc = imm   (emits an edge event)
+    Jmp,     ///< pc = imm
+    JmpReg,  ///< pc = rs1 (indirect; emits an edge event)
+    Call,    ///< r31 = pc + 1; pc = imm
+    Ret,     ///< pc = r31
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+
+    /** Disassemble for debugging. */
+    std::string toString() const;
+};
+
+/** True for the three conditional-branch opcodes. */
+constexpr bool
+isConditionalBranch(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt;
+}
+
+/** True for opcodes that report an edge event (profiled transfers). */
+constexpr bool
+emitsEdgeEvent(Opcode op)
+{
+    return isConditionalBranch(op) || op == Opcode::JmpReg;
+}
+
+} // namespace mhp
+
+#endif // MHP_SIM_ISA_H

@@ -1,0 +1,177 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+Machine::Machine(Program program_, uint64_t memoryWords_)
+    : program(std::move(program_)), memoryWords(memoryWords_)
+{
+    MHP_REQUIRE(!program.code.empty(), "empty program");
+    MHP_REQUIRE(program.dataInit.size() <= memoryWords,
+                "data image exceeds memory");
+    MHP_REQUIRE(program.entry < program.code.size(),
+                "entry point out of range");
+    reset();
+}
+
+void
+Machine::reset()
+{
+    regs.fill(0);
+    memory.assign(memoryWords, 0);
+    std::copy(program.dataInit.begin(), program.dataInit.end(),
+              memory.begin());
+    pcIndex = program.entry;
+    executed = 0;
+    isHalted = false;
+}
+
+void
+Machine::setReg(unsigned r, uint64_t v)
+{
+    MHP_ASSERT(r < kNumRegs, "register out of range");
+    if (r != 0)
+        regs[r] = v;
+}
+
+uint64_t
+Machine::memIndex(uint64_t addr) const
+{
+    // Wrap rather than fault: generated programs may compute indices
+    // modulo a table size, and a hardware profiler must tolerate any
+    // address stream anyway.
+    return addr % memory.size();
+}
+
+uint64_t
+Machine::memWord(uint64_t addr) const
+{
+    return memory[memIndex(addr)];
+}
+
+void
+Machine::setMemWord(uint64_t addr, uint64_t v)
+{
+    memory[memIndex(addr)] = v;
+}
+
+bool
+Machine::step()
+{
+    if (isHalted)
+        return false;
+    MHP_ASSERT(pcIndex < program.code.size(), "pc out of range");
+
+    const Instruction &inst = program.code[pcIndex];
+    const uint64_t cur = pcIndex;
+    uint64_t next = pcIndex + 1;
+    const uint64_t a = regs[inst.rs1];
+    const uint64_t b = regs[inst.rs2];
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        isHalted = true;
+        ++executed;
+        return false;
+      case Opcode::LoadImm:
+        setReg(inst.rd, static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::Add:
+        setReg(inst.rd, a + b);
+        break;
+      case Opcode::AddImm:
+        setReg(inst.rd, a + static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::Sub:
+        setReg(inst.rd, a - b);
+        break;
+      case Opcode::Mul:
+        setReg(inst.rd, a * b);
+        break;
+      case Opcode::And:
+        setReg(inst.rd, a & b);
+        break;
+      case Opcode::Or:
+        setReg(inst.rd, a | b);
+        break;
+      case Opcode::Xor:
+        setReg(inst.rd, a ^ b);
+        break;
+      case Opcode::ShrImm:
+        setReg(inst.rd, a >> (inst.imm & 63));
+        break;
+      case Opcode::Load: {
+        const uint64_t addr = a + static_cast<uint64_t>(inst.imm);
+        const uint64_t value = memWord(addr);
+        setReg(inst.rd, value);
+        if (onLoad)
+            onLoad(pcAddress(cur), value);
+        if (onMem)
+            onMem(pcAddress(cur), memIndex(addr) * 8, false);
+        break;
+      }
+      case Opcode::Store: {
+        const uint64_t addr = a + static_cast<uint64_t>(inst.imm);
+        setMemWord(addr, b);
+        if (onMem)
+            onMem(pcAddress(cur), memIndex(addr) * 8, true);
+        break;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt: {
+        bool taken = false;
+        if (inst.op == Opcode::Beq)
+            taken = a == b;
+        else if (inst.op == Opcode::Bne)
+            taken = a != b;
+        else
+            taken = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+        if (taken)
+            next = static_cast<uint64_t>(inst.imm);
+        if (onEdge)
+            onEdge(pcAddress(cur), pcAddress(next));
+        break;
+      }
+      case Opcode::Jmp:
+        next = static_cast<uint64_t>(inst.imm);
+        break;
+      case Opcode::JmpReg:
+        // Indirect jump (switch dispatch, virtual call): the actual
+        // target is data-dependent, so it IS an edge-profiling event.
+        next = a;
+        if (onEdge)
+            onEdge(pcAddress(cur), pcAddress(next));
+        break;
+      case Opcode::Call:
+        setReg(kLinkReg, pcIndex + 1);
+        next = static_cast<uint64_t>(inst.imm);
+        break;
+      case Opcode::Ret:
+        next = regs[kLinkReg];
+        break;
+    }
+
+    MHP_ASSERT(next < program.code.size(), "control transfer out of range");
+    pcIndex = next;
+    ++executed;
+    return true;
+}
+
+uint64_t
+Machine::run(uint64_t maxSteps)
+{
+    const uint64_t before = executed;
+    for (uint64_t i = 0; i < maxSteps; ++i) {
+        if (!step())
+            break; // the Halt itself still counted via `executed`
+    }
+    return executed - before;
+}
+
+} // namespace mhp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The mini-CPU interpreter with ATOM-style instrumentation hooks.
+ *
+ * The machine executes a Program one instruction at a time. Two hook
+ * points mirror the instrumentation the paper's methodology used:
+ *
+ *  - every Load fires onLoad(pcAddress, loadedValue) — the raw
+ *    material of value profiling;
+ *  - every conditional branch fires onEdge(pcAddress, targetAddress)
+ *    with the *actual* control-flow target — edge profiling.
+ *
+ * Instruction indices are presented to the hooks as byte addresses
+ * (index * 4 + code base) so the tuples look like real PCs.
+ */
+
+#ifndef MHP_SIM_MACHINE_H
+#define MHP_SIM_MACHINE_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/program.h"
+
+namespace mhp {
+
+/** Base byte address the code segment is presented at. */
+constexpr uint64_t kCodeBase = 0x0000000140000000ULL;
+
+/** Sequential interpreter for the toy ISA. */
+class Machine
+{
+  public:
+    using LoadHook = std::function<void(uint64_t pc, uint64_t value)>;
+    using EdgeHook = std::function<void(uint64_t pc, uint64_t target)>;
+    /** Fires on every load/store with the BYTE address touched. */
+    using MemHook =
+        std::function<void(uint64_t pc, uint64_t byteAddr, bool store)>;
+
+    /**
+     * @param program The executable (copied in).
+     * @param memoryWords Memory size; must cover program.dataInit.
+     */
+    explicit Machine(Program program, uint64_t memoryWords = 1 << 20);
+
+    /** Install instrumentation (pass nullptr to remove). */
+    void setLoadHook(LoadHook hook) { onLoad = std::move(hook); }
+    void setEdgeHook(EdgeHook hook) { onEdge = std::move(hook); }
+    void setMemHook(MemHook hook) { onMem = std::move(hook); }
+
+    /**
+     * Execute one instruction.
+     * @return false once halted (further calls remain halted).
+     */
+    bool step();
+
+    /**
+     * Execute up to maxSteps instructions.
+     * @return instructions actually executed (less only if halted).
+     */
+    uint64_t run(uint64_t maxSteps);
+
+    bool halted() const { return isHalted; }
+    uint64_t pc() const { return pcIndex; }
+    uint64_t instructionsExecuted() const { return executed; }
+
+    uint64_t reg(unsigned r) const { return regs[r]; }
+    void setReg(unsigned r, uint64_t v);
+
+    uint64_t memWord(uint64_t addr) const;
+    void setMemWord(uint64_t addr, uint64_t v);
+    uint64_t memorySize() const { return memory.size(); }
+
+    /** Byte address shown to hooks for an instruction index. */
+    static uint64_t
+    pcAddress(uint64_t index)
+    {
+        return kCodeBase + index * 4;
+    }
+
+    /** Restart at the entry point with a fresh memory image. */
+    void reset();
+
+  private:
+    uint64_t memIndex(uint64_t addr) const;
+
+    Program program;
+    std::array<uint64_t, kNumRegs> regs{};
+    std::vector<uint64_t> memory;
+    uint64_t memoryWords;
+    uint64_t pcIndex = 0;
+    uint64_t executed = 0;
+    bool isHalted = false;
+
+    LoadHook onLoad;
+    EdgeHook onEdge;
+    MemHook onMem;
+};
+
+} // namespace mhp
+
+#endif // MHP_SIM_MACHINE_H

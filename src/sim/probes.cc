@@ -1,0 +1,75 @@
+#include "sim/probes.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+ValueProbe::ValueProbe(Machine &machine_) : machine(machine_)
+{
+    machine.setLoadHook([this](uint64_t pc, uint64_t value) {
+        pending = Tuple{pc, value};
+    });
+}
+
+ValueProbe::~ValueProbe()
+{
+    machine.setLoadHook(nullptr);
+}
+
+bool
+ValueProbe::done() const
+{
+    // Look ahead: run the machine until it either produces a load or
+    // halts. The hook writes into `pending`, which next() consumes.
+    auto *self = const_cast<ValueProbe *>(this);
+    while (!self->pending.has_value()) {
+        if (!self->machine.step())
+            return true;
+    }
+    return false;
+}
+
+Tuple
+ValueProbe::next()
+{
+    const bool dry = done(); // fills `pending` if possible
+    MHP_ASSERT(!dry, "next() on a halted machine");
+    const Tuple t = *pending;
+    pending.reset();
+    return t;
+}
+
+EdgeProbe::EdgeProbe(Machine &machine_) : machine(machine_)
+{
+    machine.setEdgeHook([this](uint64_t pc, uint64_t target) {
+        pending = Tuple{pc, target};
+    });
+}
+
+EdgeProbe::~EdgeProbe()
+{
+    machine.setEdgeHook(nullptr);
+}
+
+bool
+EdgeProbe::done() const
+{
+    auto *self = const_cast<EdgeProbe *>(this);
+    while (!self->pending.has_value()) {
+        if (!self->machine.step())
+            return true;
+    }
+    return false;
+}
+
+Tuple
+EdgeProbe::next()
+{
+    const bool dry = done();
+    MHP_ASSERT(!dry, "next() on a halted machine");
+    const Tuple t = *pending;
+    pending.reset();
+    return t;
+}
+
+} // namespace mhp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Adapters turning the machine's instrumentation hooks into
+ * EventSources the profilers can consume.
+ *
+ * A probe pulls tuples: each next() steps the machine until the
+ * instruction stream produces the requested kind of event (a load for
+ * value profiling, a conditional branch for edge profiling) or the
+ * machine halts.
+ */
+
+#ifndef MHP_SIM_PROBES_H
+#define MHP_SIM_PROBES_H
+
+#include <optional>
+#include <string>
+
+#include "sim/machine.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** EventSource of <loadPC, value> tuples from a running machine. */
+class ValueProbe : public EventSource
+{
+  public:
+    /** @param machine The machine to drive (not owned). */
+    explicit ValueProbe(Machine &machine);
+    ~ValueProbe() override;
+
+    Tuple next() override;
+    bool done() const override;
+    ProfileKind kind() const override { return ProfileKind::Value; }
+    std::string name() const override { return "sim-values"; }
+
+  private:
+    Machine &machine;
+    std::optional<Tuple> pending;
+};
+
+/** EventSource of <branchPC, targetPC> tuples from a running machine. */
+class EdgeProbe : public EventSource
+{
+  public:
+    /** @param machine The machine to drive (not owned). */
+    explicit EdgeProbe(Machine &machine);
+    ~EdgeProbe() override;
+
+    Tuple next() override;
+    bool done() const override;
+    ProfileKind kind() const override { return ProfileKind::Edge; }
+    std::string name() const override { return "sim-edges"; }
+
+  private:
+    Machine &machine;
+    std::optional<Tuple> pending;
+};
+
+} // namespace mhp
+
+#endif // MHP_SIM_PROBES_H

@@ -1,0 +1,241 @@
+#include "sim/program.h"
+
+#include <cstdio>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      case Opcode::LoadImm: return "li";
+      case Opcode::Add: return "add";
+      case Opcode::AddImm: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::ShrImm: return "shri";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::JmpReg: return "jmpr";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%-5s rd=%u rs1=%u rs2=%u imm=%lld",
+                  opcodeName(op), rd, rs1, rs2,
+                  static_cast<long long>(imm));
+    return buf;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::string out;
+    char line[128];
+    for (size_t i = 0; i < code.size(); ++i) {
+        std::snprintf(line, sizeof(line), "%5zu: %s\n", i,
+                      code[i].toString().c_str());
+        out += line;
+    }
+    return out;
+}
+
+uint64_t
+ProgramBuilder::emit(Instruction inst)
+{
+    code.push_back(inst);
+    return code.size() - 1;
+}
+
+uint64_t
+ProgramBuilder::loadImm(unsigned rd, int64_t imm)
+{
+    return emit({Opcode::LoadImm, static_cast<uint8_t>(rd), 0, 0, imm});
+}
+
+uint64_t
+ProgramBuilder::add(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return emit({Opcode::Add, static_cast<uint8_t>(rd),
+                 static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), 0});
+}
+
+uint64_t
+ProgramBuilder::addImm(unsigned rd, unsigned rs1, int64_t imm)
+{
+    return emit({Opcode::AddImm, static_cast<uint8_t>(rd),
+                 static_cast<uint8_t>(rs1), 0, imm});
+}
+
+uint64_t
+ProgramBuilder::sub(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return emit({Opcode::Sub, static_cast<uint8_t>(rd),
+                 static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), 0});
+}
+
+uint64_t
+ProgramBuilder::mul(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return emit({Opcode::Mul, static_cast<uint8_t>(rd),
+                 static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), 0});
+}
+
+uint64_t
+ProgramBuilder::xorReg(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return emit({Opcode::Xor, static_cast<uint8_t>(rd),
+                 static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), 0});
+}
+
+uint64_t
+ProgramBuilder::shrImm(unsigned rd, unsigned rs1, int64_t imm)
+{
+    return emit({Opcode::ShrImm, static_cast<uint8_t>(rd),
+                 static_cast<uint8_t>(rs1), 0, imm});
+}
+
+uint64_t
+ProgramBuilder::load(unsigned rd, unsigned rs1, int64_t offset)
+{
+    return emit({Opcode::Load, static_cast<uint8_t>(rd),
+                 static_cast<uint8_t>(rs1), 0, offset});
+}
+
+uint64_t
+ProgramBuilder::store(unsigned rs2, unsigned rs1, int64_t offset)
+{
+    return emit({Opcode::Store, 0, static_cast<uint8_t>(rs1),
+                 static_cast<uint8_t>(rs2), offset});
+}
+
+uint64_t
+ProgramBuilder::nop()
+{
+    return emit({Opcode::Nop, 0, 0, 0, 0});
+}
+
+uint64_t
+ProgramBuilder::halt()
+{
+    return emit({Opcode::Halt, 0, 0, 0, 0});
+}
+
+uint64_t
+ProgramBuilder::emitBranch(Opcode op, unsigned rs1, unsigned rs2,
+                           const std::string &label)
+{
+    const uint64_t idx = emit({op, 0, static_cast<uint8_t>(rs1),
+                               static_cast<uint8_t>(rs2), 0});
+    fixups.emplace_back(idx, label);
+    return idx;
+}
+
+uint64_t
+ProgramBuilder::beq(unsigned rs1, unsigned rs2, const std::string &label)
+{
+    return emitBranch(Opcode::Beq, rs1, rs2, label);
+}
+
+uint64_t
+ProgramBuilder::bne(unsigned rs1, unsigned rs2, const std::string &label)
+{
+    return emitBranch(Opcode::Bne, rs1, rs2, label);
+}
+
+uint64_t
+ProgramBuilder::blt(unsigned rs1, unsigned rs2, const std::string &label)
+{
+    return emitBranch(Opcode::Blt, rs1, rs2, label);
+}
+
+uint64_t
+ProgramBuilder::jmp(const std::string &label)
+{
+    return emitBranch(Opcode::Jmp, 0, 0, label);
+}
+
+uint64_t
+ProgramBuilder::call(const std::string &label)
+{
+    return emitBranch(Opcode::Call, 0, 0, label);
+}
+
+uint64_t
+ProgramBuilder::jmpReg(unsigned rs1)
+{
+    return emit({Opcode::JmpReg, 0, static_cast<uint8_t>(rs1), 0, 0});
+}
+
+uint64_t
+ProgramBuilder::loadLabel(unsigned rd, const std::string &label)
+{
+    const uint64_t idx =
+        emit({Opcode::LoadImm, static_cast<uint8_t>(rd), 0, 0, 0});
+    fixups.emplace_back(idx, label);
+    return idx;
+}
+
+uint64_t
+ProgramBuilder::ret()
+{
+    return emit({Opcode::Ret, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    MHP_REQUIRE(labels.find(name) == labels.end(), "duplicate label");
+    labels.emplace(name, code.size());
+}
+
+void
+ProgramBuilder::setData(std::vector<uint64_t> data_)
+{
+    data = std::move(data_);
+}
+
+void
+ProgramBuilder::setEntry(const std::string &label_)
+{
+    entryLabel = label_;
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &[idx, name] : fixups) {
+        const auto it = labels.find(name);
+        MHP_REQUIRE(it != labels.end(), "dangling label reference");
+        code[idx].imm = static_cast<int64_t>(it->second);
+    }
+    Program p;
+    p.code = std::move(code);
+    p.dataInit = std::move(data);
+    if (!entryLabel.empty()) {
+        const auto it = labels.find(entryLabel);
+        MHP_REQUIRE(it != labels.end(), "unknown entry label");
+        p.entry = it->second;
+    }
+    MHP_REQUIRE(!p.code.empty(), "empty program");
+    return p;
+}
+
+} // namespace mhp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Programs for the mini-CPU: code, initial data image, and a small
+ * builder with label fix-ups.
+ */
+
+#ifndef MHP_SIM_PROGRAM_H
+#define MHP_SIM_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/isa.h"
+
+namespace mhp {
+
+/** A complete executable: code plus initial memory contents. */
+struct Program
+{
+    std::vector<Instruction> code;
+    std::vector<uint64_t> dataInit; ///< initial memory image (words)
+    uint64_t entry = 0;             ///< starting instruction index
+
+    /** Disassemble the whole program (tests and debugging). */
+    std::string disassemble() const;
+};
+
+/**
+ * Incremental program construction with named labels.
+ *
+ * Branch/jump/call targets may reference labels that are only placed
+ * later; build() resolves all fix-ups and verifies nothing dangles.
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder() = default;
+
+    /** Append an instruction; returns its index. */
+    uint64_t emit(Instruction inst);
+
+    /** Convenience emitters. */
+    uint64_t loadImm(unsigned rd, int64_t imm);
+    uint64_t add(unsigned rd, unsigned rs1, unsigned rs2);
+    uint64_t addImm(unsigned rd, unsigned rs1, int64_t imm);
+    uint64_t sub(unsigned rd, unsigned rs1, unsigned rs2);
+    uint64_t mul(unsigned rd, unsigned rs1, unsigned rs2);
+    uint64_t xorReg(unsigned rd, unsigned rs1, unsigned rs2);
+    uint64_t shrImm(unsigned rd, unsigned rs1, int64_t imm);
+    uint64_t load(unsigned rd, unsigned rs1, int64_t offset);
+    uint64_t store(unsigned rs2, unsigned rs1, int64_t offset);
+    uint64_t nop();
+    uint64_t halt();
+
+    /** Emit a control-flow instruction targeting a label. */
+    uint64_t beq(unsigned rs1, unsigned rs2, const std::string &label);
+    uint64_t bne(unsigned rs1, unsigned rs2, const std::string &label);
+    uint64_t blt(unsigned rs1, unsigned rs2, const std::string &label);
+    uint64_t jmp(const std::string &label);
+    /** Indirect jump through a register holding an instruction index. */
+    uint64_t jmpReg(unsigned rs1);
+    uint64_t call(const std::string &label);
+    uint64_t ret();
+
+    /**
+     * Emit a LoadImm of a label's address into rd (resolved at
+     * build()); used to build jump tables for jmpReg.
+     */
+    uint64_t loadLabel(unsigned rd, const std::string &label);
+
+    /** Place a label at the next instruction index. */
+    void label(const std::string &name);
+
+    /** Set the initial memory image. */
+    void setData(std::vector<uint64_t> data);
+
+    /** Set the entry point to a label (default: instruction 0). */
+    void setEntry(const std::string &label);
+
+    /** Current next-instruction index. */
+    uint64_t here() const { return code.size(); }
+
+    /** Resolve fix-ups and return the program; fatal on dangling labels. */
+    Program build();
+
+  private:
+    uint64_t emitBranch(Opcode op, unsigned rs1, unsigned rs2,
+                        const std::string &label);
+
+    std::vector<Instruction> code;
+    std::vector<uint64_t> data;
+    std::unordered_map<std::string, uint64_t> labels;
+    std::vector<std::pair<uint64_t, std::string>> fixups;
+    std::string entryLabel;
+};
+
+} // namespace mhp
+
+#endif // MHP_SIM_PROGRAM_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the library.
+ *
+ * The paper's hash function is built from byte reversal ("flip") and
+ * xor-folding; those primitives live here so they can be tested in
+ * isolation and reused by non-profiler code.
+ */
+
+#ifndef MHP_SUPPORT_BIT_UTIL_H
+#define MHP_SUPPORT_BIT_UTIL_H
+
+#include <bit>
+#include <cstdint>
+
+namespace mhp {
+
+/** True iff v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Reverse the byte order of a 64-bit value (the paper's "flip"). */
+constexpr uint64_t
+byteFlip(uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap64(v);
+#else
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+        r = (r << 8) | (v & 0xffu);
+        v >>= 8;
+    }
+    return r;
+#endif
+}
+
+/**
+ * Split v into n-bit chunks and xor them together (the paper's
+ * "xor-fold"), producing a value with at most n significant bits.
+ * n must be in [1, 63].
+ */
+constexpr uint64_t
+xorFold(uint64_t v, unsigned n)
+{
+    const uint64_t mask = (1ULL << n) - 1;
+    uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & mask;
+        v >>= n;
+    }
+    return r;
+}
+
+/** Extract the low n bits of v. */
+constexpr uint64_t
+lowBits(uint64_t v, unsigned n)
+{
+    return n >= 64 ? v : v & ((1ULL << n) - 1);
+}
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_BIT_UTIL_H

@@ -1,0 +1,131 @@
+#include "support/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+CliParser::CliParser(std::string description_)
+    : description(std::move(description_))
+{
+}
+
+void
+CliParser::addString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    flags[name] = Flag{Kind::String, def, help};
+}
+
+void
+CliParser::addInt(const std::string &name, int64_t def,
+                  const std::string &help)
+{
+    flags[name] = Flag{Kind::Int, std::to_string(def), help};
+}
+
+void
+CliParser::addDouble(const std::string &name, double def,
+                     const std::string &help)
+{
+    flags[name] = Flag{Kind::Double, std::to_string(def), help};
+}
+
+void
+CliParser::addBool(const std::string &name, bool def,
+                   const std::string &help)
+{
+    flags[name] = Flag{Kind::Bool, def ? "1" : "0", help};
+}
+
+void
+CliParser::printHelp(const char *prog) const
+{
+    std::printf("%s\n\nusage: %s [flags]\n\nflags:\n",
+                description.c_str(), prog);
+    for (const auto &[name, flag] : flags) {
+        std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
+                    flag.help.c_str(), flag.value.c_str());
+    }
+}
+
+void
+CliParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(argv[0]);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            args.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_value = true;
+        }
+        auto it = flags.find(name);
+        if (it == flags.end()) {
+            std::fprintf(stderr, "unknown flag: --%s (try --help)\n",
+                         name.c_str());
+            std::exit(1);
+        }
+        if (!have_value) {
+            if (it->second.kind == Kind::Bool) {
+                value = "1";
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                std::fprintf(stderr, "flag --%s needs a value\n",
+                             name.c_str());
+                std::exit(1);
+            }
+        }
+        it->second.value = value;
+    }
+}
+
+const CliParser::Flag &
+CliParser::find(const std::string &name, Kind kind) const
+{
+    auto it = flags.find(name);
+    MHP_REQUIRE(it != flags.end(), "flag was never registered");
+    MHP_REQUIRE(it->second.kind == kind, "flag accessed with wrong type");
+    return it->second;
+}
+
+std::string
+CliParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+int64_t
+CliParser::getInt(const std::string &name) const
+{
+    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double
+CliParser::getDouble(const std::string &name) const
+{
+    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+bool
+CliParser::getBool(const std::string &name) const
+{
+    const std::string &v = find(name, Kind::Bool).value;
+    return v == "1" || v == "true" || v == "yes";
+}
+
+} // namespace mhp

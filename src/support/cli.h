@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A tiny command-line flag parser for the bench and example binaries.
+ *
+ * Supports --name=value and --name value forms, plus bare --flag
+ * booleans. Unknown flags are fatal so typos don't silently run the
+ * wrong experiment.
+ */
+
+#ifndef MHP_SUPPORT_CLI_H
+#define MHP_SUPPORT_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mhp {
+
+/** Declarative flag registry + parser. */
+class CliParser
+{
+  public:
+    /** @param description One-line tool description for --help. */
+    explicit CliParser(std::string description);
+
+    /** Register flags with default values before calling parse(). */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    void addInt(const std::string &name, int64_t def,
+                const std::string &help);
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    void addBool(const std::string &name, bool def,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Prints help and exits on --help; exits with an error
+     * on unknown flags or malformed values.
+     */
+    void parse(int argc, char **argv);
+
+    std::string getString(const std::string &name) const;
+    int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Non-flag positional arguments, in order. */
+    const std::vector<std::string> &positional() const { return args; }
+
+  private:
+    enum class Kind { String, Int, Double, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string value;
+        std::string help;
+    };
+
+    const Flag &find(const std::string &name, Kind kind) const;
+    void printHelp(const char *prog) const;
+
+    std::string description;
+    std::map<std::string, Flag> flags;
+    std::vector<std::string> args;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_CLI_H

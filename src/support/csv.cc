@@ -1,0 +1,28 @@
+#include "support/csv.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : out(path), columns(header.size())
+{
+    MHP_REQUIRE(columns > 0, "CSV needs at least one column");
+    if (!out)
+        return;
+    for (size_t c = 0; c < header.size(); ++c)
+        out << header[c] << (c + 1 == header.size() ? "\n" : ",");
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &row)
+{
+    MHP_REQUIRE(row.size() == columns, "CSV row width mismatch");
+    if (!out)
+        return;
+    for (size_t c = 0; c < row.size(); ++c)
+        out << row[c] << (c + 1 == row.size() ? "\n" : ",");
+}
+
+} // namespace mhp

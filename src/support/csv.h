@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal CSV writer used by benches/examples to dump raw series (for
+ * replotting the paper's figures with external tools).
+ */
+
+#ifndef MHP_SUPPORT_CSV_H
+#define MHP_SUPPORT_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mhp {
+
+/** Buffered CSV file writer with a fixed header. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open (truncate) a CSV file and write the header line.
+     * @param path Output file path.
+     * @param header Column names.
+     */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    /** True if the file opened successfully. */
+    bool ok() const { return static_cast<bool>(out); }
+
+    /** Write one data row (cells are emitted verbatim). */
+    void writeRow(const std::vector<std::string> &row);
+
+  private:
+    std::ofstream out;
+    size_t columns;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_CSV_H

@@ -1,0 +1,68 @@
+#include "support/discrete_distribution.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+DiscreteDistribution::DiscreteDistribution(
+        const std::vector<double> &weights)
+{
+    MHP_REQUIRE(!weights.empty(), "empty weight vector");
+    const size_t n = weights.size();
+
+    double total = 0.0;
+    for (double w : weights) {
+        MHP_REQUIRE(w >= 0.0, "negative weight");
+        total += w;
+    }
+    MHP_REQUIRE(total > 0.0, "all weights are zero");
+
+    probs.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        probs[i] = weights[i] / total;
+
+    // Vose's stable construction of the alias tables.
+    cutoff.assign(n, 0.0);
+    alias.assign(n, 0);
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        scaled[i] = probs[i] * static_cast<double>(n);
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<uint32_t>(i));
+        else
+            large.push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        const uint32_t s = small.back();
+        small.pop_back();
+        const uint32_t l = large.back();
+        large.pop_back();
+        cutoff[s] = scaled[s];
+        alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    while (!large.empty()) {
+        cutoff[large.back()] = 1.0;
+        large.pop_back();
+    }
+    while (!small.empty()) {
+        cutoff[small.back()] = 1.0;
+        small.pop_back();
+    }
+}
+
+uint64_t
+DiscreteDistribution::sample(Rng &rng) const
+{
+    const uint64_t i = rng.nextBelow(probs.size());
+    return rng.nextDouble() < cutoff[i] ? i : alias[i];
+}
+
+} // namespace mhp

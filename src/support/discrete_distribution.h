@@ -1,0 +1,46 @@
+/**
+ * @file
+ * O(1) sampling from an arbitrary finite discrete distribution using
+ * Walker's alias method.
+ *
+ * Used by the workload models for per-PC value distributions and by the
+ * branch-edge generator for per-branch outcome probabilities.
+ */
+
+#ifndef MHP_SUPPORT_DISCRETE_DISTRIBUTION_H
+#define MHP_SUPPORT_DISCRETE_DISTRIBUTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace mhp {
+
+/** Alias-method sampler over indices [0, weights.size()). */
+class DiscreteDistribution
+{
+  public:
+    /**
+     * Build the alias tables from non-negative weights; weights are
+     * normalized internally. At least one weight must be positive.
+     */
+    explicit DiscreteDistribution(const std::vector<double> &weights);
+
+    /** Draw an index with probability weight[i] / sum(weights). */
+    uint64_t sample(Rng &rng) const;
+
+    /** Normalized probability of index i (for tests/analysis). */
+    double probability(uint64_t i) const { return probs[i]; }
+
+    uint64_t size() const { return probs.size(); }
+
+  private:
+    std::vector<double> probs;     // normalized input probabilities
+    std::vector<double> cutoff;    // alias-method acceptance thresholds
+    std::vector<uint32_t> alias;   // alias-method redirect targets
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_DISCRETE_DISTRIBUTION_H

@@ -1,0 +1,44 @@
+#include "support/env.h"
+
+#include <cstdlib>
+
+namespace mhp {
+
+double
+envDouble(const std::string &name, double def)
+{
+    const char *v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0')
+        return def;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    return end == v ? def : parsed;
+}
+
+int64_t
+envInt(const std::string &name, int64_t def)
+{
+    const char *v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0')
+        return def;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(v, &end, 10);
+    return end == v ? def : parsed;
+}
+
+double
+experimentScale()
+{
+    const double s = envDouble("MHP_SCALE", 1.0);
+    return s > 0.0 ? s : 1.0;
+}
+
+uint64_t
+scaledCount(uint64_t n, uint64_t minimum)
+{
+    const double scaled = static_cast<double>(n) * experimentScale();
+    const auto v = static_cast<uint64_t>(scaled);
+    return v < minimum ? minimum : v;
+}
+
+} // namespace mhp

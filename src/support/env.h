@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Environment-variable helpers.
+ *
+ * Benches scale their stream lengths by MHP_SCALE so the default run
+ * finishes in seconds while a full paper-scale run is one env var away.
+ */
+
+#ifndef MHP_SUPPORT_ENV_H
+#define MHP_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace mhp {
+
+/** Read a double from the environment, or the default if unset/bad. */
+double envDouble(const std::string &name, double def);
+
+/** Read an integer from the environment, or the default if unset/bad. */
+int64_t envInt(const std::string &name, int64_t def);
+
+/**
+ * The global experiment scale factor from MHP_SCALE (default 1.0).
+ * Benches multiply their event-stream lengths by this.
+ */
+double experimentScale();
+
+/** n scaled by experimentScale(), floored at a minimum. */
+uint64_t scaledCount(uint64_t n, uint64_t minimum = 1);
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_ENV_H

@@ -1,0 +1,78 @@
+#include "support/histogram.h"
+
+#include <cmath>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+Histogram::Histogram(double lo_, double hi_, unsigned bins)
+    : lo(lo_), hi(hi_), total(0)
+{
+    MHP_REQUIRE(bins >= 1, "histogram needs at least one bin");
+    MHP_REQUIRE(hi > lo, "histogram range is empty");
+    width = (hi - lo) / bins;
+    counts.assign(bins, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    long bin = static_cast<long>(std::floor((x - lo) / width));
+    if (bin < 0)
+        bin = 0;
+    if (bin >= static_cast<long>(counts.size()))
+        bin = static_cast<long>(counts.size()) - 1;
+    ++counts[static_cast<size_t>(bin)];
+    ++total;
+}
+
+double
+Histogram::binCenter(unsigned bin) const
+{
+    MHP_ASSERT(bin < counts.size(), "bin out of range");
+    return lo + (bin + 0.5) * width;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return lo;
+    if (q <= 0.0)
+        return lo;
+    if (q >= 1.0)
+        return hi;
+    const double target = q * static_cast<double>(total);
+    double running = 0.0;
+    for (unsigned b = 0; b < counts.size(); ++b) {
+        const double next = running + static_cast<double>(counts[b]);
+        if (next >= target) {
+            const double frac = counts[b] == 0
+                ? 0.0
+                : (target - running) / static_cast<double>(counts[b]);
+            return lo + (b + frac) * width;
+        }
+        running = next;
+    }
+    return hi;
+}
+
+double
+Histogram::cdfAt(double x) const
+{
+    if (total == 0)
+        return 0.0;
+    if (x < lo)
+        return 0.0;
+    if (x >= hi)
+        return 1.0;
+    const unsigned edge =
+        static_cast<unsigned>(std::floor((x - lo) / width));
+    uint64_t below = 0;
+    for (unsigned b = 0; b <= edge && b < counts.size(); ++b)
+        below += counts[b];
+    return static_cast<double>(below) / static_cast<double>(total);
+}
+
+} // namespace mhp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-bin histogram over doubles, plus CDF extraction.
+ *
+ * Figure 6 of the paper plots "x% of intervals experience less than y%
+ * candidate variation" — a CDF over per-interval variation values; this
+ * histogram backs that analysis.
+ */
+
+#ifndef MHP_SUPPORT_HISTOGRAM_H
+#define MHP_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mhp {
+
+/** Equal-width histogram over [lo, hi] with overflow clamping. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the tracked range.
+     * @param hi Upper bound (must exceed lo).
+     * @param bins Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo, double hi, unsigned bins);
+
+    /** Add one sample; out-of-range samples clamp to the edge bins. */
+    void add(double x);
+
+    uint64_t totalCount() const { return total; }
+    uint64_t binCount(unsigned bin) const { return counts[bin]; }
+    unsigned numBins() const { return counts.size(); }
+
+    /** Center of a bin's value range. */
+    double binCenter(unsigned bin) const;
+
+    /**
+     * Value v such that fraction q of samples are <= v (linear
+     * interpolation within the bin). q in [0, 1].
+     */
+    double quantile(double q) const;
+
+    /**
+     * Fraction of samples <= x (empirical CDF evaluated at a bin
+     * granularity).
+     */
+    double cdfAt(double x) const;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    uint64_t total;
+    std::vector<uint64_t> counts;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_HISTOGRAM_H

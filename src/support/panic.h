@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a library bug); aborts.
+ * fatal()  - the caller/user supplied an impossible configuration; exits.
+ */
+
+#ifndef MHP_SUPPORT_PANIC_H
+#define MHP_SUPPORT_PANIC_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mhp {
+
+/** Abort with a message; use for "can never happen" internal errors. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Exit with a message; use for invalid user-supplied configuration. */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace mhp
+
+#define MHP_PANIC(msg) ::mhp::panicImpl(__FILE__, __LINE__, (msg))
+#define MHP_FATAL(msg) ::mhp::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Check an internal invariant; compiled in all build types. */
+#define MHP_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            MHP_PANIC(msg);                                                 \
+    } while (0)
+
+/** Validate a user-supplied condition (configuration, arguments). */
+#define MHP_REQUIRE(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            MHP_FATAL(msg);                                                 \
+    } while (0)
+
+#endif // MHP_SUPPORT_PANIC_H

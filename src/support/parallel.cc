@@ -1,0 +1,55 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/env.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            unsigned threads)
+{
+    MHP_REQUIRE(static_cast<bool>(fn), "parallelFor needs a body");
+    if (n == 0)
+        return;
+
+    if (threads == 0) {
+        const auto hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : hw;
+        const int64_t env = envInt("MHP_THREADS", 0);
+        if (env > 0)
+            threads = static_cast<unsigned>(env);
+    }
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+
+    if (threads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(worker);
+    worker(); // this thread participates
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace mhp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal deterministic work-sharing parallel-for.
+ *
+ * Bench sweeps evaluate many independent (benchmark x configuration)
+ * cells; each cell builds its own workload and profilers, so cells
+ * share no mutable state and can run on separate threads. Results are
+ * written into caller-owned slots indexed by the loop variable, so the
+ * output is bit-identical to the serial run regardless of scheduling.
+ *
+ * MHP_THREADS overrides the thread count (1 = serial).
+ */
+
+#ifndef MHP_SUPPORT_PARALLEL_H
+#define MHP_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace mhp {
+
+/**
+ * Invoke fn(i) for every i in [0, n), possibly concurrently.
+ *
+ * @param n Number of iterations.
+ * @param fn The body; must be safe to call concurrently for distinct
+ *        i (typically: writes only to slot i of a preallocated
+ *        output).
+ * @param threads Worker count; 0 = min(hardware concurrency, n),
+ *        overridable via MHP_THREADS.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned threads = 0);
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_PARALLEL_H

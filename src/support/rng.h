@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this library that needs randomness (hash-function
+ * random tables, synthetic workloads, the mini-CPU program generator)
+ * draws from these generators so that every experiment is exactly
+ * reproducible from a seed.
+ *
+ * SplitMix64 is used for seeding; Xoshiro256** is the workhorse
+ * generator. Both are public-domain algorithms by Blackman & Vigna.
+ */
+
+#ifndef MHP_SUPPORT_RNG_H
+#define MHP_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <limits>
+
+namespace mhp {
+
+/**
+ * SplitMix64: a tiny, fast 64-bit generator. Primarily used to expand
+ * a single user seed into the larger state of Xoshiro256.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    /** Produce the next 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * Xoshiro256** 1.0: the library's default pseudo-random generator.
+ * Satisfies the UniformRandomBitGenerator concept so it can be used
+ * with <random> distributions as well.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a single 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next(); }
+
+    /** Produce the next 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t nextRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability p. */
+    bool nextBool(double p);
+
+    /**
+     * Fork an independent child generator. The child's stream is
+     * decorrelated from the parent's by hashing the parent's next
+     * output through SplitMix64.
+     */
+    Rng fork();
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_RNG_H

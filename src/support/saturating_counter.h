@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A hardware-style saturating up-counter with a configurable bit width.
+ *
+ * The paper's hash tables use 3-byte (24-bit) counters; the area model
+ * and the counter tables are parameterized on the width, and this class
+ * encapsulates the saturation semantics so overflow can never silently
+ * wrap in simulation.
+ */
+
+#ifndef MHP_SUPPORT_SATURATING_COUNTER_H
+#define MHP_SUPPORT_SATURATING_COUNTER_H
+
+#include <cstdint>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+/** An up-counter that saturates at (2^bits - 1) instead of wrapping. */
+class SaturatingCounter
+{
+  public:
+    /** @param bits Counter width in bits, 1..64. */
+    explicit SaturatingCounter(unsigned bits = 24)
+        : maxValue(bits >= 64 ? ~0ULL : (1ULL << bits) - 1), count(0)
+    {
+        MHP_REQUIRE(bits >= 1 && bits <= 64, "counter width out of range");
+    }
+
+    /** Increment by delta, saturating at the maximum. */
+    void
+    increment(uint64_t delta = 1)
+    {
+        count = (maxValue - count < delta) ? maxValue : count + delta;
+    }
+
+    /** Reset to zero. */
+    void reset() { count = 0; }
+
+    /** Force a specific value (clamped to the maximum). */
+    void set(uint64_t v) { count = v > maxValue ? maxValue : v; }
+
+    uint64_t value() const { return count; }
+    uint64_t max() const { return maxValue; }
+    bool saturated() const { return count == maxValue; }
+
+  private:
+    uint64_t maxValue;
+    uint64_t count;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_SATURATING_COUNTER_H

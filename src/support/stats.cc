@@ -1,0 +1,63 @@
+#include "support/stats.h"
+
+#include <cmath>
+
+namespace mhp {
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        if (x < lo)
+            lo = x;
+        if (x > hi)
+            hi = x;
+    }
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mu - mu;
+    const uint64_t combined = n + other.n;
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double nc = static_cast<double>(combined);
+    mu += delta * nb / nc;
+    m2 += other.m2 + delta * delta * na * nb / nc;
+    if (other.lo < lo)
+        lo = other.lo;
+    if (other.hi > hi)
+        hi = other.hi;
+    total += other.total;
+    n = combined;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace mhp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Streaming summary statistics (count / mean / min / max / stddev).
+ *
+ * Used throughout the analysis layer to aggregate per-interval error
+ * rates and candidate counts without storing every sample.
+ */
+
+#ifndef MHP_SUPPORT_STATS_H
+#define MHP_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace mhp {
+
+/** Welford-style running statistics over a stream of doubles. */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** Merge another summary into this one. */
+    void merge(const RunningStats &other);
+
+    uint64_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_STATS_H

@@ -1,0 +1,86 @@
+#include "support/table_printer.h"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header_)
+    : header(std::move(header_))
+{
+    MHP_REQUIRE(!header.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    MHP_REQUIRE(row.size() == header.size(),
+                "row width does not match header");
+    rows.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::num(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TablePrinter::num(int64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+        }
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+
+    emit(header);
+    for (size_t c = 0; c < header.size(); ++c) {
+        os << std::string(widths[c], '-')
+           << (c + 1 == header.size() ? "\n" : "  ");
+    }
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit(header);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace mhp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Aligned plain-text table output for bench binaries.
+ *
+ * Every bench regenerating a paper figure prints its rows through this
+ * printer so the output has one consistent, diff-friendly shape.
+ */
+
+#ifndef MHP_SUPPORT_TABLE_PRINTER_H
+#define MHP_SUPPORT_TABLE_PRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mhp {
+
+/** Collects rows of string cells and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param header Column titles; fixes the column count. */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append a row; must have exactly as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(uint64_t v);
+    static std::string num(int64_t v);
+
+    /** Render the table (header, separator, rows) to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_TABLE_PRINTER_H

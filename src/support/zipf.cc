@@ -1,0 +1,76 @@
+#include "support/zipf.h"
+
+#include <cmath>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+ZipfDistribution::ZipfDistribution(uint64_t n_, double s_) : n(n_), s(s_)
+{
+    MHP_REQUIRE(n >= 1, "Zipf needs at least one rank");
+    MHP_REQUIRE(s >= 0.0, "Zipf skew must be non-negative");
+    hX1 = h(1.5) - 1.0;
+    hN = h(static_cast<double>(n) + 0.5);
+    sumProb = 0.0;
+    // Harmonic sum for probability(); capped workloads keep n small when
+    // exact probabilities matter, but guard the cost for huge universes.
+    if (n <= (1ULL << 22)) {
+        for (uint64_t k = 1; k <= n; ++k)
+            sumProb += 1.0 / std::pow(static_cast<double>(k), s);
+    } else {
+        sumProb = -1.0; // probability() unavailable
+    }
+}
+
+double
+ZipfDistribution::h(double x) const
+{
+    if (s == 1.0)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double
+ZipfDistribution::hInverse(double x) const
+{
+    if (s == 1.0)
+        return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+uint64_t
+ZipfDistribution::sample(Rng &rng) const
+{
+    if (n == 1)
+        return 0;
+    if (s == 0.0)
+        return rng.nextBelow(n);
+
+    // Rejection-inversion (W. Hormann & G. Derflinger / J. Gray).
+    while (true) {
+        const double u = hN + rng.nextDouble() * (hX1 - hN);
+        const double x = hInverse(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n)
+            k = n;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= 0.5 ||
+            u >= h(kd + 0.5) - std::exp(-s * std::log(kd))) {
+            return k - 1; // ranks are 0-based externally
+        }
+    }
+}
+
+double
+ZipfDistribution::probability(uint64_t rank) const
+{
+    MHP_ASSERT(rank < n, "rank out of range");
+    MHP_ASSERT(sumProb > 0.0, "probability() unavailable for huge n");
+    return 1.0 /
+        (std::pow(static_cast<double>(rank + 1), s) * sumProb);
+}
+
+} // namespace mhp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Zipfian (power-law) distribution sampler.
+ *
+ * Profiling streams are dominated by a few frequent tuples riding on a
+ * long tail of rare ones; the synthetic workloads model both with
+ * Zipfian ranks. This sampler draws rank r in [0, n) with probability
+ * proportional to 1 / (r + 1)^s.
+ *
+ * Sampling uses Gray's rejection-inversion method, which is O(1) per
+ * draw and needs no O(n) precomputed table, so very large universes
+ * (millions of cold tuples) are cheap.
+ */
+
+#ifndef MHP_SUPPORT_ZIPF_H
+#define MHP_SUPPORT_ZIPF_H
+
+#include <cstdint>
+
+#include "support/rng.h"
+
+namespace mhp {
+
+/** Rejection-inversion Zipf sampler over ranks [0, n). */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n Number of ranks (>= 1).
+     * @param s Skew exponent (>= 0). s == 0 degenerates to uniform.
+     */
+    ZipfDistribution(uint64_t n, double s);
+
+    /** Draw a rank in [0, n); rank 0 is the most likely. */
+    uint64_t sample(Rng &rng) const;
+
+    /** Exact probability of a given rank (for tests/analysis). */
+    double probability(uint64_t rank) const;
+
+    uint64_t size() const { return n; }
+    double skew() const { return s; }
+
+  private:
+    /** H(x) = integral of 1/x^s, the inverse of which drives sampling. */
+    double h(double x) const;
+    double hInverse(double x) const;
+
+    uint64_t n;
+    double s;
+    double hX1;        // h(1.5) - 1
+    double hN;         // h(n + 0.5)
+    double sumProb;    // generalized harmonic number H_{n,s}
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_ZIPF_H

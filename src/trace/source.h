@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Abstract interfaces for producers and consumers of profiling events.
+ *
+ * A hardware profiler consumes an EventSource one tuple at a time; the
+ * sources are synthetic workload models, trace files, or the mini-CPU
+ * simulator's instrumentation probes.
+ */
+
+#ifndef MHP_TRACE_SOURCE_H
+#define MHP_TRACE_SOURCE_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/**
+ * A pull-style stream of profiling tuples.
+ *
+ * Sources may be unbounded (synthetic generators) or finite (trace
+ * files); consumers must check done() before calling next().
+ */
+class EventSource
+{
+  public:
+    virtual ~EventSource() = default;
+
+    /** Produce the next tuple. Undefined if done() is true. */
+    virtual Tuple next() = 0;
+
+    /** True when the stream is exhausted (always false if unbounded). */
+    virtual bool done() const = 0;
+
+    /** What the tuples represent (value vs. edge profiling). */
+    virtual ProfileKind kind() const = 0;
+
+    /** A short human-readable identifier for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** A push-style consumer of profiling tuples. */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /** Consume one tuple. */
+    virtual void accept(const Tuple &t) = 0;
+};
+
+/**
+ * Pump up to maxEvents tuples from a source into a sink.
+ * @return The number of tuples actually transferred (less than
+ *         maxEvents only if the source ran dry).
+ */
+inline uint64_t
+pump(EventSource &source, EventSink &sink, uint64_t maxEvents)
+{
+    uint64_t moved = 0;
+    while (moved < maxEvents && !source.done()) {
+        sink.accept(source.next());
+        ++moved;
+    }
+    return moved;
+}
+
+} // namespace mhp
+
+#endif // MHP_TRACE_SOURCE_H

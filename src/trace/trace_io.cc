@@ -1,0 +1,132 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr size_t kHeaderSize = 24;
+constexpr size_t kRecordSize = 16;
+constexpr size_t kBufferRecords = 4096;
+
+void
+putLe64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+getLe64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, ProfileKind kind)
+    : out(path, std::ios::binary)
+{
+    buffer.reserve(kBufferRecords * kRecordSize);
+    if (!out)
+        return;
+    uint8_t header[kHeaderSize] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    header[8] = static_cast<uint8_t>(kind);
+    putLe64(header + 16, 0); // count, back-patched in close()
+    out.write(reinterpret_cast<const char *>(header), kHeaderSize);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::accept(const Tuple &t)
+{
+    MHP_ASSERT(!closed, "write after close");
+    uint8_t rec[kRecordSize];
+    putLe64(rec, t.first);
+    putLe64(rec + 8, t.second);
+    buffer.insert(buffer.end(), rec, rec + kRecordSize);
+    ++count;
+    if (buffer.size() >= kBufferRecords * kRecordSize)
+        flushBuffer();
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (!buffer.empty() && out) {
+        out.write(reinterpret_cast<const char *>(buffer.data()),
+                  static_cast<std::streamsize>(buffer.size()));
+        buffer.clear();
+    }
+}
+
+void
+TraceWriter::close()
+{
+    if (closed)
+        return;
+    closed = true;
+    flushBuffer();
+    if (out) {
+        out.seekp(16);
+        uint8_t le[8];
+        putLe64(le, count);
+        out.write(reinterpret_cast<const char *>(le), 8);
+        out.flush();
+    }
+}
+
+TraceReader::TraceReader(const std::string &path_)
+    : path(path_), in(path_, std::ios::binary)
+{
+    MHP_REQUIRE(static_cast<bool>(in), "cannot open trace file");
+    uint8_t header[kHeaderSize];
+    in.read(reinterpret_cast<char *>(header), kHeaderSize);
+    MHP_REQUIRE(in.gcount() == kHeaderSize, "truncated trace header");
+    MHP_REQUIRE(std::memcmp(header, kMagic, sizeof(kMagic)) == 0,
+                "bad trace magic");
+    MHP_REQUIRE(header[8] <=
+                    static_cast<uint8_t>(ProfileKind::Mispredict),
+                "unknown profile kind in trace header");
+    profileKind = static_cast<ProfileKind>(header[8]);
+    total = getLe64(header + 16);
+    buffer.resize(kBufferRecords * kRecordSize);
+}
+
+void
+TraceReader::refill()
+{
+    in.read(reinterpret_cast<char *>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+    bufLen = static_cast<size_t>(in.gcount());
+    bufPos = 0;
+    MHP_REQUIRE(bufLen >= kRecordSize, "truncated trace body");
+}
+
+Tuple
+TraceReader::next()
+{
+    MHP_ASSERT(!done(), "next() past end of trace");
+    if (bufPos + kRecordSize > bufLen)
+        refill();
+    Tuple t;
+    t.first = getLe64(buffer.data() + bufPos);
+    t.second = getLe64(buffer.data() + bufPos + 8);
+    bufPos += kRecordSize;
+    ++delivered;
+    return t;
+}
+
+} // namespace mhp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Binary trace-file format (.mht — "multi-hash trace").
+ *
+ * ATOM-instrumented runs in the paper produced event streams offline;
+ * the equivalent here is recording a workload or mini-CPU run to a
+ * trace file and replaying it through any profiler configuration. The
+ * format is:
+ *
+ *   header:  magic "MHTRACE1" (8 bytes)
+ *            kind (1 byte: 0 = value, 1 = edge)
+ *            reserved (7 bytes, zero)
+ *            count (8 bytes, little-endian)
+ *   records: count * { first (8 bytes LE), second (8 bytes LE) }
+ *
+ * Records are buffered in 64 KiB chunks in both directions.
+ */
+
+#ifndef MHP_TRACE_TRACE_IO_H
+#define MHP_TRACE_TRACE_IO_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/source.h"
+
+namespace mhp {
+
+/** Writes a tuple stream to a .mht file. */
+class TraceWriter : public EventSink
+{
+  public:
+    /**
+     * Open a trace file for writing; the header's count field is
+     * back-patched on close().
+     */
+    TraceWriter(const std::string &path, ProfileKind kind);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** True if the file opened successfully. */
+    bool ok() const { return static_cast<bool>(out); }
+
+    /** Append one tuple to the trace. */
+    void accept(const Tuple &t) override;
+
+    /** Flush buffers and finalize the header. Idempotent. */
+    void close();
+
+    uint64_t eventsWritten() const { return count; }
+
+  private:
+    void flushBuffer();
+
+    std::ofstream out;
+    std::vector<uint8_t> buffer;
+    uint64_t count = 0;
+    bool closed = false;
+};
+
+/** Replays a .mht file as an EventSource. */
+class TraceReader : public EventSource
+{
+  public:
+    /** Open a trace file; fatal on a missing/corrupt header. */
+    explicit TraceReader(const std::string &path);
+
+    Tuple next() override;
+    bool done() const override { return delivered >= total; }
+    ProfileKind kind() const override { return profileKind; }
+    std::string name() const override { return path; }
+
+    uint64_t totalEvents() const { return total; }
+
+  private:
+    void refill();
+
+    std::string path;
+    std::ifstream in;
+    ProfileKind profileKind = ProfileKind::Value;
+    uint64_t total = 0;
+    uint64_t delivered = 0;
+    std::vector<uint8_t> buffer;
+    size_t bufPos = 0;
+    size_t bufLen = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_TRACE_TRACE_IO_H

@@ -1,0 +1,100 @@
+#include "trace/transforms.h"
+
+#include "support/discrete_distribution.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+TakeSource::TakeSource(EventSource &inner_, uint64_t limit_)
+    : inner(inner_), limit(limit_)
+{
+}
+
+Tuple
+TakeSource::next()
+{
+    MHP_ASSERT(!done(), "next() past take limit");
+    ++taken;
+    return inner.next();
+}
+
+bool
+TakeSource::done() const
+{
+    return taken >= limit || inner.done();
+}
+
+std::string
+TakeSource::name() const
+{
+    return inner.name() + "+take";
+}
+
+InterleaveSource::InterleaveSource(std::vector<EventSource *> inputs_,
+                                   std::vector<double> weights_,
+                                   uint64_t seed)
+    : inputs(std::move(inputs_)), weights(std::move(weights_)), rng(seed)
+{
+    MHP_REQUIRE(!inputs.empty(), "interleave needs at least one source");
+    MHP_REQUIRE(inputs.size() == weights.size(),
+                "one weight per interleaved source");
+    for (const auto *src : inputs) {
+        MHP_REQUIRE(src != nullptr, "null interleaved source");
+        MHP_REQUIRE(src->kind() == inputs[0]->kind(),
+                    "interleaved sources must share a profile kind");
+    }
+}
+
+bool
+InterleaveSource::done() const
+{
+    for (const auto *src : inputs) {
+        if (!src->done())
+            return false;
+    }
+    return true;
+}
+
+Tuple
+InterleaveSource::next()
+{
+    MHP_ASSERT(!done(), "next() on exhausted interleave");
+    // Draw among non-exhausted sources, weighted.
+    double live = 0.0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        if (!inputs[i]->done())
+            live += weights[i];
+    }
+    double pick = rng.nextDouble() * live;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        if (inputs[i]->done())
+            continue;
+        if (pick < weights[i] || i + 1 == inputs.size())
+            return inputs[i]->next();
+        pick -= weights[i];
+    }
+    // Fall back to the last live source (floating-point edge).
+    for (size_t i = inputs.size(); i-- > 0;) {
+        if (!inputs[i]->done())
+            return inputs[i]->next();
+    }
+    MHP_PANIC("interleave found no live source");
+}
+
+MapSource::MapSource(EventSource &inner_, Fn fn_)
+    : inner(inner_), fn(std::move(fn_))
+{
+    MHP_REQUIRE(static_cast<bool>(fn), "map function must be callable");
+}
+
+std::vector<Tuple>
+collect(EventSource &source, uint64_t maxEvents)
+{
+    std::vector<Tuple> out;
+    out.reserve(maxEvents);
+    while (out.size() < maxEvents && !source.done())
+        out.push_back(source.next());
+    return out;
+}
+
+} // namespace mhp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Stream transforms: adapters that wrap one EventSource into another.
+ *
+ * TakeSource caps an unbounded generator to a finite run length;
+ * InterleaveSource merges several streams (e.g. a multiprogrammed mix
+ * of workloads sharing one profiler); MapSource applies a tuple
+ * rewriting function (e.g. masking value bits).
+ */
+
+#ifndef MHP_TRACE_TRANSFORMS_H
+#define MHP_TRACE_TRANSFORMS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** Caps a source at a fixed number of events. */
+class TakeSource : public EventSource
+{
+  public:
+    /**
+     * @param inner The wrapped source (not owned).
+     * @param limit Maximum number of events to deliver.
+     */
+    TakeSource(EventSource &inner, uint64_t limit);
+
+    Tuple next() override;
+    bool done() const override;
+    ProfileKind kind() const override { return inner.kind(); }
+    std::string name() const override;
+
+  private:
+    EventSource &inner;
+    uint64_t limit;
+    uint64_t taken = 0;
+};
+
+/**
+ * Randomly interleaves several sources with given weights; the merged
+ * stream ends when every still-selected source is exhausted.
+ */
+class InterleaveSource : public EventSource
+{
+  public:
+    /**
+     * @param inputs The merged sources (not owned; all the same kind).
+     * @param weights Relative selection weights, one per input.
+     * @param seed Seed for the interleaving choices.
+     */
+    InterleaveSource(std::vector<EventSource *> inputs,
+                     std::vector<double> weights, uint64_t seed);
+
+    Tuple next() override;
+    bool done() const override;
+    ProfileKind kind() const override { return inputs[0]->kind(); }
+    std::string name() const override { return "interleave"; }
+
+  private:
+    std::vector<EventSource *> inputs;
+    std::vector<double> weights;
+    Rng rng;
+};
+
+/** Applies a function to every tuple of an inner source. */
+class MapSource : public EventSource
+{
+  public:
+    using Fn = std::function<Tuple(const Tuple &)>;
+
+    /**
+     * @param inner The wrapped source (not owned).
+     * @param fn Rewriting function applied to each tuple.
+     */
+    MapSource(EventSource &inner, Fn fn);
+
+    Tuple next() override { return fn(inner.next()); }
+    bool done() const override { return inner.done(); }
+    ProfileKind kind() const override { return inner.kind(); }
+    std::string name() const override { return inner.name() + "+map"; }
+
+  private:
+    EventSource &inner;
+    Fn fn;
+};
+
+/** Collect up to maxEvents tuples from a source into a vector. */
+std::vector<Tuple> collect(EventSource &source, uint64_t maxEvents);
+
+} // namespace mhp
+
+#endif // MHP_TRACE_TRANSFORMS_H

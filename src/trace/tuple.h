@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The profiling-event identifier: a tuple of two 64-bit values.
+ *
+ * Following Section 3 of the paper, every profiling event is named by a
+ * pair of values — <loadPC, value> for value profiling, <branchPC,
+ * targetPC> for edge profiling. The profiler never interprets the
+ * members; it only needs equality and hashing.
+ */
+
+#ifndef MHP_TRACE_TUPLE_H
+#define MHP_TRACE_TUPLE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace mhp {
+
+/** The kind of profile a tuple stream represents. */
+enum class ProfileKind : uint8_t
+{
+    Value,      ///< <loadPC, loadedValue> pairs
+    Edge,       ///< <branchPC, targetPC> pairs
+    CacheMiss,  ///< <loadPC, missedLineAddress> pairs
+    Mispredict, ///< <branchPC, actualTargetPC> on mispredictions
+};
+
+/** Human-readable name of a profile kind. */
+inline const char *
+profileKindName(ProfileKind kind)
+{
+    switch (kind) {
+      case ProfileKind::Value:
+        return "value";
+      case ProfileKind::Edge:
+        return "edge";
+      case ProfileKind::CacheMiss:
+        return "cache-miss";
+      case ProfileKind::Mispredict:
+        return "mispredict";
+    }
+    return "?";
+}
+
+/**
+ * A profiling event identifier: an ordered pair of 64-bit values.
+ *
+ * For value profiling, first = load PC and second = loaded value; for
+ * edge profiling, first = branch PC and second = branch target PC.
+ */
+struct Tuple
+{
+    uint64_t first = 0;
+    uint64_t second = 0;
+
+    friend bool operator==(const Tuple &, const Tuple &) = default;
+
+    /** Render as "<a, b>" in hex for logs and debugging. */
+    std::string
+    toString() const
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "<%#llx, %#llx>",
+                      static_cast<unsigned long long>(first),
+                      static_cast<unsigned long long>(second));
+        return buf;
+    }
+};
+
+/**
+ * Simulator-side hash for std containers (NOT the hardware hash; the
+ * hardware hash family lives in core/hash_function.h).
+ */
+struct TupleHash
+{
+    size_t
+    operator()(const Tuple &t) const
+    {
+        // Mix the two halves with a 64-bit finalizer (splitmix-style).
+        uint64_t z = t.first + 0x9e3779b97f4a7c15ULL * (t.second + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<size_t>(z ^ (z >> 31));
+    }
+};
+
+} // namespace mhp
+
+#endif // MHP_TRACE_TUPLE_H

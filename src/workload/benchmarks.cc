@@ -1,0 +1,228 @@
+#include "workload/benchmarks.h"
+
+#include "support/panic.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+
+namespace {
+
+/** Mix a benchmark name into a seed so the suite's streams differ. */
+uint64_t
+benchSeed(const std::string &name, uint64_t seed)
+{
+    uint64_t h = 0;
+    for (const char ch : name)
+        h = h * 131 + static_cast<unsigned char>(ch);
+    return mixIdentity(h, seed, 0xbe6c4ULL);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "burg", "deltablue", "gcc", "go",
+        "li", "m88ksim", "sis", "vortex",
+    };
+    return names;
+}
+
+bool
+isBenchmarkName(const std::string &name)
+{
+    for (const auto &n : benchmarkNames()) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+ValueWorkloadConfig
+valueConfigFor(const std::string &name, uint64_t seed)
+{
+    ValueWorkloadConfig c;
+    c.name = name;
+    c.seed = benchSeed(name, seed);
+
+    if (name == "burg") {
+        // Medium noise. A short recurring phase floods the stream with
+        // many near-threshold candidates: the source of the single
+        // spiking interval the paper attributes to conservative-update
+        // piggy-backing (Fig. 13 right).
+        c.hotSetSize = 800;
+        c.hotSkew = 1.0;
+        c.hotFraction = 0.62;
+        c.headSize = 8;
+        c.headFraction = 0.30;
+        c.coldUniverseSize = 200'000;
+        c.coldSkew = 0.45;
+        // A short recurring phase ~9M events in floods the stream
+        // with renamed near-threshold candidates -- the single
+        // spiking interval of the paper's Figure 13 right panel.
+        c.phases = {{9'000'000, 0}, {1'200'000, 0xbu}};
+        c.stableRanks = 4;
+    } else if (name == "deltablue") {
+        // Constraint solver with large-scale phases: each phase works
+        // on a different constraint graph, renaming most candidates.
+        c.hotSetSize = 600;
+        c.hotSkew = 1.0;
+        c.hotFraction = 0.60;
+        c.headSize = 5;
+        c.headFraction = 0.28;
+        c.coldUniverseSize = 150'000;
+        c.coldSkew = 0.45;
+        c.phases = {{2'000'000, 1}, {2'000'000, 2}, {2'000'000, 3},
+                    {2'000'000, 4}, {2'000'000, 5}};
+        c.stableRanks = 2;
+    } else if (name == "gcc") {
+        // Huge static footprint; early compilation stages churn the
+        // hot set before settling (drives Fig. 13's early spikes).
+        c.hotSetSize = 5000;
+        c.hotSkew = 1.0;
+        c.hotFraction = 0.50;
+        c.headSize = 15;
+        c.headFraction = 0.30;
+        c.coldUniverseSize = 2'000'000;
+        c.coldSkew = 0.35;
+        c.phases = {{1'500'000, 1}, {1'500'000, 2}, {1'500'000, 3},
+                    {1'500'000, 4}, {1'500'000, 5}, {1'500'000, 6},
+                    {1'500'000, 7}, {1'500'000, 8},
+                    {1ULL << 62, 0}};
+        c.loopPhases = false;
+        c.stableRanks = 4;
+    } else if (name == "go") {
+        // The noisiest program: enormous cold universe and weakly
+        // dominant candidates riding just above the threshold.
+        c.hotSetSize = 6000;
+        c.hotSkew = 1.05;
+        c.hotFraction = 0.50;
+        c.headSize = 20;
+        c.headFraction = 0.34;
+        c.coldUniverseSize = 3'000'000;
+        c.coldSkew = 0.30;
+    } else if (name == "li") {
+        // Lisp interpreter: small, hot, well-behaved working set.
+        c.hotSetSize = 500;
+        c.hotSkew = 1.05;
+        c.hotFraction = 0.68;
+        c.headSize = 10;
+        c.headFraction = 0.32;
+        c.coldUniverseSize = 100'000;
+        c.coldSkew = 0.50;
+    } else if (name == "m88ksim") {
+        // Bursty simulator main loop: candidates recur on a ~40K-event
+        // cycle, so 10K intervals see rotating subsets while 1M
+        // intervals are extremely stable.
+        c.hotSetSize = 400;
+        c.hotSkew = 1.10;
+        c.hotFraction = 0.75;
+        c.headSize = 5;
+        c.headFraction = 0.28;
+        c.coldUniverseSize = 40'000;
+        c.coldSkew = 0.60;
+        // One boost rotation per 10K interval: consecutive short
+        // intervals see different candidate subsets; a 1M interval
+        // covers 5 full cycles and is extremely stable (Fig. 6).
+        c.numGroups = 20;
+        c.rotatePeriod = 10'000;
+        c.boostProb = 0.30;
+    } else if (name == "sis") {
+        // Circuit synthesis: medium everything, mild bursting.
+        c.hotSetSize = 1500;
+        c.hotSkew = 1.0;
+        c.hotFraction = 0.60;
+        c.headSize = 10;
+        c.headFraction = 0.30;
+        c.coldUniverseSize = 500'000;
+        c.coldSkew = 0.40;
+        c.numGroups = 60;
+        c.rotatePeriod = 25'000;
+        c.boostProb = 0.45;
+    } else if (name == "vortex") {
+        // OO database: very stable at 1M, bursty at 10K.
+        c.hotSetSize = 700;
+        c.hotSkew = 1.05;
+        c.hotFraction = 0.70;
+        c.headSize = 8;
+        c.headFraction = 0.30;
+        c.coldUniverseSize = 250'000;
+        c.coldSkew = 0.50;
+        // Groups small enough that a boosted member clears the 1%
+        // threshold within its 10K window (0.7 * 0.35 / 17 ~= 1.4%).
+        c.numGroups = 40;
+        c.rotatePeriod = 12'000;
+        c.boostProb = 0.35;
+    } else {
+        MHP_FATAL("unknown benchmark name");
+    }
+    return c;
+}
+
+EdgeWorkloadConfig
+edgeConfigFor(const std::string &name, uint64_t seed)
+{
+    EdgeWorkloadConfig c;
+    c.name = name + "-edges";
+    c.seed = benchSeed(name, seed * 3 + 1);
+
+    // Edge streams have far fewer distinct tuples than value streams
+    // (two edges per static branch); scale each benchmark's branch
+    // population off its value-profiling footprint.
+    if (name == "burg") {
+        c.hotBranches = 500;
+        c.hotFraction = 0.82;
+        c.coldBranches = 60'000;
+    } else if (name == "deltablue") {
+        c.hotBranches = 400;
+        c.hotFraction = 0.84;
+        c.coldBranches = 40'000;
+        c.phaseLength = 2'000'000;
+        c.stableRanks = 8;
+    } else if (name == "gcc") {
+        c.hotBranches = 3000;
+        c.hotSkew = 1.0;
+        c.hotFraction = 0.72;
+        c.coldBranches = 400'000;
+    } else if (name == "go") {
+        c.hotBranches = 3500;
+        c.hotSkew = 1.0;
+        c.hotFraction = 0.70;
+        c.coldBranches = 500'000;
+        c.biasedFraction = 0.5;
+    } else if (name == "li") {
+        c.hotBranches = 350;
+        c.hotFraction = 0.88;
+        c.coldBranches = 25'000;
+    } else if (name == "m88ksim") {
+        c.hotBranches = 300;
+        c.hotFraction = 0.90;
+        c.coldBranches = 15'000;
+    } else if (name == "sis") {
+        c.hotBranches = 1000;
+        c.hotFraction = 0.80;
+        c.coldBranches = 120'000;
+    } else if (name == "vortex") {
+        c.hotBranches = 600;
+        c.hotFraction = 0.86;
+        c.coldBranches = 70'000;
+    } else {
+        MHP_FATAL("unknown benchmark name");
+    }
+    return c;
+}
+
+std::unique_ptr<ValueWorkload>
+makeValueWorkload(const std::string &name, uint64_t seed)
+{
+    return std::make_unique<ValueWorkload>(valueConfigFor(name, seed));
+}
+
+std::unique_ptr<EdgeWorkload>
+makeEdgeWorkload(const std::string &name, uint64_t seed)
+{
+    return std::make_unique<EdgeWorkload>(edgeConfigFor(name, seed));
+}
+
+} // namespace mhp

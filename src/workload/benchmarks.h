@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The calibrated benchmark suite.
+ *
+ * The paper evaluates on SPEC95 (go, li, m88ksim), SPEC2000 (gcc,
+ * vortex), and three C++ programs (deltablue, sis, burg), all
+ * ATOM-instrumented on Alpha. We cannot run those binaries, so each is
+ * replaced by a synthetic workload model whose tuple-stream statistics
+ * are calibrated to the per-benchmark characteristics the paper itself
+ * reports (Figures 4-6 and 13):
+ *
+ *  - burg      medium noise; one recurring interval with a burst of
+ *              extra candidates (source of the Fig. 13 multi-hash
+ *              spike).
+ *  - deltablue large-scale phase behaviour: low 10K variation, high 1M
+ *              variation (Fig. 6 bottom).
+ *  - gcc       very large distinct-tuple counts; unstable early phases
+ *              then steady (Fig. 13's early error spikes).
+ *  - go        the noisiest program: largest cold universe, weakly
+ *              dominant candidates.
+ *  - li        small, well-behaved hot set.
+ *  - m88ksim   bursty mid-period behaviour: high 10K variation, very
+ *              low 1M variation (Fig. 6).
+ *  - sis       medium-size sets with mild bursting.
+ *  - vortex    like m88ksim: stable at 1M, bursty at 10K; sensitive to
+ *              single-hash resetting (Fig. 7's FN increase).
+ */
+
+#ifndef MHP_WORKLOAD_BENCHMARKS_H
+#define MHP_WORKLOAD_BENCHMARKS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/edge_workload.h"
+#include "workload/value_workload.h"
+
+namespace mhp {
+
+/** Names of the eight benchmarks in the paper's presentation order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** True if name is one of the suite's benchmarks. */
+bool isBenchmarkName(const std::string &name);
+
+/** The calibrated value-profiling model for a benchmark. */
+ValueWorkloadConfig valueConfigFor(const std::string &name,
+                                   uint64_t seed = 1);
+
+/** The calibrated edge-profiling model for a benchmark. */
+EdgeWorkloadConfig edgeConfigFor(const std::string &name,
+                                 uint64_t seed = 1);
+
+/** Construct a ready-to-run value workload for a benchmark. */
+std::unique_ptr<ValueWorkload>
+makeValueWorkload(const std::string &name, uint64_t seed = 1);
+
+/** Construct a ready-to-run edge workload for a benchmark. */
+std::unique_ptr<EdgeWorkload>
+makeEdgeWorkload(const std::string &name, uint64_t seed = 1);
+
+} // namespace mhp
+
+#endif // MHP_WORKLOAD_BENCHMARKS_H

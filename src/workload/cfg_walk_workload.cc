@@ -1,0 +1,83 @@
+#include "workload/cfg_walk_workload.h"
+
+#include <algorithm>
+
+#include "support/panic.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+
+CfgWalkWorkload::CfgWalkWorkload(const CfgWalkConfig &config_)
+    : config(config_), rng(config_.seed ^ 0xcf6a1cULL)
+{
+    MHP_REQUIRE(config.nodes >= 2, "CFG needs at least two nodes");
+    MHP_REQUIRE(config.loopFraction >= 0.0 && config.loopFraction <= 1.0,
+                "loopFraction must be a probability");
+    MHP_REQUIRE(config.switchFraction >= 0.0 &&
+                    config.switchFraction <= 1.0,
+                "switchFraction must be a probability");
+    MHP_REQUIRE(config.loopBias > 0.0 && config.loopBias < 1.0,
+                "loopBias must be in (0, 1)");
+    MHP_REQUIRE(config.forwardWindow >= 1, "forwardWindow >= 1");
+
+    const uint64_t n = config.nodes;
+    nodes.resize(n);
+
+    // A forward successor near the node (wrapping), never the node
+    // itself, so every walk keeps moving.
+    auto forwardOf = [&](uint64_t i) {
+        const uint64_t hop = 1 + rng.nextBelow(config.forwardWindow);
+        return static_cast<uint32_t>((i + hop) % n);
+    };
+    // A backward target for loop back-edges.
+    auto backwardOf = [&](uint64_t i) {
+        const uint64_t hop =
+            1 + rng.nextBelow(std::min<uint64_t>(config.forwardWindow,
+                                                 i == 0 ? 1 : i));
+        return static_cast<uint32_t>((i + n - hop) % n);
+    };
+
+    for (uint64_t i = 0; i < n; ++i) {
+        Node &node = nodes[i];
+        node.pc = branchPc(config.seed, i);
+        if (rng.nextBool(config.switchFraction)) {
+            // 4-way switch with a skewed case distribution.
+            double remaining = 1.0, cum = 0.0;
+            for (int c = 0; c < 4; ++c) {
+                node.successors.push_back(forwardOf(i));
+                const double p =
+                    c == 3 ? remaining : remaining * 0.5;
+                remaining -= p;
+                cum += p;
+                node.cumProb.push_back(cum);
+            }
+            node.cumProb.back() = 1.0;
+        } else if (rng.nextBool(config.loopFraction)) {
+            // Loop header: biased back-edge + fall-through exit.
+            node.successors = {backwardOf(i), forwardOf(i)};
+            node.cumProb = {config.loopBias, 1.0};
+        } else {
+            // If-diamond: two forward targets with a random bias.
+            const double bias = 0.5 + 0.45 * rng.nextDouble();
+            node.successors = {forwardOf(i), forwardOf(i)};
+            node.cumProb = {bias, 1.0};
+        }
+    }
+}
+
+Tuple
+CfgWalkWorkload::next()
+{
+    ++events;
+    const Node &node = nodes[current];
+    const double u = rng.nextDouble();
+    size_t pick = 0;
+    while (pick + 1 < node.cumProb.size() && u >= node.cumProb[pick])
+        ++pick;
+    const uint32_t succ = node.successors[pick];
+    const Tuple edge{node.pc, nodes[succ].pc};
+    current = succ;
+    return edge;
+}
+
+} // namespace mhp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Control-flow-graph random-walk edge workload.
+ *
+ * EdgeWorkload draws branches i.i.d. from a Zipf — statistically
+ * calibrated, but real edge streams come from a *walk* over a CFG:
+ * which branch executes next depends on where control currently is,
+ * so edges arrive in correlated runs (loop bodies repeat, call chains
+ * recur). This generator builds a random CFG — loop headers with
+ * biased back-edges, if-diamonds, multiway switch nodes — and emits
+ * the <branchPC, targetPC> sequence of an endless walk.
+ *
+ * Used as a structural realism check: the profiler results of Fig. 14
+ * must hold on correlated streams too (tests/integration and
+ * bench/fig14 shapes are threshold-based, so temporal correlation is
+ * exactly what could break a lesser design).
+ */
+
+#ifndef MHP_WORKLOAD_CFG_WALK_WORKLOAD_H
+#define MHP_WORKLOAD_CFG_WALK_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** Shape of the generated CFG. */
+struct CfgWalkConfig
+{
+    std::string name = "cfg-walk";
+
+    /** Seed for both CFG construction and the walk. */
+    uint64_t seed = 1;
+
+    /** Number of branch nodes in the graph. */
+    uint64_t nodes = 2000;
+
+    /** Fraction of nodes that are loop headers (biased back-edges). */
+    double loopFraction = 0.3;
+
+    /** Fraction of nodes that are 4-way switches. */
+    double switchFraction = 0.1;
+
+    /** Taken probability of loop back-edges (loop trip bias). */
+    double loopBias = 0.9;
+
+    /**
+     * Locality of forward targets: successors are drawn within this
+     * distance of the node (small = tight clusters = hot regions).
+     */
+    uint64_t forwardWindow = 64;
+};
+
+/** Unbounded EventSource of CFG-walk branch edges. */
+class CfgWalkWorkload : public EventSource
+{
+  public:
+    explicit CfgWalkWorkload(const CfgWalkConfig &config);
+
+    Tuple next() override;
+    bool done() const override { return false; }
+    ProfileKind kind() const override { return ProfileKind::Edge; }
+    std::string name() const override { return config.name; }
+
+    uint64_t eventCount() const { return events; }
+
+    /** Number of nodes in the generated CFG (tests). */
+    uint64_t nodeCount() const { return nodes.size(); }
+
+    /** The PC assigned to a node (tests). */
+    uint64_t pcOf(uint64_t node) const { return nodes[node].pc; }
+
+  private:
+    struct Node
+    {
+        uint64_t pc = 0;
+        /** Successor node ids (2 for branches, 4 for switches). */
+        std::vector<uint32_t> successors;
+        /** Cumulative successor probabilities (same size). */
+        std::vector<double> cumProb;
+    };
+
+    CfgWalkConfig config;
+    Rng rng;
+    std::vector<Node> nodes;
+    uint32_t current = 0;
+    uint64_t events = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_WORKLOAD_CFG_WALK_WORKLOAD_H

@@ -1,0 +1,63 @@
+#include "workload/edge_workload.h"
+
+#include "support/panic.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+
+EdgeWorkload::EdgeWorkload(const EdgeWorkloadConfig &config_)
+    : config(config_), rng(config_.seed ^ 0xed6e5ULL),
+      hotDist(config_.hotBranches, config_.hotSkew),
+      coldDist(config_.coldBranches, config_.coldSkew)
+{
+    MHP_REQUIRE(config.hotBranches >= 1, "no hot branches");
+    MHP_REQUIRE(config.coldBranches >= 1, "no cold branches");
+    MHP_REQUIRE(config.hotFraction >= 0.0 && config.hotFraction <= 1.0,
+                "hotFraction must be a probability");
+    MHP_REQUIRE(config.biasedFraction >= 0.0 &&
+                    config.biasedFraction <= 1.0,
+                "biasedFraction must be a probability");
+}
+
+double
+EdgeWorkload::takenProbability(uint64_t rank) const
+{
+    // Deterministic per-branch bias: a biasedFraction of branches are
+    // strongly taken (~0.95); the rest fall anywhere in [0.5, 0.8].
+    const uint64_t h = mixIdentity(config.seed, rank + 1, 0xb1a5ULL);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < config.biasedFraction)
+        return 0.95;
+    const double v =
+        static_cast<double>(mixIdentity(h, rank, 3) >> 11) * 0x1.0p-53;
+    return 0.5 + 0.3 * v;
+}
+
+uint64_t
+EdgeWorkload::hotBranchIndex(uint64_t rank) const
+{
+    if (config.phaseLength == 0 || rank < config.stableRanks)
+        return rank;
+    // Rename non-stable hot branches once per phase.
+    const uint64_t phase = events / config.phaseLength;
+    return mixIdentity(config.seed, rank + 1, phase) |
+           (1ULL << 40); // keep renamed indices out of the base range
+}
+
+Tuple
+EdgeWorkload::next()
+{
+    ++events;
+    if (rng.nextBool(config.hotFraction)) {
+        const uint64_t rank = hotDist.sample(rng);
+        const uint64_t branch = hotBranchIndex(rank);
+        const bool taken = rng.nextBool(takenProbability(rank));
+        return edgeTuple(config.seed, branch, taken);
+    }
+    // Cold branch; outcome is a coin flip around a mild bias.
+    const uint64_t id = coldDist.sample(rng) + (1ULL << 50);
+    const bool taken = rng.nextBool(0.6);
+    return edgeTuple(config.seed, id, taken);
+}
+
+} // namespace mhp

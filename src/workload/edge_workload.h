@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic branch-edge profiling workload.
+ *
+ * Produces <branchPC, targetPC> tuples from a population of static
+ * branches with Zipf-distributed execution frequency and per-branch
+ * taken/not-taken bias. Each static branch contributes at most two
+ * distinct edges, so edge streams naturally have far fewer distinct
+ * tuples than value streams — exactly the property the paper notes in
+ * Section 6.4.2.
+ */
+
+#ifndef MHP_WORKLOAD_EDGE_WORKLOAD_H
+#define MHP_WORKLOAD_EDGE_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/zipf.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** Parameterization of a synthetic edge-profiling workload. */
+struct EdgeWorkloadConfig
+{
+    std::string name = "synthetic-edges";
+
+    /** Seed; the stream is a pure function of (config, seed). */
+    uint64_t seed = 1;
+
+    /** Frequently executed static branches (Zipf ranks). */
+    uint64_t hotBranches = 600;
+
+    /** Zipf exponent over hot-branch execution frequency. */
+    double hotSkew = 1.05;
+
+    /** Probability an event comes from the hot branches. */
+    double hotFraction = 0.80;
+
+    /** Rarely executed static branches (noise). */
+    uint64_t coldBranches = 200'000;
+
+    /** Zipf exponent over cold branches. */
+    double coldSkew = 0.3;
+
+    /**
+     * Fraction of hot branches that are strongly biased (taken
+     * probability ~0.95); the rest are mixed (~0.5-0.8). Real edge
+     * profiles are dominated by loop back-edges and error checks.
+     */
+    double biasedFraction = 0.7;
+
+    /**
+     * Phase renaming, as in ValueWorkloadConfig: every phaseLength
+     * events the non-stable hot branches are renamed. 0 disables.
+     */
+    uint64_t phaseLength = 0;
+    uint64_t stableRanks = 16;
+};
+
+/** Unbounded EventSource of branch edges. */
+class EdgeWorkload : public EventSource
+{
+  public:
+    explicit EdgeWorkload(const EdgeWorkloadConfig &config);
+
+    Tuple next() override;
+    bool done() const override { return false; }
+    ProfileKind kind() const override { return ProfileKind::Edge; }
+    std::string name() const override { return config.name; }
+
+    uint64_t eventCount() const { return events; }
+
+    /** Taken probability assigned to a hot branch rank (for tests). */
+    double takenProbability(uint64_t rank) const;
+
+    const EdgeWorkloadConfig &configuration() const { return config; }
+
+  private:
+    uint64_t hotBranchIndex(uint64_t rank) const;
+
+    EdgeWorkloadConfig config;
+    Rng rng;
+    ZipfDistribution hotDist;
+    ZipfDistribution coldDist;
+    uint64_t events = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_WORKLOAD_EDGE_WORKLOAD_H

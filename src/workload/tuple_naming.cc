@@ -1,0 +1,63 @@
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+
+uint64_t
+mixIdentity(uint64_t a, uint64_t b, uint64_t c)
+{
+    uint64_t z = a * 0x9e3779b97f4a7c15ULL + b * 0xc2b2ae3d27d4eb4fULL +
+                 c * 0x165667b19e3779f9ULL + 0x27d4eb2f165667c5ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Tuple
+hotValueTuple(uint64_t seed, uint64_t rank, uint64_t salt,
+              uint64_t staticPcs)
+{
+    const uint64_t id = mixIdentity(seed, rank + 1, salt);
+    Tuple t;
+    t.first = kHotPcBase + (id % staticPcs) * 4;
+    // Real frequent values are often small integers or pointers; keep
+    // a bias toward small values so hash functions see realistic data.
+    const uint64_t v = mixIdentity(seed ^ 0x5ca1eULL, rank + 1, salt);
+    t.second = (v % 4 == 0) ? (v & 0xff) : v;
+    return t;
+}
+
+Tuple
+coldValueTuple(uint64_t seed, uint64_t id, uint64_t staticPcs)
+{
+    const uint64_t h = mixIdentity(seed, id + 1, 0x0c01dULL);
+    Tuple t;
+    t.first = kColdPcBase + (h % staticPcs) * 4;
+    t.second = mixIdentity(seed, id + 1, 0xda7aULL);
+    return t;
+}
+
+uint64_t
+branchPc(uint64_t seed, uint64_t index)
+{
+    const uint64_t h = mixIdentity(seed, index + 1, 0xb4a2cULL);
+    return kBranchPcBase + (h % (1ULL << 22)) * 4;
+}
+
+Tuple
+edgeTuple(uint64_t seed, uint64_t branchIndex, bool taken)
+{
+    const uint64_t pc = branchPc(seed, branchIndex);
+    Tuple t;
+    t.first = pc;
+    if (taken) {
+        // Derived jump displacement, 4-byte aligned, mostly short.
+        const uint64_t disp =
+            (mixIdentity(seed, branchIndex + 1, 0x7a2e7ULL) % 4096) * 4;
+        t.second = pc + 8 + disp;
+    } else {
+        t.second = pc + 4;
+    }
+    return t;
+}
+
+} // namespace mhp

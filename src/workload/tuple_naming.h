@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic construction of realistic-looking profiling tuples.
+ *
+ * The synthetic workloads need stable mappings from abstract identities
+ * ("hot rank 3 in phase 7", "cold id 123456") to concrete <pc, value>
+ * or <branchPC, targetPC> tuples. The mappings here are pure functions
+ * of their inputs, so the same identity always produces the same tuple
+ * and distinct identities collide only with 2^-64 probability.
+ *
+ * PCs are drawn from disjoint, 4-byte-aligned text-segment-style
+ * regions so hot and cold tuples can never alias by construction.
+ */
+
+#ifndef MHP_WORKLOAD_TUPLE_NAMING_H
+#define MHP_WORKLOAD_TUPLE_NAMING_H
+
+#include <cstdint>
+
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** Stateless 64-bit mixing (splitmix finalizer over combined input). */
+uint64_t mixIdentity(uint64_t a, uint64_t b, uint64_t c = 0);
+
+/** Base of the synthetic text segment for "hot" load instructions. */
+constexpr uint64_t kHotPcBase = 0x0000000120000000ULL;
+
+/** Base of the synthetic text segment for "cold" load instructions. */
+constexpr uint64_t kColdPcBase = 0x0000000128000000ULL;
+
+/** Base of the synthetic text segment for branch instructions. */
+constexpr uint64_t kBranchPcBase = 0x0000000130000000ULL;
+
+/**
+ * Build a <pc, value> tuple for a hot identity.
+ *
+ * @param seed Workload seed (decorrelates different benchmarks).
+ * @param rank Hot-set rank of the tuple.
+ * @param salt Phase salt; changing it renames the tuple (models a
+ *             program phase touching different data).
+ * @param staticPcs Number of distinct static load PCs to spread hot
+ *             tuples across (several hot values may share a PC, as
+ *             real value profiles do).
+ */
+Tuple hotValueTuple(uint64_t seed, uint64_t rank, uint64_t salt,
+                    uint64_t staticPcs);
+
+/** Build a <pc, value> tuple for a cold (noise) identity. */
+Tuple coldValueTuple(uint64_t seed, uint64_t id, uint64_t staticPcs);
+
+/** PC of the branch with the given index. */
+uint64_t branchPc(uint64_t seed, uint64_t index);
+
+/**
+ * Build a <branchPC, targetPC> tuple.
+ * @param taken Taken edges jump to a derived target; not-taken edges
+ *              fall through to pc + 4.
+ */
+Tuple edgeTuple(uint64_t seed, uint64_t branchIndex, bool taken);
+
+} // namespace mhp
+
+#endif // MHP_WORKLOAD_TUPLE_NAMING_H

@@ -1,0 +1,110 @@
+#include "workload/value_workload.h"
+
+#include "support/panic.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+
+ValueWorkload::ValueWorkload(const ValueWorkloadConfig &config_)
+    : config(config_), rng(config_.seed),
+      hotDist(config_.hotSetSize, config_.hotSkew),
+      coldDist(config_.coldUniverseSize, config_.coldSkew)
+{
+    MHP_REQUIRE(config.hotSetSize >= 1, "empty hot set");
+    MHP_REQUIRE(config.coldUniverseSize >= 1, "empty cold universe");
+    MHP_REQUIRE(config.hotFraction >= 0.0 && config.hotFraction <= 1.0,
+                "hotFraction must be a probability");
+    MHP_REQUIRE(config.boostProb >= 0.0 && config.boostProb <= 1.0,
+                "boostProb must be a probability");
+    if (config.numGroups > 0) {
+        MHP_REQUIRE(config.numGroups <= config.hotSetSize,
+                    "more burst groups than hot tuples");
+        MHP_REQUIRE(config.rotatePeriod > 0,
+                    "rotatePeriod must be positive");
+    }
+    MHP_REQUIRE(config.headSize <= config.hotSetSize,
+                "head larger than hot set");
+    MHP_REQUIRE(config.headFraction >= 0.0 && config.headFraction <= 1.0,
+                "headFraction must be a probability");
+    if (!config.phases.empty()) {
+        phaseRemaining = config.phases[0].length;
+        activeSalt = config.phases[0].salt;
+        MHP_REQUIRE(phaseRemaining > 0, "zero-length phase");
+    }
+}
+
+uint64_t
+ValueWorkload::currentPhaseSalt() const
+{
+    return activeSalt;
+}
+
+Tuple
+ValueWorkload::tupleForHotRank(uint64_t rank) const
+{
+    // Stable ranks keep their identity across phases; the rest are
+    // renamed per phase (the phase touches different data).
+    const uint64_t salt = rank < config.stableRanks ? 0 : activeSalt;
+    return hotValueTuple(config.seed, rank, salt, config.hotStaticPcs);
+}
+
+void
+ValueWorkload::advancePhase()
+{
+    if (config.phases.empty())
+        return;
+    if (phaseRemaining > 0) {
+        --phaseRemaining;
+        return;
+    }
+    ++phaseIndex;
+    if (phaseIndex >= config.phases.size()) {
+        if (!config.loopPhases) {
+            // Stay in the final phase forever.
+            phaseIndex = config.phases.size() - 1;
+        } else {
+            phaseIndex = 0;
+        }
+    }
+    phaseRemaining = config.phases[phaseIndex].length;
+    activeSalt = config.phases[phaseIndex].salt;
+    MHP_ASSERT(phaseRemaining > 0, "zero-length phase");
+    --phaseRemaining;
+}
+
+Tuple
+ValueWorkload::next()
+{
+    advancePhase();
+    const uint64_t now = events++;
+
+    if (!rng.nextBool(config.hotFraction)) {
+        // Cold/noise event.
+        const uint64_t id = coldDist.sample(rng);
+        return coldValueTuple(config.seed, id, config.coldStaticPcs);
+    }
+
+    uint64_t rank;
+    if (config.headSize > 0 && rng.nextBool(config.headFraction))
+        rank = rng.nextBelow(config.headSize);
+    else
+        rank = hotDist.sample(rng);
+
+    if (config.numGroups > 0 && rng.nextBool(config.boostProb)) {
+        // Redirect into the currently boosted burst group: short
+        // intervals over-sample this group, long intervals average
+        // over all groups.
+        const uint64_t group =
+            (now / config.rotatePeriod) % config.numGroups;
+        const uint64_t group_size =
+            config.hotSetSize / config.numGroups;
+        if (group_size > 0) {
+            const uint64_t within = rng.nextBelow(group_size);
+            rank = group * group_size + within;
+        }
+    }
+
+    return tupleForHotRank(rank);
+}
+
+} // namespace mhp

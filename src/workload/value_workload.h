@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Synthetic load-value profiling workload.
+ *
+ * Stands in for the paper's ATOM-instrumented SPEC/C++ programs (see
+ * DESIGN.md for the substitution argument). The generator produces an
+ * unbounded stream of <pc, value> tuples with the statistical structure
+ * that drives profiler accuracy:
+ *
+ *  - A Zipf-distributed HOT SET whose top ranks are the candidate
+ *    tuples (frequency above the candidate threshold).
+ *  - A large COLD UNIVERSE of noise tuples, so the number of distinct
+ *    tuples per interval grows with interval length (paper Fig. 4)
+ *    while the candidate count stays roughly flat (Fig. 5).
+ *  - BURST GROUPS: a rotating "boosted" subset of the hot set, so
+ *    short intervals see different candidate subsets than long ones
+ *    (the m88ksim/vortex pattern of Fig. 6).
+ *  - PHASES: scheduled renaming of the non-stable hot ranks, modelling
+ *    large-scale program phase changes (the deltablue/gcc patterns of
+ *    Figs. 6 and 13).
+ */
+
+#ifndef MHP_WORKLOAD_VALUE_WORKLOAD_H
+#define MHP_WORKLOAD_VALUE_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/zipf.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** One program phase: a duration and a renaming salt. */
+struct PhaseSpec
+{
+    /** Phase length in events. */
+    uint64_t length = 0;
+    /** Salt mixed into non-stable hot tuple names during this phase. */
+    uint64_t salt = 0;
+};
+
+/** Full parameterization of a synthetic value-profiling workload. */
+struct ValueWorkloadConfig
+{
+    std::string name = "synthetic";
+
+    /** Seed; every stream is a pure function of (config, seed). */
+    uint64_t seed = 1;
+
+    /** Hot-set size (number of Zipf ranks). */
+    uint64_t hotSetSize = 1000;
+
+    /** Zipf exponent over the hot set; higher = fewer, hotter tuples. */
+    double hotSkew = 1.0;
+
+    /** Probability an event is drawn from the hot set. */
+    double hotFraction = 0.55;
+
+    /**
+     * A flat "head": with probability headFraction, a hot event picks
+     * uniformly among ranks [0, headSize) instead of sampling the Zipf.
+     * This decouples the number of candidate tuples from the Zipf
+     * shape, letting each benchmark model match the paper's candidate
+     * counts (Fig. 5). headSize == 0 disables the head.
+     */
+    uint64_t headSize = 0;
+    double headFraction = 0.0;
+
+    /** Number of distinct cold (noise) tuples. */
+    uint64_t coldUniverseSize = 1'000'000;
+
+    /** Zipf exponent over the cold universe (mild reuse). */
+    double coldSkew = 0.4;
+
+    /** Distinct static load PCs that hot tuples are spread across. */
+    uint64_t hotStaticPcs = 4096;
+
+    /** Distinct static load PCs for cold tuples. */
+    uint64_t coldStaticPcs = 1 << 20;
+
+    /**
+     * Burst groups: the hot set is split into numGroups groups and one
+     * group at a time is "boosted" — events redirect into it with
+     * probability boostProb. 0 groups disables bursting.
+     */
+    uint32_t numGroups = 0;
+    uint64_t rotatePeriod = 50'000;
+    double boostProb = 0.0;
+
+    /**
+     * Phase schedule, looped if loopPhases. Empty = one infinite phase
+     * with salt 0.
+     */
+    std::vector<PhaseSpec> phases;
+    bool loopPhases = true;
+
+    /** Hot ranks below this are never renamed by phase changes. */
+    uint64_t stableRanks = 8;
+};
+
+/** Unbounded EventSource implementing the model above. */
+class ValueWorkload : public EventSource
+{
+  public:
+    explicit ValueWorkload(const ValueWorkloadConfig &config);
+
+    Tuple next() override;
+    bool done() const override { return false; }
+    ProfileKind kind() const override { return ProfileKind::Value; }
+    std::string name() const override { return config.name; }
+
+    /** Events generated so far. */
+    uint64_t eventCount() const { return events; }
+
+    /** The active phase salt (for tests). */
+    uint64_t currentPhaseSalt() const;
+
+    const ValueWorkloadConfig &configuration() const { return config; }
+
+    /**
+     * The tuple a given hot rank produces under the current phase
+     * (exposed so tests can verify candidate identities).
+     */
+    Tuple tupleForHotRank(uint64_t rank) const;
+
+  private:
+    void advancePhase();
+
+    ValueWorkloadConfig config;
+    Rng rng;
+    ZipfDistribution hotDist;
+    ZipfDistribution coldDist;
+
+    uint64_t events = 0;
+
+    // Phase machine state.
+    size_t phaseIndex = 0;
+    uint64_t phaseRemaining = 0;
+    uint64_t activeSalt = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_WORKLOAD_VALUE_WORKLOAD_H

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "analysis/error_metrics.h"
+
+namespace mhp {
+namespace {
+
+using PerfectCounts = std::unordered_map<Tuple, uint64_t, TupleHash>;
+
+constexpr uint64_t kT = 10; // candidate threshold
+
+TEST(Classify, MatchesFigure3)
+{
+    // fh > fp >= T -> Neutral Positive.
+    EXPECT_EQ(classifyTuple(12, 15, kT), ErrorCategory::NeutralPositive);
+    // fp > fh >= T -> Neutral Negative.
+    EXPECT_EQ(classifyTuple(15, 12, kT), ErrorCategory::NeutralNegative);
+    // fp < T, fh >= T -> False Positive.
+    EXPECT_EQ(classifyTuple(5, 12, kT), ErrorCategory::FalsePositive);
+    // fp >= T, fh < T -> False Negative.
+    EXPECT_EQ(classifyTuple(12, 5, kT), ErrorCategory::FalseNegative);
+    // Both below threshold -> Don't Care.
+    EXPECT_EQ(classifyTuple(5, 5, kT), ErrorCategory::DontCare);
+}
+
+TEST(Classify, ExactAgreementIsNeutralPositive)
+{
+    // fh == fp >= T carries zero error; the category is NP by the
+    // fh >= fp convention.
+    EXPECT_EQ(classifyTuple(10, 10, kT), ErrorCategory::NeutralPositive);
+}
+
+TEST(Classify, CategoryNames)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::FalsePositive),
+                 "false-positive");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::DontCare),
+                 "dont-care");
+}
+
+TEST(ScoreInterval, PerfectAgreementIsZeroError)
+{
+    PerfectCounts truth{{{1, 1}, 50}, {{2, 2}, 20}, {{3, 3}, 5}};
+    IntervalSnapshot hw{{{1, 1}, 50}, {{2, 2}, 20}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_DOUBLE_EQ(s.breakdown.total(), 0.0);
+    EXPECT_EQ(s.perfectCandidates, 2u);
+    EXPECT_EQ(s.hardwareCandidates, 2u);
+    EXPECT_EQ(s.counts.neutralPositive, 2u);
+}
+
+TEST(ScoreInterval, FalseNegativeError)
+{
+    // One candidate missed entirely: E = fp / sum(fp) over candidates.
+    PerfectCounts truth{{{1, 1}, 60}, {{2, 2}, 40}};
+    IntervalSnapshot hw{{{1, 1}, 60}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_DOUBLE_EQ(s.breakdown.falseNegative, 40.0 / 100.0);
+    EXPECT_DOUBLE_EQ(s.breakdown.total(), 0.4);
+    EXPECT_EQ(s.counts.falseNegative, 1u);
+}
+
+TEST(ScoreInterval, FalsePositiveError)
+{
+    // Hardware invents a candidate with true frequency 2: the |fp-fh|
+    // numerator is 18, the denominator includes the FP's fp (2).
+    PerfectCounts truth{{{1, 1}, 50}, {{9, 9}, 2}};
+    IntervalSnapshot hw{{{1, 1}, 50}, {{9, 9}, 20}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_DOUBLE_EQ(s.breakdown.falsePositive, 18.0 / 52.0);
+    EXPECT_EQ(s.counts.falsePositive, 1u);
+}
+
+TEST(ScoreInterval, FalsePositiveErrorCanExceedOne)
+{
+    // The paper reports >100% errors for go: many invented candidates
+    // overwhelm a small denominator.
+    PerfectCounts truth{{{1, 1}, 12}, {{9, 9}, 1}, {{8, 8}, 1}};
+    IntervalSnapshot hw{{{1, 1}, 12}, {{9, 9}, 30}, {{8, 8}, 30}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_GT(s.breakdown.total(), 1.0);
+}
+
+TEST(ScoreInterval, NeutralErrors)
+{
+    PerfectCounts truth{{{1, 1}, 100}, {{2, 2}, 50}};
+    IntervalSnapshot hw{{{1, 1}, 110}, {{2, 2}, 45}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_DOUBLE_EQ(s.breakdown.neutralPositive, 10.0 / 150.0);
+    EXPECT_DOUBLE_EQ(s.breakdown.neutralNegative, 5.0 / 150.0);
+    EXPECT_EQ(s.counts.neutralPositive, 1u);
+    EXPECT_EQ(s.counts.neutralNegative, 1u);
+}
+
+TEST(ScoreInterval, HardwareCandidateBelowThresholdTruthCountsOnce)
+{
+    // A tuple the hardware reports with fh >= T but fp < T must be
+    // counted exactly once, as FP (not double-counted by both passes).
+    PerfectCounts truth{{{1, 1}, 20}, {{2, 2}, 9}};
+    IntervalSnapshot hw{{{1, 1}, 20}, {{2, 2}, 11}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_EQ(s.counts.falsePositive, 1u);
+    EXPECT_EQ(s.counts.neutralPositive, 1u);
+    EXPECT_EQ(s.counts.falseNegative, 0u);
+    EXPECT_DOUBLE_EQ(s.breakdown.falsePositive, 2.0 / 29.0);
+}
+
+TEST(ScoreInterval, EmptyEverythingIsZeroError)
+{
+    PerfectCounts truth;
+    IntervalSnapshot hw;
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_DOUBLE_EQ(s.breakdown.total(), 0.0);
+    EXPECT_EQ(s.perfectCandidates, 0u);
+    EXPECT_EQ(s.hardwareCandidates, 0u);
+}
+
+TEST(ScoreInterval, PureInventionIsFullFalsePositive)
+{
+    // No true candidates at all, hardware reports one never-seen-much
+    // tuple: degenerate denominator handled as 100% FP error.
+    PerfectCounts truth{{{9, 9}, 0}};
+    IntervalSnapshot hw{{{9, 9}, 15}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    EXPECT_DOUBLE_EQ(s.breakdown.falsePositive, 1.0);
+}
+
+TEST(ScoreInterval, WeightingFollowsFormulaOne)
+{
+    // E = sum|fp-fh| / sum fp: heavier candidates dominate.
+    PerfectCounts truth{{{1, 1}, 1000}, {{2, 2}, 10}};
+    IntervalSnapshot hw{{{1, 1}, 1000}};
+    const IntervalScore s = scoreInterval(truth, hw, kT);
+    // Missing the tiny candidate barely matters.
+    EXPECT_NEAR(s.breakdown.total(), 10.0 / 1010.0, 1e-12);
+}
+
+TEST(ErrorBreakdown, Arithmetic)
+{
+    ErrorBreakdown a{0.1, 0.2, 0.3, 0.4};
+    const ErrorBreakdown b{0.1, 0.0, 0.1, 0.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.falsePositive, 0.2);
+    EXPECT_DOUBLE_EQ(a.neutralPositive, 0.4);
+    a /= 2.0;
+    EXPECT_DOUBLE_EQ(a.falsePositive, 0.1);
+    EXPECT_DOUBLE_EQ(a.total(), 0.1 + 0.1 + 0.2 + 0.2);
+}
+
+} // namespace
+} // namespace mhp

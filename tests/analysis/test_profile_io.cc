@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "analysis/profile_io.h"
+
+namespace mhp {
+namespace {
+
+class ProfileIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = (std::filesystem::temp_directory_path() /
+                (std::string("mhp_profile_") +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name() +
+                 ".mhp"))
+                   .string();
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(ProfileIoTest, RoundTripsSnapshots)
+{
+    const IntervalSnapshot first{{Tuple{1, 10}, 500},
+                                 {Tuple{2, 20}, 300}};
+    const IntervalSnapshot second{{Tuple{3, 30}, 999}};
+    {
+        ProfileWriter w(path, ProfileKind::Value, 10'000, 100);
+        ASSERT_TRUE(w.ok());
+        w.writeInterval(first);
+        w.writeInterval(second);
+        EXPECT_EQ(w.intervalsWritten(), 2u);
+    }
+    ProfileReader r(path);
+    EXPECT_EQ(r.kind(), ProfileKind::Value);
+    EXPECT_EQ(r.intervalLength(), 10'000u);
+    EXPECT_EQ(r.thresholdCount(), 100u);
+
+    IntervalSnapshot snap;
+    ASSERT_TRUE(r.readInterval(snap));
+    EXPECT_EQ(snap, first);
+    ASSERT_TRUE(r.readInterval(snap));
+    EXPECT_EQ(snap, second);
+    EXPECT_FALSE(r.readInterval(snap));
+    EXPECT_EQ(snap, second); // untouched at EOF
+}
+
+TEST_F(ProfileIoTest, EmptyIntervalsRoundTrip)
+{
+    {
+        ProfileWriter w(path, ProfileKind::Edge, 1'000'000, 1000);
+        w.writeInterval({});
+        w.writeInterval({});
+    }
+    ProfileReader r(path);
+    EXPECT_EQ(r.kind(), ProfileKind::Edge);
+    const auto all = r.readAll();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_TRUE(all[0].empty());
+    EXPECT_TRUE(all[1].empty());
+}
+
+TEST_F(ProfileIoTest, ReadAllCollectsEverything)
+{
+    {
+        ProfileWriter w(path, ProfileKind::CacheMiss, 10'000, 100);
+        for (uint64_t iv = 0; iv < 5; ++iv)
+            w.writeInterval({{Tuple{iv, iv * 2}, iv + 1}});
+    }
+    ProfileReader r(path);
+    EXPECT_EQ(r.kind(), ProfileKind::CacheMiss);
+    const auto all = r.readAll();
+    ASSERT_EQ(all.size(), 5u);
+    for (uint64_t iv = 0; iv < 5; ++iv) {
+        ASSERT_EQ(all[iv].size(), 1u);
+        EXPECT_EQ(all[iv][0].tuple.first, iv);
+        EXPECT_EQ(all[iv][0].count, iv + 1);
+    }
+}
+
+TEST_F(ProfileIoTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ ProfileReader r("/nonexistent/profile.mhp"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(ProfileIoTest, BadMagicIsFatal)
+{
+    {
+        std::ofstream bad(path, std::ios::binary);
+        bad << "THIS-IS-NOT-A-PROFILE-FILE-AT-ALL";
+    }
+    EXPECT_EXIT({ ProfileReader r(path); },
+                ::testing::ExitedWithCode(1), "bad profile magic");
+}
+
+TEST_F(ProfileIoTest, AllProfileKindsSurvive)
+{
+    for (const auto kind :
+         {ProfileKind::Value, ProfileKind::Edge, ProfileKind::CacheMiss,
+          ProfileKind::Mispredict}) {
+        {
+            ProfileWriter w(path, kind, 1, 1);
+            w.writeInterval({});
+        }
+        ProfileReader r(path);
+        EXPECT_EQ(r.kind(), kind);
+    }
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "analysis/simpoint.h"
+#include "workload/benchmarks.h"
+
+#include "analysis/interval_runner.h"
+#include "core/perfect_profiler.h"
+
+namespace mhp {
+namespace {
+
+/** Snapshot with tuples {base..base+n-1}, all weight w. */
+IntervalSnapshot
+snapOf(uint64_t base, uint64_t n, uint64_t w = 100)
+{
+    IntervalSnapshot s;
+    for (uint64_t i = 0; i < n; ++i)
+        s.push_back({Tuple{base + i, 1}, w});
+    return s;
+}
+
+TEST(FrequencyVector, IsL1Normalized)
+{
+    const FrequencyVector v(snapOf(0, 10), 32);
+    double sum = 0.0;
+    for (double x : v.values())
+        sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FrequencyVector, EmptySnapshotIsZero)
+{
+    const FrequencyVector v(IntervalSnapshot{}, 32);
+    for (double x : v.values())
+        EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(FrequencyVector, IdenticalSnapshotsAtDistanceZero)
+{
+    const FrequencyVector a(snapOf(0, 10), 64);
+    const FrequencyVector b(snapOf(0, 10), 64);
+    EXPECT_DOUBLE_EQ(a.distance(b), 0.0);
+}
+
+TEST(FrequencyVector, DisjointSnapshotsFarApart)
+{
+    const FrequencyVector a(snapOf(0, 4), 64);
+    const FrequencyVector b(snapOf(1000, 4), 64);
+    // L1 distance of disjoint distributions approaches 2.
+    EXPECT_GT(a.distance(b), 1.0);
+}
+
+TEST(Simpoint, SinglePhaseStreamYieldsOneCluster)
+{
+    std::vector<IntervalSnapshot> snaps(8, snapOf(0, 10));
+    SimpointAnalysis sp(4, 64, 10);
+    const auto phases = sp.analyze(snaps);
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].intervals.size(), 8u);
+    EXPECT_DOUBLE_EQ(phases[0].weight, 1.0);
+}
+
+TEST(Simpoint, TwoPhaseStreamSeparates)
+{
+    std::vector<IntervalSnapshot> snaps;
+    for (int i = 0; i < 5; ++i)
+        snaps.push_back(snapOf(0, 10));
+    for (int i = 0; i < 3; ++i)
+        snaps.push_back(snapOf(5000, 10));
+    SimpointAnalysis sp(4, 64, 10);
+    const auto phases = sp.analyze(snaps);
+    ASSERT_EQ(phases.size(), 2u);
+    // Sorted by weight: the 5-member phase first.
+    EXPECT_EQ(phases[0].intervals.size(), 5u);
+    EXPECT_EQ(phases[1].intervals.size(), 3u);
+    EXPECT_NEAR(phases[0].weight, 5.0 / 8.0, 1e-9);
+    // Representatives come from their own clusters.
+    EXPECT_LT(phases[0].representative, 5u);
+    EXPECT_GE(phases[1].representative, 5u);
+}
+
+TEST(Simpoint, RespectsMaxPhases)
+{
+    std::vector<IntervalSnapshot> snaps;
+    for (uint64_t p = 0; p < 6; ++p)
+        snaps.push_back(snapOf(p * 10'000, 10));
+    SimpointAnalysis sp(3, 64, 10);
+    const auto phases = sp.analyze(snaps);
+    EXPECT_LE(phases.size(), 3u);
+    // Weights sum to 1 and every interval is assigned exactly once.
+    double total = 0.0;
+    size_t members = 0;
+    for (const auto &ph : phases) {
+        total += ph.weight;
+        members += ph.intervals.size();
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_EQ(members, snaps.size());
+}
+
+TEST(Simpoint, EmptyInput)
+{
+    SimpointAnalysis sp;
+    EXPECT_TRUE(sp.analyze({}).empty());
+}
+
+TEST(Simpoint, ClassifyMatchesPhaseOfOrigin)
+{
+    std::vector<IntervalSnapshot> snaps;
+    for (int i = 0; i < 4; ++i)
+        snaps.push_back(snapOf(0, 10));
+    for (int i = 0; i < 4; ++i)
+        snaps.push_back(snapOf(7777, 10));
+    SimpointAnalysis sp(2, 64, 10);
+    const auto phases = sp.analyze(snaps);
+    ASSERT_EQ(phases.size(), 2u);
+    const size_t a = sp.classify(snapOf(0, 10), snaps, phases);
+    const size_t b = sp.classify(snapOf(7777, 10), snaps, phases);
+    EXPECT_NE(a, b);
+}
+
+TEST(Simpoint, IsDeterministic)
+{
+    std::vector<IntervalSnapshot> snaps;
+    for (uint64_t i = 0; i < 10; ++i)
+        snaps.push_back(snapOf((i % 3) * 1000, 8 + i % 4));
+    SimpointAnalysis sp(3, 64, 15);
+    const auto p1 = sp.analyze(snaps);
+    const auto p2 = sp.analyze(snaps);
+    ASSERT_EQ(p1.size(), p2.size());
+    for (size_t i = 0; i < p1.size(); ++i) {
+        EXPECT_EQ(p1[i].intervals, p2[i].intervals);
+        EXPECT_EQ(p1[i].representative, p2[i].representative);
+    }
+}
+
+TEST(Simpoint, FindsDeltabluePhases)
+{
+    // deltablue's model cycles 5 phases of 2M events: perfect-profile
+    // 10 intervals of 1M and the clustering should find >= 2 phases.
+    auto workload = makeValueWorkload("deltablue");
+    PerfectProfiler perfect(1000);
+    std::vector<IntervalSnapshot> snaps;
+    for (int iv = 0; iv < 10; ++iv) {
+        for (int i = 0; i < 1'000'000; ++i)
+            perfect.onEvent(workload->next());
+        snaps.push_back(perfect.endInterval());
+    }
+    SimpointAnalysis sp(5, 64, 20);
+    const auto phases = sp.analyze(snaps);
+    EXPECT_GE(phases.size(), 2u);
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+
+namespace mhp {
+namespace {
+
+CacheConfig
+tiny()
+{
+    CacheConfig c;
+    c.sizeBytes = 1024; // 4 sets x 4 ways x 64B
+    c.lineBytes = 64;
+    c.ways = 4;
+    return c;
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c(tiny());
+    EXPECT_EQ(c.numSets(), 4u);
+    EXPECT_EQ(c.lineOf(0x12345), 0x12345u & ~63ull);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1004)); // same line
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x40));
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_TRUE(c.access(0x40));
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c(tiny()); // 4 ways
+    // 5 lines mapping to set 0 (stride = sets * lineBytes = 256).
+    for (uint64_t i = 0; i < 5; ++i)
+        EXPECT_FALSE(c.access(i * 256));
+    // Line 0 was LRU: evicted.
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(4 * 256));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, LruRefreshOnHit)
+{
+    Cache c(tiny());
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * 256);
+    c.access(0); // refresh line 0
+    c.access(4 * 256); // evicts line 1 (now LRU), not line 0
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(256));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHasNoCapacityMisses)
+{
+    Cache c(tiny());
+    for (int round = 0; round < 10; ++round) {
+        for (uint64_t line = 0; line < 16; ++line)
+            c.access(line * 64);
+    }
+    EXPECT_EQ(c.stats().misses, 16u); // cold misses only
+}
+
+TEST(Cache, PrefetchInstallsWithoutDemandMiss)
+{
+    Cache c(tiny());
+    c.prefetch(0x2000);
+    EXPECT_TRUE(c.contains(0x2000));
+    EXPECT_TRUE(c.access(0x2000));
+    EXPECT_EQ(c.stats().misses, 0u);
+    EXPECT_EQ(c.stats().prefetches, 1u);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+}
+
+TEST(Cache, PrefetchHitCountedOncePerFill)
+{
+    Cache c(tiny());
+    c.prefetch(0x2000);
+    c.access(0x2000);
+    c.access(0x2000);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(tiny());
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.25);
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache c(tiny());
+    c.access(0x1000);
+    c.reset();
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(CacheDeathTest, RejectsBadGeometry)
+{
+    CacheConfig c;
+    c.lineBytes = 48; // not a power of two
+    EXPECT_EXIT(Cache{c}, ::testing::ExitedWithCode(1), "");
+
+    c = CacheConfig{};
+    c.sizeBytes = 64;
+    c.ways = 4; // smaller than one set
+    EXPECT_EXIT(Cache{c}, ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "cache/miss_probe.h"
+#include "sim/codegen.h"
+#include "sim/program.h"
+#include "trace/transforms.h"
+
+namespace mhp {
+namespace {
+
+CacheConfig
+tinyCache()
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.lineBytes = 64;
+    c.ways = 2;
+    return c;
+}
+
+/** A program that loads from a large stride so every load misses. */
+Program
+strideLoadProgram(int loads, int64_t strideWords)
+{
+    ProgramBuilder b;
+    b.loadImm(1, 0);
+    for (int i = 0; i < loads; ++i) {
+        b.load(2, 1, 0);
+        b.addImm(1, 1, strideWords);
+    }
+    b.halt();
+    return b.build();
+}
+
+TEST(CacheMissProbe, EveryColdLineMisses)
+{
+    // Stride of 8 words = 64 bytes = one line: every load misses cold.
+    Machine m(strideLoadProgram(10, 8), 1 << 12);
+    Cache cache(tinyCache());
+    CacheMissProbe probe(m, cache);
+    const auto tuples = collect(probe, 100);
+    EXPECT_EQ(tuples.size(), 10u);
+    // Tuples carry line-aligned addresses.
+    for (const auto &t : tuples)
+        EXPECT_EQ(t.second % 64, 0u);
+}
+
+TEST(CacheMissProbe, HitsProduceNoEvents)
+{
+    // Stride 0: the same word every time -> one cold miss only.
+    Machine m(strideLoadProgram(20, 0), 1 << 12);
+    Cache cache(tinyCache());
+    CacheMissProbe probe(m, cache);
+    const auto tuples = collect(probe, 100);
+    EXPECT_EQ(tuples.size(), 1u);
+    EXPECT_EQ(cache.stats().accesses, 20u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheMissProbe, MissPcIdentifiesTheLoad)
+{
+    Machine m(strideLoadProgram(5, 8), 1 << 12);
+    Cache cache(tinyCache());
+    CacheMissProbe probe(m, cache);
+    const auto tuples = collect(probe, 100);
+    ASSERT_EQ(tuples.size(), 5u);
+    // Loads sit at instruction indices 1, 3, 5, 7, 9.
+    EXPECT_EQ(tuples[0].first, Machine::pcAddress(1));
+    EXPECT_EQ(tuples[1].first, Machine::pcAddress(3));
+}
+
+TEST(CacheMissProbe, PcOnlyNamingAggregatesPerLoad)
+{
+    // Large stride: every load misses, but with PcOnly naming all
+    // misses of one load produce the SAME tuple.
+    Machine m(strideLoadProgram(10, 8), 1 << 12);
+    Cache cache(tinyCache());
+    CacheMissProbe probe(m, cache, true, MissNaming::PcOnly);
+    const auto tuples = collect(probe, 100);
+    ASSERT_EQ(tuples.size(), 10u);
+    for (const auto &t : tuples)
+        EXPECT_EQ(t.second, 0u);
+}
+
+TEST(CacheMissProbe, KindIsCacheMiss)
+{
+    Machine m(strideLoadProgram(1, 0), 1 << 12);
+    Cache cache(tinyCache());
+    CacheMissProbe probe(m, cache);
+    EXPECT_EQ(probe.kind(), ProfileKind::CacheMiss);
+}
+
+TEST(CacheMissProbe, StoresWarmTheCacheWhenIncluded)
+{
+    // Store then load the same line: with stores included, the load
+    // hits; with stores excluded, the load misses.
+    auto build = [] {
+        ProgramBuilder b;
+        b.loadImm(1, 0);
+        b.loadImm(2, 7);
+        b.store(2, 1, 0);
+        b.load(3, 1, 0);
+        b.halt();
+        return b.build();
+    };
+
+    {
+        Machine m(build(), 1 << 12);
+        Cache cache(tinyCache());
+        CacheMissProbe probe(m, cache, /*includeStores=*/true);
+        EXPECT_TRUE(collect(probe, 10).empty()); // store filled line
+    }
+    {
+        Machine m(build(), 1 << 12);
+        Cache cache(tinyCache());
+        CacheMissProbe probe(m, cache, /*includeStores=*/false);
+        EXPECT_EQ(collect(probe, 10).size(), 1u);
+    }
+}
+
+TEST(MispredictProbe, PerfectlyPredictableBranchGoesQuiet)
+{
+    // A long always-taken loop: after warmup no more mispredictions.
+    ProgramBuilder b;
+    b.loadImm(1, 0);
+    b.loadImm(2, 500);
+    b.label("loop");
+    b.addImm(1, 1, 1);
+    b.blt(1, 2, "loop");
+    b.halt();
+    Machine m(b.build(), 1 << 12);
+    BimodalPredictor predictor(256);
+    MispredictProbe probe(m, predictor);
+    const auto tuples = collect(probe, 1000);
+    // Warmup mispredicts + the final not-taken exit only.
+    EXPECT_LE(tuples.size(), 4u);
+    EXPECT_GE(tuples.size(), 1u);
+}
+
+TEST(MispredictProbe, TuplesNameBranchAndActualTarget)
+{
+    ProgramBuilder b;
+    b.loadImm(1, 0);
+    b.loadImm(2, 3);
+    b.label("loop");
+    b.addImm(1, 1, 1);
+    const uint64_t br = b.blt(1, 2, "loop");
+    b.halt();
+    Machine m(b.build(), 1 << 12);
+    BimodalPredictor predictor(256);
+    MispredictProbe probe(m, predictor);
+    const auto tuples = collect(probe, 10);
+    ASSERT_FALSE(tuples.empty());
+    for (const auto &t : tuples)
+        EXPECT_EQ(t.first, Machine::pcAddress(br));
+}
+
+TEST(MispredictProbe, WorksOnGeneratedPrograms)
+{
+    CodegenConfig cfg;
+    cfg.seed = 31;
+    cfg.numFunctions = 4;
+    cfg.numArrays = 2;
+    cfg.arrayLen = 64;
+    Machine m(generateProgram(cfg), 1 << 12);
+    GsharePredictor predictor(4096, 10);
+    MispredictProbe probe(m, predictor);
+    const auto tuples = collect(probe, 500);
+    EXPECT_EQ(tuples.size(), 500u);
+    EXPECT_GT(predictor.stats().predictions,
+              predictor.stats().mispredictions);
+}
+
+} // namespace
+} // namespace mhp

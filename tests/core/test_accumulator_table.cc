@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/accumulator_table.h"
+
+namespace mhp {
+namespace {
+
+constexpr uint64_t kThreshold = 10;
+
+TEST(AccumulatorTable, AbsentTupleIsNotIncremented)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    EXPECT_FALSE(acc.incrementIfPresent({1, 1}));
+    EXPECT_FALSE(acc.contains({1, 1}));
+    EXPECT_EQ(acc.size(), 0u);
+}
+
+TEST(AccumulatorTable, InsertThenIncrement)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    EXPECT_TRUE(acc.insert({1, 1}, kThreshold));
+    EXPECT_TRUE(acc.contains({1, 1}));
+    EXPECT_TRUE(acc.incrementIfPresent({1, 1}));
+    EXPECT_EQ(acc.countOf({1, 1}), kThreshold + 1);
+}
+
+TEST(AccumulatorTable, PromotedEntriesAreNonReplaceable)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);
+    EXPECT_FALSE(acc.isReplaceable({1, 1}));
+}
+
+TEST(AccumulatorTable, FullTableRejectsInsert)
+{
+    AccumulatorTable acc(2, kThreshold, true);
+    EXPECT_TRUE(acc.insert({1, 1}, kThreshold));
+    EXPECT_TRUE(acc.insert({2, 2}, kThreshold));
+    EXPECT_FALSE(acc.insert({3, 3}, kThreshold));
+    EXPECT_EQ(acc.droppedInsertions(), 1u);
+    EXPECT_FALSE(acc.contains({3, 3}));
+}
+
+TEST(AccumulatorTable, SnapshotContainsOnlyAboveThreshold)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);     // candidate
+    acc.insert({2, 2}, kThreshold + 5); // candidate, higher count
+    const IntervalSnapshot snap = acc.endInterval();
+    ASSERT_EQ(snap.size(), 2u);
+    // Sorted by descending count.
+    EXPECT_EQ(snap[0].tuple, (Tuple{2, 2}));
+    EXPECT_EQ(snap[0].count, kThreshold + 5);
+    EXPECT_EQ(snap[1].tuple, (Tuple{1, 1}));
+}
+
+TEST(AccumulatorTable, RetainingKeepsCandidatesAsReplaceable)
+{
+    AccumulatorTable acc(4, kThreshold, /*retaining=*/true);
+    acc.insert({1, 1}, kThreshold);
+    (void)acc.endInterval();
+    // Entry survives with a zeroed counter, marked replaceable.
+    EXPECT_TRUE(acc.contains({1, 1}));
+    EXPECT_EQ(acc.countOf({1, 1}), 0u);
+    EXPECT_TRUE(acc.isReplaceable({1, 1}));
+}
+
+TEST(AccumulatorTable, NoRetainingFlushesEverything)
+{
+    AccumulatorTable acc(4, kThreshold, /*retaining=*/false);
+    acc.insert({1, 1}, kThreshold);
+    (void)acc.endInterval();
+    EXPECT_FALSE(acc.contains({1, 1}));
+    EXPECT_EQ(acc.size(), 0u);
+}
+
+TEST(AccumulatorTable, RetainedEntryRepinsWhenCrossingThreshold)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);
+    (void)acc.endInterval();
+    // Increment up to threshold again: becomes non-replaceable.
+    for (uint64_t i = 0; i < kThreshold - 1; ++i)
+        acc.incrementIfPresent({1, 1});
+    EXPECT_TRUE(acc.isReplaceable({1, 1}));
+    acc.incrementIfPresent({1, 1});
+    EXPECT_FALSE(acc.isReplaceable({1, 1}));
+}
+
+TEST(AccumulatorTable, RetainedSubThresholdEntriesAreDropped)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);
+    (void)acc.endInterval(); // {1,1} retained, count 0
+    acc.incrementIfPresent({1, 1});
+    // Still below threshold at next interval end: flushed.
+    const IntervalSnapshot snap = acc.endInterval();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_FALSE(acc.contains({1, 1}));
+}
+
+TEST(AccumulatorTable, ReplaceableEntriesAreEvictedForNewPromotions)
+{
+    AccumulatorTable acc(2, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);
+    acc.insert({2, 2}, kThreshold);
+    (void)acc.endInterval(); // both retained as replaceable
+    // Table is "full" but both slots are replaceable: a new promotion
+    // must evict one.
+    EXPECT_TRUE(acc.insert({3, 3}, kThreshold));
+    EXPECT_TRUE(acc.contains({3, 3}));
+    EXPECT_EQ(acc.size(), 2u);
+}
+
+TEST(AccumulatorTable, EmptySlotsPreferredOverEviction)
+{
+    AccumulatorTable acc(3, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);
+    (void)acc.endInterval(); // {1,1} replaceable
+    acc.insert({2, 2}, kThreshold);
+    // {1,1} must still be present: an empty slot was available.
+    EXPECT_TRUE(acc.contains({1, 1}));
+    EXPECT_TRUE(acc.contains({2, 2}));
+}
+
+TEST(AccumulatorTable, ResetDropsRetainedEntries)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);
+    (void)acc.endInterval();
+    acc.reset();
+    EXPECT_FALSE(acc.contains({1, 1}));
+    EXPECT_EQ(acc.droppedInsertions(), 0u);
+}
+
+TEST(AccumulatorTable, SnapshotCountsAreExactAfterPromotion)
+{
+    AccumulatorTable acc(4, kThreshold, true);
+    acc.insert({1, 1}, kThreshold);
+    for (int i = 0; i < 7; ++i)
+        acc.incrementIfPresent({1, 1});
+    const IntervalSnapshot snap = acc.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].count, kThreshold + 7);
+}
+
+TEST(AccumulatorTableDeathTest, RejectsBadShape)
+{
+    EXPECT_EXIT(AccumulatorTable(0, 10, true),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(AccumulatorTable(4, 0, true),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive_interval.h"
+
+namespace mhp {
+namespace {
+
+AdaptiveIntervalConfig
+baseConfig()
+{
+    AdaptiveIntervalConfig c;
+    c.minLength = 10'000;
+    c.maxLength = 1'000'000;
+    c.growBelowPercent = 15.0;
+    c.shrinkAbovePercent = 60.0;
+    c.holdIntervals = 2;
+    return c;
+}
+
+/** A snapshot over tuples {base..base+n-1}. */
+IntervalSnapshot
+snapOf(uint64_t base, uint64_t n)
+{
+    IntervalSnapshot s;
+    for (uint64_t i = 0; i < n; ++i)
+        s.push_back({Tuple{base + i, 0}, 100});
+    return s;
+}
+
+TEST(AdaptiveInterval, StartsClamped)
+{
+    AdaptiveIntervalController c(baseConfig(), 5);
+    EXPECT_EQ(c.currentLength(), 10'000u);
+    AdaptiveIntervalController d(baseConfig(), 1ULL << 40);
+    EXPECT_EQ(d.currentLength(), 1'000'000u);
+}
+
+TEST(AdaptiveInterval, StableCandidatesGrowTheInterval)
+{
+    AdaptiveIntervalController c(baseConfig(), 10'000);
+    // Identical snapshots: variation 0 < 15%; after holdIntervals
+    // qualifying comparisons the length doubles.
+    c.onIntervalEnd(snapOf(0, 10)); // baseline, no comparison yet
+    c.onIntervalEnd(snapOf(0, 10)); // streak 1
+    EXPECT_EQ(c.currentLength(), 10'000u);
+    c.onIntervalEnd(snapOf(0, 10)); // streak 2 -> grow
+    EXPECT_EQ(c.currentLength(), 20'000u);
+    EXPECT_EQ(c.changes(), 1u);
+}
+
+TEST(AdaptiveInterval, ChurningCandidatesShrinkTheInterval)
+{
+    auto cfg = baseConfig();
+    AdaptiveIntervalController c(cfg, 80'000);
+    uint64_t base = 0;
+    c.onIntervalEnd(snapOf(base, 10));
+    // Disjoint snapshots: variation 100% > 60%.
+    base += 1000;
+    c.onIntervalEnd(snapOf(base, 10));
+    base += 1000;
+    c.onIntervalEnd(snapOf(base, 10)); // streak 2 -> shrink
+    EXPECT_EQ(c.currentLength(), 40'000u);
+}
+
+TEST(AdaptiveInterval, RespectsBounds)
+{
+    AdaptiveIntervalController c(baseConfig(), 1'000'000);
+    for (int i = 0; i < 10; ++i)
+        c.onIntervalEnd(snapOf(0, 10)); // stable forever
+    EXPECT_EQ(c.currentLength(), 1'000'000u); // cannot exceed max
+
+    AdaptiveIntervalController d(baseConfig(), 10'000);
+    uint64_t base = 0;
+    for (int i = 0; i < 10; ++i) {
+        d.onIntervalEnd(snapOf(base, 10));
+        base += 1000;
+    }
+    EXPECT_EQ(d.currentLength(), 10'000u); // cannot undershoot min
+}
+
+TEST(AdaptiveInterval, BaselineResetsAfterChange)
+{
+    AdaptiveIntervalController c(baseConfig(), 10'000);
+    c.onIntervalEnd(snapOf(0, 10));
+    c.onIntervalEnd(snapOf(0, 10));
+    c.onIntervalEnd(snapOf(0, 10)); // grew to 20K, baseline dropped
+    EXPECT_EQ(c.changes(), 1u);
+    // The next interval is a fresh baseline: even a disjoint snapshot
+    // must not count as a comparison...
+    c.onIntervalEnd(snapOf(9999, 10));
+    EXPECT_EQ(c.currentLength(), 20'000u);
+    // ...and two more stable ones are needed before the next growth.
+    c.onIntervalEnd(snapOf(9999, 10));
+    c.onIntervalEnd(snapOf(9999, 10));
+    EXPECT_EQ(c.currentLength(), 40'000u);
+}
+
+TEST(AdaptiveInterval, MidRangeVariationHolds)
+{
+    AdaptiveIntervalController c(baseConfig(), 40'000);
+    // ~33% variation (10 shared of 15 union): between thresholds.
+    c.onIntervalEnd(snapOf(0, 12));
+    for (int i = 0; i < 6; ++i)
+        c.onIntervalEnd(i % 2 ? snapOf(0, 12) : snapOf(2, 12));
+    EXPECT_EQ(c.currentLength(), 40'000u);
+    EXPECT_EQ(c.changes(), 0u);
+}
+
+TEST(AdaptiveInterval, EmptySnapshotsCountAsStable)
+{
+    AdaptiveIntervalController c(baseConfig(), 10'000);
+    c.onIntervalEnd({});
+    c.onIntervalEnd({});
+    c.onIntervalEnd({});
+    EXPECT_EQ(c.currentLength(), 20'000u);
+    EXPECT_DOUBLE_EQ(c.lastVariation(), 0.0);
+}
+
+TEST(AdaptiveIntervalDeathTest, RejectsBadConfig)
+{
+    auto cfg = baseConfig();
+    cfg.minLength = 100;
+    cfg.maxLength = 10;
+    EXPECT_EXIT((AdaptiveIntervalController{cfg, 50}),
+                ::testing::ExitedWithCode(1), "");
+
+    cfg = baseConfig();
+    cfg.growBelowPercent = 70.0; // above shrink threshold
+    EXPECT_EXIT((AdaptiveIntervalController{cfg, 10'000}),
+                ::testing::ExitedWithCode(1), "");
+
+    cfg = baseConfig();
+    cfg.holdIntervals = 0;
+    EXPECT_EXIT((AdaptiveIntervalController{cfg, 10'000}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

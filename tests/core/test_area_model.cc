@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/area_model.h"
+
+namespace mhp {
+namespace {
+
+TEST(AreaModel, PaperHashTableBudget)
+{
+    // Section 7: "the size of the hash table was 6 Kilobytes (2K
+    // entries of 3 byte counters)".
+    ProfilerConfig c;
+    c.totalHashEntries = 2048;
+    c.counterBits = 24;
+    const AreaEstimate a = estimateArea(c);
+    EXPECT_EQ(a.hashTableBytes, 6u * 1024);
+}
+
+TEST(AreaModel, PaperAccumulatorBudgets)
+{
+    // "1 KB for the 1% candidate threshold and 10 KB for the 0.1%".
+    ProfilerConfig c;
+    c.counterBits = 24;
+
+    c.candidateThreshold = 0.01; // 100 entries
+    EXPECT_EQ(estimateArea(c).accumulatorBytes, 1000u);
+
+    c.candidateThreshold = 0.001; // 1000 entries
+    EXPECT_EQ(estimateArea(c).accumulatorBytes, 10000u);
+}
+
+TEST(AreaModel, TotalWithinPaperRange)
+{
+    // "between 7 to 16 Kilobytes" across the two configurations.
+    ProfilerConfig c;
+    c.totalHashEntries = 2048;
+    c.counterBits = 24;
+
+    c.candidateThreshold = 0.01;
+    const uint64_t low = estimateArea(c).total();
+    c.candidateThreshold = 0.001;
+    const uint64_t high = estimateArea(c).total();
+
+    EXPECT_GE(low, 7u * 1000);
+    EXPECT_LE(low, 8u * 1024);
+    EXPECT_GE(high, 15u * 1000);
+    EXPECT_LE(high, 16u * 1024);
+}
+
+TEST(AreaModel, SplittingTablesDoesNotChangeArea)
+{
+    ProfilerConfig c;
+    c.totalHashEntries = 2048;
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u}) {
+        c.numHashTables = n;
+        EXPECT_EQ(estimateArea(c).hashTableBytes, 6u * 1024);
+    }
+}
+
+TEST(AreaModel, CounterWidthScalesHashArea)
+{
+    ProfilerConfig c;
+    c.totalHashEntries = 1024;
+    c.counterBits = 16;
+    EXPECT_EQ(estimateArea(c).hashTableBytes, 2048u);
+    c.counterBits = 32;
+    EXPECT_EQ(estimateArea(c).hashTableBytes, 4096u);
+}
+
+TEST(AreaModel, AccumulatorEntryIsTenBytes)
+{
+    // 54-bit tag + 24-bit counter + 2 flag bits = 80 bits = 10 bytes,
+    // matching the paper's 1 KB / 100 entries arithmetic.
+    EXPECT_EQ(accumulatorBytesPerEntry(24), 10u);
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace mhp {
+namespace {
+
+TEST(ProfilerConfig, ThresholdCountPaperValues)
+{
+    ProfilerConfig c;
+    c.intervalLength = 10'000;
+    c.candidateThreshold = 0.01;
+    EXPECT_EQ(c.thresholdCount(), 100u);
+
+    c.intervalLength = 1'000'000;
+    c.candidateThreshold = 0.001;
+    EXPECT_EQ(c.thresholdCount(), 1000u);
+}
+
+TEST(ProfilerConfig, ThresholdCountRoundsUpAndFloorsAtOne)
+{
+    ProfilerConfig c;
+    c.intervalLength = 150;
+    c.candidateThreshold = 0.01; // 1.5 -> 2
+    EXPECT_EQ(c.thresholdCount(), 2u);
+
+    c.intervalLength = 10;
+    c.candidateThreshold = 0.001; // 0.01 -> 1 (floor)
+    EXPECT_EQ(c.thresholdCount(), 1u);
+}
+
+TEST(ProfilerConfig, AccumulatorSizeBound)
+{
+    // Section 5.1: 1% -> 100 entries, 0.1% -> 1000 entries.
+    ProfilerConfig c;
+    c.candidateThreshold = 0.01;
+    EXPECT_EQ(c.accumulatorSize(), 100u);
+    c.candidateThreshold = 0.001;
+    EXPECT_EQ(c.accumulatorSize(), 1000u);
+}
+
+TEST(ProfilerConfig, ExplicitAccumulatorOverride)
+{
+    ProfilerConfig c;
+    c.accumulatorEntries = 64;
+    EXPECT_EQ(c.accumulatorSize(), 64u);
+}
+
+TEST(ProfilerConfig, EntriesPerTable)
+{
+    ProfilerConfig c;
+    c.totalHashEntries = 2048;
+    c.numHashTables = 4;
+    EXPECT_EQ(c.entriesPerTable(), 512u);
+    c.numHashTables = 16;
+    EXPECT_EQ(c.entriesPerTable(), 128u);
+}
+
+TEST(ProfilerConfig, DescribeMentionsKeyKnobs)
+{
+    ProfilerConfig c;
+    c.numHashTables = 4;
+    const std::string d = c.describe();
+    EXPECT_NE(d.find("mh4"), std::string::npos);
+    EXPECT_NE(d.find("2048e"), std::string::npos);
+
+    c.numHashTables = 1;
+    EXPECT_NE(c.describe().find("sh1"), std::string::npos);
+}
+
+TEST(ProfilerConfigDeathTest, ValidateRejectsNonsense)
+{
+    ProfilerConfig c;
+    c.intervalLength = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+
+    c = ProfilerConfig{};
+    c.candidateThreshold = 0.0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+
+    c = ProfilerConfig{};
+    c.candidateThreshold = 1.5;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+
+    c = ProfilerConfig{};
+    c.numHashTables = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+
+    c = ProfilerConfig{};
+    c.totalHashEntries = 4;
+    c.numHashTables = 8;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

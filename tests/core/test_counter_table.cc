@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/counter_table.h"
+
+namespace mhp {
+namespace {
+
+TEST(CounterTable, StartsZeroed)
+{
+    CounterTable t(16, 24);
+    for (uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(t.value(i), 0u);
+    EXPECT_EQ(t.size(), 16u);
+}
+
+TEST(CounterTable, IncrementReturnsNewValue)
+{
+    CounterTable t(4, 24);
+    EXPECT_EQ(t.increment(2), 1u);
+    EXPECT_EQ(t.increment(2), 2u);
+    EXPECT_EQ(t.value(2), 2u);
+    EXPECT_EQ(t.value(1), 0u);
+}
+
+TEST(CounterTable, SaturatesAtWidth)
+{
+    CounterTable t(2, 3); // max 7
+    for (int i = 0; i < 20; ++i)
+        t.increment(0);
+    EXPECT_EQ(t.value(0), 7u);
+    EXPECT_EQ(t.maxValue(), 7u);
+}
+
+TEST(CounterTable, PaperCounterWidthIs3Bytes)
+{
+    CounterTable t(2048, 24);
+    EXPECT_EQ(t.maxValue(), (1ULL << 24) - 1);
+}
+
+TEST(CounterTable, ResetSingle)
+{
+    CounterTable t(4, 24);
+    t.increment(1);
+    t.increment(1);
+    t.reset(1);
+    EXPECT_EQ(t.value(1), 0u);
+}
+
+TEST(CounterTable, FlushClearsAll)
+{
+    CounterTable t(8, 24);
+    for (uint64_t i = 0; i < 8; ++i)
+        t.increment(i);
+    t.flush();
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(t.value(i), 0u);
+}
+
+TEST(CounterTable, CountAtLeast)
+{
+    CounterTable t(4, 24);
+    t.increment(0); // 1
+    t.increment(1);
+    t.increment(1); // 2
+    t.increment(2);
+    t.increment(2);
+    t.increment(2); // 3
+    EXPECT_EQ(t.countAtLeast(1), 3u);
+    EXPECT_EQ(t.countAtLeast(2), 2u);
+    EXPECT_EQ(t.countAtLeast(3), 1u);
+    EXPECT_EQ(t.countAtLeast(4), 0u);
+}
+
+TEST(CounterTableDeathTest, RejectsBadShape)
+{
+    EXPECT_EXIT(CounterTable(0, 24), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(CounterTable(4, 0), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(CounterTable(4, 65), ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/multi_hash_profiler.h"
+#include "core/single_hash_profiler.h"
+
+namespace mhp {
+namespace {
+
+TEST(Factory, OneTableYieldsSingleHash)
+{
+    ProfilerConfig c;
+    c.numHashTables = 1;
+    auto p = makeProfiler(c);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NE(dynamic_cast<SingleHashProfiler *>(p.get()), nullptr);
+}
+
+TEST(Factory, MultipleTablesYieldMultiHash)
+{
+    ProfilerConfig c;
+    c.numHashTables = 4;
+    auto p = makeProfiler(c);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NE(dynamic_cast<MultiHashProfiler *>(p.get()), nullptr);
+}
+
+TEST(Factory, BestMultiHashMatchesPaperSection64)
+{
+    const ProfilerConfig c = bestMultiHashConfig(1'000'000, 0.001);
+    EXPECT_EQ(c.numHashTables, 4u);
+    EXPECT_TRUE(c.conservativeUpdate);
+    EXPECT_FALSE(c.resetOnPromote);
+    EXPECT_TRUE(c.retaining);
+    EXPECT_EQ(c.totalHashEntries, 2048u);
+    EXPECT_EQ(c.thresholdCount(), 1000u);
+    auto p = makeProfiler(c);
+    EXPECT_EQ(p->name(), "mh4-C1R0P1");
+}
+
+TEST(Factory, BestSingleHashMatchesPaperSection56)
+{
+    const ProfilerConfig c = bestSingleHashConfig(10'000, 0.01);
+    EXPECT_EQ(c.numHashTables, 1u);
+    EXPECT_TRUE(c.resetOnPromote);
+    EXPECT_TRUE(c.retaining);
+    auto p = makeProfiler(c);
+    EXPECT_EQ(p->name(), "sh-R1P1");
+}
+
+TEST(Factory, ProfilersAreFunctionalOutOfTheBox)
+{
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        ProfilerConfig c;
+        c.intervalLength = 100;
+        c.candidateThreshold = 0.05;
+        c.totalHashEntries = 128;
+        c.numHashTables = n;
+        auto p = makeProfiler(c);
+        for (int i = 0; i < 50; ++i)
+            p->onEvent({1, 1});
+        const IntervalSnapshot snap = p->endInterval();
+        ASSERT_EQ(snap.size(), 1u) << n << " tables";
+        EXPECT_EQ(snap[0].count, 50u);
+    }
+}
+
+TEST(FactoryDeathTest, InvalidConfigIsFatal)
+{
+    ProfilerConfig c;
+    c.intervalLength = 0;
+    EXPECT_EXIT((void)makeProfiler(c), ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/hotspot_detector.h"
+#include "support/rng.h"
+
+namespace mhp {
+namespace {
+
+HotSpotConfig
+smallConfig()
+{
+    HotSpotConfig c;
+    c.entries = 64;
+    c.ways = 2;
+    c.candidateThresholdCount = 8;
+    c.hdcBits = 6; // saturates at 63 -> quick hot-spot detection
+    return c;
+}
+
+TEST(HotSpotDetector, TracksFrequentTuple)
+{
+    HotSpotDetector d(smallConfig(), 10);
+    for (int i = 0; i < 40; ++i)
+        d.onEvent({0x100, 0x200});
+    const IntervalSnapshot snap = d.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{0x100, 0x200}));
+    EXPECT_EQ(snap[0].count, 40u);
+}
+
+TEST(HotSpotDetector, SubThresholdTupleNotReported)
+{
+    HotSpotDetector d(smallConfig(), 10);
+    for (int i = 0; i < 9; ++i)
+        d.onEvent({0x100, 0x200});
+    EXPECT_TRUE(d.endInterval().empty());
+}
+
+TEST(HotSpotDetector, HdcSaturatesInsideHotSpot)
+{
+    HotSpotDetector d(smallConfig(), 10);
+    // A tight loop over one branch: after candidacy (8 execs), each
+    // exec adds +2; 63/2 + 8 ~= 40 events to saturate.
+    for (int i = 0; i < 60; ++i)
+        d.onEvent({0x100, 0x200});
+    EXPECT_TRUE(d.inHotSpot());
+}
+
+TEST(HotSpotDetector, HdcDecaysOnNoise)
+{
+    HotSpotDetector d(smallConfig(), 10);
+    for (int i = 0; i < 60; ++i)
+        d.onEvent({0x100, 0x200});
+    EXPECT_TRUE(d.inHotSpot());
+    // A long run of never-repeating branches drains the HDC.
+    for (uint64_t i = 0; i < 100; ++i)
+        d.onEvent({0x900000 + i * 4, 0x1});
+    EXPECT_FALSE(d.inHotSpot());
+    EXPECT_EQ(d.hdcValue(), 0u);
+}
+
+TEST(HotSpotDetector, CandidatesSurviveEvictionPressure)
+{
+    // Merten's policy: candidate branches are not evicted; streams of
+    // one-shot branches cannot push an established candidate out.
+    HotSpotDetector d(smallConfig(), 10);
+    for (int i = 0; i < 20; ++i)
+        d.onEvent({0x100, 0x200}); // candidate now
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i)
+        d.onEvent({rng.next() | 1, 0x1});
+    for (int i = 0; i < 20; ++i)
+        d.onEvent({0x100, 0x200});
+    const IntervalSnapshot snap = d.endInterval();
+    bool found = false;
+    for (const auto &cand : snap)
+        found |= cand.tuple == Tuple{0x100, 0x200} && cand.count == 40;
+    EXPECT_TRUE(found);
+}
+
+TEST(HotSpotDetector, CapacityEvictsNonCandidates)
+{
+    HotSpotDetector d(smallConfig(), 1);
+    // Far more distinct tuples than entries: evictions must happen.
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        d.onEvent({rng.next() | 1, 0x1});
+    EXPECT_GT(d.evictions(), 0u);
+}
+
+TEST(HotSpotDetector, EndIntervalRefreshes)
+{
+    HotSpotDetector d(smallConfig(), 10);
+    for (int i = 0; i < 60; ++i)
+        d.onEvent({0x100, 0x200});
+    (void)d.endInterval();
+    EXPECT_FALSE(d.inHotSpot());
+    EXPECT_EQ(d.hdcValue(), 0u);
+    // Counts restart from zero.
+    for (int i = 0; i < 9; ++i)
+        d.onEvent({0x100, 0x200});
+    EXPECT_TRUE(d.endInterval().empty());
+}
+
+TEST(HotSpotDetector, AreaIncludesTagsAndCounters)
+{
+    const HotSpotConfig cfg = smallConfig();
+    HotSpotDetector d(cfg, 10);
+    // 64 entries x (16 tag + 24 counter + 2 flag bits -> 6 bytes) + HDC.
+    EXPECT_GE(d.areaBytes(), 64u * 6);
+    EXPECT_LT(d.areaBytes(), 64u * 6 + 16);
+}
+
+TEST(HotSpotDetectorDeathTest, RejectsBadShape)
+{
+    HotSpotConfig cfg = smallConfig();
+    cfg.entries = 63; // not divisible into power-of-two sets
+    EXPECT_EXIT((HotSpotDetector{cfg, 10}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/hash_function.h"
+#include "core/multi_hash_profiler.h"
+#include "support/rng.h"
+
+namespace mhp {
+namespace {
+
+ProfilerConfig
+baseConfig(unsigned tables = 4)
+{
+    ProfilerConfig c;
+    c.intervalLength = 1000;
+    c.candidateThreshold = 0.01; // threshold count 10
+    c.totalHashEntries = 256;
+    c.numHashTables = tables;
+    c.conservativeUpdate = true;
+    c.resetOnPromote = false;
+    c.retaining = true;
+    c.seed = 321;
+    return c;
+}
+
+/**
+ * Find a tuple that aliases `target` in table `which` but in no other
+ * table (the partial-aliasing situation multi-hash defeats).
+ */
+Tuple
+findPartialAlias(const ProfilerConfig &c, const Tuple &target,
+                 unsigned which)
+{
+    TupleHasherFamily fam(c.seed, c.numHashTables, c.entriesPerTable());
+    std::vector<uint64_t> want(c.numHashTables);
+    for (unsigned i = 0; i < c.numHashTables; ++i)
+        want[i] = fam.function(i).index(target);
+    for (uint64_t n = 1;; ++n) {
+        const Tuple probe{0x7000000 + n * 4, n * 11 + 5};
+        if (probe == target)
+            continue;
+        bool ok = fam.function(which).index(probe) == want[which];
+        for (unsigned i = 0; ok && i < c.numHashTables; ++i) {
+            if (i != which && fam.function(i).index(probe) == want[i])
+                ok = false;
+        }
+        if (ok)
+            return probe;
+    }
+}
+
+TEST(MultiHashProfiler, FrequentTupleBecomesCandidate)
+{
+    MultiHashProfiler p(baseConfig());
+    for (int i = 0; i < 42; ++i)
+        p.onEvent({1, 1});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{1, 1}));
+    EXPECT_EQ(snap[0].count, 42u);
+}
+
+TEST(MultiHashProfiler, MinCounterEqualsTrueCountWithoutAliasing)
+{
+    // Conservative update: every event advances the minimum by one.
+    MultiHashProfiler p(baseConfig());
+    const Tuple t{2, 2};
+    for (int i = 0; i < 9; ++i) {
+        p.onEvent(t);
+        EXPECT_EQ(p.minCounterFor(t), static_cast<uint64_t>(i + 1));
+    }
+}
+
+TEST(MultiHashProfiler, SingleTableAliasDoesNotPromote)
+{
+    // The paper's core claim: a tuple aliasing a hot tuple in ONE
+    // table is not dragged into the accumulator, because its other
+    // counters stay low.
+    const auto cfg = baseConfig();
+    MultiHashProfiler p(cfg);
+    const Tuple hot{1, 1};
+    const Tuple alias = findPartialAlias(cfg, hot, 0);
+
+    for (int i = 0; i < 10; ++i)
+        p.onEvent(hot); // promoted
+    p.onEvent(alias);
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, hot);
+}
+
+TEST(MultiHashProfiler, SameStimulusPromotesInSingleTableConfig)
+{
+    // Sanity check of the previous test's setup: with one table the
+    // same alias IS a false positive (cf. SingleHashProfiler).
+    auto cfg = baseConfig(1);
+    MultiHashProfiler p(cfg);
+    const Tuple hot{1, 1};
+    const Tuple alias = findPartialAlias(cfg, hot, 0);
+
+    for (int i = 0; i < 10; ++i)
+        p.onEvent(hot);
+    p.onEvent(alias);
+    EXPECT_EQ(p.endInterval().size(), 2u);
+}
+
+TEST(MultiHashProfiler, ConservativeUpdateSparesNonMinCounters)
+{
+    // With C1, events of `alias` (low count) must not inflate the
+    // shared table-0 counter that `hot` also uses.
+    auto cfg = baseConfig();
+    cfg.candidateThreshold = 0.5; // no promotions in this test
+    MultiHashProfiler p(cfg);
+    const Tuple hot{1, 1};
+    const Tuple alias = findPartialAlias(cfg, hot, 0);
+
+    for (int i = 0; i < 50; ++i)
+        p.onEvent(hot); // table0[shared] = 50
+    EXPECT_EQ(p.counterValueIn(0, hot), 50u);
+    for (int i = 0; i < 30; ++i)
+        p.onEvent(alias); // C1 increments only alias's minimum counters
+    EXPECT_EQ(p.counterValueIn(0, hot), 50u); // untouched
+    EXPECT_EQ(p.minCounterFor(alias), 30u);
+}
+
+TEST(MultiHashProfiler, PlainUpdateInflatesSharedCounters)
+{
+    auto cfg = baseConfig();
+    cfg.candidateThreshold = 0.5;
+    cfg.conservativeUpdate = false;
+    MultiHashProfiler p(cfg);
+    const Tuple hot{1, 1};
+    const Tuple alias = findPartialAlias(cfg, hot, 0);
+
+    for (int i = 0; i < 50; ++i)
+        p.onEvent(hot);
+    for (int i = 0; i < 30; ++i)
+        p.onEvent(alias); // C0 increments every counter
+    EXPECT_EQ(p.counterValueIn(0, hot), 80u); // inflated by aliasing
+}
+
+TEST(MultiHashProfiler, MinCounterNeverUndercounts)
+{
+    // Estan-Varghese invariant: min over tables >= true occurrence
+    // count (before promotion/shielding kicks in).
+    auto cfg = baseConfig();
+    cfg.candidateThreshold = 0.9; // avoid promotions
+    MultiHashProfiler p(cfg);
+    Rng rng(5);
+    std::unordered_map<Tuple, uint64_t, TupleHash> truth;
+    for (int i = 0; i < 5000; ++i) {
+        const Tuple t{rng.nextBelow(50) * 4 + 0x100, rng.nextBelow(8)};
+        p.onEvent(t);
+        ++truth[t];
+        if (i % 97 == 0)
+            EXPECT_GE(p.minCounterFor(t), truth[t]);
+    }
+}
+
+TEST(MultiHashProfiler, ResetOnPromoteZeroesAllTables)
+{
+    auto cfg = baseConfig();
+    cfg.resetOnPromote = true;
+    MultiHashProfiler p(cfg);
+    const Tuple hot{1, 1};
+    for (int i = 0; i < 10; ++i)
+        p.onEvent(hot);
+    // Promoted, and every one of its counters was reset.
+    EXPECT_EQ(p.minCounterFor(hot), 0u);
+    for (unsigned tbl = 0; tbl < 4; ++tbl)
+        EXPECT_EQ(p.counterValueIn(tbl, hot), 0u);
+}
+
+TEST(MultiHashProfiler, WithoutResetCountersKeepThresholdValue)
+{
+    MultiHashProfiler p(baseConfig());
+    const Tuple hot{1, 1};
+    for (int i = 0; i < 10; ++i)
+        p.onEvent(hot);
+    EXPECT_EQ(p.minCounterFor(hot), 10u);
+}
+
+TEST(MultiHashProfiler, EndIntervalFlushesAllTables)
+{
+    MultiHashProfiler p(baseConfig());
+    const Tuple t{3, 3};
+    for (int i = 0; i < 5; ++i)
+        p.onEvent(t);
+    (void)p.endInterval();
+    EXPECT_EQ(p.minCounterFor(t), 0u);
+    for (unsigned tbl = 0; tbl < 4; ++tbl)
+        EXPECT_EQ(p.counterValueIn(tbl, t), 0u);
+}
+
+TEST(MultiHashProfiler, RetainingWorksAcrossIntervals)
+{
+    MultiHashProfiler p(baseConfig());
+    const Tuple hot{1, 1};
+    for (int i = 0; i < 20; ++i)
+        p.onEvent(hot);
+    (void)p.endInterval();
+    for (int i = 0; i < 12; ++i)
+        p.onEvent(hot);
+    // Shielded by the retained entry: hash tables never touched.
+    EXPECT_EQ(p.minCounterFor(hot), 0u);
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].count, 12u);
+}
+
+TEST(MultiHashProfiler, EstimateCountTracksOccurrences)
+{
+    MultiHashProfiler p(baseConfig());
+    const Tuple t{6, 6};
+    EXPECT_EQ(p.estimateCount(t), 0u);
+    for (int i = 0; i < 5; ++i)
+        p.onEvent(t);
+    // Below threshold: estimate comes from the min counter.
+    EXPECT_EQ(p.estimateCount(t), 5u);
+    for (int i = 0; i < 20; ++i)
+        p.onEvent(t);
+    // Promoted at 10: accumulator holds 10 (seed) + 15 more = 25.
+    EXPECT_EQ(p.estimateCount(t), 25u);
+}
+
+TEST(MultiHashProfiler, EstimateNeverUndercountsUnpromoted)
+{
+    auto cfg = baseConfig();
+    cfg.candidateThreshold = 0.9; // no promotions
+    MultiHashProfiler p(cfg);
+    Rng rng(7);
+    std::unordered_map<Tuple, uint64_t, TupleHash> truth;
+    for (int i = 0; i < 3000; ++i) {
+        const Tuple t{rng.nextBelow(60) * 8, rng.nextBelow(4)};
+        p.onEvent(t);
+        ++truth[t];
+    }
+    for (const auto &[t, n] : truth)
+        EXPECT_GE(p.estimateCount(t), n);
+}
+
+TEST(MultiHashProfiler, NameEncodesConfiguration)
+{
+    EXPECT_EQ(MultiHashProfiler(baseConfig(4)).name(), "mh4-C1R0P1");
+    auto cfg = baseConfig(8);
+    cfg.conservativeUpdate = false;
+    cfg.resetOnPromote = true;
+    cfg.retaining = false;
+    EXPECT_EQ(MultiHashProfiler(cfg).name(), "mh8-C0R1P0");
+}
+
+TEST(MultiHashProfiler, TablesSplitTotalEntries)
+{
+    // 256 entries over 4 tables = 64 each; verify via area: the area
+    // model charges by total entries regardless of the split.
+    MultiHashProfiler p4(baseConfig(4));
+    MultiHashProfiler p2(baseConfig(2));
+    EXPECT_EQ(p4.areaBytes(), p2.areaBytes());
+}
+
+TEST(MultiHashProfilerDeathTest, RejectsMoreTablesThanEntries)
+{
+    auto cfg = baseConfig();
+    cfg.totalHashEntries = 4;
+    cfg.numHashTables = 8;
+    EXPECT_EXIT(MultiHashProfiler{cfg}, ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace mhp

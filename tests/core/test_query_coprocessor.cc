@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/query_coprocessor.h"
+
+namespace mhp {
+namespace {
+
+CoprocessorConfig
+fastConfig()
+{
+    CoprocessorConfig c;
+    c.queueEntries = 64;
+    c.processRate = 1.0; // keeps up: exact counting
+    return c;
+}
+
+TEST(QueryCoprocessor, ExactWhenKeepingUp)
+{
+    QueryCoprocessor p(fastConfig(), 5);
+    for (int i = 0; i < 20; ++i)
+        p.onEvent({1, 1});
+    for (int i = 0; i < 3; ++i)
+        p.onEvent({2, 2});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{1, 1}));
+    EXPECT_EQ(snap[0].count, 20u);
+    EXPECT_EQ(p.dropped(), 0u);
+}
+
+TEST(QueryCoprocessor, FilterSelectsEvents)
+{
+    auto cfg = fastConfig();
+    // Only events whose pc has bit 8 set.
+    cfg.query.firstMask = 0x100;
+    cfg.query.firstMatch = 0x100;
+    QueryCoprocessor p(cfg, 1);
+    for (int i = 0; i < 10; ++i) {
+        p.onEvent({0x100, 7}); // passes
+        p.onEvent({0x200, 7}); // filtered out
+    }
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple.first, 0x100u);
+}
+
+TEST(QueryCoprocessor, GroupByFirstAggregatesValues)
+{
+    auto cfg = fastConfig();
+    cfg.query.groupBy = QueryGroupBy::First;
+    QueryCoprocessor p(cfg, 1);
+    p.onEvent({0x100, 1});
+    p.onEvent({0x100, 2});
+    p.onEvent({0x100, 3});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{0x100, 0}));
+    EXPECT_EQ(snap[0].count, 3u);
+}
+
+TEST(QueryCoprocessor, GroupBySecondAggregatesPcs)
+{
+    auto cfg = fastConfig();
+    cfg.query.groupBy = QueryGroupBy::Second;
+    QueryCoprocessor p(cfg, 1);
+    p.onEvent({0x100, 7});
+    p.onEvent({0x200, 7});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{0, 7}));
+    EXPECT_EQ(snap[0].count, 2u);
+}
+
+TEST(QueryCoprocessor, SlowCoprocessorDropsUnderBursts)
+{
+    CoprocessorConfig cfg;
+    cfg.queueEntries = 4;
+    cfg.processRate = 0.25; // 4x too slow
+    QueryCoprocessor p(cfg, 1);
+    for (int i = 0; i < 1000; ++i)
+        p.onEvent({1, 1});
+    EXPECT_GT(p.dropped(), 0u);
+    EXPECT_LT(p.processed(), 1000u);
+}
+
+TEST(QueryCoprocessor, ScalingRecoversApproximateCounts)
+{
+    CoprocessorConfig cfg;
+    cfg.queueEntries = 8;
+    cfg.processRate = 0.25;
+    QueryCoprocessor p(cfg, 10);
+    // 800 of one tuple, 200 of another, uniformly interleaved.
+    for (int i = 0; i < 1000; ++i)
+        p.onEvent(i % 5 == 0 ? Tuple{2, 2} : Tuple{1, 1});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 2u);
+    // Scaled estimates land near the true 800/200 split.
+    EXPECT_NEAR(static_cast<double>(snap[0].count), 800.0, 120.0);
+    EXPECT_NEAR(static_cast<double>(snap[1].count), 200.0, 80.0);
+}
+
+TEST(QueryCoprocessor, IntervalEndDrainsQueue)
+{
+    CoprocessorConfig cfg;
+    cfg.queueEntries = 64;
+    cfg.processRate = 0.01; // nearly nothing processed inline
+    QueryCoprocessor p(cfg, 1);
+    for (int i = 0; i < 50; ++i)
+        p.onEvent({1, 1});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].count, 50u); // drained exactly, nothing dropped
+}
+
+TEST(QueryCoprocessor, ResetClearsEverything)
+{
+    QueryCoprocessor p(fastConfig(), 1);
+    for (int i = 0; i < 10; ++i)
+        p.onEvent({1, 1});
+    p.reset();
+    EXPECT_EQ(p.processed(), 0u);
+    EXPECT_EQ(p.dropped(), 0u);
+    EXPECT_TRUE(p.endInterval().empty());
+}
+
+TEST(QueryCoprocessor, AreaIsQueueOnly)
+{
+    CoprocessorConfig small;
+    small.queueEntries = 16;
+    CoprocessorConfig big;
+    big.queueEntries = 256;
+    EXPECT_LT(QueryCoprocessor(small, 1).areaBytes(),
+              QueryCoprocessor(big, 1).areaBytes());
+}
+
+TEST(QueryCoprocessorDeathTest, RejectsBadConfig)
+{
+    CoprocessorConfig cfg;
+    cfg.queueEntries = 0;
+    EXPECT_EXIT((QueryCoprocessor{cfg, 1}),
+                ::testing::ExitedWithCode(1), "");
+    cfg = CoprocessorConfig{};
+    cfg.processRate = 0.0;
+    EXPECT_EXIT((QueryCoprocessor{cfg, 1}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/random_table.h"
+
+namespace mhp {
+namespace {
+
+TEST(RandomTable, DeterministicPerSeed)
+{
+    RandomTable a(1), b(1);
+    for (unsigned i = 0; i < 256; ++i)
+        EXPECT_EQ(a.lookup(static_cast<uint8_t>(i)),
+                  b.lookup(static_cast<uint8_t>(i)));
+}
+
+TEST(RandomTable, DifferentSeedsDiffer)
+{
+    RandomTable a(1), b(2);
+    int same = 0;
+    for (unsigned i = 0; i < 256; ++i) {
+        if (a.lookup(static_cast<uint8_t>(i)) ==
+            b.lookup(static_cast<uint8_t>(i)))
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTable, EntriesAreDistinct)
+{
+    RandomTable t(7);
+    std::unordered_set<uint64_t> seen;
+    for (unsigned i = 0; i < 256; ++i)
+        seen.insert(t.lookup(static_cast<uint8_t>(i)));
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(RandomTable, RandomizeMagnifiesSmallDifferences)
+{
+    // The paper's rationale: nearby PCs differ only slightly;
+    // randomize must spread them. Hamming distance of randomized
+    // adjacent inputs should be large (~32 of 64 bits).
+    RandomTable t(11);
+    int total_distance = 0;
+    for (uint64_t v = 0x400000; v < 0x400040; ++v) {
+        const uint64_t d = t.randomize(v) ^ t.randomize(v + 1);
+        total_distance += __builtin_popcountll(d);
+    }
+    EXPECT_GT(total_distance / 64, 20); // average > 20 bits flipped
+}
+
+TEST(RandomTable, RandomizeDependsOnBytePosition)
+{
+    // 0xAB in byte 0 vs byte 1 must randomize differently.
+    RandomTable t(13);
+    EXPECT_NE(t.randomize(0xABULL), t.randomize(0xAB00ULL));
+}
+
+TEST(RandomTable, RandomizeIsDeterministic)
+{
+    RandomTable t(17);
+    EXPECT_EQ(t.randomize(0x12345678ULL), t.randomize(0x12345678ULL));
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/sampling_profiler.h"
+
+namespace mhp {
+namespace {
+
+TEST(SamplingProfiler, PeriodicSamplesEveryNth)
+{
+    SamplingProfiler p(4, 1);
+    for (int i = 0; i < 16; ++i)
+        p.onEvent({1, 1});
+    EXPECT_EQ(p.samplesTaken(), 4u);
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    // 4 samples x weight 4 = 16: exact for a single-tuple stream.
+    EXPECT_EQ(snap[0].count, 16u);
+}
+
+TEST(SamplingProfiler, PeriodOneIsExact)
+{
+    SamplingProfiler p(1, 1);
+    for (int i = 0; i < 7; ++i)
+        p.onEvent({1, 1});
+    p.onEvent({2, 2});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].count, 7u);
+    EXPECT_EQ(snap[1].count, 1u);
+}
+
+TEST(SamplingProfiler, MissesRareTuples)
+{
+    // A tuple occurring fewer times than the period between sample
+    // points can be missed entirely: the sampling error the paper's
+    // profilers avoid.
+    SamplingProfiler p(100, 1);
+    for (int i = 0; i < 99; ++i)
+        p.onEvent({1, 1});
+    p.onEvent({2, 2}); // the 100th event: this one gets sampled
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{2, 2}));
+    // ...and credited with 100 occurrences although it had 1 (the
+    // quantization overcount of sampling).
+    EXPECT_EQ(snap[0].count, 100u);
+}
+
+TEST(SamplingProfiler, ThresholdFiltersSnapshot)
+{
+    SamplingProfiler p(2, 10);
+    for (int i = 0; i < 8; ++i)
+        p.onEvent({1, 1}); // 4 samples x 2 = 8 < 10
+    EXPECT_TRUE(p.endInterval().empty());
+}
+
+TEST(SamplingProfiler, RandomModeApproximatesCounts)
+{
+    SamplingProfiler p(10, 1, SamplingMode::Random, 7);
+    for (int i = 0; i < 100'000; ++i)
+        p.onEvent({1, 1});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_NEAR(static_cast<double>(snap[0].count), 100'000.0,
+                10'000.0);
+}
+
+TEST(SamplingProfiler, EndIntervalResetsPhase)
+{
+    SamplingProfiler p(4, 1);
+    p.onEvent({1, 1});
+    p.onEvent({1, 1});
+    (void)p.endInterval();
+    // Phase restarts: 3 more events are not enough for a sample.
+    for (int i = 0; i < 3; ++i)
+        p.onEvent({1, 1});
+    EXPECT_TRUE(p.endInterval().empty());
+}
+
+TEST(SamplingProfiler, NamesAndArea)
+{
+    EXPECT_EQ(SamplingProfiler(4, 1).name(), "periodic-sampler");
+    EXPECT_EQ(
+        SamplingProfiler(4, 1, SamplingMode::Random).name(),
+        "random-sampler");
+    EXPECT_LT(SamplingProfiler(4, 1).areaBytes(), 100u);
+}
+
+TEST(SamplingProfilerDeathTest, RejectsZeroPeriod)
+{
+    EXPECT_EXIT((SamplingProfiler{0, 1}), ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "core/stratified_sampler.h"
+
+namespace mhp {
+namespace {
+
+StratifiedSamplerConfig
+baseConfig()
+{
+    StratifiedSamplerConfig c;
+    c.entries = 256;
+    c.samplingThreshold = 8;
+    c.tagged = false;
+    c.aggregatorEntries = 0; // direct to buffer unless a test enables
+    c.bufferEntries = 16;
+    c.seed = 55;
+    return c;
+}
+
+TEST(StratifiedSampler, FrequentTupleIsCaptured)
+{
+    StratifiedSampler s(baseConfig(), /*thresholdCount=*/40);
+    for (int i = 0; i < 100; ++i)
+        s.onEvent({1, 1});
+    const IntervalSnapshot snap = s.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{1, 1}));
+    // Counting is quantized by the sampling threshold (8): 100 events
+    // produce 12 samples = 96 counted occurrences.
+    EXPECT_EQ(snap[0].count, 96u);
+}
+
+TEST(StratifiedSampler, CountsAreQuantizedBySamplingThreshold)
+{
+    StratifiedSampler s(baseConfig(), 1);
+    for (int i = 0; i < 7; ++i)
+        s.onEvent({1, 1}); // below sampling threshold: never reported
+    const IntervalSnapshot snap = s.endInterval();
+    EXPECT_TRUE(snap.empty());
+}
+
+TEST(StratifiedSampler, BufferFillRaisesInterrupt)
+{
+    auto cfg = baseConfig();
+    cfg.bufferEntries = 4;
+    StratifiedSampler s(cfg, 1);
+    // 4 buffer entries * 8 events per sample = 32 events to interrupt.
+    for (int i = 0; i < 32; ++i)
+        s.onEvent({1, 1});
+    EXPECT_EQ(s.interrupts(), 1u);
+    EXPECT_EQ(s.messagesSent(), 4u);
+}
+
+TEST(StratifiedSampler, EndIntervalFlushesPendingState)
+{
+    StratifiedSampler s(baseConfig(), 1);
+    for (int i = 0; i < 8; ++i)
+        s.onEvent({1, 1}); // one message in the buffer, no interrupt
+    EXPECT_EQ(s.interrupts(), 0u);
+    const IntervalSnapshot snap = s.endInterval();
+    EXPECT_EQ(snap.size(), 1u);
+    EXPECT_EQ(s.interrupts(), 1u); // final drain counts as interrupt
+}
+
+TEST(StratifiedSampler, AggregatorReducesMessages)
+{
+    auto cfg = baseConfig();
+    cfg.aggregatorEntries = 8;
+    cfg.aggregatorMax = 4;
+    StratifiedSampler with_agg(cfg, 1);
+
+    auto cfg2 = baseConfig();
+    cfg2.aggregatorEntries = 0;
+    StratifiedSampler without_agg(cfg2, 1);
+
+    for (int i = 0; i < 800; ++i) {
+        with_agg.onEvent({1, 1});
+        without_agg.onEvent({1, 1});
+    }
+    EXPECT_LT(with_agg.messagesSent(), without_agg.messagesSent());
+}
+
+TEST(StratifiedSampler, AliasingInflatesUntaggedCounts)
+{
+    // Two tuples sharing a counter get each other's samples credited:
+    // the untagged design's weakness the tagged variant fixes.
+    auto cfg = baseConfig();
+    cfg.entries = 2; // force aliasing
+    StratifiedSampler s(cfg, 1);
+    for (int i = 0; i < 64; ++i) {
+        s.onEvent({1, 1});
+        s.onEvent({2, 2});
+        s.onEvent({3, 3});
+        s.onEvent({4, 4});
+    }
+    const IntervalSnapshot snap = s.endInterval();
+    uint64_t total = 0;
+    for (const auto &cand : snap)
+        total += cand.count;
+    // All 256 events land somewhere; sampled mass is conserved within
+    // quantization (each sample is 8 events).
+    EXPECT_LE(total, 256u);
+    EXPECT_GE(total, 256u - 2 * 8u);
+}
+
+TEST(StratifiedSampler, TaggedVariantResistsAliasing)
+{
+    // With partial tags, a minority tuple hammering the same entry is
+    // kept out by the miss-counter replacement policy.
+    auto plain_cfg = baseConfig();
+    plain_cfg.entries = 2;
+    auto tagged_cfg = plain_cfg;
+    tagged_cfg.tagged = true;
+
+    StratifiedSampler plain(plain_cfg, 1);
+    StratifiedSampler tagged(tagged_cfg, 1);
+    // Majority tuple + occasional interferer.
+    for (int i = 0; i < 400; ++i) {
+        plain.onEvent({1, 1});
+        tagged.onEvent({1, 1});
+        if (i % 8 == 0) {
+            plain.onEvent({2, 2});
+            tagged.onEvent({2, 2});
+        }
+    }
+    const auto plain_snap = plain.endInterval();
+    const auto tagged_snap = tagged.endInterval();
+
+    auto countOf = [](const IntervalSnapshot &snap, const Tuple &t) {
+        for (const auto &c : snap) {
+            if (c.tuple == t)
+                return c.count;
+        }
+        return uint64_t{0};
+    };
+    // 400 true occurrences of {1,1}.
+    const uint64_t plain_count = countOf(plain_snap, {1, 1});
+    const uint64_t tagged_count = countOf(tagged_snap, {1, 1});
+    const auto err = [](uint64_t measured) {
+        const int64_t d = static_cast<int64_t>(measured) - 400;
+        return d < 0 ? -d : d;
+    };
+    EXPECT_LE(err(tagged_count), err(plain_count));
+}
+
+TEST(StratifiedSampler, ResetClearsStatistics)
+{
+    StratifiedSampler s(baseConfig(), 1);
+    for (int i = 0; i < 100; ++i)
+        s.onEvent({1, 1});
+    s.reset();
+    EXPECT_EQ(s.interrupts(), 0u);
+    EXPECT_EQ(s.messagesSent(), 0u);
+    EXPECT_TRUE(s.endInterval().empty());
+}
+
+TEST(StratifiedSampler, NamesDistinguishVariants)
+{
+    EXPECT_EQ(StratifiedSampler(baseConfig(), 1).name(), "stratified");
+    auto cfg = baseConfig();
+    cfg.tagged = true;
+    EXPECT_EQ(StratifiedSampler(cfg, 1).name(), "stratified-tagged");
+}
+
+TEST(StratifiedSampler, AreaAccountsForAllStructures)
+{
+    auto cfg = baseConfig();
+    const uint64_t base_area = StratifiedSampler(cfg, 1).areaBytes();
+    cfg.aggregatorEntries = 64;
+    EXPECT_GT(StratifiedSampler(cfg, 1).areaBytes(), base_area);
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+
+namespace mhp {
+namespace {
+
+TEST(Theory, SingleTableFormula)
+{
+    // p = 100 / (t * Z): 1% threshold, 2000 entries -> 0.05.
+    EXPECT_DOUBLE_EQ(falsePositiveProbability(2000, 1, 1.0), 0.05);
+    // 0.1% threshold, 2000 entries -> 0.5.
+    EXPECT_DOUBLE_EQ(falsePositiveProbability(2000, 1, 0.1), 0.5);
+}
+
+TEST(Theory, MultiTableFormula)
+{
+    // p = (100 n / (t Z))^n: 2000 entries, 4 tables, 1% -> (0.2)^4.
+    EXPECT_NEAR(falsePositiveProbability(2000, 4, 1.0), 0.0016, 1e-12);
+}
+
+TEST(Theory, ClampsAtOne)
+{
+    // Tiny tables: the per-table probability exceeds 1; clamp.
+    EXPECT_DOUBLE_EQ(falsePositiveProbability(50, 4, 1.0), 1.0);
+}
+
+TEST(Theory, MoreTablesHelpUntilTheyDoNot)
+{
+    // Paper Fig. 9: with 1000 entries at 1%, improvement degrades
+    // beyond ~4 tables.
+    const double p1 = falsePositiveProbability(1000, 1, 1.0);
+    const double p2 = falsePositiveProbability(1000, 2, 1.0);
+    const double p4 = falsePositiveProbability(1000, 4, 1.0);
+    const double p10 = falsePositiveProbability(1000, 10, 1.0);
+    EXPECT_LT(p2, p1);
+    EXPECT_LT(p4, p2);
+    EXPECT_GT(p10, p4); // degradation past the optimum
+}
+
+TEST(Theory, BiggerTablesAlwaysHelp)
+{
+    for (unsigned n = 1; n <= 8; ++n) {
+        EXPECT_LT(falsePositiveProbability(4000, n, 1.0),
+                  falsePositiveProbability(2000, n, 1.0) + 1e-15)
+            << n << " tables";
+    }
+}
+
+TEST(Theory, OptimalTableCountGrowsWithBudget)
+{
+    // Larger budgets support more tables before per-table aliasing
+    // dominates.
+    const unsigned small = optimalTableCount(500, 1.0);
+    const unsigned large = optimalTableCount(8000, 1.0);
+    EXPECT_LE(small, large);
+    EXPECT_GE(small, 1u);
+    EXPECT_LE(large, 16u);
+}
+
+TEST(Theory, OptimumMatchesExhaustiveScan)
+{
+    for (uint64_t z : {500, 1000, 2000, 4000, 8000}) {
+        const unsigned best = optimalTableCount(z, 1.0);
+        const double best_p = falsePositiveProbability(z, best, 1.0);
+        for (unsigned n = 1; n <= 16; ++n) {
+            EXPECT_LE(best_p, falsePositiveProbability(z, n, 1.0))
+                << "Z=" << z << " n=" << n;
+        }
+    }
+}
+
+TEST(Theory, TighterThresholdIsHarder)
+{
+    // The 0.1% configuration has 10x more potential above-threshold
+    // counters; FP probability is strictly larger.
+    for (unsigned n = 1; n <= 8; ++n) {
+        EXPECT_GT(falsePositiveProbability(2000, n, 0.1),
+                  falsePositiveProbability(2000, n, 1.0) - 1e-15);
+    }
+}
+
+TEST(TheoryDeathTest, RejectsDegenerateInputs)
+{
+    EXPECT_EXIT((void)falsePositiveProbability(0, 1, 1.0),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT((void)falsePositiveProbability(100, 0, 1.0),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT((void)falsePositiveProbability(100, 1, 0.0),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

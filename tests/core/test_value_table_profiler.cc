@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/value_table_profiler.h"
+#include "support/rng.h"
+
+namespace mhp {
+namespace {
+
+ValueTableConfig
+smallConfig()
+{
+    ValueTableConfig c;
+    c.pcEntries = 8;
+    c.valuesPerPc = 2;
+    return c;
+}
+
+TEST(ValueTableProfiler, TracksTopValuePerPc)
+{
+    ValueTableProfiler p(smallConfig(), 10);
+    for (int i = 0; i < 30; ++i)
+        p.onEvent({0x100, 7});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple, (Tuple{0x100, 7}));
+    EXPECT_EQ(snap[0].count, 30u);
+}
+
+TEST(ValueTableProfiler, KeepsMultipleValuesPerPc)
+{
+    ValueTableProfiler p(smallConfig(), 10);
+    for (int i = 0; i < 20; ++i) {
+        p.onEvent({0x100, 7});
+        p.onEvent({0x100, 9});
+    }
+    const IntervalSnapshot snap = p.endInterval();
+    EXPECT_EQ(snap.size(), 2u);
+}
+
+TEST(ValueTableProfiler, SlotPressureLosesThirdValue)
+{
+    // 2 slots, 3 equally hot values: one of them cannot be held --
+    // the per-PC capacity error class of this design.
+    ValueTableProfiler p(smallConfig(), 10);
+    for (int i = 0; i < 30; ++i) {
+        p.onEvent({0x100, 1});
+        p.onEvent({0x100, 2});
+        p.onEvent({0x100, 3});
+    }
+    const IntervalSnapshot snap = p.endInterval();
+    EXPECT_LT(snap.size(), 3u);
+    EXPECT_GT(p.valueSteals(), 0u);
+}
+
+TEST(ValueTableProfiler, PcCapacityEvictsColdest)
+{
+    auto cfg = smallConfig();
+    cfg.pcEntries = 2;
+    ValueTableProfiler p(cfg, 5);
+    for (int i = 0; i < 50; ++i)
+        p.onEvent({0x100, 1}); // hot pc
+    for (int i = 0; i < 8; ++i)
+        p.onEvent({0x200, 2}); // warm pc
+    p.onEvent({0x300, 3});     // newcomer evicts the coldest (0x200? no
+                               // -- 0x300 itself becomes coldest later;
+                               // the eviction happens on allocation)
+    EXPECT_EQ(p.pcEvictions(), 1u);
+    const IntervalSnapshot snap = p.endInterval();
+    // The hot pc must have survived.
+    bool hot_found = false;
+    for (const auto &cand : snap)
+        hot_found |= cand.tuple == Tuple{0x100, 1};
+    EXPECT_TRUE(hot_found);
+}
+
+TEST(ValueTableProfiler, AgingReplacesStaleValues)
+{
+    // A value hot early but silent later is aged out by halving once
+    // slot pressure arrives.
+    auto cfg = smallConfig();
+    cfg.valuesPerPc = 1;
+    ValueTableProfiler p(cfg, 1);
+    for (int i = 0; i < 4; ++i)
+        p.onEvent({0x100, 1}); // count 4
+    // New value hammers: halving 4 -> 2 -> 1 -> steal.
+    for (int i = 0; i < 8; ++i)
+        p.onEvent({0x100, 2});
+    const IntervalSnapshot snap = p.endInterval();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].tuple.second, 2u);
+}
+
+TEST(ValueTableProfiler, EndIntervalClears)
+{
+    ValueTableProfiler p(smallConfig(), 5);
+    for (int i = 0; i < 10; ++i)
+        p.onEvent({0x100, 1});
+    (void)p.endInterval();
+    for (int i = 0; i < 4; ++i)
+        p.onEvent({0x100, 1});
+    EXPECT_TRUE(p.endInterval().empty());
+}
+
+TEST(ValueTableProfiler, AreaScalesWithShape)
+{
+    ValueTableConfig small = smallConfig();
+    ValueTableConfig big = smallConfig();
+    big.pcEntries = 64;
+    EXPECT_GT(ValueTableProfiler(big, 5).areaBytes(),
+              ValueTableProfiler(small, 5).areaBytes());
+}
+
+TEST(ValueTableProfilerDeathTest, RejectsBadShape)
+{
+    ValueTableConfig cfg;
+    cfg.pcEntries = 0;
+    EXPECT_EXIT((ValueTableProfiler{cfg, 5}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "opt/frequent_value_set.h"
+
+namespace mhp {
+namespace {
+
+TEST(FrequentValueSet, AggregatesByValueAcrossPcs)
+{
+    // Two PCs loading value 7; one PC loading value 9.
+    IntervalSnapshot snap{
+        {Tuple{0x1000, 7}, 300},
+        {Tuple{0x2000, 7}, 250},
+        {Tuple{0x3000, 9}, 400},
+    };
+    FrequentValueSet fv(snap, 10);
+    ASSERT_EQ(fv.size(), 2u);
+    // Value 7 has combined weight 550 > 400.
+    EXPECT_EQ(fv.entries()[0].value, 7u);
+    EXPECT_EQ(fv.entries()[0].weight, 550u);
+    EXPECT_EQ(fv.entries()[1].value, 9u);
+}
+
+TEST(FrequentValueSet, CapsAtMaxValues)
+{
+    IntervalSnapshot snap;
+    for (uint64_t v = 0; v < 20; ++v)
+        snap.push_back({Tuple{0x1000 + v * 4, v}, 100 + v});
+    FrequentValueSet fv(snap, 5);
+    EXPECT_EQ(fv.size(), 5u);
+    // Heaviest (largest v here) kept.
+    EXPECT_TRUE(fv.contains(19));
+    EXPECT_FALSE(fv.contains(0));
+}
+
+TEST(FrequentValueSet, EmptySnapshot)
+{
+    FrequentValueSet fv(IntervalSnapshot{}, 8);
+    EXPECT_TRUE(fv.empty());
+    EXPECT_FALSE(fv.contains(0));
+    EXPECT_DOUBLE_EQ(fv.coverage({1, 2, 3}), 0.0);
+}
+
+TEST(FrequentValueSet, CoverageMeasuresStreamHits)
+{
+    IntervalSnapshot snap{{Tuple{0x1000, 7}, 100},
+                          {Tuple{0x1004, 9}, 100}};
+    FrequentValueSet fv(snap, 8);
+    EXPECT_DOUBLE_EQ(fv.coverage({7, 9, 7, 5}), 0.75);
+    EXPECT_DOUBLE_EQ(fv.coverage({}), 0.0);
+}
+
+TEST(FrequentValueSet, DeterministicTieBreak)
+{
+    IntervalSnapshot snap{{Tuple{0x1000, 20}, 100},
+                          {Tuple{0x1004, 10}, 100}};
+    FrequentValueSet fv(snap, 1);
+    // Equal weights: smaller value wins deterministically.
+    ASSERT_EQ(fv.size(), 1u);
+    EXPECT_EQ(fv.entries()[0].value, 10u);
+}
+
+} // namespace
+} // namespace mhp

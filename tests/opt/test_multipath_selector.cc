@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "opt/multipath_selector.h"
+
+namespace mhp {
+namespace {
+
+CandidateCount
+edge(uint64_t from, uint64_t to, uint64_t count)
+{
+    return {Tuple{from, to}, count};
+}
+
+TEST(MultipathSelector, PicksBalancedBranches)
+{
+    IntervalSnapshot snap{
+        edge(0x100, 0x200, 500), edge(0x100, 0x104, 480), // balanced
+        edge(0x300, 0x400, 950), edge(0x300, 0x304, 50),  // biased
+    };
+    MultipathSelector sel;
+    const auto chosen = sel.fromEdgeProfile(snap);
+    ASSERT_EQ(chosen.size(), 1u);
+    EXPECT_EQ(chosen[0].branchPc, 0x100u);
+    EXPECT_NEAR(chosen[0].bias, 500.0 / 980.0, 1e-9);
+}
+
+TEST(MultipathSelector, BiasThresholdIsConfigurable)
+{
+    IntervalSnapshot snap{
+        edge(0x100, 0x200, 800), edge(0x100, 0x104, 200), // bias 0.8
+    };
+    MultipathConfig strict;
+    strict.maxBias = 0.75;
+    EXPECT_TRUE(MultipathSelector(strict).fromEdgeProfile(snap).empty());
+
+    MultipathConfig loose;
+    loose.maxBias = 0.85;
+    EXPECT_EQ(MultipathSelector(loose).fromEdgeProfile(snap).size(), 1u);
+}
+
+TEST(MultipathSelector, SingleEdgeBranchIsFullyBiased)
+{
+    // Only one captured edge: bias 1.0, never selected.
+    IntervalSnapshot snap{edge(0x100, 0x200, 1000)};
+    MultipathSelector sel;
+    EXPECT_TRUE(sel.fromEdgeProfile(snap).empty());
+}
+
+TEST(MultipathSelector, RespectsBudget)
+{
+    IntervalSnapshot snap;
+    for (uint64_t b = 0; b < 20; ++b) {
+        snap.push_back(edge(0x1000 + b * 8, 0x5000, 100));
+        snap.push_back(edge(0x1000 + b * 8, 0x1004 + b * 8, 95));
+    }
+    MultipathConfig cfg;
+    cfg.maxBranches = 4;
+    const auto chosen = MultipathSelector(cfg).fromEdgeProfile(snap);
+    EXPECT_EQ(chosen.size(), 4u);
+}
+
+TEST(MultipathSelector, HeaviestBranchesFirst)
+{
+    IntervalSnapshot snap{
+        edge(0x100, 0x200, 100), edge(0x100, 0x104, 90),
+        edge(0x300, 0x400, 1000), edge(0x300, 0x304, 900),
+    };
+    const auto chosen = MultipathSelector().fromEdgeProfile(snap);
+    ASSERT_EQ(chosen.size(), 2u);
+    EXPECT_EQ(chosen[0].branchPc, 0x300u);
+    EXPECT_EQ(chosen[0].weight, 1900u);
+}
+
+TEST(MultipathSelector, MinExecutionsFilter)
+{
+    IntervalSnapshot snap{edge(0x100, 0x200, 5), edge(0x100, 0x104, 5)};
+    MultipathConfig cfg;
+    cfg.minExecutions = 100;
+    EXPECT_TRUE(MultipathSelector(cfg).fromEdgeProfile(snap).empty());
+}
+
+TEST(MultipathSelector, MispredictModeAggregatesTargets)
+{
+    IntervalSnapshot snap{
+        edge(0x100, 0x200, 300), // same branch, two mispredicted
+        edge(0x100, 0x104, 200), // directions
+        edge(0x300, 0x400, 450),
+    };
+    const auto chosen =
+        MultipathSelector().fromMispredictProfile(snap);
+    ASSERT_EQ(chosen.size(), 2u);
+    EXPECT_EQ(chosen[0].branchPc, 0x100u);
+    EXPECT_EQ(chosen[0].weight, 500u);
+    EXPECT_EQ(chosen[1].branchPc, 0x300u);
+}
+
+TEST(MultipathSelector, MispredictModeRespectsBudget)
+{
+    IntervalSnapshot snap;
+    for (uint64_t b = 0; b < 10; ++b)
+        snap.push_back(edge(0x1000 + b * 8, 0x5000, 100 + b));
+    MultipathConfig cfg;
+    cfg.maxBranches = 3;
+    const auto chosen =
+        MultipathSelector(cfg).fromMispredictProfile(snap);
+    ASSERT_EQ(chosen.size(), 3u);
+    // Heaviest mispredictors kept.
+    EXPECT_EQ(chosen[0].weight, 109u);
+}
+
+TEST(MultipathSelectorDeathTest, RejectsBadConfig)
+{
+    MultipathConfig cfg;
+    cfg.maxBranches = 0;
+    EXPECT_EXIT(MultipathSelector{cfg}, ::testing::ExitedWithCode(1),
+                "");
+    cfg = MultipathConfig{};
+    cfg.maxBias = 0.0;
+    EXPECT_EXIT(MultipathSelector{cfg}, ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace mhp

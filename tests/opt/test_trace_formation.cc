@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "opt/trace_formation.h"
+
+namespace mhp {
+namespace {
+
+/** Edge helper. */
+CandidateCount
+edge(uint64_t from, uint64_t to, uint64_t count)
+{
+    return {Tuple{from, to}, count};
+}
+
+TEST(TraceFormation, ChainsHottestSuccessors)
+{
+    // A -> B -> C with decreasing heat, plus a cold B -> D edge.
+    IntervalSnapshot snap{
+        edge(0xA, 0xB, 1000),
+        edge(0xB, 0xC, 800),
+        edge(0xB, 0xD, 100),
+        edge(0xC, 0xE, 700),
+    };
+    TraceFormationEngine engine;
+    const auto traces = engine.form(snap);
+    ASSERT_GE(traces.size(), 1u);
+    const Trace &t = traces[0];
+    ASSERT_EQ(t.edges.size(), 3u);
+    EXPECT_EQ(t.entryPc(), 0xAu);
+    EXPECT_EQ(t.edges[1].tuple.second, 0xCu); // took the hot successor
+    EXPECT_EQ(t.weight, 1000u + 800u + 700u);
+}
+
+TEST(TraceFormation, EachEdgeJoinsAtMostOneTrace)
+{
+    IntervalSnapshot snap{
+        edge(0xA, 0xB, 1000),
+        edge(0xB, 0xC, 900),
+        edge(0xF, 0xB, 800), // second trace reaching B
+    };
+    TraceFormationEngine engine;
+    const auto traces = engine.form(snap);
+    uint64_t total_edges = 0;
+    for (const auto &t : traces)
+        total_edges += t.edges.size();
+    EXPECT_EQ(total_edges, snap.size()); // no duplication
+}
+
+TEST(TraceFormation, RespectsMaxLength)
+{
+    IntervalSnapshot snap;
+    for (uint64_t i = 0; i < 30; ++i)
+        snap.push_back(edge(i, i + 1, 1000));
+    TraceFormationConfig cfg;
+    cfg.maxTraceLength = 4;
+    cfg.maxTraces = 100;
+    TraceFormationEngine engine(cfg);
+    const auto traces = engine.form(snap);
+    for (const auto &t : traces)
+        EXPECT_LE(t.edges.size(), 4u);
+}
+
+TEST(TraceFormation, RespectsMaxTraces)
+{
+    IntervalSnapshot snap;
+    for (uint64_t i = 0; i < 20; ++i)
+        snap.push_back(edge(i * 100, i * 100 + 1, 500));
+    TraceFormationConfig cfg;
+    cfg.maxTraces = 3;
+    TraceFormationEngine engine(cfg);
+    EXPECT_EQ(engine.form(snap).size(), 3u);
+}
+
+TEST(TraceFormation, StopsAtLoopClosure)
+{
+    // A -> B -> A: the trace must not spin forever.
+    IntervalSnapshot snap{edge(0xA, 0xB, 1000), edge(0xB, 0xA, 990)};
+    TraceFormationEngine engine;
+    const auto traces = engine.form(snap);
+    ASSERT_GE(traces.size(), 1u);
+    EXPECT_LE(traces[0].edges.size(), 2u);
+}
+
+TEST(TraceFormation, ColdTailsAreCut)
+{
+    IntervalSnapshot snap{
+        edge(0xA, 0xB, 10000),
+        edge(0xB, 0xC, 9000),
+        edge(0xC, 0xD, 10), // way below minRelativeWeight * 10000
+    };
+    TraceFormationConfig cfg;
+    cfg.minRelativeWeight = 0.05;
+    TraceFormationEngine engine(cfg);
+    const auto traces = engine.form(snap);
+    ASSERT_GE(traces.size(), 1u);
+    EXPECT_EQ(traces[0].edges.size(), 2u);
+}
+
+TEST(TraceFormation, CoverageIsMassFraction)
+{
+    IntervalSnapshot snap{edge(0xA, 0xB, 600), edge(0xC, 0xD, 400)};
+    TraceFormationConfig cfg;
+    cfg.maxTraces = 1;
+    TraceFormationEngine engine(cfg);
+    const auto traces = engine.form(snap);
+    EXPECT_DOUBLE_EQ(TraceFormationEngine::coverage(traces, snap), 0.6);
+}
+
+TEST(TraceFormation, EmptySnapshot)
+{
+    TraceFormationEngine engine;
+    EXPECT_TRUE(engine.form({}).empty());
+    EXPECT_DOUBLE_EQ(TraceFormationEngine::coverage({}, {}), 0.0);
+}
+
+} // namespace
+} // namespace mhp

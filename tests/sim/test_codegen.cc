@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/codegen.h"
+#include "sim/machine.h"
+
+namespace mhp {
+namespace {
+
+CodegenConfig
+smallConfig()
+{
+    CodegenConfig c;
+    c.seed = 7;
+    c.numFunctions = 4;
+    c.numArrays = 3;
+    c.arrayLen = 64;
+    return c;
+}
+
+TEST(Codegen, GeneratesDeterministically)
+{
+    const Program a = generateProgram(smallConfig());
+    const Program b = generateProgram(smallConfig());
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (size_t i = 0; i < a.code.size(); ++i) {
+        EXPECT_EQ(a.code[i].op, b.code[i].op);
+        EXPECT_EQ(a.code[i].imm, b.code[i].imm);
+    }
+    EXPECT_EQ(a.dataInit, b.dataInit);
+}
+
+TEST(Codegen, DifferentSeedsDiffer)
+{
+    auto cfg = smallConfig();
+    const Program a = generateProgram(cfg);
+    cfg.seed = 8;
+    const Program b = generateProgram(cfg);
+    bool differs = a.code.size() != b.code.size() ||
+                   a.dataInit != b.dataInit;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Codegen, ProgramRunsIndefinitely)
+{
+    Machine m(generateProgram(smallConfig()), 1 << 12);
+    EXPECT_EQ(m.run(100000), 100000u);
+    EXPECT_FALSE(m.halted());
+}
+
+TEST(Codegen, ProducesLoadEvents)
+{
+    Machine m(generateProgram(smallConfig()), 1 << 12);
+    uint64_t loads = 0;
+    m.setLoadHook([&](uint64_t, uint64_t) { ++loads; });
+    m.run(50000);
+    EXPECT_GT(loads, 1000u);
+}
+
+TEST(Codegen, ProducesEdgeEvents)
+{
+    Machine m(generateProgram(smallConfig()), 1 << 12);
+    uint64_t edges = 0;
+    m.setEdgeHook([&](uint64_t, uint64_t) { ++edges; });
+    m.run(50000);
+    EXPECT_GT(edges, 1000u);
+}
+
+TEST(Codegen, LoadValuesShowFrequentValueLocality)
+{
+    // The generated arrays draw from ~12 values each: the top value
+    // must dominate (the Zhang et al. observation the paper cites).
+    Machine m(generateProgram(smallConfig()), 1 << 12);
+    std::unordered_map<uint64_t, uint64_t> value_counts;
+    m.setLoadHook(
+        [&](uint64_t, uint64_t value) { ++value_counts[value]; });
+    m.run(200000);
+
+    uint64_t total = 0, best = 0;
+    for (const auto &[v, c] : value_counts) {
+        total += c;
+        best = std::max(best, c);
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(best) / static_cast<double>(total),
+              0.05);
+    // And the set of distinct values is small relative to loads.
+    EXPECT_LT(value_counts.size(), 200u);
+}
+
+TEST(Codegen, BranchesAreBiased)
+{
+    // Loop back-edges dominate: for each branch pc, one target should
+    // be much more frequent than the other.
+    Machine m(generateProgram(smallConfig()), 1 << 12);
+    std::unordered_map<uint64_t,
+                       std::unordered_map<uint64_t, uint64_t>>
+        per_branch;
+    m.setEdgeHook([&](uint64_t pc, uint64_t target) {
+        ++per_branch[pc][target];
+    });
+    m.run(200000);
+
+    int biased = 0, total = 0;
+    for (const auto &[pc, targets] : per_branch) {
+        uint64_t sum = 0, best = 0;
+        for (const auto &[tgt, c] : targets) {
+            sum += c;
+            best = std::max(best, c);
+        }
+        if (sum < 100)
+            continue;
+        ++total;
+        if (static_cast<double>(best) / static_cast<double>(sum) > 0.7)
+            ++biased;
+    }
+    ASSERT_GT(total, 0);
+    EXPECT_GT(biased, total / 2);
+}
+
+TEST(Codegen, SwitchesProduceMultiTargetEdges)
+{
+    // With switchProbability 1, indirect dispatches give some edge
+    // PCs more than two observed targets (unlike conditional
+    // branches, which have exactly two).
+    auto cfg = smallConfig();
+    cfg.switchProbability = 1.0;
+    cfg.numFunctions = 6;
+    Machine m(generateProgram(cfg), 1 << 12);
+    std::unordered_map<uint64_t, std::unordered_set<uint64_t>> targets;
+    m.setEdgeHook([&](uint64_t pc, uint64_t target) {
+        targets[pc].insert(target);
+    });
+    m.run(300'000);
+    int multiway = 0;
+    for (const auto &[pc, tgts] : targets)
+        multiway += tgts.size() > 2 ? 1 : 0;
+    EXPECT_GT(multiway, 0);
+}
+
+TEST(Codegen, RespectsFunctionCount)
+{
+    auto cfg = smallConfig();
+    cfg.numFunctions = 1;
+    const Program small = generateProgram(cfg);
+    cfg.numFunctions = 10;
+    const Program big = generateProgram(cfg);
+    EXPECT_GT(big.code.size(), small.code.size());
+}
+
+TEST(CodegenDeathTest, RejectsBadConfig)
+{
+    auto cfg = smallConfig();
+    cfg.numFunctions = 0;
+    EXPECT_EXIT((void)generateProgram(cfg),
+                ::testing::ExitedWithCode(1), "");
+    cfg = smallConfig();
+    cfg.loadsPerLoop = 9;
+    EXPECT_EXIT((void)generateProgram(cfg),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/program.h"
+
+namespace mhp {
+namespace {
+
+TEST(Machine, ArithmeticBasics)
+{
+    ProgramBuilder b;
+    b.loadImm(1, 6);
+    b.loadImm(2, 7);
+    b.add(3, 1, 2);
+    b.mul(4, 1, 2);
+    b.sub(5, 2, 1);
+    b.xorReg(6, 1, 2);
+    b.halt();
+    Machine m(b.build(), 64);
+    m.run(100);
+    EXPECT_TRUE(m.halted());
+    EXPECT_EQ(m.reg(3), 13u);
+    EXPECT_EQ(m.reg(4), 42u);
+    EXPECT_EQ(m.reg(5), 1u);
+    EXPECT_EQ(m.reg(6), 6u ^ 7u);
+}
+
+TEST(Machine, RegisterZeroIsHardwired)
+{
+    ProgramBuilder b;
+    b.loadImm(0, 99);
+    b.addImm(1, 0, 5); // r1 = r0 + 5 = 5
+    b.halt();
+    Machine m(b.build(), 64);
+    m.run(100);
+    EXPECT_EQ(m.reg(0), 0u);
+    EXPECT_EQ(m.reg(1), 5u);
+}
+
+TEST(Machine, LoadsAndStores)
+{
+    ProgramBuilder b;
+    b.setData({100, 200, 300});
+    b.loadImm(1, 1);
+    b.load(2, 1, 0);  // r2 = mem[1] = 200
+    b.load(3, 1, 1);  // r3 = mem[2] = 300
+    b.loadImm(4, 777);
+    b.store(4, 1, 4); // mem[5] = 777
+    b.halt();
+    Machine m(b.build(), 64);
+    m.run(100);
+    EXPECT_EQ(m.reg(2), 200u);
+    EXPECT_EQ(m.reg(3), 300u);
+    EXPECT_EQ(m.memWord(5), 777u);
+}
+
+TEST(Machine, MemoryWraps)
+{
+    ProgramBuilder b;
+    b.setData({11, 22});
+    b.loadImm(1, 0);
+    b.load(2, 1, 64); // addr 64 wraps to 0 with 64-word memory
+    b.halt();
+    Machine m(b.build(), 64);
+    m.run(100);
+    EXPECT_EQ(m.reg(2), 11u);
+}
+
+TEST(Machine, LoopExecutesExpectedIterations)
+{
+    ProgramBuilder b;
+    b.loadImm(1, 0);   // i = 0
+    b.loadImm(2, 10);  // limit
+    b.label("loop");
+    b.addImm(3, 3, 2); // acc += 2
+    b.addImm(1, 1, 1);
+    b.blt(1, 2, "loop");
+    b.halt();
+    Machine m(b.build(), 64);
+    m.run(1000);
+    EXPECT_TRUE(m.halted());
+    EXPECT_EQ(m.reg(3), 20u);
+}
+
+TEST(Machine, CallAndReturn)
+{
+    ProgramBuilder b;
+    b.jmp("main");
+    b.label("double_it");
+    b.add(2, 1, 1);
+    b.ret();
+    b.label("main");
+    b.loadImm(1, 21);
+    b.call("double_it");
+    b.halt();
+    b.setEntry("main");
+    Machine m(b.build(), 64);
+    m.run(100);
+    EXPECT_TRUE(m.halted());
+    EXPECT_EQ(m.reg(2), 42u);
+}
+
+TEST(Machine, LoadHookSeesPcAndValue)
+{
+    ProgramBuilder b;
+    b.setData({555});
+    b.loadImm(1, 0);
+    const uint64_t load_idx = b.load(2, 1, 0);
+    b.halt();
+    Machine m(b.build(), 64);
+
+    std::vector<std::pair<uint64_t, uint64_t>> loads;
+    m.setLoadHook([&](uint64_t pc, uint64_t value) {
+        loads.emplace_back(pc, value);
+    });
+    m.run(100);
+    ASSERT_EQ(loads.size(), 1u);
+    EXPECT_EQ(loads[0].first, Machine::pcAddress(load_idx));
+    EXPECT_EQ(loads[0].second, 555u);
+}
+
+TEST(Machine, EdgeHookSeesActualTarget)
+{
+    ProgramBuilder b;
+    b.loadImm(1, 1);
+    b.loadImm(2, 1);
+    const uint64_t br_idx = b.beq(1, 2, "target"); // taken
+    b.nop();
+    b.label("target");
+    const uint64_t br2_idx = b.bne(1, 2, "target"); // not taken
+    b.halt();
+    Machine m(b.build(), 64);
+
+    std::vector<std::pair<uint64_t, uint64_t>> edges;
+    m.setEdgeHook([&](uint64_t pc, uint64_t target) {
+        edges.emplace_back(pc, target);
+    });
+    m.run(100);
+    ASSERT_EQ(edges.size(), 2u);
+    // Taken branch: target label (index 4).
+    EXPECT_EQ(edges[0].first, Machine::pcAddress(br_idx));
+    EXPECT_EQ(edges[0].second, Machine::pcAddress(4));
+    // Not-taken branch: fall-through pc+1 instruction.
+    EXPECT_EQ(edges[1].first, Machine::pcAddress(br2_idx));
+    EXPECT_EQ(edges[1].second, Machine::pcAddress(br2_idx + 1));
+}
+
+TEST(Machine, RunStopsAtMaxSteps)
+{
+    ProgramBuilder b;
+    b.label("spin");
+    b.jmp("spin");
+    Machine m(b.build(), 64);
+    EXPECT_EQ(m.run(500), 500u);
+    EXPECT_FALSE(m.halted());
+    EXPECT_EQ(m.instructionsExecuted(), 500u);
+}
+
+TEST(Machine, HaltedMachineStaysHalted)
+{
+    ProgramBuilder b;
+    b.halt();
+    Machine m(b.build(), 64);
+    EXPECT_EQ(m.run(10), 1u);
+    EXPECT_TRUE(m.halted());
+    EXPECT_EQ(m.run(10), 0u);
+    EXPECT_FALSE(m.step());
+}
+
+TEST(Machine, ResetRestoresInitialState)
+{
+    ProgramBuilder b;
+    b.setData({9});
+    b.loadImm(1, 0);
+    b.loadImm(2, 4);
+    b.store(2, 1, 0); // clobber mem[0]
+    b.halt();
+    Machine m(b.build(), 64);
+    m.run(100);
+    EXPECT_EQ(m.memWord(0), 4u);
+    m.reset();
+    EXPECT_EQ(m.memWord(0), 9u);
+    EXPECT_FALSE(m.halted());
+    EXPECT_EQ(m.instructionsExecuted(), 0u);
+    EXPECT_EQ(m.reg(2), 0u);
+}
+
+TEST(Machine, IndirectJumpGoesToRegisterTarget)
+{
+    ProgramBuilder b;
+    b.loadLabel(1, "target"); // r1 = index of "target"
+    const uint64_t jr = b.jmpReg(1);
+    b.loadImm(2, 111); // skipped
+    b.label("target");
+    b.loadImm(2, 222);
+    b.halt();
+    Machine m(b.build(), 64);
+
+    std::vector<std::pair<uint64_t, uint64_t>> edges;
+    m.setEdgeHook([&](uint64_t pc, uint64_t target) {
+        edges.emplace_back(pc, target);
+    });
+    m.run(100);
+    EXPECT_EQ(m.reg(2), 222u);
+    // The indirect jump reported its actual target.
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0].first, Machine::pcAddress(jr));
+    EXPECT_EQ(edges[0].second, Machine::pcAddress(3));
+}
+
+TEST(Machine, ComputedDispatchSelectsCorrectCase)
+{
+    // A 2-instruction-stub jump table: target = disp + sel * 2.
+    for (int sel = 0; sel < 4; ++sel) {
+        ProgramBuilder b;
+        b.loadImm(10, 0);   // result register
+        b.loadImm(1, sel);
+        b.add(1, 1, 1);     // *2 (stub size)
+        b.loadLabel(2, "disp");
+        b.add(1, 1, 2);
+        b.jmpReg(1);
+        b.label("disp");
+        for (int c = 0; c < 4; ++c) {
+            b.addImm(10, 10, (c + 1) * 100);
+            b.jmp("join");
+        }
+        b.label("join");
+        b.halt();
+        Machine m(b.build(), 64);
+        m.run(100);
+        EXPECT_EQ(m.reg(10), static_cast<uint64_t>((sel + 1) * 100))
+            << "selector " << sel;
+    }
+}
+
+TEST(Machine, ShiftRight)
+{
+    ProgramBuilder b;
+    b.loadImm(1, 1024);
+    b.shrImm(2, 1, 3);
+    b.halt();
+    Machine m(b.build(), 64);
+    m.run(10);
+    EXPECT_EQ(m.reg(2), 128u);
+}
+
+} // namespace
+} // namespace mhp

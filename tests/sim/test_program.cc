@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "sim/program.h"
+
+namespace mhp {
+namespace {
+
+TEST(ProgramBuilder, EmitsSequentially)
+{
+    ProgramBuilder b;
+    EXPECT_EQ(b.loadImm(1, 5), 0u);
+    EXPECT_EQ(b.nop(), 1u);
+    EXPECT_EQ(b.halt(), 2u);
+    const Program p = b.build();
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[0].op, Opcode::LoadImm);
+    EXPECT_EQ(p.code[0].rd, 1);
+    EXPECT_EQ(p.code[0].imm, 5);
+    EXPECT_EQ(p.code[2].op, Opcode::Halt);
+}
+
+TEST(ProgramBuilder, ResolvesForwardLabels)
+{
+    ProgramBuilder b;
+    b.jmp("end");      // forward reference
+    b.nop();
+    b.label("end");
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.code[0].imm, 2);
+}
+
+TEST(ProgramBuilder, ResolvesBackwardLabels)
+{
+    ProgramBuilder b;
+    b.label("top");
+    b.nop();
+    b.jmp("top");
+    const Program p = b.build();
+    EXPECT_EQ(p.code[1].imm, 0);
+}
+
+TEST(ProgramBuilder, BranchEmittersEncodeRegisters)
+{
+    ProgramBuilder b;
+    b.label("t");
+    b.beq(3, 4, "t");
+    b.bne(5, 6, "t");
+    b.blt(7, 8, "t");
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.code[0].op, Opcode::Beq);
+    EXPECT_EQ(p.code[0].rs1, 3);
+    EXPECT_EQ(p.code[0].rs2, 4);
+    EXPECT_EQ(p.code[1].op, Opcode::Bne);
+    EXPECT_EQ(p.code[2].op, Opcode::Blt);
+}
+
+TEST(ProgramBuilder, EntryLabel)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.label("start");
+    b.halt();
+    b.setEntry("start");
+    const Program p = b.build();
+    EXPECT_EQ(p.entry, 1u);
+}
+
+TEST(ProgramBuilder, DataSegment)
+{
+    ProgramBuilder b;
+    b.halt();
+    b.setData({1, 2, 3});
+    const Program p = b.build();
+    ASSERT_EQ(p.dataInit.size(), 3u);
+    EXPECT_EQ(p.dataInit[2], 3u);
+}
+
+TEST(ProgramBuilder, DisassembleIsNonEmpty)
+{
+    ProgramBuilder b;
+    b.loadImm(1, 42);
+    b.halt();
+    const Program p = b.build();
+    const std::string dis = p.disassemble();
+    EXPECT_NE(dis.find("li"), std::string::npos);
+    EXPECT_NE(dis.find("halt"), std::string::npos);
+}
+
+TEST(ProgramBuilderDeathTest, DanglingLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.jmp("nowhere");
+    b.halt();
+    EXPECT_EXIT((void)b.build(), ::testing::ExitedWithCode(1),
+                "dangling label");
+}
+
+TEST(ProgramBuilderDeathTest, DuplicateLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.label("x");
+    b.nop();
+    EXPECT_EXIT(b.label("x"), ::testing::ExitedWithCode(1),
+                "duplicate label");
+}
+
+TEST(ProgramBuilderDeathTest, EmptyProgramIsFatal)
+{
+    ProgramBuilder b;
+    EXPECT_EXIT((void)b.build(), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(Isa, OpcodeNamesAreUnique)
+{
+    EXPECT_STREQ(opcodeName(Opcode::Add), "add");
+    EXPECT_STREQ(opcodeName(Opcode::Load), "ld");
+    EXPECT_STREQ(opcodeName(Opcode::Beq), "beq");
+    EXPECT_TRUE(isConditionalBranch(Opcode::Beq));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Blt));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jmp));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Load));
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "support/bit_util.h"
+#include "support/rng.h"
+
+namespace mhp {
+namespace {
+
+TEST(BitUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(2048), 11u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(2048), 11u);
+    EXPECT_EQ(ceilLog2(2049), 12u);
+}
+
+TEST(BitUtil, ByteFlipKnownValue)
+{
+    EXPECT_EQ(byteFlip(0x0102030405060708ULL), 0x0807060504030201ULL);
+    EXPECT_EQ(byteFlip(0), 0u);
+    EXPECT_EQ(byteFlip(~0ULL), ~0ULL);
+}
+
+TEST(BitUtil, ByteFlipIsInvolution)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.next();
+        EXPECT_EQ(byteFlip(byteFlip(v)), v);
+    }
+}
+
+TEST(BitUtil, ByteFlipMovesLowToHigh)
+{
+    // The paper relies on flip moving PC variation into high bytes.
+    const uint64_t a = byteFlip(0x00000000000000ffULL);
+    EXPECT_EQ(a, 0xff00000000000000ULL);
+}
+
+TEST(BitUtil, XorFoldStaysInWidth)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.next();
+        EXPECT_LT(xorFold(v, 11), 1ULL << 11);
+        EXPECT_LT(xorFold(v, 8), 1ULL << 8);
+        EXPECT_LT(xorFold(v, 1), 2ULL);
+    }
+}
+
+TEST(BitUtil, XorFoldKnownValues)
+{
+    // 0xAB in the low byte, 0xCD in the next: folding at 8 bits xors
+    // the two chunks.
+    EXPECT_EQ(xorFold(0xCDABULL, 8), 0xCDULL ^ 0xABULL);
+    EXPECT_EQ(xorFold(0, 16), 0u);
+    // A value already narrower than the fold width is unchanged.
+    EXPECT_EQ(xorFold(0x3fULL, 8), 0x3fULL);
+}
+
+TEST(BitUtil, XorFoldPreservesParity)
+{
+    // Folding to 1 bit equals the overall bit parity.
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.next();
+        EXPECT_EQ(xorFold(v, 1),
+                  static_cast<uint64_t>(__builtin_parityll(v)));
+    }
+}
+
+TEST(BitUtil, LowBits)
+{
+    EXPECT_EQ(lowBits(0xffffULL, 8), 0xffULL);
+    EXPECT_EQ(lowBits(0x1234ULL, 4), 0x4ULL);
+    EXPECT_EQ(lowBits(0x1234ULL, 64), 0x1234ULL);
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/cli.h"
+
+namespace mhp {
+namespace {
+
+// Helper: build argv from strings.
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args))
+    {
+        for (auto &s : storage)
+            ptrs.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+  private:
+    std::vector<std::string> storage;
+    std::vector<char *> ptrs;
+};
+
+TEST(Cli, DefaultsSurviveEmptyArgv)
+{
+    CliParser p("test");
+    p.addInt("n", 7, "count");
+    p.addString("name", "x", "name");
+    p.addDouble("ratio", 0.5, "ratio");
+    p.addBool("verbose", false, "verbosity");
+    Argv a({"prog"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("n"), 7);
+    EXPECT_EQ(p.getString("name"), "x");
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(p.getBool("verbose"));
+}
+
+TEST(Cli, EqualsForm)
+{
+    CliParser p("test");
+    p.addInt("n", 0, "count");
+    Argv a({"prog", "--n=42"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("n"), 42);
+}
+
+TEST(Cli, SeparateValueForm)
+{
+    CliParser p("test");
+    p.addString("mode", "", "mode");
+    Argv a({"prog", "--mode", "fast"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getString("mode"), "fast");
+}
+
+TEST(Cli, BareBooleanFlag)
+{
+    CliParser p("test");
+    p.addBool("on", false, "switch");
+    Argv a({"prog", "--on"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_TRUE(p.getBool("on"));
+}
+
+TEST(Cli, BoolAcceptsWords)
+{
+    CliParser p("test");
+    p.addBool("x", false, "x");
+    Argv a({"prog", "--x=true"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_TRUE(p.getBool("x"));
+
+    CliParser q("test");
+    q.addBool("x", true, "x");
+    Argv b({"prog", "--x=0"});
+    q.parse(b.argc(), b.argv());
+    EXPECT_FALSE(q.getBool("x"));
+}
+
+TEST(Cli, PositionalArguments)
+{
+    CliParser p("test");
+    p.addInt("n", 0, "count");
+    Argv a({"prog", "file1", "--n=3", "file2"});
+    p.parse(a.argc(), a.argv());
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "file1");
+    EXPECT_EQ(p.positional()[1], "file2");
+}
+
+TEST(Cli, NegativeNumbers)
+{
+    CliParser p("test");
+    p.addInt("delta", 0, "delta");
+    p.addDouble("scale", 1.0, "scale");
+    Argv a({"prog", "--delta=-5", "--scale=-0.25"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("delta"), -5);
+    EXPECT_DOUBLE_EQ(p.getDouble("scale"), -0.25);
+}
+
+TEST(CliDeathTest, UnknownFlagExits)
+{
+    CliParser p("test");
+    Argv a({"prog", "--nope"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(CliDeathTest, WrongTypeAccessPanics)
+{
+    CliParser p("test");
+    p.addInt("n", 1, "count");
+    Argv a({"prog"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_DEATH((void)p.getString("n"), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/csv.h"
+#include "support/env.h"
+
+namespace mhp {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "mhp_csv_test.csv")
+            .string();
+    {
+        CsvWriter w(path, {"a", "b"});
+        ASSERT_TRUE(w.ok());
+        w.writeRow({"1", "2"});
+        w.writeRow({"x", "y"});
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "a,b\n1,2\nx,y\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, BadPathIsNotOk)
+{
+    CsvWriter w("/nonexistent-dir/x.csv", {"a"});
+    EXPECT_FALSE(w.ok());
+    w.writeRow({"1"}); // must not crash
+}
+
+TEST(CsvWriterDeathTest, RowWidthMismatchPanics)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "mhp_csv_test2.csv")
+            .string();
+    CsvWriter w(path, {"a", "b"});
+    EXPECT_DEATH(w.writeRow({"only-one"}), "");
+    std::remove(path.c_str());
+}
+
+TEST(Env, DoubleParsing)
+{
+    ::setenv("MHP_TEST_D", "2.5", 1);
+    EXPECT_DOUBLE_EQ(envDouble("MHP_TEST_D", 1.0), 2.5);
+    ::setenv("MHP_TEST_D", "garbage", 1);
+    EXPECT_DOUBLE_EQ(envDouble("MHP_TEST_D", 1.0), 1.0);
+    ::unsetenv("MHP_TEST_D");
+    EXPECT_DOUBLE_EQ(envDouble("MHP_TEST_D", 3.0), 3.0);
+}
+
+TEST(Env, IntParsing)
+{
+    ::setenv("MHP_TEST_I", "42", 1);
+    EXPECT_EQ(envInt("MHP_TEST_I", 0), 42);
+    ::setenv("MHP_TEST_I", "", 1);
+    EXPECT_EQ(envInt("MHP_TEST_I", 7), 7);
+    ::unsetenv("MHP_TEST_I");
+}
+
+TEST(Env, ScaledCountRespectsScaleAndFloor)
+{
+    ::setenv("MHP_SCALE", "0.5", 1);
+    EXPECT_DOUBLE_EQ(experimentScale(), 0.5);
+    EXPECT_EQ(scaledCount(100), 50u);
+    EXPECT_EQ(scaledCount(1, 10), 10u); // floored at minimum
+    ::setenv("MHP_SCALE", "-3", 1);
+    EXPECT_DOUBLE_EQ(experimentScale(), 1.0); // nonsense -> 1.0
+    ::unsetenv("MHP_SCALE");
+    EXPECT_EQ(scaledCount(100), 100u);
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/discrete_distribution.h"
+#include "support/rng.h"
+
+namespace mhp {
+namespace {
+
+TEST(DiscreteDistribution, SingleOutcome)
+{
+    DiscreteDistribution d({1.0});
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.sample(rng), 0u);
+}
+
+TEST(DiscreteDistribution, NormalizesWeights)
+{
+    DiscreteDistribution d({2.0, 6.0});
+    EXPECT_DOUBLE_EQ(d.probability(0), 0.25);
+    EXPECT_DOUBLE_EQ(d.probability(1), 0.75);
+}
+
+TEST(DiscreteDistribution, ZeroWeightNeverSampled)
+{
+    DiscreteDistribution d({1.0, 0.0, 1.0});
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_NE(d.sample(rng), 1u);
+}
+
+TEST(DiscreteDistribution, EmpiricalMatchesWeights)
+{
+    const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+    DiscreteDistribution d(w);
+    Rng rng(3);
+    std::vector<int> counts(4, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[d.sample(rng)];
+    for (size_t i = 0; i < w.size(); ++i) {
+        EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / 10.0,
+                    0.01);
+    }
+}
+
+TEST(DiscreteDistribution, UniformWeights)
+{
+    DiscreteDistribution d(std::vector<double>(7, 1.0));
+    Rng rng(4);
+    std::vector<int> counts(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++counts[d.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 7.0, 0.01);
+}
+
+TEST(DiscreteDistribution, ManyOutcomesStayInRange)
+{
+    std::vector<double> w(1000);
+    Rng seeding(5);
+    for (auto &x : w)
+        x = seeding.nextDouble() + 0.001;
+    DiscreteDistribution d(w);
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(d.sample(rng), 1000u);
+}
+
+TEST(DiscreteDistributionDeathTest, RejectsEmptyAndNegative)
+{
+    EXPECT_DEATH(DiscreteDistribution(std::vector<double>{}), "");
+    EXPECT_DEATH(DiscreteDistribution({1.0, -0.5}), "");
+    EXPECT_DEATH(DiscreteDistribution({0.0, 0.0}), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "support/histogram.h"
+
+namespace mhp {
+namespace {
+
+TEST(Histogram, CountsLandInBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(9.9);
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(Histogram, QuantileOfUniformFill)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileEmptyIsLowerBound)
+{
+    Histogram h(2.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(Histogram, CdfMonotone)
+{
+    Histogram h(0.0, 50.0, 25);
+    for (int i = 0; i < 1000; ++i)
+        h.add((i * 7) % 50 + 0.1);
+    double prev = -1.0;
+    for (double x = 0.0; x <= 50.0; x += 2.5) {
+        const double c = h.cdfAt(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cdfAt(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(50.0), 1.0);
+}
+
+TEST(HistogramDeathTest, RejectsBadRanges)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "");
+    EXPECT_DEATH(Histogram(0.0, 10.0, 0), "");
+}
+
+} // namespace
+} // namespace mhp

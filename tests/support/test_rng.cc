@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace mhp {
+namespace {
+
+TEST(SplitMix64, IsDeterministic)
+{
+    SplitMix64 a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, IsDeterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = rng.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanIsCentered)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolEdgeCases)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(29);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next() == child.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    EXPECT_EQ(Rng::min(), 0u);
+    EXPECT_EQ(Rng::max(), ~0ULL);
+    Rng rng(31);
+    (void)rng(); // operator() compiles and runs
+}
+
+} // namespace
+} // namespace mhp

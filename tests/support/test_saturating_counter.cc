@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "support/saturating_counter.h"
+
+namespace mhp {
+namespace {
+
+TEST(SaturatingCounter, StartsAtZero)
+{
+    SaturatingCounter c(8);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.saturated());
+}
+
+TEST(SaturatingCounter, MaxMatchesWidth)
+{
+    EXPECT_EQ(SaturatingCounter(1).max(), 1u);
+    EXPECT_EQ(SaturatingCounter(8).max(), 255u);
+    EXPECT_EQ(SaturatingCounter(24).max(), (1ULL << 24) - 1);
+    EXPECT_EQ(SaturatingCounter(64).max(), ~0ULL);
+}
+
+TEST(SaturatingCounter, IncrementCounts)
+{
+    SaturatingCounter c(24);
+    for (int i = 0; i < 1000; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 1000u);
+}
+
+TEST(SaturatingCounter, SaturatesInsteadOfWrapping)
+{
+    SaturatingCounter c(4); // max 15
+    for (int i = 0; i < 100; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 15u);
+    EXPECT_TRUE(c.saturated());
+    c.increment(1000);
+    EXPECT_EQ(c.value(), 15u);
+}
+
+TEST(SaturatingCounter, BulkIncrementSaturates)
+{
+    SaturatingCounter c(8);
+    c.increment(200);
+    EXPECT_EQ(c.value(), 200u);
+    c.increment(200);
+    EXPECT_EQ(c.value(), 255u);
+}
+
+TEST(SaturatingCounter, BulkIncrementNearMaxValue)
+{
+    SaturatingCounter c(64);
+    c.set(~0ULL - 1);
+    c.increment(100); // must not overflow the underlying integer
+    EXPECT_EQ(c.value(), ~0ULL);
+}
+
+TEST(SaturatingCounter, ResetAndSet)
+{
+    SaturatingCounter c(8);
+    c.increment(42);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.set(300);
+    EXPECT_EQ(c.value(), 255u); // clamped
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace mhp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic textbook example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37 - 3.0;
+        a.add(x);
+        all.add(x);
+    }
+    for (int i = 0; i < 80; ++i) {
+        const double x = i * -0.21 + 11.0;
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStats, NegativeValues)
+{
+    RunningStats s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 25.0);
+}
+
+} // namespace
+} // namespace mhp

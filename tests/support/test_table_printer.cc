@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/table_printer.h"
+
+namespace mhp {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Every line has the same position for the second column start.
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line);
+    const size_t header_len = line.size();
+    EXPECT_GT(header_len, 0u);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TablePrinter::num(uint64_t{42}), "42");
+    EXPECT_EQ(TablePrinter::num(int64_t{-7}), "-7");
+}
+
+TEST(TablePrinter, RowCount)
+{
+    TablePrinter t({"x"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TablePrinterDeathTest, RejectsMismatchedRow)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.h"
+#include "support/zipf.h"
+
+namespace mhp {
+namespace {
+
+TEST(Zipf, SingleRankAlwaysZero)
+{
+    ZipfDistribution z(1, 1.0);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, SamplesStayInRange)
+{
+    ZipfDistribution z(100, 1.0);
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    ZipfDistribution z(10, 0.0);
+    Rng rng(3);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfDistribution z(50, 1.3);
+    double sum = 0.0;
+    for (uint64_t r = 0; r < 50; ++r)
+        sum += z.probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilityIsMonotonicallyDecreasing)
+{
+    ZipfDistribution z(100, 0.8);
+    for (uint64_t r = 1; r < 100; ++r)
+        EXPECT_LT(z.probability(r), z.probability(r - 1));
+}
+
+TEST(Zipf, EmpiricalMatchesAnalytic)
+{
+    const uint64_t n = 20;
+    ZipfDistribution z(n, 1.0);
+    Rng rng(7);
+    std::vector<int> counts(n, 0);
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[z.sample(rng)];
+    for (uint64_t r = 0; r < n; ++r) {
+        const double expected = z.probability(r);
+        const double actual = static_cast<double>(counts[r]) / draws;
+        EXPECT_NEAR(actual, expected, 0.01)
+            << "rank " << r;
+    }
+}
+
+TEST(Zipf, SkewOneMatchesHarmonicHead)
+{
+    // P(0) for s=1, n ranks is 1/H_n; H_100 ~= 5.187.
+    ZipfDistribution z(100, 1.0);
+    EXPECT_NEAR(z.probability(0), 1.0 / 5.187, 0.002);
+}
+
+TEST(Zipf, HugeUniverseSamplesWithoutTables)
+{
+    // Rejection-inversion needs no O(n) setup; a 100M-rank universe
+    // must construct and sample instantly.
+    ZipfDistribution z(100'000'000, 0.5);
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z.sample(rng), 100'000'000u);
+}
+
+TEST(Zipf, HigherSkewConcentratesHead)
+{
+    Rng rng(13);
+    ZipfDistribution flat(1000, 0.5);
+    ZipfDistribution steep(1000, 1.5);
+    int flat_head = 0, steep_head = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (flat.sample(rng) < 10)
+            ++flat_head;
+        if (steep.sample(rng) < 10)
+            ++steep_head;
+    }
+    EXPECT_GT(steep_head, flat_head * 2);
+}
+
+// Property sweep: empirical head mass matches analytic for several
+// (n, s) combinations.
+class ZipfSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>>
+{
+};
+
+TEST_P(ZipfSweep, HeadMassMatches)
+{
+    const auto [n, s] = GetParam();
+    ZipfDistribution z(n, s);
+    Rng rng(17 + n);
+    const int draws = 100000;
+    int head = 0;
+    const uint64_t headRanks = n < 5 ? n : 5;
+    for (int i = 0; i < draws; ++i) {
+        if (z.sample(rng) < headRanks)
+            ++head;
+    }
+    double expected = 0.0;
+    for (uint64_t r = 0; r < headRanks; ++r)
+        expected += z.probability(r);
+    EXPECT_NEAR(static_cast<double>(head) / draws, expected, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfSweep,
+    ::testing::Values(std::make_tuple(10ULL, 0.5),
+                      std::make_tuple(100ULL, 1.0),
+                      std::make_tuple(1000ULL, 1.0),
+                      std::make_tuple(1000ULL, 1.2),
+                      std::make_tuple(5000ULL, 0.8),
+                      std::make_tuple(3ULL, 2.0)));
+
+} // namespace
+} // namespace mhp

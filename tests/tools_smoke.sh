@@ -1,0 +1,35 @@
+#!/bin/sh
+# Smoke test for the CLI tools: record -> profile -> dump round trip.
+# Usage: tools_smoke.sh <build-tools-dir>
+set -e
+TOOLS="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$TOOLS/mhprof_trace" --benchmark=li --events=30000 \
+    --out="$TMP/li.mht" | grep -q "recorded 30000 value events"
+
+"$TOOLS/mhprof_run" --trace="$TMP/li.mht" --intervals=3 \
+    --out="$TMP/li.mhp" | grep -q "3 intervals"
+
+"$TOOLS/mhprof_dump" "$TMP/li.mhp" --top=1 --phases=2 \
+    | grep -q "intervals: 3"
+
+"$TOOLS/mhprof_trace" --sim --edges --events=5000 \
+    --out="$TMP/sim.mht" | grep -q "edge events"
+
+"$TOOLS/mhprof_run" --benchmark=gcc --tables=1 --reset \
+    --intervals=2 --out="$TMP/gcc.mhp" | grep -q "sh-R1P1"
+
+# Identical runs diff clean (exit 0); a BSH-vs-mh4 diff may differ
+# (exit 0 or 2, both fine), but must not crash.
+"$TOOLS/mhprof_run" --trace="$TMP/li.mht" --intervals=3 \
+    --out="$TMP/li2.mhp" > /dev/null
+"$TOOLS/mhprof_compare" "$TMP/li.mhp" "$TMP/li2.mhp" \
+    | grep -q "onlyA 0, onlyB 0"
+"$TOOLS/mhprof_run" --trace="$TMP/li.mht" --tables=1 --reset \
+    --intervals=3 --out="$TMP/li_bsh.mhp" > /dev/null
+"$TOOLS/mhprof_compare" "$TMP/li.mhp" "$TMP/li_bsh.mhp" \
+    | grep -q "totals:" || exit 1
+
+echo "tools smoke test passed"

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "trace/trace_io.h"
+
+namespace mhp {
+namespace {
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = (std::filesystem::temp_directory_path() /
+                ("mhp_trace_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                 ".mht"))
+                   .string();
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(TraceIoTest, RoundTripsTuples)
+{
+    std::vector<Tuple> tuples;
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        tuples.push_back({rng.next(), rng.next()});
+
+    {
+        TraceWriter w(path, ProfileKind::Value);
+        ASSERT_TRUE(w.ok());
+        for (const auto &t : tuples)
+            w.accept(t);
+        w.close();
+        EXPECT_EQ(w.eventsWritten(), tuples.size());
+    }
+
+    TraceReader r(path);
+    EXPECT_EQ(r.kind(), ProfileKind::Value);
+    EXPECT_EQ(r.totalEvents(), tuples.size());
+    for (const auto &expected : tuples) {
+        ASSERT_FALSE(r.done());
+        EXPECT_EQ(r.next(), expected);
+    }
+    EXPECT_TRUE(r.done());
+}
+
+TEST_F(TraceIoTest, EmptyTrace)
+{
+    {
+        TraceWriter w(path, ProfileKind::Edge);
+        w.close();
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.kind(), ProfileKind::Edge);
+    EXPECT_EQ(r.totalEvents(), 0u);
+    EXPECT_TRUE(r.done());
+}
+
+TEST_F(TraceIoTest, KindIsPreserved)
+{
+    {
+        TraceWriter w(path, ProfileKind::Edge);
+        w.accept({1, 2});
+        w.close();
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.kind(), ProfileKind::Edge);
+}
+
+TEST_F(TraceIoTest, DestructorCloses)
+{
+    {
+        TraceWriter w(path, ProfileKind::Value);
+        w.accept({7, 8});
+        // no explicit close(): destructor must finalize the header
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.totalEvents(), 1u);
+    EXPECT_EQ(r.next(), (Tuple{7, 8}));
+}
+
+TEST_F(TraceIoTest, LargeTraceCrossesBufferBoundaries)
+{
+    // 4096 records per internal buffer; use a non-multiple count.
+    const int n = 4096 * 3 + 17;
+    {
+        TraceWriter w(path, ProfileKind::Value);
+        for (int i = 0; i < n; ++i)
+            w.accept({static_cast<uint64_t>(i),
+                      static_cast<uint64_t>(i) * 3});
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.totalEvents(), static_cast<uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const Tuple t = r.next();
+        EXPECT_EQ(t.first, static_cast<uint64_t>(i));
+        EXPECT_EQ(t.second, static_cast<uint64_t>(i) * 3);
+    }
+    EXPECT_TRUE(r.done());
+}
+
+TEST_F(TraceIoTest, ReaderRejectsMissingFile)
+{
+    EXPECT_EXIT(
+        { TraceReader reader("/nonexistent/path/to/trace.mht"); },
+        ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceIoTest, ReaderRejectsBadMagic)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOTATRACE-and-some-padding-bytes";
+    }
+    EXPECT_EXIT({ TraceReader reader(path); }, ::testing::ExitedWithCode(1),
+                "bad trace magic");
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/rng.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+namespace {
+
+TEST(Tuple, EqualityIsMemberwise)
+{
+    EXPECT_EQ((Tuple{1, 2}), (Tuple{1, 2}));
+    EXPECT_NE((Tuple{1, 2}), (Tuple{2, 1}));
+    EXPECT_NE((Tuple{1, 2}), (Tuple{1, 3}));
+}
+
+TEST(Tuple, ToStringShowsBothMembers)
+{
+    const Tuple t{0x1234, 0xff};
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("0x1234"), std::string::npos);
+    EXPECT_NE(s.find("0xff"), std::string::npos);
+}
+
+TEST(TupleHash, EqualTuplesHashEqually)
+{
+    TupleHash h;
+    EXPECT_EQ(h(Tuple{5, 9}), h(Tuple{5, 9}));
+}
+
+TEST(TupleHash, SwappedMembersHashDifferently)
+{
+    // <pc=a, value=b> and <pc=b, value=a> are different events.
+    TupleHash h;
+    EXPECT_NE(h(Tuple{1, 2}), h(Tuple{2, 1}));
+}
+
+TEST(TupleHash, FewCollisionsOnSequentialKeys)
+{
+    // Sequential PCs and values (the common case) must spread well.
+    TupleHash h;
+    std::unordered_set<size_t> hashes;
+    for (uint64_t pc = 0; pc < 100; ++pc) {
+        for (uint64_t v = 0; v < 100; ++v)
+            hashes.insert(h(Tuple{0x40000000 + pc * 4, v}));
+    }
+    EXPECT_GT(hashes.size(), 9990u); // at most a handful of collisions
+}
+
+TEST(TupleHash, UsableInUnorderedSet)
+{
+    std::unordered_set<Tuple, TupleHash> set;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        set.insert(Tuple{rng.next(), rng.next()});
+    EXPECT_EQ(set.size(), 1000u);
+    set.insert(Tuple{*set.begin()});
+    EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(ProfileKind, Names)
+{
+    EXPECT_STREQ(profileKindName(ProfileKind::Value), "value");
+    EXPECT_STREQ(profileKindName(ProfileKind::Edge), "edge");
+}
+
+} // namespace
+} // namespace mhp

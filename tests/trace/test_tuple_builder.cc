@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/rng.h"
+#include "trace/tuple_builder.h"
+
+namespace mhp {
+namespace {
+
+TEST(TupleBuilder, TwoVariableFormIsVerbatim)
+{
+    EXPECT_EQ(makeTuple(0x1000, 42), (Tuple{0x1000, 42}));
+}
+
+TEST(TupleBuilder, PcIsKeptVerbatimInMultiForm)
+{
+    const Tuple t = makeTuple(0x1234, {1, 2, 3});
+    EXPECT_EQ(t.first, 0x1234u);
+}
+
+TEST(TupleBuilder, IsDeterministic)
+{
+    EXPECT_EQ(makeTuple(1, {2, 3, 4}), makeTuple(1, {2, 3, 4}));
+    EXPECT_EQ(combineFields({7, 8}), combineFields({7, 8}));
+}
+
+TEST(TupleBuilder, FieldOrderMatters)
+{
+    // <regName, value> and <value, regName> are different events.
+    EXPECT_NE(makeTuple(1, {2, 3}), makeTuple(1, {3, 2}));
+}
+
+TEST(TupleBuilder, FieldCountMatters)
+{
+    EXPECT_NE(combineFields({1, 2}), combineFields({1, 2, 0}));
+    EXPECT_NE(combineFields({}), combineFields({0}));
+}
+
+TEST(TupleBuilder, EveryFieldAffectsTheName)
+{
+    const Tuple base = makeTuple(1, {10, 20, 30, 40});
+    EXPECT_NE(base, makeTuple(1, {11, 20, 30, 40}));
+    EXPECT_NE(base, makeTuple(1, {10, 21, 30, 40}));
+    EXPECT_NE(base, makeTuple(1, {10, 20, 31, 40}));
+    EXPECT_NE(base, makeTuple(1, {10, 20, 30, 41}));
+}
+
+TEST(TupleBuilder, NoCollisionsOverStructuredInputs)
+{
+    // Three-variable events over small structured ranges (the typical
+    // <pc, regName, value> case): all names must be distinct.
+    std::unordered_set<uint64_t> names;
+    for (uint64_t reg = 0; reg < 32; ++reg) {
+        for (uint64_t value = 0; value < 256; ++value) {
+            for (uint64_t extra = 0; extra < 4; ++extra)
+                names.insert(combineFields({reg, value, extra}));
+        }
+    }
+    EXPECT_EQ(names.size(), 32u * 256 * 4);
+}
+
+TEST(TupleBuilder, NoCollisionsOverRandomInputs)
+{
+    Rng rng(9);
+    std::unordered_set<uint64_t> names;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        names.insert(combineFields({rng.next(), rng.next()}));
+    EXPECT_EQ(names.size(), static_cast<size_t>(n));
+}
+
+} // namespace
+} // namespace mhp

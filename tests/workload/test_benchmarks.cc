@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/tuple.h"
+#include "workload/benchmarks.h"
+
+namespace mhp {
+namespace {
+
+TEST(Benchmarks, SuiteHasEightPrograms)
+{
+    const auto &names = benchmarkNames();
+    ASSERT_EQ(names.size(), 8u);
+    EXPECT_EQ(names.front(), "burg");
+    EXPECT_EQ(names.back(), "vortex");
+}
+
+TEST(Benchmarks, NameLookup)
+{
+    EXPECT_TRUE(isBenchmarkName("gcc"));
+    EXPECT_TRUE(isBenchmarkName("m88ksim"));
+    EXPECT_FALSE(isBenchmarkName("spec2017"));
+    EXPECT_FALSE(isBenchmarkName(""));
+}
+
+TEST(Benchmarks, AllValueConfigsConstruct)
+{
+    for (const auto &name : benchmarkNames()) {
+        auto w = makeValueWorkload(name);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->name(), name);
+        for (int i = 0; i < 1000; ++i)
+            (void)w->next();
+    }
+}
+
+TEST(Benchmarks, AllEdgeConfigsConstruct)
+{
+    for (const auto &name : benchmarkNames()) {
+        auto w = makeEdgeWorkload(name);
+        ASSERT_NE(w, nullptr);
+        for (int i = 0; i < 1000; ++i)
+            (void)w->next();
+    }
+}
+
+TEST(Benchmarks, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)valueConfigFor("nope"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+    EXPECT_EXIT((void)edgeConfigFor("nope"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Benchmarks, SeedsDecorrelateBenchmarks)
+{
+    auto gcc = makeValueWorkload("gcc");
+    auto go = makeValueWorkload("go");
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (gcc->next() == go->next())
+            ++same;
+    }
+    EXPECT_LT(same, 10);
+}
+
+TEST(Benchmarks, GoIsNoisierThanM88ksim)
+{
+    // Paper Fig. 4: go has far more distinct tuples per interval.
+    auto go = makeValueWorkload("go");
+    auto m88 = makeValueWorkload("m88ksim");
+    std::unordered_set<Tuple, TupleHash> go_set, m88_set;
+    for (int i = 0; i < 10000; ++i) {
+        go_set.insert(go->next());
+        m88_set.insert(m88->next());
+    }
+    EXPECT_GT(go_set.size(), m88_set.size() * 2);
+}
+
+TEST(Benchmarks, EdgeStreamsHaveFewerDistinctTuples)
+{
+    // Paper 6.4.2: edge profiling sees fewer distinct tuples.
+    for (const auto &name : benchmarkNames()) {
+        auto value = makeValueWorkload(name);
+        auto edge = makeEdgeWorkload(name);
+        std::unordered_set<Tuple, TupleHash> v_set, e_set;
+        for (int i = 0; i < 20000; ++i) {
+            v_set.insert(value->next());
+            e_set.insert(edge->next());
+        }
+        EXPECT_LT(e_set.size(), v_set.size()) << name;
+    }
+}
+
+// Per-benchmark construction sweep (parameterized).
+class BenchmarkSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BenchmarkSweep, ValueStreamIsReproducible)
+{
+    auto a = makeValueWorkload(GetParam(), 3);
+    auto b = makeValueWorkload(GetParam(), 3);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_EQ(a->next(), b->next());
+}
+
+TEST_P(BenchmarkSweep, HasHotCandidates)
+{
+    // Every benchmark model must produce at least one tuple above 1%
+    // in a 10K window (otherwise Fig. 5 would be empty for it).
+    auto w = makeValueWorkload(GetParam());
+    std::unordered_map<Tuple, uint64_t, TupleHash> counts;
+    for (int i = 0; i < 10000; ++i)
+        ++counts[w->next()];
+    uint64_t best = 0;
+    for (const auto &[t, c] : counts)
+        best = std::max(best, c);
+    EXPECT_GE(best, 100u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkSweep,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace mhp

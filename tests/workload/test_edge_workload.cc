@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/tuple.h"
+#include "workload/edge_workload.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+namespace {
+
+EdgeWorkloadConfig
+smallConfig()
+{
+    EdgeWorkloadConfig c;
+    c.name = "test-edges";
+    c.seed = 5;
+    c.hotBranches = 40;
+    c.hotFraction = 0.85;
+    c.coldBranches = 5000;
+    return c;
+}
+
+TEST(EdgeWorkload, IsDeterministicPerSeed)
+{
+    EdgeWorkload a(smallConfig()), b(smallConfig());
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(EdgeWorkload, ProducesEdgeKind)
+{
+    EdgeWorkload w(smallConfig());
+    EXPECT_EQ(w.kind(), ProfileKind::Edge);
+    EXPECT_FALSE(w.done());
+}
+
+TEST(EdgeWorkload, PcsComeFromBranchRegion)
+{
+    EdgeWorkload w(smallConfig());
+    for (int i = 0; i < 1000; ++i) {
+        const Tuple t = w.next();
+        EXPECT_GE(t.first, kBranchPcBase);
+        EXPECT_EQ(t.first % 4, 0u);
+    }
+}
+
+TEST(EdgeWorkload, AtMostTwoTargetsPerBranch)
+{
+    // Branch PCs are derived by hashing into a 4M-slot code region, so
+    // a handful of birthday collisions among thousands of static
+    // branches is expected (and harmless); all other PCs must have at
+    // most two outgoing edges.
+    EdgeWorkload w(smallConfig());
+    std::unordered_map<uint64_t, std::unordered_set<uint64_t>> targets;
+    for (int i = 0; i < 50000; ++i) {
+        const Tuple t = w.next();
+        targets[t.first].insert(t.second);
+    }
+    uint64_t violations = 0;
+    for (const auto &[pc, tgts] : targets) {
+        EXPECT_LE(tgts.size(), 4u) << "branch " << std::hex << pc;
+        if (tgts.size() > 2)
+            ++violations;
+    }
+    EXPECT_LE(violations, targets.size() / 100 + 3);
+}
+
+TEST(EdgeWorkload, TakenProbabilityIsDeterministic)
+{
+    EdgeWorkload a(smallConfig()), b(smallConfig());
+    for (uint64_t r = 0; r < 40; ++r)
+        EXPECT_DOUBLE_EQ(a.takenProbability(r), b.takenProbability(r));
+}
+
+TEST(EdgeWorkload, TakenProbabilitiesRespectBiasModel)
+{
+    EdgeWorkload w(smallConfig());
+    int biased = 0;
+    for (uint64_t r = 0; r < 200; ++r) {
+        const double p = w.takenProbability(r);
+        EXPECT_GE(p, 0.5);
+        EXPECT_LE(p, 0.96);
+        if (p > 0.9)
+            ++biased;
+    }
+    // biasedFraction defaults to 0.7.
+    EXPECT_GT(biased, 100);
+    EXPECT_LT(biased, 190);
+}
+
+TEST(EdgeWorkload, EdgeStreamHasFewerDistinctTuplesThanBranches2x)
+{
+    EdgeWorkload w(smallConfig());
+    std::unordered_set<Tuple, TupleHash> distinct;
+    for (int i = 0; i < 20000; ++i)
+        distinct.insert(w.next());
+    // Bounded by 2 * (hot + cold branches actually exercised).
+    EXPECT_LT(distinct.size(), 2u * (40 + 5000));
+}
+
+TEST(EdgeWorkload, HotBranchEdgesDominate)
+{
+    EdgeWorkload w(smallConfig());
+    std::unordered_map<Tuple, uint64_t, TupleHash> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[w.next()];
+    // The taken edge of the hottest branch should be a clear candidate
+    // (> 1% of the stream).
+    uint64_t best = 0;
+    for (const auto &[t, c] : counts)
+        best = std::max(best, c);
+    EXPECT_GT(static_cast<double>(best) / n, 0.01);
+}
+
+TEST(EdgeWorkload, PhaseRenamingChangesHotBranches)
+{
+    auto cfg = smallConfig();
+    cfg.phaseLength = 10000;
+    cfg.stableRanks = 2;
+    EdgeWorkload w(cfg);
+
+    auto distinctIn = [&](int events) {
+        std::unordered_set<uint64_t> pcs;
+        for (int i = 0; i < events; ++i)
+            pcs.insert(w.next().first);
+        return pcs;
+    };
+    const auto phase0 = distinctIn(10000);
+    const auto phase1 = distinctIn(10000);
+    // Many branch PCs must differ between phases.
+    int shared = 0;
+    for (uint64_t pc : phase1)
+        shared += phase0.count(pc) ? 1 : 0;
+    EXPECT_LT(static_cast<double>(shared),
+              0.9 * static_cast<double>(phase1.size()));
+}
+
+} // namespace
+} // namespace mhp

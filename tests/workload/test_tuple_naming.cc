@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/tuple.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+namespace {
+
+TEST(TupleNaming, MixIsDeterministic)
+{
+    EXPECT_EQ(mixIdentity(1, 2, 3), mixIdentity(1, 2, 3));
+}
+
+TEST(TupleNaming, MixSeparatesInputs)
+{
+    EXPECT_NE(mixIdentity(1, 2, 3), mixIdentity(1, 2, 4));
+    EXPECT_NE(mixIdentity(1, 2, 3), mixIdentity(1, 3, 2));
+    EXPECT_NE(mixIdentity(1, 2, 3), mixIdentity(2, 1, 3));
+}
+
+TEST(TupleNaming, HotTuplesAreStablePerIdentity)
+{
+    EXPECT_EQ(hotValueTuple(7, 3, 0, 1024), hotValueTuple(7, 3, 0, 1024));
+}
+
+TEST(TupleNaming, SaltRenamesHotTuples)
+{
+    EXPECT_NE(hotValueTuple(7, 3, 0, 1024), hotValueTuple(7, 3, 1, 1024));
+}
+
+TEST(TupleNaming, SeedDecorrelatesBenchmarks)
+{
+    EXPECT_NE(hotValueTuple(7, 3, 0, 1024), hotValueTuple(8, 3, 0, 1024));
+}
+
+TEST(TupleNaming, HotAndColdRegionsAreDisjoint)
+{
+    for (uint64_t i = 0; i < 1000; ++i) {
+        const Tuple hot = hotValueTuple(1, i, 0, 4096);
+        const Tuple cold = coldValueTuple(1, i, 1 << 20);
+        EXPECT_GE(hot.first, kHotPcBase);
+        EXPECT_LT(hot.first, kColdPcBase);
+        EXPECT_GE(cold.first, kColdPcBase);
+        EXPECT_LT(cold.first, kBranchPcBase);
+    }
+}
+
+TEST(TupleNaming, PcsAreInstructionAligned)
+{
+    for (uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(hotValueTuple(1, i, 0, 512).first % 4, 0u);
+        EXPECT_EQ(coldValueTuple(1, i, 512).first % 4, 0u);
+        EXPECT_EQ(branchPc(1, i) % 4, 0u);
+    }
+}
+
+TEST(TupleNaming, DistinctRanksRarelyCollide)
+{
+    std::unordered_set<Tuple, TupleHash> seen;
+    const uint64_t n = 10000;
+    for (uint64_t r = 0; r < n; ++r)
+        seen.insert(hotValueTuple(1, r, 0, 1 << 16));
+    // Collisions only when both the pc slot and the value collide;
+    // expect essentially none.
+    EXPECT_GT(seen.size(), n - 5);
+}
+
+TEST(TupleNaming, EdgeTupleFallThroughIsPcPlus4)
+{
+    const Tuple e = edgeTuple(1, 42, /*taken=*/false);
+    EXPECT_EQ(e.second, e.first + 4);
+}
+
+TEST(TupleNaming, EdgeTupleTakenTargetDiffers)
+{
+    const Tuple taken = edgeTuple(1, 42, true);
+    const Tuple fall = edgeTuple(1, 42, false);
+    EXPECT_EQ(taken.first, fall.first); // same branch pc
+    EXPECT_NE(taken.second, fall.second);
+    EXPECT_EQ(taken.second % 4, 0u);
+}
+
+TEST(TupleNaming, EachBranchHasAtMostTwoEdges)
+{
+    for (uint64_t b = 0; b < 100; ++b) {
+        const Tuple t1 = edgeTuple(1, b, true);
+        const Tuple t2 = edgeTuple(1, b, true);
+        EXPECT_EQ(t1, t2); // taken target is fixed per branch
+    }
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "trace/tuple.h"
+#include "workload/tuple_naming.h"
+#include "workload/value_workload.h"
+
+namespace mhp {
+namespace {
+
+ValueWorkloadConfig
+smallConfig()
+{
+    ValueWorkloadConfig c;
+    c.name = "test";
+    c.seed = 99;
+    c.hotSetSize = 50;
+    c.hotSkew = 1.0;
+    c.hotFraction = 0.7;
+    c.coldUniverseSize = 10000;
+    c.coldSkew = 0.3;
+    return c;
+}
+
+TEST(ValueWorkload, IsUnbounded)
+{
+    ValueWorkload w(smallConfig());
+    EXPECT_FALSE(w.done());
+    for (int i = 0; i < 1000; ++i)
+        (void)w.next();
+    EXPECT_FALSE(w.done());
+    EXPECT_EQ(w.eventCount(), 1000u);
+}
+
+TEST(ValueWorkload, IsDeterministicPerSeed)
+{
+    ValueWorkload a(smallConfig()), b(smallConfig());
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(ValueWorkload, DifferentSeedsDiffer)
+{
+    auto cfg = smallConfig();
+    ValueWorkload a(cfg);
+    cfg.seed = 100;
+    ValueWorkload b(cfg);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 100);
+}
+
+TEST(ValueWorkload, HotRankZeroDominates)
+{
+    ValueWorkload w(smallConfig());
+    const Tuple top = w.tupleForHotRank(0);
+    uint64_t hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (w.next() == top)
+            ++hits;
+    }
+    // P(top) ~= hotFraction * zipfP(0) = 0.7 / H_50 ~= 0.7 / 4.5.
+    const double freq = static_cast<double>(hits) / n;
+    EXPECT_GT(freq, 0.08);
+    EXPECT_LT(freq, 0.25);
+}
+
+TEST(ValueWorkload, HotFractionZeroMeansAllCold)
+{
+    auto cfg = smallConfig();
+    cfg.hotFraction = 0.0;
+    ValueWorkload w(cfg);
+    for (int i = 0; i < 1000; ++i) {
+        const Tuple t = w.next();
+        EXPECT_GE(t.first, kColdPcBase)
+            << "hot tuple produced with hotFraction=0";
+    }
+}
+
+TEST(ValueWorkload, PhaseSaltChangesOnSchedule)
+{
+    auto cfg = smallConfig();
+    cfg.phases = {{100, 1}, {100, 2}};
+    ValueWorkload w(cfg);
+    EXPECT_EQ(w.currentPhaseSalt(), 1u);
+    for (int i = 0; i < 100; ++i)
+        (void)w.next();
+    // The 101st event belongs to the second phase.
+    (void)w.next();
+    EXPECT_EQ(w.currentPhaseSalt(), 2u);
+}
+
+TEST(ValueWorkload, PhasesLoopByDefault)
+{
+    auto cfg = smallConfig();
+    cfg.phases = {{50, 1}, {50, 2}};
+    ValueWorkload w(cfg);
+    for (int i = 0; i < 101; ++i)
+        (void)w.next();
+    EXPECT_EQ(w.currentPhaseSalt(), 1u); // wrapped back
+}
+
+TEST(ValueWorkload, NonLoopingPhasesStayInFinal)
+{
+    auto cfg = smallConfig();
+    cfg.phases = {{50, 1}, {50, 2}};
+    cfg.loopPhases = false;
+    ValueWorkload w(cfg);
+    for (int i = 0; i < 500; ++i)
+        (void)w.next();
+    EXPECT_EQ(w.currentPhaseSalt(), 2u);
+}
+
+TEST(ValueWorkload, StableRanksSurvivePhaseChange)
+{
+    auto cfg = smallConfig();
+    cfg.stableRanks = 5;
+    cfg.phases = {{100, 1}, {100, 2}};
+    ValueWorkload w(cfg);
+    const Tuple stable = w.tupleForHotRank(0);
+    const Tuple volat = w.tupleForHotRank(10);
+    for (int i = 0; i < 150; ++i)
+        (void)w.next(); // now in phase 2
+    EXPECT_EQ(w.tupleForHotRank(0), stable);
+    EXPECT_NE(w.tupleForHotRank(10), volat);
+}
+
+TEST(ValueWorkload, HeadFlattensCandidateFrequencies)
+{
+    auto cfg = smallConfig();
+    cfg.headSize = 10;
+    cfg.headFraction = 0.5;
+    ValueWorkload w(cfg);
+    std::unordered_map<Tuple, uint64_t, TupleHash> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[w.next()];
+    // Every head rank gets at least hotFraction*headFraction/headSize
+    // ~= 3.5%; check they all clear 2%.
+    for (uint64_t r = 0; r < 10; ++r) {
+        const auto it = counts.find(w.tupleForHotRank(r));
+        ASSERT_NE(it, counts.end());
+        EXPECT_GT(static_cast<double>(it->second) / n, 0.02)
+            << "head rank " << r;
+    }
+}
+
+TEST(ValueWorkload, BurstGroupsShiftShortWindowMass)
+{
+    auto cfg = smallConfig();
+    cfg.numGroups = 5;
+    cfg.rotatePeriod = 10000;
+    cfg.boostProb = 0.5;
+    ValueWorkload w(cfg);
+
+    // During the first rotation window, group 0 (ranks 0..9) receives
+    // the boost; measure mass of ranks 40..49 (group 4) now and in its
+    // own window: group 4's members must be hotter in their window.
+    auto massOfGroup4 = [&](int events) {
+        uint64_t hits = 0;
+        for (int i = 0; i < events; ++i) {
+            const Tuple t = w.next();
+            for (uint64_t r = 40; r < 50; ++r) {
+                if (t == w.tupleForHotRank(r)) {
+                    ++hits;
+                    break;
+                }
+            }
+        }
+        return static_cast<double>(hits) / events;
+    };
+
+    const double in_window0 = massOfGroup4(10000); // group 0 boosted
+    (void)massOfGroup4(10000);                     // group 1
+    (void)massOfGroup4(10000);                     // group 2
+    (void)massOfGroup4(10000);                     // group 3
+    const double in_window4 = massOfGroup4(10000); // group 4 boosted
+    EXPECT_GT(in_window4, in_window0 * 2);
+}
+
+TEST(ValueWorkloadDeathTest, RejectsBadConfig)
+{
+    auto cfg = smallConfig();
+    cfg.hotFraction = 1.5;
+    EXPECT_EXIT(ValueWorkload{cfg}, ::testing::ExitedWithCode(1), "");
+
+    cfg = smallConfig();
+    cfg.headSize = cfg.hotSetSize + 1;
+    EXPECT_EXIT(ValueWorkload{cfg}, ::testing::ExitedWithCode(1), "");
+
+    cfg = smallConfig();
+    cfg.numGroups = 10;
+    cfg.rotatePeriod = 0;
+    EXPECT_EXIT(ValueWorkload{cfg}, ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mhp

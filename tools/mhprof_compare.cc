@@ -1,0 +1,124 @@
+/**
+ * @file
+ * mhprof_compare — diff two .mhp profiles interval by interval.
+ *
+ * Typical use: profile the same .mht trace through two hardware
+ * configurations (mhprof_run --trace=x.mht ...) and quantify how the
+ * designs disagree:
+ *
+ *   mhprof_compare bsh.mhp mh4.mhp
+ *
+ * Reports, per interval and in total: candidates only in A, only in B,
+ * shared, and the count disagreement on shared candidates. When the
+ * profiles come from the same input, a design with fewer false
+ * positives shows up as "only-in" entries on the other side.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "analysis/profile_io.h"
+#include "support/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("diff two .mhp profiles");
+    cli.addBool("verbose", false, "list differing tuples per interval");
+    cli.parse(argc, argv);
+
+    if (cli.positional().size() != 2) {
+        std::fprintf(stderr,
+                     "usage: mhprof_compare <a.mhp> <b.mhp> "
+                     "[--verbose]\n");
+        return 1;
+    }
+
+    ProfileReader ra(cli.positional()[0]);
+    ProfileReader rb(cli.positional()[1]);
+    if (ra.kind() != rb.kind()) {
+        std::fprintf(stderr, "profiles have different kinds (%s vs "
+                             "%s)\n",
+                     profileKindName(ra.kind()),
+                     profileKindName(rb.kind()));
+        return 1;
+    }
+
+    const auto a = ra.readAll();
+    const auto b = rb.readAll();
+    const size_t intervals = a.size() < b.size() ? a.size() : b.size();
+    if (a.size() != b.size()) {
+        std::fprintf(stderr,
+                     "note: interval counts differ (%zu vs %zu); "
+                     "comparing the first %zu\n",
+                     a.size(), b.size(), intervals);
+    }
+
+    uint64_t total_only_a = 0, total_only_b = 0, total_shared = 0;
+    double total_disagreement = 0.0;
+    const bool verbose = cli.getBool("verbose");
+
+    std::printf("interval  onlyA  onlyB  shared  mean|dA-dB|/max\n");
+    for (size_t iv = 0; iv < intervals; ++iv) {
+        std::unordered_map<Tuple, uint64_t, TupleHash> in_a;
+        for (const auto &cand : a[iv])
+            in_a.emplace(cand.tuple, cand.count);
+
+        uint64_t only_b = 0, shared = 0;
+        double disagreement = 0.0;
+        for (const auto &cand : b[iv]) {
+            const auto it = in_a.find(cand.tuple);
+            if (it == in_a.end()) {
+                ++only_b;
+                if (verbose) {
+                    std::printf("  iv %zu only-B %s x%llu\n", iv,
+                                cand.tuple.toString().c_str(),
+                                static_cast<unsigned long long>(
+                                    cand.count));
+                }
+                continue;
+            }
+            ++shared;
+            const double hi = static_cast<double>(
+                it->second > cand.count ? it->second : cand.count);
+            disagreement +=
+                std::abs(static_cast<double>(it->second) -
+                         static_cast<double>(cand.count)) /
+                (hi > 0.0 ? hi : 1.0);
+            in_a.erase(it);
+        }
+        const uint64_t only_a = in_a.size();
+        if (verbose) {
+            for (const auto &[t, c] : in_a) {
+                std::printf("  iv %zu only-A %s x%llu\n", iv,
+                            t.toString().c_str(),
+                            static_cast<unsigned long long>(c));
+            }
+        }
+
+        std::printf("%8zu  %5llu  %5llu  %6llu  %.4f\n", iv,
+                    static_cast<unsigned long long>(only_a),
+                    static_cast<unsigned long long>(only_b),
+                    static_cast<unsigned long long>(shared),
+                    shared ? disagreement / static_cast<double>(shared)
+                           : 0.0);
+        total_only_a += only_a;
+        total_only_b += only_b;
+        total_shared += shared;
+        total_disagreement += disagreement;
+    }
+
+    std::printf("\ntotals: onlyA %llu, onlyB %llu, shared %llu, mean "
+                "count disagreement %.4f\n",
+                static_cast<unsigned long long>(total_only_a),
+                static_cast<unsigned long long>(total_only_b),
+                static_cast<unsigned long long>(total_shared),
+                total_shared
+                    ? total_disagreement /
+                          static_cast<double>(total_shared)
+                    : 0.0);
+    return total_only_a + total_only_b == 0 ? 0 : 2;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * mhprof_dump — inspect a .mhp profile file.
+ *
+ *   mhprof_dump profile.mhp               summary per interval
+ *   mhprof_dump profile.mhp --top=5       plus top-5 candidates each
+ *   mhprof_dump profile.mhp --phases=3    SimPoint-style phase report
+ */
+
+#include <cstdio>
+
+#include "analysis/profile_io.h"
+#include "analysis/simpoint.h"
+#include "support/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("inspect a .mhp profile file");
+    cli.addInt("top", 0, "print the top-N candidates per interval");
+    cli.addInt("phases", 0, "cluster intervals into up to N phases");
+    cli.parse(argc, argv);
+
+    if (cli.positional().size() != 1) {
+        std::fprintf(stderr, "usage: mhprof_dump <profile.mhp> "
+                             "[--top=N] [--phases=K]\n");
+        return 1;
+    }
+
+    ProfileReader reader(cli.positional()[0]);
+    std::printf("profile: kind=%s intervalLength=%llu threshold=%llu\n",
+                profileKindName(reader.kind()),
+                static_cast<unsigned long long>(
+                    reader.intervalLength()),
+                static_cast<unsigned long long>(
+                    reader.thresholdCount()));
+
+    const auto snapshots = reader.readAll();
+    std::printf("intervals: %zu\n\n", snapshots.size());
+
+    const auto top = static_cast<size_t>(cli.getInt("top"));
+    for (size_t iv = 0; iv < snapshots.size(); ++iv) {
+        uint64_t mass = 0;
+        for (const auto &cand : snapshots[iv])
+            mass += cand.count;
+        std::printf("interval %3zu: %4zu candidates, mass %llu\n", iv,
+                    snapshots[iv].size(),
+                    static_cast<unsigned long long>(mass));
+        for (size_t k = 0; k < snapshots[iv].size() && k < top; ++k) {
+            std::printf("    %-30s x%llu\n",
+                        snapshots[iv][k].tuple.toString().c_str(),
+                        static_cast<unsigned long long>(
+                            snapshots[iv][k].count));
+        }
+    }
+
+    const auto phases = static_cast<unsigned>(cli.getInt("phases"));
+    if (phases > 0 && !snapshots.empty()) {
+        SimpointAnalysis sp(phases);
+        const auto found = sp.analyze(snapshots);
+        std::printf("\nphases (k<=%u):\n", phases);
+        for (size_t p = 0; p < found.size(); ++p) {
+            std::printf("  phase %zu: weight %.0f%%, representative "
+                        "interval %u, members",
+                        p, 100.0 * found[p].weight,
+                        found[p].representative);
+            for (uint32_t m : found[p].intervals)
+                std::printf(" %u", m);
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

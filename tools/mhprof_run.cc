@@ -1,0 +1,129 @@
+/**
+ * @file
+ * mhprof_run — profile a workload or trace file and write a .mhp
+ * profile.
+ *
+ * Input is one of:
+ *   --benchmark <name>    a calibrated suite model (value or edge);
+ *   --trace <file.mht>    a recorded tuple trace.
+ *
+ * The profiler configuration mirrors the paper's knobs. Example:
+ *
+ *   mhprof_run --benchmark=gcc --intervals=20 --out=gcc.mhp
+ *   mhprof_run --trace=run.mht --tables=1 --reset --out=bsh.mhp
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/interval_runner.h"
+#include "analysis/profile_io.h"
+#include "core/factory.h"
+#include "support/cli.h"
+#include "trace/trace_io.h"
+#include "workload/benchmarks.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("profile a workload/trace with a hardware profiler "
+                  "model and write a .mhp profile");
+    cli.addString("benchmark", "", "suite benchmark to profile");
+    cli.addBool("edges", false, "use the edge model (with --benchmark)");
+    cli.addString("trace", "", "input .mht trace (instead of a model)");
+    cli.addString("out", "profile.mhp", "output .mhp path");
+    cli.addInt("intervals", 10, "profile intervals to run");
+    cli.addInt("interval-length", 10'000, "events per interval");
+    cli.addDouble("threshold", 1.0, "candidate threshold in percent");
+    cli.addInt("tables", 4, "hash tables (1 = single-hash)");
+    cli.addInt("entries", 2048, "total hash-table entries");
+    cli.addBool("reset", false, "R1: reset counters on promotion");
+    cli.addBool("no-retain", false, "P0: flush accumulator per interval");
+    cli.addBool("no-conservative", false, "C0: plain counter update");
+    cli.addInt("seed", 1, "workload seed");
+    cli.parse(argc, argv);
+
+    ProfilerConfig cfg;
+    cfg.intervalLength =
+        static_cast<uint64_t>(cli.getInt("interval-length"));
+    cfg.candidateThreshold = cli.getDouble("threshold") / 100.0;
+    cfg.numHashTables = static_cast<unsigned>(cli.getInt("tables"));
+    cfg.totalHashEntries = static_cast<uint64_t>(cli.getInt("entries"));
+    cfg.resetOnPromote = cli.getBool("reset");
+    cfg.retaining = !cli.getBool("no-retain");
+    cfg.conservativeUpdate = !cli.getBool("no-conservative");
+    cfg.validate();
+
+    std::unique_ptr<EventSource> source;
+    const std::string bench = cli.getString("benchmark");
+    const std::string trace = cli.getString("trace");
+    if (!trace.empty()) {
+        source = std::make_unique<TraceReader>(trace);
+    } else if (isBenchmarkName(bench)) {
+        if (cli.getBool("edges")) {
+            source = makeEdgeWorkload(
+                bench, static_cast<uint64_t>(cli.getInt("seed")));
+        } else {
+            source = makeValueWorkload(
+                bench, static_cast<uint64_t>(cli.getInt("seed")));
+        }
+    } else {
+        std::fprintf(stderr,
+                     "need --trace=<file> or --benchmark=<one of:");
+        for (const auto &n : benchmarkNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, ">\n");
+        return 1;
+    }
+
+    auto profiler = makeProfiler(cfg);
+    ProfileWriter writer(cli.getString("out"), source->kind(),
+                         cfg.intervalLength, cfg.thresholdCount());
+    if (!writer.ok()) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     cli.getString("out").c_str());
+        return 1;
+    }
+
+    // Run against the perfect profiler so the summary includes error.
+    const RunOutput out = runIntervals(
+        *source, *profiler, cfg.intervalLength, cfg.thresholdCount(),
+        static_cast<uint64_t>(cli.getInt("intervals")));
+
+    // Re-derive the snapshots for writing: run again is wasteful, so
+    // instead store what the run recorded. The runner keeps scores,
+    // not snapshots; re-profile the same stream for the file when the
+    // input is a replayable model, else warn.
+    // Simpler and exact: profile AND write in one pass ourselves.
+    // (The run above already consumed the source; for benchmarks we
+    // can recreate it, for traces we reopen the file.)
+    std::unique_ptr<EventSource> source2;
+    if (!trace.empty()) {
+        source2 = std::make_unique<TraceReader>(trace);
+    } else if (cli.getBool("edges")) {
+        source2 = makeEdgeWorkload(
+            bench, static_cast<uint64_t>(cli.getInt("seed")));
+    } else {
+        source2 = makeValueWorkload(
+            bench, static_cast<uint64_t>(cli.getInt("seed")));
+    }
+    auto profiler2 = makeProfiler(cfg);
+    for (uint64_t iv = 0; iv < out.intervalsCompleted; ++iv) {
+        for (uint64_t i = 0;
+             i < cfg.intervalLength && !source2->done(); ++i)
+            profiler2->onEvent(source2->next());
+        writer.writeInterval(profiler2->endInterval());
+    }
+
+    std::printf("%s: %llu intervals, %s, avg error %.2f%%, %.1f "
+                "candidates/interval -> %s\n",
+                profiler->name().c_str(),
+                static_cast<unsigned long long>(out.intervalsCompleted),
+                cfg.describe().c_str(),
+                out.results[0].averageErrorPercent(),
+                out.results[0].meanHardwareCandidates(),
+                cli.getString("out").c_str());
+    return 0;
+}
