@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accumulator.dir/ablation_accumulator.cc.o"
+  "CMakeFiles/ablation_accumulator.dir/ablation_accumulator.cc.o.d"
+  "ablation_accumulator"
+  "ablation_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interval_flush.dir/ablation_interval_flush.cc.o"
+  "CMakeFiles/ablation_interval_flush.dir/ablation_interval_flush.cc.o.d"
+  "ablation_interval_flush"
+  "ablation_interval_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interval_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

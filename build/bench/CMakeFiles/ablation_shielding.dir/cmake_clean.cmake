@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shielding.dir/ablation_shielding.cc.o"
+  "CMakeFiles/ablation_shielding.dir/ablation_shielding.cc.o.d"
+  "ablation_shielding"
+  "ablation_shielding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shielding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_optimizations.dir/app_optimizations.cc.o"
+  "CMakeFiles/app_optimizations.dir/app_optimizations.cc.o.d"
+  "app_optimizations"
+  "app_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

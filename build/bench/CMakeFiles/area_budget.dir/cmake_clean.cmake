@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_budget.dir/area_budget.cc.o"
+  "CMakeFiles/area_budget.dir/area_budget.cc.o.d"
+  "area_budget"
+  "area_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

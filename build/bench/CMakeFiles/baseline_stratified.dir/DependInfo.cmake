@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/baseline_stratified.cc" "bench/CMakeFiles/baseline_stratified.dir/baseline_stratified.cc.o" "gcc" "bench/CMakeFiles/baseline_stratified.dir/baseline_stratified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mhp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mhp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mhp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mhp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mhp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_stratified.dir/baseline_stratified.cc.o"
+  "CMakeFiles/baseline_stratified.dir/baseline_stratified.cc.o.d"
+  "baseline_stratified"
+  "baseline_stratified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_stratified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

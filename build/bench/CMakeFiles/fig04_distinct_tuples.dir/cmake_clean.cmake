@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_distinct_tuples.dir/fig04_distinct_tuples.cc.o"
+  "CMakeFiles/fig04_distinct_tuples.dir/fig04_distinct_tuples.cc.o.d"
+  "fig04_distinct_tuples"
+  "fig04_distinct_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_distinct_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

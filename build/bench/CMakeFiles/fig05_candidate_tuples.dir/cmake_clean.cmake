@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_candidate_tuples.dir/fig05_candidate_tuples.cc.o"
+  "CMakeFiles/fig05_candidate_tuples.dir/fig05_candidate_tuples.cc.o.d"
+  "fig05_candidate_tuples"
+  "fig05_candidate_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_candidate_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_candidate_variation.dir/fig06_candidate_variation.cc.o"
+  "CMakeFiles/fig06_candidate_variation.dir/fig06_candidate_variation.cc.o.d"
+  "fig06_candidate_variation"
+  "fig06_candidate_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_candidate_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

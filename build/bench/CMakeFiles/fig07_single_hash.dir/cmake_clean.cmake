@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_single_hash.dir/fig07_single_hash.cc.o"
+  "CMakeFiles/fig07_single_hash.dir/fig07_single_hash.cc.o.d"
+  "fig07_single_hash"
+  "fig07_single_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_theory.dir/fig09_theory.cc.o"
+  "CMakeFiles/fig09_theory.dir/fig09_theory.cc.o.d"
+  "fig09_theory"
+  "fig09_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multihash_10k.dir/fig10_multihash_10k.cc.o"
+  "CMakeFiles/fig10_multihash_10k.dir/fig10_multihash_10k.cc.o.d"
+  "fig10_multihash_10k"
+  "fig10_multihash_10k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multihash_10k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

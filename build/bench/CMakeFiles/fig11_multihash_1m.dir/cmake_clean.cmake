@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_multihash_1m.dir/fig11_multihash_1m.cc.o"
+  "CMakeFiles/fig11_multihash_1m.dir/fig11_multihash_1m.cc.o.d"
+  "fig11_multihash_1m"
+  "fig11_multihash_1m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multihash_1m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

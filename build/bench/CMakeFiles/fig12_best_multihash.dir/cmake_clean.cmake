@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_best_multihash.dir/fig12_best_multihash.cc.o"
+  "CMakeFiles/fig12_best_multihash.dir/fig12_best_multihash.cc.o.d"
+  "fig12_best_multihash"
+  "fig12_best_multihash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_best_multihash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_interval_series.dir/fig13_interval_series.cc.o"
+  "CMakeFiles/fig13_interval_series.dir/fig13_interval_series.cc.o.d"
+  "fig13_interval_series"
+  "fig13_interval_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_interval_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

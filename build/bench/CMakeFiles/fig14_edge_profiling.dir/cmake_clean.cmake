@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_edge_profiling.dir/fig14_edge_profiling.cc.o"
+  "CMakeFiles/fig14_edge_profiling.dir/fig14_edge_profiling.cc.o.d"
+  "fig14_edge_profiling"
+  "fig14_edge_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_edge_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

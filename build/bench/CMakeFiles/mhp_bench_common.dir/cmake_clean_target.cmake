@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libmhp_bench_common.a"
+)

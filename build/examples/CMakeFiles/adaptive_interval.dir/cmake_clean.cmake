@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_interval.dir/adaptive_interval.cc.o"
+  "CMakeFiles/adaptive_interval.dir/adaptive_interval.cc.o.d"
+  "adaptive_interval"
+  "adaptive_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

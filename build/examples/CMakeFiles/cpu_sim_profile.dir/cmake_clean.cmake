@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_sim_profile.dir/cpu_sim_profile.cc.o"
+  "CMakeFiles/cpu_sim_profile.dir/cpu_sim_profile.cc.o.d"
+  "cpu_sim_profile"
+  "cpu_sim_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_sim_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

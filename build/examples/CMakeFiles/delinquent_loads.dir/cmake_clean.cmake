@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delinquent_loads.dir/delinquent_loads.cc.o"
+  "CMakeFiles/delinquent_loads.dir/delinquent_loads.cc.o.d"
+  "delinquent_loads"
+  "delinquent_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delinquent_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_edges_trace_formation.dir/hot_edges_trace_formation.cc.o"
+  "CMakeFiles/hot_edges_trace_formation.dir/hot_edges_trace_formation.cc.o.d"
+  "hot_edges_trace_formation"
+  "hot_edges_trace_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_edges_trace_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hot_edges_trace_formation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_selection.dir/multipath_selection.cc.o"
+  "CMakeFiles/multipath_selection.dir/multipath_selection.cc.o.d"
+  "multipath_selection"
+  "multipath_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_profile_fvc.dir/value_profile_fvc.cc.o"
+  "CMakeFiles/value_profile_fvc.dir/value_profile_fvc.cc.o.d"
+  "value_profile_fvc"
+  "value_profile_fvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_profile_fvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

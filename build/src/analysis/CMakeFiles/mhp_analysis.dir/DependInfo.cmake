@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/candidate_stats.cc" "src/analysis/CMakeFiles/mhp_analysis.dir/candidate_stats.cc.o" "gcc" "src/analysis/CMakeFiles/mhp_analysis.dir/candidate_stats.cc.o.d"
+  "/root/repo/src/analysis/error_metrics.cc" "src/analysis/CMakeFiles/mhp_analysis.dir/error_metrics.cc.o" "gcc" "src/analysis/CMakeFiles/mhp_analysis.dir/error_metrics.cc.o.d"
+  "/root/repo/src/analysis/interval_runner.cc" "src/analysis/CMakeFiles/mhp_analysis.dir/interval_runner.cc.o" "gcc" "src/analysis/CMakeFiles/mhp_analysis.dir/interval_runner.cc.o.d"
+  "/root/repo/src/analysis/profile_io.cc" "src/analysis/CMakeFiles/mhp_analysis.dir/profile_io.cc.o" "gcc" "src/analysis/CMakeFiles/mhp_analysis.dir/profile_io.cc.o.d"
+  "/root/repo/src/analysis/simpoint.cc" "src/analysis/CMakeFiles/mhp_analysis.dir/simpoint.cc.o" "gcc" "src/analysis/CMakeFiles/mhp_analysis.dir/simpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_analysis.dir/candidate_stats.cc.o"
+  "CMakeFiles/mhp_analysis.dir/candidate_stats.cc.o.d"
+  "CMakeFiles/mhp_analysis.dir/error_metrics.cc.o"
+  "CMakeFiles/mhp_analysis.dir/error_metrics.cc.o.d"
+  "CMakeFiles/mhp_analysis.dir/interval_runner.cc.o"
+  "CMakeFiles/mhp_analysis.dir/interval_runner.cc.o.d"
+  "CMakeFiles/mhp_analysis.dir/profile_io.cc.o"
+  "CMakeFiles/mhp_analysis.dir/profile_io.cc.o.d"
+  "CMakeFiles/mhp_analysis.dir/simpoint.cc.o"
+  "CMakeFiles/mhp_analysis.dir/simpoint.cc.o.d"
+  "libmhp_analysis.a"
+  "libmhp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

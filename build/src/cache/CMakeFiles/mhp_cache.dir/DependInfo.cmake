@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/branch_predictor.cc" "src/cache/CMakeFiles/mhp_cache.dir/branch_predictor.cc.o" "gcc" "src/cache/CMakeFiles/mhp_cache.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/mhp_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/mhp_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/miss_probe.cc" "src/cache/CMakeFiles/mhp_cache.dir/miss_probe.cc.o" "gcc" "src/cache/CMakeFiles/mhp_cache.dir/miss_probe.cc.o.d"
+  "/root/repo/src/cache/prefetcher.cc" "src/cache/CMakeFiles/mhp_cache.dir/prefetcher.cc.o" "gcc" "src/cache/CMakeFiles/mhp_cache.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_cache.dir/branch_predictor.cc.o"
+  "CMakeFiles/mhp_cache.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/mhp_cache.dir/cache.cc.o"
+  "CMakeFiles/mhp_cache.dir/cache.cc.o.d"
+  "CMakeFiles/mhp_cache.dir/miss_probe.cc.o"
+  "CMakeFiles/mhp_cache.dir/miss_probe.cc.o.d"
+  "CMakeFiles/mhp_cache.dir/prefetcher.cc.o"
+  "CMakeFiles/mhp_cache.dir/prefetcher.cc.o.d"
+  "libmhp_cache.a"
+  "libmhp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

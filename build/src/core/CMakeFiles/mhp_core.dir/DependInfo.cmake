@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulator_table.cc" "src/core/CMakeFiles/mhp_core.dir/accumulator_table.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/accumulator_table.cc.o.d"
+  "/root/repo/src/core/adaptive_interval.cc" "src/core/CMakeFiles/mhp_core.dir/adaptive_interval.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/adaptive_interval.cc.o.d"
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/mhp_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/counter_table.cc" "src/core/CMakeFiles/mhp_core.dir/counter_table.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/counter_table.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/core/CMakeFiles/mhp_core.dir/factory.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/factory.cc.o.d"
+  "/root/repo/src/core/hash_function.cc" "src/core/CMakeFiles/mhp_core.dir/hash_function.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/hash_function.cc.o.d"
+  "/root/repo/src/core/hotspot_detector.cc" "src/core/CMakeFiles/mhp_core.dir/hotspot_detector.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/hotspot_detector.cc.o.d"
+  "/root/repo/src/core/multi_hash_profiler.cc" "src/core/CMakeFiles/mhp_core.dir/multi_hash_profiler.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/multi_hash_profiler.cc.o.d"
+  "/root/repo/src/core/perfect_profiler.cc" "src/core/CMakeFiles/mhp_core.dir/perfect_profiler.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/perfect_profiler.cc.o.d"
+  "/root/repo/src/core/query_coprocessor.cc" "src/core/CMakeFiles/mhp_core.dir/query_coprocessor.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/query_coprocessor.cc.o.d"
+  "/root/repo/src/core/random_table.cc" "src/core/CMakeFiles/mhp_core.dir/random_table.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/random_table.cc.o.d"
+  "/root/repo/src/core/sampling_profiler.cc" "src/core/CMakeFiles/mhp_core.dir/sampling_profiler.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/sampling_profiler.cc.o.d"
+  "/root/repo/src/core/single_hash_profiler.cc" "src/core/CMakeFiles/mhp_core.dir/single_hash_profiler.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/single_hash_profiler.cc.o.d"
+  "/root/repo/src/core/stratified_sampler.cc" "src/core/CMakeFiles/mhp_core.dir/stratified_sampler.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/stratified_sampler.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/core/CMakeFiles/mhp_core.dir/theory.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/theory.cc.o.d"
+  "/root/repo/src/core/value_table_profiler.cc" "src/core/CMakeFiles/mhp_core.dir/value_table_profiler.cc.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/value_table_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

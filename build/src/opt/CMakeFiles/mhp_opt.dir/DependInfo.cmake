@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/frequent_value_set.cc" "src/opt/CMakeFiles/mhp_opt.dir/frequent_value_set.cc.o" "gcc" "src/opt/CMakeFiles/mhp_opt.dir/frequent_value_set.cc.o.d"
+  "/root/repo/src/opt/multipath_selector.cc" "src/opt/CMakeFiles/mhp_opt.dir/multipath_selector.cc.o" "gcc" "src/opt/CMakeFiles/mhp_opt.dir/multipath_selector.cc.o.d"
+  "/root/repo/src/opt/trace_formation.cc" "src/opt/CMakeFiles/mhp_opt.dir/trace_formation.cc.o" "gcc" "src/opt/CMakeFiles/mhp_opt.dir/trace_formation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_opt.dir/frequent_value_set.cc.o"
+  "CMakeFiles/mhp_opt.dir/frequent_value_set.cc.o.d"
+  "CMakeFiles/mhp_opt.dir/multipath_selector.cc.o"
+  "CMakeFiles/mhp_opt.dir/multipath_selector.cc.o.d"
+  "CMakeFiles/mhp_opt.dir/trace_formation.cc.o"
+  "CMakeFiles/mhp_opt.dir/trace_formation.cc.o.d"
+  "libmhp_opt.a"
+  "libmhp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

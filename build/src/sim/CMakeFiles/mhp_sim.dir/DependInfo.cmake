@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/codegen.cc" "src/sim/CMakeFiles/mhp_sim.dir/codegen.cc.o" "gcc" "src/sim/CMakeFiles/mhp_sim.dir/codegen.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/mhp_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/mhp_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/probes.cc" "src/sim/CMakeFiles/mhp_sim.dir/probes.cc.o" "gcc" "src/sim/CMakeFiles/mhp_sim.dir/probes.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/sim/CMakeFiles/mhp_sim.dir/program.cc.o" "gcc" "src/sim/CMakeFiles/mhp_sim.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

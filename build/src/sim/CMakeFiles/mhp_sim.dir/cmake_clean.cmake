@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_sim.dir/codegen.cc.o"
+  "CMakeFiles/mhp_sim.dir/codegen.cc.o.d"
+  "CMakeFiles/mhp_sim.dir/machine.cc.o"
+  "CMakeFiles/mhp_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mhp_sim.dir/probes.cc.o"
+  "CMakeFiles/mhp_sim.dir/probes.cc.o.d"
+  "CMakeFiles/mhp_sim.dir/program.cc.o"
+  "CMakeFiles/mhp_sim.dir/program.cc.o.d"
+  "libmhp_sim.a"
+  "libmhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cc" "src/support/CMakeFiles/mhp_support.dir/cli.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/cli.cc.o.d"
+  "/root/repo/src/support/csv.cc" "src/support/CMakeFiles/mhp_support.dir/csv.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/csv.cc.o.d"
+  "/root/repo/src/support/discrete_distribution.cc" "src/support/CMakeFiles/mhp_support.dir/discrete_distribution.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/discrete_distribution.cc.o.d"
+  "/root/repo/src/support/env.cc" "src/support/CMakeFiles/mhp_support.dir/env.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/env.cc.o.d"
+  "/root/repo/src/support/histogram.cc" "src/support/CMakeFiles/mhp_support.dir/histogram.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/histogram.cc.o.d"
+  "/root/repo/src/support/parallel.cc" "src/support/CMakeFiles/mhp_support.dir/parallel.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/parallel.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/mhp_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/mhp_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/table_printer.cc" "src/support/CMakeFiles/mhp_support.dir/table_printer.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/table_printer.cc.o.d"
+  "/root/repo/src/support/zipf.cc" "src/support/CMakeFiles/mhp_support.dir/zipf.cc.o" "gcc" "src/support/CMakeFiles/mhp_support.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_support.dir/cli.cc.o"
+  "CMakeFiles/mhp_support.dir/cli.cc.o.d"
+  "CMakeFiles/mhp_support.dir/csv.cc.o"
+  "CMakeFiles/mhp_support.dir/csv.cc.o.d"
+  "CMakeFiles/mhp_support.dir/discrete_distribution.cc.o"
+  "CMakeFiles/mhp_support.dir/discrete_distribution.cc.o.d"
+  "CMakeFiles/mhp_support.dir/env.cc.o"
+  "CMakeFiles/mhp_support.dir/env.cc.o.d"
+  "CMakeFiles/mhp_support.dir/histogram.cc.o"
+  "CMakeFiles/mhp_support.dir/histogram.cc.o.d"
+  "CMakeFiles/mhp_support.dir/parallel.cc.o"
+  "CMakeFiles/mhp_support.dir/parallel.cc.o.d"
+  "CMakeFiles/mhp_support.dir/rng.cc.o"
+  "CMakeFiles/mhp_support.dir/rng.cc.o.d"
+  "CMakeFiles/mhp_support.dir/stats.cc.o"
+  "CMakeFiles/mhp_support.dir/stats.cc.o.d"
+  "CMakeFiles/mhp_support.dir/table_printer.cc.o"
+  "CMakeFiles/mhp_support.dir/table_printer.cc.o.d"
+  "CMakeFiles/mhp_support.dir/zipf.cc.o"
+  "CMakeFiles/mhp_support.dir/zipf.cc.o.d"
+  "libmhp_support.a"
+  "libmhp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

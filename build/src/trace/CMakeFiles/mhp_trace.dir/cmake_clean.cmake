@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/mhp_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/mhp_trace.dir/transforms.cc.o"
+  "CMakeFiles/mhp_trace.dir/transforms.cc.o.d"
+  "CMakeFiles/mhp_trace.dir/vector_source.cc.o"
+  "CMakeFiles/mhp_trace.dir/vector_source.cc.o.d"
+  "libmhp_trace.a"
+  "libmhp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

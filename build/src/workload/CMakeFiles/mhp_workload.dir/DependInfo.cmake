@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cc" "src/workload/CMakeFiles/mhp_workload.dir/benchmarks.cc.o" "gcc" "src/workload/CMakeFiles/mhp_workload.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workload/cfg_walk_workload.cc" "src/workload/CMakeFiles/mhp_workload.dir/cfg_walk_workload.cc.o" "gcc" "src/workload/CMakeFiles/mhp_workload.dir/cfg_walk_workload.cc.o.d"
+  "/root/repo/src/workload/edge_workload.cc" "src/workload/CMakeFiles/mhp_workload.dir/edge_workload.cc.o" "gcc" "src/workload/CMakeFiles/mhp_workload.dir/edge_workload.cc.o.d"
+  "/root/repo/src/workload/tuple_naming.cc" "src/workload/CMakeFiles/mhp_workload.dir/tuple_naming.cc.o" "gcc" "src/workload/CMakeFiles/mhp_workload.dir/tuple_naming.cc.o.d"
+  "/root/repo/src/workload/value_workload.cc" "src/workload/CMakeFiles/mhp_workload.dir/value_workload.cc.o" "gcc" "src/workload/CMakeFiles/mhp_workload.dir/value_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/mhp_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/mhp_workload.dir/cfg_walk_workload.cc.o"
+  "CMakeFiles/mhp_workload.dir/cfg_walk_workload.cc.o.d"
+  "CMakeFiles/mhp_workload.dir/edge_workload.cc.o"
+  "CMakeFiles/mhp_workload.dir/edge_workload.cc.o.d"
+  "CMakeFiles/mhp_workload.dir/tuple_naming.cc.o"
+  "CMakeFiles/mhp_workload.dir/tuple_naming.cc.o.d"
+  "CMakeFiles/mhp_workload.dir/value_workload.cc.o"
+  "CMakeFiles/mhp_workload.dir/value_workload.cc.o.d"
+  "libmhp_workload.a"
+  "libmhp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_candidate_stats.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_candidate_stats.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_error_metrics.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_error_metrics.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_interval_runner.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_interval_runner.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_profile_io.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_profile_io.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_simpoint.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_simpoint.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

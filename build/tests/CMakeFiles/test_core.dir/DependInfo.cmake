@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_accumulator_table.cc" "tests/CMakeFiles/test_core.dir/core/test_accumulator_table.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_accumulator_table.cc.o.d"
+  "/root/repo/tests/core/test_adaptive_interval.cc" "tests/CMakeFiles/test_core.dir/core/test_adaptive_interval.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_adaptive_interval.cc.o.d"
+  "/root/repo/tests/core/test_area_model.cc" "tests/CMakeFiles/test_core.dir/core/test_area_model.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_area_model.cc.o.d"
+  "/root/repo/tests/core/test_config.cc" "tests/CMakeFiles/test_core.dir/core/test_config.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cc.o.d"
+  "/root/repo/tests/core/test_counter_table.cc" "tests/CMakeFiles/test_core.dir/core/test_counter_table.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_counter_table.cc.o.d"
+  "/root/repo/tests/core/test_factory.cc" "tests/CMakeFiles/test_core.dir/core/test_factory.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_factory.cc.o.d"
+  "/root/repo/tests/core/test_hash_function.cc" "tests/CMakeFiles/test_core.dir/core/test_hash_function.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hash_function.cc.o.d"
+  "/root/repo/tests/core/test_hotspot_detector.cc" "tests/CMakeFiles/test_core.dir/core/test_hotspot_detector.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hotspot_detector.cc.o.d"
+  "/root/repo/tests/core/test_multi_hash_profiler.cc" "tests/CMakeFiles/test_core.dir/core/test_multi_hash_profiler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_multi_hash_profiler.cc.o.d"
+  "/root/repo/tests/core/test_perfect_profiler.cc" "tests/CMakeFiles/test_core.dir/core/test_perfect_profiler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_perfect_profiler.cc.o.d"
+  "/root/repo/tests/core/test_query_coprocessor.cc" "tests/CMakeFiles/test_core.dir/core/test_query_coprocessor.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_query_coprocessor.cc.o.d"
+  "/root/repo/tests/core/test_random_table.cc" "tests/CMakeFiles/test_core.dir/core/test_random_table.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_random_table.cc.o.d"
+  "/root/repo/tests/core/test_reference_model.cc" "tests/CMakeFiles/test_core.dir/core/test_reference_model.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_reference_model.cc.o.d"
+  "/root/repo/tests/core/test_sampling_profiler.cc" "tests/CMakeFiles/test_core.dir/core/test_sampling_profiler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sampling_profiler.cc.o.d"
+  "/root/repo/tests/core/test_single_hash_profiler.cc" "tests/CMakeFiles/test_core.dir/core/test_single_hash_profiler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_single_hash_profiler.cc.o.d"
+  "/root/repo/tests/core/test_stratified_sampler.cc" "tests/CMakeFiles/test_core.dir/core/test_stratified_sampler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stratified_sampler.cc.o.d"
+  "/root/repo/tests/core/test_theory.cc" "tests/CMakeFiles/test_core.dir/core/test_theory.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_theory.cc.o.d"
+  "/root/repo/tests/core/test_value_table_profiler.cc" "tests/CMakeFiles/test_core.dir/core/test_value_table_profiler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_value_table_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mhp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mhp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mhp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mhp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cc" "tests/CMakeFiles/test_integration.dir/integration/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_paper_claims.cc.o.d"
+  "/root/repo/tests/integration/test_properties.cc" "tests/CMakeFiles/test_integration.dir/integration/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mhp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mhp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mhp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mhp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/test_frequent_value_set.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_frequent_value_set.cc.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_multipath_selector.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_multipath_selector.cc.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_trace_formation.cc.o"
+  "CMakeFiles/test_opt.dir/opt/test_trace_formation.cc.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_bit_util.cc" "tests/CMakeFiles/test_support.dir/support/test_bit_util.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_bit_util.cc.o.d"
+  "/root/repo/tests/support/test_cli.cc" "tests/CMakeFiles/test_support.dir/support/test_cli.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_cli.cc.o.d"
+  "/root/repo/tests/support/test_csv_env.cc" "tests/CMakeFiles/test_support.dir/support/test_csv_env.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_csv_env.cc.o.d"
+  "/root/repo/tests/support/test_discrete_distribution.cc" "tests/CMakeFiles/test_support.dir/support/test_discrete_distribution.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_discrete_distribution.cc.o.d"
+  "/root/repo/tests/support/test_histogram.cc" "tests/CMakeFiles/test_support.dir/support/test_histogram.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_histogram.cc.o.d"
+  "/root/repo/tests/support/test_parallel.cc" "tests/CMakeFiles/test_support.dir/support/test_parallel.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_parallel.cc.o.d"
+  "/root/repo/tests/support/test_rng.cc" "tests/CMakeFiles/test_support.dir/support/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_rng.cc.o.d"
+  "/root/repo/tests/support/test_saturating_counter.cc" "tests/CMakeFiles/test_support.dir/support/test_saturating_counter.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_saturating_counter.cc.o.d"
+  "/root/repo/tests/support/test_stats.cc" "tests/CMakeFiles/test_support.dir/support/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_stats.cc.o.d"
+  "/root/repo/tests/support/test_table_printer.cc" "tests/CMakeFiles/test_support.dir/support/test_table_printer.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_table_printer.cc.o.d"
+  "/root/repo/tests/support/test_zipf.cc" "tests/CMakeFiles/test_support.dir/support/test_zipf.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mhp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mhp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mhp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mhp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mhp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/test_bit_util.cc.o"
+  "CMakeFiles/test_support.dir/support/test_bit_util.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_cli.cc.o"
+  "CMakeFiles/test_support.dir/support/test_cli.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_csv_env.cc.o"
+  "CMakeFiles/test_support.dir/support/test_csv_env.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_discrete_distribution.cc.o"
+  "CMakeFiles/test_support.dir/support/test_discrete_distribution.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_histogram.cc.o"
+  "CMakeFiles/test_support.dir/support/test_histogram.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_parallel.cc.o"
+  "CMakeFiles/test_support.dir/support/test_parallel.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_rng.cc.o"
+  "CMakeFiles/test_support.dir/support/test_rng.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_saturating_counter.cc.o"
+  "CMakeFiles/test_support.dir/support/test_saturating_counter.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_stats.cc.o"
+  "CMakeFiles/test_support.dir/support/test_stats.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_table_printer.cc.o"
+  "CMakeFiles/test_support.dir/support/test_table_printer.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_zipf.cc.o"
+  "CMakeFiles/test_support.dir/support/test_zipf.cc.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

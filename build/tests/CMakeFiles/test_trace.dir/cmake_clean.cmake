@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_transforms.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_transforms.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_tuple.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_tuple.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_tuple_builder.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_tuple_builder.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_vector_source.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_vector_source.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

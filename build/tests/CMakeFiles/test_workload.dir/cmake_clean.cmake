@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_cfg_walk_workload.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_cfg_walk_workload.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_edge_workload.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_edge_workload.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_tuple_naming.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_tuple_naming.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_value_workload.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_value_workload.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhprof_compare.dir/mhprof_compare.cc.o"
+  "CMakeFiles/mhprof_compare.dir/mhprof_compare.cc.o.d"
+  "mhprof_compare"
+  "mhprof_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhprof_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhprof_dump.dir/mhprof_dump.cc.o"
+  "CMakeFiles/mhprof_dump.dir/mhprof_dump.cc.o.d"
+  "mhprof_dump"
+  "mhprof_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhprof_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhprof_run.dir/mhprof_run.cc.o"
+  "CMakeFiles/mhprof_run.dir/mhprof_run.cc.o.d"
+  "mhprof_run"
+  "mhprof_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhprof_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhprof_trace.dir/mhprof_trace.cc.o"
+  "CMakeFiles/mhprof_trace.dir/mhprof_trace.cc.o.d"
+  "mhprof_trace"
+  "mhprof_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhprof_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
