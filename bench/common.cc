@@ -4,10 +4,10 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "analysis/sweep_runner.h"
 #include "core/factory.h"
 #include "support/env.h"
 #include "support/panic.h"
-#include "support/parallel.h"
 #include "workload/benchmarks.h"
 
 namespace mhp {
@@ -82,11 +82,34 @@ runSuiteConfigs(const std::vector<std::string> &benchmarks, bool edges,
                 const std::vector<LabelledConfig> &configs,
                 uint64_t intervals)
 {
+    // Shard at (benchmark x config) granularity through the sweep
+    // engine. Every cell regenerates the same seeded stream the shared
+    // pump used to produce, so the rows are identical to the old
+    // one-thread-per-benchmark driver — there are just more,
+    // better-balanced cells to schedule.
+    SweepPlan plan;
+    plan.benchmarks = benchmarks;
+    plan.edges = edges;
+    plan.configs.reserve(configs.size());
+    for (const auto &lc : configs)
+        plan.configs.push_back({lc.label, lc.config});
+    plan.intervals = intervals;
+
+    const SweepRunner runner(std::move(plan));
+    const std::vector<SweepCellResult> cells = runner.run();
+
     std::vector<std::vector<SweepRow>> out(benchmarks.size());
-    parallelFor(benchmarks.size(), [&](size_t i) {
-        out[i] = runBenchmarkConfigs(benchmarks[i], edges, configs,
-                                     intervals);
-    });
+    for (auto &rows : out)
+        rows.reserve(configs.size());
+    for (const auto &cell : cells) {
+        SweepRow row;
+        row.benchmark = cell.benchmark;
+        row.label = cell.configLabel;
+        row.error = cell.run.averageError();
+        row.hardwareCandidates = cell.run.meanHardwareCandidates();
+        row.perfectCandidates = cell.run.meanPerfectCandidates();
+        out[cell.benchmarkIndex].push_back(std::move(row));
+    }
     return out;
 }
 

@@ -1,7 +1,10 @@
 #include "analysis/interval_runner.h"
 
+#include <algorithm>
+
 #include "core/perfect_profiler.h"
 #include "support/panic.h"
+#include "support/parallel.h"
 
 namespace mhp {
 
@@ -112,6 +115,140 @@ runIntervals(EventSource &source, HardwareProfiler &profiler,
     std::vector<HardwareProfiler *> profilers{&profiler};
     return runIntervals(source, profilers, intervalLength, thresholdCount,
                         numIntervals);
+}
+
+RunOutput
+runIntervalsBatched(EventSource &source,
+                    const std::vector<HardwareProfiler *> &profilers,
+                    uint64_t intervalLength, uint64_t thresholdCount,
+                    uint64_t numIntervals, uint64_t batchSize)
+{
+    MHP_REQUIRE(!profilers.empty(), "no profilers to run");
+    MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
+    MHP_REQUIRE(batchSize > 0, "batchSize must be positive");
+
+    RunOutput out;
+    out.results.resize(profilers.size());
+    for (size_t i = 0; i < profilers.size(); ++i) {
+        MHP_REQUIRE(profilers[i] != nullptr, "null profiler");
+        out.results[i].profilerName = profilers[i]->name();
+        out.results[i].intervals.reserve(numIntervals);
+    }
+
+    PerfectProfiler perfect(thresholdCount);
+    std::vector<Tuple> buffer;
+    buffer.reserve(std::min<uint64_t>(batchSize, intervalLength));
+
+    for (uint64_t interval = 0; interval < numIntervals; ++interval) {
+        uint64_t consumed = 0;
+        while (consumed < intervalLength && !source.done()) {
+            buffer.clear();
+            const uint64_t want =
+                std::min(batchSize, intervalLength - consumed);
+            while (buffer.size() < want && !source.done())
+                buffer.push_back(source.next());
+            perfect.onEvents(buffer.data(), buffer.size());
+            for (auto *profiler : profilers)
+                profiler->onEvents(buffer.data(), buffer.size());
+            consumed += buffer.size();
+        }
+        out.eventsConsumed += consumed;
+        if (consumed < intervalLength) {
+            // Source ran dry: discard the partial interval.
+            perfect.reset();
+            break;
+        }
+
+        out.stream.distinctTuples.push_back(perfect.distinctTuples());
+        const auto &truth = perfect.counts();
+        for (size_t i = 0; i < profilers.size(); ++i) {
+            const IntervalSnapshot snap = profilers[i]->endInterval();
+            out.results[i].intervals.push_back(
+                scoreInterval(truth, snap, thresholdCount));
+        }
+        perfect.endInterval();
+        ++out.intervalsCompleted;
+    }
+    return out;
+}
+
+RunOutput
+runIntervalsSpan(TupleSpan stream,
+                 const std::vector<HardwareProfiler *> &profilers,
+                 uint64_t intervalLength, uint64_t thresholdCount,
+                 uint64_t numIntervals, const BatchedRunOptions &options)
+{
+    MHP_REQUIRE(!profilers.empty(), "no profilers to run");
+    MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
+    MHP_REQUIRE(options.batchSize > 0, "batchSize must be positive");
+
+    const uint64_t intervals = std::min<uint64_t>(
+        numIntervals, stream.size() / intervalLength);
+
+    RunOutput out;
+    out.results.resize(profilers.size());
+    std::vector<std::vector<IntervalSnapshot>> snapshots(
+        profilers.size());
+    for (size_t i = 0; i < profilers.size(); ++i) {
+        MHP_REQUIRE(profilers[i] != nullptr, "null profiler");
+        out.results[i].profilerName = profilers[i]->name();
+        out.results[i].intervals.resize(intervals);
+        snapshots[i].resize(intervals);
+    }
+    out.stream.distinctTuples.resize(intervals);
+    // Mirror runIntervals(): a trailing partial interval is consumed
+    // (then discarded), a finished run leaves the tail untouched.
+    out.eventsConsumed = std::min<uint64_t>(
+        stream.size(), numIntervals * intervalLength);
+    out.intervalsCompleted = intervals;
+    if (intervals == 0) {
+        if (options.keepSnapshots)
+            out.snapshots = std::move(snapshots);
+        return out;
+    }
+
+    // Phase 1 — ingest: each profiler walks its whole timeline on one
+    // worker. Profilers share no mutable state and read the same span.
+    parallelFor(
+        profilers.size(),
+        [&](size_t p) {
+            HardwareProfiler &profiler = *profilers[p];
+            for (uint64_t k = 0; k < intervals; ++k) {
+                const TupleSpan interval =
+                    stream.subspan(k * intervalLength, intervalLength);
+                for (size_t off = 0; off < interval.size();
+                     off += options.batchSize) {
+                    const size_t n = std::min<size_t>(
+                        options.batchSize, interval.size() - off);
+                    profiler.onEvents(interval.data() + off, n);
+                }
+                snapshots[p][k] = profiler.endInterval();
+            }
+        },
+        options.threads, /*grain=*/1);
+
+    // Phase 2 — score: each interval's perfect profile depends only on
+    // that interval's events, so truth construction and scoring shard
+    // cleanly across intervals.
+    parallelFor(
+        intervals,
+        [&](size_t k) {
+            PerfectProfiler perfect(thresholdCount);
+            const TupleSpan interval =
+                stream.subspan(k * intervalLength, intervalLength);
+            perfect.onEvents(interval.data(), interval.size());
+            out.stream.distinctTuples[k] = perfect.distinctTuples();
+            const auto &truth = perfect.counts();
+            for (size_t p = 0; p < profilers.size(); ++p) {
+                out.results[p].intervals[k] =
+                    scoreInterval(truth, snapshots[p][k], thresholdCount);
+            }
+        },
+        options.threads, /*grain=*/1);
+
+    if (options.keepSnapshots)
+        out.snapshots = std::move(snapshots);
+    return out;
 }
 
 } // namespace mhp

@@ -18,6 +18,7 @@
 #include "analysis/error_metrics.h"
 #include "core/profiler.h"
 #include "trace/source.h"
+#include "trace/tuple_span.h"
 
 namespace mhp {
 
@@ -58,6 +59,13 @@ struct RunOutput
     StreamStats stream;
     uint64_t eventsConsumed = 0;
     uint64_t intervalsCompleted = 0;
+
+    /**
+     * Per-profiler, per-interval snapshots; populated only by
+     * runIntervalsSpan() when BatchedRunOptions::keepSnapshots is set
+     * (the scored runs otherwise discard them to bound memory).
+     */
+    std::vector<std::vector<IntervalSnapshot>> snapshots;
 };
 
 /**
@@ -79,6 +87,55 @@ RunOutput runIntervals(EventSource &source,
 RunOutput runIntervals(EventSource &source, HardwareProfiler &profiler,
                        uint64_t intervalLength, uint64_t thresholdCount,
                        uint64_t numIntervals);
+
+/**
+ * Streaming batched variant of runIntervals(): identical output, but
+ * events are buffered and delivered through onEvents() in blocks of
+ * batchSize, so each profiler pays one virtual dispatch per block
+ * instead of per event. Memory use is O(batchSize), independent of
+ * the stream length — this is the variant sweep cells use.
+ */
+RunOutput runIntervalsBatched(
+    EventSource &source, const std::vector<HardwareProfiler *> &profilers,
+    uint64_t intervalLength, uint64_t thresholdCount,
+    uint64_t numIntervals, uint64_t batchSize = 4096);
+
+/** Knobs of the in-memory parallel runner. */
+struct BatchedRunOptions
+{
+    /** Events per onEvents() block. */
+    uint64_t batchSize = 4096;
+
+    /**
+     * Worker threads for the ingest (across profilers) and scoring
+     * (across intervals) phases; 0 = min(hardware concurrency, work),
+     * overridable via MHP_THREADS. The output is bit-identical for
+     * every thread count.
+     */
+    unsigned threads = 0;
+
+    /** Keep every interval snapshot in RunOutput::snapshots. */
+    bool keepSnapshots = false;
+};
+
+/**
+ * In-memory parallel variant of runIntervals(): identical scores, with
+ * two parallel phases. Ingest runs each profiler's full timeline on
+ * its own worker (profilers share no state; each consumes the same
+ * read-only span). Scoring rebuilds the perfect profile of each
+ * interval independently and scores all profilers against it, one
+ * interval per worker. All results land in slots indexed by
+ * (profiler, interval), so the merge is deterministic and bit-identical
+ * to the serial run regardless of scheduling.
+ *
+ * A trailing partial interval (stream shorter than numIntervals *
+ * intervalLength) is discarded, exactly like runIntervals() on a
+ * finite source.
+ */
+RunOutput runIntervalsSpan(
+    TupleSpan stream, const std::vector<HardwareProfiler *> &profilers,
+    uint64_t intervalLength, uint64_t thresholdCount,
+    uint64_t numIntervals, const BatchedRunOptions &options = {});
 
 } // namespace mhp
 

@@ -1,0 +1,88 @@
+#include "analysis/sweep_runner.h"
+
+#include <utility>
+
+#include "core/factory.h"
+#include "support/panic.h"
+#include "support/parallel.h"
+#include "workload/benchmarks.h"
+
+namespace mhp {
+
+SweepRunner::SweepRunner(SweepPlan plan) : sweepPlan(std::move(plan))
+{
+    MHP_REQUIRE(!sweepPlan.benchmarks.empty(), "sweep needs benchmarks");
+    MHP_REQUIRE(!sweepPlan.configs.empty(), "sweep needs configurations");
+    MHP_REQUIRE(sweepPlan.intervals > 0, "sweep needs intervals");
+    for (const auto &name : sweepPlan.benchmarks)
+        MHP_REQUIRE(isBenchmarkName(name), "unknown benchmark in sweep");
+}
+
+size_t
+SweepRunner::cellCount() const
+{
+    const size_t lengths = sweepPlan.intervalLengths.empty()
+                               ? 1
+                               : sweepPlan.intervalLengths.size();
+    return sweepPlan.benchmarks.size() * sweepPlan.configs.size() *
+           lengths;
+}
+
+std::vector<SweepCellResult>
+SweepRunner::run(unsigned threads) const
+{
+    const SweepPlan &plan = sweepPlan;
+    const size_t lengths =
+        plan.intervalLengths.empty() ? 1 : plan.intervalLengths.size();
+    const size_t cells = cellCount();
+
+    std::vector<SweepCellResult> out(cells);
+
+    // Cells are independent: each regenerates its stream from the
+    // workload seed and writes only its own slot, so any schedule
+    // merges into the same output. grain=1 because cells are few and
+    // unevenly sized (a 1M-event interval next to a 10K one).
+    parallelFor(
+        cells,
+        [&](size_t cell) {
+            const size_t b = cell / (plan.configs.size() * lengths);
+            const size_t rem = cell % (plan.configs.size() * lengths);
+            const size_t c = rem / lengths;
+            const size_t l = rem % lengths;
+
+            SweepCellResult &result = out[cell];
+            result.benchmarkIndex = b;
+            result.configIndex = c;
+            result.intervalLengthIndex = l;
+            result.benchmark = plan.benchmarks[b];
+            result.configLabel = plan.configs[c].label;
+
+            ProfilerConfig config = plan.configs[c].config;
+            if (!plan.intervalLengths.empty())
+                config.intervalLength = plan.intervalLengths[l];
+            result.intervalLength = config.intervalLength;
+            result.thresholdCount = config.thresholdCount();
+
+            std::unique_ptr<EventSource> source =
+                plan.edges
+                    ? std::unique_ptr<EventSource>(makeEdgeWorkload(
+                          result.benchmark, plan.workloadSeed))
+                    : std::unique_ptr<EventSource>(makeValueWorkload(
+                          result.benchmark, plan.workloadSeed));
+            auto profiler = makeProfiler(config);
+
+            RunOutput run = runIntervalsBatched(
+                *source, {profiler.get()}, config.intervalLength,
+                config.thresholdCount(), plan.intervals, plan.batchSize);
+
+            result.run = std::move(run.results[0]);
+            result.stream = std::move(run.stream);
+            result.eventsConsumed = run.eventsConsumed;
+            result.intervalsCompleted = run.intervalsCompleted;
+        },
+        threads, /*grain=*/1);
+
+    return out;
+}
+
+} // namespace mhp

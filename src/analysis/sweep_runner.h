@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The parallel sweep engine: shards a (benchmark x configuration x
+ * interval-length) design space into independent cells and evaluates
+ * them concurrently.
+ *
+ * Every cell regenerates its own event stream from the workload seed
+ * and runs the batched interval pipeline serially, so cells share no
+ * mutable state; results land in slots indexed by cell, which makes
+ * the merged output bit-identical for every thread count (asserted by
+ * tests/analysis/test_sweep_runner). This is the engine behind the
+ * figure benches' suite sweeps and any tool that scores many profiler
+ * configurations at once.
+ */
+
+#ifndef MHP_ANALYSIS_SWEEP_RUNNER_H
+#define MHP_ANALYSIS_SWEEP_RUNNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/interval_runner.h"
+#include "core/config.h"
+
+namespace mhp {
+
+/** One profiler configuration in a sweep, with a display label. */
+struct SweepConfig
+{
+    std::string label;
+    ProfilerConfig config;
+};
+
+/** The design space a SweepRunner evaluates. */
+struct SweepPlan
+{
+    /** Suite benchmarks to run (workload model names). */
+    std::vector<std::string> benchmarks;
+
+    /** Use the edge model instead of the value model. */
+    bool edges = false;
+
+    /** Profiler configurations to evaluate per benchmark. */
+    std::vector<SweepConfig> configs;
+
+    /**
+     * Interval lengths to sweep; each overrides the config's own
+     * intervalLength (the candidate threshold stays the config's
+     * fraction, so the threshold count scales with the interval).
+     * Empty = one cell per config using its own intervalLength.
+     */
+    std::vector<uint64_t> intervalLengths;
+
+    /** Profile intervals per cell. */
+    uint64_t intervals = 10;
+
+    /** Workload seed (every cell regenerates the same stream). */
+    uint64_t workloadSeed = 1;
+
+    /** Events per onEvents() block in the batched ingest. */
+    uint64_t batchSize = 4096;
+};
+
+/** The scored result of one sweep cell. */
+struct SweepCellResult
+{
+    size_t benchmarkIndex = 0;
+    size_t configIndex = 0;
+    size_t intervalLengthIndex = 0;
+
+    std::string benchmark;
+    std::string configLabel;
+    uint64_t intervalLength = 0;
+    uint64_t thresholdCount = 0;
+
+    RunResult run;
+    StreamStats stream;
+    uint64_t eventsConsumed = 0;
+    uint64_t intervalsCompleted = 0;
+};
+
+/** Shards a SweepPlan over worker threads with deterministic merging. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepPlan plan);
+
+    /** Cells in the plan: benchmarks x configs x interval lengths. */
+    size_t cellCount() const;
+
+    /**
+     * Evaluate every cell, possibly concurrently, and return the
+     * results in benchmark-major (benchmark, config, interval-length)
+     * order. The output is bit-identical for every thread count.
+     *
+     * @param threads Worker count; 0 = min(hardware concurrency,
+     *        cells), overridable via MHP_THREADS.
+     */
+    std::vector<SweepCellResult> run(unsigned threads = 0) const;
+
+    const SweepPlan &plan() const { return sweepPlan; }
+
+  private:
+    SweepPlan sweepPlan;
+};
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_SWEEP_RUNNER_H

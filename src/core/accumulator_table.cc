@@ -1,5 +1,6 @@
 #include "core/accumulator_table.h"
 
+#include "support/bit_util.h"
 #include "support/panic.h"
 
 namespace mhp {
@@ -12,31 +13,63 @@ AccumulatorTable::AccumulatorTable(uint64_t capacity,
     MHP_REQUIRE(capacity >= 1, "accumulator needs capacity");
     MHP_REQUIRE(thresholdCount >= 1, "threshold must be positive");
     slots.resize(capacity);
-    index.reserve(capacity * 2);
+    // Keep the open-addressing index at most ~25% loaded so probe
+    // chains stay short; the bucket count never changes after this.
+    uint64_t wanted = capacity * 4;
+    if (wanted < 16)
+        wanted = 16;
+    const size_t bucketCount =
+        size_t{1} << ceilLog2(static_cast<uint64_t>(wanted));
+    buckets.resize(bucketCount);
+    bucketMask = bucketCount - 1;
     freeSlots.reserve(capacity);
     for (uint64_t i = capacity; i-- > 0;)
         freeSlots.push_back(static_cast<uint32_t>(i));
 }
 
+void
+AccumulatorTable::indexInsert(const Tuple &t, uint32_t slotIndex)
+{
+    // Precondition: t is not present (AccumulatorTable::insert asserts
+    // it), so stopping at the first reusable bucket is safe.
+    size_t b = TupleHash{}(t) & bucketMask;
+    while (buckets[b].state == kFull)
+        b = (b + 1) & bucketMask;
+    if (buckets[b].state == kTombstone)
+        --tombstones;
+    buckets[b] = {t, slotIndex, kFull};
+    ++entryCount;
+}
+
+void
+AccumulatorTable::indexErase(const Tuple &t)
+{
+    const size_t b = findBucket(t);
+    MHP_ASSERT(b != kNoBucket, "erasing an absent tuple");
+    buckets[b].state = kTombstone;
+    ++tombstones;
+    --entryCount;
+}
+
+void
+AccumulatorTable::indexClear()
+{
+    for (auto &bucket : buckets)
+        bucket.state = kEmpty;
+    entryCount = 0;
+    tombstones = 0;
+}
+
 bool
 AccumulatorTable::incrementIfPresent(const Tuple &t)
 {
-    auto it = index.find(t);
-    if (it == index.end())
-        return false;
-    Slot &slot = slots[it->second];
-    ++slot.count;
-    // A retained entry that re-crosses the threshold is a candidate
-    // again: pin it for the rest of the interval (Section 5.4.1).
-    if (slot.replaceable && slot.count >= thresholdCount)
-        slot.replaceable = false;
-    return true;
+    return incrementIfPresentHot(t);
 }
 
 bool
 AccumulatorTable::contains(const Tuple &t) const
 {
-    return index.find(t) != index.end();
+    return findBucket(t) != kNoBucket;
 }
 
 bool
@@ -61,8 +94,18 @@ AccumulatorTable::insert(const Tuple &t, uint64_t initialCount)
             ++dropped;
             return false;
         }
-        index.erase(slots[found].tuple);
+        indexErase(slots[found].tuple);
         victim = found;
+    }
+
+    // Evictions leave tombstones behind; rebuild the index before they
+    // stretch probe chains (rare — bounded by mid-interval evictions).
+    if (tombstones * 4 > buckets.size()) {
+        indexClear();
+        for (uint32_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].valid)
+                indexInsert(slots[i].tuple, i);
+        }
     }
 
     Slot &slot = slots[victim];
@@ -73,7 +116,7 @@ AccumulatorTable::insert(const Tuple &t, uint64_t initialCount)
     // interval (Section 5.2); a promotion implies the threshold was
     // crossed, so this matches the re-pinning rule as well.
     slot.replaceable = initialCount < thresholdCount;
-    index.emplace(t, victim);
+    indexInsert(t, victim);
     return true;
 }
 
@@ -81,7 +124,7 @@ IntervalSnapshot
 AccumulatorTable::endInterval()
 {
     IntervalSnapshot out;
-    out.reserve(index.size());
+    out.reserve(entryCount);
     for (auto &slot : slots) {
         if (slot.valid && slot.count >= thresholdCount)
             out.push_back({slot.tuple, slot.count});
@@ -92,7 +135,7 @@ AccumulatorTable::endInterval()
         // P0: flush the whole table.
         for (auto &slot : slots)
             slot.valid = false;
-        index.clear();
+        indexClear();
         freeSlots.clear();
         for (uint64_t i = slots.size(); i-- > 0;)
             freeSlots.push_back(static_cast<uint32_t>(i));
@@ -100,18 +143,21 @@ AccumulatorTable::endInterval()
     }
 
     // P1: drop sub-threshold entries, keep candidates as replaceable
-    // zero-count entries for the next interval.
+    // zero-count entries for the next interval. The index is rebuilt
+    // from the surviving slots (cheaper than per-entry erases, and it
+    // sheds any tombstones).
+    indexClear();
     for (uint32_t i = 0; i < slots.size(); ++i) {
         Slot &slot = slots[i];
         if (!slot.valid)
             continue;
         if (slot.count < thresholdCount) {
-            index.erase(slot.tuple);
             slot.valid = false;
             freeSlots.push_back(i);
         } else {
             slot.count = 0;
             slot.replaceable = true;
+            indexInsert(slot.tuple, i);
         }
     }
     return out;
@@ -122,7 +168,7 @@ AccumulatorTable::reset()
 {
     for (auto &slot : slots)
         slot.valid = false;
-    index.clear();
+    indexClear();
     freeSlots.clear();
     for (uint64_t i = slots.size(); i-- > 0;)
         freeSlots.push_back(static_cast<uint32_t>(i));
@@ -132,16 +178,16 @@ AccumulatorTable::reset()
 uint64_t
 AccumulatorTable::countOf(const Tuple &t) const
 {
-    auto it = index.find(t);
-    return it == index.end() ? 0 : slots[it->second].count;
+    const size_t b = findBucket(t);
+    return b == kNoBucket ? 0 : slots[buckets[b].slot].count;
 }
 
 bool
 AccumulatorTable::isReplaceable(const Tuple &t) const
 {
-    auto it = index.find(t);
-    MHP_ASSERT(it != index.end(), "tuple not present");
-    return slots[it->second].replaceable;
+    const size_t b = findBucket(t);
+    MHP_ASSERT(b != kNoBucket, "tuple not present");
+    return slots[buckets[b].slot].replaceable;
 }
 
 } // namespace mhp

@@ -17,8 +17,8 @@
 #ifndef MHP_CORE_ACCUMULATOR_TABLE_H
 #define MHP_CORE_ACCUMULATOR_TABLE_H
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/profiler.h"
@@ -47,6 +47,52 @@ class AccumulatorTable
      */
     bool incrementIfPresent(const Tuple &t);
 
+    /**
+     * Header-inline body of incrementIfPresent() for batched ingest
+     * loops (same pattern as TupleHasher::indexHot): bit-identical
+     * behaviour, but onEvents() kernels fold the lookup into their
+     * inner loop while the per-event path keeps its out-of-line call.
+     */
+    bool
+    incrementIfPresentHot(const Tuple &t)
+    {
+        const uint32_t slot = probeSlot(t);
+        if (slot == kNoSlot)
+            return false;
+        incrementSlotHot(slot);
+        return true;
+    }
+
+    /** probeSlot() result when the tuple has no entry. */
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+    /**
+     * The tuple's slot number, or kNoSlot. Batched kernels probe a
+     * whole block of events up front so the lookups' dependent load
+     * chains overlap; a probed slot stays exact until the next
+     * insert() (increments never change membership, and evictions
+     * only happen inside insert()), so kernels must re-probe any
+     * event after a mid-block promotion.
+     */
+    uint32_t
+    probeSlot(const Tuple &t) const
+    {
+        const size_t b = findBucket(t);
+        return b == kNoBucket ? kNoSlot : buckets[b].slot;
+    }
+
+    /** Count an occurrence of the tuple known to sit in `slot`. */
+    void
+    incrementSlotHot(uint32_t slotIndex)
+    {
+        Slot &slot = slots[slotIndex];
+        ++slot.count;
+        // A retained entry that re-crosses the threshold is a
+        // candidate again: pin it for the interval (Section 5.4.1).
+        if (slot.replaceable && slot.count >= thresholdCount)
+            slot.replaceable = false;
+    }
+
     /** True if the tuple currently has an entry. */
     bool contains(const Tuple &t) const;
 
@@ -68,7 +114,7 @@ class AccumulatorTable
     /** Drop everything, including retained entries. */
     void reset();
 
-    uint64_t size() const { return index.size(); }
+    uint64_t size() const { return entryCount; }
     uint64_t capacity() const { return slots.size(); }
 
     /** Number of promotions rejected for lack of space (statistics). */
@@ -89,8 +135,51 @@ class AccumulatorTable
         bool replaceable = false;
     };
 
+    /**
+     * The tuple -> slot index is a flat open-addressing table (linear
+     * probing, tombstones on erase) with a power-of-two bucket count.
+     * A prime-bucket map (std::unordered_map) pays an integer division
+     * per lookup, and 64-bit division is unpipelined on most cores —
+     * it dominated the shield check on every single event. The index
+     * is only ever probed, never iterated, so the container swap is
+     * invisible to behaviour.
+     */
+    struct Bucket
+    {
+        Tuple key;
+        uint32_t slot = 0;
+        uint8_t state = 0; ///< kEmpty, kFull, or kTombstone
+    };
+
+    static constexpr uint8_t kEmpty = 0;
+    static constexpr uint8_t kFull = 1;
+    static constexpr uint8_t kTombstone = 2;
+    static constexpr size_t kNoBucket = SIZE_MAX;
+
+    /** The bucket holding the tuple, or kNoBucket. */
+    size_t
+    findBucket(const Tuple &t) const
+    {
+        const Bucket *const bk = buckets.data();
+        size_t b = TupleHash{}(t) & bucketMask;
+        for (;; b = (b + 1) & bucketMask) {
+            const Bucket &bucket = bk[b];
+            if (bucket.state == kEmpty)
+                return kNoBucket;
+            if (bucket.state == kFull && bucket.key == t)
+                return b;
+        }
+    }
+
+    void indexInsert(const Tuple &t, uint32_t slotIndex);
+    void indexErase(const Tuple &t);
+    void indexClear();
+
     std::vector<Slot> slots;
-    std::unordered_map<Tuple, uint32_t, TupleHash> index;
+    std::vector<Bucket> buckets;
+    size_t bucketMask = 0;
+    uint64_t entryCount = 0;
+    uint64_t tombstones = 0;
     std::vector<uint32_t> freeSlots;
     uint64_t thresholdCount;
     bool retaining;

@@ -41,6 +41,14 @@ class CounterTable
     uint64_t size() const { return counts.size(); }
     uint64_t maxValue() const { return saturation; }
 
+    /**
+     * Raw counter storage for batched ingest kernels. Updates through
+     * this pointer must preserve the saturating-increment semantics of
+     * increment(); the pointer stays valid for the table's lifetime.
+     */
+    uint64_t *raw() { return counts.data(); }
+    const uint64_t *raw() const { return counts.data(); }
+
     /** Number of counters currently at or above a value (analysis). */
     uint64_t countAtLeast(uint64_t value) const;
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/random_table.h"
+#include "support/bit_util.h"
 #include "trace/tuple.h"
 
 namespace mhp {
@@ -44,6 +45,20 @@ class TupleHasher
 
     /** The full 64-bit signature before folding (for tests). */
     uint64_t signature(const Tuple &t) const;
+
+    /**
+     * Header-inline index computation for batched ingest loops.
+     * Bit-identical to index(); kept separate so the per-event path
+     * retains its out-of-line call while onEvents() kernels fold the
+     * whole randomize/flip/fold pipeline into their inner loops.
+     */
+    uint64_t
+    indexHot(const Tuple &t) const
+    {
+        const uint64_t npc = byteFlip(pcTable.randomizeHot(t.first));
+        const uint64_t nv = valueTable.randomizeHot(t.second);
+        return xorFoldHot(npc ^ nv, bits);
+    }
 
     uint64_t tableSize() const { return size; }
     unsigned indexBits() const { return bits; }

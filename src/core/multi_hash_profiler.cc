@@ -20,6 +20,13 @@ MultiHashProfiler::MultiHashProfiler(const ProfilerConfig &config_)
     for (unsigned i = 0; i < config.numHashTables; ++i)
         tables.emplace_back(config.entriesPerTable(), config.counterBits);
     indexScratch.resize(config.numHashTables);
+    valueScratch.resize(config.numHashTables);
+    rawCounters.reserve(config.numHashTables);
+    for (auto &table : tables)
+        rawCounters.push_back(table.raw());
+    blockIndexScratch.resize(kIngestBlock * config.numHashTables);
+    blockSlotScratch.resize(kIngestBlock);
+    blockAbsentScratch.resize(kIngestBlock);
 }
 
 void
@@ -62,6 +69,151 @@ MultiHashProfiler::onEvent(const Tuple &t)
             for (unsigned i = 0; i < n; ++i)
                 tables[i].reset(indexScratch[i]);
         }
+    }
+}
+
+template <bool Conservative, bool Reset, bool Shielding>
+void
+MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
+{
+    // Mirrors onEvent() exactly, with the config branches resolved at
+    // compile time, the full hash pipeline inlined (indexHot), and the
+    // counter arrays accessed directly. Events are processed in blocks
+    // of kIngestBlock: all hash indexes for a block are computed first
+    // (a pure function of each tuple, so hoisting them is invisible),
+    // then the event state machine replays in stream order.
+    const unsigned n = static_cast<unsigned>(tables.size());
+    uint64_t *const val = valueScratch.data();
+    uint32_t *const blk = blockIndexScratch.data();
+    uint32_t *const slot = blockSlotScratch.data();
+    uint32_t *const absent = blockAbsentScratch.data();
+    uint64_t *const *const counters = rawCounters.data();
+    const uint64_t saturation = tables[0].maxValue();
+    const uint64_t threshold = thresholdCount;
+
+    for (size_t base = 0; base < count; base += kIngestBlock) {
+        const size_t m = std::min(kIngestBlock, count - base);
+        const Tuple *const block = events + base;
+
+        // Phase 1: accumulator membership for the whole block, so the
+        // lookups' dependent load chains overlap instead of
+        // interleaving with table updates. The probed slots stay exact
+        // until the first promotion below (increments never change
+        // membership), after which the rest of the block falls back to
+        // live probes. Absent events are compacted into a dense list
+        // (branchlessly) so the hash phase runs without data-dependent
+        // branches.
+        size_t numAbsent = 0;
+        for (size_t k = 0; k < m; ++k) {
+            slot[k] = accumulator.probeSlot(block[k]);
+            absent[numAbsent] = static_cast<uint32_t>(k);
+            numAbsent += (slot[k] == AccumulatorTable::kNoSlot) ? 1 : 0;
+        }
+
+        // Phase 2: hash indexes. Pure per-tuple computation with no
+        // profiler state, so consecutive events' hash pipelines
+        // overlap in the core instead of serializing behind table
+        // updates. Under shielding, accumulator-resident events never
+        // touch the hash tables, so only absent events need indexes
+        // (events whose probe goes stale through an eviction are
+        // repaired in phase 3); the ablation pressures the tables with
+        // every event, so everything is hashed.
+        const size_t hashCount = Shielding ? numAbsent : m;
+        for (size_t j = 0; j < hashCount; ++j) {
+            const size_t k = Shielding ? absent[j] : j;
+            for (unsigned i = 0; i < n; ++i) {
+                blk[k * n + i] = static_cast<uint32_t>(
+                    hashers.function(i).indexHot(block[k]));
+            }
+        }
+
+        // Phase 3: the event state machine. Promotions change which
+        // later events the accumulator shields, so this phase is
+        // strictly sequential in stream order.
+        bool reprobe = false;
+        for (size_t k = 0; k < m; ++k) {
+            const Tuple &t = block[k];
+            uint32_t *const idx = blk + k * n;
+            const uint32_t s =
+                reprobe ? accumulator.probeSlot(t) : slot[k];
+            if (s != AccumulatorTable::kNoSlot) {
+                accumulator.incrementSlotHot(s);
+                if (!Shielding) {
+                    // Ablation only: keep pressuring the hash tables.
+                    for (unsigned i = 0; i < n; ++i) {
+                        uint64_t &c = counters[i][idx[i]];
+                        c += (c < saturation) ? 1 : 0;
+                    }
+                }
+                continue;
+            }
+            if (Shielding && slot[k] != AccumulatorTable::kNoSlot) {
+                // Shielded at probe time but evicted by a mid-block
+                // promotion: phase 2 skipped its indexes, so compute
+                // them here (rare — needs an eviction in this block).
+                for (unsigned i = 0; i < n; ++i) {
+                    idx[i] = static_cast<uint32_t>(
+                        hashers.function(i).indexHot(t));
+                }
+            }
+
+            uint64_t newMin = ~0ULL;
+            if (Conservative) {
+                // Increment only the counter(s) at the current
+                // minimum; ties all advance so the minimum strictly
+                // increases.
+                uint64_t minVal = ~0ULL;
+                for (unsigned i = 0; i < n; ++i) {
+                    val[i] = counters[i][idx[i]];
+                    minVal = std::min(minVal, val[i]);
+                }
+                for (unsigned i = 0; i < n; ++i) {
+                    uint64_t v = val[i];
+                    if (v == minVal) {
+                        v += (v < saturation) ? 1 : 0;
+                        counters[i][idx[i]] = v;
+                    }
+                    newMin = std::min(newMin, v);
+                }
+            } else {
+                for (unsigned i = 0; i < n; ++i) {
+                    uint64_t &c = counters[i][idx[i]];
+                    c += (c < saturation) ? 1 : 0;
+                    newMin = std::min(newMin, c);
+                }
+            }
+
+            // Promotion requires every table's counter at threshold.
+            if (newMin >= threshold) {
+                if (accumulator.insert(t, newMin)) {
+                    // Membership changed: the block's probed slots are
+                    // no longer trustworthy (insertion or eviction).
+                    reprobe = true;
+                    if (Reset) {
+                        for (unsigned i = 0; i < n; ++i)
+                            counters[i][idx[i]] = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+MultiHashProfiler::onEvents(const Tuple *events, size_t count)
+{
+    const unsigned key = (config.conservativeUpdate ? 4u : 0u) |
+                         (config.resetOnPromote ? 2u : 0u) |
+                         (config.shielding ? 1u : 0u);
+    switch (key) {
+      case 0u: ingestBatch<false, false, false>(events, count); break;
+      case 1u: ingestBatch<false, false, true>(events, count); break;
+      case 2u: ingestBatch<false, true, false>(events, count); break;
+      case 3u: ingestBatch<false, true, true>(events, count); break;
+      case 4u: ingestBatch<true, false, false>(events, count); break;
+      case 5u: ingestBatch<true, false, true>(events, count); break;
+      case 6u: ingestBatch<true, true, false>(events, count); break;
+      case 7u: ingestBatch<true, true, true>(events, count); break;
     }
 }
 

@@ -37,6 +37,7 @@ class MultiHashProfiler : public HardwareProfiler
     explicit MultiHashProfiler(const ProfilerConfig &config);
 
     void onEvent(const Tuple &t) override;
+    void onEvents(const Tuple *events, size_t count) override;
     IntervalSnapshot endInterval() override;
     void reset() override;
     std::string name() const override;
@@ -66,12 +67,28 @@ class MultiHashProfiler : public HardwareProfiler
     }
 
   private:
+    /** Events per batched-ingest precompute block. */
+    static constexpr size_t kIngestBlock = 256;
+
+    /** The onEvents() kernel with the config flags baked in. */
+    template <bool Conservative, bool Reset, bool Shielding>
+    void ingestBatch(const Tuple *events, size_t count);
+
     ProfilerConfig config;
     TupleHasherFamily hashers;
     std::vector<CounterTable> tables;
     AccumulatorTable accumulator;
     uint64_t thresholdCount;
     std::vector<uint64_t> indexScratch;
+    std::vector<uint64_t> valueScratch;
+    /** tables[i].raw(), hoisted once (stable after construction). */
+    std::vector<uint64_t *> rawCounters;
+    /** kIngestBlock x numTables precomputed indexes (batched only). */
+    std::vector<uint32_t> blockIndexScratch;
+    /** kIngestBlock precomputed accumulator slots (batched only). */
+    std::vector<uint32_t> blockSlotScratch;
+    /** Positions of non-shielded events in a block (batched only). */
+    std::vector<uint32_t> blockAbsentScratch;
 };
 
 } // namespace mhp

@@ -17,6 +17,13 @@ PerfectProfiler::onEvent(const Tuple &t)
     ++table[t];
 }
 
+void
+PerfectProfiler::onEvents(const Tuple *events, size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        ++table[events[i]];
+}
+
 IntervalSnapshot
 PerfectProfiler::endInterval()
 {

@@ -28,6 +28,7 @@ class PerfectProfiler : public HardwareProfiler
     explicit PerfectProfiler(uint64_t thresholdCount);
 
     void onEvent(const Tuple &t) override;
+    void onEvents(const Tuple *events, size_t count) override;
     IntervalSnapshot endInterval() override;
     void reset() override;
     std::string name() const override { return "perfect"; }

@@ -13,6 +13,7 @@
 #define MHP_CORE_PROFILER_H
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,6 +50,23 @@ class HardwareProfiler : public EventSink
 
     /** Observe one profiling event. */
     virtual void onEvent(const Tuple &t) = 0;
+
+    /**
+     * Observe a contiguous batch of profiling events.
+     *
+     * Semantically identical to calling onEvent() once per tuple in
+     * array order — every override must produce bit-identical interval
+     * snapshots to the event-at-a-time path (this is asserted by
+     * tests/core/test_batched_ingest). The base implementation is that
+     * loop; concrete profilers override it with tight kernels that pay
+     * the virtual dispatch once per batch instead of once per event.
+     */
+    virtual void
+    onEvents(const Tuple *events, size_t count)
+    {
+        for (size_t i = 0; i < count; ++i)
+            onEvent(events[i]);
+    }
 
     /** EventSink adapter. */
     void accept(const Tuple &t) final { onEvent(t); }

@@ -11,19 +11,4 @@ RandomTable::RandomTable(uint64_t seed)
         word = rng.next();
 }
 
-uint64_t
-RandomTable::randomize(uint64_t v) const
-{
-    uint64_t r = 0;
-    for (unsigned i = 0; i < 8; ++i) {
-        const auto byte = static_cast<uint8_t>(v >> (8 * i));
-        const uint64_t word = table[byte];
-        // Rotate by the byte position so "0x12 in byte 0" and "0x12 in
-        // byte 3" map to different contributions.
-        const unsigned rot = (8 * i) & 63u;
-        r ^= (word << rot) | (word >> ((64 - rot) & 63u));
-    }
-    return r;
-}
-
 } // namespace mhp

@@ -14,6 +14,7 @@
 #define MHP_CORE_RANDOM_TABLE_H
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 namespace mhp {
@@ -33,8 +34,48 @@ class RandomTable
      * table and compose the results. Composition rotates each byte's
      * random word by its byte position so different positions of the
      * same byte value contribute differently.
+     *
+     * Defined inline: this is the innermost operation of every hash
+     * computation, and the batched ingest kernels rely on it folding
+     * into their event loops.
      */
-    uint64_t randomize(uint64_t v) const;
+    uint64_t
+    randomize(uint64_t v) const
+    {
+        uint64_t r = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            const auto byte = static_cast<uint8_t>(v >> (8 * i));
+            const uint64_t word = table[byte];
+            // Rotate by the byte position so "0x12 in byte 0" and
+            // "0x12 in byte 3" map to different contributions.
+            const unsigned rot = (8 * i) & 63u;
+            r ^= (word << rot) | (word >> ((64 - rot) & 63u));
+        }
+        return r;
+    }
+
+    /**
+     * randomize() with the eight byte positions unrolled by hand so
+     * every rotate amount is a compile-time constant and the eight
+     * table loads issue back to back (-O2 does not unroll the loop
+     * form). Bit-identical to randomize(); used by the batched ingest
+     * kernels via TupleHasher::indexHot() while the per-event path
+     * keeps the reference loop.
+     */
+    uint64_t
+    randomizeHot(uint64_t v) const
+    {
+        const uint64_t *const tb = table.data();
+        uint64_t r = tb[static_cast<uint8_t>(v)];
+        r ^= std::rotl(tb[static_cast<uint8_t>(v >> 8)], 8);
+        r ^= std::rotl(tb[static_cast<uint8_t>(v >> 16)], 16);
+        r ^= std::rotl(tb[static_cast<uint8_t>(v >> 24)], 24);
+        r ^= std::rotl(tb[static_cast<uint8_t>(v >> 32)], 32);
+        r ^= std::rotl(tb[static_cast<uint8_t>(v >> 40)], 40);
+        r ^= std::rotl(tb[static_cast<uint8_t>(v >> 48)], 48);
+        r ^= std::rotl(tb[static_cast<uint8_t>(v >> 56)], 56);
+        return r;
+    }
 
   private:
     std::array<uint64_t, 256> table;

@@ -1,5 +1,7 @@
 #include "core/single_hash_profiler.h"
 
+#include <algorithm>
+
 #include "core/area_model.h"
 #include "support/panic.h"
 
@@ -15,6 +17,9 @@ SingleHashProfiler::SingleHashProfiler(const ProfilerConfig &config_)
     config.validate();
     MHP_REQUIRE(config.numHashTables == 1,
                 "SingleHashProfiler requires numHashTables == 1");
+    blockIndexScratch.resize(kIngestBlock);
+    blockSlotScratch.resize(kIngestBlock);
+    blockAbsentScratch.resize(kIngestBlock);
 }
 
 void
@@ -35,6 +40,101 @@ SingleHashProfiler::onEvent(const Tuple &t)
     if (count >= thresholdCount) {
         if (accumulator.insert(t, count) && config.resetOnPromote)
             table.reset(idx);
+    }
+}
+
+template <bool Shielding, bool Reset>
+void
+SingleHashProfiler::ingestBatch(const Tuple *events, size_t count)
+{
+    // Mirrors onEvent() exactly, with the config branches resolved at
+    // compile time, the hash pipeline inlined (indexHot), and the
+    // counter array accessed directly. Events are processed in blocks:
+    // all hash indexes for a block are computed first (a pure function
+    // of each tuple, so hoisting them is invisible), then the event
+    // state machine replays in stream order.
+    uint64_t *const counters = table.raw();
+    uint32_t *const blk = blockIndexScratch.data();
+    uint32_t *const slot = blockSlotScratch.data();
+    uint32_t *const absent = blockAbsentScratch.data();
+    const uint64_t saturation = table.maxValue();
+    const uint64_t threshold = thresholdCount;
+
+    for (size_t base = 0; base < count; base += kIngestBlock) {
+        const size_t m = std::min(kIngestBlock, count - base);
+        const Tuple *const block = events + base;
+
+        // Phase 1: accumulator membership for the whole block, so the
+        // lookups' dependent load chains overlap. The probed slots
+        // stay exact until the first promotion below (increments never
+        // change membership), after which the rest of the block falls
+        // back to live probes. Absent events are compacted into a
+        // dense list (branchlessly) for the hash phase.
+        size_t numAbsent = 0;
+        for (size_t k = 0; k < m; ++k) {
+            slot[k] = accumulator.probeSlot(block[k]);
+            absent[numAbsent] = static_cast<uint32_t>(k);
+            numAbsent += (slot[k] == AccumulatorTable::kNoSlot) ? 1 : 0;
+        }
+
+        // Phase 2: hash indexes — pure per-tuple computation, so
+        // consecutive events' hash pipelines overlap in the core.
+        // Under shielding, only events absent from the accumulator
+        // need indexes; the ablation hashes everything.
+        const size_t hashCount = Shielding ? numAbsent : m;
+        for (size_t j = 0; j < hashCount; ++j) {
+            const size_t k = Shielding ? absent[j] : j;
+            blk[k] = static_cast<uint32_t>(hasher.indexHot(block[k]));
+        }
+
+        // Phase 3: the event state machine, strictly in stream order
+        // (promotions change which later events are shielded).
+        bool reprobe = false;
+        for (size_t k = 0; k < m; ++k) {
+            const Tuple &t = block[k];
+            const uint32_t s =
+                reprobe ? accumulator.probeSlot(t) : slot[k];
+            if (s != AccumulatorTable::kNoSlot) {
+                accumulator.incrementSlotHot(s);
+                if (!Shielding) {
+                    uint64_t &c = counters[blk[k]];
+                    c += (c < saturation) ? 1 : 0;
+                }
+                continue;
+            }
+            if (Shielding && slot[k] != AccumulatorTable::kNoSlot) {
+                // Shielded at probe time but evicted by a mid-block
+                // promotion: phase 2 skipped its index.
+                blk[k] = static_cast<uint32_t>(hasher.indexHot(t));
+            }
+
+            uint64_t &c = counters[blk[k]];
+            c += (c < saturation) ? 1 : 0;
+            if (c >= threshold) {
+                if (accumulator.insert(t, c)) {
+                    // Membership changed: stop trusting probed slots.
+                    reprobe = true;
+                    if (Reset)
+                        c = 0;
+                }
+            }
+        }
+    }
+}
+
+void
+SingleHashProfiler::onEvents(const Tuple *events, size_t count)
+{
+    if (config.shielding) {
+        if (config.resetOnPromote)
+            ingestBatch<true, true>(events, count);
+        else
+            ingestBatch<true, false>(events, count);
+    } else {
+        if (config.resetOnPromote)
+            ingestBatch<false, true>(events, count);
+        else
+            ingestBatch<false, false>(events, count);
     }
 }
 

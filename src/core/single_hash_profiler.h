@@ -18,6 +18,7 @@
 #define MHP_CORE_SINGLE_HASH_PROFILER_H
 
 #include <string>
+#include <vector>
 
 #include "core/accumulator_table.h"
 #include "core/config.h"
@@ -38,6 +39,7 @@ class SingleHashProfiler : public HardwareProfiler
     explicit SingleHashProfiler(const ProfilerConfig &config);
 
     void onEvent(const Tuple &t) override;
+    void onEvents(const Tuple *events, size_t count) override;
     IntervalSnapshot endInterval() override;
     void reset() override;
     std::string name() const override;
@@ -55,11 +57,24 @@ class SingleHashProfiler : public HardwareProfiler
     }
 
   private:
+    /** Events per batched-ingest precompute block. */
+    static constexpr size_t kIngestBlock = 256;
+
+    /** The onEvents() kernel with the config flags baked in. */
+    template <bool Shielding, bool Reset>
+    void ingestBatch(const Tuple *events, size_t count);
+
     ProfilerConfig config;
     TupleHasher hasher;
     CounterTable table;
     AccumulatorTable accumulator;
     uint64_t thresholdCount;
+    /** kIngestBlock precomputed indexes (batched only). */
+    std::vector<uint32_t> blockIndexScratch;
+    /** kIngestBlock precomputed accumulator slots (batched only). */
+    std::vector<uint32_t> blockSlotScratch;
+    /** Positions of non-shielded events in a block (batched only). */
+    std::vector<uint32_t> blockAbsentScratch;
 };
 
 } // namespace mhp

@@ -69,6 +69,54 @@ StratifiedSampler::onEvent(const Tuple &t)
 }
 
 void
+StratifiedSampler::onEvents(const Tuple *events, size_t count)
+{
+    // Same state machine as onEvent(), with the variant branch hoisted
+    // out of the loop and the counter array kept in a local. The
+    // report() path stays a call — it fires once per samplingThreshold
+    // events at most.
+    if (!config.tagged) {
+        uint64_t *const plain = counters.data();
+        const uint64_t sampleAt = config.samplingThreshold;
+        for (size_t e = 0; e < count; ++e) {
+            const Tuple &t = events[e];
+            ++eventClock;
+            uint64_t &c = plain[hasher.indexHot(t)];
+            if (++c >= sampleAt) {
+                c = 0;
+                report(t, sampleAt);
+            }
+        }
+        return;
+    }
+
+    TaggedEntry *const entries = taggedEntries.data();
+    const uint64_t sampleAt = config.samplingThreshold;
+    for (size_t e = 0; e < count; ++e) {
+        const Tuple &t = events[e];
+        ++eventClock;
+        TaggedEntry &entry = entries[hasher.indexHot(t)];
+        const uint64_t tag = partialTag(t);
+        if (!entry.valid) {
+            entry = TaggedEntry{tag, 1, 0, true};
+            continue;
+        }
+        if (entry.tag == tag) {
+            if (++entry.hits >= sampleAt) {
+                entry.hits = 0;
+                report(t, sampleAt);
+            }
+            continue;
+        }
+        // Tag mismatch: count the miss; if the occupant is losing the
+        // entry (more misses than hits), replace it with the newcomer.
+        ++entry.misses;
+        if (entry.misses > entry.hits)
+            entry = TaggedEntry{tag, 1, 0, true};
+    }
+}
+
+void
 StratifiedSampler::report(const Tuple &t, uint64_t weight)
 {
     if (config.aggregatorEntries == 0) {

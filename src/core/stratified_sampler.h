@@ -80,6 +80,7 @@ class StratifiedSampler : public HardwareProfiler
                       uint64_t thresholdCount);
 
     void onEvent(const Tuple &t) override;
+    void onEvents(const Tuple *events, size_t count) override;
     IntervalSnapshot endInterval() override;
     void reset() override;
     std::string name() const override;

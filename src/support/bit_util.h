@@ -69,6 +69,25 @@ xorFold(uint64_t v, unsigned n)
     return r;
 }
 
+/**
+ * xorFold restated so every n-bit chunk is an independent term:
+ * xor over s in {0, n, 2n, ...} of (v >> s) & mask. The serial
+ * shift-until-zero loop in xorFold makes each iteration depend on the
+ * previous one; here the terms only meet at the final xor, so an
+ * out-of-order core overlaps them. Terms past the top of v are zero,
+ * so the result is identical to xorFold for every v and n in [1, 63].
+ * Used by the batched ingest kernels; xorFold stays the reference.
+ */
+constexpr uint64_t
+xorFoldHot(uint64_t v, unsigned n)
+{
+    const uint64_t mask = (1ULL << n) - 1;
+    uint64_t r = 0;
+    for (unsigned s = 0; s < 64; s += n)
+        r ^= (v >> s) & mask;
+    return r;
+}
+
 /** Extract the low n bits of v. */
 constexpr uint64_t
 lowBits(uint64_t v, unsigned n)

@@ -1,5 +1,6 @@
 #include "support/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -11,7 +12,7 @@ namespace mhp {
 
 void
 parallelFor(size_t n, const std::function<void(size_t)> &fn,
-            unsigned threads)
+            unsigned threads, size_t grain)
 {
     MHP_REQUIRE(static_cast<bool>(fn), "parallelFor needs a body");
     if (n == 0)
@@ -33,13 +34,21 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
         return;
     }
 
+    if (grain == 0) {
+        // ~8 chunks per worker: coarse enough that the shared counter
+        // is cold, fine enough to absorb uneven iteration costs.
+        grain = std::max<size_t>(1, n / (static_cast<size_t>(threads) * 8));
+    }
+
     std::atomic<size_t> next{0};
     auto worker = [&] {
         while (true) {
-            const size_t i = next.fetch_add(1);
-            if (i >= n)
+            const size_t base = next.fetch_add(grain);
+            if (base >= n)
                 return;
-            fn(i);
+            const size_t end = std::min(base + grain, n);
+            for (size_t i = base; i < end; ++i)
+                fn(i);
         }
     };
 

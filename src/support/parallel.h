@@ -22,15 +22,24 @@ namespace mhp {
 /**
  * Invoke fn(i) for every i in [0, n), possibly concurrently.
  *
+ * Work is handed out in contiguous chunks of `grain` iterations per
+ * atomic claim rather than one index at a time, so fine-grained loops
+ * (thousands of cheap iterations) do not serialize on the shared
+ * counter. Scheduling never affects results: bodies write only to
+ * their own slots, so the output is bit-identical to the serial run.
+ *
  * @param n Number of iterations.
  * @param fn The body; must be safe to call concurrently for distinct
  *        i (typically: writes only to slot i of a preallocated
  *        output).
  * @param threads Worker count; 0 = min(hardware concurrency, n),
  *        overridable via MHP_THREADS.
+ * @param grain Iterations claimed per chunk; 0 picks a default that
+ *        gives each worker ~8 chunks for load balance. Use 1 for
+ *        coarse, unevenly sized cells (e.g. whole sweep cells).
  */
 void parallelFor(size_t n, const std::function<void(size_t)> &fn,
-                 unsigned threads = 0);
+                 unsigned threads = 0, size_t grain = 0);
 
 } // namespace mhp
 

@@ -1,0 +1,31 @@
+#include "trace/tuple_span.h"
+
+#include <algorithm>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+TupleSpanSource::TupleSpanSource(TupleSpan span_, ProfileKind kind_,
+                                 std::string name_)
+    : span(span_), profileKind(kind_), sourceName(std::move(name_))
+{
+}
+
+Tuple
+TupleSpanSource::next()
+{
+    MHP_ASSERT(pos < span.size(), "next() on an exhausted span source");
+    return span[pos++];
+}
+
+TupleSpan
+TupleSpanSource::take(size_t maxEvents)
+{
+    const size_t n = std::min(maxEvents, span.size() - pos);
+    const TupleSpan block = span.subspan(pos, n);
+    pos += n;
+    return block;
+}
+
+} // namespace mhp

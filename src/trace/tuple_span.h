@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Span-based views over contiguous tuple streams.
+ *
+ * The batched ingest path (HardwareProfiler::onEvents) consumes events
+ * in contiguous blocks. TupleSpan is the non-owning view those blocks
+ * travel as, and TupleSpanSource adapts a span to the pull-style
+ * EventSource interface while also exposing block-wise draining
+ * (take()) so batched consumers never fall back to one-virtual-call-
+ * per-event pumping.
+ */
+
+#ifndef MHP_TRACE_TUPLE_SPAN_H
+#define MHP_TRACE_TUPLE_SPAN_H
+
+#include <span>
+#include <string>
+
+#include "trace/source.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** A non-owning view of a contiguous run of profiling events. */
+using TupleSpan = std::span<const Tuple>;
+
+/**
+ * EventSource adapter over a TupleSpan.
+ *
+ * Works with any per-event consumer through next()/done(), and with
+ * batched consumers through take(), which hands out contiguous
+ * sub-spans and advances the cursor. Mixing the two styles is fine;
+ * both consume from the same position.
+ */
+class TupleSpanSource final : public EventSource
+{
+  public:
+    /**
+     * @param span The viewed stream; the underlying storage must
+     *        outlive the source.
+     * @param kind What the tuples represent.
+     * @param name Stream identifier for reports.
+     */
+    explicit TupleSpanSource(TupleSpan span,
+                             ProfileKind kind = ProfileKind::Value,
+                             std::string name = "span");
+
+    Tuple next() override;
+    bool done() const override { return pos >= span.size(); }
+    ProfileKind kind() const override { return profileKind; }
+    std::string name() const override { return sourceName; }
+
+    /**
+     * Consume up to maxEvents events as one contiguous block. Returns
+     * an empty span once the stream is exhausted.
+     */
+    TupleSpan take(size_t maxEvents);
+
+    /** The not-yet-consumed tail of the stream. */
+    TupleSpan remaining() const { return span.subspan(pos); }
+
+    /** Rewind to the beginning of the stream. */
+    void rewind() { pos = 0; }
+
+    size_t size() const { return span.size(); }
+    size_t position() const { return pos; }
+
+  private:
+    TupleSpan span;
+    ProfileKind profileKind;
+    std::string sourceName;
+    size_t pos = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_TRACE_TUPLE_SPAN_H

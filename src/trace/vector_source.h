@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "trace/source.h"
+#include "trace/tuple_span.h"
 
 namespace mhp {
 
@@ -36,6 +37,9 @@ class VectorSource : public EventSource
 
     /** Rewind to the beginning of the stream. */
     void reset() { pos = 0; }
+
+    /** View of the whole backing stream (for batched consumers). */
+    TupleSpan span() const { return TupleSpan(tuples); }
 
     size_t size() const { return tuples.size(); }
 

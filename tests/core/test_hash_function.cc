@@ -125,6 +125,20 @@ TEST(TupleHasherFamily, MembersAreIndependent)
     }
 }
 
+TEST(TupleHasher, IndexHotMatchesIndex)
+{
+    // The inlined batched-path pipeline must agree with the reference
+    // out-of-line index() for every tuple.
+    TupleHasher h(9, 2048);
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const Tuple t{rng.next(), rng.next()};
+        ASSERT_EQ(h.indexHot(t), h.index(t));
+    }
+    EXPECT_EQ(h.indexHot({0, 0}), h.index({0, 0}));
+    EXPECT_EQ(h.indexHot({~0ULL, ~0ULL}), h.index({~0ULL, ~0ULL}));
+}
+
 TEST(TupleHasherFamily, FamilyIsDeterministicPerSeed)
 {
     TupleHasherFamily a(42, 3, 256), b(42, 3, 256);

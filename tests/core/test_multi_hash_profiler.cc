@@ -154,8 +154,9 @@ TEST(MultiHashProfiler, MinCounterNeverUndercounts)
         const Tuple t{rng.nextBelow(50) * 4 + 0x100, rng.nextBelow(8)};
         p.onEvent(t);
         ++truth[t];
-        if (i % 97 == 0)
+        if (i % 97 == 0) {
             EXPECT_GE(p.minCounterFor(t), truth[t]);
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "core/random_table.h"
+#include "support/rng.h"
 
 namespace mhp {
 namespace {
@@ -61,6 +62,20 @@ TEST(RandomTable, RandomizeIsDeterministic)
 {
     RandomTable t(17);
     EXPECT_EQ(t.randomize(0x12345678ULL), t.randomize(0x12345678ULL));
+}
+
+TEST(RandomTable, RandomizeHotMatchesRandomize)
+{
+    // The unrolled batched-path variant must be bit-identical to the
+    // reference loop.
+    RandomTable t(19);
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.next();
+        ASSERT_EQ(t.randomizeHot(v), t.randomize(v)) << "v=" << v;
+    }
+    EXPECT_EQ(t.randomizeHot(0), t.randomize(0));
+    EXPECT_EQ(t.randomizeHot(~0ULL), t.randomize(~0ULL));
 }
 
 } // namespace

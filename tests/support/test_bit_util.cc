@@ -90,6 +90,22 @@ TEST(BitUtil, XorFoldPreservesParity)
     }
 }
 
+TEST(BitUtil, XorFoldHotMatchesXorFold)
+{
+    // The term-parallel restatement used by the batched hash kernels
+    // must agree with the reference fold for every width and value.
+    Rng rng(5);
+    for (unsigned n = 1; n < 64; ++n) {
+        for (int i = 0; i < 200; ++i) {
+            const uint64_t v = rng.next();
+            ASSERT_EQ(xorFoldHot(v, n), xorFold(v, n))
+                << "v=" << v << " n=" << n;
+        }
+        EXPECT_EQ(xorFoldHot(0, n), xorFold(0, n));
+        EXPECT_EQ(xorFoldHot(~0ULL, n), xorFold(~0ULL, n));
+    }
+}
+
 TEST(BitUtil, LowBits)
 {
     EXPECT_EQ(lowBits(0xffffULL, 8), 0xffULL);

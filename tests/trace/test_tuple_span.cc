@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TupleSpanSource: the span-backed EventSource adapter and its
+ * block-wise take() draining.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/tuple_span.h"
+
+namespace mhp {
+namespace {
+
+std::vector<Tuple>
+numberedStream(size_t n)
+{
+    std::vector<Tuple> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back({i, i * 10});
+    return out;
+}
+
+TEST(TupleSpanSource, DrainsPerEvent)
+{
+    const auto events = numberedStream(5);
+    TupleSpanSource src(TupleSpan(events.data(), events.size()));
+    for (size_t i = 0; i < events.size(); ++i) {
+        ASSERT_FALSE(src.done());
+        EXPECT_EQ(src.next(), events[i]);
+    }
+    EXPECT_TRUE(src.done());
+}
+
+TEST(TupleSpanSource, TakeHandsOutContiguousBlocks)
+{
+    const auto events = numberedStream(10);
+    TupleSpanSource src(TupleSpan(events.data(), events.size()));
+
+    const TupleSpan first = src.take(4);
+    ASSERT_EQ(first.size(), 4u);
+    EXPECT_EQ(first.data(), events.data());
+
+    const TupleSpan second = src.take(4);
+    ASSERT_EQ(second.size(), 4u);
+    EXPECT_EQ(second.data(), events.data() + 4);
+
+    // The final take is clipped to what remains; the next is empty.
+    const TupleSpan third = src.take(4);
+    EXPECT_EQ(third.size(), 2u);
+    EXPECT_TRUE(src.done());
+    EXPECT_TRUE(src.take(4).empty());
+}
+
+TEST(TupleSpanSource, MixedNextAndTakeShareTheCursor)
+{
+    const auto events = numberedStream(6);
+    TupleSpanSource src(TupleSpan(events.data(), events.size()));
+
+    EXPECT_EQ(src.next(), events[0]);
+    const TupleSpan block = src.take(3);
+    ASSERT_EQ(block.size(), 3u);
+    EXPECT_EQ(block.data(), events.data() + 1);
+    EXPECT_EQ(src.next(), events[4]);
+    EXPECT_EQ(src.remaining().size(), 1u);
+}
+
+TEST(TupleSpanSource, RewindRestartsTheStream)
+{
+    const auto events = numberedStream(4);
+    TupleSpanSource src(TupleSpan(events.data(), events.size()));
+    src.take(4);
+    ASSERT_TRUE(src.done());
+    src.rewind();
+    EXPECT_FALSE(src.done());
+    EXPECT_EQ(src.position(), 0u);
+    EXPECT_EQ(src.next(), events[0]);
+}
+
+TEST(TupleSpanSource, ReportsKindAndName)
+{
+    const auto events = numberedStream(1);
+    TupleSpanSource src(TupleSpan(events.data(), events.size()),
+                        ProfileKind::Edge, "my-span");
+    EXPECT_EQ(src.kind(), ProfileKind::Edge);
+    EXPECT_EQ(src.name(), "my-span");
+    EXPECT_EQ(src.size(), 1u);
+}
+
+TEST(TupleSpanSource, EmptySpanIsImmediatelyDone)
+{
+    TupleSpanSource src(TupleSpan{});
+    EXPECT_TRUE(src.done());
+    EXPECT_TRUE(src.take(16).empty());
+    EXPECT_TRUE(src.remaining().empty());
+}
+
+} // namespace
+} // namespace mhp

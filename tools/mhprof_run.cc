@@ -13,14 +13,18 @@
  *   mhprof_run --trace=run.mht --tables=1 --reset --out=bsh.mhp
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "analysis/interval_runner.h"
 #include "analysis/profile_io.h"
 #include "core/factory.h"
 #include "support/cli.h"
 #include "trace/trace_io.h"
+#include "trace/tuple_span.h"
 #include "workload/benchmarks.h"
 
 int
@@ -43,7 +47,18 @@ main(int argc, char **argv)
     cli.addBool("no-retain", false, "P0: flush accumulator per interval");
     cli.addBool("no-conservative", false, "C0: plain counter update");
     cli.addInt("seed", 1, "workload seed");
+    cli.addInt("batch", 4096,
+               "events per onEvents() block (0 = per-event ingest)");
+    cli.addInt("threads", 0,
+               "worker threads for the batched run (0 = auto)");
     cli.parse(argc, argv);
+
+    if (cli.getInt("intervals") < 0 || cli.getInt("batch") < 0 ||
+        cli.getInt("threads") < 0) {
+        std::fprintf(stderr,
+                     "--intervals, --batch and --threads must be >= 0\n");
+        return 1;
+    }
 
     ProfilerConfig cfg;
     cfg.intervalLength =
@@ -88,33 +103,61 @@ main(int argc, char **argv)
     }
 
     // Run against the perfect profiler so the summary includes error.
-    const RunOutput out = runIntervals(
-        *source, *profiler, cfg.intervalLength, cfg.thresholdCount(),
-        static_cast<uint64_t>(cli.getInt("intervals")));
+    const uint64_t numIntervals =
+        static_cast<uint64_t>(cli.getInt("intervals"));
+    const uint64_t batch = static_cast<uint64_t>(cli.getInt("batch"));
+    RunOutput out;
+    if (batch > 0) {
+        // Batched path: materialize the stream once, then score and
+        // capture snapshots in a single runIntervalsSpan() pass
+        // (bit-identical to the per-event run for any batch size or
+        // thread count).
+        std::vector<Tuple> stream;
+        const uint64_t want =
+            numIntervals > UINT64_MAX / cfg.intervalLength
+                ? UINT64_MAX
+                : numIntervals * cfg.intervalLength;
+        // Cap the up-front reservation: the request may far exceed the
+        // stream (or memory); the vector grows normally past the cap.
+        stream.reserve(std::min<uint64_t>(want, 1u << 22));
+        while (stream.size() < want && !source->done())
+            stream.push_back(source->next());
 
-    // Re-derive the snapshots for writing: run again is wasteful, so
-    // instead store what the run recorded. The runner keeps scores,
-    // not snapshots; re-profile the same stream for the file when the
-    // input is a replayable model, else warn.
-    // Simpler and exact: profile AND write in one pass ourselves.
-    // (The run above already consumed the source; for benchmarks we
-    // can recreate it, for traces we reopen the file.)
-    std::unique_ptr<EventSource> source2;
-    if (!trace.empty()) {
-        source2 = std::make_unique<TraceReader>(trace);
-    } else if (cli.getBool("edges")) {
-        source2 = makeEdgeWorkload(
-            bench, static_cast<uint64_t>(cli.getInt("seed")));
+        BatchedRunOptions options;
+        options.batchSize = batch;
+        options.threads =
+            static_cast<unsigned>(cli.getInt("threads"));
+        options.keepSnapshots = true;
+        out = runIntervalsSpan(
+            TupleSpan(stream.data(), stream.size()), {profiler.get()},
+            cfg.intervalLength, cfg.thresholdCount(), numIntervals,
+            options);
+        for (const IntervalSnapshot &snap : out.snapshots[0])
+            writer.writeInterval(snap);
     } else {
-        source2 = makeValueWorkload(
-            bench, static_cast<uint64_t>(cli.getInt("seed")));
-    }
-    auto profiler2 = makeProfiler(cfg);
-    for (uint64_t iv = 0; iv < out.intervalsCompleted; ++iv) {
-        for (uint64_t i = 0;
-             i < cfg.intervalLength && !source2->done(); ++i)
-            profiler2->onEvent(source2->next());
-        writer.writeInterval(profiler2->endInterval());
+        out = runIntervals(*source, *profiler, cfg.intervalLength,
+                           cfg.thresholdCount(), numIntervals);
+
+        // The per-event runner keeps scores, not snapshots, so
+        // re-profile the same stream for the file (replayable for
+        // benchmarks; traces reopen the file).
+        std::unique_ptr<EventSource> source2;
+        if (!trace.empty()) {
+            source2 = std::make_unique<TraceReader>(trace);
+        } else if (cli.getBool("edges")) {
+            source2 = makeEdgeWorkload(
+                bench, static_cast<uint64_t>(cli.getInt("seed")));
+        } else {
+            source2 = makeValueWorkload(
+                bench, static_cast<uint64_t>(cli.getInt("seed")));
+        }
+        auto profiler2 = makeProfiler(cfg);
+        for (uint64_t iv = 0; iv < out.intervalsCompleted; ++iv) {
+            for (uint64_t i = 0;
+                 i < cfg.intervalLength && !source2->done(); ++i)
+                profiler2->onEvent(source2->next());
+            writer.writeInterval(profiler2->endInterval());
+        }
     }
 
     std::printf("%s: %llu intervals, %s, avg error %.2f%%, %.1f "

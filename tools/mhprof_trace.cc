@@ -37,8 +37,11 @@ main(int argc, char **argv)
     const auto seed = static_cast<uint64_t>(cli.getInt("seed"));
     const auto events = static_cast<uint64_t>(cli.getInt("events"));
 
-    std::unique_ptr<EventSource> source;
+    // The machine must outlive the probes: a probe's destructor
+    // unhooks itself from the machine, so declare the machine first
+    // (destroyed last).
     std::unique_ptr<Machine> machine; // owns the sim, if used
+    std::unique_ptr<EventSource> source;
     if (cli.getBool("sim")) {
         CodegenConfig gen;
         gen.seed = seed;
