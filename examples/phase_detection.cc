@@ -53,9 +53,13 @@ main(int argc, char **argv)
         for (uint64_t i = 0; i < cfg.intervalLength; ++i)
             profiler->onEvent(workload->next());
         snapshots.push_back(profiler->endInterval());
-        if (writer.ok())
-            writer.writeInterval(snapshots.back());
+        if (writer.ok() &&
+            !writer.writeInterval(snapshots.back()).isOk()) {
+            std::fprintf(stderr, "warning: profile write failed\n");
+        }
     }
+    if (const Status bad = writer.close(); !bad.isOk())
+        std::fprintf(stderr, "warning: %s\n", bad.toString().c_str());
 
     SimpointAnalysis sp(
         static_cast<unsigned>(cli.getInt("max-phases")));

@@ -40,7 +40,10 @@ main(int argc, char **argv)
             return 1;
         }
         pump(*workload, writer, intervals * interval_length);
-        writer.close();
+        if (const Status bad = writer.close(); !bad.isOk()) {
+            std::fprintf(stderr, "%s\n", bad.toString().c_str());
+            return 1;
+        }
         std::printf("recorded %llu events to %s\n",
                     static_cast<unsigned long long>(
                         writer.eventsWritten()),
@@ -49,10 +52,15 @@ main(int argc, char **argv)
 
     // Replay through two configurations on the identical stream.
     auto replay = [&](const ProfilerConfig &cfg) {
-        TraceReader reader(path);
+        auto reader = TraceReader::open(path);
+        if (!reader.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         reader.status().toString().c_str());
+            std::exit(1);
+        }
         auto profiler = makeProfiler(cfg);
         const RunOutput out =
-            runIntervals(reader, *profiler, interval_length,
+            runIntervals(**reader, *profiler, interval_length,
                          cfg.thresholdCount(), intervals);
         std::printf("  %-10s error %.2f%% (FP %.2f%%, FN %.2f%%), "
                     "%.1f candidates/interval\n",

@@ -70,6 +70,9 @@ struct ErrorBreakdown
 
     ErrorBreakdown &operator+=(const ErrorBreakdown &o);
     ErrorBreakdown &operator/=(double d);
+
+    friend bool operator==(const ErrorBreakdown &,
+                           const ErrorBreakdown &) = default;
 };
 
 /** Category occurrence counts for one interval (diagnostics). */
@@ -79,6 +82,9 @@ struct CategoryCounts
     uint64_t falseNegative = 0;
     uint64_t neutralPositive = 0;
     uint64_t neutralNegative = 0;
+
+    friend bool operator==(const CategoryCounts &,
+                           const CategoryCounts &) = default;
 };
 
 /** Result of scoring one interval. */
@@ -88,6 +94,9 @@ struct IntervalScore
     CategoryCounts counts;
     uint64_t perfectCandidates = 0;
     uint64_t hardwareCandidates = 0;
+
+    friend bool operator==(const IntervalScore &,
+                           const IntervalScore &) = default;
 };
 
 /**

@@ -41,6 +41,9 @@ struct RunResult
 
     /** Mean candidates per interval in the perfect profile. */
     double meanPerfectCandidates() const;
+
+    friend bool operator==(const RunResult &, const RunResult &) =
+        default;
 };
 
 /** Per-interval stream statistics shared by all profilers in a run. */
@@ -50,6 +53,9 @@ struct StreamStats
     std::vector<uint64_t> distinctTuples;
 
     double meanDistinctTuples() const;
+
+    friend bool operator==(const StreamStats &, const StreamStats &) =
+        default;
 };
 
 /** Everything a run produced. */

@@ -1,115 +1,294 @@
 #include "analysis/profile_io.h"
 
+#include <cstdio>
 #include <cstring>
 
-#include "support/panic.h"
+#include "support/bytes.h"
+#include "support/crc32.h"
 
 namespace mhp {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'H', 'P', 'R', 'O', 'F', '1', '\0'};
-constexpr size_t kHeaderSize = 32;
+constexpr char kMagicV2[8] = {'M', 'H', 'P', 'R', 'O', 'F', '2', '\0'};
+constexpr char kMagicV1[8] = {'M', 'H', 'P', 'R', 'O', 'F', '1', '\0'};
 
+/** v2: magic(8) kind(1) pad(7) len(8) thr(8) count(8) crc(4). */
+constexpr size_t kHeaderSizeV2 = 44;
+constexpr size_t kHeaderCrcSpan = 40; ///< bytes the header CRC covers
+
+/** v1: magic(8) kind(1) pad(7) len(8) thr(8). */
+constexpr size_t kHeaderSizeV1 = 32;
+
+constexpr size_t kRecordSize = 24;
+constexpr size_t kCrcSize = 4;
+
+/** v2 sentinel: the writer is still open (count not yet patched). */
+constexpr uint64_t kUnterminated = UINT64_MAX;
+
+/** Serialize a v2 header with the given interval count. */
 void
-putLe64(uint8_t *p, uint64_t v)
+buildHeaderV2(uint8_t (&header)[kHeaderSizeV2], ProfileKind kind,
+              uint64_t intervalLength, uint64_t thresholdCount,
+              uint64_t intervalCount)
 {
-    for (int i = 0; i < 8; ++i)
-        p[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-uint64_t
-getLe64(const uint8_t *p)
-{
-    uint64_t v = 0;
-    for (int i = 7; i >= 0; --i)
-        v = (v << 8) | p[i];
-    return v;
+    std::memset(header, 0, sizeof(header));
+    std::memcpy(header, kMagicV2, sizeof(kMagicV2));
+    header[8] = static_cast<uint8_t>(kind);
+    putLe64(header + 16, intervalLength);
+    putLe64(header + 24, thresholdCount);
+    putLe64(header + 32, intervalCount);
+    putLe32(header + 40, crc32(header, kHeaderCrcSpan));
 }
 
 } // namespace
 
-ProfileWriter::ProfileWriter(const std::string &path, ProfileKind kind,
-                             uint64_t intervalLength,
-                             uint64_t thresholdCount)
-    : out(path, std::ios::binary)
+ProfileWriter::ProfileWriter(const std::string &path, ProfileKind kind_,
+                             uint64_t intervalLength_,
+                             uint64_t thresholdCount_)
+    : finalPath(path), tempPath(path + ".tmp"),
+      out(tempPath, std::ios::binary | std::ios::trunc), kind(kind_),
+      intervalLength(intervalLength_), thresholdCount(thresholdCount_)
 {
     if (!out)
         return;
-    uint8_t header[kHeaderSize] = {};
-    std::memcpy(header, kMagic, sizeof(kMagic));
-    header[8] = static_cast<uint8_t>(kind);
-    putLe64(header + 16, intervalLength);
-    putLe64(header + 24, thresholdCount);
-    out.write(reinterpret_cast<const char *>(header), kHeaderSize);
+    uint8_t header[kHeaderSizeV2];
+    buildHeaderV2(header, kind, intervalLength, thresholdCount,
+                  kUnterminated);
+    out.write(reinterpret_cast<const char *>(header), kHeaderSizeV2);
 }
 
-void
+ProfileWriter::~ProfileWriter()
+{
+    // Best-effort finalize; callers that care about errors call
+    // close() themselves first.
+    Status s = close();
+    (void)s;
+}
+
+Status
 ProfileWriter::writeInterval(const IntervalSnapshot &snapshot)
 {
-    MHP_ASSERT(ok(), "write on a bad profile stream");
-    uint8_t le[8];
-    putLe64(le, snapshot.size());
-    out.write(reinterpret_cast<const char *>(le), 8);
+    if (closed)
+        return Status::failedPrecondition(finalPath +
+                                          ": write after close");
+    if (!out)
+        return Status::ioError(tempPath + ": cannot write profile");
+
+    ByteBuffer payload;
+    payload.u64(snapshot.size());
     for (const auto &cand : snapshot) {
-        uint8_t rec[24];
-        putLe64(rec, cand.tuple.first);
-        putLe64(rec + 8, cand.tuple.second);
-        putLe64(rec + 16, cand.count);
-        out.write(reinterpret_cast<const char *>(rec), 24);
+        payload.u64(cand.tuple.first);
+        payload.u64(cand.tuple.second);
+        payload.u64(cand.count);
     }
+    uint8_t crcLe[kCrcSize];
+    putLe32(crcLe, crc32(payload.data(), payload.size()));
+
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.write(reinterpret_cast<const char *>(crcLe), kCrcSize);
+    if (!out)
+        return Status::ioError(tempPath + ": short write");
     ++intervals;
+    return Status::ok();
 }
 
-ProfileReader::ProfileReader(const std::string &path)
-    : in(path, std::ios::binary)
+Status
+ProfileWriter::close()
 {
-    MHP_REQUIRE(static_cast<bool>(in), "cannot open profile file");
-    uint8_t header[kHeaderSize];
-    in.read(reinterpret_cast<char *>(header), kHeaderSize);
-    MHP_REQUIRE(in.gcount() == kHeaderSize, "truncated profile header");
-    MHP_REQUIRE(std::memcmp(header, kMagic, sizeof(kMagic)) == 0,
-                "bad profile magic");
-    MHP_REQUIRE(header[8] <=
-                    static_cast<uint8_t>(ProfileKind::Mispredict),
-                "unknown profile kind");
-    profileKind = static_cast<ProfileKind>(header[8]);
-    length = getLe64(header + 16);
-    threshold = getLe64(header + 24);
+    if (closed)
+        return Status::ok();
+    closed = true;
+    if (!out) {
+        std::remove(tempPath.c_str());
+        return Status::ioError(tempPath + ": cannot open for writing");
+    }
+
+    // Back-patch the interval count (and thus the header CRC), then
+    // publish the finished file under its final name in one rename.
+    uint8_t header[kHeaderSizeV2];
+    buildHeaderV2(header, kind, intervalLength, thresholdCount,
+                  intervals);
+    out.seekp(0);
+    out.write(reinterpret_cast<const char *>(header), kHeaderSizeV2);
+    out.flush();
+    const bool wrote = static_cast<bool>(out);
+    out.close();
+    if (!wrote) {
+        std::remove(tempPath.c_str());
+        return Status::ioError(tempPath + ": cannot finalize profile");
+    }
+    if (std::rename(tempPath.c_str(), finalPath.c_str()) != 0) {
+        std::remove(tempPath.c_str());
+        return Status::ioError("cannot rename " + tempPath + " to " +
+                               finalPath);
+    }
+    return Status::ok();
 }
 
-bool
+Status
+ProfileReader::corruptHere(const std::string &reason) const
+{
+    return Status::corruptDataf(
+        "%s: %s (offset %llu)", path.c_str(), reason.c_str(),
+        static_cast<unsigned long long>(offset));
+}
+
+StatusOr<ProfileReader>
+ProfileReader::open(const std::string &path)
+{
+    ProfileReader r;
+    r.path = path;
+    r.in.open(path, std::ios::binary);
+    if (!r.in)
+        return Status::notFound(path + ": cannot open profile file");
+
+    r.in.seekg(0, std::ios::end);
+    r.fileSize = static_cast<uint64_t>(r.in.tellg());
+    r.in.seekg(0);
+
+    uint8_t magic[8];
+    r.in.read(reinterpret_cast<char *>(magic), sizeof(magic));
+    if (r.in.gcount() != static_cast<std::streamsize>(sizeof(magic)))
+        return r.corruptHere("truncated profile header");
+
+    if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+        r.version = 2;
+        uint8_t header[kHeaderSizeV2];
+        std::memcpy(header, magic, sizeof(magic));
+        r.in.read(reinterpret_cast<char *>(header) + sizeof(magic),
+                  kHeaderSizeV2 - sizeof(magic));
+        if (r.in.gcount() !=
+            static_cast<std::streamsize>(kHeaderSizeV2 - sizeof(magic)))
+            return r.corruptHere("truncated profile header");
+        const uint32_t stored = getLe32(header + 40);
+        const uint32_t computed = crc32(header, kHeaderCrcSpan);
+        if (stored != computed) {
+            return Status::corruptDataf(
+                "%s: header CRC mismatch (stored %08x, computed %08x)",
+                path.c_str(), stored, computed);
+        }
+        if (header[8] > static_cast<uint8_t>(ProfileKind::Mispredict))
+            return r.corruptHere("unknown profile kind");
+        r.profileKind = static_cast<ProfileKind>(header[8]);
+        r.length = getLe64(header + 16);
+        r.threshold = getLe64(header + 24);
+        r.intervalCount = getLe64(header + 32);
+        if (r.intervalCount == kUnterminated) {
+            return r.corruptHere(
+                "unterminated profile (writer never closed)");
+        }
+        // Every interval needs at least its count field and CRC, so a
+        // corrupt count can never drive reads past the file.
+        const uint64_t body = r.fileSize - kHeaderSizeV2;
+        if (r.intervalCount > body / (8 + kCrcSize))
+            return r.corruptHere("interval count exceeds file size");
+        r.offset = kHeaderSizeV2;
+        return r;
+    }
+
+    if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+        r.version = 1;
+        uint8_t header[kHeaderSizeV1];
+        std::memcpy(header, magic, sizeof(magic));
+        r.in.read(reinterpret_cast<char *>(header) + sizeof(magic),
+                  kHeaderSizeV1 - sizeof(magic));
+        if (r.in.gcount() !=
+            static_cast<std::streamsize>(kHeaderSizeV1 - sizeof(magic)))
+            return r.corruptHere("truncated profile header");
+        if (header[8] > static_cast<uint8_t>(ProfileKind::Mispredict))
+            return r.corruptHere("unknown profile kind");
+        r.profileKind = static_cast<ProfileKind>(header[8]);
+        r.length = getLe64(header + 16);
+        r.threshold = getLe64(header + 24);
+        r.offset = kHeaderSizeV1;
+        return r;
+    }
+
+    return Status::corruptData(path + ": bad profile magic");
+}
+
+StatusOr<bool>
 ProfileReader::readInterval(IntervalSnapshot &snapshot)
 {
-    uint8_t le[8];
-    in.read(reinterpret_cast<char *>(le), 8);
-    if (in.gcount() == 0)
-        return false; // clean EOF
-    MHP_REQUIRE(in.gcount() == 8, "truncated profile interval header");
-    const uint64_t count = getLe64(le);
-    IntervalSnapshot out_snapshot;
-    out_snapshot.reserve(count);
+    if (version >= 2 && intervalsRead == intervalCount)
+        return false;
+
+    uint8_t countLe[8];
+    in.read(reinterpret_cast<char *>(countLe), 8);
+    if (version == 1 && in.gcount() == 0)
+        return false; // v1: clean EOF
+    if (in.gcount() != 8)
+        return corruptHere("truncated profile interval header");
+    const uint64_t count = getLe64(countLe);
+
+    // Bound the allocation and the read loop by what the file can
+    // actually hold past this point; a corrupt count field must fail
+    // here, not in operator new.
+    const uint64_t remaining = fileSize - offset - 8;
+    const uint64_t tail = version >= 2 ? kCrcSize : 0;
+    if (count > (remaining < tail ? 0 : (remaining - tail)) / kRecordSize)
+        return corruptHere("candidate count exceeds remaining file size");
+
+    Crc32 crc;
+    crc.update(countLe, sizeof(countLe));
+
+    IntervalSnapshot result;
+    result.reserve(count);
+    offset += 8;
     for (uint64_t i = 0; i < count; ++i) {
-        uint8_t rec[24];
-        in.read(reinterpret_cast<char *>(rec), 24);
-        MHP_REQUIRE(in.gcount() == 24, "truncated profile record");
+        uint8_t rec[kRecordSize];
+        in.read(reinterpret_cast<char *>(rec), kRecordSize);
+        if (in.gcount() != static_cast<std::streamsize>(kRecordSize))
+            return corruptHere("truncated profile record");
+        crc.update(rec, kRecordSize);
         CandidateCount cand;
         cand.tuple.first = getLe64(rec);
         cand.tuple.second = getLe64(rec + 8);
         cand.count = getLe64(rec + 16);
-        out_snapshot.push_back(cand);
+        result.push_back(cand);
+        offset += kRecordSize;
     }
-    snapshot = std::move(out_snapshot);
+
+    if (version >= 2) {
+        uint8_t crcLe[kCrcSize];
+        in.read(reinterpret_cast<char *>(crcLe), kCrcSize);
+        if (in.gcount() != static_cast<std::streamsize>(kCrcSize))
+            return corruptHere("truncated interval CRC");
+        const uint32_t stored = getLe32(crcLe);
+        if (stored != crc.value()) {
+            return Status::corruptDataf(
+                "%s: interval %llu CRC mismatch at offset %llu "
+                "(stored %08x, computed %08x)",
+                path.c_str(),
+                static_cast<unsigned long long>(intervalsRead),
+                static_cast<unsigned long long>(offset), stored,
+                crc.value());
+        }
+        offset += kCrcSize;
+    }
+
+    ++intervalsRead;
+    snapshot = std::move(result);
     return true;
 }
 
-std::vector<IntervalSnapshot>
+StatusOr<std::vector<IntervalSnapshot>>
 ProfileReader::readAll()
 {
     std::vector<IntervalSnapshot> all;
     IntervalSnapshot snapshot;
-    while (readInterval(snapshot))
+    for (;;) {
+        StatusOr<bool> got = readInterval(snapshot);
+        if (!got.isOk())
+            return got.status();
+        if (!*got)
+            break;
         all.push_back(std::move(snapshot));
+    }
+    if (version >= 2 && offset != fileSize)
+        return corruptHere("trailing garbage after last interval");
     return all;
 }
 

@@ -4,18 +4,31 @@
  *
  * A profile file stores the sequence of interval snapshots a profiler
  * produced — the artifact a run-time optimizer (or an offline tool)
- * consumes. Format:
+ * consumes. The current on-disk format is v2 (see docs/FORMATS.md for
+ * the byte-level specification):
  *
- *   header:   magic "MHPROF1\0" (8 bytes)
- *             kind (1 byte)    reserved (7 bytes)
+ *   header:   magic "MHPROF2\0" (8 bytes)
+ *             kind (1 byte)    reserved (7 bytes, zero)
  *             intervalLength (8 bytes LE)
  *             thresholdCount (8 bytes LE)
+ *             intervalCount (8 bytes LE, back-patched on close)
+ *             headerCrc (4 bytes LE, CRC-32 of bytes [0,40))
  *   per interval:
  *             candidateCount (8 bytes LE)
  *             candidateCount * { first, second, count } (24 bytes LE)
+ *             intervalCrc (4 bytes LE, CRC-32 of count + records)
  *
- * The interval count is implicit (read until EOF), so profiles can be
- * streamed and appended.
+ * The writer streams to "<path>.tmp" and renames into place on
+ * close(), so a crash never leaves a half-written profile under the
+ * final name. The reader validates both CRCs, bounds every allocation
+ * by the remaining file size, and detects truncation from the explicit
+ * interval count; it still accepts the legacy v1 format ("MHPROF1\0",
+ * no CRCs, implicit interval count read until EOF).
+ *
+ * Everything here treats the file as untrusted input: failures are
+ * reported as Status values whose messages carry path, offset, and
+ * reason — nothing in this file aborts the process (see
+ * docs/ROBUSTNESS.md for the error-handling contract).
  */
 
 #ifndef MHP_ANALYSIS_PROFILE_IO_H
@@ -27,16 +40,20 @@
 #include <vector>
 
 #include "core/profiler.h"
+#include "support/status.h"
 #include "trace/tuple.h"
 
 namespace mhp {
 
-/** Streams interval snapshots into a .mhp file. */
+/** Streams interval snapshots into a .mhp file (v2, checksummed). */
 class ProfileWriter
 {
   public:
     /**
-     * @param path Output file (truncated).
+     * Open "<path>.tmp" for writing; the file appears under its final
+     * name only when close() succeeds.
+     *
+     * @param path Final output file (replaced atomically on close).
      * @param kind What the tuples represent.
      * @param intervalLength Events per interval (metadata).
      * @param thresholdCount Candidate threshold (metadata).
@@ -44,43 +61,88 @@ class ProfileWriter
     ProfileWriter(const std::string &path, ProfileKind kind,
                   uint64_t intervalLength, uint64_t thresholdCount);
 
+    /** Abandons (close()s) the profile if still open; errors are lost. */
+    ~ProfileWriter();
+
+    ProfileWriter(const ProfileWriter &) = delete;
+    ProfileWriter &operator=(const ProfileWriter &) = delete;
+
     bool ok() const { return static_cast<bool>(out); }
 
-    /** Append one interval's snapshot. */
-    void writeInterval(const IntervalSnapshot &snapshot);
+    /** Append one interval's snapshot (checksummed). */
+    Status writeInterval(const IntervalSnapshot &snapshot);
+
+    /**
+     * Back-patch the interval count, flush, and atomically rename the
+     * temp file into place. Idempotent; returns the first error.
+     */
+    Status close();
 
     uint64_t intervalsWritten() const { return intervals; }
 
   private:
+    std::string finalPath;
+    std::string tempPath;
     std::ofstream out;
     uint64_t intervals = 0;
+    ProfileKind kind;
+    uint64_t intervalLength;
+    uint64_t thresholdCount;
+    bool closed = false;
 };
 
-/** Reads a .mhp file back. */
+/** Reads a .mhp file back (v2 with validation; v1 accepted). */
 class ProfileReader
 {
   public:
-    /** Open a profile; fatal on a missing/corrupt header. */
-    explicit ProfileReader(const std::string &path);
+    /**
+     * Open and validate a profile header. Every failure — missing
+     * file, bad magic, corrupt header CRC, unterminated v2 writer —
+     * comes back as a Status naming the path and reason.
+     */
+    static StatusOr<ProfileReader> open(const std::string &path);
 
     ProfileKind kind() const { return profileKind; }
     uint64_t intervalLength() const { return length; }
     uint64_t thresholdCount() const { return threshold; }
 
+    /** On-disk format version: 1 (legacy) or 2. */
+    unsigned formatVersion() const { return version; }
+
+    /** Intervals the v2 header promises (0 for v1: implicit). */
+    uint64_t declaredIntervals() const
+    {
+        return version >= 2 ? intervalCount : 0;
+    }
+
     /**
      * Read the next snapshot.
-     * @return false at end of file (snapshot untouched).
+     * @return true if one was read, false at clean end of profile, or
+     *         a CorruptData/IoError Status (path + offset + reason).
      */
-    bool readInterval(IntervalSnapshot &snapshot);
+    StatusOr<bool> readInterval(IntervalSnapshot &snapshot);
 
-    /** Read all remaining snapshots. */
-    std::vector<IntervalSnapshot> readAll();
+    /**
+     * Read all remaining snapshots; additionally rejects trailing
+     * garbage after the last declared v2 interval.
+     */
+    StatusOr<std::vector<IntervalSnapshot>> readAll();
 
   private:
+    ProfileReader() = default;
+
+    Status corruptHere(const std::string &reason) const;
+
+    std::string path;
     std::ifstream in;
     ProfileKind profileKind = ProfileKind::Value;
     uint64_t length = 0;
     uint64_t threshold = 0;
+    unsigned version = 2;
+    uint64_t intervalCount = 0; ///< declared (v2 only)
+    uint64_t intervalsRead = 0;
+    uint64_t fileSize = 0;
+    uint64_t offset = 0; ///< bytes consumed so far (diagnostics)
 };
 
 } // namespace mhp

@@ -1,13 +1,189 @@
 #include "analysis/sweep_runner.h"
 
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "core/factory.h"
+#include "support/bytes.h"
+#include "support/crc32.h"
 #include "support/panic.h"
 #include "support/parallel.h"
 #include "workload/benchmarks.h"
 
 namespace mhp {
+
+namespace {
+
+/** Checkpoint journal: magic(8) planFingerprint(8) crc(4) pad(4). */
+constexpr char kCkptMagic[8] = {'M', 'H', 'P', 'S', 'W', 'P', '1', '\0'};
+constexpr size_t kCkptHeaderSize = 24;
+constexpr size_t kCkptCrcSpan = 16;
+
+/** Serialize one finished cell into a journal record payload. */
+void
+serializeCell(ByteBuffer &payload, uint64_t cellIndex,
+              const SweepCellResult &cell)
+{
+    payload.u64(cellIndex);
+    payload.u64(cell.benchmarkIndex);
+    payload.u64(cell.configIndex);
+    payload.u64(cell.intervalLengthIndex);
+    payload.str(cell.benchmark);
+    payload.str(cell.configLabel);
+    payload.u64(cell.intervalLength);
+    payload.u64(cell.thresholdCount);
+    payload.str(cell.run.profilerName);
+    payload.u64(cell.run.intervals.size());
+    for (const IntervalScore &score : cell.run.intervals) {
+        payload.f64(score.breakdown.falsePositive);
+        payload.f64(score.breakdown.falseNegative);
+        payload.f64(score.breakdown.neutralPositive);
+        payload.f64(score.breakdown.neutralNegative);
+        payload.u64(score.counts.falsePositive);
+        payload.u64(score.counts.falseNegative);
+        payload.u64(score.counts.neutralPositive);
+        payload.u64(score.counts.neutralNegative);
+        payload.u64(score.perfectCandidates);
+        payload.u64(score.hardwareCandidates);
+    }
+    payload.u64(cell.stream.distinctTuples.size());
+    for (uint64_t d : cell.stream.distinctTuples)
+        payload.u64(d);
+    payload.u64(cell.eventsConsumed);
+    payload.u64(cell.intervalsCompleted);
+}
+
+/** Parse a journal record payload; false on any bounds violation. */
+bool
+deserializeCell(ByteCursor &cursor, uint64_t &cellIndex,
+                SweepCellResult &cell)
+{
+    if (!cursor.u64(cellIndex) || !cursor.u64(cell.benchmarkIndex) ||
+        !cursor.u64(cell.configIndex) ||
+        !cursor.u64(cell.intervalLengthIndex) ||
+        !cursor.str(cell.benchmark) || !cursor.str(cell.configLabel) ||
+        !cursor.u64(cell.intervalLength) ||
+        !cursor.u64(cell.thresholdCount) ||
+        !cursor.str(cell.run.profilerName))
+        return false;
+
+    uint64_t scores;
+    if (!cursor.u64(scores) || scores > cursor.remaining() / (10 * 8))
+        return false;
+    cell.run.intervals.resize(scores);
+    for (IntervalScore &score : cell.run.intervals) {
+        if (!cursor.f64(score.breakdown.falsePositive) ||
+            !cursor.f64(score.breakdown.falseNegative) ||
+            !cursor.f64(score.breakdown.neutralPositive) ||
+            !cursor.f64(score.breakdown.neutralNegative) ||
+            !cursor.u64(score.counts.falsePositive) ||
+            !cursor.u64(score.counts.falseNegative) ||
+            !cursor.u64(score.counts.neutralPositive) ||
+            !cursor.u64(score.counts.neutralNegative) ||
+            !cursor.u64(score.perfectCandidates) ||
+            !cursor.u64(score.hardwareCandidates))
+            return false;
+    }
+
+    uint64_t distinct;
+    if (!cursor.u64(distinct) || distinct > cursor.remaining() / 8)
+        return false;
+    cell.stream.distinctTuples.resize(distinct);
+    for (uint64_t &d : cell.stream.distinctTuples) {
+        if (!cursor.u64(d))
+            return false;
+    }
+
+    return cursor.u64(cell.eventsConsumed) &&
+           cursor.u64(cell.intervalsCompleted) && cursor.atEnd();
+}
+
+/** What survived of an existing checkpoint journal. */
+struct LoadedCheckpoint
+{
+    std::unordered_map<uint64_t, SweepCellResult> completed;
+
+    /** File offset just past the last intact record. */
+    uint64_t goodOffset = 0;
+
+    /** False when the file does not exist (start a fresh journal). */
+    bool exists = false;
+};
+
+StatusOr<LoadedCheckpoint>
+loadCheckpoint(const std::string &path, uint64_t fingerprint,
+               size_t cellCount)
+{
+    LoadedCheckpoint loaded;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return loaded; // no journal yet: fresh run
+
+    loaded.exists = true;
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (bytes.size() < kCkptHeaderSize) {
+        // A kill during journal creation can cut the header short.
+        // Restart from scratch if what's there is our own debris (a
+        // prefix of the magic); refuse to clobber anything else.
+        const size_t prefix =
+            bytes.size() < sizeof(kCkptMagic) ? bytes.size()
+                                              : sizeof(kCkptMagic);
+        if (prefix > 0 &&
+            std::memcmp(bytes.data(), kCkptMagic, prefix) != 0)
+            return Status::corruptData(
+                path + ": not a sweep checkpoint file");
+        loaded.exists = false;
+        return loaded;
+    }
+    if (std::memcmp(bytes.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
+        return Status::corruptData(path +
+                                   ": not a sweep checkpoint file");
+    const uint32_t stored = getLe32(bytes.data() + 16);
+    if (stored != crc32(bytes.data(), kCkptCrcSpan))
+        return Status::corruptData(path +
+                                   ": checkpoint header CRC mismatch");
+    if (getLe64(bytes.data() + 8) != fingerprint) {
+        return Status::invalidArgument(
+            path + ": checkpoint was written by a different sweep "
+                   "plan (delete it to start over)");
+    }
+
+    // Records: size(8) payload crc(4). Anything that fails to parse —
+    // a record cut short by a kill, a flipped bit — ends the journal
+    // at the last intact record; those cells simply get recomputed.
+    size_t pos = kCkptHeaderSize;
+    loaded.goodOffset = pos;
+    while (pos + 8 <= bytes.size()) {
+        const uint64_t size = getLe64(bytes.data() + pos);
+        if (size > bytes.size() - pos - 8 ||
+            bytes.size() - pos - 8 - size < 4)
+            break; // truncated trailing record
+        const uint8_t *payload = bytes.data() + pos + 8;
+        const uint32_t recordCrc =
+            getLe32(payload + static_cast<size_t>(size));
+        if (recordCrc != crc32(payload, static_cast<size_t>(size)))
+            break; // corrupt trailing record
+        ByteCursor cursor(payload, static_cast<size_t>(size));
+        uint64_t cellIndex;
+        SweepCellResult cell;
+        if (!deserializeCell(cursor, cellIndex, cell) ||
+            cellIndex >= cellCount)
+            break;
+        loaded.completed[cellIndex] = std::move(cell);
+        pos += 8 + static_cast<size_t>(size) + 4;
+        loaded.goodOffset = pos;
+    }
+    return loaded;
+}
+
+} // namespace
 
 SweepRunner::SweepRunner(SweepPlan plan) : sweepPlan(std::move(plan))
 {
@@ -26,6 +202,40 @@ SweepRunner::cellCount() const
                                : sweepPlan.intervalLengths.size();
     return sweepPlan.benchmarks.size() * sweepPlan.configs.size() *
            lengths;
+}
+
+uint64_t
+SweepRunner::planFingerprint() const
+{
+    // Everything that affects any cell's output goes into the
+    // fingerprint, so a checkpoint can never be resumed against a
+    // plan that would compute different results for the same index.
+    ByteBuffer plan;
+    for (const auto &name : sweepPlan.benchmarks)
+        plan.str(name);
+    plan.u8(sweepPlan.edges ? 1 : 0);
+    for (const auto &config : sweepPlan.configs) {
+        plan.str(config.label);
+        const ProfilerConfig &c = config.config;
+        plan.u64(c.intervalLength);
+        plan.f64(c.candidateThreshold);
+        plan.u64(c.totalHashEntries);
+        plan.u64(c.numHashTables);
+        plan.u64(c.counterBits);
+        plan.u8(c.retaining ? 1 : 0);
+        plan.u8(c.resetOnPromote ? 1 : 0);
+        plan.u8(c.conservativeUpdate ? 1 : 0);
+        plan.u8(c.shielding ? 1 : 0);
+        plan.u8(c.flushHashTables ? 1 : 0);
+        plan.u64(c.accumulatorEntries);
+        plan.u64(c.seed);
+    }
+    for (uint64_t length : sweepPlan.intervalLengths)
+        plan.u64(length);
+    plan.u64(sweepPlan.intervals);
+    plan.u64(sweepPlan.workloadSeed);
+    plan.u64(sweepPlan.batchSize);
+    return fnv1a64(plan.data(), plan.size());
 }
 
 std::vector<SweepCellResult>
@@ -82,6 +292,129 @@ SweepRunner::run(unsigned threads) const
         },
         threads, /*grain=*/1);
 
+    return out;
+}
+
+StatusOr<std::vector<SweepCellResult>>
+SweepRunner::runWithCheckpoint(const std::string &checkpointPath,
+                               unsigned threads) const
+{
+    const SweepPlan &plan = sweepPlan;
+    const size_t lengths =
+        plan.intervalLengths.empty() ? 1 : plan.intervalLengths.size();
+    const size_t cells = cellCount();
+    const uint64_t fingerprint = planFingerprint();
+
+    StatusOr<LoadedCheckpoint> loaded =
+        loadCheckpoint(checkpointPath, fingerprint, cells);
+    if (!loaded.isOk())
+        return loaded.status();
+
+    // Drop any corrupt/truncated tail before appending, then reopen
+    // the journal (or start one) for the cells still to compute.
+    std::ofstream journal;
+    if (loaded->exists) {
+        std::error_code ec;
+        std::filesystem::resize_file(checkpointPath, loaded->goodOffset,
+                                     ec);
+        if (ec) {
+            return Status::ioError(checkpointPath +
+                                   ": cannot truncate checkpoint: " +
+                                   ec.message());
+        }
+        journal.open(checkpointPath,
+                     std::ios::binary | std::ios::app);
+    } else {
+        journal.open(checkpointPath,
+                     std::ios::binary | std::ios::trunc);
+        if (journal) {
+            uint8_t header[kCkptHeaderSize] = {};
+            std::memcpy(header, kCkptMagic, sizeof(kCkptMagic));
+            putLe64(header + 8, fingerprint);
+            putLe32(header + 16, crc32(header, kCkptCrcSpan));
+            journal.write(reinterpret_cast<const char *>(header),
+                          kCkptHeaderSize);
+            journal.flush();
+        }
+    }
+    if (!journal) {
+        return Status::ioError(checkpointPath +
+                               ": cannot open checkpoint for writing");
+    }
+
+    std::vector<SweepCellResult> out(cells);
+    std::mutex journalMutex;
+    bool journalHealthy = true;
+
+    parallelFor(
+        cells,
+        [&](size_t cell) {
+            if (auto it = loaded->completed.find(cell);
+                it != loaded->completed.end()) {
+                out[cell] = it->second;
+                return;
+            }
+
+            const size_t b = cell / (plan.configs.size() * lengths);
+            const size_t rem = cell % (plan.configs.size() * lengths);
+            const size_t c = rem / lengths;
+            const size_t l = rem % lengths;
+
+            SweepCellResult &result = out[cell];
+            result.benchmarkIndex = b;
+            result.configIndex = c;
+            result.intervalLengthIndex = l;
+            result.benchmark = plan.benchmarks[b];
+            result.configLabel = plan.configs[c].label;
+
+            ProfilerConfig config = plan.configs[c].config;
+            if (!plan.intervalLengths.empty())
+                config.intervalLength = plan.intervalLengths[l];
+            result.intervalLength = config.intervalLength;
+            result.thresholdCount = config.thresholdCount();
+
+            std::unique_ptr<EventSource> source =
+                plan.edges
+                    ? std::unique_ptr<EventSource>(makeEdgeWorkload(
+                          result.benchmark, plan.workloadSeed))
+                    : std::unique_ptr<EventSource>(makeValueWorkload(
+                          result.benchmark, plan.workloadSeed));
+            auto profiler = makeProfiler(config);
+
+            RunOutput run = runIntervalsBatched(
+                *source, {profiler.get()}, config.intervalLength,
+                config.thresholdCount(), plan.intervals, plan.batchSize);
+
+            result.run = std::move(run.results[0]);
+            result.stream = std::move(run.stream);
+            result.eventsConsumed = run.eventsConsumed;
+            result.intervalsCompleted = run.intervalsCompleted;
+
+            // Journal the finished cell. Each record is written and
+            // flushed whole under the lock, so a kill can only ever
+            // truncate the final record — which resume discards.
+            ByteBuffer payload;
+            serializeCell(payload, cell, result);
+            uint8_t sizeLe[8], crcLe[4];
+            putLe64(sizeLe, payload.size());
+            putLe32(crcLe, crc32(payload.data(), payload.size()));
+            std::lock_guard<std::mutex> lock(journalMutex);
+            journal.write(reinterpret_cast<const char *>(sizeLe), 8);
+            journal.write(
+                reinterpret_cast<const char *>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+            journal.write(reinterpret_cast<const char *>(crcLe), 4);
+            journal.flush();
+            if (!journal)
+                journalHealthy = false;
+        },
+        threads, /*grain=*/1);
+
+    if (!journalHealthy) {
+        return Status::ioError(checkpointPath +
+                               ": short write appending checkpoint "
+                               "record");
+    }
     return out;
 }
 

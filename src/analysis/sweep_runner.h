@@ -11,6 +11,14 @@
  * tests/analysis/test_sweep_runner). This is the engine behind the
  * figure benches' suite sweeps and any tool that scores many profiler
  * configurations at once.
+ *
+ * Long sweeps can be made crash-safe with runWithCheckpoint(): every
+ * finished cell is journaled (CRC-protected, fingerprinted against
+ * the plan) to a checkpoint file, and a re-run of the same plan loads
+ * the journal, recomputes only the missing cells, and returns output
+ * bit-identical to an uninterrupted run — a killed multi-hour sweep
+ * resumes from where it stopped (see docs/FORMATS.md for the journal
+ * format and tests/integration/test_sweep_resume for the guarantee).
  */
 
 #ifndef MHP_ANALYSIS_SWEEP_RUNNER_H
@@ -22,6 +30,7 @@
 
 #include "analysis/interval_runner.h"
 #include "core/config.h"
+#include "support/status.h"
 
 namespace mhp {
 
@@ -78,6 +87,9 @@ struct SweepCellResult
     StreamStats stream;
     uint64_t eventsConsumed = 0;
     uint64_t intervalsCompleted = 0;
+
+    friend bool operator==(const SweepCellResult &,
+                           const SweepCellResult &) = default;
 };
 
 /** Shards a SweepPlan over worker threads with deterministic merging. */
@@ -99,7 +111,25 @@ class SweepRunner
      */
     std::vector<SweepCellResult> run(unsigned threads = 0) const;
 
+    /**
+     * Crash-safe variant of run(): journal every completed cell to
+     * checkpointPath and skip cells already journaled by an earlier
+     * (killed) run of the same plan. The journal is fingerprinted —
+     * resuming with a modified plan is an InvalidArgument error — and
+     * each record is CRC-protected, so a record half-written at the
+     * moment of a crash is discarded and its cell recomputed. The
+     * returned results are bit-identical to an uninterrupted run();
+     * the checkpoint file is left in place for inspection (delete it
+     * to force a full re-run).
+     */
+    StatusOr<std::vector<SweepCellResult>>
+    runWithCheckpoint(const std::string &checkpointPath,
+                      unsigned threads = 0) const;
+
     const SweepPlan &plan() const { return sweepPlan; }
+
+    /** Stable fingerprint of the plan (checkpoint compatibility). */
+    uint64_t planFingerprint() const;
 
   private:
     SweepPlan sweepPlan;

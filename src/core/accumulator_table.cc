@@ -175,6 +175,14 @@ AccumulatorTable::reset()
     dropped = 0;
 }
 
+void
+AccumulatorTable::flipCountBit(uint64_t slotIndex, unsigned bit)
+{
+    MHP_ASSERT(slotIndex < slots.size(), "fault slot out of range");
+    MHP_ASSERT(bit < 64, "fault bit out of range");
+    slots[slotIndex].count ^= 1ULL << bit;
+}
+
 uint64_t
 AccumulatorTable::countOf(const Tuple &t) const
 {

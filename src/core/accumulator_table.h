@@ -126,6 +126,15 @@ class AccumulatorTable
     /** Whether a present tuple is replaceable (tests). */
     bool isReplaceable(const Tuple &t) const;
 
+    /**
+     * Soft-error hook (sim/fault_injector): XOR one bit of the
+     * counter stored in a slot. Faults land on the raw storage only —
+     * the threshold comparator runs on increments, so a flip never
+     * re-pins an entry by itself. Flips into empty slots are absorbed
+     * (insert() overwrites the count), mirroring real hardware.
+     */
+    void flipCountBit(uint64_t slotIndex, unsigned bit);
+
   private:
     struct Slot
     {

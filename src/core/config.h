@@ -22,6 +22,7 @@
 #include <string>
 
 #include "support/panic.h"
+#include "support/status.h"
 
 namespace mhp {
 
@@ -105,18 +106,38 @@ struct ProfilerConfig
         return totalHashEntries / numHashTables;
     }
 
+    /**
+     * Validate the configuration; an InvalidArgument Status names the
+     * offending knob. This is the path for user-supplied configs
+     * (tool flags); internal callers with trusted configs can keep
+     * using validate().
+     */
+    Status
+    check() const
+    {
+        if (intervalLength == 0)
+            return Status::invalidArgument(
+                "intervalLength must be positive");
+        if (!(candidateThreshold > 0.0 && candidateThreshold <= 1.0))
+            return Status::invalidArgument(
+                "candidateThreshold must be in (0, 1]");
+        if (numHashTables < 1)
+            return Status::invalidArgument(
+                "need at least one hash table");
+        if (entriesPerTable() < 1)
+            return Status::invalidArgument(
+                "more hash tables than total entries");
+        if (counterBits < 1 || counterBits > 64)
+            return Status::invalidArgument("counterBits out of range");
+        return Status::ok();
+    }
+
     /** Abort on nonsensical parameter combinations. */
     void
     validate() const
     {
-        MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
-        MHP_REQUIRE(candidateThreshold > 0.0 && candidateThreshold <= 1.0,
-                    "candidateThreshold must be in (0, 1]");
-        MHP_REQUIRE(numHashTables >= 1, "need at least one hash table");
-        MHP_REQUIRE(entriesPerTable() >= 1,
-                    "more hash tables than total entries");
-        MHP_REQUIRE(counterBits >= 1 && counterBits <= 64,
-                    "counterBits out of range");
+        const Status status = check();
+        MHP_REQUIRE(status.isOk(), status.message().c_str());
     }
 
     /** Compact description, e.g. "mh4 C1R0P1 2048e 1M/0.1%". */

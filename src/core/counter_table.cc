@@ -27,6 +27,14 @@ CounterTable::increment(uint64_t index)
 }
 
 void
+CounterTable::flipBit(uint64_t index, unsigned bit)
+{
+    MHP_ASSERT(index < counts.size(), "fault index out of range");
+    MHP_ASSERT(bit < counterBits(), "fault bit outside counter width");
+    counts[index] ^= 1ULL << bit;
+}
+
+void
 CounterTable::flush()
 {
     std::fill(counts.begin(), counts.end(), 0);

@@ -11,6 +11,7 @@
 #ifndef MHP_CORE_COUNTER_TABLE_H
 #define MHP_CORE_COUNTER_TABLE_H
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,16 @@ class CounterTable
 
     uint64_t size() const { return counts.size(); }
     uint64_t maxValue() const { return saturation; }
+
+    /** Physical width of each counter in bits. */
+    unsigned counterBits() const { return std::bit_width(saturation); }
+
+    /**
+     * Soft-error hook (sim/fault_injector): XOR one physical bit of a
+     * counter. bit must lie within the counter's width, so the value
+     * stays representable in hardware (<= maxValue()).
+     */
+    void flipBit(uint64_t index, unsigned bit);
 
     /**
      * Raw counter storage for batched ingest kernels. Updates through

@@ -66,6 +66,17 @@ class MultiHashProfiler : public HardwareProfiler
         return accumulator.droppedInsertions();
     }
 
+    /** All n hash tables and the accumulator, for fault injection. */
+    FaultTargets
+    faultTargets() override
+    {
+        FaultTargets targets;
+        for (CounterTable &table : tables)
+            targets.counterTables.push_back(&table);
+        targets.accumulator = &accumulator;
+        return targets;
+    }
+
   private:
     /** Events per batched-ingest precompute block. */
     static constexpr size_t kIngestBlock = 256;

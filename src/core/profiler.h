@@ -23,6 +23,20 @@
 
 namespace mhp {
 
+class CounterTable;
+class AccumulatorTable;
+
+/**
+ * Mutable views of a profiler's physical counter state, exposed for
+ * soft-error injection (sim/fault_injector). Pointers are owned by the
+ * profiler and stay valid for its lifetime.
+ */
+struct FaultTargets
+{
+    std::vector<CounterTable *> counterTables;
+    AccumulatorTable *accumulator = nullptr;
+};
+
 /** One captured candidate: a tuple and its measured frequency. */
 struct CandidateCount
 {
@@ -86,6 +100,13 @@ class HardwareProfiler : public EventSink
 
     /** Total hardware storage this configuration requires, in bytes. */
     virtual uint64_t areaBytes() const = 0;
+
+    /**
+     * The profiler's physical state for fault injection; profilers
+     * with no injectable hardware state (oracles, software baselines)
+     * return the default empty set.
+     */
+    virtual FaultTargets faultTargets() { return {}; }
 };
 
 inline void

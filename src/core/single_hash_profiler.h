@@ -56,6 +56,13 @@ class SingleHashProfiler : public HardwareProfiler
         return accumulator.droppedInsertions();
     }
 
+    /** The hash table and accumulator, for soft-error injection. */
+    FaultTargets
+    faultTargets() override
+    {
+        return {{&table}, &accumulator};
+    }
+
   private:
     /** Events per batched-ingest precompute block. */
     static constexpr size_t kIngestBlock = 256;

@@ -1,0 +1,118 @@
+#include "sim/fault_injector.h"
+
+#include <cmath>
+
+#include "core/accumulator_table.h"
+#include "core/counter_table.h"
+#include "core/profiler.h"
+#include "support/panic.h"
+
+namespace mhp {
+
+FaultInjector::FaultInjector(const FaultInjectorConfig &config)
+    : rate(config.faultsPerEvent < 0.0   ? 0.0
+           : config.faultsPerEvent > 1.0 ? 1.0
+                                         : config.faultsPerEvent),
+      rng(config.seed)
+{
+}
+
+void
+FaultInjector::attach(HardwareProfiler &profiler)
+{
+    const FaultTargets targets = profiler.faultTargets();
+    for (CounterTable *table : targets.counterTables)
+        attach(*table);
+    if (targets.accumulator != nullptr)
+        attach(*targets.accumulator);
+}
+
+void
+FaultInjector::attach(CounterTable &table)
+{
+    counters.push_back(&table);
+}
+
+void
+FaultInjector::attach(AccumulatorTable &table)
+{
+    accumulators.push_back(&table);
+}
+
+uint64_t
+FaultInjector::targetBits() const
+{
+    uint64_t bits = 0;
+    for (const CounterTable *table : counters)
+        bits += table->size() * table->counterBits();
+    for (const AccumulatorTable *table : accumulators)
+        bits += table->capacity() * 64;
+    return bits;
+}
+
+uint64_t
+FaultInjector::nextGap()
+{
+    // Geometric(p) gap between Bernoulli successes, sampled inline
+    // (std::geometric_distribution is implementation-defined, which
+    // would break cross-platform reproducibility of fault streams).
+    if (rate >= 1.0)
+        return 1;
+    double u = rng.nextDouble();
+    if (u <= 0.0)
+        u = 1e-300;
+    const double gap = std::floor(std::log(u) / std::log1p(-rate));
+    if (gap >= 1e18)
+        return UINT64_MAX;
+    return 1 + static_cast<uint64_t>(gap);
+}
+
+void
+FaultInjector::injectOne()
+{
+    const uint64_t total = targetBits();
+    MHP_ASSERT(total > 0, "fault injection with no attached targets");
+    uint64_t site = rng.nextBelow(total);
+    for (CounterTable *table : counters) {
+        const uint64_t bits = table->size() * table->counterBits();
+        if (site < bits) {
+            table->flipBit(site / table->counterBits(),
+                           static_cast<unsigned>(site %
+                                                 table->counterBits()));
+            ++injected;
+            return;
+        }
+        site -= bits;
+    }
+    for (AccumulatorTable *table : accumulators) {
+        const uint64_t bits = table->capacity() * 64;
+        if (site < bits) {
+            table->flipCountBit(site / 64,
+                                static_cast<unsigned>(site % 64));
+            ++injected;
+            return;
+        }
+        site -= bits;
+    }
+    MHP_PANIC("fault site fell outside attached targets");
+}
+
+uint64_t
+FaultInjector::advance(uint64_t events)
+{
+    if (rate <= 0.0 || (counters.empty() && accumulators.empty()))
+        return 0;
+    uint64_t now = 0;
+    if (eventsUntilNext == 0)
+        eventsUntilNext = nextGap();
+    while (events >= eventsUntilNext) {
+        events -= eventsUntilNext;
+        injectOne();
+        ++now;
+        eventsUntilNext = nextGap();
+    }
+    eventsUntilNext -= events;
+    return now;
+}
+
+} // namespace mhp

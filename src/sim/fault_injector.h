@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Soft-error injection into profiler hardware state.
+ *
+ * Raw hardware counters can silently mislead (CounterPoint; Röhl et
+ * al.): particle strikes and marginal cells flip bits in SRAM. The
+ * profiler architectures keep all their state in two structures — the
+ * untagged counter tables and the tagged accumulator — so a realistic
+ * soft-error model is "flip a uniformly random physical bit of that
+ * state at some rate per profiled event". This injector implements
+ * exactly that, deterministically from a seed, so fault experiments
+ * are reproducible and the mhprof_faults tool can sweep rates and
+ * quantify how gracefully each architecture's FP/FN error degrades.
+ *
+ * Fault arrivals are a Bernoulli process per event, sampled with
+ * geometric gaps so advancing over millions of fault-free events
+ * costs O(faults), not O(events).
+ */
+
+#ifndef MHP_SIM_FAULT_INJECTOR_H
+#define MHP_SIM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace mhp {
+
+class AccumulatorTable;
+class CounterTable;
+class HardwareProfiler;
+
+/** Knobs of the soft-error model. */
+struct FaultInjectorConfig
+{
+    /**
+     * Probability that one profiled event is accompanied by one bit
+     * flip somewhere in the attached state. Clamped to [0, 1];
+     * 0 disables injection entirely.
+     */
+    double faultsPerEvent = 0.0;
+
+    /** Seed for the fault arrival/location stream. */
+    uint64_t seed = 1;
+};
+
+/** Flips bits in attached counter/accumulator state at a set rate. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultInjectorConfig &config);
+
+    /** Attach every fault target a profiler exposes. */
+    void attach(HardwareProfiler &profiler);
+
+    /** Attach one counter table (entries x counterBits fault sites). */
+    void attach(CounterTable &table);
+
+    /** Attach an accumulator (capacity x 64 count-bit fault sites). */
+    void attach(AccumulatorTable &table);
+
+    /**
+     * Account for `events` profiled events, injecting however many
+     * faults the model schedules in that span.
+     * @return Faults injected by this call.
+     */
+    uint64_t advance(uint64_t events);
+
+    /** Faults injected since construction. */
+    uint64_t faultsInjected() const { return injected; }
+
+    /** Total attached physical bits a fault can land on. */
+    uint64_t targetBits() const;
+
+  private:
+    void injectOne();
+    uint64_t nextGap();
+
+    double rate;
+    Rng rng;
+    uint64_t injected = 0;
+    uint64_t eventsUntilNext = 0; ///< countdown; 0 = not yet sampled
+    std::vector<CounterTable *> counters;
+    std::vector<AccumulatorTable *> accumulators;
+};
+
+} // namespace mhp
+
+#endif // MHP_SIM_FAULT_INJECTOR_H

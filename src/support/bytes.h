@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Little-endian byte (de)serialization shared by every on-disk format
+ * (.mht traces, .mhp profiles, sweep checkpoints).
+ *
+ * ByteBuffer builds a record in memory so it can be checksummed and
+ * written in one piece; ByteCursor reads one back with every access
+ * bounds-checked — a cursor never reads past its range, it just
+ * reports failure, which the format code turns into a CorruptData
+ * Status. Doubles travel as their IEEE-754 bit patterns, so round
+ * trips are exact (checkpoint resume depends on this).
+ */
+
+#ifndef MHP_SUPPORT_BYTES_H
+#define MHP_SUPPORT_BYTES_H
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mhp {
+
+/** Store a 64-bit value little-endian. */
+inline void
+putLe64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+/** Load a little-endian 64-bit value. */
+inline uint64_t
+getLe64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** Store a 32-bit value little-endian. */
+inline void
+putLe32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+/** Load a little-endian 32-bit value. */
+inline uint32_t
+getLe32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** FNV-1a 64-bit hash (plan fingerprints in checkpoint files). */
+inline uint64_t
+fnv1a64(const void *data, size_t size)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Append-only little-endian record builder. */
+class ByteBuffer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        bytes.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        uint8_t le[4];
+        putLe32(le, v);
+        bytes.insert(bytes.end(), le, le + 4);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        uint8_t le[8];
+        putLe64(le, v);
+        bytes.insert(bytes.end(), le, le + 8);
+    }
+
+    /** Exact IEEE-754 bit pattern; round trips losslessly. */
+    void f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes.insert(bytes.end(), s.begin(), s.end());
+    }
+
+    const uint8_t *data() const { return bytes.data(); }
+    size_t size() const { return bytes.size(); }
+
+  private:
+    std::vector<uint8_t> bytes;
+};
+
+/** Bounds-checked little-endian record reader. */
+class ByteCursor
+{
+  public:
+    ByteCursor(const uint8_t *data, size_t size)
+        : base(data), length(size)
+    {
+    }
+
+    bool
+    u8(uint8_t &v)
+    {
+        if (pos + 1 > length)
+            return false;
+        v = base[pos];
+        pos += 1;
+        return true;
+    }
+
+    bool
+    u32(uint32_t &v)
+    {
+        if (pos + 4 > length)
+            return false;
+        v = getLe32(base + pos);
+        pos += 4;
+        return true;
+    }
+
+    bool
+    u64(uint64_t &v)
+    {
+        if (pos + 8 > length)
+            return false;
+        v = getLe64(base + pos);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        uint64_t bits;
+        if (!u64(bits))
+            return false;
+        v = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    /**
+     * Length-prefixed string; the declared length is validated against
+     * the remaining bytes before any allocation.
+     */
+    bool
+    str(std::string &s)
+    {
+        uint64_t n;
+        if (!u64(n) || n > remaining())
+            return false;
+        s.assign(reinterpret_cast<const char *>(base + pos),
+                 static_cast<size_t>(n));
+        pos += static_cast<size_t>(n);
+        return true;
+    }
+
+    size_t remaining() const { return length - pos; }
+    size_t position() const { return pos; }
+    bool atEnd() const { return pos == length; }
+
+  private:
+    const uint8_t *base;
+    size_t length;
+    size_t pos = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_BYTES_H

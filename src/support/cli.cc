@@ -54,11 +54,43 @@ CliParser::printHelp(const char *prog) const
 void
 CliParser::parse(int argc, char **argv)
 {
+    const Status status = tryParse(argc, argv);
+    if (helpRequested()) {
+        printHelp(argv[0]);
+        std::exit(0);
+    }
+    if (!status.isOk()) {
+        std::fprintf(stderr, "%s\n", status.message().c_str());
+        std::exit(1);
+    }
+}
+
+namespace {
+
+/** Whole-string numeric validation (strtoll/strtod accept prefixes). */
+bool
+parsesAsNumber(bool wantInteger, const std::string &value)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    if (wantInteger)
+        std::strtoll(value.c_str(), &end, 10);
+    else
+        std::strtod(value.c_str(), &end);
+    return end == value.c_str() + value.size();
+}
+
+} // namespace
+
+Status
+CliParser::tryParse(int argc, char **argv)
+{
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            printHelp(argv[0]);
-            std::exit(0);
+            helpWanted = true;
+            continue;
         }
         if (arg.rfind("--", 0) != 0) {
             args.push_back(arg);
@@ -75,9 +107,8 @@ CliParser::parse(int argc, char **argv)
         }
         auto it = flags.find(name);
         if (it == flags.end()) {
-            std::fprintf(stderr, "unknown flag: --%s (try --help)\n",
-                         name.c_str());
-            std::exit(1);
+            return Status::invalidArgument("unknown flag: --" + name +
+                                           " (try --help)");
         }
         if (!have_value) {
             if (it->second.kind == Kind::Bool) {
@@ -85,13 +116,25 @@ CliParser::parse(int argc, char **argv)
             } else if (i + 1 < argc) {
                 value = argv[++i];
             } else {
-                std::fprintf(stderr, "flag --%s needs a value\n",
-                             name.c_str());
-                std::exit(1);
+                return Status::invalidArgument("flag --" + name +
+                                               " needs a value");
             }
+        }
+        if (it->second.kind == Kind::Int &&
+            !parsesAsNumber(true, value)) {
+            return Status::invalidArgument(
+                "flag --" + name + " needs an integer, got \"" + value +
+                "\"");
+        }
+        if (it->second.kind == Kind::Double &&
+            !parsesAsNumber(false, value)) {
+            return Status::invalidArgument(
+                "flag --" + name + " needs a number, got \"" + value +
+                "\"");
         }
         it->second.value = value;
     }
+    return Status::ok();
 }
 
 const CliParser::Flag &

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "support/status.h"
+
 namespace mhp {
 
 /** Declarative flag registry + parser. */
@@ -36,9 +38,24 @@ class CliParser
 
     /**
      * Parse argv. Prints help and exits on --help; exits with an error
-     * on unknown flags or malformed values.
+     * on unknown flags or malformed values (a tryParse() wrapper for
+     * binaries with no cleanup to do).
      */
     void parse(int argc, char **argv);
+
+    /**
+     * Parse argv without ever exiting: unknown flags, missing values,
+     * and non-numeric int/double flag values come back as an
+     * InvalidArgument Status for the caller to report. --help sets
+     * helpRequested() instead of printing.
+     */
+    Status tryParse(int argc, char **argv);
+
+    /** True when tryParse() saw --help / -h. */
+    bool helpRequested() const { return helpWanted; }
+
+    /** Print the flag table (what parse() shows on --help). */
+    void printHelp(const char *prog) const;
 
     std::string getString(const std::string &name) const;
     int64_t getInt(const std::string &name) const;
@@ -59,11 +76,11 @@ class CliParser
     };
 
     const Flag &find(const std::string &name, Kind kind) const;
-    void printHelp(const char *prog) const;
 
     std::string description;
     std::map<std::string, Flag> flags;
     std::vector<std::string> args;
+    bool helpWanted = false;
 };
 
 } // namespace mhp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for on-disk
+ * integrity checks.
+ *
+ * This is the same CRC zlib/gzip use, so external tools can verify the
+ * checksums in .mhp v2 and sweep-checkpoint files. The table is built
+ * at compile time; incremental use goes through the Crc32 accumulator.
+ */
+
+#ifndef MHP_SUPPORT_CRC32_H
+#define MHP_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mhp {
+
+namespace detail {
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t n = 0; n < 256; ++n) {
+        uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}();
+
+} // namespace detail
+
+/** Incremental CRC-32 accumulator. */
+class Crc32
+{
+  public:
+    /** Fold a byte range into the running CRC. */
+    void
+    update(const void *data, size_t size)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        uint32_t c = state;
+        for (size_t i = 0; i < size; ++i)
+            c = detail::kCrc32Table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+        state = c;
+    }
+
+    /** The CRC of everything folded in so far. */
+    uint32_t value() const { return state ^ 0xFFFFFFFFu; }
+
+    /** Forget everything; ready for a fresh stream. */
+    void reset() { state = 0xFFFFFFFFu; }
+
+  private:
+    uint32_t state = 0xFFFFFFFFu;
+};
+
+/** One-shot CRC-32 of a byte range. */
+inline uint32_t
+crc32(const void *data, size_t size)
+{
+    Crc32 crc;
+    crc.update(data, size);
+    return crc.value();
+}
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_CRC32_H

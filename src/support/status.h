@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Recoverable-error types for untrusted-input paths.
+ *
+ * The library distinguishes two failure families (see
+ * docs/ROBUSTNESS.md):
+ *
+ *  - *internal invariants* — "can never happen" conditions; these stay
+ *    on MHP_ASSERT / MHP_PANIC and abort, because continuing would run
+ *    on corrupted program state;
+ *  - *untrusted input* — file contents, command lines, user-supplied
+ *    configurations; these must never kill the process from library
+ *    code. Functions on these paths return a Status (or StatusOr<T>)
+ *    that the caller — usually a tool's main() — turns into a nonzero
+ *    exit and a one-line diagnostic.
+ *
+ * Status is deliberately tiny: a code plus a human-readable message
+ * that already carries all context (path, offset, reason), so callers
+ * can print it verbatim.
+ */
+
+#ifndef MHP_SUPPORT_STATUS_H
+#define MHP_SUPPORT_STATUS_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+/** Failure family of a Status. */
+enum class StatusCode
+{
+    Ok,
+    InvalidArgument, ///< malformed flag / nonsensical configuration
+    NotFound,        ///< a named input does not exist / cannot open
+    CorruptData,     ///< an input file failed validation (CRC, bounds)
+    IoError,         ///< the OS failed a read/write/rename
+    FailedPrecondition, ///< the call is not valid in the current state
+};
+
+/** Printable name of a status code. */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid argument";
+      case StatusCode::NotFound: return "not found";
+      case StatusCode::CorruptData: return "corrupt data";
+      case StatusCode::IoError: return "i/o error";
+      case StatusCode::FailedPrecondition: return "failed precondition";
+    }
+    return "unknown";
+}
+
+/** A recoverable error (or success) from an untrusted-input path. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : statusCode(code), text(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    static Status
+    invalidArgument(std::string message)
+    {
+        return Status(StatusCode::InvalidArgument, std::move(message));
+    }
+
+    static Status
+    notFound(std::string message)
+    {
+        return Status(StatusCode::NotFound, std::move(message));
+    }
+
+    static Status
+    corruptData(std::string message)
+    {
+        return Status(StatusCode::CorruptData, std::move(message));
+    }
+
+    static Status
+    ioError(std::string message)
+    {
+        return Status(StatusCode::IoError, std::move(message));
+    }
+
+    static Status
+    failedPrecondition(std::string message)
+    {
+        return Status(StatusCode::FailedPrecondition,
+                      std::move(message));
+    }
+
+    /** printf-style constructor for diagnostics with offsets. */
+    [[gnu::format(printf, 1, 2)]] static Status
+    corruptDataf(const char *fmt, ...)
+    {
+        char buf[512];
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        return corruptData(buf);
+    }
+
+    bool isOk() const { return statusCode == StatusCode::Ok; }
+    StatusCode code() const { return statusCode; }
+    const std::string &message() const { return text; }
+
+    /** "corrupt data: bad record CRC at offset 52" (or "ok"). */
+    std::string
+    toString() const
+    {
+        if (isOk())
+            return "ok";
+        return std::string(statusCodeName(statusCode)) + ": " + text;
+    }
+
+    friend bool operator==(const Status &, const Status &) = default;
+
+  private:
+    StatusCode statusCode = StatusCode::Ok;
+    std::string text;
+};
+
+/** A T or the Status explaining why there is none. */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** An error; must not be an ok Status. */
+    StatusOr(Status s) : errorStatus(std::move(s)) // NOLINT(implicit)
+    {
+        MHP_ASSERT(!errorStatus.isOk(),
+                   "StatusOr constructed from an ok Status");
+    }
+
+    StatusOr(T v) // NOLINT(implicit)
+        : engaged(true)
+    {
+        new (&holder.item) T(std::move(v));
+    }
+
+    bool isOk() const { return engaged; }
+    const Status &status() const { return errorStatus; }
+
+    /** The value; asserts isOk(). */
+    T &
+    value()
+    {
+        MHP_ASSERT(engaged, "value() on an error StatusOr");
+        return holder.item;
+    }
+
+    const T &
+    value() const
+    {
+        MHP_ASSERT(engaged, "value() on an error StatusOr");
+        return holder.item;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    StatusOr(StatusOr &&other) noexcept(
+        std::is_nothrow_move_constructible_v<T>)
+        : errorStatus(std::move(other.errorStatus)),
+          engaged(other.engaged)
+    {
+        if (engaged)
+            new (&holder.item) T(std::move(other.holder.item));
+    }
+
+    StatusOr(const StatusOr &other)
+        : errorStatus(other.errorStatus), engaged(other.engaged)
+    {
+        if (engaged)
+            new (&holder.item) T(other.holder.item);
+    }
+
+    StatusOr &
+    operator=(StatusOr other) noexcept(
+        std::is_nothrow_move_constructible_v<T>)
+    {
+        this->~StatusOr();
+        new (this) StatusOr(std::move(other));
+        return *this;
+    }
+
+    ~StatusOr()
+    {
+        if (engaged)
+            holder.item.~T();
+    }
+
+  private:
+    /** Manual engagement avoids requiring T to be default-constructible. */
+    union Holder
+    {
+        char none;
+        T item;
+        Holder() : none(0) {}
+        ~Holder() {}
+    };
+
+    Status errorStatus;
+    Holder holder;
+    bool engaged = false;
+};
+
+} // namespace mhp
+
+/** Propagate an error Status from a callee to the caller. */
+#define MHP_RETURN_IF_ERROR(expr)                                           \
+    do {                                                                    \
+        ::mhp::Status mhpStatusTmp_ = (expr);                               \
+        if (!mhpStatusTmp_.isOk())                                          \
+            return mhpStatusTmp_;                                           \
+    } while (0)
+
+#endif // MHP_SUPPORT_STATUS_H

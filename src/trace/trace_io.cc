@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "support/bytes.h"
 #include "support/panic.h"
 
 namespace mhp {
@@ -13,26 +14,10 @@ constexpr size_t kHeaderSize = 24;
 constexpr size_t kRecordSize = 16;
 constexpr size_t kBufferRecords = 4096;
 
-void
-putLe64(uint8_t *p, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        p[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-uint64_t
-getLe64(const uint8_t *p)
-{
-    uint64_t v = 0;
-    for (int i = 7; i >= 0; --i)
-        v = (v << 8) | p[i];
-    return v;
-}
-
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path, ProfileKind kind)
-    : out(path, std::ios::binary)
+TraceWriter::TraceWriter(const std::string &path_, ProfileKind kind)
+    : path(path_), out(path_, std::ios::binary)
 {
     buffer.reserve(kBufferRecords * kRecordSize);
     if (!out)
@@ -46,7 +31,8 @@ TraceWriter::TraceWriter(const std::string &path, ProfileKind kind)
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    Status s = close();
+    (void)s;
 }
 
 void
@@ -72,37 +58,73 @@ TraceWriter::flushBuffer()
     }
 }
 
-void
+Status
 TraceWriter::close()
 {
     if (closed)
-        return;
+        return Status::ok();
     closed = true;
+    if (!out)
+        return Status::ioError(path + ": cannot open trace for writing");
     flushBuffer();
-    if (out) {
-        out.seekp(16);
-        uint8_t le[8];
-        putLe64(le, count);
-        out.write(reinterpret_cast<const char *>(le), 8);
-        out.flush();
-    }
+    out.seekp(16);
+    uint8_t le[8];
+    putLe64(le, count);
+    out.write(reinterpret_cast<const char *>(le), 8);
+    out.flush();
+    if (!out)
+        return Status::ioError(path + ": short write closing trace");
+    return Status::ok();
 }
 
 TraceReader::TraceReader(const std::string &path_)
     : path(path_), in(path_, std::ios::binary)
 {
-    MHP_REQUIRE(static_cast<bool>(in), "cannot open trace file");
+}
+
+StatusOr<std::unique_ptr<TraceReader>>
+TraceReader::open(const std::string &path)
+{
+    std::unique_ptr<TraceReader> r(new TraceReader(path));
+    if (!r->in)
+        return Status::notFound(path + ": cannot open trace file");
+
+    r->in.seekg(0, std::ios::end);
+    const uint64_t fileSize = static_cast<uint64_t>(r->in.tellg());
+    r->in.seekg(0);
+
     uint8_t header[kHeaderSize];
-    in.read(reinterpret_cast<char *>(header), kHeaderSize);
-    MHP_REQUIRE(in.gcount() == kHeaderSize, "truncated trace header");
-    MHP_REQUIRE(std::memcmp(header, kMagic, sizeof(kMagic)) == 0,
-                "bad trace magic");
-    MHP_REQUIRE(header[8] <=
-                    static_cast<uint8_t>(ProfileKind::Mispredict),
-                "unknown profile kind in trace header");
-    profileKind = static_cast<ProfileKind>(header[8]);
-    total = getLe64(header + 16);
-    buffer.resize(kBufferRecords * kRecordSize);
+    r->in.read(reinterpret_cast<char *>(header), kHeaderSize);
+    if (r->in.gcount() != static_cast<std::streamsize>(kHeaderSize))
+        return Status::corruptData(path + ": truncated trace header");
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        return Status::corruptData(path + ": bad trace magic");
+    if (header[8] > static_cast<uint8_t>(ProfileKind::Mispredict))
+        return Status::corruptData(path +
+                                   ": unknown profile kind in header");
+    r->profileKind = static_cast<ProfileKind>(header[8]);
+    r->total = getLe64(header + 16);
+
+    // Validate the declared count against the bytes actually present,
+    // so replay can never read past the file or trust a corrupt count.
+    const uint64_t body = fileSize - kHeaderSize;
+    if (r->total > body / kRecordSize) {
+        return Status::corruptDataf(
+            "%s: header promises %llu events but only %llu bytes of "
+            "records follow (offset %zu)",
+            path.c_str(), static_cast<unsigned long long>(r->total),
+            static_cast<unsigned long long>(body), kHeaderSize);
+    }
+    if (body % kRecordSize != 0 || r->total != body / kRecordSize) {
+        return Status::corruptDataf(
+            "%s: trace body is %llu bytes; header promises exactly "
+            "%llu records of %zu bytes",
+            path.c_str(), static_cast<unsigned long long>(body),
+            static_cast<unsigned long long>(r->total), kRecordSize);
+    }
+
+    r->buffer.resize(kBufferRecords * kRecordSize);
+    return r;
 }
 
 void
@@ -112,7 +134,11 @@ TraceReader::refill()
             static_cast<std::streamsize>(buffer.size()));
     bufLen = static_cast<size_t>(in.gcount());
     bufPos = 0;
-    MHP_REQUIRE(bufLen >= kRecordSize, "truncated trace body");
+    // open() proved the file holds every declared record, so a short
+    // refill means the file changed underneath us — an invariant
+    // violation, not an input error.
+    MHP_ASSERT(bufLen >= kRecordSize,
+               "trace shrank while being replayed");
 }
 
 Tuple

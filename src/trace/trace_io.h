@@ -14,6 +14,12 @@
  *   records: count * { first (8 bytes LE), second (8 bytes LE) }
  *
  * Records are buffered in 64 KiB chunks in both directions.
+ *
+ * Trace files are untrusted input: TraceReader::open() validates the
+ * header and checks the declared record count against the actual file
+ * size before any replay starts, so a truncated or corrupt trace is a
+ * returned Status (path + reason), never a crash or an oversized
+ * allocation (see docs/ROBUSTNESS.md).
  */
 
 #ifndef MHP_TRACE_TRACE_IO_H
@@ -21,9 +27,11 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "support/status.h"
 #include "trace/source.h"
 
 namespace mhp {
@@ -48,14 +56,19 @@ class TraceWriter : public EventSink
     /** Append one tuple to the trace. */
     void accept(const Tuple &t) override;
 
-    /** Flush buffers and finalize the header. Idempotent. */
-    void close();
+    /**
+     * Flush buffers and finalize the header. Idempotent; reports a
+     * failed or short write (the destructor calls this but must
+     * swallow the Status).
+     */
+    Status close();
 
     uint64_t eventsWritten() const { return count; }
 
   private:
     void flushBuffer();
 
+    std::string path;
     std::ofstream out;
     std::vector<uint8_t> buffer;
     uint64_t count = 0;
@@ -66,8 +79,13 @@ class TraceWriter : public EventSink
 class TraceReader : public EventSource
 {
   public:
-    /** Open a trace file; fatal on a missing/corrupt header. */
-    explicit TraceReader(const std::string &path);
+    /**
+     * Open and fully validate a trace: magic, kind, and the declared
+     * event count against the file's actual size. Returns a Status
+     * naming the path and reason on any mismatch.
+     */
+    static StatusOr<std::unique_ptr<TraceReader>>
+    open(const std::string &path);
 
     Tuple next() override;
     bool done() const override { return delivered >= total; }
@@ -77,6 +95,8 @@ class TraceReader : public EventSource
     uint64_t totalEvents() const { return total; }
 
   private:
+    explicit TraceReader(const std::string &path);
+
     void refill();
 
     std::string path;

@@ -85,11 +85,12 @@ TEST(EndToEnd, RecordThenReplayGivesIdenticalProfiles)
     auto p1 = makeProfiler(bestMultiHashConfig(10'000, 0.01));
     auto p2 = makeProfiler(bestMultiHashConfig(10'000, 0.01));
 
-    TraceReader reader(path);
+    auto reader = TraceReader::open(path);
+    ASSERT_TRUE(reader.isOk()) << reader.status().toString();
     for (int iv = 0; iv < 3; ++iv) {
         for (int i = 0; i < 10'000; ++i) {
             p1->onEvent(live->next());
-            p2->onEvent(reader.next());
+            p2->onEvent((*reader)->next());
         }
         const IntervalSnapshot s1 = p1->endInterval();
         const IntervalSnapshot s2 = p2->endInterval();

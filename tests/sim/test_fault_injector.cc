@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accumulator_table.h"
+#include "core/counter_table.h"
+#include "core/factory.h"
+#include "sim/fault_injector.h"
+
+namespace mhp {
+namespace {
+
+TEST(FaultInjector, ZeroRateInjectsNothing)
+{
+    CounterTable table(64, 8);
+    FaultInjector injector({.faultsPerEvent = 0.0, .seed = 1});
+    injector.attach(table);
+    EXPECT_EQ(injector.advance(1'000'000), 0u);
+    EXPECT_EQ(injector.faultsInjected(), 0u);
+    for (uint64_t i = 0; i < table.size(); ++i)
+        EXPECT_EQ(table.value(i), 0u);
+}
+
+TEST(FaultInjector, RateOneFlipsEveryEvent)
+{
+    CounterTable table(64, 8);
+    FaultInjector injector({.faultsPerEvent = 1.0, .seed = 1});
+    injector.attach(table);
+    EXPECT_EQ(injector.advance(100), 100u);
+    EXPECT_EQ(injector.faultsInjected(), 100u);
+}
+
+TEST(FaultInjector, RateIsApproximatelyHonored)
+{
+    CounterTable table(1024, 24);
+    FaultInjector injector({.faultsPerEvent = 0.01, .seed = 7});
+    injector.attach(table);
+    const uint64_t events = 1'000'000;
+    const uint64_t faults = injector.advance(events);
+    // Binomial(1e6, 0.01): mean 10000, sigma ~99.5. 10 sigma of slack.
+    EXPECT_GT(faults, 9'000u);
+    EXPECT_LT(faults, 11'000u);
+}
+
+TEST(FaultInjector, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        CounterTable table(256, 16);
+        FaultInjector injector({.faultsPerEvent = 0.001, .seed = 42});
+        injector.attach(table);
+        injector.advance(500'000);
+        std::vector<uint64_t> state;
+        for (uint64_t i = 0; i < table.size(); ++i)
+            state.push_back(table.value(i));
+        return state;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjector, AdvanceIsSplittable)
+{
+    // advance(a+b) and advance(a); advance(b) consume the identical
+    // fault stream — chunked simulation loops can't skew the model.
+    auto run = [](bool split) {
+        CounterTable table(256, 16);
+        FaultInjector injector({.faultsPerEvent = 0.002, .seed = 9});
+        injector.attach(table);
+        if (split) {
+            for (int chunk = 0; chunk < 100; ++chunk)
+                injector.advance(1000);
+        } else {
+            injector.advance(100'000);
+        }
+        std::vector<uint64_t> state;
+        for (uint64_t i = 0; i < table.size(); ++i)
+            state.push_back(table.value(i));
+        return state;
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST(FaultInjector, FlippedCountersStayRepresentable)
+{
+    // Faults model SRAM bit flips: a 24-bit counter can hold any
+    // post-flip value, but never more than its physical width allows.
+    CounterTable table(128, 24);
+    FaultInjector injector({.faultsPerEvent = 1.0, .seed = 3});
+    injector.attach(table);
+    injector.advance(10'000);
+    for (uint64_t i = 0; i < table.size(); ++i)
+        EXPECT_LE(table.value(i), table.maxValue());
+}
+
+TEST(FaultInjector, TargetsAccumulatorToo)
+{
+    AccumulatorTable acc(100, 10, true);
+    ASSERT_TRUE(acc.insert({1, 2}, 5));
+    FaultInjector injector({.faultsPerEvent = 1.0, .seed = 5});
+    injector.attach(acc);
+    EXPECT_EQ(injector.targetBits(), 100u * 64u);
+    injector.advance(1'000);
+    EXPECT_EQ(injector.faultsInjected(), 1'000u);
+}
+
+TEST(FaultInjector, AttachesEverythingAProfilerExposes)
+{
+    const ProfilerConfig single = bestSingleHashConfig(10'000, 0.01);
+    auto sh = makeProfiler(single);
+    FaultInjector si({.faultsPerEvent = 0.5, .seed = 1});
+    si.attach(*sh);
+    // One counter table + the accumulator.
+    EXPECT_EQ(si.targetBits(),
+              single.totalHashEntries * single.counterBits +
+                  single.accumulatorSize() * 64);
+
+    const ProfilerConfig multi = bestMultiHashConfig(10'000, 0.01);
+    auto mh = makeProfiler(multi);
+    FaultInjector mi({.faultsPerEvent = 0.5, .seed = 1});
+    mi.attach(*mh);
+    // Four tables of entries/4 counters each: same total bit count.
+    EXPECT_EQ(mi.targetBits(),
+              multi.totalHashEntries * multi.counterBits +
+                  multi.accumulatorSize() * 64);
+}
+
+TEST(FaultInjector, BaseProfilerExposesNoTargets)
+{
+    // Profilers that don't override faultTargets() simply have no
+    // injectable state; advance() is then a no-op, not a crash.
+    class Dummy : public HardwareProfiler
+    {
+      public:
+        void onEvent(const Tuple &) override {}
+        IntervalSnapshot endInterval() override { return {}; }
+        void reset() override {}
+        std::string name() const override { return "dummy"; }
+        uint64_t areaBytes() const override { return 0; }
+    };
+    Dummy dummy;
+    FaultInjector injector({.faultsPerEvent = 1.0, .seed = 1});
+    injector.attach(dummy);
+    EXPECT_EQ(injector.targetBits(), 0u);
+    EXPECT_EQ(injector.advance(1000), 0u);
+}
+
+} // namespace
+} // namespace mhp

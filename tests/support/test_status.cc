@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/crc32.h"
+#include "support/status.h"
+
+namespace mhp {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    const Status s = Status::corruptData("bad CRC at offset 52");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::CorruptData);
+    EXPECT_EQ(s.message(), "bad CRC at offset 52");
+    EXPECT_EQ(s.toString(), "corrupt data: bad CRC at offset 52");
+
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::notFound("x").code(), StatusCode::NotFound);
+    EXPECT_EQ(Status::ioError("x").code(), StatusCode::IoError);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::FailedPrecondition);
+}
+
+TEST(Status, FormattedFactory)
+{
+    const Status s =
+        Status::corruptDataf("%s: bad record at offset %llu", "a.mhp",
+                             52ULL);
+    EXPECT_EQ(s.message(), "a.mhp: bad record at offset 52");
+}
+
+TEST(Status, ReturnIfErrorMacro)
+{
+    auto inner = [](bool fail) {
+        return fail ? Status::ioError("inner failed") : Status::ok();
+    };
+    auto outer = [&](bool fail) -> Status {
+        MHP_RETURN_IF_ERROR(inner(fail));
+        return Status::ok();
+    };
+    EXPECT_TRUE(outer(false).isOk());
+    EXPECT_EQ(outer(true).code(), StatusCode::IoError);
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> v = 42;
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(*v, 42);
+    EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOr, HoldsError)
+{
+    StatusOr<int> v = Status::notFound("missing");
+    ASSERT_FALSE(v.isOk());
+    EXPECT_EQ(v.status().code(), StatusCode::NotFound);
+}
+
+TEST(StatusOr, WorksWithMoveOnlyTypes)
+{
+    StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(**v, 7);
+    std::unique_ptr<int> taken = std::move(*v);
+    EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, WorksWithNonDefaultConstructibleTypes)
+{
+    struct NoDefault
+    {
+        explicit NoDefault(int x_) : x(x_) {}
+        int x;
+    };
+    StatusOr<NoDefault> v = NoDefault(3);
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(v->x, 3);
+
+    StatusOr<NoDefault> e = Status::ioError("no");
+    EXPECT_FALSE(e.isOk());
+}
+
+TEST(StatusOr, CopyAndMoveAndAssign)
+{
+    StatusOr<std::string> a = std::string("hello");
+    StatusOr<std::string> b = a; // copy
+    EXPECT_EQ(*b, "hello");
+    StatusOr<std::string> c = std::move(a); // move
+    EXPECT_EQ(*c, "hello");
+    c = Status::ioError("gone"); // value -> error
+    EXPECT_FALSE(c.isOk());
+    c = b; // error -> value
+    ASSERT_TRUE(c.isOk());
+    EXPECT_EQ(*c, "hello");
+}
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // The IEEE 802.3 polynomial's standard check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0x00000000u);
+    EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const char data[] = "the quick brown fox jumps over the lazy dog";
+    Crc32 crc;
+    crc.update(data, 10);
+    crc.update(data + 10, sizeof(data) - 1 - 10);
+    EXPECT_EQ(crc.value(), crc32(data, sizeof(data) - 1));
+
+    crc.reset();
+    crc.update(data, sizeof(data) - 1);
+    EXPECT_EQ(crc.value(), crc32(data, sizeof(data) - 1));
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    uint8_t data[64];
+    for (size_t i = 0; i < sizeof(data); ++i)
+        data[i] = static_cast<uint8_t>(i * 37);
+    const uint32_t clean = crc32(data, sizeof(data));
+    for (size_t byte = 0; byte < sizeof(data); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            data[byte] ^= static_cast<uint8_t>(1 << bit);
+            EXPECT_NE(crc32(data, sizeof(data)), clean)
+                << "undetected flip at byte " << byte << " bit " << bit;
+            data[byte] ^= static_cast<uint8_t>(1 << bit);
+        }
+    }
+}
+
+TEST(Bytes, LittleEndianRoundTrip)
+{
+    uint8_t buf[8];
+    putLe64(buf, 0x0123456789ABCDEFULL);
+    EXPECT_EQ(buf[0], 0xEF); // least significant byte first
+    EXPECT_EQ(getLe64(buf), 0x0123456789ABCDEFULL);
+    putLe32(buf, 0xDEADBEEFu);
+    EXPECT_EQ(buf[0], 0xEF);
+    EXPECT_EQ(getLe32(buf), 0xDEADBEEFu);
+}
+
+TEST(Bytes, BufferCursorRoundTrip)
+{
+    ByteBuffer b;
+    b.u8(7);
+    b.u32(0xCAFEu);
+    b.u64(1ULL << 40);
+    b.f64(0.1); // not exactly representable: bit pattern must survive
+    b.str("hello");
+    b.str("");
+
+    ByteCursor c(b.data(), b.size());
+    uint8_t v8;
+    uint32_t v32;
+    uint64_t v64;
+    double vf;
+    std::string s1, s2;
+    ASSERT_TRUE(c.u8(v8));
+    ASSERT_TRUE(c.u32(v32));
+    ASSERT_TRUE(c.u64(v64));
+    ASSERT_TRUE(c.f64(vf));
+    ASSERT_TRUE(c.str(s1));
+    ASSERT_TRUE(c.str(s2));
+    EXPECT_EQ(v8, 7);
+    EXPECT_EQ(v32, 0xCAFEu);
+    EXPECT_EQ(v64, 1ULL << 40);
+    EXPECT_EQ(vf, 0.1);
+    EXPECT_EQ(s1, "hello");
+    EXPECT_EQ(s2, "");
+    EXPECT_TRUE(c.atEnd());
+}
+
+TEST(Bytes, CursorRejectsReadsPastEnd)
+{
+    ByteBuffer b;
+    b.u32(1);
+    ByteCursor c(b.data(), b.size());
+    uint64_t v64;
+    EXPECT_FALSE(c.u64(v64)); // only 4 bytes available
+    uint32_t v32;
+    EXPECT_TRUE(c.u32(v32));
+    uint8_t v8;
+    EXPECT_FALSE(c.u8(v8)); // exhausted
+}
+
+TEST(Bytes, CursorRejectsOversizedStringLength)
+{
+    // A string whose declared length exceeds the remaining bytes must
+    // fail before any allocation sized from the length.
+    ByteBuffer b;
+    b.u64(1ULL << 50); // declared length: a petabyte
+    b.u8('x');
+    ByteCursor c(b.data(), b.size());
+    std::string s;
+    EXPECT_FALSE(c.str(s));
+}
+
+TEST(Bytes, Fnv1a64IsStable)
+{
+    // Pinned value: checkpoint plan fingerprints must never drift
+    // between builds.
+    EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+    EXPECT_NE(fnv1a64("ab", 2), fnv1a64("ba", 2));
+}
+
+} // namespace
+} // namespace mhp

@@ -32,4 +32,55 @@ trap 'rm -rf "$TMP"' EXIT
 "$TOOLS/mhprof_compare" "$TMP/li.mhp" "$TMP/li_bsh.mhp" \
     | grep -q "totals:" || exit 1
 
+# Fault sweep: one tiny rate sweep must emit the sh vs mh4-C1 table.
+"$TOOLS/mhprof_faults" --benchmark=li --intervals=2 \
+    --interval-length=5000 --rates=0,1e-3 > "$TMP/faults.out"
+grep -q "mh4-C1 error" "$TMP/faults.out"
+grep -q "^0 " "$TMP/faults.out"
+grep -q "^0.001 " "$TMP/faults.out"
+
+# --- corrupt-input behaviour -----------------------------------------
+# Every tool must reject damaged input with exit 1 and a one-line
+# diagnostic naming the file, never crash or succeed silently.
+
+# expect_reject <file-that-should-be-named> <tool args...>
+expect_reject() {
+    want="$1"; shift
+    if "$@" > /dev/null 2> "$TMP/err.out"; then
+        echo "FAIL: $* accepted corrupt input"; exit 1
+    fi
+    [ "$(wc -l < "$TMP/err.out")" -eq 1 ] || {
+        echo "FAIL: $* stderr diagnostic is not one line:";
+        cat "$TMP/err.out"; exit 1; }
+    grep -q "$want" "$TMP/err.out" || {
+        echo "FAIL: $* diagnostic does not name $want:";
+        cat "$TMP/err.out"; exit 1; }
+}
+
+# Truncated trace: header promises more events than the file holds.
+head -c 200 "$TMP/li.mht" > "$TMP/cut.mht"
+expect_reject "cut.mht" "$TOOLS/mhprof_run" --trace="$TMP/cut.mht" \
+    --intervals=1 --out="$TMP/cut.mhp"
+
+# Bad magic in a profile.
+printf 'NOTPROF0garbagegarbagegarbagegarbage' > "$TMP/bad.mhp"
+expect_reject "bad.mhp" "$TOOLS/mhprof_dump" "$TMP/bad.mhp"
+
+# Bit flip inside a record: CRC catches it, offset is reported.
+cp "$TMP/li.mhp" "$TMP/flip.mhp"
+printf '\377' | dd of="$TMP/flip.mhp" bs=1 seek=60 conv=notrunc 2>/dev/null
+expect_reject "offset" "$TOOLS/mhprof_dump" "$TMP/flip.mhp"
+expect_reject "flip.mhp" "$TOOLS/mhprof_compare" "$TMP/flip.mhp" \
+    "$TMP/li.mhp"
+
+# Missing file.
+expect_reject "nope.mhp" "$TOOLS/mhprof_dump" "$TMP/nope.mhp"
+
+# Bad CLI input: unknown flag and malformed numeric value.
+expect_reject "unknown flag" "$TOOLS/mhprof_run" --no-such-flag
+expect_reject "integer" "$TOOLS/mhprof_trace" --events=ten \
+    --out="$TMP/x.mht"
+expect_reject "not a number" "$TOOLS/mhprof_faults" --benchmark=li \
+    --rates=0,banana
+
 echo "tools smoke test passed"

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -45,30 +46,32 @@ TEST_F(TraceIoTest, RoundTripsTuples)
         ASSERT_TRUE(w.ok());
         for (const auto &t : tuples)
             w.accept(t);
-        w.close();
+        EXPECT_TRUE(w.close().isOk());
         EXPECT_EQ(w.eventsWritten(), tuples.size());
     }
 
-    TraceReader r(path);
-    EXPECT_EQ(r.kind(), ProfileKind::Value);
-    EXPECT_EQ(r.totalEvents(), tuples.size());
+    auto r = TraceReader::open(path);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ((*r)->kind(), ProfileKind::Value);
+    EXPECT_EQ((*r)->totalEvents(), tuples.size());
     for (const auto &expected : tuples) {
-        ASSERT_FALSE(r.done());
-        EXPECT_EQ(r.next(), expected);
+        ASSERT_FALSE((*r)->done());
+        EXPECT_EQ((*r)->next(), expected);
     }
-    EXPECT_TRUE(r.done());
+    EXPECT_TRUE((*r)->done());
 }
 
 TEST_F(TraceIoTest, EmptyTrace)
 {
     {
         TraceWriter w(path, ProfileKind::Edge);
-        w.close();
+        EXPECT_TRUE(w.close().isOk());
     }
-    TraceReader r(path);
-    EXPECT_EQ(r.kind(), ProfileKind::Edge);
-    EXPECT_EQ(r.totalEvents(), 0u);
-    EXPECT_TRUE(r.done());
+    auto r = TraceReader::open(path);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ((*r)->kind(), ProfileKind::Edge);
+    EXPECT_EQ((*r)->totalEvents(), 0u);
+    EXPECT_TRUE((*r)->done());
 }
 
 TEST_F(TraceIoTest, KindIsPreserved)
@@ -76,10 +79,11 @@ TEST_F(TraceIoTest, KindIsPreserved)
     {
         TraceWriter w(path, ProfileKind::Edge);
         w.accept({1, 2});
-        w.close();
+        EXPECT_TRUE(w.close().isOk());
     }
-    TraceReader r(path);
-    EXPECT_EQ(r.kind(), ProfileKind::Edge);
+    auto r = TraceReader::open(path);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ((*r)->kind(), ProfileKind::Edge);
 }
 
 TEST_F(TraceIoTest, DestructorCloses)
@@ -89,9 +93,18 @@ TEST_F(TraceIoTest, DestructorCloses)
         w.accept({7, 8});
         // no explicit close(): destructor must finalize the header
     }
-    TraceReader r(path);
-    EXPECT_EQ(r.totalEvents(), 1u);
-    EXPECT_EQ(r.next(), (Tuple{7, 8}));
+    auto r = TraceReader::open(path);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ((*r)->totalEvents(), 1u);
+    EXPECT_EQ((*r)->next(), (Tuple{7, 8}));
+}
+
+TEST_F(TraceIoTest, CloseIsIdempotent)
+{
+    TraceWriter w(path, ProfileKind::Value);
+    w.accept({1, 1});
+    EXPECT_TRUE(w.close().isOk());
+    EXPECT_TRUE(w.close().isOk());
 }
 
 TEST_F(TraceIoTest, LargeTraceCrossesBufferBoundaries)
@@ -104,21 +117,24 @@ TEST_F(TraceIoTest, LargeTraceCrossesBufferBoundaries)
             w.accept({static_cast<uint64_t>(i),
                       static_cast<uint64_t>(i) * 3});
     }
-    TraceReader r(path);
-    EXPECT_EQ(r.totalEvents(), static_cast<uint64_t>(n));
+    auto r = TraceReader::open(path);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ((*r)->totalEvents(), static_cast<uint64_t>(n));
     for (int i = 0; i < n; ++i) {
-        const Tuple t = r.next();
+        const Tuple t = (*r)->next();
         EXPECT_EQ(t.first, static_cast<uint64_t>(i));
         EXPECT_EQ(t.second, static_cast<uint64_t>(i) * 3);
     }
-    EXPECT_TRUE(r.done());
+    EXPECT_TRUE((*r)->done());
 }
 
 TEST_F(TraceIoTest, ReaderRejectsMissingFile)
 {
-    EXPECT_EXIT(
-        { TraceReader reader("/nonexistent/path/to/trace.mht"); },
-        ::testing::ExitedWithCode(1), "cannot open");
+    auto r = TraceReader::open("/nonexistent/path/to/trace.mht");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+    EXPECT_NE(r.status().message().find("cannot open"),
+              std::string::npos);
 }
 
 TEST_F(TraceIoTest, ReaderRejectsBadMagic)
@@ -127,8 +143,80 @@ TEST_F(TraceIoTest, ReaderRejectsBadMagic)
         std::ofstream out(path, std::ios::binary);
         out << "NOTATRACE-and-some-padding-bytes";
     }
-    EXPECT_EXIT({ TraceReader reader(path); }, ::testing::ExitedWithCode(1),
-                "bad trace magic");
+    auto r = TraceReader::open(path);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::CorruptData);
+    EXPECT_NE(r.status().message().find("bad trace magic"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReaderRejectsTruncatedHeader)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "MHTRACE1";
+    }
+    auto r = TraceReader::open(path);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::CorruptData);
+}
+
+TEST_F(TraceIoTest, ReaderRejectsTruncatedBody)
+{
+    {
+        TraceWriter w(path, ProfileKind::Value);
+        for (int i = 0; i < 100; ++i)
+            w.accept({static_cast<uint64_t>(i), 0});
+        ASSERT_TRUE(w.close().isOk());
+    }
+    // Chop a few bytes off the end: count no longer matches the size.
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - 5);
+
+    auto r = TraceReader::open(path);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::CorruptData);
+    // Diagnostic names the path so a one-line report is actionable.
+    EXPECT_NE(r.status().message().find(path), std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReaderRejectsOverpromisedCount)
+{
+    {
+        TraceWriter w(path, ProfileKind::Value);
+        w.accept({1, 2});
+        ASSERT_TRUE(w.close().isOk());
+    }
+    // Inflate the header's count field way past the file size; a
+    // trusting reader would size buffers from it.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(16);
+        const uint64_t huge = ~0ULL;
+        f.write(reinterpret_cast<const char *>(&huge), 8);
+    }
+    auto r = TraceReader::open(path);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::CorruptData);
+}
+
+TEST_F(TraceIoTest, ReaderRejectsBadKind)
+{
+    {
+        TraceWriter w(path, ProfileKind::Value);
+        ASSERT_TRUE(w.close().isOk());
+    }
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(8);
+        const char bogus = 42;
+        f.write(&bogus, 1);
+    }
+    auto r = TraceReader::open(path);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::CorruptData);
 }
 
 } // namespace

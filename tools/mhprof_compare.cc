@@ -37,8 +37,20 @@ main(int argc, char **argv)
         return 1;
     }
 
-    ProfileReader ra(cli.positional()[0]);
-    ProfileReader rb(cli.positional()[1]);
+    auto openedA = ProfileReader::open(cli.positional()[0]);
+    if (!openedA.isOk()) {
+        std::fprintf(stderr, "mhprof_compare: %s\n",
+                     openedA.status().toString().c_str());
+        return 1;
+    }
+    auto openedB = ProfileReader::open(cli.positional()[1]);
+    if (!openedB.isOk()) {
+        std::fprintf(stderr, "mhprof_compare: %s\n",
+                     openedB.status().toString().c_str());
+        return 1;
+    }
+    ProfileReader &ra = *openedA;
+    ProfileReader &rb = *openedB;
     if (ra.kind() != rb.kind()) {
         std::fprintf(stderr, "profiles have different kinds (%s vs "
                              "%s)\n",
@@ -47,8 +59,20 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const auto a = ra.readAll();
-    const auto b = rb.readAll();
+    auto readA = ra.readAll();
+    if (!readA.isOk()) {
+        std::fprintf(stderr, "mhprof_compare: %s\n",
+                     readA.status().toString().c_str());
+        return 1;
+    }
+    auto readB = rb.readAll();
+    if (!readB.isOk()) {
+        std::fprintf(stderr, "mhprof_compare: %s\n",
+                     readB.status().toString().c_str());
+        return 1;
+    }
+    const auto &a = *readA;
+    const auto &b = *readB;
     const size_t intervals = a.size() < b.size() ? a.size() : b.size();
     if (a.size() != b.size()) {
         std::fprintf(stderr,

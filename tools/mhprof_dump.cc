@@ -29,15 +29,28 @@ main(int argc, char **argv)
         return 1;
     }
 
-    ProfileReader reader(cli.positional()[0]);
-    std::printf("profile: kind=%s intervalLength=%llu threshold=%llu\n",
-                profileKindName(reader.kind()),
+    auto opened = ProfileReader::open(cli.positional()[0]);
+    if (!opened.isOk()) {
+        std::fprintf(stderr, "mhprof_dump: %s\n",
+                     opened.status().toString().c_str());
+        return 1;
+    }
+    ProfileReader &reader = *opened;
+    std::printf("profile: v%u kind=%s intervalLength=%llu "
+                "threshold=%llu\n",
+                reader.formatVersion(), profileKindName(reader.kind()),
                 static_cast<unsigned long long>(
                     reader.intervalLength()),
                 static_cast<unsigned long long>(
                     reader.thresholdCount()));
 
-    const auto snapshots = reader.readAll();
+    auto read = reader.readAll();
+    if (!read.isOk()) {
+        std::fprintf(stderr, "mhprof_dump: %s\n",
+                     read.status().toString().c_str());
+        return 1;
+    }
+    const auto &snapshots = *read;
     std::printf("intervals: %zu\n\n", snapshots.size());
 
     const auto top = static_cast<size_t>(cli.getInt("top"));

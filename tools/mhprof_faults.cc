@@ -1,0 +1,193 @@
+/**
+ * @file
+ * mhprof_faults — sweep soft-error rates through profiler hardware.
+ *
+ * For each requested fault rate, the tool profiles the same workload
+ * with the paper's best single-hash (sh) and best multi-hash (mh4, C1)
+ * configurations while a FaultInjector flips bits in their counter and
+ * accumulator state, then reports how the weighted error (formula (1),
+ * Section 5.5) degrades. The conservative-update multi-hash design
+ * spreads each tuple over several counters, so a single flipped bit
+ * perturbs a minimum-of-four rather than the only copy — this tool
+ * quantifies that robustness edge. Example:
+ *
+ *   mhprof_faults --benchmark=gcc --rates=0,1e-5,1e-4,1e-3
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/error_metrics.h"
+#include "core/factory.h"
+#include "core/perfect_profiler.h"
+#include "sim/fault_injector.h"
+#include "support/cli.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace mhp;
+
+/** Parse a comma-separated rate list ("0,1e-5,1e-4"). */
+Status
+parseRates(const std::string &spec, std::vector<double> &rates)
+{
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t comma = spec.find(',', pos);
+        const std::string item =
+            spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        char *end = nullptr;
+        const double rate = std::strtod(item.c_str(), &end);
+        if (item.empty() || end == nullptr || *end != '\0')
+            return Status::invalidArgument(
+                "--rates entry \"" + item + "\" is not a number");
+        if (rate < 0.0 || rate > 1.0)
+            return Status::invalidArgument(
+                "--rates entry \"" + item + "\" outside [0, 1]");
+        rates.push_back(rate);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return Status::ok();
+}
+
+/**
+ * Profile the benchmark under fault injection at one rate and return
+ * the average weighted error (percent) over all intervals.
+ */
+double
+faultedErrorPercent(const std::string &benchmark, bool edges,
+                    const ProfilerConfig &cfg, uint64_t intervals,
+                    uint64_t workloadSeed, double rate,
+                    uint64_t faultSeed, uint64_t chunk)
+{
+    std::unique_ptr<EventSource> source;
+    if (edges)
+        source = makeEdgeWorkload(benchmark, workloadSeed);
+    else
+        source = makeValueWorkload(benchmark, workloadSeed);
+    auto hardware = makeProfiler(cfg);
+    PerfectProfiler perfect(cfg.thresholdCount());
+    FaultInjector injector({.faultsPerEvent = rate, .seed = faultSeed});
+    injector.attach(*hardware);
+
+    double errorSum = 0.0;
+    std::vector<Tuple> batch(chunk);
+    for (uint64_t iv = 0; iv < intervals; ++iv) {
+        uint64_t remaining = cfg.intervalLength;
+        while (remaining > 0) {
+            const uint64_t take = remaining < chunk ? remaining : chunk;
+            for (uint64_t i = 0; i < take; ++i)
+                batch[i] = source->next();
+            hardware->onEvents(batch.data(), take);
+            perfect.onEvents(batch.data(), take);
+            // Faults accrue with event flow, interleaved at chunk
+            // granularity (the injector's stream is split-invariant).
+            injector.advance(take);
+            remaining -= take;
+        }
+        const IntervalSnapshot snap = hardware->endInterval();
+        errorSum += scoreInterval(perfect.counts(), snap,
+                                  cfg.thresholdCount())
+                        .breakdown.total();
+        (void)perfect.endInterval();
+    }
+    return intervals > 0 ? 100.0 * errorSum / double(intervals) : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("sweep soft-error rates through single- and "
+                  "multi-hash profilers and report error degradation");
+    cli.addString("benchmark", "gcc", "suite benchmark to profile");
+    cli.addBool("edges", false, "use the edge model");
+    cli.addInt("intervals", 10, "profile intervals per cell");
+    cli.addInt("interval-length", 10'000, "events per interval");
+    cli.addDouble("threshold", 1.0, "candidate threshold in percent");
+    cli.addInt("entries", 2048, "total hash-table entries");
+    cli.addString("rates", "0,1e-6,1e-5,1e-4,1e-3",
+                  "comma-separated faults-per-event rates");
+    cli.addInt("seed", 1, "workload seed");
+    cli.addInt("fault-seed", 99, "fault stream seed");
+    cli.addInt("chunk", 256, "events between fault-injection points");
+    cli.parse(argc, argv);
+
+    if (cli.getInt("intervals") < 1 || cli.getInt("chunk") < 1) {
+        std::fprintf(stderr,
+                     "mhprof_faults: --intervals and --chunk must be "
+                     ">= 1\n");
+        return 1;
+    }
+    const std::string benchmark = cli.getString("benchmark");
+    if (!isBenchmarkName(benchmark)) {
+        std::fprintf(stderr,
+                     "mhprof_faults: unknown benchmark \"%s\"\n",
+                     benchmark.c_str());
+        return 1;
+    }
+    std::vector<double> rates;
+    if (const Status bad = parseRates(cli.getString("rates"), rates);
+        !bad.isOk()) {
+        std::fprintf(stderr, "mhprof_faults: %s\n",
+                     bad.toString().c_str());
+        return 1;
+    }
+
+    const uint64_t intervalLength =
+        static_cast<uint64_t>(cli.getInt("interval-length"));
+    const double threshold = cli.getDouble("threshold") / 100.0;
+    ProfilerConfig single =
+        bestSingleHashConfig(intervalLength, threshold);
+    ProfilerConfig multi = bestMultiHashConfig(intervalLength, threshold);
+    single.totalHashEntries = multi.totalHashEntries =
+        static_cast<uint64_t>(cli.getInt("entries"));
+    for (const ProfilerConfig *cfg : {&single, &multi}) {
+        if (const Status bad = cfg->check(); !bad.isOk()) {
+            std::fprintf(stderr, "mhprof_faults: %s\n",
+                         bad.toString().c_str());
+            return 1;
+        }
+    }
+
+    const uint64_t intervals =
+        static_cast<uint64_t>(cli.getInt("intervals"));
+    const bool edges = cli.getBool("edges");
+    const uint64_t workloadSeed =
+        static_cast<uint64_t>(cli.getInt("seed"));
+    const uint64_t faultSeed =
+        static_cast<uint64_t>(cli.getInt("fault-seed"));
+    const uint64_t chunk = static_cast<uint64_t>(cli.getInt("chunk"));
+
+    std::printf("# %s %s, %llu intervals x %llu events, threshold "
+                "%.2f%%, %llu entries\n",
+                benchmark.c_str(), edges ? "edges" : "values",
+                static_cast<unsigned long long>(intervals),
+                static_cast<unsigned long long>(intervalLength),
+                100.0 * threshold,
+                static_cast<unsigned long long>(
+                    multi.totalHashEntries));
+    std::printf("%-12s %14s %14s\n", "faults/event", "sh error %",
+                "mh4-C1 error %");
+    for (const double rate : rates) {
+        const double shError =
+            faultedErrorPercent(benchmark, edges, single, intervals,
+                                workloadSeed, rate, faultSeed, chunk);
+        const double mhError =
+            faultedErrorPercent(benchmark, edges, multi, intervals,
+                                workloadSeed, rate, faultSeed, chunk);
+        std::printf("%-12g %14.3f %14.3f\n", rate, shError, mhError);
+    }
+    return 0;
+}

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "analysis/interval_runner.h"
@@ -69,13 +70,23 @@ main(int argc, char **argv)
     cfg.resetOnPromote = cli.getBool("reset");
     cfg.retaining = !cli.getBool("no-retain");
     cfg.conservativeUpdate = !cli.getBool("no-conservative");
-    cfg.validate();
+    if (const Status bad = cfg.check(); !bad.isOk()) {
+        std::fprintf(stderr, "mhprof_run: %s\n",
+                     bad.toString().c_str());
+        return 1;
+    }
 
     std::unique_ptr<EventSource> source;
     const std::string bench = cli.getString("benchmark");
     const std::string trace = cli.getString("trace");
     if (!trace.empty()) {
-        source = std::make_unique<TraceReader>(trace);
+        auto opened = TraceReader::open(trace);
+        if (!opened.isOk()) {
+            std::fprintf(stderr, "mhprof_run: %s\n",
+                         opened.status().toString().c_str());
+            return 1;
+        }
+        source = std::move(*opened);
     } else if (isBenchmarkName(bench)) {
         if (cli.getBool("edges")) {
             source = makeEdgeWorkload(
@@ -132,8 +143,14 @@ main(int argc, char **argv)
             TupleSpan(stream.data(), stream.size()), {profiler.get()},
             cfg.intervalLength, cfg.thresholdCount(), numIntervals,
             options);
-        for (const IntervalSnapshot &snap : out.snapshots[0])
-            writer.writeInterval(snap);
+        for (const IntervalSnapshot &snap : out.snapshots[0]) {
+            if (const Status bad = writer.writeInterval(snap);
+                !bad.isOk()) {
+                std::fprintf(stderr, "mhprof_run: %s\n",
+                             bad.toString().c_str());
+                return 1;
+            }
+        }
     } else {
         out = runIntervals(*source, *profiler, cfg.intervalLength,
                            cfg.thresholdCount(), numIntervals);
@@ -143,7 +160,13 @@ main(int argc, char **argv)
         // benchmarks; traces reopen the file).
         std::unique_ptr<EventSource> source2;
         if (!trace.empty()) {
-            source2 = std::make_unique<TraceReader>(trace);
+            auto reopened = TraceReader::open(trace);
+            if (!reopened.isOk()) {
+                std::fprintf(stderr, "mhprof_run: %s\n",
+                             reopened.status().toString().c_str());
+                return 1;
+            }
+            source2 = std::move(*reopened);
         } else if (cli.getBool("edges")) {
             source2 = makeEdgeWorkload(
                 bench, static_cast<uint64_t>(cli.getInt("seed")));
@@ -156,8 +179,19 @@ main(int argc, char **argv)
             for (uint64_t i = 0;
                  i < cfg.intervalLength && !source2->done(); ++i)
                 profiler2->onEvent(source2->next());
-            writer.writeInterval(profiler2->endInterval());
+            if (const Status bad =
+                    writer.writeInterval(profiler2->endInterval());
+                !bad.isOk()) {
+                std::fprintf(stderr, "mhprof_run: %s\n",
+                             bad.toString().c_str());
+                return 1;
+            }
         }
+    }
+
+    if (const Status bad = writer.close(); !bad.isOk()) {
+        std::fprintf(stderr, "mhprof_run: %s\n", bad.toString().c_str());
+        return 1;
     }
 
     std::printf("%s: %llu intervals, %s, avg error %.2f%%, %.1f "

@@ -71,7 +71,11 @@ main(int argc, char **argv)
         return 1;
     }
     const uint64_t moved = pump(*source, writer, events);
-    writer.close();
+    if (const Status bad = writer.close(); !bad.isOk()) {
+        std::fprintf(stderr, "mhprof_trace: %s\n",
+                     bad.toString().c_str());
+        return 1;
+    }
     std::printf("recorded %llu %s events to %s\n",
                 static_cast<unsigned long long>(moved),
                 profileKindName(source->kind()),
