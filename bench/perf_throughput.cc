@@ -16,14 +16,20 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "analysis/interval_runner.h"
 #include "core/factory.h"
 #include "core/hash_function.h"
 #include "core/perfect_profiler.h"
 #include "core/stratified_sampler.h"
+#include "support/panic.h"
+#include "trace/trace_io.h"
+#include "trace/trace_map.h"
 #include "trace/transforms.h"
+#include "trace/tuple_span.h"
 #include "workload/benchmarks.h"
 
 namespace {
@@ -201,6 +207,73 @@ BM_PerfectProfilerBatched(benchmark::State &state)
     state.SetItemsProcessed(events);
 }
 BENCHMARK(BM_PerfectProfilerBatched);
+
+/** A temp .mht trace recorded once for the ingest benches. */
+const std::string &
+tracePath()
+{
+    static const std::string path = [] {
+        const std::string p =
+            (std::filesystem::temp_directory_path() /
+             "mhp_bench_ingest.mht")
+                .string();
+        TraceWriter writer(p, ProfileKind::Value);
+        auto workload = makeValueWorkload("gcc");
+        pump(*workload, writer, 200'000);
+        const Status closed = writer.close();
+        MHP_REQUIRE(closed.isOk(), "cannot record ingest bench trace");
+        return p;
+    }();
+    return path;
+}
+
+/**
+ * End-to-end trace ingest through the streaming interval pipeline:
+ * open the trace, deliver every record to an mh4 profiler at 10K
+ * intervals. The vector leg materializes the whole file through the
+ * buffered reader first (the pre-streaming data plane); the mmap leg
+ * serves zero-copy chunks straight from the mapping. One benchmark
+ * iteration replays the whole trace.
+ */
+void
+BM_TraceIngest(benchmark::State &state, bool mapped)
+{
+    constexpr uint64_t kIntervalLength = 10'000;
+    const ProfilerConfig cfg =
+        bestMultiHashConfig(kIntervalLength, 0.01);
+    const std::string &path = tracePath();
+    int64_t events = 0;
+    for (auto _ : state) {
+        auto profiler = makeProfiler(cfg);
+        const std::vector<HardwareProfiler *> one{profiler.get()};
+        RunOutput out;
+        if (mapped) {
+            auto map = TraceMap::open(path);
+            MHP_REQUIRE(map.isOk(), "cannot map ingest bench trace");
+            TraceMapSource cursor(*map);
+            out = runIntervalsStream(cursor, one, kIntervalLength,
+                                     cfg.thresholdCount(),
+                                     cursor.size() / kIntervalLength);
+        } else {
+            auto reader = TraceReader::open(path);
+            MHP_REQUIRE(reader.isOk(),
+                        "cannot open ingest bench trace");
+            std::vector<Tuple> all;
+            all.reserve((*reader)->totalEvents());
+            while (!(*reader)->done())
+                all.push_back((*reader)->next());
+            TupleSpanSource cursor(TupleSpan(all.data(), all.size()));
+            out = runIntervalsStream(cursor, one, kIntervalLength,
+                                     cfg.thresholdCount(),
+                                     all.size() / kIntervalLength);
+        }
+        benchmark::DoNotOptimize(out.intervalsCompleted);
+        events += static_cast<int64_t>(out.eventsConsumed);
+    }
+    state.SetItemsProcessed(events);
+}
+BENCHMARK_CAPTURE(BM_TraceIngest, vector, false);
+BENCHMARK_CAPTURE(BM_TraceIngest, mmap, true);
 
 void
 BM_WorkloadGeneration(benchmark::State &state)

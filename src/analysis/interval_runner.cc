@@ -60,51 +60,89 @@ StreamStats::meanDistinctTuples() const
 }
 
 RunOutput
+runIntervalsStream(StreamCursor &stream,
+                   const std::vector<HardwareProfiler *> &profilers,
+                   uint64_t intervalLength, uint64_t thresholdCount,
+                   uint64_t numIntervals,
+                   const StreamRunOptions &options)
+{
+    MHP_REQUIRE(!profilers.empty(), "no profilers to run");
+    MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
+    MHP_REQUIRE(options.batchSize > 0, "batchSize must be positive");
+
+    RunOutput out;
+    out.results.resize(profilers.size());
+    std::vector<std::vector<IntervalSnapshot>> snapshots(
+        options.keepSnapshots ? profilers.size() : 0);
+    for (size_t i = 0; i < profilers.size(); ++i) {
+        MHP_REQUIRE(profilers[i] != nullptr, "null profiler");
+        out.results[i].profilerName = profilers[i]->name();
+    }
+
+    PerfectProfiler perfect(options.score ? thresholdCount : 1);
+
+    for (uint64_t interval = 0; interval < numIntervals; ++interval) {
+        uint64_t consumed = 0;
+        while (consumed < intervalLength) {
+            // Chunks never cross an interval boundary, so endInterval
+            // always lands exactly on intervalLength events.
+            const uint64_t want = std::min<uint64_t>(
+                options.batchSize, intervalLength - consumed);
+            const TupleSpan chunk =
+                stream.take(static_cast<size_t>(want));
+            if (chunk.empty())
+                break; // stream ran dry
+            if (options.score)
+                perfect.onEvents(chunk.data(), chunk.size());
+            for (auto *profiler : profilers)
+                profiler->onEvents(chunk.data(), chunk.size());
+            consumed += chunk.size();
+        }
+        out.eventsConsumed += consumed;
+        if (consumed < intervalLength) {
+            // Stream ran dry: discard the partial interval.
+            if (options.score)
+                perfect.reset();
+            break;
+        }
+
+        if (options.score) {
+            out.stream.distinctTuples.push_back(
+                perfect.distinctTuples());
+        }
+        for (size_t i = 0; i < profilers.size(); ++i) {
+            IntervalSnapshot snap = profilers[i]->endInterval();
+            if (options.score) {
+                out.results[i].intervals.push_back(scoreInterval(
+                    perfect.counts(), snap, thresholdCount));
+            }
+            if (options.keepSnapshots)
+                snapshots[i].push_back(std::move(snap));
+        }
+        if (options.score)
+            perfect.endInterval();
+        ++out.intervalsCompleted;
+    }
+    if (options.keepSnapshots)
+        out.snapshots = std::move(snapshots);
+    return out;
+}
+
+RunOutput
 runIntervals(EventSource &source,
              const std::vector<HardwareProfiler *> &profilers,
              uint64_t intervalLength, uint64_t thresholdCount,
              uint64_t numIntervals)
 {
-    MHP_REQUIRE(!profilers.empty(), "no profilers to run");
-    MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
-
-    RunOutput out;
-    out.results.resize(profilers.size());
-    for (size_t i = 0; i < profilers.size(); ++i) {
-        MHP_REQUIRE(profilers[i] != nullptr, "null profiler");
-        out.results[i].profilerName = profilers[i]->name();
-        out.results[i].intervals.reserve(numIntervals);
-    }
-
-    PerfectProfiler perfect(thresholdCount);
-
-    for (uint64_t interval = 0; interval < numIntervals; ++interval) {
-        uint64_t consumed = 0;
-        while (consumed < intervalLength && !source.done()) {
-            const Tuple t = source.next();
-            perfect.onEvent(t);
-            for (auto *profiler : profilers)
-                profiler->onEvent(t);
-            ++consumed;
-        }
-        out.eventsConsumed += consumed;
-        if (consumed < intervalLength) {
-            // Source ran dry: discard the partial interval.
-            perfect.reset();
-            break;
-        }
-
-        out.stream.distinctTuples.push_back(perfect.distinctTuples());
-        const auto &truth = perfect.counts();
-        for (size_t i = 0; i < profilers.size(); ++i) {
-            const IntervalSnapshot snap = profilers[i]->endInterval();
-            out.results[i].intervals.push_back(
-                scoreInterval(truth, snap, thresholdCount));
-        }
-        perfect.endInterval();
-        ++out.intervalsCompleted;
-    }
-    return out;
+    // Per-event cadence: a one-event staging cursor delivers every
+    // tuple as its own onEvents() block, which each profiler's base
+    // class runs through onEvent() (equivalence asserted by
+    // tests/core/test_batched_ingest).
+    EventSourceCursor cursor(source, 1);
+    StreamRunOptions options;
+    options.batchSize = 1;
+    return runIntervalsStream(cursor, profilers, intervalLength,
+                              thresholdCount, numIntervals, options);
 }
 
 RunOutput
@@ -123,53 +161,14 @@ runIntervalsBatched(EventSource &source,
                     uint64_t intervalLength, uint64_t thresholdCount,
                     uint64_t numIntervals, uint64_t batchSize)
 {
-    MHP_REQUIRE(!profilers.empty(), "no profilers to run");
-    MHP_REQUIRE(intervalLength > 0, "intervalLength must be positive");
     MHP_REQUIRE(batchSize > 0, "batchSize must be positive");
-
-    RunOutput out;
-    out.results.resize(profilers.size());
-    for (size_t i = 0; i < profilers.size(); ++i) {
-        MHP_REQUIRE(profilers[i] != nullptr, "null profiler");
-        out.results[i].profilerName = profilers[i]->name();
-        out.results[i].intervals.reserve(numIntervals);
-    }
-
-    PerfectProfiler perfect(thresholdCount);
-    std::vector<Tuple> buffer;
-    buffer.reserve(std::min<uint64_t>(batchSize, intervalLength));
-
-    for (uint64_t interval = 0; interval < numIntervals; ++interval) {
-        uint64_t consumed = 0;
-        while (consumed < intervalLength && !source.done()) {
-            buffer.clear();
-            const uint64_t want =
-                std::min(batchSize, intervalLength - consumed);
-            while (buffer.size() < want && !source.done())
-                buffer.push_back(source.next());
-            perfect.onEvents(buffer.data(), buffer.size());
-            for (auto *profiler : profilers)
-                profiler->onEvents(buffer.data(), buffer.size());
-            consumed += buffer.size();
-        }
-        out.eventsConsumed += consumed;
-        if (consumed < intervalLength) {
-            // Source ran dry: discard the partial interval.
-            perfect.reset();
-            break;
-        }
-
-        out.stream.distinctTuples.push_back(perfect.distinctTuples());
-        const auto &truth = perfect.counts();
-        for (size_t i = 0; i < profilers.size(); ++i) {
-            const IntervalSnapshot snap = profilers[i]->endInterval();
-            out.results[i].intervals.push_back(
-                scoreInterval(truth, snap, thresholdCount));
-        }
-        perfect.endInterval();
-        ++out.intervalsCompleted;
-    }
-    return out;
+    EventSourceCursor cursor(
+        source,
+        static_cast<size_t>(std::min(batchSize, intervalLength)));
+    StreamRunOptions options;
+    options.batchSize = batchSize;
+    return runIntervalsStream(cursor, profilers, intervalLength,
+                              thresholdCount, numIntervals, options);
 }
 
 RunOutput
@@ -208,22 +207,23 @@ runIntervalsSpan(TupleSpan stream,
     }
 
     // Phase 1 — ingest: each profiler walks its whole timeline on one
-    // worker. Profilers share no mutable state and read the same span.
+    // worker, through the streaming core in ingest-only mode (scoring
+    // is deferred to phase 2). Profilers share no mutable state and
+    // every cursor is a zero-copy view of the same span.
     parallelFor(
         profilers.size(),
         [&](size_t p) {
-            HardwareProfiler &profiler = *profilers[p];
-            for (uint64_t k = 0; k < intervals; ++k) {
-                const TupleSpan interval =
-                    stream.subspan(k * intervalLength, intervalLength);
-                for (size_t off = 0; off < interval.size();
-                     off += options.batchSize) {
-                    const size_t n = std::min<size_t>(
-                        options.batchSize, interval.size() - off);
-                    profiler.onEvents(interval.data() + off, n);
-                }
-                snapshots[p][k] = profiler.endInterval();
-            }
+            TupleSpanSource cursor(
+                stream.first(intervals * intervalLength));
+            StreamRunOptions ingest;
+            ingest.batchSize = options.batchSize;
+            ingest.keepSnapshots = true;
+            ingest.score = false;
+            std::vector<HardwareProfiler *> one{profilers[p]};
+            RunOutput sub =
+                runIntervalsStream(cursor, one, intervalLength,
+                                   thresholdCount, intervals, ingest);
+            snapshots[p] = std::move(sub.snapshots[0]);
         },
         options.threads, /*grain=*/1);
 

@@ -7,6 +7,15 @@
  * the *same* stream (the stream is generated once and fanned out),
  * which is how the benches sweep Figure 7/10/11/12 design spaces
  * efficiently and with identical inputs per configuration.
+ *
+ * One engine, many faces: runIntervalsStream() is the chunk-pull core
+ * of the streaming data plane — it pulls contiguous blocks from a
+ * StreamCursor, clips them to interval boundaries, and feeds every
+ * profiler through onEvents() in O(chunk) memory. runIntervals(),
+ * runIntervalsBatched(), and the per-profiler ingest leg of
+ * runIntervalsSpan() are thin adapters over it; every path produces
+ * bit-identical scores and snapshots (asserted by tests). See
+ * docs/STREAMING.md.
  */
 
 #ifndef MHP_ANALYSIS_INTERVAL_RUNNER_H
@@ -67,15 +76,54 @@ struct RunOutput
     uint64_t intervalsCompleted = 0;
 
     /**
-     * Per-profiler, per-interval snapshots; populated only by
-     * runIntervalsSpan() when BatchedRunOptions::keepSnapshots is set
-     * (the scored runs otherwise discard them to bound memory).
+     * Per-profiler, per-interval snapshots; populated only when the
+     * run's keepSnapshots option is set (StreamRunOptions or
+     * BatchedRunOptions) — scored runs otherwise discard them to
+     * bound memory.
      */
     std::vector<std::vector<IntervalSnapshot>> snapshots;
 };
 
+/** Knobs of the chunk-pull streaming core. */
+struct StreamRunOptions
+{
+    /** Chunk size requested from the cursor per onEvents() block. */
+    uint64_t batchSize = 4096;
+
+    /** Keep every interval snapshot in RunOutput::snapshots. */
+    bool keepSnapshots = false;
+
+    /**
+     * Build the perfect profile and score every interval. Disable to
+     * run ingest only (snapshots, event counts) — the span runner's
+     * parallel scoring phase rebuilds truth separately.
+     */
+    bool score = true;
+};
+
+/**
+ * The chunk-pull streaming engine every other runner is an adapter
+ * over. Pulls blocks of at most options.batchSize events from the
+ * cursor, never crossing an interval boundary, and feeds each block
+ * to every profiler via onEvents(); at each interval end the
+ * profilers' snapshots are scored against a perfect profile of the
+ * same events (unless options.score is off). Peak memory is
+ * O(batchSize) plus whatever the cursor itself holds — a zero-copy
+ * cursor (TupleSpanSource, TraceMapSource) adds nothing.
+ *
+ * A trailing partial interval (stream runs dry before numIntervals *
+ * intervalLength events) is consumed but discarded, exactly like
+ * every pre-existing runner.
+ */
+RunOutput runIntervalsStream(
+    StreamCursor &stream,
+    const std::vector<HardwareProfiler *> &profilers,
+    uint64_t intervalLength, uint64_t thresholdCount,
+    uint64_t numIntervals, const StreamRunOptions &options = {});
+
 /**
  * Run the stream through every profiler for a number of intervals.
+ * (Adapter: runIntervalsStream() pulling single events.)
  *
  * @param source The event stream (consumed).
  * @param profilers The hardware profilers under test (not owned).
@@ -99,7 +147,9 @@ RunOutput runIntervals(EventSource &source, HardwareProfiler &profiler,
  * events are buffered and delivered through onEvents() in blocks of
  * batchSize, so each profiler pays one virtual dispatch per block
  * instead of per event. Memory use is O(batchSize), independent of
- * the stream length — this is the variant sweep cells use.
+ * the stream length — this is the variant workload-backed sweep
+ * cells use. (Adapter: runIntervalsStream() over an
+ * EventSourceCursor.)
  */
 RunOutput runIntervalsBatched(
     EventSource &source, const std::vector<HardwareProfiler *> &profilers,

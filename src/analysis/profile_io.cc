@@ -274,21 +274,35 @@ ProfileReader::readInterval(IntervalSnapshot &snapshot)
     return true;
 }
 
+StatusOr<std::optional<IntervalSnapshot>>
+ProfileReader::next()
+{
+    IntervalSnapshot snapshot;
+    StatusOr<bool> got = readInterval(snapshot);
+    if (!got.isOk())
+        return got.status();
+    if (!*got) {
+        // The clean end is where trailing garbage becomes detectable:
+        // every declared interval parsed, yet bytes remain.
+        if (version >= 2 && offset != fileSize)
+            return corruptHere("trailing garbage after last interval");
+        return std::optional<IntervalSnapshot>();
+    }
+    return std::optional<IntervalSnapshot>(std::move(snapshot));
+}
+
 StatusOr<std::vector<IntervalSnapshot>>
 ProfileReader::readAll()
 {
     std::vector<IntervalSnapshot> all;
-    IntervalSnapshot snapshot;
     for (;;) {
-        StatusOr<bool> got = readInterval(snapshot);
+        StatusOr<std::optional<IntervalSnapshot>> got = next();
         if (!got.isOk())
             return got.status();
-        if (!*got)
+        if (!got->has_value())
             break;
-        all.push_back(std::move(snapshot));
+        all.push_back(std::move(**got));
     }
-    if (version >= 2 && offset != fileSize)
-        return corruptHere("trailing garbage after last interval");
     return all;
 }
 

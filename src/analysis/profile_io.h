@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,15 @@ class ProfileReader
     }
 
     /**
+     * Cursor: read the next snapshot, or nullopt at the clean end of
+     * the profile (where a v2 file with bytes trailing the last
+     * declared interval is rejected as corrupt). Peak memory is one
+     * interval — this is the streaming interface the tools and
+     * readAll() are built on.
+     */
+    StatusOr<std::optional<IntervalSnapshot>> next();
+
+    /**
      * Read the next snapshot.
      * @return true if one was read, false at clean end of profile, or
      *         a CorruptData/IoError Status (path + offset + reason).
@@ -123,8 +133,9 @@ class ProfileReader
     StatusOr<bool> readInterval(IntervalSnapshot &snapshot);
 
     /**
-     * Read all remaining snapshots; additionally rejects trailing
-     * garbage after the last declared v2 interval.
+     * Read all remaining snapshots into memory at once.
+     * @deprecated Convenience wrapper over next(); prefer the cursor —
+     * it keeps peak memory at one interval instead of the whole file.
      */
     StatusOr<std::vector<IntervalSnapshot>> readAll();
 

@@ -187,11 +187,19 @@ loadCheckpoint(const std::string &path, uint64_t fingerprint,
 
 SweepRunner::SweepRunner(SweepPlan plan) : sweepPlan(std::move(plan))
 {
+    if (sweepPlan.trace && sweepPlan.benchmarks.empty())
+        sweepPlan.benchmarks.push_back(sweepPlan.trace->path());
     MHP_REQUIRE(!sweepPlan.benchmarks.empty(), "sweep needs benchmarks");
     MHP_REQUIRE(!sweepPlan.configs.empty(), "sweep needs configurations");
     MHP_REQUIRE(sweepPlan.intervals > 0, "sweep needs intervals");
-    for (const auto &name : sweepPlan.benchmarks)
-        MHP_REQUIRE(isBenchmarkName(name), "unknown benchmark in sweep");
+    if (sweepPlan.trace) {
+        MHP_REQUIRE(sweepPlan.benchmarks.size() == 1,
+                    "a mapped-trace sweep has exactly one stream");
+    } else {
+        for (const auto &name : sweepPlan.benchmarks)
+            MHP_REQUIRE(isBenchmarkName(name),
+                        "unknown benchmark in sweep");
+    }
 }
 
 size_t
@@ -235,61 +243,81 @@ SweepRunner::planFingerprint() const
     plan.u64(sweepPlan.intervals);
     plan.u64(sweepPlan.workloadSeed);
     plan.u64(sweepPlan.batchSize);
+    // Appended only for trace-backed plans, so workload-plan
+    // fingerprints (and their existing checkpoints) are unchanged.
+    if (sweepPlan.trace)
+        plan.u64(sweepPlan.trace->fingerprint());
     return fnv1a64(plan.data(), plan.size());
+}
+
+void
+SweepRunner::computeCell(size_t cell, SweepCellResult &result) const
+{
+    const SweepPlan &plan = sweepPlan;
+    const size_t lengths =
+        plan.intervalLengths.empty() ? 1 : plan.intervalLengths.size();
+
+    const size_t b = cell / (plan.configs.size() * lengths);
+    const size_t rem = cell % (plan.configs.size() * lengths);
+    const size_t c = rem / lengths;
+    const size_t l = rem % lengths;
+
+    result.benchmarkIndex = b;
+    result.configIndex = c;
+    result.intervalLengthIndex = l;
+    result.benchmark = plan.benchmarks[b];
+    result.configLabel = plan.configs[c].label;
+
+    ProfilerConfig config = plan.configs[c].config;
+    if (!plan.intervalLengths.empty())
+        config.intervalLength = plan.intervalLengths[l];
+    result.intervalLength = config.intervalLength;
+    result.thresholdCount = config.thresholdCount();
+
+    auto profiler = makeProfiler(config);
+
+    RunOutput run;
+    if (plan.trace) {
+        // Every cell gets its own cursor over the one shared mapping:
+        // zero-copy chunks, no per-cell trace materialization.
+        TraceMapSource source(plan.trace);
+        StreamRunOptions options;
+        options.batchSize = plan.batchSize;
+        run = runIntervalsStream(source, {profiler.get()},
+                                 config.intervalLength,
+                                 config.thresholdCount(),
+                                 plan.intervals, options);
+    } else {
+        std::unique_ptr<EventSource> source =
+            plan.edges
+                ? std::unique_ptr<EventSource>(makeEdgeWorkload(
+                      result.benchmark, plan.workloadSeed))
+                : std::unique_ptr<EventSource>(makeValueWorkload(
+                      result.benchmark, plan.workloadSeed));
+        run = runIntervalsBatched(
+            *source, {profiler.get()}, config.intervalLength,
+            config.thresholdCount(), plan.intervals, plan.batchSize);
+    }
+
+    result.run = std::move(run.results[0]);
+    result.stream = std::move(run.stream);
+    result.eventsConsumed = run.eventsConsumed;
+    result.intervalsCompleted = run.intervalsCompleted;
 }
 
 std::vector<SweepCellResult>
 SweepRunner::run(unsigned threads) const
 {
-    const SweepPlan &plan = sweepPlan;
-    const size_t lengths =
-        plan.intervalLengths.empty() ? 1 : plan.intervalLengths.size();
     const size_t cells = cellCount();
-
     std::vector<SweepCellResult> out(cells);
 
-    // Cells are independent: each regenerates its stream from the
-    // workload seed and writes only its own slot, so any schedule
-    // merges into the same output. grain=1 because cells are few and
-    // unevenly sized (a 1M-event interval next to a 10K one).
+    // Cells are independent: each streams its own cursor (regenerated
+    // workload or a view of the shared mapping) and writes only its
+    // own slot, so any schedule merges into the same output. grain=1
+    // because cells are few and unevenly sized (a 1M-event interval
+    // next to a 10K one).
     parallelFor(
-        cells,
-        [&](size_t cell) {
-            const size_t b = cell / (plan.configs.size() * lengths);
-            const size_t rem = cell % (plan.configs.size() * lengths);
-            const size_t c = rem / lengths;
-            const size_t l = rem % lengths;
-
-            SweepCellResult &result = out[cell];
-            result.benchmarkIndex = b;
-            result.configIndex = c;
-            result.intervalLengthIndex = l;
-            result.benchmark = plan.benchmarks[b];
-            result.configLabel = plan.configs[c].label;
-
-            ProfilerConfig config = plan.configs[c].config;
-            if (!plan.intervalLengths.empty())
-                config.intervalLength = plan.intervalLengths[l];
-            result.intervalLength = config.intervalLength;
-            result.thresholdCount = config.thresholdCount();
-
-            std::unique_ptr<EventSource> source =
-                plan.edges
-                    ? std::unique_ptr<EventSource>(makeEdgeWorkload(
-                          result.benchmark, plan.workloadSeed))
-                    : std::unique_ptr<EventSource>(makeValueWorkload(
-                          result.benchmark, plan.workloadSeed));
-            auto profiler = makeProfiler(config);
-
-            RunOutput run = runIntervalsBatched(
-                *source, {profiler.get()}, config.intervalLength,
-                config.thresholdCount(), plan.intervals, plan.batchSize);
-
-            result.run = std::move(run.results[0]);
-            result.stream = std::move(run.stream);
-            result.eventsConsumed = run.eventsConsumed;
-            result.intervalsCompleted = run.intervalsCompleted;
-        },
+        cells, [&](size_t cell) { computeCell(cell, out[cell]); },
         threads, /*grain=*/1);
 
     return out;
@@ -299,9 +327,6 @@ StatusOr<std::vector<SweepCellResult>>
 SweepRunner::runWithCheckpoint(const std::string &checkpointPath,
                                unsigned threads) const
 {
-    const SweepPlan &plan = sweepPlan;
-    const size_t lengths =
-        plan.intervalLengths.empty() ? 1 : plan.intervalLengths.size();
     const size_t cells = cellCount();
     const uint64_t fingerprint = planFingerprint();
 
@@ -355,40 +380,8 @@ SweepRunner::runWithCheckpoint(const std::string &checkpointPath,
                 return;
             }
 
-            const size_t b = cell / (plan.configs.size() * lengths);
-            const size_t rem = cell % (plan.configs.size() * lengths);
-            const size_t c = rem / lengths;
-            const size_t l = rem % lengths;
-
             SweepCellResult &result = out[cell];
-            result.benchmarkIndex = b;
-            result.configIndex = c;
-            result.intervalLengthIndex = l;
-            result.benchmark = plan.benchmarks[b];
-            result.configLabel = plan.configs[c].label;
-
-            ProfilerConfig config = plan.configs[c].config;
-            if (!plan.intervalLengths.empty())
-                config.intervalLength = plan.intervalLengths[l];
-            result.intervalLength = config.intervalLength;
-            result.thresholdCount = config.thresholdCount();
-
-            std::unique_ptr<EventSource> source =
-                plan.edges
-                    ? std::unique_ptr<EventSource>(makeEdgeWorkload(
-                          result.benchmark, plan.workloadSeed))
-                    : std::unique_ptr<EventSource>(makeValueWorkload(
-                          result.benchmark, plan.workloadSeed));
-            auto profiler = makeProfiler(config);
-
-            RunOutput run = runIntervalsBatched(
-                *source, {profiler.get()}, config.intervalLength,
-                config.thresholdCount(), plan.intervals, plan.batchSize);
-
-            result.run = std::move(run.results[0]);
-            result.stream = std::move(run.stream);
-            result.eventsConsumed = run.eventsConsumed;
-            result.intervalsCompleted = run.intervalsCompleted;
+            computeCell(cell, result);
 
             // Journal the finished cell. Each record is written and
             // flushed whole under the lock, so a kill can only ever

@@ -4,9 +4,11 @@
  * interval-length) design space into independent cells and evaluates
  * them concurrently.
  *
- * Every cell regenerates its own event stream from the workload seed
- * and runs the batched interval pipeline serially, so cells share no
- * mutable state; results land in slots indexed by cell, which makes
+ * Every cell regenerates its own event stream from the workload seed —
+ * or, when the plan carries a mapped trace, replays one immutable
+ * TraceMap through its own zero-copy cursor — and runs the streaming
+ * interval pipeline serially, so cells share no mutable state; results
+ * land in slots indexed by cell, which makes
  * the merged output bit-identical for every thread count (asserted by
  * tests/analysis/test_sweep_runner). This is the engine behind the
  * figure benches' suite sweeps and any tool that scores many profiler
@@ -25,12 +27,14 @@
 #define MHP_ANALYSIS_SWEEP_RUNNER_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/interval_runner.h"
 #include "core/config.h"
 #include "support/status.h"
+#include "trace/trace_map.h"
 
 namespace mhp {
 
@@ -69,6 +73,18 @@ struct SweepPlan
 
     /** Events per onEvents() block in the batched ingest. */
     uint64_t batchSize = 4096;
+
+    /**
+     * Optional recorded input: when set, every cell replays this one
+     * immutable mapping through its own zero-copy cursor instead of
+     * regenerating a workload stream — no cell copies the trace, and
+     * all of them (parallel or resumed) read the same bytes. The
+     * `benchmarks` list then holds a single display name (defaulted
+     * to the trace path by SweepRunner); `edges` and `workloadSeed`
+     * are ignored. The trace fingerprint joins the plan fingerprint,
+     * so a checkpoint cannot be resumed against a different trace.
+     */
+    std::shared_ptr<const TraceMap> trace;
 };
 
 /** The scored result of one sweep cell. */
@@ -132,6 +148,9 @@ class SweepRunner
     uint64_t planFingerprint() const;
 
   private:
+    /** Evaluate one cell into `result` (shared by both run paths). */
+    void computeCell(size_t cell, SweepCellResult &result) const;
+
     SweepPlan sweepPlan;
 };
 

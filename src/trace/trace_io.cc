@@ -10,11 +10,46 @@ namespace mhp {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
-constexpr size_t kHeaderSize = 24;
-constexpr size_t kRecordSize = 16;
+constexpr size_t kHeaderSize = kTraceHeaderSize;
+constexpr size_t kRecordSize = kTraceRecordSize;
 constexpr size_t kBufferRecords = 4096;
 
 } // namespace
+
+Status
+validateTraceHeader(const std::string &path, const uint8_t *header,
+                    uint64_t fileSize, ProfileKind &kind,
+                    uint64_t &count)
+{
+    if (fileSize < kHeaderSize)
+        return Status::corruptData(path + ": truncated trace header");
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        return Status::corruptData(path + ": bad trace magic");
+    if (header[8] > static_cast<uint8_t>(ProfileKind::Mispredict))
+        return Status::corruptData(path +
+                                   ": unknown profile kind in header");
+    kind = static_cast<ProfileKind>(header[8]);
+    count = getLe64(header + 16);
+
+    // Validate the declared count against the bytes actually present,
+    // so replay can never read past the file or trust a corrupt count.
+    const uint64_t body = fileSize - kHeaderSize;
+    if (count > body / kRecordSize) {
+        return Status::corruptDataf(
+            "%s: header promises %llu events but only %llu bytes of "
+            "records follow (offset %zu)",
+            path.c_str(), static_cast<unsigned long long>(count),
+            static_cast<unsigned long long>(body), kHeaderSize);
+    }
+    if (body % kRecordSize != 0 || count != body / kRecordSize) {
+        return Status::corruptDataf(
+            "%s: trace body is %llu bytes; header promises exactly "
+            "%llu records of %zu bytes",
+            path.c_str(), static_cast<unsigned long long>(body),
+            static_cast<unsigned long long>(count), kRecordSize);
+    }
+    return Status::ok();
+}
 
 TraceWriter::TraceWriter(const std::string &path_, ProfileKind kind)
     : path(path_), out(path_, std::ios::binary)
@@ -97,31 +132,10 @@ TraceReader::open(const std::string &path)
     r->in.read(reinterpret_cast<char *>(header), kHeaderSize);
     if (r->in.gcount() != static_cast<std::streamsize>(kHeaderSize))
         return Status::corruptData(path + ": truncated trace header");
-    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
-        return Status::corruptData(path + ": bad trace magic");
-    if (header[8] > static_cast<uint8_t>(ProfileKind::Mispredict))
-        return Status::corruptData(path +
-                                   ": unknown profile kind in header");
-    r->profileKind = static_cast<ProfileKind>(header[8]);
-    r->total = getLe64(header + 16);
-
-    // Validate the declared count against the bytes actually present,
-    // so replay can never read past the file or trust a corrupt count.
-    const uint64_t body = fileSize - kHeaderSize;
-    if (r->total > body / kRecordSize) {
-        return Status::corruptDataf(
-            "%s: header promises %llu events but only %llu bytes of "
-            "records follow (offset %zu)",
-            path.c_str(), static_cast<unsigned long long>(r->total),
-            static_cast<unsigned long long>(body), kHeaderSize);
-    }
-    if (body % kRecordSize != 0 || r->total != body / kRecordSize) {
-        return Status::corruptDataf(
-            "%s: trace body is %llu bytes; header promises exactly "
-            "%llu records of %zu bytes",
-            path.c_str(), static_cast<unsigned long long>(body),
-            static_cast<unsigned long long>(r->total), kRecordSize);
-    }
+    if (Status bad = validateTraceHeader(path, header, fileSize,
+                                         r->profileKind, r->total);
+        !bad.isOk())
+        return bad;
 
     r->buffer.resize(kBufferRecords * kRecordSize);
     return r;

@@ -36,6 +36,27 @@
 
 namespace mhp {
 
+/** Fixed .mht layout shared by every trace backend. */
+inline constexpr size_t kTraceHeaderSize = 24;
+inline constexpr size_t kTraceRecordSize = 16;
+
+/**
+ * Validate a .mht header against the file's actual size: magic, kind
+ * byte, and the declared record count versus the bytes present. The
+ * one validator behind TraceReader (buffered reads) and TraceMap
+ * (mmap), so the two backends can never disagree on what a well-formed
+ * trace is.
+ *
+ * @param path File name, for diagnostics only.
+ * @param header The first kTraceHeaderSize bytes of the file.
+ * @param fileSize Total file size in bytes.
+ * @param kind [out] The declared profile kind.
+ * @param count [out] The declared record count.
+ */
+Status validateTraceHeader(const std::string &path,
+                           const uint8_t *header, uint64_t fileSize,
+                           ProfileKind &kind, uint64_t &count);
+
 /** Writes a tuple stream to a .mht file. */
 class TraceWriter : public EventSink
 {

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * mmap-backed .mht trace source: the zero-copy end of the streaming
+ * data plane (see docs/STREAMING.md).
+ *
+ * TraceMap opens a trace file read-only, validates the header with the
+ * same Status machinery as TraceReader, and maps the whole file into
+ * the address space. On little-endian hosts the record region — count
+ * * { first (8 LE), second (8 LE) } — already has the in-memory layout
+ * of a Tuple array, so consumers read the kernel page cache directly:
+ * no decode, no copy, and any number of readers (parallel sweep cells)
+ * can share one immutable mapping. On big-endian hosts the same API
+ * works through a chunked byte-swap fallback that decodes into a
+ * caller-owned scratch buffer, keeping memory O(chunk).
+ *
+ * TraceMapSource is the per-consumer cursor over a shared TraceMap:
+ * an EventSource for per-event consumers and a StreamCursor for
+ * batched ones. The map itself is immutable and thread-safe; each
+ * concurrent consumer owns its own source.
+ *
+ * When mmap itself fails — most commonly an address-space cap
+ * (ulimit -v) smaller than the trace — open() reports an IoError and
+ * callers fall back to the buffered TraceReader, which replays the
+ * same bytes in O(64 KiB) memory. tools/mhprof_run wires up exactly
+ * that fallback; the CI bounded-memory leg exercises it.
+ */
+
+#ifndef MHP_TRACE_TRACE_MAP_H
+#define MHP_TRACE_TRACE_MAP_H
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** An immutable, shareable read-only mapping of a .mht trace. */
+class TraceMap
+{
+  public:
+    /**
+     * Open, validate (magic, kind, declared count vs. file size), and
+     * map a trace read-only. Returns CorruptData/NotFound for invalid
+     * input and IoError when the mapping itself fails (e.g. the file
+     * exceeds an address-space limit) — callers that can stream
+     * should treat IoError as "fall back to TraceReader".
+     */
+    static StatusOr<std::shared_ptr<const TraceMap>>
+    open(const std::string &path);
+
+    ~TraceMap();
+
+    TraceMap(const TraceMap &) = delete;
+    TraceMap &operator=(const TraceMap &) = delete;
+
+    ProfileKind kind() const { return profileKind; }
+    uint64_t totalEvents() const { return total; }
+    const std::string &path() const { return filePath; }
+
+    /** True when records can be viewed in place on this host. */
+    static constexpr bool
+    zeroCopy()
+    {
+        return std::endian::native == std::endian::little;
+    }
+
+    /**
+     * Zero-copy view of every record, valid for the map's lifetime.
+     * Disengaged on big-endian hosts — use read() there.
+     */
+    std::optional<TupleSpan> span() const;
+
+    /**
+     * View up to maxCount records starting at event `offset`. On
+     * little-endian hosts this is a view into the mapping and
+     * `scratch` is untouched; otherwise the records are byte-swapped
+     * into `scratch` (resized to the chunk, reused across calls) and
+     * the returned span aliases it. Either way the result is invalid
+     * after `scratch` is next modified or the map destroyed.
+     */
+    TupleSpan read(uint64_t offset, size_t maxCount,
+                   std::vector<Tuple> &scratch) const;
+
+    /** Decode one record (endian-independent; offset < totalEvents). */
+    Tuple at(uint64_t offset) const;
+
+    /**
+     * Content fingerprint for sweep-checkpoint compatibility: kind,
+     * record count, and the first and last 64 KiB of records. Not a
+     * full-file checksum — a resume against a trace doctored in the
+     * middle is on the operator — but it catches the realistic
+     * mistakes (different trace, re-recorded trace, truncation).
+     */
+    uint64_t fingerprint() const;
+
+  private:
+    TraceMap() = default;
+
+    const uint8_t *records() const;
+
+    std::string filePath;
+    ProfileKind profileKind = ProfileKind::Value;
+    uint64_t total = 0;
+    void *base = nullptr; ///< whole-file mapping
+    size_t mapLength = 0;
+};
+
+/**
+ * Cursor over a shared TraceMap: EventSource for per-event consumers,
+ * StreamCursor for batched ones. Holds a reference on the map, so the
+ * mapping outlives every source over it.
+ */
+class TraceMapSource final : public EventSource, public StreamCursor
+{
+  public:
+    explicit TraceMapSource(std::shared_ptr<const TraceMap> map);
+
+    Tuple next() override;
+    bool done() const override { return pos >= map->totalEvents(); }
+    ProfileKind kind() const override { return map->kind(); }
+    std::string name() const override { return map->path(); }
+
+    /**
+     * Pull the next chunk: a zero-copy view of the mapping on
+     * little-endian hosts, a byte-swapped copy in the source's own
+     * reused scratch buffer otherwise (valid until the next take()).
+     */
+    TupleSpan take(size_t maxEvents) override;
+
+    /** Rewind to the beginning of the trace. */
+    void rewind() { pos = 0; }
+
+    uint64_t size() const { return map->totalEvents(); }
+    uint64_t position() const { return pos; }
+
+  private:
+    std::shared_ptr<const TraceMap> map;
+    uint64_t pos = 0;
+    std::vector<Tuple> scratch; ///< big-endian decode buffer only
+};
+
+} // namespace mhp
+
+#endif // MHP_TRACE_TRACE_MAP_H

@@ -13,7 +13,6 @@
 #ifndef MHP_TRACE_TUPLE_SPAN_H
 #define MHP_TRACE_TUPLE_SPAN_H
 
-#include <span>
 #include <string>
 
 #include "trace/source.h"
@@ -21,18 +20,16 @@
 
 namespace mhp {
 
-/** A non-owning view of a contiguous run of profiling events. */
-using TupleSpan = std::span<const Tuple>;
-
 /**
- * EventSource adapter over a TupleSpan.
+ * EventSource and StreamCursor adapter over a TupleSpan (the alias
+ * itself lives in trace/source.h).
  *
  * Works with any per-event consumer through next()/done(), and with
  * batched consumers through take(), which hands out contiguous
- * sub-spans and advances the cursor. Mixing the two styles is fine;
- * both consume from the same position.
+ * zero-copy sub-spans and advances the cursor. Mixing the two styles
+ * is fine; both consume from the same position.
  */
-class TupleSpanSource final : public EventSource
+class TupleSpanSource final : public EventSource, public StreamCursor
 {
   public:
     /**
@@ -52,9 +49,11 @@ class TupleSpanSource final : public EventSource
 
     /**
      * Consume up to maxEvents events as one contiguous block. Returns
-     * an empty span once the stream is exhausted.
+     * an empty span once the stream is exhausted. Unlike staging
+     * cursors, the returned view stays valid for the source's
+     * lifetime (it aliases the backing storage).
      */
-    TupleSpan take(size_t maxEvents);
+    TupleSpan take(size_t maxEvents) override;
 
     /** The not-yet-consumed tail of the stream. */
     TupleSpan remaining() const { return span.subspan(pos); }

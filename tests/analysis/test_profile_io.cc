@@ -112,6 +112,54 @@ TEST_F(ProfileIoTest, ReadAllCollectsEverything)
     }
 }
 
+TEST_F(ProfileIoTest, NextCursorsThroughEveryInterval)
+{
+    {
+        ProfileWriter w(path, ProfileKind::Value, 10'000, 100);
+        for (uint64_t iv = 0; iv < 4; ++iv)
+            ASSERT_TRUE(
+                w.writeInterval({{Tuple{iv, iv + 1}, iv + 2}}).isOk());
+    }
+    auto opened = ProfileReader::open(path);
+    ASSERT_TRUE(opened.isOk()) << opened.status().toString();
+    for (uint64_t iv = 0; iv < 4; ++iv) {
+        auto got = opened->next();
+        ASSERT_TRUE(got.isOk()) << got.status().toString();
+        ASSERT_TRUE(got->has_value()) << "interval " << iv;
+        ASSERT_EQ((*got)->size(), 1u);
+        EXPECT_EQ((**got)[0], (CandidateCount{{iv, iv + 1}, iv + 2}));
+    }
+    // The clean end is nullopt, and stays nullopt on re-poll.
+    auto end = opened->next();
+    ASSERT_TRUE(end.isOk()) << end.status().toString();
+    EXPECT_FALSE(end->has_value());
+    end = opened->next();
+    ASSERT_TRUE(end.isOk());
+    EXPECT_FALSE(end->has_value());
+}
+
+TEST_F(ProfileIoTest, NextRejectsTrailingGarbage)
+{
+    {
+        ProfileWriter w(path, ProfileKind::Value, 10'000, 100);
+        ASSERT_TRUE(w.writeInterval({{Tuple{1, 2}, 3}}).isOk());
+    }
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::app);
+        f << "extra";
+    }
+    auto opened = ProfileReader::open(path);
+    ASSERT_TRUE(opened.isOk()) << opened.status().toString();
+    auto got = opened->next();
+    ASSERT_TRUE(got.isOk()) << got.status().toString();
+    ASSERT_TRUE(got->has_value()); // the real interval still reads
+    got = opened->next();
+    ASSERT_FALSE(got.isOk()); // ...but the end is not clean
+    EXPECT_EQ(got.status().code(), StatusCode::CorruptData);
+    EXPECT_NE(got.status().message().find("trailing garbage"),
+              std::string::npos);
+}
+
 TEST_F(ProfileIoTest, MissingFileIsError)
 {
     auto opened = ProfileReader::open("/nonexistent/profile.mhp");

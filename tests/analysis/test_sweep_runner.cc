@@ -11,12 +11,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/interval_runner.h"
 #include "analysis/sweep_runner.h"
 #include "core/factory.h"
+#include "trace/trace_io.h"
+#include "trace/trace_map.h"
 #include "trace/tuple_span.h"
 #include "trace/vector_source.h"
 #include "workload/benchmarks.h"
@@ -213,6 +219,120 @@ TEST(RunnerVariants, SpanKeepsSnapshotsOnRequest)
         TupleSpan(events.data(), events.size()), {p3.get()}, 1000, 10,
         3);
     EXPECT_TRUE(dropped.snapshots.empty());
+}
+
+/** Mapped-trace sweeps: one shared mapping, one cursor per cell. */
+class TraceSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        tracePath =
+            (std::filesystem::temp_directory_path() /
+             ("mhp_sweep_trace_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".mht"))
+                .string();
+        tuples = sampleStream(10'000);
+        TraceWriter w(tracePath, ProfileKind::Value);
+        for (const auto &t : tuples)
+            w.accept(t);
+        ASSERT_TRUE(w.close().isOk());
+    }
+
+    void TearDown() override { std::remove(tracePath.c_str()); }
+
+    /** A two-config, two-length plan over the recorded trace. */
+    SweepPlan
+    tracePlan()
+    {
+        auto map = TraceMap::open(tracePath);
+        EXPECT_TRUE(map.isOk()) << map.status().toString();
+        SweepPlan plan;
+        plan.trace = *map;
+        plan.intervals = 4;
+        plan.intervalLengths = {1000, 2000};
+        plan.batchSize = 333; // never divides either interval length
+        ProfilerConfig best = bestMultiHashConfig(1000, 0.01);
+        best.totalHashEntries = 512;
+        plan.configs.push_back({"mh4", best});
+        ProfilerConfig single = bestSingleHashConfig(1000, 0.01);
+        single.totalHashEntries = 512;
+        plan.configs.push_back({"bsh", single});
+        return plan;
+    }
+
+    std::string tracePath;
+    std::vector<Tuple> tuples;
+};
+
+TEST_F(TraceSweepTest, CellsMatchDirectRunsOverTheSameEvents)
+{
+    const SweepRunner runner(tracePlan());
+    const auto cells = runner.run(1);
+    ASSERT_EQ(cells.size(), 4u); // 1 stream x 2 configs x 2 lengths
+
+    // Every cell must equal a per-event reference run over the same
+    // tuples — the mapped path changes plumbing, never results.
+    for (const auto &cell : cells) {
+        ProfilerConfig cfg =
+            runner.plan().configs[cell.configIndex].config;
+        cfg.intervalLength = cell.intervalLength;
+        auto profiler = makeProfiler(cfg);
+        VectorSource source(tuples, ProfileKind::Value, "vector");
+        const RunOutput reference =
+            runIntervals(source, *profiler, cfg.intervalLength,
+                         cfg.thresholdCount(), 4);
+        EXPECT_EQ(cell.benchmark, tracePath); // display name defaults
+        EXPECT_EQ(cell.eventsConsumed, reference.eventsConsumed);
+        EXPECT_EQ(cell.intervalsCompleted,
+                  reference.intervalsCompleted);
+        EXPECT_EQ(cell.stream.distinctTuples,
+                  reference.stream.distinctTuples);
+        expectSameRun(cell.run, reference.results[0]);
+    }
+}
+
+TEST_F(TraceSweepTest, ThreadCountDoesNotChangeMappedResults)
+{
+    const SweepRunner runner(tracePlan());
+    const auto serial = runner.run(1);
+    const auto threaded = runner.run(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].eventsConsumed, threaded[i].eventsConsumed);
+        EXPECT_EQ(serial[i].stream.distinctTuples,
+                  threaded[i].stream.distinctTuples);
+        expectSameRun(serial[i].run, threaded[i].run);
+    }
+}
+
+TEST_F(TraceSweepTest, FingerprintCoversTheTraceContent)
+{
+    const SweepRunner runner(tracePlan());
+    const uint64_t withTrace = runner.planFingerprint();
+
+    // The same knobs without the trace fingerprint differently.
+    SweepPlan workload = tracePlan();
+    workload.trace.reset();
+    workload.benchmarks = {"gcc"};
+    EXPECT_NE(SweepRunner(std::move(workload)).planFingerprint(),
+              withTrace);
+
+    // A doctored trace (one flipped record) fingerprints differently.
+    {
+        std::fstream f(tracePath, std::ios::binary | std::ios::in |
+                                      std::ios::out);
+        f.seekp(static_cast<std::streamoff>(kTraceHeaderSize));
+        const uint64_t poison = ~0ULL;
+        f.write(reinterpret_cast<const char *>(&poison), 8);
+    }
+    EXPECT_NE(SweepRunner(tracePlan()).planFingerprint(), withTrace);
 }
 
 } // namespace

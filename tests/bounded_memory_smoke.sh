@@ -1,0 +1,53 @@
+#!/bin/sh
+# Bounded-memory smoke test for the streaming data plane: run the
+# tools against a trace file LARGER than the process address-space cap
+# (ulimit -v). The zero-copy mmap cannot succeed under the cap, so
+# TraceMap::open reports IoError and the tools must fall back to the
+# buffered O(64 KiB) reader and still complete — proving the pipeline
+# holds no full trace copy anywhere.
+# Usage: bounded_memory_smoke.sh <build-tools-dir>
+set -e
+TOOLS="$(cd "$1" && pwd)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# 8M events * 16 bytes = 128 MiB of trace, recorded with no cap.
+EVENTS=8000000
+"$TOOLS/mhprof_trace" --benchmark=li --events=$EVENTS \
+    --out="$TMP/big.mht" | grep -q "recorded $EVENTS value events"
+
+# 96 MiB address-space cap: smaller than the trace file, with room
+# for the binary, libraries, and the O(batch) streaming state.
+CAP_KB=98304
+
+# mhprof_run must note the failed mmap and finish via the buffered
+# reader, producing a complete 20-interval profile.
+(
+    ulimit -v $CAP_KB
+    exec "$TOOLS/mhprof_run" --trace="$TMP/big.mht" --intervals=20 \
+        --out="$TMP/a.mhp" > "$TMP/run.out" 2> "$TMP/run.err"
+)
+grep -q "20 intervals" "$TMP/run.out" || {
+    echo "FAIL: capped mhprof_run did not complete 20 intervals:"
+    cat "$TMP/run.out" "$TMP/run.err"; exit 1; }
+grep -q "cannot mmap trace" "$TMP/run.err" || {
+    echo "FAIL: capped mhprof_run did not fall back from mmap:"
+    cat "$TMP/run.err"; exit 1; }
+
+# A second capped run and a capped compare: interval-by-interval
+# scoring from two reader cursors needs O(interval), not O(file).
+(
+    ulimit -v $CAP_KB
+    exec "$TOOLS/mhprof_run" --trace="$TMP/big.mht" --intervals=20 \
+        --out="$TMP/b.mhp" > /dev/null 2> /dev/null
+)
+(
+    ulimit -v $CAP_KB
+    exec "$TOOLS/mhprof_compare" "$TMP/a.mhp" "$TMP/b.mhp" \
+        > "$TMP/cmp.out"
+)
+grep -q "onlyA 0, onlyB 0" "$TMP/cmp.out" || {
+    echo "FAIL: capped compare did not report identical profiles:"
+    cat "$TMP/cmp.out"; exit 1; }
+
+echo "bounded memory smoke test passed"

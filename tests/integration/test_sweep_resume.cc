@@ -17,6 +17,9 @@
 
 #include "analysis/sweep_runner.h"
 #include "core/factory.h"
+#include "trace/trace_io.h"
+#include "trace/trace_map.h"
+#include "workload/benchmarks.h"
 
 namespace mhp {
 namespace {
@@ -208,6 +211,101 @@ TEST_F(SweepResumeTest, FingerprintIsSensitiveToEveryKnob)
                   p.configs[0].config.seed ^= 1;
               }),
               baseline);
+}
+
+/** Checkpoint/resume over a mapped trace instead of workloads. */
+class MappedTraceResumeTest : public SweepResumeTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SweepResumeTest::SetUp();
+        tracePath = path + ".mht";
+        recordTrace(tracePath, /*seed=*/5);
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(tracePath.c_str());
+        SweepResumeTest::TearDown();
+    }
+
+    static void
+    recordTrace(const std::string &to, uint64_t seed)
+    {
+        auto workload = makeValueWorkload("gcc", seed);
+        TraceWriter w(to, ProfileKind::Value);
+        pump(*workload, w, 8'000);
+        ASSERT_TRUE(w.close().isOk());
+    }
+
+    /** resumePlan()'s knobs, but replaying the recorded trace. */
+    SweepPlan
+    mappedPlan() const
+    {
+        auto map = TraceMap::open(tracePath);
+        EXPECT_TRUE(map.isOk()) << map.status().toString();
+        SweepPlan plan = resumePlan();
+        plan.benchmarks.clear();
+        plan.trace = *map;
+        return plan;
+    }
+
+    std::string tracePath;
+};
+
+TEST_F(MappedTraceResumeTest, KilledMappedSweepResumesBitIdentical)
+{
+    const SweepRunner runner(mappedPlan());
+    const auto plain = runner.run(1);
+    auto full = runner.runWithCheckpoint(path, 1);
+    ASSERT_TRUE(full.isOk()) << full.status().toString();
+    EXPECT_EQ(*full, plain);
+
+    // Truncate the journal at arbitrary points (a simulated kill) and
+    // resume: the recomputed cells replay the same shared mapping, so
+    // the merged output must stay bit-identical.
+    std::vector<uint8_t> journal;
+    {
+        std::ifstream in(path, std::ios::binary);
+        journal.assign((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    }
+    for (size_t cut :
+         {size_t{0}, size_t{24}, journal.size() / 2,
+          journal.size() - 1}) {
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(reinterpret_cast<const char *>(journal.data()),
+                      static_cast<std::streamsize>(cut));
+        }
+        auto resumed = runner.runWithCheckpoint(path, 2);
+        ASSERT_TRUE(resumed.isOk())
+            << "cut at " << cut << ": " << resumed.status().toString();
+        EXPECT_EQ(*resumed, plain) << "cut at " << cut;
+    }
+}
+
+TEST_F(MappedTraceResumeTest, DifferentTraceIsRejected)
+{
+    {
+        const SweepRunner runner(mappedPlan());
+        ASSERT_TRUE(runner.runWithCheckpoint(path, 1).isOk());
+    }
+
+    // Re-record the trace from a different seed: same path, different
+    // content. The trace fingerprint is part of the plan fingerprint,
+    // so resuming the old checkpoint must be refused.
+    recordTrace(tracePath, /*seed=*/6);
+    const SweepRunner other(mappedPlan());
+    auto resumed = other.runWithCheckpoint(path, 1);
+    ASSERT_FALSE(resumed.isOk());
+    EXPECT_EQ(resumed.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(resumed.status().message().find("different sweep plan"),
+              std::string::npos);
 }
 
 } // namespace

@@ -12,6 +12,10 @@
  * shared, and the count disagreement on shared candidates. When the
  * profiles come from the same input, a design with fewer false
  * positives shows up as "only-in" entries on the other side.
+ *
+ * Both profiles are walked with ProfileReader::next() cursors in lock
+ * step, so peak memory is one interval per side regardless of how
+ * long the profiles are.
  */
 
 #include <cmath>
@@ -59,41 +63,40 @@ main(int argc, char **argv)
         return 1;
     }
 
-    auto readA = ra.readAll();
-    if (!readA.isOk()) {
-        std::fprintf(stderr, "mhprof_compare: %s\n",
-                     readA.status().toString().c_str());
-        return 1;
-    }
-    auto readB = rb.readAll();
-    if (!readB.isOk()) {
-        std::fprintf(stderr, "mhprof_compare: %s\n",
-                     readB.status().toString().c_str());
-        return 1;
-    }
-    const auto &a = *readA;
-    const auto &b = *readB;
-    const size_t intervals = a.size() < b.size() ? a.size() : b.size();
-    if (a.size() != b.size()) {
-        std::fprintf(stderr,
-                     "note: interval counts differ (%zu vs %zu); "
-                     "comparing the first %zu\n",
-                     a.size(), b.size(), intervals);
-    }
-
     uint64_t total_only_a = 0, total_only_b = 0, total_shared = 0;
     double total_disagreement = 0.0;
     const bool verbose = cli.getBool("verbose");
 
+    size_t countA = 0, countB = 0;
+    size_t iv = 0;
     std::printf("interval  onlyA  onlyB  shared  mean|dA-dB|/max\n");
-    for (size_t iv = 0; iv < intervals; ++iv) {
+    for (;; ++iv) {
+        auto gotA = ra.next();
+        if (!gotA.isOk()) {
+            std::fprintf(stderr, "mhprof_compare: %s\n",
+                         gotA.status().toString().c_str());
+            return 1;
+        }
+        auto gotB = rb.next();
+        if (!gotB.isOk()) {
+            std::fprintf(stderr, "mhprof_compare: %s\n",
+                         gotB.status().toString().c_str());
+            return 1;
+        }
+        if (gotA->has_value())
+            ++countA;
+        if (gotB->has_value())
+            ++countB;
+        if (!gotA->has_value() || !gotB->has_value())
+            break;
+
         std::unordered_map<Tuple, uint64_t, TupleHash> in_a;
-        for (const auto &cand : a[iv])
+        for (const auto &cand : **gotA)
             in_a.emplace(cand.tuple, cand.count);
 
         uint64_t only_b = 0, shared = 0;
         double disagreement = 0.0;
-        for (const auto &cand : b[iv]) {
+        for (const auto &cand : **gotB) {
             const auto it = in_a.find(cand.tuple);
             if (it == in_a.end()) {
                 ++only_b;
@@ -133,6 +136,29 @@ main(int argc, char **argv)
         total_only_b += only_b;
         total_shared += shared;
         total_disagreement += disagreement;
+    }
+
+    // Drain whichever profile is longer, one interval at a time, so
+    // its tail is still validated and counted for the mismatch note.
+    for (ProfileReader *r : {&ra, &rb}) {
+        size_t &count = r == &ra ? countA : countB;
+        for (;;) {
+            auto got = r->next();
+            if (!got.isOk()) {
+                std::fprintf(stderr, "mhprof_compare: %s\n",
+                             got.status().toString().c_str());
+                return 1;
+            }
+            if (!got->has_value())
+                break;
+            ++count;
+        }
+    }
+    if (countA != countB) {
+        std::fprintf(stderr,
+                     "note: interval counts differ (%zu vs %zu); "
+                     "compared the first %zu\n",
+                     countA, countB, iv);
     }
 
     std::printf("\ntotals: onlyA %llu, onlyB %llu, shared %llu, mean "

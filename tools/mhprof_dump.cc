@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "analysis/profile_io.h"
 #include "analysis/simpoint.h"
@@ -44,32 +46,48 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     reader.thresholdCount()));
 
-    auto read = reader.readAll();
-    if (!read.isOk()) {
-        std::fprintf(stderr, "mhprof_dump: %s\n",
-                     read.status().toString().c_str());
-        return 1;
+    // Stream the profile one interval at a time; snapshots are only
+    // retained when the phase analysis (which needs them all) is
+    // requested. v1 has no declared count, so its total prints after
+    // the per-interval lines instead of before.
+    const bool knownCount = reader.formatVersion() >= 2;
+    if (knownCount) {
+        std::printf("intervals: %llu\n\n",
+                    static_cast<unsigned long long>(
+                        reader.declaredIntervals()));
     }
-    const auto &snapshots = *read;
-    std::printf("intervals: %zu\n\n", snapshots.size());
 
     const auto top = static_cast<size_t>(cli.getInt("top"));
-    for (size_t iv = 0; iv < snapshots.size(); ++iv) {
+    const auto phases = static_cast<unsigned>(cli.getInt("phases"));
+    std::vector<IntervalSnapshot> snapshots;
+    size_t iv = 0;
+    for (;; ++iv) {
+        auto got = reader.next();
+        if (!got.isOk()) {
+            std::fprintf(stderr, "mhprof_dump: %s\n",
+                         got.status().toString().c_str());
+            return 1;
+        }
+        if (!got->has_value())
+            break;
+        const IntervalSnapshot &snap = **got;
         uint64_t mass = 0;
-        for (const auto &cand : snapshots[iv])
+        for (const auto &cand : snap)
             mass += cand.count;
         std::printf("interval %3zu: %4zu candidates, mass %llu\n", iv,
-                    snapshots[iv].size(),
+                    snap.size(),
                     static_cast<unsigned long long>(mass));
-        for (size_t k = 0; k < snapshots[iv].size() && k < top; ++k) {
+        for (size_t k = 0; k < snap.size() && k < top; ++k) {
             std::printf("    %-30s x%llu\n",
-                        snapshots[iv][k].tuple.toString().c_str(),
-                        static_cast<unsigned long long>(
-                            snapshots[iv][k].count));
+                        snap[k].tuple.toString().c_str(),
+                        static_cast<unsigned long long>(snap[k].count));
         }
+        if (phases > 0)
+            snapshots.push_back(std::move(**got));
     }
+    if (!knownCount)
+        std::printf("\nintervals: %zu\n", iv);
 
-    const auto phases = static_cast<unsigned>(cli.getInt("phases"));
     if (phases > 0 && !snapshots.empty()) {
         SimpointAnalysis sp(phases);
         const auto found = sp.analyze(snapshots);

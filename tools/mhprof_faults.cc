@@ -9,11 +9,18 @@
  * Section 5.5) degrades. The conservative-update multi-hash design
  * spreads each tuple over several counters, so a single flipped bit
  * perturbs a minimum-of-four rather than the only copy — this tool
- * quantifies that robustness edge. Example:
+ * quantifies that robustness edge. Examples:
  *
  *   mhprof_faults --benchmark=gcc --rates=0,1e-5,1e-4,1e-3
+ *   mhprof_faults --trace=run.mht --rates=0,1e-4
+ *
+ * Every configuration x rate cell pulls chunks from its own
+ * StreamCursor: workloads stage through one reused O(chunk) buffer,
+ * and a recorded trace is mapped once and shared zero-copy by every
+ * cell — no cell materializes its own copy of the trace.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +33,8 @@
 #include "core/perfect_profiler.h"
 #include "sim/fault_injector.h"
 #include "support/cli.h"
+#include "trace/trace_io.h"
+#include "trace/trace_map.h"
 #include "workload/benchmarks.h"
 
 namespace {
@@ -59,47 +68,49 @@ parseRates(const std::string &spec, std::vector<double> &rates)
 }
 
 /**
- * Profile the benchmark under fault injection at one rate and return
- * the average weighted error (percent) over all intervals.
+ * Profile one stream under fault injection at one rate and return the
+ * average weighted error (percent) over the completed intervals. The
+ * cursor is pulled chunk by chunk — a mapped trace serves views, a
+ * workload stages into the cursor's one reused buffer — so the cell
+ * never holds more than O(chunk) of events. A trailing partial
+ * interval (finite trace) is discarded, like every interval runner.
  */
 double
-faultedErrorPercent(const std::string &benchmark, bool edges,
-                    const ProfilerConfig &cfg, uint64_t intervals,
-                    uint64_t workloadSeed, double rate,
-                    uint64_t faultSeed, uint64_t chunk)
+faultedErrorPercent(StreamCursor &stream, const ProfilerConfig &cfg,
+                    uint64_t intervals, double rate, uint64_t faultSeed,
+                    uint64_t chunk)
 {
-    std::unique_ptr<EventSource> source;
-    if (edges)
-        source = makeEdgeWorkload(benchmark, workloadSeed);
-    else
-        source = makeValueWorkload(benchmark, workloadSeed);
     auto hardware = makeProfiler(cfg);
     PerfectProfiler perfect(cfg.thresholdCount());
     FaultInjector injector({.faultsPerEvent = rate, .seed = faultSeed});
     injector.attach(*hardware);
 
     double errorSum = 0.0;
-    std::vector<Tuple> batch(chunk);
+    uint64_t completed = 0;
     for (uint64_t iv = 0; iv < intervals; ++iv) {
         uint64_t remaining = cfg.intervalLength;
         while (remaining > 0) {
-            const uint64_t take = remaining < chunk ? remaining : chunk;
-            for (uint64_t i = 0; i < take; ++i)
-                batch[i] = source->next();
-            hardware->onEvents(batch.data(), take);
-            perfect.onEvents(batch.data(), take);
+            const TupleSpan batch = stream.take(
+                static_cast<size_t>(std::min(remaining, chunk)));
+            if (batch.empty())
+                break; // stream ran dry
+            hardware->onEvents(batch.data(), batch.size());
+            perfect.onEvents(batch.data(), batch.size());
             // Faults accrue with event flow, interleaved at chunk
             // granularity (the injector's stream is split-invariant).
-            injector.advance(take);
-            remaining -= take;
+            injector.advance(batch.size());
+            remaining -= batch.size();
         }
+        if (remaining > 0)
+            break; // discard the partial interval
         const IntervalSnapshot snap = hardware->endInterval();
         errorSum += scoreInterval(perfect.counts(), snap,
                                   cfg.thresholdCount())
                         .breakdown.total();
         (void)perfect.endInterval();
+        ++completed;
     }
-    return intervals > 0 ? 100.0 * errorSum / double(intervals) : 0.0;
+    return completed > 0 ? 100.0 * errorSum / double(completed) : 0.0;
 }
 
 } // namespace
@@ -113,6 +124,8 @@ main(int argc, char **argv)
                   "multi-hash profilers and report error degradation");
     cli.addString("benchmark", "gcc", "suite benchmark to profile");
     cli.addBool("edges", false, "use the edge model");
+    cli.addString("trace", "",
+                  "input .mht trace (instead of a benchmark model)");
     cli.addInt("intervals", 10, "profile intervals per cell");
     cli.addInt("interval-length", 10'000, "events per interval");
     cli.addDouble("threshold", 1.0, "candidate threshold in percent");
@@ -131,7 +144,8 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string benchmark = cli.getString("benchmark");
-    if (!isBenchmarkName(benchmark)) {
+    const std::string tracePath = cli.getString("trace");
+    if (tracePath.empty() && !isBenchmarkName(benchmark)) {
         std::fprintf(stderr,
                      "mhprof_faults: unknown benchmark \"%s\"\n",
                      benchmark.c_str());
@@ -170,9 +184,57 @@ main(int argc, char **argv)
         static_cast<uint64_t>(cli.getInt("fault-seed"));
     const uint64_t chunk = static_cast<uint64_t>(cli.getInt("chunk"));
 
+    // A recorded trace is mapped once, up front; every cell then
+    // replays the same immutable mapping through its own cursor. If
+    // the mapping itself fails (address-space cap), cells fall back to
+    // reopening the buffered reader — still O(chunk) per cell.
+    std::shared_ptr<const TraceMap> map;
+    bool bufferedTrace = false;
+    if (!tracePath.empty()) {
+        auto mapped = TraceMap::open(tracePath);
+        if (mapped.isOk()) {
+            map = std::move(*mapped);
+        } else if (mapped.status().code() == StatusCode::IoError) {
+            bufferedTrace = true;
+        } else {
+            std::fprintf(stderr, "mhprof_faults: %s\n",
+                         mapped.status().toString().c_str());
+            return 1;
+        }
+    }
+
+    // Evaluate one configuration x rate cell over a fresh cursor.
+    auto cellError = [&](const ProfilerConfig &cfg,
+                         double rate) -> StatusOr<double> {
+        std::unique_ptr<EventSource> source;
+        std::unique_ptr<StreamCursor> cursor;
+        if (map) {
+            cursor = std::make_unique<TraceMapSource>(map);
+        } else if (bufferedTrace) {
+            auto opened = TraceReader::open(tracePath);
+            if (!opened.isOk())
+                return opened.status();
+            source = std::move(*opened);
+            cursor = std::make_unique<EventSourceCursor>(
+                *source, static_cast<size_t>(chunk));
+        } else {
+            if (edges)
+                source = makeEdgeWorkload(benchmark, workloadSeed);
+            else
+                source = makeValueWorkload(benchmark, workloadSeed);
+            cursor = std::make_unique<EventSourceCursor>(
+                *source, static_cast<size_t>(chunk));
+        }
+        return faultedErrorPercent(*cursor, cfg, intervals, rate,
+                                   faultSeed, chunk);
+    };
+
     std::printf("# %s %s, %llu intervals x %llu events, threshold "
                 "%.2f%%, %llu entries\n",
-                benchmark.c_str(), edges ? "edges" : "values",
+                tracePath.empty() ? benchmark.c_str()
+                                  : tracePath.c_str(),
+                tracePath.empty() ? (edges ? "edges" : "values")
+                                  : "trace",
                 static_cast<unsigned long long>(intervals),
                 static_cast<unsigned long long>(intervalLength),
                 100.0 * threshold,
@@ -181,13 +243,19 @@ main(int argc, char **argv)
     std::printf("%-12s %14s %14s\n", "faults/event", "sh error %",
                 "mh4-C1 error %");
     for (const double rate : rates) {
-        const double shError =
-            faultedErrorPercent(benchmark, edges, single, intervals,
-                                workloadSeed, rate, faultSeed, chunk);
-        const double mhError =
-            faultedErrorPercent(benchmark, edges, multi, intervals,
-                                workloadSeed, rate, faultSeed, chunk);
-        std::printf("%-12g %14.3f %14.3f\n", rate, shError, mhError);
+        const StatusOr<double> shError = cellError(single, rate);
+        if (!shError.isOk()) {
+            std::fprintf(stderr, "mhprof_faults: %s\n",
+                         shError.status().toString().c_str());
+            return 1;
+        }
+        const StatusOr<double> mhError = cellError(multi, rate);
+        if (!mhError.isOk()) {
+            std::fprintf(stderr, "mhprof_faults: %s\n",
+                         mhError.status().toString().c_str());
+            return 1;
+        }
+        std::printf("%-12g %14.3f %14.3f\n", rate, *shError, *mhError);
     }
     return 0;
 }

@@ -13,19 +13,17 @@
  *   mhprof_run --trace=run.mht --tables=1 --reset --out=bsh.mhp
  */
 
-#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <utility>
-#include <vector>
 
 #include "analysis/interval_runner.h"
 #include "analysis/profile_io.h"
 #include "core/factory.h"
 #include "support/cli.h"
 #include "trace/trace_io.h"
-#include "trace/tuple_span.h"
+#include "trace/trace_map.h"
 #include "workload/benchmarks.h"
 
 int
@@ -51,7 +49,8 @@ main(int argc, char **argv)
     cli.addInt("batch", 4096,
                "events per onEvents() block (0 = per-event ingest)");
     cli.addInt("threads", 0,
-               "worker threads for the batched run (0 = auto)");
+               "worker threads for scoring a mapped trace "
+               "(0 = auto, 1 = serial streaming)");
     cli.parse(argc, argv);
 
     if (cli.getInt("intervals") < 0 || cli.getInt("batch") < 0 ||
@@ -76,17 +75,33 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Trace input prefers the zero-copy mapping; when mmap itself
+    // fails (typically an address-space cap smaller than the trace)
+    // fall back to the buffered reader, which replays the same bytes
+    // in O(64 KiB) memory. Corrupt or missing traces fail either way.
+    std::shared_ptr<const TraceMap> map;
     std::unique_ptr<EventSource> source;
     const std::string bench = cli.getString("benchmark");
     const std::string trace = cli.getString("trace");
     if (!trace.empty()) {
-        auto opened = TraceReader::open(trace);
-        if (!opened.isOk()) {
+        auto mapped = TraceMap::open(trace);
+        if (mapped.isOk()) {
+            map = std::move(*mapped);
+        } else if (mapped.status().code() != StatusCode::IoError) {
             std::fprintf(stderr, "mhprof_run: %s\n",
-                         opened.status().toString().c_str());
+                         mapped.status().toString().c_str());
             return 1;
+        } else {
+            std::fprintf(stderr, "mhprof_run: note: %s\n",
+                         mapped.status().toString().c_str());
+            auto opened = TraceReader::open(trace);
+            if (!opened.isOk()) {
+                std::fprintf(stderr, "mhprof_run: %s\n",
+                             opened.status().toString().c_str());
+                return 1;
+            }
+            source = std::move(*opened);
         }
-        source = std::move(*opened);
     } else if (isBenchmarkName(bench)) {
         if (cli.getBool("edges")) {
             source = makeEdgeWorkload(
@@ -105,7 +120,8 @@ main(int argc, char **argv)
     }
 
     auto profiler = makeProfiler(cfg);
-    ProfileWriter writer(cli.getString("out"), source->kind(),
+    ProfileWriter writer(cli.getString("out"),
+                         map ? map->kind() : source->kind(),
                          cfg.intervalLength, cfg.thresholdCount());
     if (!writer.ok()) {
         std::fprintf(stderr, "cannot write %s\n",
@@ -114,78 +130,53 @@ main(int argc, char **argv)
     }
 
     // Run against the perfect profiler so the summary includes error.
+    // One streaming pass scores and captures the snapshots for the
+    // file: a mapped trace is read zero-copy, everything else flows
+    // through an O(batch) staging cursor. Bit-identical to the old
+    // materialize-then-span and run-twice paths.
     const uint64_t numIntervals =
         static_cast<uint64_t>(cli.getInt("intervals"));
     const uint64_t batch = static_cast<uint64_t>(cli.getInt("batch"));
+    const unsigned threads =
+        static_cast<unsigned>(cli.getInt("threads"));
     RunOutput out;
-    if (batch > 0) {
-        // Batched path: materialize the stream once, then score and
-        // capture snapshots in a single runIntervalsSpan() pass
-        // (bit-identical to the per-event run for any batch size or
-        // thread count).
-        std::vector<Tuple> stream;
-        const uint64_t want =
-            numIntervals > UINT64_MAX / cfg.intervalLength
-                ? UINT64_MAX
-                : numIntervals * cfg.intervalLength;
-        // Cap the up-front reservation: the request may far exceed the
-        // stream (or memory); the vector grows normally past the cap.
-        stream.reserve(std::min<uint64_t>(want, 1u << 22));
-        while (stream.size() < want && !source->done())
-            stream.push_back(source->next());
-
+    if (map && TraceMap::zeroCopy() && batch > 0 && threads != 1) {
+        // Mapped trace: the whole record region is already a span, so
+        // the parallel runner can score intervals concurrently with
+        // no copy at all.
         BatchedRunOptions options;
         options.batchSize = batch;
-        options.threads =
-            static_cast<unsigned>(cli.getInt("threads"));
+        options.threads = threads;
         options.keepSnapshots = true;
-        out = runIntervalsSpan(
-            TupleSpan(stream.data(), stream.size()), {profiler.get()},
-            cfg.intervalLength, cfg.thresholdCount(), numIntervals,
-            options);
-        for (const IntervalSnapshot &snap : out.snapshots[0]) {
-            if (const Status bad = writer.writeInterval(snap);
-                !bad.isOk()) {
-                std::fprintf(stderr, "mhprof_run: %s\n",
-                             bad.toString().c_str());
-                return 1;
-            }
-        }
+        out = runIntervalsSpan(*map->span(), {profiler.get()},
+                               cfg.intervalLength, cfg.thresholdCount(),
+                               numIntervals, options);
     } else {
-        out = runIntervals(*source, *profiler, cfg.intervalLength,
-                           cfg.thresholdCount(), numIntervals);
-
-        // The per-event runner keeps scores, not snapshots, so
-        // re-profile the same stream for the file (replayable for
-        // benchmarks; traces reopen the file).
-        std::unique_ptr<EventSource> source2;
-        if (!trace.empty()) {
-            auto reopened = TraceReader::open(trace);
-            if (!reopened.isOk()) {
-                std::fprintf(stderr, "mhprof_run: %s\n",
-                             reopened.status().toString().c_str());
-                return 1;
-            }
-            source2 = std::move(*reopened);
-        } else if (cli.getBool("edges")) {
-            source2 = makeEdgeWorkload(
-                bench, static_cast<uint64_t>(cli.getInt("seed")));
+        std::unique_ptr<TraceMapSource> mapCursor;
+        std::unique_ptr<EventSourceCursor> eventCursor;
+        StreamCursor *cursor;
+        if (map) {
+            mapCursor = std::make_unique<TraceMapSource>(map);
+            cursor = mapCursor.get();
         } else {
-            source2 = makeValueWorkload(
-                bench, static_cast<uint64_t>(cli.getInt("seed")));
+            eventCursor = std::make_unique<EventSourceCursor>(
+                *source, static_cast<size_t>(batch > 0 ? batch : 1));
+            cursor = eventCursor.get();
         }
-        auto profiler2 = makeProfiler(cfg);
-        for (uint64_t iv = 0; iv < out.intervalsCompleted; ++iv) {
-            for (uint64_t i = 0;
-                 i < cfg.intervalLength && !source2->done(); ++i)
-                profiler2->onEvent(source2->next());
-            if (const Status bad =
-                    writer.writeInterval(profiler2->endInterval());
-                !bad.isOk()) {
-                std::fprintf(stderr, "mhprof_run: %s\n",
-                             bad.toString().c_str());
-                return 1;
-            }
+        StreamRunOptions options;
+        options.batchSize = batch > 0 ? batch : 1;
+        options.keepSnapshots = true;
+        out = runIntervalsStream(*cursor, {profiler.get()},
+                                 cfg.intervalLength,
+                                 cfg.thresholdCount(), numIntervals,
+                                 options);
+    }
+    for (const IntervalSnapshot &snap : out.snapshots[0]) {
+        if (const Status bad = writer.writeInterval(snap);
+            !bad.isOk()) {
+            std::fprintf(stderr, "mhprof_run: %s\n",
+                         bad.toString().c_str());
+            return 1;
         }
     }
 

@@ -4,20 +4,26 @@
  *
  * Sources:
  *   --benchmark <name> [--edges]   a calibrated suite model;
- *   --sim [--edges] [--seed=N]     a generated mini-CPU program run.
+ *   --sim [--edges] [--seed=N]     a generated mini-CPU program run;
+ *   --from <in.mht>                re-record an existing trace
+ *                                  (streamed zero-copy, capped by
+ *                                  --events like any other source).
  *
  *   mhprof_trace --benchmark=go --events=1000000 --out=go.mht
  *   mhprof_trace --sim --edges --out=edges.mht
+ *   mhprof_trace --from=big.mht --events=50000 --out=head.mht
  */
 
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "sim/codegen.h"
 #include "sim/machine.h"
 #include "sim/probes.h"
 #include "support/cli.h"
 #include "trace/trace_io.h"
+#include "trace/trace_map.h"
 #include "workload/benchmarks.h"
 
 int
@@ -28,6 +34,9 @@ main(int argc, char **argv)
     CliParser cli("record a .mht tuple trace");
     cli.addString("benchmark", "", "suite benchmark to record");
     cli.addBool("sim", false, "record a generated mini-CPU program");
+    cli.addString("from", "",
+                  "re-record an existing .mht trace (capped by "
+                  "--events)");
     cli.addBool("edges", false, "record edges instead of values");
     cli.addInt("events", 100'000, "events to record");
     cli.addInt("seed", 1, "workload / program seed");
@@ -42,7 +51,27 @@ main(int argc, char **argv)
     // (destroyed last).
     std::unique_ptr<Machine> machine; // owns the sim, if used
     std::unique_ptr<EventSource> source;
-    if (cli.getBool("sim")) {
+    if (!cli.getString("from").empty()) {
+        // Prefer the zero-copy mapping; if mmap itself fails (e.g. an
+        // address-space cap) fall back to the buffered reader.
+        auto mapped = TraceMap::open(cli.getString("from"));
+        if (mapped.isOk()) {
+            source = std::make_unique<TraceMapSource>(
+                std::move(*mapped));
+        } else if (mapped.status().code() != StatusCode::IoError) {
+            std::fprintf(stderr, "mhprof_trace: %s\n",
+                         mapped.status().toString().c_str());
+            return 1;
+        } else {
+            auto opened = TraceReader::open(cli.getString("from"));
+            if (!opened.isOk()) {
+                std::fprintf(stderr, "mhprof_trace: %s\n",
+                             opened.status().toString().c_str());
+                return 1;
+            }
+            source = std::move(*opened);
+        }
+    } else if (cli.getBool("sim")) {
         CodegenConfig gen;
         gen.seed = seed;
         machine = std::make_unique<Machine>(generateProgram(gen),
@@ -57,7 +86,8 @@ main(int argc, char **argv)
         else
             source = makeValueWorkload(cli.getString("benchmark"), seed);
     } else {
-        std::fprintf(stderr, "need --sim or --benchmark=<one of:");
+        std::fprintf(stderr,
+                     "need --from=<file>, --sim or --benchmark=<one of:");
         for (const auto &n : benchmarkNames())
             std::fprintf(stderr, " %s", n.c_str());
         std::fprintf(stderr, ">\n");
