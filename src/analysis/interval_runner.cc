@@ -1,6 +1,7 @@
 #include "analysis/interval_runner.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/perfect_profiler.h"
 #include "support/panic.h"
@@ -81,7 +82,24 @@ runIntervalsStream(StreamCursor &stream,
 
     PerfectProfiler perfect(options.score ? thresholdCount : 1);
 
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+
     for (uint64_t interval = 0; interval < numIntervals; ++interval) {
+        // Cooperative stops land only on interval boundaries, so
+        // every completed interval is whole and scored; the partial
+        // state of an aborted interval is simply never produced.
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+            out.stopped = RunStopReason::Cancelled;
+            break;
+        }
+        if (options.deadlineMs > 0 &&
+            Clock::now() - start >=
+                std::chrono::milliseconds(options.deadlineMs)) {
+            out.stopped = RunStopReason::DeadlineExceeded;
+            break;
+        }
+
         uint64_t consumed = 0;
         while (consumed < intervalLength) {
             // Chunks never cross an interval boundary, so endInterval

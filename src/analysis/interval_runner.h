@@ -26,10 +26,19 @@
 
 #include "analysis/error_metrics.h"
 #include "core/profiler.h"
+#include "support/cancel.h"
 #include "trace/source.h"
 #include "trace/tuple_span.h"
 
 namespace mhp {
+
+/** Why a streaming run stopped before completing every interval. */
+enum class RunStopReason
+{
+    None,             ///< ran to numIntervals (or the stream's end)
+    Cancelled,        ///< the CancelToken tripped
+    DeadlineExceeded, ///< the wall-clock budget ran out
+};
 
 /** The scored history of one profiler over a whole run. */
 struct RunResult
@@ -76,6 +85,13 @@ struct RunOutput
     uint64_t intervalsCompleted = 0;
 
     /**
+     * Why the run stopped early, if it did. Cancellation and deadline
+     * are honored at interval boundaries only, so completed intervals
+     * are always intact and scored.
+     */
+    RunStopReason stopped = RunStopReason::None;
+
+    /**
      * Per-profiler, per-interval snapshots; populated only when the
      * run's keepSnapshots option is set (StreamRunOptions or
      * BatchedRunOptions) — scored runs otherwise discard them to
@@ -99,6 +115,20 @@ struct StreamRunOptions
      * parallel scoring phase rebuilds truth separately.
      */
     bool score = true;
+
+    /**
+     * Optional cooperative stop: checked before every interval (not
+     * owned). When it trips, the run returns what it completed with
+     * RunOutput::stopped == Cancelled.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Wall-clock budget in milliseconds from entry, checked at the
+     * same interval boundaries; 0 = none. An expired budget returns
+     * the completed prefix with stopped == DeadlineExceeded.
+     */
+    uint64_t deadlineMs = 0;
 };
 
 /**

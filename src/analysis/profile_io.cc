@@ -5,6 +5,8 @@
 
 #include "support/bytes.h"
 #include "support/crc32.h"
+#include "support/durable.h"
+#include "support/failpoint.h"
 
 namespace mhp {
 
@@ -67,13 +69,34 @@ ProfileWriter::~ProfileWriter()
 }
 
 Status
+ProfileWriter::fail(Status error)
+{
+    // Latch the first failure: once any write failed (for real or by
+    // injection) the temp file is suspect, so later writeInterval()
+    // calls refuse and close() discards the temp instead of renaming
+    // a partial profile into place.
+    if (firstError.isOk())
+        firstError = error;
+    return error;
+}
+
+Status
 ProfileWriter::writeInterval(const IntervalSnapshot &snapshot)
 {
     if (closed)
         return Status::failedPrecondition(finalPath +
                                           ": write after close");
+    if (!firstError.isOk())
+        return firstError;
     if (!out)
-        return Status::ioError(tempPath + ": cannot write profile");
+        return fail(Status::ioError(tempPath +
+                                    ": cannot write profile"));
+
+    if (failpointFires("profile.write.enospc", intervals)) {
+        return fail(Status::ioError(
+            tempPath +
+            ": injected ENOSPC (failpoint profile.write.enospc)"));
+    }
 
     ByteBuffer payload;
     payload.u64(snapshot.size());
@@ -85,11 +108,23 @@ ProfileWriter::writeInterval(const IntervalSnapshot &snapshot)
     uint8_t crcLe[kCrcSize];
     putLe32(crcLe, crc32(payload.data(), payload.size()));
 
+    if (failpointFires("profile.write.short", intervals)) {
+        // A short write really lands some prefix of the record; cut
+        // this one in half so the temp file holds torn bytes, exactly
+        // like a disk that filled mid-write.
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size() / 2));
+        out.flush();
+        return fail(Status::ioError(
+            tempPath +
+            ": injected short write (failpoint profile.write.short)"));
+    }
+
     out.write(reinterpret_cast<const char *>(payload.data()),
               static_cast<std::streamsize>(payload.size()));
     out.write(reinterpret_cast<const char *>(crcLe), kCrcSize);
     if (!out)
-        return Status::ioError(tempPath + ": short write");
+        return fail(Status::ioError(tempPath + ": short write"));
     ++intervals;
     return Status::ok();
 }
@@ -100,9 +135,19 @@ ProfileWriter::close()
     if (closed)
         return Status::ok();
     closed = true;
+    if (!firstError.isOk()) {
+        std::remove(tempPath.c_str());
+        return firstError;
+    }
     if (!out) {
         std::remove(tempPath.c_str());
         return Status::ioError(tempPath + ": cannot open for writing");
+    }
+    if (failpointFires("profile.close.enospc")) {
+        std::remove(tempPath.c_str());
+        return Status::ioError(
+            tempPath +
+            ": injected ENOSPC (failpoint profile.close.enospc)");
     }
 
     // Back-patch the interval count (and thus the header CRC), then
@@ -119,10 +164,37 @@ ProfileWriter::close()
         std::remove(tempPath.c_str());
         return Status::ioError(tempPath + ": cannot finalize profile");
     }
-    if (std::rename(tempPath.c_str(), finalPath.c_str()) != 0) {
+
+    // The rename only publishes the *name* atomically; the data must
+    // be on disk first (and the rename itself is only durable once
+    // the parent directory is synced) — otherwise a crash right after
+    // close() can still surface an empty file under the final name.
+    Status synced = failpointFires("profile.fsync")
+                        ? Status::ioError(
+                              tempPath + ": injected fsync failure "
+                                         "(failpoint profile.fsync)")
+                        : fsyncFile(tempPath);
+    if (!synced.isOk()) {
+        std::remove(tempPath.c_str());
+        return synced;
+    }
+    if (failpointFires("profile.rename") ||
+        std::rename(tempPath.c_str(), finalPath.c_str()) != 0) {
         std::remove(tempPath.c_str());
         return Status::ioError("cannot rename " + tempPath + " to " +
                                finalPath);
+    }
+    Status dirSynced =
+        failpointFires("profile.dirsync")
+            ? Status::ioError(finalPath +
+                              ": injected directory fsync failure "
+                              "(failpoint profile.dirsync)")
+            : fsyncParentDir(finalPath);
+    if (!dirSynced.isOk()) {
+        // The rename already happened; the profile is complete and
+        // valid, just not yet guaranteed durable. Report it — the
+        // caller decides whether that is fatal.
+        return dirSynced;
     }
     return Status::ok();
 }

@@ -70,18 +70,29 @@ class ProfileWriter
 
     bool ok() const { return static_cast<bool>(out); }
 
-    /** Append one interval's snapshot (checksummed). */
+    /**
+     * Append one interval's snapshot (checksummed). Failures latch:
+     * after the first error every further write returns it, and
+     * close() removes the temp file instead of publishing a partial
+     * profile.
+     */
     Status writeInterval(const IntervalSnapshot &snapshot);
 
     /**
-     * Back-patch the interval count, flush, and atomically rename the
-     * temp file into place. Idempotent; returns the first error.
+     * Back-patch the interval count, flush, fsync the temp file,
+     * atomically rename it into place, and fsync the parent directory
+     * so the rename survives a crash. Idempotent; returns the first
+     * error. On any failure before the rename the temp file is
+     * removed and nothing appears under the final name.
      */
     Status close();
 
     uint64_t intervalsWritten() const { return intervals; }
 
   private:
+    /** Record (and return) the first write failure. */
+    Status fail(Status error);
+
     std::string finalPath;
     std::string tempPath;
     std::ofstream out;
@@ -90,6 +101,7 @@ class ProfileWriter
     uint64_t intervalLength;
     uint64_t thresholdCount;
     bool closed = false;
+    Status firstError;
 };
 
 /** Reads a .mhp file back (v2 with validation; v1 accepted). */

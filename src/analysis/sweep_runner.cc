@@ -1,18 +1,26 @@
 #include "analysis/sweep_runner.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <mutex>
+#include <set>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "core/factory.h"
 #include "support/bytes.h"
 #include "support/crc32.h"
+#include "support/durable.h"
+#include "support/failpoint.h"
 #include "support/panic.h"
 #include "support/parallel.h"
+#include "support/rng.h"
 #include "workload/benchmarks.h"
 
 namespace mhp {
@@ -183,6 +191,152 @@ loadCheckpoint(const std::string &path, uint64_t fingerprint,
     return loaded;
 }
 
+/**
+ * Append-only writer over the checkpoint journal, shared by
+ * runWithCheckpoint() and runResilient(). append() is thread-safe and
+ * writes+flushes each record whole under its lock, so a kill can only
+ * truncate the final record (which loadCheckpoint discards); finish()
+ * makes the journal durable with an fsync of the file and its parent
+ * directory.
+ */
+class CheckpointJournal
+{
+  public:
+    /** Truncate any corrupt tail and open for append (or create). */
+    Status
+    open(const std::string &journalPath, uint64_t fingerprint,
+         const LoadedCheckpoint &loaded)
+    {
+        path = journalPath;
+        if (loaded.exists) {
+            std::error_code ec;
+            std::filesystem::resize_file(path, loaded.goodOffset, ec);
+            if (ec) {
+                return Status::ioError(path +
+                                       ": cannot truncate checkpoint: " +
+                                       ec.message());
+            }
+            out.open(path, std::ios::binary | std::ios::app);
+        } else {
+            out.open(path, std::ios::binary | std::ios::trunc);
+            if (out) {
+                uint8_t header[kCkptHeaderSize] = {};
+                std::memcpy(header, kCkptMagic, sizeof(kCkptMagic));
+                putLe64(header + 8, fingerprint);
+                putLe32(header + 16, crc32(header, kCkptCrcSpan));
+                out.write(reinterpret_cast<const char *>(header),
+                          kCkptHeaderSize);
+                out.flush();
+            }
+        }
+        if (!out) {
+            return Status::ioError(
+                path + ": cannot open checkpoint for writing");
+        }
+        return Status::ok();
+    }
+
+    /** Serialize, write, and flush one finished cell (thread-safe). */
+    Status
+    append(uint64_t cellIndex, const SweepCellResult &cell)
+    {
+        ByteBuffer payload;
+        serializeCell(payload, cellIndex, cell);
+        uint8_t sizeLe[8], crcLe[4];
+        putLe64(sizeLe, payload.size());
+        putLe32(crcLe, crc32(payload.data(), payload.size()));
+
+        std::lock_guard<std::mutex> lock(mutex);
+        if (failpointFires("ckpt.append.enospc", cellIndex)) {
+            return Status::ioError(
+                path + ": injected ENOSPC appending checkpoint record "
+                       "(failpoint ckpt.append.enospc)");
+        }
+        if (failpointFires("ckpt.append.short", cellIndex)) {
+            // Leave a torn record on disk — exactly what a kill or a
+            // full disk mid-append produces. The record fails its CRC
+            // on load, so resume recomputes this cell.
+            out.write(reinterpret_cast<const char *>(sizeLe), 8);
+            out.write(reinterpret_cast<const char *>(payload.data()),
+                      static_cast<std::streamsize>(payload.size() / 2));
+            out.flush();
+            return Status::ioError(
+                path + ": injected short write appending checkpoint "
+                       "record (failpoint ckpt.append.short)");
+        }
+        out.write(reinterpret_cast<const char *>(sizeLe), 8);
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        out.write(reinterpret_cast<const char *>(crcLe), 4);
+        out.flush();
+        if (!out) {
+            return Status::ioError(
+                path + ": short write appending checkpoint record");
+        }
+        return Status::ok();
+    }
+
+    /** Flush and fsync the journal and its directory. */
+    Status
+    finish()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!out.is_open())
+            return Status::ok();
+        out.flush();
+        const bool healthy = static_cast<bool>(out);
+        out.close();
+        if (!healthy) {
+            return Status::ioError(path +
+                                   ": short write flushing checkpoint");
+        }
+        if (failpointFires("ckpt.fsync")) {
+            return Status::ioError(
+                path +
+                ": injected fsync failure (failpoint ckpt.fsync)");
+        }
+        if (Status synced = fsyncFile(path); !synced.isOk())
+            return synced;
+        return fsyncParentDir(path);
+    }
+
+  private:
+    std::string path;
+    std::ofstream out;
+    std::mutex mutex;
+};
+
+/** Milliseconds on the steady clock (watchdog bookkeeping). */
+int64_t
+steadyNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Backoff before retrying `cell` after failed attempt `attempt`:
+ * capped exponential, scaled by a jitter factor in [0.5, 1.0) that is
+ * a pure function of (seed, cell, attempt) — reruns back off
+ * identically, and the schedule never leaks into results.
+ */
+uint64_t
+backoffDelayMs(const SweepResilienceOptions &options, uint64_t cell,
+               unsigned attempt)
+{
+    uint64_t raw = options.backoffBaseMs;
+    for (unsigned i = 0; i < attempt && raw < options.backoffCapMs; ++i)
+        raw <<= 1;
+    raw = std::min(raw, options.backoffCapMs);
+    SplitMix64 mix(options.backoffSeed ^
+                   cell * 0x9e3779b97f4a7c15ULL ^ (attempt + 1));
+    const double unit =
+        static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    return static_cast<uint64_t>(static_cast<double>(raw) *
+                                 (0.5 + 0.5 * unit));
+}
+
 } // namespace
 
 SweepRunner::SweepRunner(SweepPlan plan) : sweepPlan(std::move(plan))
@@ -253,6 +407,15 @@ SweepRunner::planFingerprint() const
 void
 SweepRunner::computeCell(size_t cell, SweepCellResult &result) const
 {
+    // No cancel, no deadline: the stream can only stop by finishing.
+    computeCellStream(cell, result, nullptr, 0);
+}
+
+RunStopReason
+SweepRunner::computeCellStream(size_t cell, SweepCellResult &result,
+                               const CancelToken *cancel,
+                               uint64_t deadlineMs) const
+{
     const SweepPlan &plan = sweepPlan;
     const size_t lengths =
         plan.intervalLengths.empty() ? 1 : plan.intervalLengths.size();
@@ -276,13 +439,16 @@ SweepRunner::computeCell(size_t cell, SweepCellResult &result) const
 
     auto profiler = makeProfiler(config);
 
+    StreamRunOptions options;
+    options.batchSize = plan.batchSize;
+    options.cancel = cancel;
+    options.deadlineMs = deadlineMs;
+
     RunOutput run;
     if (plan.trace) {
         // Every cell gets its own cursor over the one shared mapping:
         // zero-copy chunks, no per-cell trace materialization.
         TraceMapSource source(plan.trace);
-        StreamRunOptions options;
-        options.batchSize = plan.batchSize;
         run = runIntervalsStream(source, {profiler.get()},
                                  config.intervalLength,
                                  config.thresholdCount(),
@@ -294,15 +460,23 @@ SweepRunner::computeCell(size_t cell, SweepCellResult &result) const
                       result.benchmark, plan.workloadSeed))
                 : std::unique_ptr<EventSource>(makeValueWorkload(
                       result.benchmark, plan.workloadSeed));
-        run = runIntervalsBatched(
-            *source, {profiler.get()}, config.intervalLength,
-            config.thresholdCount(), plan.intervals, plan.batchSize);
+        // Mirror runIntervalsBatched() exactly (cursor capacity
+        // clipped to one interval) so a resilient run's results stay
+        // bit-identical to run()'s and to existing checkpoints.
+        EventSourceCursor cursor(
+            *source, static_cast<size_t>(std::min(
+                         plan.batchSize, config.intervalLength)));
+        run = runIntervalsStream(cursor, {profiler.get()},
+                                 config.intervalLength,
+                                 config.thresholdCount(),
+                                 plan.intervals, options);
     }
 
     result.run = std::move(run.results[0]);
     result.stream = std::move(run.stream);
     result.eventsConsumed = run.eventsConsumed;
     result.intervalsCompleted = run.intervalsCompleted;
+    return run.stopped;
 }
 
 std::vector<SweepCellResult>
@@ -337,39 +511,14 @@ SweepRunner::runWithCheckpoint(const std::string &checkpointPath,
 
     // Drop any corrupt/truncated tail before appending, then reopen
     // the journal (or start one) for the cells still to compute.
-    std::ofstream journal;
-    if (loaded->exists) {
-        std::error_code ec;
-        std::filesystem::resize_file(checkpointPath, loaded->goodOffset,
-                                     ec);
-        if (ec) {
-            return Status::ioError(checkpointPath +
-                                   ": cannot truncate checkpoint: " +
-                                   ec.message());
-        }
-        journal.open(checkpointPath,
-                     std::ios::binary | std::ios::app);
-    } else {
-        journal.open(checkpointPath,
-                     std::ios::binary | std::ios::trunc);
-        if (journal) {
-            uint8_t header[kCkptHeaderSize] = {};
-            std::memcpy(header, kCkptMagic, sizeof(kCkptMagic));
-            putLe64(header + 8, fingerprint);
-            putLe32(header + 16, crc32(header, kCkptCrcSpan));
-            journal.write(reinterpret_cast<const char *>(header),
-                          kCkptHeaderSize);
-            journal.flush();
-        }
-    }
-    if (!journal) {
-        return Status::ioError(checkpointPath +
-                               ": cannot open checkpoint for writing");
-    }
+    CheckpointJournal journal;
+    if (Status bad = journal.open(checkpointPath, fingerprint, *loaded);
+        !bad.isOk())
+        return bad;
 
     std::vector<SweepCellResult> out(cells);
-    std::mutex journalMutex;
-    bool journalHealthy = true;
+    std::mutex errorMutex;
+    Status journalStatus;
 
     parallelFor(
         cells,
@@ -383,32 +532,235 @@ SweepRunner::runWithCheckpoint(const std::string &checkpointPath,
             SweepCellResult &result = out[cell];
             computeCell(cell, result);
 
-            // Journal the finished cell. Each record is written and
-            // flushed whole under the lock, so a kill can only ever
-            // truncate the final record — which resume discards.
-            ByteBuffer payload;
-            serializeCell(payload, cell, result);
-            uint8_t sizeLe[8], crcLe[4];
-            putLe64(sizeLe, payload.size());
-            putLe32(crcLe, crc32(payload.data(), payload.size()));
-            std::lock_guard<std::mutex> lock(journalMutex);
-            journal.write(reinterpret_cast<const char *>(sizeLe), 8);
-            journal.write(
-                reinterpret_cast<const char *>(payload.data()),
-                static_cast<std::streamsize>(payload.size()));
-            journal.write(reinterpret_cast<const char *>(crcLe), 4);
-            journal.flush();
-            if (!journal)
-                journalHealthy = false;
+            if (Status appended = journal.append(cell, result);
+                !appended.isOk()) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (journalStatus.isOk())
+                    journalStatus = std::move(appended);
+            }
         },
         threads, /*grain=*/1);
 
-    if (!journalHealthy) {
-        return Status::ioError(checkpointPath +
-                               ": short write appending checkpoint "
-                               "record");
-    }
+    if (!journalStatus.isOk())
+        return journalStatus;
+    if (Status finished = journal.finish(); !finished.isOk())
+        return finished;
     return out;
+}
+
+StatusOr<SweepReport>
+SweepRunner::runResilient(const SweepResilienceOptions &options) const
+{
+    MHP_REQUIRE(options.maxAttempts >= 1,
+                "resilient sweep needs at least one attempt per cell");
+    const size_t cells = cellCount();
+    const uint64_t fingerprint = planFingerprint();
+    const SweepPlan &plan = sweepPlan;
+
+    SweepReport report;
+    report.results.resize(cells);
+
+    const bool checkpointing = !options.checkpointPath.empty();
+    LoadedCheckpoint loaded;
+    CheckpointJournal journal;
+    if (checkpointing) {
+        StatusOr<LoadedCheckpoint> prior = loadCheckpoint(
+            options.checkpointPath, fingerprint, cells);
+        if (!prior.isOk())
+            return prior.status();
+        loaded = std::move(*prior);
+        if (Status bad = journal.open(options.checkpointPath,
+                                      fingerprint, loaded);
+            !bad.isOk())
+            return bad;
+    }
+
+    std::mutex reportMutex; // guards quarantined + journalStatus
+    Status journalStatus;
+    std::atomic<bool> interrupted{false};
+    std::atomic<uint64_t> completed{0};
+
+    // Watchdog: per-cell attempt start times (−1 = not running) that
+    // a polling thread compares against the deadline. It only ever
+    // *flags* cells — enforcement stays inside the cell at interval
+    // boundaries, where it is deterministic.
+    const bool watch =
+        options.watchdogPollMs > 0 && options.cellDeadlineMs > 0;
+    std::vector<std::atomic<int64_t>> attemptStartMs(watch ? cells : 0);
+    for (auto &start : attemptStartMs)
+        start.store(-1, std::memory_order_relaxed);
+    std::set<uint64_t> flagged;
+    std::atomic<bool> watchdogStop{false};
+    std::thread watchdog;
+    if (watch) {
+        watchdog = std::thread([&] {
+            while (!watchdogStop.load(std::memory_order_relaxed)) {
+                const int64_t now = steadyNowMs();
+                for (size_t i = 0; i < cells; ++i) {
+                    const int64_t start = attemptStartMs[i].load(
+                        std::memory_order_relaxed);
+                    if (start >= 0 &&
+                        now - start > static_cast<int64_t>(
+                                          options.cellDeadlineMs)) {
+                        std::lock_guard<std::mutex> lock(reportMutex);
+                        flagged.insert(i);
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(options.watchdogPollMs));
+            }
+        });
+    }
+
+    parallelFor(
+        cells,
+        [&](size_t cell) {
+            if (auto it = loaded.completed.find(cell);
+                it != loaded.completed.end()) {
+                report.results[cell] = it->second;
+                completed.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+
+            Status lastError;
+            unsigned attempt = 0;
+            for (; attempt < options.maxAttempts; ++attempt) {
+                if (options.cancel != nullptr &&
+                    options.cancel->cancelled()) {
+                    interrupted.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                if (watch) {
+                    attemptStartMs[cell].store(
+                        steadyNowMs(), std::memory_order_relaxed);
+                }
+                // An injected slowdown spends the attempt's deadline
+                // budget, so whether the deadline trips is still a
+                // pure function of (spec, seed, cell, attempt) — the
+                // sleep models a slow cell, not a slow clock.
+                uint64_t deadlineMs = options.cellDeadlineMs;
+                bool slowExhausted = false;
+                if (const uint64_t delay = failpointDelayMs(
+                        "sweep.cell.slow", cell, attempt)) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            deadlineMs > 0 ? std::min(delay, deadlineMs)
+                                           : delay));
+                    if (deadlineMs > 0) {
+                        slowExhausted = delay >= deadlineMs;
+                        deadlineMs -= std::min(delay, deadlineMs - 1);
+                    }
+                }
+                Status st;
+                if (slowExhausted) {
+                    st = Status::deadlineExceeded(
+                        "cell " + std::to_string(cell) +
+                        " exceeded its " +
+                        std::to_string(options.cellDeadlineMs) +
+                        " ms deadline");
+                } else if (failpointFires("sweep.cell.compute", cell,
+                                          attempt)) {
+                    st = Status::ioError(
+                        "cell " + std::to_string(cell) +
+                        ": injected failure (failpoint "
+                        "sweep.cell.compute)");
+                } else {
+                    SweepCellResult result;
+                    const RunStopReason stop = computeCellStream(
+                        cell, result, options.cancel, deadlineMs);
+                    if (stop == RunStopReason::Cancelled) {
+                        if (watch) {
+                            attemptStartMs[cell].store(
+                                -1, std::memory_order_relaxed);
+                        }
+                        interrupted.store(true,
+                                          std::memory_order_relaxed);
+                        return;
+                    }
+                    if (stop == RunStopReason::DeadlineExceeded) {
+                        st = Status::deadlineExceeded(
+                            "cell " + std::to_string(cell) +
+                            " exceeded its " +
+                            std::to_string(options.cellDeadlineMs) +
+                            " ms deadline");
+                    } else {
+                        report.results[cell] = std::move(result);
+                    }
+                }
+                if (watch) {
+                    attemptStartMs[cell].store(
+                        -1, std::memory_order_relaxed);
+                }
+
+                if (st.isOk()) {
+                    completed.fetch_add(1, std::memory_order_relaxed);
+                    if (checkpointing) {
+                        if (Status appended = journal.append(
+                                cell, report.results[cell]);
+                            !appended.isOk()) {
+                            std::lock_guard<std::mutex> lock(
+                                reportMutex);
+                            if (journalStatus.isOk())
+                                journalStatus = std::move(appended);
+                        }
+                    }
+                    return;
+                }
+                lastError = std::move(st);
+                if (attempt + 1 < options.maxAttempts &&
+                    options.backoffBaseMs > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            backoffDelayMs(options, cell, attempt)));
+                }
+            }
+
+            // Every attempt failed: quarantine the cell instead of
+            // sinking the sweep.
+            const size_t lengths = plan.intervalLengths.empty()
+                                       ? 1
+                                       : plan.intervalLengths.size();
+            const size_t b = cell / (plan.configs.size() * lengths);
+            const size_t rem = cell % (plan.configs.size() * lengths);
+            const size_t c = rem / lengths;
+            const size_t l = rem % lengths;
+            QuarantinedCell q;
+            q.cellIndex = cell;
+            q.benchmark = plan.benchmarks[b];
+            q.configLabel = plan.configs[c].label;
+            q.intervalLength =
+                plan.intervalLengths.empty()
+                    ? plan.configs[c].config.intervalLength
+                    : plan.intervalLengths[l];
+            q.attempts = attempt;
+            q.status = std::move(lastError);
+            std::lock_guard<std::mutex> lock(reportMutex);
+            report.quarantined.push_back(std::move(q));
+        },
+        options.threads, /*grain=*/1);
+
+    if (watch) {
+        watchdogStop.store(true, std::memory_order_relaxed);
+        watchdog.join();
+        report.deadlineFlagged.assign(flagged.begin(), flagged.end());
+    }
+
+    // parallelFor's schedule decided the push order; the content is
+    // schedule-independent, so sorting restores determinism.
+    std::sort(report.quarantined.begin(), report.quarantined.end(),
+              [](const QuarantinedCell &a, const QuarantinedCell &b) {
+                  return a.cellIndex < b.cellIndex;
+              });
+    report.interrupted = interrupted.load();
+    report.completedCells = completed.load();
+
+    if (!journalStatus.isOk())
+        return journalStatus;
+    if (checkpointing) {
+        if (Status finished = journal.finish(); !finished.isOk())
+            return finished;
+    }
+    return report;
 }
 
 } // namespace mhp

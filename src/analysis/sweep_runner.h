@@ -21,6 +21,17 @@
  * bit-identical to an uninterrupted run — a killed multi-hour sweep
  * resumes from where it stopped (see docs/FORMATS.md for the journal
  * format and tests/integration/test_sweep_resume for the guarantee).
+ *
+ * runResilient() layers fault tolerance on top: failed cells are
+ * retried with capped exponential backoff (deterministically jittered
+ * from a seed), cells that keep failing are quarantined into a
+ * per-cell Status report instead of aborting the sweep, a per-cell
+ * wall-clock deadline bounds runaway cells, and a CancelToken lets a
+ * signal handler stop the sweep at an interval boundary with the
+ * checkpoint journal intact. Whether a cell fails is a pure function
+ * of the failpoint spec and seed (never of the thread schedule), so
+ * the surviving results and the quarantine set are bit-identical for
+ * every thread count (see docs/ROBUSTNESS.md).
  */
 
 #ifndef MHP_ANALYSIS_SWEEP_RUNNER_H
@@ -108,6 +119,98 @@ struct SweepCellResult
                            const SweepCellResult &) = default;
 };
 
+/** A cell that kept failing and was excluded from the sweep output. */
+struct QuarantinedCell
+{
+    uint64_t cellIndex = 0;
+    std::string benchmark;
+    std::string configLabel;
+    uint64_t intervalLength = 0;
+
+    /** Attempts actually made (== maxAttempts unless cancelled). */
+    unsigned attempts = 0;
+
+    /** The last failure; never ok(). */
+    Status status;
+
+    friend bool operator==(const QuarantinedCell &,
+                           const QuarantinedCell &) = default;
+};
+
+/** Everything a resilient sweep produced. */
+struct SweepReport
+{
+    /**
+     * One slot per cell in benchmark-major order. Quarantined or
+     * not-yet-run (cancelled) cells hold default-constructed results;
+     * every populated slot is bit-identical to what run() computes.
+     */
+    std::vector<SweepCellResult> results;
+
+    /** Cells that failed every attempt, sorted by cellIndex. */
+    std::vector<QuarantinedCell> quarantined;
+
+    /**
+     * Cells the watchdog saw exceed the deadline while still running.
+     * Advisory only (it depends on real time and scheduling), so it is
+     * deliberately excluded from determinism guarantees — quarantine
+     * decisions never come from here.
+     */
+    std::vector<uint64_t> deadlineFlagged;
+
+    /** True when the CancelToken stopped the sweep early. */
+    bool interrupted = false;
+
+    /** Cells with populated result slots (loaded or computed). */
+    uint64_t completedCells = 0;
+};
+
+/** Knobs of SweepRunner::runResilient(). */
+struct SweepResilienceOptions
+{
+    /** Worker threads; 0 = min(hardware concurrency, cells). */
+    unsigned threads = 0;
+
+    /** Attempts per cell before it is quarantined (>= 1). */
+    unsigned maxAttempts = 3;
+
+    /**
+     * Wall-clock budget per *attempt* in milliseconds, enforced at
+     * interval boundaries inside the cell; 0 = none. An attempt that
+     * overruns counts as a failure (retried, then quarantined with
+     * StatusCode::DeadlineExceeded).
+     */
+    uint64_t cellDeadlineMs = 0;
+
+    /**
+     * Base backoff before retry k is base << k milliseconds, capped
+     * at backoffCapMs and scaled by a jitter factor in [0.5, 1.0)
+     * drawn deterministically from (backoffSeed, cell, attempt).
+     * 0 = retry immediately (the default: tests stay fast).
+     */
+    uint64_t backoffBaseMs = 0;
+    uint64_t backoffCapMs = 1000;
+    uint64_t backoffSeed = 0;
+
+    /** Optional cooperative stop, polled at interval boundaries. */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Journal finished cells here and skip cells a previous run
+     * already journaled (same format and fingerprint gate as
+     * runWithCheckpoint). Empty = no checkpointing. Quarantined and
+     * cancelled cells are never journaled — a rerun retries them.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Poll period of the watchdog thread that flags cells exceeding
+     * cellDeadlineMs while still running; 0 = no watchdog. Purely
+     * advisory (see SweepReport::deadlineFlagged).
+     */
+    uint64_t watchdogPollMs = 0;
+};
+
 /** Shards a SweepPlan over worker threads with deterministic merging. */
 class SweepRunner
 {
@@ -142,6 +245,27 @@ class SweepRunner
     runWithCheckpoint(const std::string &checkpointPath,
                       unsigned threads = 0) const;
 
+    /**
+     * Fault-tolerant variant of run(): every cell gets up to
+     * options.maxAttempts attempts (with deterministic capped
+     * exponential backoff between them); cells that fail every
+     * attempt land in SweepReport::quarantined with their last Status
+     * instead of aborting the sweep. A per-attempt deadline and a
+     * CancelToken stop work at interval boundaries; an optional
+     * checkpoint journal makes the whole thing resumable. Injected
+     * failures (see support/failpoint.h, sites "sweep.cell.compute"
+     * and "sweep.cell.slow") are keyed by cell index and attempt, so
+     * which cells fail — and therefore the surviving results and the
+     * quarantine list — is reproducible from the spec + seed at any
+     * thread count.
+     *
+     * The call itself only fails for infrastructure errors (an
+     * unreadable or mismatched checkpoint, a journal append failure);
+     * cell failures are data in the report.
+     */
+    StatusOr<SweepReport>
+    runResilient(const SweepResilienceOptions &options = {}) const;
+
     const SweepPlan &plan() const { return sweepPlan; }
 
     /** Stable fingerprint of the plan (checkpoint compatibility). */
@@ -150,6 +274,17 @@ class SweepRunner
   private:
     /** Evaluate one cell into `result` (shared by both run paths). */
     void computeCell(size_t cell, SweepCellResult &result) const;
+
+    /**
+     * Evaluate one cell with cooperative stops: cancel and deadline
+     * are polled at interval boundaries. Returns why the cell stopped
+     * (None = completed). A stopped cell leaves `result` partially
+     * filled; callers must discard it.
+     */
+    RunStopReason computeCellStream(size_t cell,
+                                    SweepCellResult &result,
+                                    const CancelToken *cancel,
+                                    uint64_t deadlineMs) const;
 
     SweepPlan sweepPlan;
 };

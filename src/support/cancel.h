@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running work.
+ *
+ * A CancelToken is a single sticky flag shared between whoever wants
+ * to stop (a SIGINT handler, a deadline supervisor, a test) and the
+ * loops doing the work (the streaming interval runner checks it at
+ * interval boundaries; the resilient sweep executor checks it before
+ * every cell attempt). cancel() is async-signal-safe — it is exactly
+ * one lock-free atomic store — so a signal handler may call it
+ * directly; everything else (journal flushing, exit codes) happens on
+ * the normal control path after the loops drain.
+ */
+
+#ifndef MHP_SUPPORT_CANCEL_H
+#define MHP_SUPPORT_CANCEL_H
+
+#include <atomic>
+
+namespace mhp {
+
+/** A sticky, thread- and signal-safe "stop now" flag. */
+class CancelToken
+{
+  public:
+    /** Request cancellation. Safe from signal handlers and threads. */
+    void
+    cancel()
+    {
+        flag.store(true, std::memory_order_relaxed);
+    }
+
+    /** Has cancellation been requested? */
+    bool
+    cancelled() const
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+
+    static_assert(std::atomic<bool>::is_always_lock_free,
+                  "cancel() must stay async-signal-safe");
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_CANCEL_H

@@ -1,0 +1,52 @@
+#include "support/durable.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mhp {
+
+namespace {
+
+/** Open `path`, fsync the descriptor, close. */
+Status
+fsyncPath(const std::string &path, int openFlags)
+{
+    const int fd = ::open(path.c_str(), openFlags);
+    if (fd < 0) {
+        return Status::ioError(path + ": cannot open for fsync (" +
+                               std::string(std::strerror(errno)) + ")");
+    }
+    const int rc = ::fsync(fd);
+    const int fsyncErrno = errno;
+    ::close(fd);
+    if (rc != 0) {
+        return Status::ioError(path + ": fsync failed (" +
+                               std::string(std::strerror(fsyncErrno)) +
+                               ")");
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+fsyncFile(const std::string &path)
+{
+    return fsyncPath(path, O_RDONLY);
+}
+
+Status
+fsyncParentDir(const std::string &path)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        parent = ".";
+    return fsyncPath(parent.string(), O_RDONLY | O_DIRECTORY);
+}
+
+} // namespace mhp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Durability helpers for the atomic-write pattern.
+ *
+ * "Write to <path>.tmp, then rename" only guarantees the *name* is
+ * atomic; without an fsync of the temp file the rename can publish a
+ * file whose data blocks never reached disk, and without an fsync of
+ * the parent directory the rename itself can vanish in a crash. Every
+ * writer that renames into place (ProfileWriter, TraceWriter, the
+ * sweep checkpoint journal) syncs through these helpers first — see
+ * docs/ROBUSTNESS.md, "Crash safety".
+ */
+
+#ifndef MHP_SUPPORT_DURABLE_H
+#define MHP_SUPPORT_DURABLE_H
+
+#include <string>
+
+#include "support/status.h"
+
+namespace mhp {
+
+/**
+ * fsync the file at `path` (its bytes must already be flushed to the
+ * kernel, e.g. via ofstream::flush()). IoError on any OS failure.
+ */
+Status fsyncFile(const std::string &path);
+
+/**
+ * fsync the directory containing `path`, making a completed rename
+ * of `path` itself durable. IoError on any OS failure.
+ */
+Status fsyncParentDir(const std::string &path);
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_DURABLE_H

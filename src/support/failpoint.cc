@@ -1,0 +1,301 @@
+#include "support/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "support/bytes.h"
+#include "support/rng.h"
+
+namespace mhp {
+
+namespace {
+
+/** One parsed spec entry. */
+struct Entry
+{
+    enum class Trigger
+    {
+        Never,  ///< 'off'
+        Always, ///< '*'
+        Nth,    ///< plain N: fires exactly when key == N-1
+        Ratio,  ///< K/N: fires when key % N < K
+        Prob,   ///< pF: seeded hash of (site, key) < F
+    };
+
+    Trigger trigger = Entry::Trigger::Never;
+    uint64_t n = 0;          ///< Nth target / Ratio denominator
+    uint64_t k = 0;          ///< Ratio numerator
+    double probability = 0;  ///< Prob threshold
+    uint64_t maxAttempt = 0; ///< 0 = every attempt; else attempt < max
+    uint64_t delayMs = 0;    ///< ':Dms' payload
+    uint64_t hits = 0;       ///< counter-keyed evaluations so far
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Entry> entries;
+    uint64_t seed = 0;
+    std::atomic<bool> armed{false};
+};
+
+Status parseSpec(const std::string &spec,
+                 std::map<std::string, Entry> &parsed);
+
+/** Parse and swap in a new entry set (the one write path). */
+Status
+applySpec(Registry &r, const std::string &spec)
+{
+    std::map<std::string, Entry> parsed;
+    MHP_RETURN_IF_ERROR(parseSpec(spec, parsed));
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.entries = std::move(parsed);
+    r.armed.store(!r.entries.empty(), std::memory_order_relaxed);
+    return Status::ok();
+}
+
+Registry &
+registry()
+{
+    static Registry r;
+    // First touch adopts the environment, so every binary honors
+    // MHP_FAILPOINTS / MHP_FAILPOINT_SEED with no flag plumbing.
+    // applySpec() is called directly (never the public entry points,
+    // which come back through this function and its once_flag).
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *seed = std::getenv("MHP_FAILPOINT_SEED"))
+            r.seed = std::strtoull(seed, nullptr, 10);
+        if (const char *spec = std::getenv("MHP_FAILPOINTS")) {
+            // Ignore a malformed env spec rather than abort library
+            // init; the tools expose --failpoints for checked parsing.
+            (void)applySpec(r, spec);
+        }
+    });
+    return r;
+}
+
+/** Parse one "site=trigger[@A][:Dms]" entry into (site, Entry). */
+Status
+parseEntry(const std::string &item, std::string &site, Entry &entry)
+{
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return Status::invalidArgument("failpoint entry \"" + item +
+                                       "\" is not site=trigger");
+    site = item.substr(0, eq);
+    std::string rest = item.substr(eq + 1);
+
+    if (const size_t colon = rest.find(':');
+        colon != std::string::npos) {
+        const std::string delay = rest.substr(colon + 1);
+        char *end = nullptr;
+        entry.delayMs = std::strtoull(delay.c_str(), &end, 10);
+        if (end == delay.c_str() || std::string(end) != "ms")
+            return Status::invalidArgument(
+                "failpoint delay \"" + delay + "\" is not <int>ms");
+        rest = rest.substr(0, colon);
+    }
+    if (const size_t at = rest.find('@'); at != std::string::npos) {
+        const std::string attempts = rest.substr(at + 1);
+        char *end = nullptr;
+        entry.maxAttempt = std::strtoull(attempts.c_str(), &end, 10);
+        if (end == attempts.c_str() || *end != '\0' ||
+            entry.maxAttempt == 0)
+            return Status::invalidArgument(
+                "failpoint attempt bound \"" + attempts +
+                "\" is not a positive integer");
+        rest = rest.substr(0, at);
+    }
+
+    if (rest == "off") {
+        entry.trigger = Entry::Trigger::Never;
+    } else if (rest == "*") {
+        entry.trigger = Entry::Trigger::Always;
+    } else if (!rest.empty() && rest[0] == 'p') {
+        char *end = nullptr;
+        entry.probability = std::strtod(rest.c_str() + 1, &end);
+        if (end == rest.c_str() + 1 || *end != '\0' ||
+            entry.probability < 0.0 || entry.probability > 1.0)
+            return Status::invalidArgument(
+                "failpoint probability \"" + rest +
+                "\" is not p<float in [0,1]>");
+        entry.trigger = Entry::Trigger::Prob;
+    } else {
+        char *end = nullptr;
+        const uint64_t first = std::strtoull(rest.c_str(), &end, 10);
+        if (end == rest.c_str())
+            return Status::invalidArgument(
+                "failpoint trigger \"" + rest + "\" is not a number, "
+                "K/N, p<float>, '*' or 'off'");
+        if (*end == '\0') {
+            if (first == 0)
+                return Status::invalidArgument(
+                    "failpoint trigger \"" + rest +
+                    "\": evaluations are counted from 1");
+            entry.trigger = Entry::Trigger::Nth;
+            entry.n = first;
+        } else if (*end == '/') {
+            char *end2 = nullptr;
+            const uint64_t denom = std::strtoull(end + 1, &end2, 10);
+            if (end2 == end + 1 || *end2 != '\0' || denom == 0 ||
+                first > denom)
+                return Status::invalidArgument(
+                    "failpoint ratio \"" + rest +
+                    "\" is not K/N with 0 <= K <= N, N > 0");
+            entry.trigger = Entry::Trigger::Ratio;
+            entry.k = first;
+            entry.n = denom;
+        } else {
+            return Status::invalidArgument(
+                "failpoint trigger \"" + rest + "\" is malformed");
+        }
+    }
+    return Status::ok();
+}
+
+/** Parse a whole comma-separated spec into an entry map. */
+Status
+parseSpec(const std::string &spec, std::map<std::string, Entry> &parsed)
+{
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        const size_t comma = spec.find(',', pos);
+        const std::string item = spec.substr(
+            pos,
+            comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty()) {
+            std::string site;
+            Entry entry;
+            MHP_RETURN_IF_ERROR(parseEntry(item, site, entry));
+            parsed[site] = entry;
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return Status::ok();
+}
+
+/** Pure trigger decision for (entry, site, key, attempt). */
+bool
+entryFires(const Entry &entry, const std::string &site, uint64_t key,
+           uint64_t attempt, uint64_t seed)
+{
+    if (entry.maxAttempt > 0 && attempt >= entry.maxAttempt)
+        return false;
+    switch (entry.trigger) {
+      case Entry::Trigger::Never: return false;
+      case Entry::Trigger::Always: return true;
+      case Entry::Trigger::Nth: return key + 1 == entry.n;
+      case Entry::Trigger::Ratio: return key % entry.n < entry.k;
+      case Entry::Trigger::Prob: {
+          // Decorrelate (seed, site, key) through SplitMix64 so the
+          // firing set is stable per seed and independent per key.
+          SplitMix64 mix(seed ^ fnv1a64(site.data(), site.size()) ^
+                         (key * 0x9e3779b97f4a7c15ULL));
+          const double u =
+              static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+          return u < entry.probability;
+      }
+    }
+    return false;
+}
+
+/** Locked lookup + decision; nullptr entry = not configured. */
+bool
+evaluate(const char *site, uint64_t key, uint64_t attempt,
+         uint64_t *delayMs)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.entries.find(site);
+    if (it == r.entries.end())
+        return false;
+    const bool fires =
+        entryFires(it->second, it->first, key, attempt, r.seed);
+    if (delayMs != nullptr)
+        *delayMs = fires ? it->second.delayMs : 0;
+    return fires;
+}
+
+} // namespace
+
+bool
+failpointsArmed()
+{
+    return registry().armed.load(std::memory_order_relaxed);
+}
+
+Status
+configureFailpoints(const std::string &spec)
+{
+    return applySpec(registry(), spec);
+}
+
+void
+clearFailpoints()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.entries.clear();
+    r.armed.store(false, std::memory_order_relaxed);
+}
+
+void
+setFailpointSeed(uint64_t seed)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.seed = seed;
+    for (auto &[site, entry] : r.entries)
+        entry.hits = 0;
+}
+
+bool
+failpointFires(const char *site, uint64_t key, uint64_t attempt)
+{
+    if (!failpointsArmed())
+        return false;
+    return evaluate(site, key, attempt, nullptr);
+}
+
+bool
+failpointFires(const char *site)
+{
+    if (!failpointsArmed())
+        return false;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.entries.find(site);
+    if (it == r.entries.end())
+        return false;
+    const uint64_t key = it->second.hits++;
+    return entryFires(it->second, it->first, key, 0, r.seed);
+}
+
+uint64_t
+failpointDelayMs(const char *site, uint64_t key, uint64_t attempt)
+{
+    if (!failpointsArmed())
+        return 0;
+    uint64_t delay = 0;
+    (void)evaluate(site, key, attempt, &delay);
+    return delay;
+}
+
+std::vector<std::string>
+failpointSites()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.entries.size());
+    for (const auto &[site, entry] : r.entries)
+        names.push_back(site);
+    return names;
+}
+
+} // namespace mhp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic failpoints: named injection sites that simulate
+ * environmental failures (ENOSPC, EIO, short writes, slow operations)
+ * on demand, reproducibly.
+ *
+ * PR 2 hardened every *parser* with a corruption corpus; failpoints do
+ * the same for every *writer and executor*: any I/O or compute site
+ * wrapped in a failpoint can be made to fail from the command line
+ * (`--failpoints=...` on the tools) or the environment
+ * (`MHP_FAILPOINTS=...`), with no special build. Tests drive the exact
+ * failure schedules the real world only produces at 3 a.m.
+ *
+ * ## Spec grammar
+ *
+ *     spec    := entry (',' entry)*
+ *     entry   := site '=' trigger [ '@' A ] [ ':' D 'ms' ]
+ *     trigger := '*'            always fires
+ *              | N              fires exactly on the Nth evaluation
+ *                               (key N-1; keys are 0-based)
+ *              | K '/' N        fires when key % N < K
+ *              | 'p' F          fires with probability F, decided by a
+ *                               seeded hash of (site, key) — the same
+ *                               seed reproduces the same firing set
+ *              | 'off'          never fires (handy for overriding env)
+ *     '@' A   := fires only while attempt < A (a *transient* failure
+ *                that a retry loop outlasts); without '@' the entry
+ *                fires on every attempt (a *permanent* failure)
+ *     ':' D 'ms' := the entry carries a delay of D milliseconds,
+ *                consulted through failpointDelayMs() by slow-op sites
+ *
+ * Example: `profile.write.enospc=2,sweep.cell.compute=1/3@2` injects
+ * ENOSPC on the second profile-interval write, and makes every third
+ * sweep cell fail its first two attempts (succeeding on the third).
+ *
+ * ## Keys and determinism
+ *
+ * Every evaluation carries a *key* — the stable identity of the
+ * operation (sweep cell index, profile interval index) or, for sites
+ * with no natural identity, a per-site hit counter. Trigger decisions
+ * are pure functions of (spec, seed, site, key, attempt), never of
+ * wall-clock time or thread schedule, so a spec + seed reproduces the
+ * identical failure set at any thread count. The failpoint catalog
+ * lives in docs/ROBUSTNESS.md.
+ *
+ * When no spec is configured, the only cost at a site is one relaxed
+ * atomic load (failpointsArmed()).
+ */
+
+#ifndef MHP_SUPPORT_FAILPOINT_H
+#define MHP_SUPPORT_FAILPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace mhp {
+
+/**
+ * True when any failpoint entry is active. The fast path every site
+ * checks before consulting the registry.
+ */
+bool failpointsArmed();
+
+/**
+ * Parse `spec` and replace the active failpoint set. An empty spec
+ * deactivates everything. Malformed entries are an InvalidArgument
+ * naming the offending entry; the previous set is kept on error.
+ */
+Status configureFailpoints(const std::string &spec);
+
+/** Deactivate every failpoint and reset all hit counters. */
+void clearFailpoints();
+
+/**
+ * Seed for probabilistic ('p') triggers; also resets hit counters so
+ * a (spec, seed) pair always replays the same schedule.
+ */
+void setFailpointSeed(uint64_t seed);
+
+/**
+ * Should the operation identified by (site, key, attempt) fail?
+ * Deterministic in the active spec and seed. Unconfigured sites never
+ * fire.
+ */
+bool failpointFires(const char *site, uint64_t key,
+                    uint64_t attempt = 0);
+
+/**
+ * Counter-keyed convenience: key is this site's hit counter (each
+ * call on an armed registry consumes one hit). For sites whose
+ * operations have no stable identity of their own.
+ */
+bool failpointFires(const char *site);
+
+/**
+ * The delay a slow-op site should sleep, in milliseconds: the entry's
+ * ':Dms' payload when (site, key, attempt) fires, else 0.
+ */
+uint64_t failpointDelayMs(const char *site, uint64_t key,
+                          uint64_t attempt = 0);
+
+/** Names of the configured sites (diagnostics / reports). */
+std::vector<std::string> failpointSites();
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_FAILPOINT_H

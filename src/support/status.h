@@ -42,6 +42,8 @@ enum class StatusCode
     CorruptData,     ///< an input file failed validation (CRC, bounds)
     IoError,         ///< the OS failed a read/write/rename
     FailedPrecondition, ///< the call is not valid in the current state
+    Cancelled,          ///< the operation was cancelled cooperatively
+    DeadlineExceeded,   ///< the operation outlived its time budget
 };
 
 /** Printable name of a status code. */
@@ -55,6 +57,8 @@ statusCodeName(StatusCode code)
       case StatusCode::CorruptData: return "corrupt data";
       case StatusCode::IoError: return "i/o error";
       case StatusCode::FailedPrecondition: return "failed precondition";
+      case StatusCode::Cancelled: return "cancelled";
+      case StatusCode::DeadlineExceeded: return "deadline exceeded";
     }
     return "unknown";
 }
@@ -101,6 +105,19 @@ class [[nodiscard]] Status
     failedPrecondition(std::string message)
     {
         return Status(StatusCode::FailedPrecondition,
+                      std::move(message));
+    }
+
+    static Status
+    cancelled(std::string message)
+    {
+        return Status(StatusCode::Cancelled, std::move(message));
+    }
+
+    static Status
+    deadlineExceeded(std::string message)
+    {
+        return Status(StatusCode::DeadlineExceeded,
                       std::move(message));
     }
 

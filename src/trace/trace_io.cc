@@ -1,8 +1,11 @@
 #include "trace/trace_io.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "support/bytes.h"
+#include "support/durable.h"
+#include "support/failpoint.h"
 #include "support/panic.h"
 
 namespace mhp {
@@ -52,7 +55,8 @@ validateTraceHeader(const std::string &path, const uint8_t *header,
 }
 
 TraceWriter::TraceWriter(const std::string &path_, ProfileKind kind)
-    : path(path_), out(path_, std::ios::binary)
+    : finalPath(path_), tempPath(path_ + ".tmp"),
+      out(tempPath, std::ios::binary | std::ios::trunc)
 {
     buffer.reserve(kBufferRecords * kRecordSize);
     if (!out)
@@ -86,11 +90,33 @@ TraceWriter::accept(const Tuple &t)
 void
 TraceWriter::flushBuffer()
 {
-    if (!buffer.empty() && out) {
-        out.write(reinterpret_cast<const char *>(buffer.data()),
-                  static_cast<std::streamsize>(buffer.size()));
+    if (buffer.empty() || !out || !firstError.isOk())
+        return;
+    const uint64_t flushIndex = flushes++;
+    if (failpointFires("trace.write.enospc", flushIndex)) {
+        firstError = Status::ioError(
+            tempPath +
+            ": injected ENOSPC (failpoint trace.write.enospc)");
         buffer.clear();
+        return;
     }
+    if (failpointFires("trace.write.short", flushIndex)) {
+        // Land half the block, like a device that filled mid-write.
+        out.write(reinterpret_cast<const char *>(buffer.data()),
+                  static_cast<std::streamsize>(buffer.size() / 2));
+        out.flush();
+        firstError = Status::ioError(
+            tempPath +
+            ": injected short write (failpoint trace.write.short)");
+        buffer.clear();
+        return;
+    }
+    out.write(reinterpret_cast<const char *>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+    if (!out)
+        firstError =
+            Status::ioError(tempPath + ": short write in trace body");
+    buffer.clear();
 }
 
 Status
@@ -99,16 +125,50 @@ TraceWriter::close()
     if (closed)
         return Status::ok();
     closed = true;
-    if (!out)
-        return Status::ioError(path + ": cannot open trace for writing");
+    if (!out) {
+        std::remove(tempPath.c_str());
+        return Status::ioError(tempPath +
+                               ": cannot open trace for writing");
+    }
     flushBuffer();
+    if (!firstError.isOk()) {
+        out.close();
+        std::remove(tempPath.c_str());
+        return firstError;
+    }
     out.seekp(16);
     uint8_t le[8];
     putLe64(le, count);
     out.write(reinterpret_cast<const char *>(le), 8);
     out.flush();
-    if (!out)
-        return Status::ioError(path + ": short write closing trace");
+    const bool wrote = static_cast<bool>(out);
+    out.close();
+    if (!wrote) {
+        std::remove(tempPath.c_str());
+        return Status::ioError(tempPath + ": short write closing trace");
+    }
+
+    // Same durability dance as ProfileWriter: data to disk before the
+    // rename publishes the name, directory sync after so the rename
+    // itself survives a crash.
+    Status synced =
+        failpointFires("trace.fsync")
+            ? Status::ioError(tempPath + ": injected fsync failure "
+                                         "(failpoint trace.fsync)")
+            : fsyncFile(tempPath);
+    if (!synced.isOk()) {
+        std::remove(tempPath.c_str());
+        return synced;
+    }
+    if (failpointFires("trace.rename") ||
+        std::rename(tempPath.c_str(), finalPath.c_str()) != 0) {
+        std::remove(tempPath.c_str());
+        return Status::ioError("cannot rename " + tempPath + " to " +
+                               finalPath);
+    }
+    Status dirSynced = fsyncParentDir(finalPath);
+    if (!dirSynced.isOk())
+        return dirSynced; // file is complete, just not durable yet
     return Status::ok();
 }
 
@@ -121,6 +181,9 @@ StatusOr<std::unique_ptr<TraceReader>>
 TraceReader::open(const std::string &path)
 {
     std::unique_ptr<TraceReader> r(new TraceReader(path));
+    if (failpointFires("trace.open.eio"))
+        return Status::ioError(
+            path + ": injected EIO (failpoint trace.open.eio)");
     if (!r->in)
         return Status::notFound(path + ": cannot open trace file");
 

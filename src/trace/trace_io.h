@@ -13,7 +13,9 @@
  *            count (8 bytes, little-endian)
  *   records: count * { first (8 bytes LE), second (8 bytes LE) }
  *
- * Records are buffered in 64 KiB chunks in both directions.
+ * Records are buffered in 64 KiB chunks in both directions. The writer
+ * streams to "<path>.tmp" and publishes the finished trace with an
+ * fsync + rename + directory-fsync on close(), mirroring ProfileWriter.
  *
  * Trace files are untrusted input: TraceReader::open() validates the
  * header and checks the declared record count against the actual file
@@ -62,8 +64,11 @@ class TraceWriter : public EventSink
 {
   public:
     /**
-     * Open a trace file for writing; the header's count field is
-     * back-patched on close().
+     * Open "<path>.tmp" for writing; the finished trace appears under
+     * the final name only when close() succeeds (count back-patched,
+     * fsync'd, renamed into place, parent directory fsync'd). A crash
+     * or write failure therefore never leaves a partial trace under
+     * the final name.
      */
     TraceWriter(const std::string &path, ProfileKind kind);
     ~TraceWriter() override;
@@ -74,13 +79,18 @@ class TraceWriter : public EventSink
     /** True if the file opened successfully. */
     bool ok() const { return static_cast<bool>(out); }
 
-    /** Append one tuple to the trace. */
+    /**
+     * Append one tuple to the trace. Write failures latch internally
+     * (the EventSink interface is void); close() reports the first.
+     */
     void accept(const Tuple &t) override;
 
     /**
-     * Flush buffers and finalize the header. Idempotent; reports a
-     * failed or short write (the destructor calls this but must
-     * swallow the Status).
+     * Flush buffers, finalize the header, and atomically publish the
+     * trace. Idempotent; returns the first error seen anywhere in the
+     * write path (the destructor calls this but must swallow the
+     * Status). On failure the temp file is removed and no file
+     * appears under the final name.
      */
     Status close();
 
@@ -89,11 +99,14 @@ class TraceWriter : public EventSink
   private:
     void flushBuffer();
 
-    std::string path;
+    std::string finalPath;
+    std::string tempPath;
     std::ofstream out;
     std::vector<uint8_t> buffer;
     uint64_t count = 0;
+    uint64_t flushes = 0;
     bool closed = false;
+    Status firstError;
 };
 
 /** Replays a .mht file as an EventSource. */

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "support/bytes.h"
+#include "support/failpoint.h"
 #include "support/panic.h"
 #include "trace/trace_io.h"
 
@@ -36,6 +37,15 @@ constexpr size_t kMaxDecodeChunk = 1u << 16;
 StatusOr<std::shared_ptr<const TraceMap>>
 TraceMap::open(const std::string &path)
 {
+    // Injectable mmap failure: callers are expected to fall back to
+    // the buffered TraceReader, and this site lets tests prove they
+    // actually do.
+    if (failpointFires("trace.map.open")) {
+        return Status::ioError(
+            path + ": injected mmap failure (failpoint "
+                   "trace.map.open); stream it with TraceReader "
+                   "instead");
+    }
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         return Status::notFound(path + ": cannot open trace file");

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Failpoint smoke test: a sweep with injected k-of-N cell failures
+# must exit 3, quarantine exactly the injected cells (reproducibly),
+# and leave every surviving stdout line byte-identical to a
+# fault-free run.
+# Usage: failpoint_smoke.sh <build-tools-dir> [quarantine-report-out]
+set -e
+TOOLS="$1"
+REPORT_OUT="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+SWEEP="$TOOLS/mhprof_run --benchmark=li --intervals=2 --seed=5 \
+    --entries=512 --sweep-lengths=500,1000,2000,4000"
+
+# Fault-free reference: 4 cells, exit 0, 4 table lines.
+$SWEEP > "$TMP/ref.out"
+[ "$(wc -l < "$TMP/ref.out")" -eq 4 ] || {
+    echo "FAIL: expected 4 sweep lines:"; cat "$TMP/ref.out"; exit 1; }
+
+# Inject: cells 0 and 2 fail every attempt (cell % 2 < 1). Expect
+# exactly exit 3, the two surviving lines, and two quarantine lines
+# on stderr.
+set +e
+$SWEEP --failpoints='sweep.cell.compute=1/2' --retries=1 \
+    --quarantine-report="$TMP/q1.tsv" \
+    > "$TMP/faulted.out" 2> "$TMP/faulted.err"
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "FAIL: expected exit 3, got $rc";
+    cat "$TMP/faulted.err"; exit 1; }
+[ "$(wc -l < "$TMP/faulted.out")" -eq 2 ] || {
+    echo "FAIL: expected 2 surviving lines:";
+    cat "$TMP/faulted.out"; exit 1; }
+[ "$(grep -c quarantined "$TMP/faulted.err")" -eq 2 ] || {
+    echo "FAIL: expected 2 quarantine diagnostics:";
+    cat "$TMP/faulted.err"; exit 1; }
+grep -q "injected" "$TMP/faulted.err" || {
+    echo "FAIL: quarantine diagnostic does not name the injection";
+    exit 1; }
+
+# Every surviving line is byte-identical to the fault-free run.
+while IFS= read -r line; do
+    grep -Fxq "$line" "$TMP/ref.out" || {
+        echo "FAIL: surviving line differs from fault-free run:";
+        echo "  $line"; exit 1; }
+done < "$TMP/faulted.out"
+
+# The quarantine report is machine-readable and reproducible: the
+# same spec + seed quarantines the same cells on a rerun.
+[ "$(wc -l < "$TMP/q1.tsv")" -eq 2 ] || {
+    echo "FAIL: quarantine report should have 2 rows:";
+    cat "$TMP/q1.tsv"; exit 1; }
+cut -f1 "$TMP/q1.tsv" | tr '\n' ' ' | grep -q "^0 2 " || {
+    echo "FAIL: expected cells 0 and 2 quarantined:";
+    cat "$TMP/q1.tsv"; exit 1; }
+set +e
+$SWEEP --failpoints='sweep.cell.compute=1/2' --retries=1 \
+    --quarantine-report="$TMP/q2.tsv" > /dev/null 2>&1
+set -e
+cmp -s "$TMP/q1.tsv" "$TMP/q2.tsv" || {
+    echo "FAIL: quarantine report is not reproducible"; exit 1; }
+
+# Probabilistic injection is seed-deterministic end to end, too.
+set +e
+$SWEEP --failpoints='sweep.cell.compute=p0.5' --failpoint-seed=42 \
+    --retries=0 --quarantine-report="$TMP/p1.tsv" > /dev/null 2>&1
+$SWEEP --failpoints='sweep.cell.compute=p0.5' --failpoint-seed=42 \
+    --retries=0 --quarantine-report="$TMP/p2.tsv" > /dev/null 2>&1
+set -e
+cmp -s "$TMP/p1.tsv" "$TMP/p2.tsv" || {
+    echo "FAIL: p-trigger quarantine set is not seed-deterministic";
+    exit 1; }
+
+# Keep the report around as a CI artifact when asked to.
+if [ -n "$REPORT_OUT" ]; then
+    cp "$TMP/q1.tsv" "$REPORT_OUT"
+fi
+
+echo "failpoint smoke test passed"

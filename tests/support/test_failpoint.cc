@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/failpoint.h"
+#include "support/status.h"
+
+namespace mhp {
+namespace {
+
+/** Every test leaves the process-global registry clean. */
+class Failpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        clearFailpoints();
+        setFailpointSeed(0);
+    }
+    void TearDown() override
+    {
+        clearFailpoints();
+        setFailpointSeed(0);
+    }
+};
+
+TEST_F(Failpoint, UnconfiguredSitesNeverFire)
+{
+    EXPECT_FALSE(failpointsArmed());
+    EXPECT_FALSE(failpointFires("nothing.here", 0));
+    EXPECT_FALSE(failpointFires("nothing.here"));
+    EXPECT_EQ(failpointDelayMs("nothing.here", 0), 0u);
+}
+
+TEST_F(Failpoint, AlwaysAndOffTriggers)
+{
+    ASSERT_TRUE(configureFailpoints("a.b=*,c.d=off").isOk());
+    EXPECT_TRUE(failpointsArmed());
+    EXPECT_TRUE(failpointFires("a.b", 0));
+    EXPECT_TRUE(failpointFires("a.b", 999));
+    EXPECT_FALSE(failpointFires("c.d", 0));
+}
+
+TEST_F(Failpoint, NthFiresExactlyOnce)
+{
+    ASSERT_TRUE(configureFailpoints("x=3").isOk());
+    // Keys are 0-based; "3" means the third evaluation, key 2.
+    EXPECT_FALSE(failpointFires("x", 0));
+    EXPECT_FALSE(failpointFires("x", 1));
+    EXPECT_TRUE(failpointFires("x", 2));
+    EXPECT_FALSE(failpointFires("x", 3));
+}
+
+TEST_F(Failpoint, RatioFiresByKeyModulus)
+{
+    ASSERT_TRUE(configureFailpoints("x=2/5").isOk());
+    for (uint64_t key = 0; key < 20; ++key)
+        EXPECT_EQ(failpointFires("x", key), key % 5 < 2) << key;
+}
+
+TEST_F(Failpoint, CounterKeyedConsumesHits)
+{
+    ASSERT_TRUE(configureFailpoints("x=2").isOk());
+    EXPECT_FALSE(failpointFires("x")); // hit 0
+    EXPECT_TRUE(failpointFires("x"));  // hit 1 == N-1
+    EXPECT_FALSE(failpointFires("x")); // hit 2
+    // Reseeding replays the schedule from the start.
+    setFailpointSeed(0);
+    EXPECT_FALSE(failpointFires("x"));
+    EXPECT_TRUE(failpointFires("x"));
+}
+
+TEST_F(Failpoint, AttemptBoundMakesFailuresTransient)
+{
+    ASSERT_TRUE(configureFailpoints("x=*@2").isOk());
+    EXPECT_TRUE(failpointFires("x", 7, /*attempt=*/0));
+    EXPECT_TRUE(failpointFires("x", 7, /*attempt=*/1));
+    EXPECT_FALSE(failpointFires("x", 7, /*attempt=*/2));
+    EXPECT_FALSE(failpointFires("x", 7, /*attempt=*/5));
+}
+
+TEST_F(Failpoint, DelayPayloadOnlyWhenFiring)
+{
+    ASSERT_TRUE(configureFailpoints("x=1/2:40ms").isOk());
+    EXPECT_EQ(failpointDelayMs("x", 0), 40u);
+    EXPECT_EQ(failpointDelayMs("x", 1), 0u);
+}
+
+TEST_F(Failpoint, ProbabilisticIsSeedDeterministic)
+{
+    ASSERT_TRUE(configureFailpoints("x=p0.5").isOk());
+    setFailpointSeed(42);
+    std::vector<bool> first;
+    for (uint64_t key = 0; key < 256; ++key)
+        first.push_back(failpointFires("x", key));
+    setFailpointSeed(42);
+    for (uint64_t key = 0; key < 256; ++key)
+        EXPECT_EQ(failpointFires("x", key), first[key]) << key;
+
+    // A different seed draws a different set (overwhelmingly likely
+    // across 256 keys), and the hit rate is in the right ballpark.
+    setFailpointSeed(43);
+    size_t differs = 0, fires = 0;
+    for (uint64_t key = 0; key < 256; ++key) {
+        const bool f = failpointFires("x", key);
+        differs += f != first[key];
+        fires += f;
+    }
+    EXPECT_GT(differs, 0u);
+    EXPECT_GT(fires, 64u);
+    EXPECT_LT(fires, 192u);
+}
+
+TEST_F(Failpoint, MalformedSpecsRejectedAndPreviousKept)
+{
+    ASSERT_TRUE(configureFailpoints("keep.me=*").isOk());
+    for (const char *bad :
+         {"nosite", "=*", "x=", "x=0", "x=3/2", "x=2/0", "x=p1.5",
+          "x=pz", "x=*@0", "x=*@z", "x=1:zzms", "x=1:5s"}) {
+        const Status s = configureFailpoints(bad);
+        EXPECT_EQ(s.code(), StatusCode::InvalidArgument) << bad;
+    }
+    // The last good configuration survived every rejected one.
+    EXPECT_TRUE(failpointFires("keep.me", 0));
+}
+
+TEST_F(Failpoint, EmptySpecDisarms)
+{
+    ASSERT_TRUE(configureFailpoints("x=*").isOk());
+    ASSERT_TRUE(configureFailpoints("").isOk());
+    EXPECT_FALSE(failpointsArmed());
+    EXPECT_FALSE(failpointFires("x", 0));
+}
+
+TEST_F(Failpoint, SitesListsConfiguredNames)
+{
+    ASSERT_TRUE(configureFailpoints("b.site=*,a.site=off").isOk());
+    const std::vector<std::string> sites = failpointSites();
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0], "a.site");
+    EXPECT_EQ(sites[1], "b.site");
+}
+
+} // namespace
+} // namespace mhp

@@ -83,4 +83,61 @@ expect_reject "integer" "$TOOLS/mhprof_trace" --events=ten \
 expect_reject "not a number" "$TOOLS/mhprof_faults" --benchmark=li \
     --rates=0,banana
 
+# --- exit codes and injected faults ----------------------------------
+# The contract (docs/ROBUSTNESS.md): 0 success, 1 usage/corrupt
+# input/IO, 2 profiles-differ (mhprof_compare), 3 quarantined cells
+# (mhprof_run sweeps), 128+N killed by signal N. Diagnostics go to
+# stderr; stdout carries results only.
+
+# expect_exit <code> <tool args...>
+expect_exit() {
+    want="$1"; shift
+    set +e
+    "$@" > /dev/null 2> "$TMP/err.out"
+    got=$?
+    set -e
+    [ "$got" -eq "$want" ] || {
+        echo "FAIL: $* exited $got, expected $want:";
+        cat "$TMP/err.out"; exit 1; }
+}
+
+# Malformed failpoint specs are usage errors in every tool.
+expect_exit 1 "$TOOLS/mhprof_run" --benchmark=li --failpoints='x='
+expect_exit 1 "$TOOLS/mhprof_trace" --benchmark=li \
+    --out="$TMP/x.mht" --failpoints='x='
+
+# Injected profile-write ENOSPC: clean exit 1, a diagnostic naming
+# the injection, and no output file under either name.
+expect_exit 1 "$TOOLS/mhprof_run" --benchmark=li --intervals=2 \
+    --out="$TMP/fp.mhp" --failpoints='profile.write.enospc=1'
+grep -q "injected" "$TMP/err.out" || {
+    echo "FAIL: ENOSPC diagnostic does not say injected"; exit 1; }
+[ ! -e "$TMP/fp.mhp" ] && [ ! -e "$TMP/fp.mhp.tmp" ] || {
+    echo "FAIL: partial profile left behind after injected ENOSPC";
+    exit 1; }
+
+# Same for the trace writer, driven through the environment instead
+# of the flag (the env path is what fault drills use).
+set +e
+MHP_FAILPOINTS='trace.write.enospc=1' "$TOOLS/mhprof_trace" \
+    --benchmark=li --events=30000 --out="$TMP/fp.mht" \
+    > /dev/null 2> "$TMP/err.out"
+got=$?
+set -e
+[ "$got" -eq 1 ] || { echo "FAIL: env failpoint exit $got != 1"; exit 1; }
+[ ! -e "$TMP/fp.mht" ] && [ ! -e "$TMP/fp.mht.tmp" ] || {
+    echo "FAIL: partial trace left behind after injected ENOSPC";
+    exit 1; }
+
+# Differing profiles: exactly exit 2 (not a failure, a verdict).
+expect_exit 2 "$TOOLS/mhprof_compare" "$TMP/li.mhp" "$TMP/gcc.mhp"
+
+# A sweep with a permanently failing cell: exactly exit 3, the
+# surviving cells still on stdout.
+expect_exit 3 "$TOOLS/mhprof_run" --benchmark=li --intervals=2 \
+    --entries=512 --sweep-lengths=1000,2000 --retries=0 \
+    --failpoints='sweep.cell.compute=1'
+grep -q "quarantined" "$TMP/err.out" || {
+    echo "FAIL: quarantine diagnostic missing"; exit 1; }
+
 echo "tools smoke test passed"

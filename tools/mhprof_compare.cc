@@ -30,7 +30,8 @@ main(int argc, char **argv)
 {
     using namespace mhp;
 
-    CliParser cli("diff two .mhp profiles");
+    CliParser cli("diff two .mhp profiles (exit codes: 0 identical, "
+                  "1 error, 2 profiles differ)");
     cli.addBool("verbose", false, "list differing tuples per interval");
     cli.parse(argc, argv);
 

@@ -20,7 +20,8 @@ main(int argc, char **argv)
 {
     using namespace mhp;
 
-    CliParser cli("inspect a .mhp profile file");
+    CliParser cli("inspect a .mhp profile file (exit codes: 0 ok, "
+                  "1 error)");
     cli.addInt("top", 0, "print the top-N candidates per interval");
     cli.addInt("phases", 0, "cluster intervals into up to N phases");
     cli.parse(argc, argv);

@@ -121,7 +121,8 @@ main(int argc, char **argv)
     using namespace mhp;
 
     CliParser cli("sweep soft-error rates through single- and "
-                  "multi-hash profilers and report error degradation");
+                  "multi-hash profilers and report error degradation "
+                  "(exit codes: 0 ok, 1 error)");
     cli.addString("benchmark", "gcc", "suite benchmark to profile");
     cli.addBool("edges", false, "use the edge model");
     cli.addString("trace", "",

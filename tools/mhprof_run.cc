@@ -1,7 +1,7 @@
 /**
  * @file
  * mhprof_run — profile a workload or trace file and write a .mhp
- * profile.
+ * profile, or sweep one configuration across interval lengths.
  *
  * Input is one of:
  *   --benchmark <name>    a calibrated suite model (value or edge);
@@ -11,20 +11,204 @@
  *
  *   mhprof_run --benchmark=gcc --intervals=20 --out=gcc.mhp
  *   mhprof_run --trace=run.mht --tables=1 --reset --out=bsh.mhp
+ *
+ * Sweep mode (--sweep-lengths=L1,L2,...) evaluates the configuration
+ * at each interval length through the resilient sweep executor:
+ * failed cells are retried and then quarantined (reported on stderr
+ * and optionally to --quarantine-report), --checkpoint makes the
+ * sweep resumable, and SIGINT/SIGTERM stop it at an interval boundary
+ * with the checkpoint journal flushed, so a rerun resumes
+ * bit-identically.
+ *
+ * Exit codes (see docs/ROBUSTNESS.md): 0 success; 1 usage error,
+ * unreadable/corrupt input, or write failure; 3 sweep completed with
+ * quarantined cells; 128+N interrupted by signal N (130 = SIGINT,
+ * 143 = SIGTERM).
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "analysis/interval_runner.h"
 #include "analysis/profile_io.h"
+#include "analysis/sweep_runner.h"
 #include "core/factory.h"
+#include "support/cancel.h"
 #include "support/cli.h"
+#include "support/failpoint.h"
 #include "trace/trace_io.h"
 #include "trace/trace_map.h"
 #include "workload/benchmarks.h"
+
+namespace {
+
+mhp::CancelToken gCancel;
+std::atomic<int> gSignal{0};
+
+// Async-signal-safe: two lock-free atomic stores, nothing else.
+extern "C" void
+onSignal(int sig)
+{
+    gSignal.store(sig, std::memory_order_relaxed);
+    gCancel.cancel();
+}
+
+/** Parse a comma-separated list of positive interval lengths. */
+bool
+parseLengths(const std::string &csv, std::vector<uint64_t> &lengths)
+{
+    size_t pos = 0;
+    while (pos < csv.size()) {
+        size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string item = csv.substr(pos, comma - pos);
+        try {
+            size_t used = 0;
+            const unsigned long long v = std::stoull(item, &used);
+            if (used != item.size() || v == 0)
+                return false;
+            lengths.push_back(v);
+        } catch (...) {
+            return false;
+        }
+        pos = comma + 1;
+    }
+    return !lengths.empty();
+}
+
+int
+runSweep(const mhp::CliParser &cli, const mhp::ProfilerConfig &cfg,
+         const std::vector<uint64_t> &lengths)
+{
+    using namespace mhp;
+
+    SweepPlan plan;
+    const std::string bench = cli.getString("benchmark");
+    const std::string trace = cli.getString("trace");
+    if (!trace.empty()) {
+        auto mapped = TraceMap::open(trace);
+        if (!mapped.isOk()) {
+            std::fprintf(stderr, "mhprof_run: %s\n",
+                         mapped.status().toString().c_str());
+            return 1;
+        }
+        plan.trace = std::move(*mapped);
+    } else if (isBenchmarkName(bench)) {
+        plan.benchmarks.push_back(bench);
+        plan.edges = cli.getBool("edges");
+    } else {
+        std::fprintf(stderr, "mhprof_run: sweep mode needs "
+                             "--trace=<file> or a valid --benchmark\n");
+        return 1;
+    }
+    plan.configs.push_back({cfg.describe(), cfg});
+    plan.intervalLengths = lengths;
+    plan.intervals = static_cast<uint64_t>(cli.getInt("intervals"));
+    plan.workloadSeed = static_cast<uint64_t>(cli.getInt("seed"));
+    const uint64_t batch = static_cast<uint64_t>(cli.getInt("batch"));
+    plan.batchSize = batch > 0 ? batch : 1;
+
+    SweepResilienceOptions options;
+    options.threads = static_cast<unsigned>(cli.getInt("threads"));
+    options.maxAttempts =
+        static_cast<unsigned>(cli.getInt("retries")) + 1;
+    options.cellDeadlineMs =
+        static_cast<uint64_t>(cli.getInt("cell-deadline-ms"));
+    options.backoffBaseMs =
+        static_cast<uint64_t>(cli.getInt("backoff-ms"));
+    options.backoffSeed =
+        static_cast<uint64_t>(cli.getInt("failpoint-seed"));
+    options.cancel = &gCancel;
+    options.checkpointPath = cli.getString("checkpoint");
+    options.watchdogPollMs = options.cellDeadlineMs > 0 ? 50 : 0;
+
+    // A signal trips the token; the sweep stops at the next interval
+    // boundary with every finished cell already journaled (appends
+    // are flushed whole, and the journal is fsync'd on the way out).
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    SweepRunner runner(std::move(plan));
+    StatusOr<SweepReport> swept = runner.runResilient(options);
+    if (!swept.isOk()) {
+        std::fprintf(stderr, "mhprof_run: %s\n",
+                     swept.status().toString().c_str());
+        return 1;
+    }
+    const SweepReport &report = *swept;
+
+    // Quarantine lines are diagnostics (stderr) and, when asked for,
+    // a machine-readable report file — never part of stdout, which
+    // stays reserved for the result table.
+    for (const QuarantinedCell &q : report.quarantined) {
+        std::fprintf(stderr,
+                     "mhprof_run: quarantined cell %llu (%s %s "
+                     "len=%llu) after %u attempts: %s\n",
+                     static_cast<unsigned long long>(q.cellIndex),
+                     q.benchmark.c_str(), q.configLabel.c_str(),
+                     static_cast<unsigned long long>(q.intervalLength),
+                     q.attempts, q.status.toString().c_str());
+    }
+    const std::string reportPath = cli.getString("quarantine-report");
+    if (!reportPath.empty()) {
+        std::ofstream rep(reportPath, std::ios::trunc);
+        for (const QuarantinedCell &q : report.quarantined) {
+            rep << q.cellIndex << '\t' << q.benchmark << '\t'
+                << q.configLabel << '\t' << q.intervalLength << '\t'
+                << q.attempts << '\t' << q.status.toString() << '\n';
+        }
+        if (!rep) {
+            std::fprintf(stderr, "mhprof_run: cannot write %s\n",
+                         reportPath.c_str());
+            return 1;
+        }
+    }
+
+    if (report.interrupted) {
+        const int sig = gSignal.load(std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "mhprof_run: interrupted by signal %d after %llu "
+                     "of %zu cells; checkpoint%s flushed — rerun the "
+                     "same command to resume\n",
+                     sig,
+                     static_cast<unsigned long long>(
+                         report.completedCells),
+                     runner.cellCount(),
+                     options.checkpointPath.empty() ? " (none)" : "");
+        return sig > 0 ? 128 + sig : 130;
+    }
+
+    // The table is printed only from a finished report, so an
+    // interrupted-and-resumed sweep emits stdout bit-identical to an
+    // uninterrupted one.
+    bool quarantined = false;
+    for (size_t cell = 0; cell < report.results.size(); ++cell) {
+        const SweepCellResult &r = report.results[cell];
+        if (r.run.profilerName.empty()) {
+            quarantined = true;
+            continue;
+        }
+        std::printf("%s %s len=%llu: %llu intervals, avg error "
+                    "%.4f%%, %.1f candidates/interval\n",
+                    r.benchmark.c_str(), r.configLabel.c_str(),
+                    static_cast<unsigned long long>(r.intervalLength),
+                    static_cast<unsigned long long>(
+                        r.intervalsCompleted),
+                    r.run.averageErrorPercent(),
+                    r.run.meanHardwareCandidates());
+    }
+    return quarantined ? 3 : 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -32,7 +216,9 @@ main(int argc, char **argv)
     using namespace mhp;
 
     CliParser cli("profile a workload/trace with a hardware profiler "
-                  "model and write a .mhp profile");
+                  "model and write a .mhp profile, or sweep interval "
+                  "lengths (exit codes: 0 ok, 1 error, 3 quarantined "
+                  "cells, 128+N signal)");
     cli.addString("benchmark", "", "suite benchmark to profile");
     cli.addBool("edges", false, "use the edge model (with --benchmark)");
     cli.addString("trace", "", "input .mht trace (instead of a model)");
@@ -49,15 +235,51 @@ main(int argc, char **argv)
     cli.addInt("batch", 4096,
                "events per onEvents() block (0 = per-event ingest)");
     cli.addInt("threads", 0,
-               "worker threads for scoring a mapped trace "
-               "(0 = auto, 1 = serial streaming)");
+               "worker threads for scoring a mapped trace or running "
+               "a sweep (0 = auto, 1 = serial streaming)");
+    cli.addString("sweep-lengths", "",
+                  "comma-separated interval lengths; non-empty "
+                  "switches to resilient sweep mode");
+    cli.addString("checkpoint", "",
+                  "sweep checkpoint journal (resumable)");
+    cli.addInt("retries", 2,
+               "sweep: retries per failing cell before quarantine");
+    cli.addInt("cell-deadline-ms", 0,
+               "sweep: wall-clock budget per cell attempt (0 = none)");
+    cli.addInt("backoff-ms", 0,
+               "sweep: base retry backoff in ms (0 = immediate)");
+    cli.addString("quarantine-report", "",
+                  "sweep: write quarantined cells to this file");
+    cli.addString("failpoints", "",
+                  "failpoint spec, e.g. profile.write.enospc=2 "
+                  "(see docs/ROBUSTNESS.md)");
+    cli.addInt("failpoint-seed", 0,
+               "seed for probabilistic failpoints and retry jitter");
     cli.parse(argc, argv);
 
     if (cli.getInt("intervals") < 0 || cli.getInt("batch") < 0 ||
-        cli.getInt("threads") < 0) {
+        cli.getInt("threads") < 0 || cli.getInt("retries") < 0 ||
+        cli.getInt("cell-deadline-ms") < 0 ||
+        cli.getInt("backoff-ms") < 0) {
         std::fprintf(stderr,
-                     "--intervals, --batch and --threads must be >= 0\n");
+                     "--intervals, --batch, --threads, --retries, "
+                     "--cell-deadline-ms and --backoff-ms must be "
+                     ">= 0\n");
         return 1;
+    }
+
+    if (cli.getInt("failpoint-seed") != 0) {
+        setFailpointSeed(
+            static_cast<uint64_t>(cli.getInt("failpoint-seed")));
+    }
+    if (const std::string spec = cli.getString("failpoints");
+        !spec.empty()) {
+        if (const Status bad = configureFailpoints(spec);
+            !bad.isOk()) {
+            std::fprintf(stderr, "mhprof_run: %s\n",
+                         bad.toString().c_str());
+            return 1;
+        }
     }
 
     ProfilerConfig cfg;
@@ -73,6 +295,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "mhprof_run: %s\n",
                      bad.toString().c_str());
         return 1;
+    }
+
+    if (const std::string csv = cli.getString("sweep-lengths");
+        !csv.empty()) {
+        std::vector<uint64_t> lengths;
+        if (!parseLengths(csv, lengths)) {
+            std::fprintf(stderr,
+                         "mhprof_run: --sweep-lengths must be a "
+                         "comma-separated list of positive lengths\n");
+            return 1;
+        }
+        return runSweep(cli, cfg, lengths);
     }
 
     // Trace input prefers the zero-copy mapping; when mmap itself

@@ -22,6 +22,7 @@
 #include "sim/machine.h"
 #include "sim/probes.h"
 #include "support/cli.h"
+#include "support/failpoint.h"
 #include "trace/trace_io.h"
 #include "trace/trace_map.h"
 #include "workload/benchmarks.h"
@@ -31,7 +32,8 @@ main(int argc, char **argv)
 {
     using namespace mhp;
 
-    CliParser cli("record a .mht tuple trace");
+    CliParser cli("record a .mht tuple trace (exit codes: 0 ok, "
+                  "1 error)");
     cli.addString("benchmark", "", "suite benchmark to record");
     cli.addBool("sim", false, "record a generated mini-CPU program");
     cli.addString("from", "",
@@ -41,7 +43,26 @@ main(int argc, char **argv)
     cli.addInt("events", 100'000, "events to record");
     cli.addInt("seed", 1, "workload / program seed");
     cli.addString("out", "trace.mht", "output .mht path");
+    cli.addString("failpoints", "",
+                  "failpoint spec, e.g. trace.write.enospc=1 "
+                  "(see docs/ROBUSTNESS.md)");
+    cli.addInt("failpoint-seed", 0,
+               "seed for probabilistic failpoints");
     cli.parse(argc, argv);
+
+    if (cli.getInt("failpoint-seed") != 0) {
+        setFailpointSeed(
+            static_cast<uint64_t>(cli.getInt("failpoint-seed")));
+    }
+    if (const std::string spec = cli.getString("failpoints");
+        !spec.empty()) {
+        if (const Status bad = configureFailpoints(spec);
+            !bad.isOk()) {
+            std::fprintf(stderr, "mhprof_trace: %s\n",
+                         bad.toString().c_str());
+            return 1;
+        }
+    }
 
     const auto seed = static_cast<uint64_t>(cli.getInt("seed"));
     const auto events = static_cast<uint64_t>(cli.getInt("events"));
