@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "analysis/sweep_runner.h"
 #include "core/factory.h"
@@ -26,6 +28,63 @@ uint64_t
 scaledIntervals(uint64_t baseIntervals)
 {
     return scaledCount(baseIntervals, 2);
+}
+
+namespace {
+
+/** First line of a sysfs file, or empty when unreadable. */
+std::string
+readSysfsLine(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::string line;
+    std::getline(in, line);
+    return line;
+}
+
+} // namespace
+
+std::string
+clockSource()
+{
+    const std::string source = readSysfsLine(
+        "/sys/devices/system/clocksource/clocksource0/"
+        "current_clocksource");
+    return source.empty() ? "unknown" : source;
+}
+
+std::string
+cpuScalingGovernor()
+{
+    // No cpufreq directory at all (fixed-clock VMs, many containers)
+    // means no scaling; distinguish that from an unreadable governor.
+    const char *dir = "/sys/devices/system/cpu/cpu0/cpufreq";
+    std::error_code ec;
+    if (!std::filesystem::exists(dir, ec))
+        return "none";
+    const std::string governor = readSysfsLine(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+    return governor.empty() ? "unknown" : governor;
+}
+
+bool
+cpuScalingActive()
+{
+    const std::string governor = cpuScalingGovernor();
+    return governor != "none" && governor != "performance";
+}
+
+void
+reportTimingEnvironment(unsigned repetitions)
+{
+    std::printf("timing environment: clocksource=%s governor=%s "
+                "scaling=%s repetitions=%u\n",
+                clockSource().c_str(), cpuScalingGovernor().c_str(),
+                cpuScalingActive() ? "ACTIVE (results may wobble)"
+                                   : "inactive",
+                repetitions);
 }
 
 std::vector<SweepRow>

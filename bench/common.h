@@ -27,6 +27,35 @@ namespace bench {
 /** Print the standard bench banner. */
 void banner(const std::string &figure, const std::string &what);
 
+/**
+ * The kernel's current wall-clock source (e.g. "tsc", "hpet",
+ * "arch_sys_counter"), read from sysfs; "unknown" when unreadable.
+ * A non-TSC clocksource makes fine-grained timings untrustworthy, so
+ * perf_throughput embeds this in its JSON context.
+ */
+std::string clockSource();
+
+/**
+ * The cpufreq scaling governor of cpu0 ("performance", "powersave",
+ * ...), or "none" when the platform exposes no cpufreq (fixed-clock
+ * VMs); "unknown" when unreadable. Anything other than
+ * "performance"/"none" means results can wobble with clock scaling.
+ */
+std::string cpuScalingGovernor();
+
+/**
+ * True when frequency scaling could perturb measurements: a cpufreq
+ * governor is present and is not "performance".
+ */
+bool cpuScalingActive();
+
+/**
+ * Print the one-line timing-environment report (clock source,
+ * governor, repetitions). Every timing bench should emit this so a
+ * log is never silently missing its measurement conditions.
+ */
+void reportTimingEnvironment(unsigned repetitions);
+
 /** Intervals to run after MHP_SCALE (default baseIntervals). */
 uint64_t scaledIntervals(uint64_t baseIntervals);
 

@@ -9,22 +9,31 @@
  *
  * Unless --benchmark_out is given, results are also written as JSON to
  * BENCH_throughput.json (override the path with MHP_BENCH_JSON) so CI
- * can archive the throughput trajectory.
+ * can archive the throughput trajectory. Debug builds refuse that
+ * default dump and tag any explicit output "invalid": a debug-build
+ * number must never become a comparison baseline (docs/PERF.md). The
+ * honest-measurement context keys (mhp_build_type, clock source,
+ * scaling governor) are embedded in the JSON so tools/bench_check.py
+ * can verify a file's provenance before trusting it.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "analysis/interval_runner.h"
+#include "common.h"
 #include "core/factory.h"
 #include "core/hash_function.h"
+#include "core/ingest_kernels.h"
 #include "core/perfect_profiler.h"
 #include "core/stratified_sampler.h"
+#include "support/cpu.h"
 #include "support/panic.h"
 #include "trace/trace_io.h"
 #include "trace/trace_map.h"
@@ -285,31 +294,190 @@ BM_WorkloadGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGeneration);
 
+/**
+ * Per-ISA-tier batched ingest: the mh4 profiler driven through
+ * onEvents() with its kernel table pinned to one tier. Registered at
+ * runtime for every tier this binary + CPU can run, so one JSON file
+ * carries e.g. BM_IsaBatchedIngest/mh4/scalar next to .../avx2 —
+ * tools/bench_check.py asserts the SIMD ≥ 1.5× scalar speedup on
+ * exactly these series. Profilers capture their kernel table at
+ * construction, so the pin wraps construction only.
+ */
+void
+BM_IsaBatchedIngest(benchmark::State &state, IsaTier tier)
+{
+    constexpr size_t kBatch = 4096;
+    ProfilerConfig cfg = bestMultiHashConfig(10'000, 0.01);
+    cfg.numHashTables = 4;
+    setIsaTierForTesting(tier);
+    auto profiler = makeProfiler(cfg);
+    setIsaTierForTesting(std::nullopt);
+    const auto &tuples = stream();
+    size_t pos = 0;
+    uint64_t in_interval = 0;
+    int64_t events = 0;
+    for (auto _ : state) {
+        size_t n = std::min(kBatch, tuples.size() - pos);
+        n = std::min<size_t>(n, cfg.intervalLength - in_interval);
+        profiler->onEvents(tuples.data() + pos, n);
+        pos += n;
+        if (pos == tuples.size())
+            pos = 0;
+        in_interval += n;
+        if (in_interval == cfg.intervalLength) {
+            benchmark::DoNotOptimize(profiler->endInterval());
+            in_interval = 0;
+        }
+        events += static_cast<int64_t>(n);
+    }
+    state.SetItemsProcessed(events);
+}
+
+/**
+ * Per-ISA-tier hash-pipeline kernel: hashBlock over 256-tuple blocks
+ * through one hasher (the stage the tier difference is made of,
+ * without profiler bookkeeping around it).
+ */
+void
+BM_IsaHashBlock(benchmark::State &state, IsaTier tier)
+{
+    const IngestKernels *kern = ingestKernelsFor(tier);
+    MHP_REQUIRE(kern != nullptr, "tier not runnable here");
+    constexpr size_t kBlock = 256;
+    const TupleHasher hasher(1, 2048);
+    const auto &tuples = stream();
+    std::vector<uint32_t> out(kBlock);
+    size_t pos = 0;
+    int64_t events = 0;
+    for (auto _ : state) {
+        const size_t n = std::min(kBlock, tuples.size() - pos);
+        kern->hashBlock(hasher.tableWords(), hasher.indexBits(),
+                        tuples.data() + pos, nullptr, n, out.data(), 1,
+                        0);
+        benchmark::DoNotOptimize(out.data());
+        pos += n;
+        if (pos == tuples.size())
+            pos = 0;
+        events += static_cast<int64_t>(n);
+    }
+    state.SetItemsProcessed(events);
+}
+
+/** Register the per-tier series for every runnable tier. */
+void
+registerIsaTierBenches()
+{
+    const IsaTier tiers[] = {IsaTier::Scalar, IsaTier::Sse42,
+                             IsaTier::Avx2, IsaTier::Neon};
+    for (const IsaTier tier : tiers) {
+        if (ingestKernelsFor(tier) == nullptr)
+            continue;
+        const std::string name = isaTierName(tier);
+        benchmark::RegisterBenchmark(
+            ("BM_IsaBatchedIngest/mh4/" + name).c_str(),
+            [tier](benchmark::State &s) { BM_IsaBatchedIngest(s, tier); });
+        benchmark::RegisterBenchmark(
+            ("BM_IsaHashBlock/" + name).c_str(),
+            [tier](benchmark::State &s) { BM_IsaHashBlock(s, tier); });
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // Default a JSON dump to BENCH_throughput.json (or MHP_BENCH_JSON)
-    // so every run leaves a machine-readable record; explicit
-    // --benchmark_out flags win.
+    // This binary's own build type is what decides whether its numbers
+    // may become a baseline. (The installed benchmark *library* build
+    // type — the library_build_type context key — says nothing about
+    // how our hot loops were compiled.)
+#ifdef NDEBUG
+    const bool releaseBuild = true;
+#else
+    const bool releaseBuild = false;
+#endif
+
     std::vector<char *> args(argv, argv + argc);
     bool haveOut = false;
+    bool haveReps = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+        const std::string arg(argv[i]);
+        if (arg.rfind("--benchmark_out=", 0) == 0)
             haveOut = true;
+        if (arg.rfind("--benchmark_repetitions=", 0) == 0)
+            haveReps = true;
     }
+
+    // MHP_BENCH_REPS pass-through: an explicit --benchmark_repetitions
+    // flag wins, otherwise the environment can request repetitions
+    // (CI sets it without touching the command line).
+    std::string repsFlag;
+    unsigned repetitions = 1;
+    if (haveReps) {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg(argv[i]);
+            if (arg.rfind("--benchmark_repetitions=", 0) == 0)
+                repetitions = static_cast<unsigned>(std::max(
+                    1L, std::strtol(arg.c_str() + 24, nullptr, 10)));
+        }
+    } else if (const char *reps = std::getenv("MHP_BENCH_REPS");
+               reps != nullptr && *reps != '\0') {
+        repetitions = static_cast<unsigned>(
+            std::max(1L, std::strtol(reps, nullptr, 10)));
+        repsFlag = "--benchmark_repetitions=" +
+                   std::to_string(repetitions);
+        args.push_back(repsFlag.data());
+    }
+
+    // Default a JSON dump to BENCH_throughput.json (or MHP_BENCH_JSON)
+    // so every Release run leaves a machine-readable record; explicit
+    // --benchmark_out flags win. Debug builds REFUSE the default dump:
+    // a debug number silently landing in BENCH_throughput.json is how
+    // the repo's baseline went stale once already.
     std::string outFlag;
     std::string formatFlag = "--benchmark_out_format=json";
     if (!haveOut) {
-        const char *path = std::getenv("MHP_BENCH_JSON");
-        outFlag = std::string("--benchmark_out=") +
-                  (path != nullptr && *path != '\0'
-                       ? path
-                       : "BENCH_throughput.json");
-        args.push_back(outFlag.data());
-        args.push_back(formatFlag.data());
+        if (releaseBuild) {
+            const char *path = std::getenv("MHP_BENCH_JSON");
+            outFlag = std::string("--benchmark_out=") +
+                      (path != nullptr && *path != '\0'
+                           ? path
+                           : "BENCH_throughput.json");
+            args.push_back(outFlag.data());
+            args.push_back(formatFlag.data());
+        } else {
+            std::fprintf(
+                stderr,
+                "perf_throughput: debug build — refusing the default "
+                "BENCH_throughput.json dump (results are not a valid "
+                "baseline; pass --benchmark_out=... to keep them, "
+                "tagged \"invalid\").\n");
+        }
     }
+
+    // Provenance + timing-environment context, embedded in the JSON so
+    // tools/bench_check.py can verify a file before trusting it.
+    benchmark::AddCustomContext("mhp_build_type",
+                                releaseBuild ? "release" : "debug");
+    benchmark::AddCustomContext("invalid",
+                                releaseBuild ? "false" : "true");
+    benchmark::AddCustomContext("mhp_clock_source",
+                                mhp::bench::clockSource());
+    benchmark::AddCustomContext("mhp_cpu_governor",
+                                mhp::bench::cpuScalingGovernor());
+    benchmark::AddCustomContext(
+        "mhp_cpu_scaling_active",
+        mhp::bench::cpuScalingActive() ? "true" : "false");
+    benchmark::AddCustomContext("mhp_repetitions",
+                                std::to_string(repetitions));
+    benchmark::AddCustomContext("mhp_isa_active",
+                                isaTierName(activeIsaTier()));
+    benchmark::AddCustomContext("mhp_isa_best",
+                                isaTierName(bestIsaTier()));
+
+    mhp::bench::reportTimingEnvironment(repetitions);
+    registerIsaTierBenches();
+
     int argcEff = static_cast<int>(args.size());
     benchmark::Initialize(&argcEff, args.data());
     if (benchmark::ReportUnrecognizedArguments(argcEff, args.data()))

@@ -77,8 +77,32 @@ class AccumulatorTable
     uint32_t
     probeSlot(const Tuple &t) const
     {
-        const size_t b = findBucket(t);
+        return probeSlotHashed(t, TupleHash{}(t));
+    }
+
+    /**
+     * probeSlot() with the tuple's TupleHash precomputed — batched
+     * kernels hash a whole block in one SIMD pass (the tupleHashBlock
+     * ingest kernel), prefetch the bucket lines via bucketAddr(), then
+     * probe. `hash` must equal TupleHash{}(t).
+     */
+    uint32_t
+    probeSlotHashed(const Tuple &t, uint64_t hash) const
+    {
+        const size_t b = findBucketHashed(t, hash);
         return b == kNoBucket ? kNoSlot : buckets[b].slot;
+    }
+
+    /**
+     * The address of the bucket a hash lands on first, for software
+     * prefetch ahead of probeSlotHashed(). Probing may continue past
+     * this line on collisions; prefetching just the head of the chain
+     * already covers the common case.
+     */
+    const void *
+    bucketAddr(uint64_t hash) const
+    {
+        return buckets.data() + (hash & bucketMask);
     }
 
     /** Count an occurrence of the tuple known to sit in `slot`. */
@@ -169,8 +193,15 @@ class AccumulatorTable
     size_t
     findBucket(const Tuple &t) const
     {
+        return findBucketHashed(t, TupleHash{}(t));
+    }
+
+    /** findBucket() with the tuple's hash precomputed. */
+    size_t
+    findBucketHashed(const Tuple &t, uint64_t hash) const
+    {
         const Bucket *const bk = buckets.data();
-        size_t b = TupleHash{}(t) & bucketMask;
+        size_t b = hash & bucketMask;
         for (;; b = (b + 1) & bucketMask) {
             const Bucket &bucket = bk[b];
             if (bucket.state == kEmpty)

@@ -6,20 +6,37 @@
 
 namespace mhp {
 
-CounterTable::CounterTable(uint64_t entries, unsigned counterBits)
+namespace {
+
+uint64_t
+checkedSaturation(uint64_t entries, unsigned counterBits)
 {
     MHP_REQUIRE(entries >= 1, "counter table needs entries");
     MHP_REQUIRE(counterBits >= 1 && counterBits <= 64,
                 "counter width out of range");
-    saturation =
-        counterBits >= 64 ? ~0ULL : (1ULL << counterBits) - 1;
-    counts.assign(entries, 0);
+    return counterBits >= 64 ? ~0ULL : (1ULL << counterBits) - 1;
+}
+
+} // namespace
+
+CounterTable::CounterTable(uint64_t entries, unsigned counterBits)
+    : own(entries, 0), counts(own.data()), numEntries(entries),
+      saturation(checkedSaturation(entries, counterBits))
+{
+}
+
+CounterTable::CounterTable(uint64_t *storage, uint64_t entries,
+                           unsigned counterBits)
+    : counts(storage), numEntries(entries),
+      saturation(checkedSaturation(entries, counterBits))
+{
+    std::fill_n(counts, numEntries, 0);
 }
 
 uint64_t
 CounterTable::increment(uint64_t index)
 {
-    MHP_ASSERT(index < counts.size(), "counter index out of range");
+    MHP_ASSERT(index < numEntries, "counter index out of range");
     uint64_t &c = counts[index];
     if (c < saturation)
         ++c;
@@ -29,7 +46,7 @@ CounterTable::increment(uint64_t index)
 void
 CounterTable::flipBit(uint64_t index, unsigned bit)
 {
-    MHP_ASSERT(index < counts.size(), "fault index out of range");
+    MHP_ASSERT(index < numEntries, "fault index out of range");
     MHP_ASSERT(bit < counterBits(), "fault bit outside counter width");
     counts[index] ^= 1ULL << bit;
 }
@@ -37,15 +54,15 @@ CounterTable::flipBit(uint64_t index, unsigned bit)
 void
 CounterTable::flush()
 {
-    std::fill(counts.begin(), counts.end(), 0);
+    std::fill_n(counts, numEntries, 0);
 }
 
 uint64_t
 CounterTable::countAtLeast(uint64_t value) const
 {
     uint64_t n = 0;
-    for (uint64_t c : counts) {
-        if (c >= value)
+    for (uint64_t i = 0; i < numEntries; ++i) {
+        if (counts[i] >= value)
             ++n;
     }
     return n;

@@ -6,6 +6,13 @@
  * The table deliberately has no tags (Section 5.2), so distinct tuples
  * can alias to the same counter; the profiler architectures above it
  * are what turn this cheap, lossy structure into accurate profiles.
+ *
+ * A table either owns its counters or views a slice of an external
+ * structure-of-arrays block (docs/PERF.md): MultiHashProfiler keeps
+ * its n tables in one contiguous CounterBank so the SIMD ingest
+ * kernels can gather and update all of a tuple's counters from one
+ * base pointer, while each table object remains individually
+ * addressable for flushes, fault injection, and tests.
  */
 
 #ifndef MHP_CORE_COUNTER_TABLE_H
@@ -27,6 +34,22 @@ class CounterTable
      */
     CounterTable(uint64_t entries, unsigned counterBits);
 
+    /**
+     * View over `entries` externally owned counters at `storage`
+     * (zeroed by this constructor). The storage must outlive the
+     * table.
+     */
+    CounterTable(uint64_t *storage, uint64_t entries,
+                 unsigned counterBits);
+
+    // The view form aliases external storage, so copying cannot be
+    // made uniformly safe; moving is (the owning buffer is on the
+    // heap, so its address survives the move).
+    CounterTable(const CounterTable &) = delete;
+    CounterTable &operator=(const CounterTable &) = delete;
+    CounterTable(CounterTable &&) = default;
+    CounterTable &operator=(CounterTable &&) = default;
+
     /** Increment a counter by one (saturating); returns the new value. */
     uint64_t increment(uint64_t index);
 
@@ -39,7 +62,7 @@ class CounterTable
     /** Zero every counter (end-of-interval flush). */
     void flush();
 
-    uint64_t size() const { return counts.size(); }
+    uint64_t size() const { return numEntries; }
     uint64_t maxValue() const { return saturation; }
 
     /** Physical width of each counter in bits. */
@@ -57,14 +80,18 @@ class CounterTable
      * this pointer must preserve the saturating-increment semantics of
      * increment(); the pointer stays valid for the table's lifetime.
      */
-    uint64_t *raw() { return counts.data(); }
-    const uint64_t *raw() const { return counts.data(); }
+    uint64_t *raw() { return counts; }
+    const uint64_t *raw() const { return counts; }
 
     /** Number of counters currently at or above a value (analysis). */
     uint64_t countAtLeast(uint64_t value) const;
 
   private:
-    std::vector<uint64_t> counts;
+    /** Backing storage when owning; empty when viewing. */
+    std::vector<uint64_t> own;
+    /** own.data() or the external slice. */
+    uint64_t *counts;
+    uint64_t numEntries;
     uint64_t saturation;
 };
 

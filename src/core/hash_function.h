@@ -14,6 +14,13 @@
  *
  * A TupleHasherFamily provides n independent functions by giving each
  * member its own random tables, exactly as the paper does.
+ *
+ * Layout contract (docs/PERF.md): one hasher's two 256-entry random
+ * tables are a single contiguous block of 512 64-bit words — the PC
+ * table at [0, 256), the value table at [256, 512) — and a family
+ * packs its members' blocks back to back. The SIMD ingest kernels
+ * (core/ingest_kernels.h) gather straight out of these blocks, so the
+ * layout is part of the kernel ABI, not an implementation detail.
  */
 
 #ifndef MHP_CORE_HASH_FUNCTION_H
@@ -22,7 +29,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/random_table.h"
+#include "core/ingest_kernels_ref.h"
 #include "support/bit_util.h"
 #include "trace/tuple.h"
 
@@ -32,6 +39,9 @@ namespace mhp {
 class TupleHasher
 {
   public:
+    /** 64-bit words in one hasher's table block (two 256-entry tables). */
+    static constexpr size_t kTableWords = 512;
+
     /**
      * @param seed Seed for this function's two random tables (one for
      *        each tuple member).
@@ -39,6 +49,28 @@ class TupleHasher
      *        a power of two (the xor-fold width is log2 of it).
      */
     TupleHasher(uint64_t seed, uint64_t tableSize);
+
+    /**
+     * View over an externally owned, already-filled 512-word table
+     * block (a TupleHasherFamily's contiguous storage). The block must
+     * outlive the hasher.
+     */
+    TupleHasher(const uint64_t *tables, uint64_t tableSize);
+
+    // The view form aliases external storage, so copying cannot be
+    // made uniformly safe; moving is (the owning buffer is on the
+    // heap, so its address survives the move).
+    TupleHasher(const TupleHasher &) = delete;
+    TupleHasher &operator=(const TupleHasher &) = delete;
+    TupleHasher(TupleHasher &&) = default;
+    TupleHasher &operator=(TupleHasher &&) = default;
+
+    /**
+     * Fill a 512-word block with the two random tables derived from
+     * `seed` — the single definition of the seeding scheme, shared by
+     * the owning constructor and TupleHasherFamily.
+     */
+    static void fillTables(uint64_t seed, uint64_t *out);
 
     /** The table index for a tuple, in [0, tableSize). */
     uint64_t index(const Tuple &t) const;
@@ -55,17 +87,23 @@ class TupleHasher
     uint64_t
     indexHot(const Tuple &t) const
     {
-        const uint64_t npc = byteFlip(pcTable.randomizeHot(t.first));
-        const uint64_t nv = valueTable.randomizeHot(t.second);
-        return xorFoldHot(npc ^ nv, bits);
+        return kernel_ref::index(words, bits, t);
     }
+
+    /**
+     * This hasher's 512-word pc||value table block — the `tables`
+     * argument of the ingest kernels.
+     */
+    const uint64_t *tableWords() const { return words; }
 
     uint64_t tableSize() const { return size; }
     unsigned indexBits() const { return bits; }
 
   private:
-    RandomTable pcTable;
-    RandomTable valueTable;
+    /** 512 words when owning; empty when viewing family storage. */
+    std::vector<uint64_t> own;
+    /** own.data() or the external block. */
+    const uint64_t *words;
     uint64_t size;
     unsigned bits;
 };
@@ -83,10 +121,31 @@ class TupleHasherFamily
     TupleHasherFamily(uint64_t seed, unsigned numFunctions,
                       uint64_t tableSize);
 
+    // Members view the family's contiguous table storage; see
+    // TupleHasher for why that makes the family move-only.
+    TupleHasherFamily(const TupleHasherFamily &) = delete;
+    TupleHasherFamily &operator=(const TupleHasherFamily &) = delete;
+    TupleHasherFamily(TupleHasherFamily &&) = default;
+    TupleHasherFamily &operator=(TupleHasherFamily &&) = default;
+
     const TupleHasher &function(unsigned i) const { return members[i]; }
     unsigned size() const { return members.size(); }
 
+    /**
+     * All members' table blocks, contiguous: member i's 512-word
+     * pc||value block starts at tableWords() + i * kTableWords.
+     */
+    const uint64_t *tableWords() const { return words.data(); }
+
+    /** Member i's 512-word block (== function(i).tableWords()). */
+    const uint64_t *
+    memberTables(unsigned i) const
+    {
+        return words.data() + i * TupleHasher::kTableWords;
+    }
+
   private:
+    std::vector<uint64_t> words;
     std::vector<TupleHasher> members;
 };
 

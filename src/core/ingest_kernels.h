@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The vectorized batched-ingest kernel registry (docs/PERF.md).
+ *
+ * One IngestKernels table exists per ISA tier (support/cpu.h); the
+ * batched onEvents() paths of the hash profilers and the stratified
+ * sampler resolve a table once at construction and call through it.
+ * Every entry is *bit-identical* to the scalar reference — the tier
+ * choice can change throughput, never output. The reference
+ * definitions the kernels must match live in ingest_kernels_ref.h and
+ * mirror TupleHasher::indexHot() / TupleHash / the saturating counter
+ * update loops exactly; tests/core/test_ingest_kernels.cc asserts the
+ * match per tier, and the ctest MHP_FORCE_ISA matrix re-asserts the
+ * profiler-level onEvents == onEvent contract on top.
+ *
+ * Layout contracts (what makes the kernels gather-friendly):
+ *  - Hash tables: one hasher = 512 contiguous 64-bit words, the PC
+ *    random table at [0,256) and the value table at [256,512)
+ *    (TupleHasher::tableWords()); a family packs its members'
+ *    512-word blocks back to back.
+ *  - Counters: a multi-hash profiler's n tables live in one
+ *    structure-of-arrays block, table i at offset i*entriesPerTable
+ *    (CounterBank); hash indexes are produced pre-offset so counter
+ *    kernels take one base pointer.
+ */
+
+#ifndef MHP_CORE_INGEST_KERNELS_H
+#define MHP_CORE_INGEST_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/cpu.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** One ISA tier's batched-ingest entry points. */
+struct IngestKernels
+{
+    /** The tier these kernels require (and are named after). */
+    IsaTier tier;
+
+    /**
+     * Hash a block of tuples through one hasher.
+     *
+     * For j in [0, m): let k = pos ? pos[j] : j; then
+     *   out[k * stride] = index(block[k]) + addend
+     * where index() is TupleHasher::indexHot() over `tables` (the
+     * 512-word pc||value block) folded to `bits`. `addend` lets
+     * multi-hash callers bake the structure-of-arrays table offset
+     * into the produced indexes; `pos` lets shielded callers hash
+     * only the accumulator-absent positions of a block.
+     */
+    void (*hashBlock)(const uint64_t *tables, unsigned bits,
+                      const Tuple *block, const uint32_t *pos, size_t m,
+                      uint32_t *out, uint32_t stride, uint32_t addend);
+
+    /**
+     * Hash a block of tuples through numTables packed hashers in one
+     * fused pass — the multi-hash phase-2 workhorse. For j in [0, m):
+     * let k = pos ? pos[j] : j; then for i in [0, numTables):
+     *   out[k * numTables + i] =
+     *       index(tables + i*512, block[k]) + i * addendStride
+     * Equivalent to numTables hashBlock() calls with stride=numTables
+     * and addend=i*addendStride, but the tuple block is loaded, split
+     * into lanes, and byte-decomposed once instead of once per table.
+     */
+    void (*hashBlockMulti)(const uint64_t *tables, unsigned numTables,
+                           unsigned bits, const Tuple *block,
+                           const uint32_t *pos, size_t m, uint32_t *out,
+                           uint32_t addendStride);
+
+    /**
+     * Unfolded hash signatures for a block of tuples:
+     * out[j] = byteFlip(randomize_pc(first)) ^ randomize_val(second).
+     * The stratified sampler derives both its index (xor-fold) and its
+     * partial tag from the signature.
+     */
+    void (*signatureBlock)(const uint64_t *tables, const Tuple *block,
+                           size_t m, uint64_t *out);
+
+    /**
+     * The simulator-side TupleHash for a block of tuples
+     * (out[j] = TupleHash{}(block[j])) — the accumulator-hit filter
+     * probes all of a block's bucket chains from these.
+     */
+    void (*tupleHashBlock)(const Tuple *block, size_t m, uint64_t *out);
+
+    /**
+     * Saturating +1 on n structure-of-arrays counters (soa[idx[i]],
+     * indexes pre-offset per table); returns the post-increment
+     * minimum across the n counters.
+     */
+    uint64_t (*bumpMin)(uint64_t *soa, const uint32_t *idx, unsigned n,
+                        uint64_t saturation);
+
+    /**
+     * The conservative-update (C1) variant: only the counters at the
+     * pre-increment minimum advance (saturating); returns the
+     * post-update minimum across all n counters.
+     */
+    uint64_t (*bumpMinConservative)(uint64_t *soa, const uint32_t *idx,
+                                    unsigned n, uint64_t saturation);
+};
+
+/**
+ * The kernel table for the process-wide active tier
+ * (activeIsaTier()), falling back down the tier order if a stronger
+ * tier was compiled out of this binary. Resolved per call so the
+ * MHP_FORCE_ISA test pin takes effect; callers on hot paths resolve
+ * once and keep the pointer.
+ */
+const IngestKernels &ingestKernels();
+
+/**
+ * The kernel table for a specific tier, or nullptr when that tier is
+ * not compiled into this binary or not runnable on this CPU. Scalar
+ * never returns nullptr.
+ */
+const IngestKernels *ingestKernelsFor(IsaTier tier);
+
+} // namespace mhp
+
+#endif // MHP_CORE_INGEST_KERNELS_H

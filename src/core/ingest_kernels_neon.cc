@@ -1,0 +1,304 @@
+/**
+ * @file
+ * NEON (aarch64) ingest kernels: two 64-bit lanes per instruction.
+ *
+ * Like the SSE4.2 tier, NEON has no gather, so the random-table byte
+ * lookups are scalar loads placed into vector lanes while the rotate /
+ * xor / byte-reverse / fold composition runs two lanes wide. NEON
+ * also has no 64x64->64 multiply, so tupleHashBlock falls back to the
+ * reference body.
+ *
+ * Bit-identical to ingest_kernels_ref.h; ragged tails run the
+ * reference bodies.
+ */
+
+#include "core/ingest_kernels.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include "core/ingest_kernels_ref.h"
+
+namespace mhp {
+namespace {
+
+static_assert(sizeof(Tuple) == 16,
+              "NEON tuple loads assume a packed pair of u64");
+
+template <int R>
+inline uint64x2_t
+rotl2(uint64x2_t v)
+{
+    if constexpr (R == 0)
+        return v;
+    return vorrq_u64(vshlq_n_u64(v, R), vshrq_n_u64(v, 64 - R));
+}
+
+/** One randomizeHot round for byte position I of two inputs. */
+template <int I>
+inline uint64x2_t
+randRound(const uint64_t *tb, uint64_t v0, uint64_t v1, uint64x2_t r)
+{
+    uint64x2_t word =
+        vdupq_n_u64(tb[static_cast<uint8_t>(v0 >> (8 * I))]);
+    word = vsetq_lane_u64(tb[static_cast<uint8_t>(v1 >> (8 * I))], word,
+                          1);
+    return veorq_u64(r, rotl2<8 * I>(word));
+}
+
+/** RandomTable::randomizeHot on two lanes. */
+inline uint64x2_t
+randomize2(const uint64_t *tb, uint64_t v0, uint64_t v1)
+{
+    uint64x2_t r = vdupq_n_u64(tb[static_cast<uint8_t>(v0)]);
+    r = vsetq_lane_u64(tb[static_cast<uint8_t>(v1)], r, 1);
+    r = randRound<1>(tb, v0, v1, r);
+    r = randRound<2>(tb, v0, v1, r);
+    r = randRound<3>(tb, v0, v1, r);
+    r = randRound<4>(tb, v0, v1, r);
+    r = randRound<5>(tb, v0, v1, r);
+    r = randRound<6>(tb, v0, v1, r);
+    r = randRound<7>(tb, v0, v1, r);
+    return r;
+}
+
+/** byteFlip (bswap64) on each lane. */
+inline uint64x2_t
+byteFlip2(uint64x2_t v)
+{
+    return vreinterpretq_u64_u8(vrev64q_u8(vreinterpretq_u8_u64(v)));
+}
+
+/** The unfolded signature for two tuples. */
+inline uint64x2_t
+signature2(const uint64_t *tables, const Tuple &t0, const Tuple &t1)
+{
+    const uint64x2_t npc =
+        byteFlip2(randomize2(tables, t0.first, t1.first));
+    const uint64x2_t nv = randomize2(tables + 256, t0.second, t1.second);
+    return veorq_u64(npc, nv);
+}
+
+/** xorFoldHot on two lanes (vshlq_u64 with a negative count shifts
+ *  right). */
+inline uint64x2_t
+fold2(uint64x2_t sig, unsigned bits)
+{
+    const uint64x2_t mask = vdupq_n_u64((1ULL << bits) - 1);
+    uint64x2_t r = vdupq_n_u64(0);
+    for (unsigned s = 0; s < 64; s += bits) {
+        const int64x2_t count = vdupq_n_s64(-static_cast<int64_t>(s));
+        r = veorq_u64(r, vandq_u64(vshlq_u64(sig, count), mask));
+    }
+    return r;
+}
+
+void
+hashBlockNeon(const uint64_t *tables, unsigned bits,
+              const Tuple *block, const uint32_t *pos, size_t m,
+              uint32_t *out, uint32_t stride, uint32_t addend)
+{
+    const uint64x2_t add = vdupq_n_u64(addend);
+    size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        const size_t k0 = pos != nullptr ? pos[j] : j;
+        const size_t k1 = pos != nullptr ? pos[j + 1] : j + 1;
+        const uint64x2_t idx = vaddq_u64(
+            fold2(signature2(tables, block[k0], block[k1]), bits), add);
+        out[k0 * stride] =
+            static_cast<uint32_t>(vgetq_lane_u64(idx, 0));
+        out[k1 * stride] =
+            static_cast<uint32_t>(vgetq_lane_u64(idx, 1));
+    }
+    for (; j < m; ++j) {
+        const size_t k = pos != nullptr ? pos[j] : j;
+        out[k * stride] =
+            static_cast<uint32_t>(kernel_ref::index(tables, bits,
+                                                    block[k])) +
+            addend;
+    }
+}
+
+void
+hashBlockMultiNeon(const uint64_t *tables, unsigned numTables,
+                   unsigned bits, const Tuple *block,
+                   const uint32_t *pos, size_t m, uint32_t *out,
+                   uint32_t addendStride)
+{
+    // The byte extraction is scalar either way; the fused win on NEON
+    // is keeping one 2-tuple group's lanes live across all hashers
+    // instead of reloading per table.
+    size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        const size_t k0 = pos != nullptr ? pos[j] : j;
+        const size_t k1 = pos != nullptr ? pos[j + 1] : j + 1;
+        const Tuple &t0 = block[k0];
+        const Tuple &t1 = block[k1];
+        for (unsigned i = 0; i < numTables; ++i) {
+            const uint64_t *tb = tables + i * kernel_ref::kTableWords;
+            const uint64x2_t add = vdupq_n_u64(i * addendStride);
+            const uint64x2_t idx = vaddq_u64(
+                fold2(signature2(tb, t0, t1), bits), add);
+            out[k0 * numTables + i] =
+                static_cast<uint32_t>(vgetq_lane_u64(idx, 0));
+            out[k1 * numTables + i] =
+                static_cast<uint32_t>(vgetq_lane_u64(idx, 1));
+        }
+    }
+    for (; j < m; ++j) {
+        const size_t k = pos != nullptr ? pos[j] : j;
+        kernel_ref::indexMulti(tables, numTables, bits, block[k],
+                               addendStride, out + k * numTables);
+    }
+}
+
+void
+signatureBlockNeon(const uint64_t *tables, const Tuple *block,
+                   size_t m, uint64_t *out)
+{
+    size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        vst1q_u64(out + j, signature2(tables, block[j], block[j + 1]));
+    }
+    for (; j < m; ++j)
+        out[j] = kernel_ref::signature(tables, block[j]);
+}
+
+void
+tupleHashBlockNeon(const Tuple *block, size_t m, uint64_t *out)
+{
+    // NEON has no 64x64->64 multiply; the splitmix composition stays
+    // scalar (the compiler still pipelines the independent lanes).
+    for (size_t j = 0; j < m; ++j)
+        out[j] = kernel_ref::tupleHash(block[j]);
+}
+
+/** Lane-wise unsigned min via the 64-bit unsigned compare. */
+inline uint64x2_t
+min2(uint64x2_t a, uint64x2_t b)
+{
+    return vbslq_u64(vcgtq_u64(a, b), b, a);
+}
+
+inline uint64_t
+hmin2(uint64x2_t v)
+{
+    const uint64_t a = vgetq_lane_u64(v, 0);
+    const uint64_t b = vgetq_lane_u64(v, 1);
+    return a < b ? a : b;
+}
+
+inline uint64x2_t
+load2(const uint64_t *soa, const uint32_t *idx)
+{
+    uint64x2_t v = vdupq_n_u64(soa[idx[0]]);
+    return vsetq_lane_u64(soa[idx[1]], v, 1);
+}
+
+uint64_t
+bumpMinNeon(uint64_t *soa, const uint32_t *idx, unsigned n,
+            uint64_t saturation)
+{
+    if (n < 2)
+        return kernel_ref::bumpMin(soa, idx, n, saturation);
+    const uint64x2_t satv = vdupq_n_u64(saturation);
+    uint64x2_t minv = vdupq_n_u64(UINT64_MAX);
+    unsigned i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t vals = load2(soa, idx + i);
+        // vcgtq_u64 yields all-ones (== -1) where the counter can
+        // still grow; subtracting the mask adds one to those lanes.
+        const uint64x2_t canInc = vcgtq_u64(satv, vals);
+        const uint64x2_t newv = vsubq_u64(vals, canInc);
+        soa[idx[i]] = vgetq_lane_u64(newv, 0);
+        soa[idx[i + 1]] = vgetq_lane_u64(newv, 1);
+        minv = min2(minv, newv);
+    }
+    uint64_t newMin = hmin2(minv);
+    for (; i < n; ++i) {
+        uint64_t &c = soa[idx[i]];
+        c += (c < saturation) ? 1 : 0;
+        newMin = newMin < c ? newMin : c;
+    }
+    return newMin;
+}
+
+uint64_t
+bumpMinConservativeNeon(uint64_t *soa, const uint32_t *idx, unsigned n,
+                        uint64_t saturation)
+{
+    if (n < 2 || n > 16)
+        return kernel_ref::bumpMinConservative(soa, idx, n, saturation);
+
+    uint64x2_t vals[8];
+    uint64x2_t minv = vdupq_n_u64(UINT64_MAX);
+    unsigned i = 0;
+    unsigned chunks = 0;
+    for (; i + 2 <= n; i += 2, ++chunks) {
+        vals[chunks] = load2(soa, idx + i);
+        minv = min2(minv, vals[chunks]);
+    }
+    uint64_t minVal = hmin2(minv);
+    for (unsigned t = i; t < n; ++t) {
+        const uint64_t v = soa[idx[t]];
+        minVal = minVal < v ? minVal : v;
+    }
+
+    const uint64x2_t satv = vdupq_n_u64(saturation);
+    const uint64x2_t minValv = vdupq_n_u64(minVal);
+    uint64x2_t newMinv = vdupq_n_u64(UINT64_MAX);
+    for (unsigned c = 0; c < chunks; ++c) {
+        const unsigned base = c * 2;
+        const uint64x2_t isMin = vceqq_u64(vals[c], minValv);
+        const uint64x2_t canInc =
+            vandq_u64(isMin, vcgtq_u64(satv, vals[c]));
+        const uint64x2_t newv = vsubq_u64(vals[c], canInc);
+        soa[idx[base]] = vgetq_lane_u64(newv, 0);
+        soa[idx[base + 1]] = vgetq_lane_u64(newv, 1);
+        newMinv = min2(newMinv, newv);
+    }
+    uint64_t newMin = hmin2(newMinv);
+    for (unsigned t = i; t < n; ++t) {
+        uint64_t v = soa[idx[t]];
+        if (v == minVal) {
+            v += (v < saturation) ? 1 : 0;
+            soa[idx[t]] = v;
+        }
+        newMin = newMin < v ? newMin : v;
+    }
+    return newMin;
+}
+
+} // namespace
+
+const IngestKernels *
+ingestKernelsNeon()
+{
+    static const IngestKernels table = {
+        IsaTier::Neon,
+        hashBlockNeon,
+        hashBlockMultiNeon,
+        signatureBlockNeon,
+        tupleHashBlockNeon,
+        bumpMinNeon,
+        bumpMinConservativeNeon,
+    };
+    return &table;
+}
+
+} // namespace mhp
+
+#else // !aarch64
+
+namespace mhp {
+
+const IngestKernels *
+ingestKernelsNeon()
+{
+    return nullptr;
+}
+
+} // namespace mhp
+
+#endif

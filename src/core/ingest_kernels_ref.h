@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Scalar reference bodies for the batched-ingest kernels — the single
+ * source of truth every SIMD tier must match bit for bit.
+ *
+ * The hash helpers restate TupleHasher::indexHot() (randomizeHot →
+ * byteFlip → xorFoldHot) over a raw 512-word table block; the counter
+ * helpers restate the saturating-update loops of the profilers'
+ * ingestBatch() state machines. The scalar kernel table uses these
+ * directly, and the SIMD kernels use them for ragged tails and narrow
+ * fallbacks, so "portable scalar" and "vector remainder" can never
+ * drift apart.
+ */
+
+#ifndef MHP_CORE_INGEST_KERNELS_REF_H
+#define MHP_CORE_INGEST_KERNELS_REF_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/bit_util.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+namespace kernel_ref {
+
+/** RandomTable::randomizeHot over a raw 256-word table. */
+inline uint64_t
+randomize(const uint64_t *tb, uint64_t v)
+{
+    uint64_t r = tb[static_cast<uint8_t>(v)];
+    r ^= std::rotl(tb[static_cast<uint8_t>(v >> 8)], 8);
+    r ^= std::rotl(tb[static_cast<uint8_t>(v >> 16)], 16);
+    r ^= std::rotl(tb[static_cast<uint8_t>(v >> 24)], 24);
+    r ^= std::rotl(tb[static_cast<uint8_t>(v >> 32)], 32);
+    r ^= std::rotl(tb[static_cast<uint8_t>(v >> 40)], 40);
+    r ^= std::rotl(tb[static_cast<uint8_t>(v >> 48)], 48);
+    r ^= std::rotl(tb[static_cast<uint8_t>(v >> 56)], 56);
+    return r;
+}
+
+/** TupleHasher::signature over a 512-word pc||value table block. */
+inline uint64_t
+signature(const uint64_t *tables, const Tuple &t)
+{
+    return byteFlip(randomize(tables, t.first)) ^
+           randomize(tables + 256, t.second);
+}
+
+/** TupleHasher::indexHot over a 512-word pc||value table block. */
+inline uint64_t
+index(const uint64_t *tables, unsigned bits, const Tuple &t)
+{
+    return xorFoldHot(signature(tables, t), bits);
+}
+
+/** Words in one hasher's table block (TupleHasher::kTableWords). */
+inline constexpr size_t kTableWords = 512;
+
+/**
+ * One tuple hashed through numTables packed hasher blocks: member i's
+ * pre-offset index (+ i*addendStride) lands in out[i].
+ */
+inline void
+indexMulti(const uint64_t *tables, unsigned numTables, unsigned bits,
+           const Tuple &t, uint32_t addendStride, uint32_t *out)
+{
+    for (unsigned i = 0; i < numTables; ++i) {
+        out[i] = static_cast<uint32_t>(
+                     index(tables + i * kTableWords, bits, t)) +
+                 i * addendStride;
+    }
+}
+
+/** trace/tuple.h TupleHash, restated for the kernel layer. */
+inline uint64_t
+tupleHash(const Tuple &t)
+{
+    uint64_t z = t.first + 0x9e3779b97f4a7c15ULL * (t.second + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Saturating +1 on n SoA counters; post-increment minimum. */
+inline uint64_t
+bumpMin(uint64_t *soa, const uint32_t *idx, unsigned n,
+        uint64_t saturation)
+{
+    uint64_t newMin = ~0ULL;
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t &c = soa[idx[i]];
+        c += (c < saturation) ? 1 : 0;
+        newMin = newMin < c ? newMin : c;
+    }
+    return newMin;
+}
+
+/**
+ * Conservative update: only counters at the pre-increment minimum
+ * advance (saturating); post-update minimum over all n counters.
+ */
+inline uint64_t
+bumpMinConservative(uint64_t *soa, const uint32_t *idx, unsigned n,
+                    uint64_t saturation)
+{
+    uint64_t minVal = ~0ULL;
+    for (unsigned i = 0; i < n; ++i) {
+        const uint64_t v = soa[idx[i]];
+        minVal = minVal < v ? minVal : v;
+    }
+    uint64_t newMin = ~0ULL;
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t v = soa[idx[i]];
+        if (v == minVal) {
+            v += (v < saturation) ? 1 : 0;
+            soa[idx[i]] = v;
+        }
+        newMin = newMin < v ? newMin : v;
+    }
+    return newMin;
+}
+
+} // namespace kernel_ref
+} // namespace mhp
+
+#endif // MHP_CORE_INGEST_KERNELS_REF_H

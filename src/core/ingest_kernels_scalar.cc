@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The portable-scalar ingest kernel tier — the reference bodies from
+ * ingest_kernels_ref.h wrapped in the dispatch signature. Always
+ * compiled, always supported; every other tier is tested against it.
+ */
+
+#include "core/ingest_kernels.h"
+#include "core/ingest_kernels_ref.h"
+
+namespace mhp {
+namespace {
+
+void
+hashBlockScalar(const uint64_t *tables, unsigned bits,
+                const Tuple *block, const uint32_t *pos, size_t m,
+                uint32_t *out, uint32_t stride, uint32_t addend)
+{
+    for (size_t j = 0; j < m; ++j) {
+        const size_t k = pos != nullptr ? pos[j] : j;
+        out[k * stride] =
+            static_cast<uint32_t>(kernel_ref::index(tables, bits,
+                                                    block[k])) +
+            addend;
+    }
+}
+
+void
+hashBlockMultiScalar(const uint64_t *tables, unsigned numTables,
+                     unsigned bits, const Tuple *block,
+                     const uint32_t *pos, size_t m, uint32_t *out,
+                     uint32_t addendStride)
+{
+    for (size_t j = 0; j < m; ++j) {
+        const size_t k = pos != nullptr ? pos[j] : j;
+        kernel_ref::indexMulti(tables, numTables, bits, block[k],
+                               addendStride, out + k * numTables);
+    }
+}
+
+void
+signatureBlockScalar(const uint64_t *tables, const Tuple *block,
+                     size_t m, uint64_t *out)
+{
+    for (size_t j = 0; j < m; ++j)
+        out[j] = kernel_ref::signature(tables, block[j]);
+}
+
+void
+tupleHashBlockScalar(const Tuple *block, size_t m, uint64_t *out)
+{
+    for (size_t j = 0; j < m; ++j)
+        out[j] = kernel_ref::tupleHash(block[j]);
+}
+
+} // namespace
+
+const IngestKernels *
+ingestKernelsScalar()
+{
+    static const IngestKernels table = {
+        IsaTier::Scalar,
+        hashBlockScalar,
+        hashBlockMultiScalar,
+        signatureBlockScalar,
+        tupleHashBlockScalar,
+        kernel_ref::bumpMin,
+        kernel_ref::bumpMinConservative,
+    };
+    return &table;
+}
+
+} // namespace mhp

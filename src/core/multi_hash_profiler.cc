@@ -16,17 +16,23 @@ MultiHashProfiler::MultiHashProfiler(const ProfilerConfig &config_)
       thresholdCount(config_.thresholdCount())
 {
     config.validate();
+    const uint64_t entries = config.entriesPerTable();
+    const uint64_t bankSize = entries * config.numHashTables;
+    // The batched kernels carry pre-offset bank indexes in 32 bits.
+    MHP_REQUIRE(bankSize <= UINT32_MAX,
+                "counter bank exceeds 32-bit indexing");
+    counterBank.resize(bankSize);
     tables.reserve(config.numHashTables);
-    for (unsigned i = 0; i < config.numHashTables; ++i)
-        tables.emplace_back(config.entriesPerTable(), config.counterBits);
+    for (unsigned i = 0; i < config.numHashTables; ++i) {
+        tables.emplace_back(counterBank.data() + i * entries, entries,
+                            config.counterBits);
+    }
+    kernels = &ingestKernels();
     indexScratch.resize(config.numHashTables);
-    valueScratch.resize(config.numHashTables);
-    rawCounters.reserve(config.numHashTables);
-    for (auto &table : tables)
-        rawCounters.push_back(table.raw());
     blockIndexScratch.resize(kIngestBlock * config.numHashTables);
     blockSlotScratch.resize(kIngestBlock);
     blockAbsentScratch.resize(kIngestBlock);
+    blockTupleHashScratch.resize(kIngestBlock);
 }
 
 void
@@ -77,17 +83,23 @@ void
 MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
 {
     // Mirrors onEvent() exactly, with the config branches resolved at
-    // compile time, the full hash pipeline inlined (indexHot), and the
-    // counter arrays accessed directly. Events are processed in blocks
-    // of kIngestBlock: all hash indexes for a block are computed first
-    // (a pure function of each tuple, so hoisting them is invisible),
-    // then the event state machine replays in stream order.
+    // compile time, the hash pipeline and counter updates vectorized
+    // (the active ISA tier's ingest kernels), and the counter bank
+    // accessed through one base pointer. Events are processed in
+    // blocks of kIngestBlock: all hash indexes for a block are
+    // computed first (a pure function of each tuple, so hoisting them
+    // is invisible), then the event state machine replays in stream
+    // order.
+    const IngestKernels &kern = *kernels;
     const unsigned n = static_cast<unsigned>(tables.size());
-    uint64_t *const val = valueScratch.data();
+    uint64_t *const bank = counterBank.data();
     uint32_t *const blk = blockIndexScratch.data();
     uint32_t *const slot = blockSlotScratch.data();
     uint32_t *const absent = blockAbsentScratch.data();
-    uint64_t *const *const counters = rawCounters.data();
+    uint64_t *const th = blockTupleHashScratch.data();
+    const unsigned bits = hashers.function(0).indexBits();
+    const uint32_t entries =
+        static_cast<uint32_t>(config.entriesPerTable());
     const uint64_t saturation = tables[0].maxValue();
     const uint64_t threshold = thresholdCount;
 
@@ -97,39 +109,47 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
 
         // Phase 1: accumulator membership for the whole block, so the
         // lookups' dependent load chains overlap instead of
-        // interleaving with table updates. The probed slots stay exact
-        // until the first promotion below (increments never change
-        // membership), after which the rest of the block falls back to
-        // live probes. Absent events are compacted into a dense list
-        // (branchlessly) so the hash phase runs without data-dependent
-        // branches.
+        // interleaving with table updates. The bucket hashes come from
+        // one vectorized pass, the head bucket of every chain is
+        // prefetched, then the probes run against warm lines. The
+        // probed slots stay exact until the first promotion below
+        // (increments never change membership), after which the rest
+        // of the block falls back to live probes. Absent events are
+        // compacted into a dense list (branchlessly) so the hash phase
+        // runs without data-dependent branches.
+        kern.tupleHashBlock(block, m, th);
+        for (size_t k = 0; k < m; ++k)
+            __builtin_prefetch(accumulator.bucketAddr(th[k]), 0, 1);
         size_t numAbsent = 0;
         for (size_t k = 0; k < m; ++k) {
-            slot[k] = accumulator.probeSlot(block[k]);
+            slot[k] = accumulator.probeSlotHashed(block[k], th[k]);
             absent[numAbsent] = static_cast<uint32_t>(k);
             numAbsent += (slot[k] == AccumulatorTable::kNoSlot) ? 1 : 0;
         }
 
         // Phase 2: hash indexes. Pure per-tuple computation with no
-        // profiler state, so consecutive events' hash pipelines
-        // overlap in the core instead of serializing behind table
-        // updates. Under shielding, accumulator-resident events never
-        // touch the hash tables, so only absent events need indexes
+        // profiler state, run as one fused kernel pass over all n
+        // tables (the tuple lanes and byte decomposition are shared
+        // across hashers); the i*entries addend stride pre-offsets
+        // each index into the counter bank's structure-of-arrays
+        // layout. Under shielding, accumulator-resident events never
+        // touch the hash tables, so only absent events are hashed
         // (events whose probe goes stale through an eviction are
         // repaired in phase 3); the ablation pressures the tables with
         // every event, so everything is hashed.
-        const size_t hashCount = Shielding ? numAbsent : m;
-        for (size_t j = 0; j < hashCount; ++j) {
-            const size_t k = Shielding ? absent[j] : j;
-            for (unsigned i = 0; i < n; ++i) {
-                blk[k * n + i] = static_cast<uint32_t>(
-                    hashers.function(i).indexHot(block[k]));
-            }
-        }
+        if (Shielding)
+            kern.hashBlockMulti(hashers.tableWords(), n, bits, block,
+                                absent, numAbsent, blk, entries);
+        else
+            kern.hashBlockMulti(hashers.tableWords(), n, bits, block,
+                                nullptr, m, blk, entries);
 
         // Phase 3: the event state machine. Promotions change which
         // later events the accumulator shields, so this phase is
-        // strictly sequential in stream order.
+        // strictly sequential in stream order. The n counters of an
+        // event live at distinct bank offsets (disjoint per-table
+        // segments), which is what lets the bump kernels gather,
+        // update, and scatter them as a vector.
         bool reprobe = false;
         for (size_t k = 0; k < m; ++k) {
             const Tuple &t = block[k];
@@ -140,10 +160,7 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
                 accumulator.incrementSlotHot(s);
                 if (!Shielding) {
                     // Ablation only: keep pressuring the hash tables.
-                    for (unsigned i = 0; i < n; ++i) {
-                        uint64_t &c = counters[i][idx[i]];
-                        c += (c < saturation) ? 1 : 0;
-                    }
+                    kern.bumpMin(bank, idx, n, saturation);
                 }
                 continue;
             }
@@ -151,37 +168,14 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
                 // Shielded at probe time but evicted by a mid-block
                 // promotion: phase 2 skipped its indexes, so compute
                 // them here (rare — needs an eviction in this block).
-                for (unsigned i = 0; i < n; ++i) {
-                    idx[i] = static_cast<uint32_t>(
-                        hashers.function(i).indexHot(t));
-                }
+                kernel_ref::indexMulti(hashers.tableWords(), n, bits, t,
+                                       entries, idx);
             }
 
-            uint64_t newMin = ~0ULL;
-            if (Conservative) {
-                // Increment only the counter(s) at the current
-                // minimum; ties all advance so the minimum strictly
-                // increases.
-                uint64_t minVal = ~0ULL;
-                for (unsigned i = 0; i < n; ++i) {
-                    val[i] = counters[i][idx[i]];
-                    minVal = std::min(minVal, val[i]);
-                }
-                for (unsigned i = 0; i < n; ++i) {
-                    uint64_t v = val[i];
-                    if (v == minVal) {
-                        v += (v < saturation) ? 1 : 0;
-                        counters[i][idx[i]] = v;
-                    }
-                    newMin = std::min(newMin, v);
-                }
-            } else {
-                for (unsigned i = 0; i < n; ++i) {
-                    uint64_t &c = counters[i][idx[i]];
-                    c += (c < saturation) ? 1 : 0;
-                    newMin = std::min(newMin, c);
-                }
-            }
+            const uint64_t newMin =
+                Conservative
+                    ? kern.bumpMinConservative(bank, idx, n, saturation)
+                    : kern.bumpMin(bank, idx, n, saturation);
 
             // Promotion requires every table's counter at threshold.
             if (newMin >= threshold) {
@@ -191,7 +185,7 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
                     reprobe = true;
                     if (Reset) {
                         for (unsigned i = 0; i < n; ++i)
-                            counters[i][idx[i]] = 0;
+                            bank[idx[i]] = 0;
                     }
                 }
             }

@@ -26,6 +26,7 @@
 #include "core/config.h"
 #include "core/counter_table.h"
 #include "core/hash_function.h"
+#include "core/ingest_kernels.h"
 #include "core/profiler.h"
 
 namespace mhp {
@@ -87,19 +88,28 @@ class MultiHashProfiler : public HardwareProfiler
 
     ProfilerConfig config;
     TupleHasherFamily hashers;
+    /**
+     * The CounterBank (docs/PERF.md): all n tables' counters in one
+     * structure-of-arrays block, table i at offset i*entriesPerTable.
+     * Hash indexes are produced pre-offset into this block, so the
+     * counter kernels update all of a tuple's counters from one base
+     * pointer. `tables` are views into the bank.
+     */
+    std::vector<uint64_t> counterBank;
     std::vector<CounterTable> tables;
     AccumulatorTable accumulator;
     uint64_t thresholdCount;
+    /** The active ISA tier's kernels, resolved at construction. */
+    const IngestKernels *kernels;
     std::vector<uint64_t> indexScratch;
-    std::vector<uint64_t> valueScratch;
-    /** tables[i].raw(), hoisted once (stable after construction). */
-    std::vector<uint64_t *> rawCounters;
     /** kIngestBlock x numTables precomputed indexes (batched only). */
     std::vector<uint32_t> blockIndexScratch;
     /** kIngestBlock precomputed accumulator slots (batched only). */
     std::vector<uint32_t> blockSlotScratch;
     /** Positions of non-shielded events in a block (batched only). */
     std::vector<uint32_t> blockAbsentScratch;
+    /** kIngestBlock precomputed TupleHash values (batched only). */
+    std::vector<uint64_t> blockTupleHashScratch;
 };
 
 } // namespace mhp

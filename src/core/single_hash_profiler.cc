@@ -12,7 +12,8 @@ SingleHashProfiler::SingleHashProfiler(const ProfilerConfig &config_)
       table(config_.totalHashEntries, config_.counterBits),
       accumulator(config_.accumulatorSize(), config_.thresholdCount(),
                   config_.retaining),
-      thresholdCount(config_.thresholdCount())
+      thresholdCount(config_.thresholdCount()),
+      kernels(&ingestKernels())
 {
     config.validate();
     MHP_REQUIRE(config.numHashTables == 1,
@@ -20,6 +21,7 @@ SingleHashProfiler::SingleHashProfiler(const ProfilerConfig &config_)
     blockIndexScratch.resize(kIngestBlock);
     blockSlotScratch.resize(kIngestBlock);
     blockAbsentScratch.resize(kIngestBlock);
+    blockTupleHashScratch.resize(kIngestBlock);
 }
 
 void
@@ -48,15 +50,20 @@ void
 SingleHashProfiler::ingestBatch(const Tuple *events, size_t count)
 {
     // Mirrors onEvent() exactly, with the config branches resolved at
-    // compile time, the hash pipeline inlined (indexHot), and the
-    // counter array accessed directly. Events are processed in blocks:
-    // all hash indexes for a block are computed first (a pure function
-    // of each tuple, so hoisting them is invisible), then the event
-    // state machine replays in stream order.
+    // compile time, the hash pipeline vectorized (the active ISA
+    // tier's ingest kernels), and the counter array accessed directly.
+    // Events are processed in blocks: all hash indexes for a block are
+    // computed first (a pure function of each tuple, so hoisting them
+    // is invisible), then the event state machine replays in stream
+    // order.
+    const IngestKernels &kern = *kernels;
     uint64_t *const counters = table.raw();
     uint32_t *const blk = blockIndexScratch.data();
     uint32_t *const slot = blockSlotScratch.data();
     uint32_t *const absent = blockAbsentScratch.data();
+    uint64_t *const th = blockTupleHashScratch.data();
+    const uint64_t *const tables = hasher.tableWords();
+    const unsigned bits = hasher.indexBits();
     const uint64_t saturation = table.maxValue();
     const uint64_t threshold = thresholdCount;
 
@@ -65,27 +72,33 @@ SingleHashProfiler::ingestBatch(const Tuple *events, size_t count)
         const Tuple *const block = events + base;
 
         // Phase 1: accumulator membership for the whole block, so the
-        // lookups' dependent load chains overlap. The probed slots
-        // stay exact until the first promotion below (increments never
-        // change membership), after which the rest of the block falls
-        // back to live probes. Absent events are compacted into a
-        // dense list (branchlessly) for the hash phase.
+        // lookups' dependent load chains overlap. The bucket hashes
+        // come from one vectorized pass, the head bucket of every
+        // chain is prefetched, then the probes run against warm lines.
+        // The probed slots stay exact until the first promotion below
+        // (increments never change membership), after which the rest
+        // of the block falls back to live probes. Absent events are
+        // compacted into a dense list (branchlessly) for the hash
+        // phase.
+        kern.tupleHashBlock(block, m, th);
+        for (size_t k = 0; k < m; ++k)
+            __builtin_prefetch(accumulator.bucketAddr(th[k]), 0, 1);
         size_t numAbsent = 0;
         for (size_t k = 0; k < m; ++k) {
-            slot[k] = accumulator.probeSlot(block[k]);
+            slot[k] = accumulator.probeSlotHashed(block[k], th[k]);
             absent[numAbsent] = static_cast<uint32_t>(k);
             numAbsent += (slot[k] == AccumulatorTable::kNoSlot) ? 1 : 0;
         }
 
-        // Phase 2: hash indexes — pure per-tuple computation, so
-        // consecutive events' hash pipelines overlap in the core.
-        // Under shielding, only events absent from the accumulator
-        // need indexes; the ablation hashes everything.
-        const size_t hashCount = Shielding ? numAbsent : m;
-        for (size_t j = 0; j < hashCount; ++j) {
-            const size_t k = Shielding ? absent[j] : j;
-            blk[k] = static_cast<uint32_t>(hasher.indexHot(block[k]));
-        }
+        // Phase 2: hash indexes — pure per-tuple computation, run as
+        // one vectorized kernel pass. Under shielding, only events
+        // absent from the accumulator need indexes; the ablation
+        // hashes everything.
+        if (Shielding)
+            kern.hashBlock(tables, bits, block, absent, numAbsent, blk,
+                           1, 0);
+        else
+            kern.hashBlock(tables, bits, block, nullptr, m, blk, 1, 0);
 
         // Phase 3: the event state machine, strictly in stream order
         // (promotions change which later events are shielded).

@@ -24,6 +24,7 @@
 #include "core/config.h"
 #include "core/counter_table.h"
 #include "core/hash_function.h"
+#include "core/ingest_kernels.h"
 #include "core/profiler.h"
 
 namespace mhp {
@@ -76,12 +77,16 @@ class SingleHashProfiler : public HardwareProfiler
     CounterTable table;
     AccumulatorTable accumulator;
     uint64_t thresholdCount;
+    /** The active ISA tier's kernels, resolved at construction. */
+    const IngestKernels *kernels;
     /** kIngestBlock precomputed indexes (batched only). */
     std::vector<uint32_t> blockIndexScratch;
     /** kIngestBlock precomputed accumulator slots (batched only). */
     std::vector<uint32_t> blockSlotScratch;
     /** Positions of non-shielded events in a block (batched only). */
     std::vector<uint32_t> blockAbsentScratch;
+    /** kIngestBlock precomputed TupleHash values (batched only). */
+    std::vector<uint64_t> blockTupleHashScratch;
 };
 
 } // namespace mhp

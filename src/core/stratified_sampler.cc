@@ -10,8 +10,10 @@ namespace mhp {
 StratifiedSampler::StratifiedSampler(
         const StratifiedSamplerConfig &config_, uint64_t thresholdCount_)
     : config(config_), thresholdCount(thresholdCount_),
-      hasher(config_.seed, config_.entries)
+      hasher(config_.seed, config_.entries), kernels(&ingestKernels())
 {
+    blockIndexScratch.resize(kIngestBlock);
+    blockSigScratch.resize(kIngestBlock);
     MHP_REQUIRE(config.entries >= 2, "sampler needs counters");
     MHP_REQUIRE(config.samplingThreshold >= 1,
                 "sampling threshold must be positive");
@@ -72,47 +74,67 @@ void
 StratifiedSampler::onEvents(const Tuple *events, size_t count)
 {
     // Same state machine as onEvent(), with the variant branch hoisted
-    // out of the loop and the counter array kept in a local. The
-    // report() path stays a call — it fires once per samplingThreshold
-    // events at most.
+    // out of the loop and the hash pipeline run as one vectorized
+    // kernel pass per block (the active ISA tier's ingest kernels).
+    // The report() path stays a call — it fires once per
+    // samplingThreshold events at most.
+    const IngestKernels &kern = *kernels;
+    uint32_t *const blk = blockIndexScratch.data();
+    const uint64_t sampleAt = config.samplingThreshold;
+
     if (!config.tagged) {
         uint64_t *const plain = counters.data();
-        const uint64_t sampleAt = config.samplingThreshold;
-        for (size_t e = 0; e < count; ++e) {
-            const Tuple &t = events[e];
-            ++eventClock;
-            uint64_t &c = plain[hasher.indexHot(t)];
-            if (++c >= sampleAt) {
-                c = 0;
-                report(t, sampleAt);
+        for (size_t base = 0; base < count; base += kIngestBlock) {
+            const size_t m = std::min(kIngestBlock, count - base);
+            const Tuple *const block = events + base;
+            kern.hashBlock(hasher.tableWords(), hasher.indexBits(),
+                           block, nullptr, m, blk, 1, 0);
+            for (size_t e = 0; e < m; ++e) {
+                const Tuple &t = block[e];
+                ++eventClock;
+                uint64_t &c = plain[blk[e]];
+                if (++c >= sampleAt) {
+                    c = 0;
+                    report(t, sampleAt);
+                }
             }
         }
         return;
     }
 
+    // Tagged variant: both the index (xor-fold) and the partial tag
+    // derive from the unfolded signature, so one signatureBlock pass
+    // replaces two scalar randomize pipelines per event.
     TaggedEntry *const entries = taggedEntries.data();
-    const uint64_t sampleAt = config.samplingThreshold;
-    for (size_t e = 0; e < count; ++e) {
-        const Tuple &t = events[e];
-        ++eventClock;
-        TaggedEntry &entry = entries[hasher.indexHot(t)];
-        const uint64_t tag = partialTag(t);
-        if (!entry.valid) {
-            entry = TaggedEntry{tag, 1, 0, true};
-            continue;
-        }
-        if (entry.tag == tag) {
-            if (++entry.hits >= sampleAt) {
-                entry.hits = 0;
-                report(t, sampleAt);
+    uint64_t *const sig = blockSigScratch.data();
+    const unsigned bits = hasher.indexBits();
+    for (size_t base = 0; base < count; base += kIngestBlock) {
+        const size_t m = std::min(kIngestBlock, count - base);
+        const Tuple *const block = events + base;
+        kern.signatureBlock(hasher.tableWords(), block, m, sig);
+        for (size_t e = 0; e < m; ++e) {
+            const Tuple &t = block[e];
+            ++eventClock;
+            TaggedEntry &entry = entries[xorFoldHot(sig[e], bits)];
+            const uint64_t tag = lowBits(sig[e] >> 20, config.tagBits);
+            if (!entry.valid) {
+                entry = TaggedEntry{tag, 1, 0, true};
+                continue;
             }
-            continue;
+            if (entry.tag == tag) {
+                if (++entry.hits >= sampleAt) {
+                    entry.hits = 0;
+                    report(t, sampleAt);
+                }
+                continue;
+            }
+            // Tag mismatch: count the miss; if the occupant is losing
+            // the entry (more misses than hits), replace it with the
+            // newcomer.
+            ++entry.misses;
+            if (entry.misses > entry.hits)
+                entry = TaggedEntry{tag, 1, 0, true};
         }
-        // Tag mismatch: count the miss; if the occupant is losing the
-        // entry (more misses than hits), replace it with the newcomer.
-        ++entry.misses;
-        if (entry.misses > entry.hits)
-            entry = TaggedEntry{tag, 1, 0, true};
     }
 }
 

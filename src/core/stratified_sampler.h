@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/hash_function.h"
+#include "core/ingest_kernels.h"
 #include "core/profiler.h"
 #include "trace/tuple.h"
 
@@ -120,6 +121,9 @@ class StratifiedSampler : public HardwareProfiler
         uint64_t count = 0;
     };
 
+    /** Events per batched-ingest precompute block. */
+    static constexpr size_t kIngestBlock = 256;
+
     void report(const Tuple &t, uint64_t weight);
     void enqueue(const Tuple &t, uint64_t weight);
     void interrupt();
@@ -128,6 +132,12 @@ class StratifiedSampler : public HardwareProfiler
     StratifiedSamplerConfig config;
     uint64_t thresholdCount;
     TupleHasher hasher;
+    /** The active ISA tier's kernels, resolved at construction. */
+    const IngestKernels *kernels;
+    /** kIngestBlock precomputed indexes (batched only). */
+    std::vector<uint32_t> blockIndexScratch;
+    /** kIngestBlock precomputed signatures (tagged batched only). */
+    std::vector<uint64_t> blockSigScratch;
 
     // Plain variant state.
     std::vector<uint64_t> counters;

@@ -1,0 +1,147 @@
+#include "support/cpu.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace mhp {
+
+namespace {
+
+/** Can the running CPU execute the tier's instructions? */
+bool
+cpuHasTier(IsaTier tier)
+{
+    switch (tier) {
+      case IsaTier::Scalar:
+        return true;
+      case IsaTier::Sse42:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("sse4.2") != 0;
+#else
+        return false;
+#endif
+      case IsaTier::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        // libgcc's resolver checks OSXSAVE/XCR0 for the AVX state, so
+        // this is safe even under hypervisors that mask xsave.
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+      case IsaTier::Neon:
+#if defined(__aarch64__)
+        // NEON (AdvSIMD) is architecturally mandatory on AArch64.
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+std::once_flag gForcedOnce;
+std::optional<IsaTier> gForced;
+
+/** Pinned tier from setIsaTierForTesting(); -1 = no pin. */
+std::atomic<int> gTestPin{-1};
+
+} // namespace
+
+const char *
+isaTierName(IsaTier tier)
+{
+    switch (tier) {
+      case IsaTier::Scalar:
+        return "scalar";
+      case IsaTier::Sse42:
+        return "sse42";
+      case IsaTier::Avx2:
+        return "avx2";
+      case IsaTier::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+std::optional<IsaTier>
+parseIsaTier(const std::string &name)
+{
+    for (const IsaTier tier : {IsaTier::Scalar, IsaTier::Sse42,
+                               IsaTier::Avx2, IsaTier::Neon}) {
+        if (name == isaTierName(tier))
+            return tier;
+    }
+    return std::nullopt;
+}
+
+bool
+isaTierSupported(IsaTier tier)
+{
+    return cpuHasTier(tier);
+}
+
+IsaTier
+bestIsaTier()
+{
+#if defined(__aarch64__)
+    return IsaTier::Neon;
+#else
+    if (cpuHasTier(IsaTier::Avx2))
+        return IsaTier::Avx2;
+    if (cpuHasTier(IsaTier::Sse42))
+        return IsaTier::Sse42;
+    return IsaTier::Scalar;
+#endif
+}
+
+std::optional<IsaTier>
+forcedIsaTier()
+{
+    std::call_once(gForcedOnce, [] {
+        const char *value = std::getenv("MHP_FORCE_ISA");
+        if (value == nullptr || *value == '\0')
+            return;
+        gForced = parseIsaTier(value);
+        if (!gForced) {
+            std::fprintf(stderr,
+                         "mhp: MHP_FORCE_ISA=%s not recognized "
+                         "(scalar|sse42|avx2|neon); ignoring\n",
+                         value);
+        }
+    });
+    return gForced;
+}
+
+IsaTier
+activeIsaTier()
+{
+    const int pin = gTestPin.load(std::memory_order_acquire);
+    if (pin >= 0)
+        return static_cast<IsaTier>(pin);
+
+    static const IsaTier resolved = [] {
+        const std::optional<IsaTier> forced = forcedIsaTier();
+        if (forced) {
+            if (isaTierSupported(*forced))
+                return *forced;
+            std::fprintf(stderr,
+                         "mhp: MHP_FORCE_ISA=%s unsupported on this "
+                         "CPU; using %s\n",
+                         isaTierName(*forced),
+                         isaTierName(bestIsaTier()));
+        }
+        return bestIsaTier();
+    }();
+    return resolved;
+}
+
+void
+setIsaTierForTesting(std::optional<IsaTier> tier)
+{
+    gTestPin.store(tier ? static_cast<int>(*tier) : -1,
+                   std::memory_order_release);
+}
+
+} // namespace mhp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Runtime CPU-feature detection and ISA-tier selection for the SIMD
+ * ingest kernels (docs/PERF.md).
+ *
+ * The library ships one kernel implementation per *ISA tier*; at
+ * startup the dispatcher picks the best tier the running CPU supports.
+ * MHP_FORCE_ISA overrides the choice downward (forcing a tier the CPU
+ * cannot run is clamped, with a one-time stderr note), which is how
+ * the equivalence test matrix re-runs every kernel on one machine.
+ *
+ * Every tier is bit-identical by contract: the choice affects
+ * throughput only, never a single byte of profiler output.
+ */
+
+#ifndef MHP_SUPPORT_CPU_H
+#define MHP_SUPPORT_CPU_H
+
+#include <optional>
+#include <string>
+
+namespace mhp {
+
+/**
+ * The kernel dispatch tiers, ordered weakest to strongest within an
+ * architecture. Scalar is the portable reference; Sse42/Avx2 are x86
+ * tiers; Neon is the aarch64 tier.
+ */
+enum class IsaTier : unsigned char
+{
+    Scalar = 0,
+    Sse42 = 1,
+    Avx2 = 2,
+    Neon = 3,
+};
+
+/** The tier's MHP_FORCE_ISA spelling ("scalar", "sse42", ...). */
+const char *isaTierName(IsaTier tier);
+
+/** Parse an MHP_FORCE_ISA spelling; nullopt if unrecognized. */
+std::optional<IsaTier> parseIsaTier(const std::string &name);
+
+/**
+ * True when the running CPU can execute the tier's instructions *and*
+ * this binary was compiled for an architecture that has the tier
+ * (x86: Scalar/Sse42/Avx2; aarch64: Scalar/Neon). Scalar is always
+ * supported.
+ */
+bool isaTierSupported(IsaTier tier);
+
+/** The strongest supported tier on this machine. */
+IsaTier bestIsaTier();
+
+/**
+ * The tier requested through MHP_FORCE_ISA, if the variable is set to
+ * a recognized spelling (an unrecognized value is ignored with a
+ * one-time stderr note). The request is NOT clamped to what the CPU
+ * supports — tests use this to detect "forced but unavailable" and
+ * skip instead of silently re-testing a weaker tier.
+ */
+std::optional<IsaTier> forcedIsaTier();
+
+/**
+ * The tier the dispatcher resolves to: forcedIsaTier() when supported,
+ * otherwise bestIsaTier() (clamping a forced-but-unsupported tier
+ * notes it once on stderr). The result is computed once and cached;
+ * setIsaTierForTesting() invalidates the cache.
+ */
+IsaTier activeIsaTier();
+
+/**
+ * Test hook: pin activeIsaTier() to a specific tier, or pass nullopt
+ * to drop the pin and re-resolve from the environment. Only affects
+ * dispatch decisions made after the call (profilers capture their
+ * kernels at construction).
+ */
+void setIsaTierForTesting(std::optional<IsaTier> tier);
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_CPU_H

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Bit-identity of every compiled-in SIMD ingest kernel tier against
+ * the scalar reference (core/ingest_kernels_ref.h) — the contract
+ * that makes the ISA tier a pure throughput knob (docs/PERF.md).
+ *
+ * Two layers:
+ *  - kernel level: each entry point of each available tier is run
+ *    against kernel_ref on randomized inputs, including ragged
+ *    lengths, position lists, strides, structure-of-arrays addends,
+ *    conservative-update ties, and saturation edge cases (tiny widths
+ *    and the >= 2^62 widths the vector compare tricks must refuse);
+ *  - profiler level: full interval snapshots must be identical under
+ *    every tier pin, for single-hash, multi-hash, and sampler
+ *    architectures.
+ *
+ * The ctest MHP_FORCE_ISA matrix re-runs this file (and the
+ * onEvents ≡ onEvent suite) under each forced tier on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/hash_function.h"
+#include "core/ingest_kernels.h"
+#include "core/ingest_kernels_ref.h"
+#include "core/profiler.h"
+#include "core/stratified_sampler.h"
+#include "support/cpu.h"
+#include "support/rng.h"
+#include "workload/benchmarks.h"
+
+namespace mhp {
+namespace {
+
+/** Every tier with kernels compiled in and runnable on this CPU. */
+std::vector<IsaTier>
+availableTiers()
+{
+    std::vector<IsaTier> tiers;
+    for (const IsaTier tier : {IsaTier::Scalar, IsaTier::Sse42,
+                               IsaTier::Avx2, IsaTier::Neon}) {
+        if (ingestKernelsFor(tier) != nullptr)
+            tiers.push_back(tier);
+    }
+    return tiers;
+}
+
+/** Random tuples with adversarial byte patterns mixed in. */
+std::vector<Tuple>
+randomTuples(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Tuple> tuples(n);
+    for (size_t i = 0; i < n; ++i) {
+        switch (rng.nextBelow(8)) {
+          case 0:
+            tuples[i] = {0, 0};
+            break;
+          case 1:
+            tuples[i] = {~0ULL, ~0ULL};
+            break;
+          case 2:
+            // High-bit-heavy values stress the signed gather/compare
+            // paths of the x86 tiers.
+            tuples[i] = {rng.next() | (1ULL << 63),
+                         rng.next() | (1ULL << 63)};
+            break;
+          default:
+            tuples[i] = {rng.next(), rng.next()};
+            break;
+        }
+    }
+    return tuples;
+}
+
+class IngestKernelTiers : public ::testing::TestWithParam<IsaTier>
+{
+  protected:
+    const IngestKernels &
+    kernels() const
+    {
+        return *ingestKernelsFor(GetParam());
+    }
+};
+
+TEST_P(IngestKernelTiers, TableReportsItsTier)
+{
+    EXPECT_EQ(kernels().tier, GetParam());
+}
+
+TEST_P(IngestKernelTiers, HashBlockMatchesReference)
+{
+    TupleHasher hasher(0x1234, 2048);
+    const unsigned bits = hasher.indexBits();
+    const uint64_t *const tables = hasher.tableWords();
+
+    // Ragged lengths straddle every vector width's tail handling.
+    for (const size_t m : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                           size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                           size_t{63}, size_t{256}}) {
+        const std::vector<Tuple> tuples = randomTuples(m, 99 + m);
+        std::vector<uint32_t> got(m + 1, 0xdeadbeef);
+        std::vector<uint32_t> want(m + 1, 0xdeadbeef);
+        kernels().hashBlock(tables, bits, tuples.data(), nullptr, m,
+                            got.data(), 1, 0);
+        for (size_t j = 0; j < m; ++j) {
+            want[j] = static_cast<uint32_t>(
+                kernel_ref::index(tables, bits, tuples[j]));
+            EXPECT_EQ(got[j], want[j]) << "m=" << m << " j=" << j;
+            EXPECT_EQ(got[j], hasher.index(tuples[j]));
+        }
+        EXPECT_EQ(got[m], 0xdeadbeefu); // no overrun
+    }
+}
+
+TEST_P(IngestKernelTiers, HashBlockHonoursStrideAddendAndPositions)
+{
+    TupleHasher hasher(0x77, 512);
+    const unsigned bits = hasher.indexBits();
+    const uint64_t *const tables = hasher.tableWords();
+    const size_t m = 97;
+    const std::vector<Tuple> tuples = randomTuples(m, 7);
+
+    // A sparse position list, unsorted order included.
+    std::vector<uint32_t> pos = {3, 0, 96, 42, 41, 40, 8, 9, 10, 11, 12};
+    const uint32_t stride = 4;
+    const uint32_t addend = 3 * 512;
+    std::vector<uint32_t> got(m * stride, 0u);
+    kernels().hashBlock(tables, bits, tuples.data(), pos.data(),
+                        pos.size(), got.data(), stride, addend);
+    std::vector<bool> touched(m, false);
+    for (const uint32_t k : pos) {
+        touched[k] = true;
+        const uint32_t want =
+            static_cast<uint32_t>(
+                kernel_ref::index(tables, bits, tuples[k])) +
+            addend;
+        EXPECT_EQ(got[k * stride], want) << "k=" << k;
+    }
+    for (size_t k = 0; k < m; ++k) {
+        if (!touched[k]) {
+            for (uint32_t i = 0; i < stride; ++i)
+                EXPECT_EQ(got[k * stride + i], 0u) << "k=" << k;
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, HashBlockMatchesAcrossFoldWidths)
+{
+    // xor-fold widths that do and do not divide 64, including ones
+    // where the last fold chunk is partial.
+    for (const uint64_t tableSize :
+         {uint64_t{2}, uint64_t{8}, uint64_t{128}, uint64_t{1} << 13,
+          uint64_t{1} << 20}) {
+        TupleHasher hasher(tableSize * 31 + 5, tableSize);
+        const unsigned bits = hasher.indexBits();
+        const uint64_t *const tables = hasher.tableWords();
+        const size_t m = 37;
+        const std::vector<Tuple> tuples = randomTuples(m, tableSize);
+        std::vector<uint32_t> got(m);
+        kernels().hashBlock(tables, bits, tuples.data(), nullptr, m,
+                            got.data(), 1, 0);
+        for (size_t j = 0; j < m; ++j) {
+            EXPECT_EQ(got[j],
+                      static_cast<uint32_t>(
+                          kernel_ref::index(tables, bits, tuples[j])))
+                << "tableSize=" << tableSize << " j=" << j;
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, HashBlockMultiMatchesReference)
+{
+    // The fused multi-table kernel must equal per-member hashBlock
+    // results for every family width, ragged length, and tail.
+    for (const unsigned n : {1u, 2u, 3u, 4u, 5u, 8u}) {
+        TupleHasherFamily family(0xfeed + n, n, 512);
+        const unsigned bits = family.function(0).indexBits();
+        const uint32_t addendStride = 512;
+        for (const size_t m :
+             {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+              size_t{17}, size_t{256}}) {
+            const std::vector<Tuple> tuples = randomTuples(m, m * n + 3);
+            std::vector<uint32_t> got(m * n + 1, 0xdeadbeef);
+            kernels().hashBlockMulti(family.tableWords(), n, bits,
+                                     tuples.data(), nullptr, m,
+                                     got.data(), addendStride);
+            for (size_t j = 0; j < m; ++j) {
+                for (unsigned i = 0; i < n; ++i) {
+                    const uint32_t want =
+                        static_cast<uint32_t>(kernel_ref::index(
+                            family.memberTables(i), bits, tuples[j])) +
+                        i * addendStride;
+                    EXPECT_EQ(got[j * n + i], want)
+                        << "n=" << n << " m=" << m << " j=" << j
+                        << " i=" << i;
+                }
+            }
+            EXPECT_EQ(got[m * n], 0xdeadbeefu); // no overrun
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, HashBlockMultiHonoursPositions)
+{
+    const unsigned n = 4;
+    TupleHasherFamily family(0xabcd, n, 1024);
+    const unsigned bits = family.function(0).indexBits();
+    const size_t m = 61;
+    const std::vector<Tuple> tuples = randomTuples(m, 13);
+    const std::vector<uint32_t> pos = {5, 1, 60, 33, 32, 2, 19};
+    const uint32_t addendStride = 1024;
+    std::vector<uint32_t> got(m * n, 0u);
+    kernels().hashBlockMulti(family.tableWords(), n, bits,
+                             tuples.data(), pos.data(), pos.size(),
+                             got.data(), addendStride);
+    std::vector<bool> touched(m, false);
+    for (const uint32_t k : pos) {
+        touched[k] = true;
+        for (unsigned i = 0; i < n; ++i) {
+            const uint32_t want =
+                static_cast<uint32_t>(kernel_ref::index(
+                    family.memberTables(i), bits, tuples[k])) +
+                i * addendStride;
+            EXPECT_EQ(got[k * n + i], want) << "k=" << k << " i=" << i;
+        }
+    }
+    for (size_t k = 0; k < m; ++k) {
+        if (!touched[k]) {
+            for (unsigned i = 0; i < n; ++i)
+                EXPECT_EQ(got[k * n + i], 0u) << "k=" << k;
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, SignatureBlockMatchesReference)
+{
+    TupleHasher hasher(0xfeed, 4096);
+    const uint64_t *const tables = hasher.tableWords();
+    for (const size_t m : {size_t{0}, size_t{1}, size_t{3}, size_t{5},
+                           size_t{64}, size_t{255}}) {
+        const std::vector<Tuple> tuples = randomTuples(m, m * 3 + 1);
+        std::vector<uint64_t> got(m);
+        kernels().signatureBlock(tables, tuples.data(), m, got.data());
+        for (size_t j = 0; j < m; ++j) {
+            EXPECT_EQ(got[j], kernel_ref::signature(tables, tuples[j]))
+                << "m=" << m << " j=" << j;
+            EXPECT_EQ(got[j], hasher.signature(tuples[j]));
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, TupleHashBlockMatchesReference)
+{
+    for (const size_t m : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                           size_t{6}, size_t{129}}) {
+        const std::vector<Tuple> tuples = randomTuples(m, m + 11);
+        std::vector<uint64_t> got(m);
+        kernels().tupleHashBlock(tuples.data(), m, got.data());
+        for (size_t j = 0; j < m; ++j) {
+            EXPECT_EQ(got[j], TupleHash{}(tuples[j]))
+                << "m=" << m << " j=" << j;
+        }
+    }
+}
+
+/**
+ * Random structure-of-arrays counter state: n disjoint per-table
+ * segments (the profiler layout contract) with values clustered
+ * around the saturation point so saturated, tied, and free-running
+ * lanes all occur.
+ */
+struct BankFixture
+{
+    std::vector<uint64_t> bank;
+    std::vector<uint32_t> idx;
+
+    BankFixture(unsigned n, uint64_t saturation, uint64_t seed)
+    {
+        const uint32_t entries = 64;
+        Rng rng(seed);
+        bank.resize(static_cast<size_t>(n) * entries);
+        for (auto &c : bank) {
+            const uint64_t span = saturation < 6 ? saturation + 1 : 6;
+            if (rng.nextBool(0.3))
+                c = saturation - rng.nextBelow(span);
+            else if (saturation == ~uint64_t{0})
+                c = rng.next();
+            else
+                c = rng.nextBelow(saturation + 1);
+        }
+        idx.resize(n);
+        for (unsigned i = 0; i < n; ++i) {
+            idx[i] = i * entries +
+                     static_cast<uint32_t>(rng.nextBelow(entries));
+        }
+    }
+};
+
+TEST_P(IngestKernelTiers, BumpMinMatchesReference)
+{
+    for (const uint64_t saturation :
+         {uint64_t{1}, uint64_t{7}, (uint64_t{1} << 24) - 1,
+          (uint64_t{1} << 63), ~uint64_t{0}}) {
+        for (unsigned n = 1; n <= 9; ++n) {
+            for (uint64_t seed = 0; seed < 8; ++seed) {
+                BankFixture got(n, saturation, seed * 131 + n);
+                BankFixture want = got;
+                const uint64_t g = kernels().bumpMin(
+                    got.bank.data(), got.idx.data(), n, saturation);
+                const uint64_t w = kernel_ref::bumpMin(
+                    want.bank.data(), want.idx.data(), n, saturation);
+                EXPECT_EQ(g, w) << "n=" << n << " sat=" << saturation;
+                EXPECT_EQ(got.bank, want.bank)
+                    << "n=" << n << " sat=" << saturation;
+            }
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, BumpMinConservativeMatchesReference)
+{
+    for (const uint64_t saturation :
+         {uint64_t{1}, uint64_t{7}, (uint64_t{1} << 24) - 1,
+          (uint64_t{1} << 63), ~uint64_t{0}}) {
+        for (unsigned n = 1; n <= 9; ++n) {
+            for (uint64_t seed = 0; seed < 8; ++seed) {
+                BankFixture got(n, saturation, seed * 977 + n);
+                BankFixture want = got;
+                const uint64_t g = kernels().bumpMinConservative(
+                    got.bank.data(), got.idx.data(), n, saturation);
+                const uint64_t w = kernel_ref::bumpMinConservative(
+                    want.bank.data(), want.idx.data(), n, saturation);
+                EXPECT_EQ(g, w) << "n=" << n << " sat=" << saturation;
+                EXPECT_EQ(got.bank, want.bank)
+                    << "n=" << n << " sat=" << saturation;
+            }
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, BumpMinConservativeAdvancesAllTies)
+{
+    // Every counter equal and unsaturated: all must advance by one.
+    const unsigned n = 4;
+    std::vector<uint64_t> bank(n * 8, 5);
+    std::vector<uint32_t> idx = {0, 8, 16, 24};
+    const uint64_t newMin = kernels().bumpMinConservative(
+        bank.data(), idx.data(), n, 255);
+    EXPECT_EQ(newMin, 6u);
+    for (const uint32_t i : idx)
+        EXPECT_EQ(bank[i], 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AvailableTiers, IngestKernelTiers,
+    ::testing::ValuesIn(availableTiers()),
+    [](const ::testing::TestParamInfo<IsaTier> &info) {
+        return isaTierName(info.param);
+    });
+
+/**
+ * Pin a tier, run a full profiling workload, and return the interval
+ * snapshots. Profilers capture their kernels at construction, so the
+ * pin wraps the whole run.
+ */
+std::vector<IntervalSnapshot>
+runPinned(IsaTier tier, const std::string &arch)
+{
+    setIsaTierForTesting(tier);
+    std::unique_ptr<HardwareProfiler> profiler;
+    if (arch == "sampler-tagged" || arch == "sampler") {
+        StratifiedSamplerConfig sc;
+        sc.entries = 256;
+        sc.samplingThreshold = 4;
+        sc.tagged = (arch == "sampler-tagged");
+        profiler = std::make_unique<StratifiedSampler>(sc, 20);
+    } else {
+        ProfilerConfig c;
+        c.intervalLength = 2000;
+        c.candidateThreshold = 0.01;
+        c.totalHashEntries = 256;
+        c.numHashTables = arch[0] == 's' ? 1 : 4;
+        c.conservativeUpdate = arch.find("C1") != std::string::npos;
+        c.resetOnPromote = arch.find("R1") != std::string::npos;
+        c.retaining = arch.find("P1") != std::string::npos;
+        profiler = makeProfiler(c);
+    }
+    setIsaTierForTesting(std::nullopt);
+
+    auto source = makeValueWorkload("gcc", 3);
+    std::vector<Tuple> events;
+    events.reserve(8000);
+    while (events.size() < 8000 && !source->done())
+        events.push_back(source->next());
+
+    std::vector<IntervalSnapshot> snapshots;
+    for (size_t base = 0; base < events.size(); base += 2000) {
+        const size_t m = std::min<size_t>(2000, events.size() - base);
+        // Odd batch size: exercises ragged kernel tails every block.
+        for (size_t i = 0; i < m; i += 613)
+            profiler->onEvents(events.data() + base + i,
+                               std::min<size_t>(613, m - i));
+        snapshots.push_back(profiler->endInterval());
+    }
+    return snapshots;
+}
+
+TEST(IngestKernelDispatch, ProfilerOutputIdenticalAcrossTiers)
+{
+    for (const char *arch :
+         {"sh-R1P1", "mh4-C1R1P1", "mh4-C0R0P0", "sampler",
+          "sampler-tagged"}) {
+        const auto reference = runPinned(IsaTier::Scalar, arch);
+        for (const IsaTier tier : availableTiers()) {
+            const auto got = runPinned(tier, arch);
+            ASSERT_EQ(got.size(), reference.size());
+            for (size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i], reference[i])
+                    << arch << " tier=" << isaTierName(tier)
+                    << " interval=" << i;
+            }
+        }
+    }
+}
+
+TEST(IngestKernelDispatch, ActiveTableMatchesActiveTier)
+{
+    // The process-default dispatch must resolve to a compiled-in,
+    // supported tier (possibly below activeIsaTier() if that tier's
+    // kernels were compiled out).
+    const IngestKernels &kern = ingestKernels();
+    EXPECT_TRUE(isaTierSupported(kern.tier));
+    EXPECT_NE(ingestKernelsFor(kern.tier), nullptr);
+}
+
+TEST(IngestKernelDispatch, ScalarTierAlwaysPresent)
+{
+    ASSERT_NE(ingestKernelsFor(IsaTier::Scalar), nullptr);
+    EXPECT_EQ(ingestKernelsFor(IsaTier::Scalar)->tier, IsaTier::Scalar);
+}
+
+TEST(IngestKernelDispatch, UnsupportedTierResolvesToNull)
+{
+    for (const IsaTier tier : {IsaTier::Sse42, IsaTier::Avx2,
+                               IsaTier::Neon}) {
+        if (!isaTierSupported(tier)) {
+            EXPECT_EQ(ingestKernelsFor(tier), nullptr);
+        }
+    }
+}
+
+} // namespace
+} // namespace mhp

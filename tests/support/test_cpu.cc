@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Runtime ISA-tier detection and override plumbing (support/cpu.h).
+ * The kernel-level bit-identity guarantees are covered by
+ * core/test_ingest_kernels.cc; these tests pin down the dispatch
+ * machinery itself: naming, parsing, support detection, the
+ * MHP_FORCE_ISA override, and the test pin.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/cpu.h"
+
+namespace mhp {
+namespace {
+
+const IsaTier kAllTiers[] = {IsaTier::Scalar, IsaTier::Sse42,
+                             IsaTier::Avx2, IsaTier::Neon};
+
+TEST(Cpu, TierNamesRoundTripThroughParse)
+{
+    for (const IsaTier tier : kAllTiers) {
+        const auto parsed = parseIsaTier(isaTierName(tier));
+        ASSERT_TRUE(parsed.has_value()) << isaTierName(tier);
+        EXPECT_EQ(*parsed, tier);
+    }
+}
+
+TEST(Cpu, ParseRejectsUnknownSpellings)
+{
+    EXPECT_FALSE(parseIsaTier("").has_value());
+    EXPECT_FALSE(parseIsaTier("avx512").has_value());
+    EXPECT_FALSE(parseIsaTier("SSE42").has_value());
+    EXPECT_FALSE(parseIsaTier("scalar ").has_value());
+}
+
+TEST(Cpu, ScalarIsAlwaysSupported)
+{
+    EXPECT_TRUE(isaTierSupported(IsaTier::Scalar));
+}
+
+TEST(Cpu, BestTierIsSupported)
+{
+    EXPECT_TRUE(isaTierSupported(bestIsaTier()));
+}
+
+TEST(Cpu, SupportIsArchitectureConsistent)
+{
+    // x86 tiers and the aarch64 tier are mutually exclusive: no CPU
+    // reports both.
+    const bool x86 = isaTierSupported(IsaTier::Sse42) ||
+                     isaTierSupported(IsaTier::Avx2);
+    const bool arm = isaTierSupported(IsaTier::Neon);
+    EXPECT_FALSE(x86 && arm);
+    // AVX2 machines all have SSE4.2.
+    if (isaTierSupported(IsaTier::Avx2)) {
+        EXPECT_TRUE(isaTierSupported(IsaTier::Sse42));
+    }
+}
+
+TEST(Cpu, ActiveTierIsSupported)
+{
+    EXPECT_TRUE(isaTierSupported(activeIsaTier()));
+}
+
+TEST(Cpu, TestPinOverridesActiveTier)
+{
+    const IsaTier before = activeIsaTier();
+    for (const IsaTier tier : kAllTiers) {
+        setIsaTierForTesting(tier);
+        EXPECT_EQ(activeIsaTier(), tier) << isaTierName(tier);
+    }
+    setIsaTierForTesting(std::nullopt);
+    EXPECT_EQ(activeIsaTier(), before);
+}
+
+TEST(Cpu, ForcedTierMatchesEnvironment)
+{
+    // forcedIsaTier() latches MHP_FORCE_ISA on first use, so this test
+    // can only verify consistency with the current environment — the
+    // ctest ISA matrix runs the whole binary under each value.
+    const char *value = std::getenv("MHP_FORCE_ISA");
+    const auto forced = forcedIsaTier();
+    if (value == nullptr || *value == '\0') {
+        EXPECT_FALSE(forced.has_value());
+    } else {
+        EXPECT_EQ(forced, parseIsaTier(value));
+    }
+}
+
+TEST(Cpu, ForcedSupportedTierBecomesActive)
+{
+    const auto forced = forcedIsaTier();
+    if (!forced.has_value())
+        GTEST_SKIP() << "MHP_FORCE_ISA not set";
+    if (!isaTierSupported(*forced)) {
+        GTEST_SKIP() << "forced tier " << isaTierName(*forced)
+                     << " unsupported on this CPU (clamped)";
+    }
+    EXPECT_EQ(activeIsaTier(), *forced);
+}
+
+} // namespace
+} // namespace mhp

@@ -42,6 +42,7 @@
 #include "core/factory.h"
 #include "support/cancel.h"
 #include "support/cli.h"
+#include "support/cpu.h"
 #include "support/failpoint.h"
 #include "trace/trace_io.h"
 #include "trace/trace_map.h"
@@ -255,7 +256,29 @@ main(int argc, char **argv)
                   "(see docs/ROBUSTNESS.md)");
     cli.addInt("failpoint-seed", 0,
                "seed for probabilistic failpoints and retry jitter");
+    cli.addString("isa", "",
+                  "pin the ingest-kernel ISA tier "
+                  "(scalar|sse42|avx2|neon; default: auto-detect)");
     cli.parse(argc, argv);
+
+    if (const std::string isa = cli.getString("isa"); !isa.empty()) {
+        const std::optional<IsaTier> tier = parseIsaTier(isa);
+        if (!tier) {
+            std::fprintf(stderr,
+                         "mhprof_run: --isa=%s not recognized "
+                         "(scalar|sse42|avx2|neon)\n",
+                         isa.c_str());
+            return 1;
+        }
+        if (!isaTierSupported(*tier)) {
+            std::fprintf(stderr,
+                         "mhprof_run: --isa=%s unsupported on this "
+                         "CPU\n",
+                         isa.c_str());
+            return 2;
+        }
+        setIsaTierForTesting(*tier);
+    }
 
     if (cli.getInt("intervals") < 0 || cli.getInt("batch") < 0 ||
         cli.getInt("threads") < 0 || cli.getInt("retries") < 0 ||
