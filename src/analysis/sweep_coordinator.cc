@@ -1,0 +1,873 @@
+/**
+ * @file
+ * Coordinator side of the distributed sweep (sweep_distributed.h):
+ * a single-threaded poll() loop that shards the missing cells of a
+ * SweepPlan into leases, hands them to workers over the wire
+ * protocol, steals work back from busy workers for idle ones,
+ * declares silent workers dead (repooling and, for spawned workers,
+ * respawning), and journals every completed cell plus the lease
+ * accounting trail so a kill -9 of anything resumes bit-identically.
+ *
+ * Concurrency model: the coordinator never computes a cell and never
+ * blocks on a single worker — all sockets are drained from one poll()
+ * loop, so a stalled or malicious peer can delay only itself. All
+ * determinism lives worker-side (SweepRunner::runCellResilient);
+ * the coordinator only routes, deduplicates, and merges into
+ * cell-indexed slots, which is why the merged report cannot depend on
+ * scheduling (see docs/DISTRIBUTED.md).
+ */
+
+#include "analysis/sweep_distributed.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "analysis/sweep_journal.h"
+#include "analysis/sweep_wire.h"
+#include "support/cancel.h"
+#include "support/wire.h"
+
+namespace mhp {
+
+namespace {
+
+int64_t
+steadyNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+defaultSocketPath()
+{
+    return "/tmp/mhprof-coord-" + std::to_string(getpid()) + ".sock";
+}
+
+/** Resolve mhprof_worker next to the running executable. */
+std::string
+siblingWorkerBinary()
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "mhprof_worker";
+    buf[n] = '\0';
+    const std::string exe(buf);
+    const size_t slash = exe.rfind('/');
+    if (slash == std::string::npos)
+        return "mhprof_worker";
+    return exe.substr(0, slash + 1) + "mhprof_worker";
+}
+
+/** An unclaimed cell range [begin, end). */
+struct Range
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+};
+
+/** One connected worker, as the coordinator sees it. */
+struct WorkerState
+{
+    WireConn conn;
+    uint64_t id = 0;
+
+    /** Nonzero when this process spawned (and must reap) the worker. */
+    pid_t pid = 0;
+
+    bool helloed = false;
+
+    /** Worker asked for work (Ready) and has not been granted any. */
+    bool wantsWork = false;
+
+    bool hasLease = false;
+    WireLease lease;
+
+    /** First cell of the lease we have not seen a Result for. */
+    uint64_t nextExpected = 0;
+
+    /** A Trim is in flight; don't steal from this worker again. */
+    bool trimPending = false;
+
+    int64_t lastHeardMs = 0;
+    bool dead = false;
+};
+
+class Coordinator
+{
+  public:
+    Coordinator(const SweepRunner &runner,
+                const DistributedSweepOptions &options)
+        : runner(runner), opt(options)
+    {
+    }
+
+    StatusOr<SweepReport> run();
+
+  private:
+    Status distribute();
+    void buildPending();
+    Status spawnOne();
+    void reapPendingSpawns();
+    void dispatch();
+    void grantTo(WorkerState &w, Range range);
+    void requestSteal();
+    void pollOnce(int timeoutMs);
+    void drainWorker(WorkerState &w);
+    void handleFrame(WorkerState &w, const WireFrame &frame);
+    void advanceLease(WorkerState &w, uint64_t leaseId, uint64_t cell);
+    void loseWorker(WorkerState &w, const std::string &why);
+    void sweepDead();
+    void shutdownAll();
+    void journalLease(uint64_t leaseId, uint64_t begin, uint64_t end,
+                      uint64_t workerId, LeaseAction action);
+
+    bool
+    done() const
+    {
+        return completedCount + quarantined.size() >= cells;
+    }
+
+    void
+    note(const char *fmt, ...) const
+    {
+        if (!opt.verbose)
+            return;
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::fprintf(stderr, "mhprof_coord: ");
+        std::vfprintf(stderr, fmt, ap);
+        std::fprintf(stderr, "\n");
+        va_end(ap);
+    }
+
+    const SweepRunner &runner;
+    const DistributedSweepOptions &opt;
+    size_t cells = 0;
+    std::string socketPath;
+    std::string workerBinary;
+
+    SweepReport report;
+    std::vector<uint8_t> completedFlag;
+    uint64_t completedCount = 0;
+    std::map<uint64_t, QuarantinedCell> quarantined;
+
+    std::deque<Range> pending;
+    std::vector<std::unique_ptr<WorkerState>> workers;
+    std::set<pid_t> pendingSpawns;
+    std::unordered_map<uint64_t, unsigned> cellDeaths;
+
+    WireListener listener;
+    ByteBuffer planBuf;
+    CheckpointJournal journal;
+    bool journaling = false;
+
+    uint64_t nextLeaseId = 1;
+    uint64_t nextWorkerId = 1;
+    unsigned restartsUsed = 0;
+    bool shuttingDown = false;
+
+    /** First unrecoverable error (journal I/O); aborts the run. */
+    Status fatal = Status::ok();
+};
+
+StatusOr<SweepReport>
+Coordinator::run()
+{
+    if (opt.workers == 0 && !opt.acceptExternal)
+        return Status::invalidArgument(
+            "distributed sweep needs spawned workers (--workers) or an "
+            "external-attach socket (--accept-external)");
+    if (opt.maxCellDeaths == 0)
+        return Status::invalidArgument("maxCellDeaths must be >= 1");
+
+    cells = runner.cellCount();
+    report.results.assign(cells, {});
+    completedFlag.assign(cells, 0);
+
+    if (!opt.resilience.checkpointPath.empty()) {
+        StatusOr<LoadedCheckpoint> loaded =
+            loadSweepCheckpoint(opt.resilience.checkpointPath,
+                                runner.planFingerprint(), cells);
+        if (!loaded.isOk())
+            return loaded.status();
+        for (auto &entry : loaded->completed) {
+            report.results[entry.first] = std::move(entry.second);
+            completedFlag[entry.first] = 1;
+            ++completedCount;
+        }
+        if (loaded->exists)
+            note("resumed checkpoint: %" PRIu64 " of %zu cells, "
+                 "%zu lease records",
+                 completedCount, cells, loaded->leases.size());
+        MHP_RETURN_IF_ERROR(
+            journal.open(opt.resilience.checkpointPath,
+                         runner.planFingerprint(), *loaded));
+        journaling = true;
+    }
+
+    buildPending();
+
+    if (!done()) {
+        const Status run = distribute();
+        if (!run.isOk())
+            return run;
+        if (!fatal.isOk())
+            return fatal;
+    }
+
+    if (journaling)
+        MHP_RETURN_IF_ERROR(journal.finish());
+
+    for (auto &entry : quarantined)
+        report.quarantined.push_back(std::move(entry.second));
+    report.completedCells = completedCount;
+    return std::move(report);
+}
+
+void
+Coordinator::buildPending()
+{
+    uint64_t chunk = opt.chunkCells;
+    if (chunk == 0) {
+        const uint64_t denom = 8ull * std::max(opt.workers, 1u);
+        chunk = std::clamp<uint64_t>(cells / denom, 1, 256);
+    }
+    uint64_t i = 0;
+    while (i < cells) {
+        if (completedFlag[i]) {
+            ++i;
+            continue;
+        }
+        uint64_t j = i;
+        while (j < cells && !completedFlag[j] && j - i < chunk)
+            ++j;
+        pending.push_back({i, j});
+        i = j;
+    }
+}
+
+Status
+Coordinator::distribute()
+{
+    socketPath =
+        opt.socketPath.empty() ? defaultSocketPath() : opt.socketPath;
+    workerBinary = opt.workerBinary.empty() ? siblingWorkerBinary()
+                                            : opt.workerBinary;
+
+    StatusOr<WireListener> bound = WireListener::bind(socketPath);
+    if (!bound.isOk())
+        return bound.status();
+    listener = std::move(*bound);
+    note("listening on %s", socketPath.c_str());
+
+    const SweepPlan &p = runner.plan();
+    WirePlan env;
+    env.plan = p;
+    env.plan.trace = nullptr; // travels as path + fingerprint
+    if (p.trace) {
+        env.tracePath = p.trace->path();
+        env.traceFingerprint = p.trace->fingerprint();
+    }
+    env.maxAttempts = opt.resilience.maxAttempts;
+    env.cellDeadlineMs = opt.resilience.cellDeadlineMs;
+    env.backoffBaseMs = opt.resilience.backoffBaseMs;
+    env.backoffCapMs = opt.resilience.backoffCapMs;
+    env.backoffSeed = opt.resilience.backoffSeed;
+    env.failpointSpec = opt.failpointSpec;
+    env.failpointSeed = opt.failpointSeed;
+    env.planFingerprint = runner.planFingerprint();
+    encodePlan(planBuf, env);
+
+    for (unsigned i = 0; i < opt.workers; ++i)
+        MHP_RETURN_IF_ERROR(spawnOne());
+
+    Status result = Status::ok();
+    int64_t zeroWorkersSince = steadyNowMs();
+    while (true) {
+        if (opt.resilience.cancel &&
+            opt.resilience.cancel->cancelled()) {
+            report.interrupted = true;
+            break;
+        }
+        if (done() || !fatal.isOk())
+            break;
+
+        dispatch();
+        if (!fatal.isOk())
+            break;
+
+        pollOnce(100);
+        if (!fatal.isOk())
+            break;
+
+        if (!workers.empty() || !pendingSpawns.empty()) {
+            zeroWorkersSince = steadyNowMs();
+        } else {
+            const int64_t grace = static_cast<int64_t>(
+                std::max<uint64_t>(opt.workerTimeoutMs * 4, 2000));
+            if (steadyNowMs() - zeroWorkersSince > grace) {
+                result = Status::ioError(
+                    "distributed sweep stalled: no workers connected "
+                    "and the restart budget is exhausted");
+                break;
+            }
+        }
+    }
+
+    shutdownAll();
+    listener.close();
+    return result;
+}
+
+Status
+Coordinator::spawnOne()
+{
+    std::vector<std::string> args = {
+        workerBinary,
+        "--connect=" + socketPath,
+        "--heartbeat-ms=" + std::to_string(opt.heartbeatMs),
+        "--connect-retry-ms=10000",
+    };
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0)
+        return Status::ioError(std::string("fork failed: ") +
+                               std::strerror(errno));
+    if (pid == 0) {
+        execv(workerBinary.c_str(), argv.data());
+        // Diagnose on stderr; the parent sees the exit via waitpid.
+        std::fprintf(stderr, "mhprof_worker exec failed: %s: %s\n",
+                     workerBinary.c_str(), std::strerror(errno));
+        _exit(127);
+    }
+    pendingSpawns.insert(pid);
+    note("spawned worker pid %d", static_cast<int>(pid));
+    return Status::ok();
+}
+
+void
+Coordinator::reapPendingSpawns()
+{
+    for (auto it = pendingSpawns.begin(); it != pendingSpawns.end();) {
+        int status = 0;
+        if (waitpid(*it, &status, WNOHANG) == *it) {
+            note("worker pid %d exited before handshake",
+                 static_cast<int>(*it));
+            it = pendingSpawns.erase(it);
+            if (!shuttingDown && restartsUsed < opt.maxWorkerRestarts) {
+                ++restartsUsed;
+                (void)spawnOne(); // a fork failure ends via the
+                                  // zero-workers watchdog
+            }
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Coordinator::dispatch()
+{
+    for (auto &w : workers) {
+        if (pending.empty())
+            break;
+        if (w->dead || !w->helloed || !w->wantsWork || w->hasLease)
+            continue;
+        Range range = pending.front();
+        pending.pop_front();
+        grantTo(*w, range);
+    }
+    sweepDead();
+    if (pending.empty())
+        requestSteal();
+}
+
+void
+Coordinator::grantTo(WorkerState &w, Range range)
+{
+    WireLease lease;
+    lease.leaseId = nextLeaseId++;
+    lease.begin = range.begin;
+    lease.end = range.end;
+
+    journalLease(lease.leaseId, lease.begin, lease.end, w.id,
+                 LeaseAction::Acquire);
+    if (!fatal.isOk())
+        return;
+
+    ByteBuffer payload;
+    encodeLease(payload, lease);
+    const Status sent =
+        w.conn.send(static_cast<uint8_t>(SweepMsg::Grant), payload,
+                    opt.workerTimeoutMs);
+    if (!sent.isOk()) {
+        // Claim the lease first so loseWorker() repools and journals
+        // the reclaim; otherwise the range would simply vanish.
+        w.hasLease = true;
+        w.lease = lease;
+        w.nextExpected = lease.begin;
+        loseWorker(w, "Grant send failed: " + sent.message());
+        return;
+    }
+    w.hasLease = true;
+    w.lease = lease;
+    w.nextExpected = lease.begin;
+    w.wantsWork = false;
+    note("lease %" PRIu64 " [%" PRIu64 ", %" PRIu64 ") -> worker %" PRIu64,
+         lease.leaseId, lease.begin, lease.end, w.id);
+}
+
+void
+Coordinator::requestSteal()
+{
+    // One idle worker triggers at most one Trim per pass; ranges it
+    // frees are granted by the next dispatch().
+    WorkerState *idle = nullptr;
+    for (auto &w : workers) {
+        if (!w->dead && w->helloed && w->wantsWork && !w->hasLease) {
+            idle = w.get();
+            break;
+        }
+    }
+    if (idle == nullptr)
+        return;
+
+    WorkerState *busiest = nullptr;
+    uint64_t bestRemaining = 1; // a split needs >= 2 cells left
+    for (auto &w : workers) {
+        if (w->dead || !w->hasLease || w->trimPending)
+            continue;
+        const uint64_t next = std::max(w->nextExpected, w->lease.begin);
+        const uint64_t remaining =
+            w->lease.end > next ? w->lease.end - next : 0;
+        if (remaining > bestRemaining) {
+            busiest = w.get();
+            bestRemaining = remaining;
+        }
+    }
+    if (busiest == nullptr)
+        return;
+
+    const uint64_t next =
+        std::max(busiest->nextExpected, busiest->lease.begin);
+    WireLease trim;
+    trim.leaseId = busiest->lease.leaseId;
+    trim.begin = 0; // unused in a Trim
+    trim.end = next + (busiest->lease.end - next + 1) / 2;
+
+    ByteBuffer payload;
+    encodeLease(payload, trim);
+    const Status sent =
+        busiest->conn.send(static_cast<uint8_t>(SweepMsg::Trim),
+                           payload, opt.workerTimeoutMs);
+    if (!sent.isOk()) {
+        loseWorker(*busiest, "Trim send failed: " + sent.message());
+        return;
+    }
+    busiest->trimPending = true;
+    note("steal: asked worker %" PRIu64 " to trim lease %" PRIu64
+         " to end %" PRIu64,
+         busiest->id, trim.leaseId, trim.end);
+}
+
+void
+Coordinator::pollOnce(int timeoutMs)
+{
+    std::vector<pollfd> fds;
+    fds.push_back({listener.fd(), POLLIN, 0});
+    std::vector<WorkerState *> polled;
+    for (auto &w : workers) {
+        if (w->dead)
+            continue;
+        fds.push_back({w->conn.fd(), POLLIN, 0});
+        polled.push_back(w.get());
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), timeoutMs);
+    if (rc < 0 && errno != EINTR)
+        return; // transient; the loop retries
+
+    if (rc > 0 && (fds[0].revents & POLLIN) != 0) {
+        StatusOr<WireConn> accepted = listener.accept(10);
+        if (accepted.isOk()) {
+            auto w = std::make_unique<WorkerState>();
+            w->conn = std::move(*accepted);
+            w->id = nextWorkerId++;
+            w->lastHeardMs = steadyNowMs();
+            workers.push_back(std::move(w));
+        }
+    }
+
+    if (rc > 0) {
+        for (size_t i = 0; i < polled.size(); ++i) {
+            if (fds[i + 1].revents != 0)
+                drainWorker(*polled[i]);
+            if (!fatal.isOk())
+                return;
+        }
+    }
+
+    const int64_t now = steadyNowMs();
+    for (auto &w : workers) {
+        if (!w->dead &&
+            now - w->lastHeardMs >
+                static_cast<int64_t>(opt.workerTimeoutMs))
+            loseWorker(*w, "no frame within the worker timeout");
+    }
+
+    reapPendingSpawns();
+    sweepDead();
+}
+
+void
+Coordinator::drainWorker(WorkerState &w)
+{
+    while (!w.dead && fatal.isOk()) {
+        WireFrame frame;
+        Status error = Status::ok();
+        const FrameDecode decode = w.conn.poll(frame, error);
+        if (decode == FrameDecode::NeedMore)
+            break;
+        if (decode == FrameDecode::Corrupt) {
+            loseWorker(w, error.message());
+            break;
+        }
+        w.lastHeardMs = steadyNowMs();
+        handleFrame(w, frame);
+    }
+}
+
+void
+Coordinator::handleFrame(WorkerState &w, const WireFrame &frame)
+{
+    const uint8_t *data = frame.payload.data();
+    const size_t size = frame.payload.size();
+
+    if (!w.helloed &&
+        frame.type != static_cast<uint8_t>(SweepMsg::Hello)) {
+        loseWorker(w, std::string("expected Hello, got ") +
+                          sweepMsgName(frame.type));
+        return;
+    }
+
+    switch (static_cast<SweepMsg>(frame.type)) {
+      case SweepMsg::Hello: {
+        WireHello hello;
+        if (w.helloed || !decodeHello(data, size, hello).isOk()) {
+            loseWorker(w, "malformed or repeated Hello");
+            return;
+        }
+        if (hello.protoVersion != kSweepProtoVersion) {
+            std::fprintf(stderr,
+                         "mhprof_coord: worker pid %" PRIu64
+                         " speaks protocol %u, want %u; dropping it\n",
+                         hello.pid, hello.protoVersion,
+                         kSweepProtoVersion);
+            loseWorker(w, "protocol version mismatch");
+            return;
+        }
+        w.helloed = true;
+        const auto spawned =
+            pendingSpawns.find(static_cast<pid_t>(hello.pid));
+        if (spawned != pendingSpawns.end()) {
+            w.pid = *spawned;
+            pendingSpawns.erase(spawned);
+        }
+        const Status sent =
+            w.conn.send(static_cast<uint8_t>(SweepMsg::Plan), planBuf,
+                        opt.workerTimeoutMs);
+        if (!sent.isOk()) {
+            loseWorker(w, "Plan send failed: " + sent.message());
+            return;
+        }
+        note("worker %" PRIu64 " connected (pid %" PRIu64 ")", w.id,
+             hello.pid);
+        return;
+      }
+
+      case SweepMsg::Ready:
+        w.wantsWork = true;
+        return;
+
+      case SweepMsg::Result: {
+        uint64_t leaseId = 0;
+        uint64_t cell = 0;
+        SweepCellResult result;
+        if (!decodeResult(data, size, leaseId, cell, result).isOk() ||
+            cell >= cells) {
+            loseWorker(w, "malformed Result");
+            return;
+        }
+        if (!completedFlag[cell] && quarantined.count(cell) == 0) {
+            report.results[cell] = std::move(result);
+            completedFlag[cell] = 1;
+            ++completedCount;
+            if (journaling) {
+                const Status appended =
+                    journal.append(cell, report.results[cell]);
+                if (!appended.isOk()) {
+                    fatal = appended;
+                    return;
+                }
+            }
+        }
+        advanceLease(w, leaseId, cell);
+        return;
+      }
+
+      case SweepMsg::Quarantine: {
+        WireQuarantine q;
+        if (!decodeQuarantine(data, size, q).isOk() ||
+            q.cellIndex >= cells) {
+            loseWorker(w, "malformed Quarantine");
+            return;
+        }
+        if (!completedFlag[q.cellIndex] &&
+            quarantined.count(q.cellIndex) == 0) {
+            quarantined.emplace(
+                q.cellIndex,
+                runner.quarantineFor(q.cellIndex, q.attempts,
+                                     Status(q.code, q.message)));
+        }
+        advanceLease(w, q.leaseId, q.cellIndex);
+        return;
+      }
+
+      case SweepMsg::Heartbeat:
+        return; // lastHeardMs is already refreshed per frame
+
+      case SweepMsg::TrimAck: {
+        WireLease ack;
+        if (!decodeLease(data, size, ack).isOk()) {
+            loseWorker(w, "malformed TrimAck");
+            return;
+        }
+        w.trimPending = false;
+        if (!w.hasLease || ack.leaseId != w.lease.leaseId)
+            return; // raced with lease completion; nothing to repool
+        // TrimAck.end is the actual new end the worker settled on.
+        if (ack.end < w.lease.begin || ack.end > w.lease.end) {
+            loseWorker(w, "TrimAck outside the lease");
+            return;
+        }
+        const uint64_t oldEnd = w.lease.end;
+        w.lease.end = ack.end;
+        if (ack.end < oldEnd) {
+            pending.push_front({ack.end, oldEnd});
+            journalLease(w.lease.leaseId, ack.end, oldEnd, w.id,
+                         LeaseAction::Trim);
+            note("worker %" PRIu64 " trimmed lease %" PRIu64
+                 " to %" PRIu64 "; repooled [%" PRIu64 ", %" PRIu64 ")",
+                 w.id, ack.leaseId, ack.end, ack.end, oldEnd);
+        }
+        if (std::max(w.nextExpected, w.lease.begin) >= w.lease.end) {
+            journalLease(w.lease.leaseId, w.lease.begin, w.lease.end,
+                         w.id, LeaseAction::Complete);
+            w.hasLease = false;
+        }
+        return;
+      }
+
+      case SweepMsg::Bye: {
+        note("worker %" PRIu64 " said goodbye", w.id);
+        if (w.hasLease) {
+            // A voluntary exit mid-lease: repool without charging a
+            // death to the cell.
+            const uint64_t next =
+                std::max(w.nextExpected, w.lease.begin);
+            if (next < w.lease.end) {
+                pending.push_front({next, w.lease.end});
+                journalLease(w.lease.leaseId, next, w.lease.end, w.id,
+                             LeaseAction::Reclaim);
+            }
+            w.hasLease = false;
+        }
+        w.dead = true;
+        w.conn.close();
+        if (w.pid > 0) {
+            waitpid(w.pid, nullptr, 0);
+            w.pid = 0;
+        }
+        return;
+      }
+
+      case SweepMsg::Plan:
+      case SweepMsg::Grant:
+      case SweepMsg::Trim:
+      case SweepMsg::Shutdown:
+        loseWorker(w, std::string("unexpected ") +
+                          sweepMsgName(frame.type) + " from a worker");
+        return;
+    }
+    loseWorker(w, "unknown frame type");
+}
+
+void
+Coordinator::advanceLease(WorkerState &w, uint64_t leaseId,
+                          uint64_t cell)
+{
+    if (!w.hasLease || w.lease.leaseId != leaseId)
+        return; // stale result from a reclaimed lease
+    if (cell >= w.lease.begin && cell < w.lease.end)
+        w.nextExpected = std::max(w.nextExpected, cell + 1);
+    if (std::max(w.nextExpected, w.lease.begin) >= w.lease.end) {
+        journalLease(w.lease.leaseId, w.lease.begin, w.lease.end, w.id,
+                     LeaseAction::Complete);
+        w.hasLease = false;
+        w.trimPending = false;
+    }
+}
+
+void
+Coordinator::loseWorker(WorkerState &w, const std::string &why)
+{
+    if (w.dead)
+        return;
+    w.dead = true;
+    note("worker %" PRIu64 " lost: %s", w.id, why.c_str());
+
+    if (w.hasLease) {
+        const uint64_t next = std::max(w.nextExpected, w.lease.begin);
+        if (next < w.lease.end) {
+            journalLease(w.lease.leaseId, next, w.lease.end, w.id,
+                         LeaseAction::Reclaim);
+            const unsigned deaths = ++cellDeaths[next];
+            if (deaths >= opt.maxCellDeaths && !completedFlag[next] &&
+                quarantined.count(next) == 0) {
+                // The cell the worker was computing keeps killing its
+                // host: quarantine it instead of retrying forever.
+                quarantined.emplace(
+                    next,
+                    runner.quarantineFor(
+                        next, deaths,
+                        Status::ioError(
+                            "cell killed " + std::to_string(deaths) +
+                            " workers; quarantined as poisonous")));
+                note("cell %" PRIu64 " quarantined after %u worker "
+                     "deaths",
+                     next, deaths);
+                if (next + 1 < w.lease.end)
+                    pending.push_front({next + 1, w.lease.end});
+            } else {
+                pending.push_front({next, w.lease.end});
+            }
+        }
+        w.hasLease = false;
+    }
+
+    w.conn.close();
+    if (w.pid > 0) {
+        kill(w.pid, SIGKILL);
+        waitpid(w.pid, nullptr, 0);
+        w.pid = 0;
+        if (!shuttingDown && restartsUsed < opt.maxWorkerRestarts) {
+            ++restartsUsed;
+            (void)spawnOne();
+        }
+    }
+}
+
+void
+Coordinator::sweepDead()
+{
+    workers.erase(std::remove_if(workers.begin(), workers.end(),
+                                 [](const auto &w) { return w->dead; }),
+                  workers.end());
+}
+
+void
+Coordinator::shutdownAll()
+{
+    shuttingDown = true;
+    const ByteBuffer empty;
+    for (auto &w : workers) {
+        if (!w->dead)
+            (void)w->conn.send(
+                static_cast<uint8_t>(SweepMsg::Shutdown), empty, 1000);
+    }
+
+    // Give workers a moment to say Bye so spawned ones are reaped
+    // cleanly; stragglers are killed below.
+    const int64_t deadline = steadyNowMs() + 2000;
+    while (steadyNowMs() < deadline) {
+        bool anyLive = false;
+        for (auto &w : workers)
+            anyLive = anyLive || !w->dead;
+        if (!anyLive)
+            break;
+        pollOnce(100);
+    }
+
+    for (auto &w : workers) {
+        if (!w->dead) {
+            w->conn.close();
+            w->dead = true;
+        }
+        if (w->pid > 0) {
+            kill(w->pid, SIGKILL);
+            waitpid(w->pid, nullptr, 0);
+            w->pid = 0;
+        }
+    }
+    sweepDead();
+    for (const pid_t pid : pendingSpawns) {
+        kill(pid, SIGKILL);
+        waitpid(pid, nullptr, 0);
+    }
+    pendingSpawns.clear();
+}
+
+void
+Coordinator::journalLease(uint64_t leaseId, uint64_t begin,
+                          uint64_t end, uint64_t workerId,
+                          LeaseAction action)
+{
+    if (!journaling || !fatal.isOk())
+        return;
+    LeaseRecord lease;
+    lease.leaseId = leaseId;
+    lease.begin = begin;
+    lease.end = end;
+    lease.workerId = workerId;
+    lease.action = action;
+    const Status appended = journal.appendLease(lease);
+    if (!appended.isOk())
+        fatal = appended;
+}
+
+} // namespace
+
+StatusOr<SweepReport>
+runDistributedSweep(const SweepPlan &plan,
+                    const DistributedSweepOptions &options)
+{
+    const SweepRunner runner(plan);
+    Coordinator coordinator(runner, options);
+    return coordinator.run();
+}
+
+} // namespace mhp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Distributed elastic sweep execution: a coordinator that shards a
+ * SweepPlan into cell-range leases and hands them to worker processes
+ * over the CRC-framed Unix-socket protocol (support/wire.h,
+ * analysis/sweep_wire.h), with work-stealing, heartbeats, retry and
+ * quarantine semantics lifted from SweepRunner::runResilient(), and
+ * the lease-extended checkpoint journal (analysis/sweep_journal.h)
+ * making every crash — coordinator kill -9, worker kill -9, dropped
+ * connection — resumable to a bit-identical SweepReport.
+ *
+ * Determinism contract: a cell's result is a pure function of the
+ * plan and its index, and a cell's *failure* is a pure function of
+ * the failpoint (spec, seed, cell, attempt) — never of which worker
+ * ran it or when. The merged report therefore equals the
+ * single-process runResilient() report for any worker count, any
+ * work-stealing schedule, and any crash/resume history (asserted by
+ * tests/integration/test_distributed_sweep.cc and
+ * tests/distributed_chaos_smoke.sh; see docs/DISTRIBUTED.md for the
+ * protocol and the crash/resume state machine).
+ */
+
+#ifndef MHP_ANALYSIS_SWEEP_DISTRIBUTED_H
+#define MHP_ANALYSIS_SWEEP_DISTRIBUTED_H
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/sweep_runner.h"
+#include "support/status.h"
+
+namespace mhp {
+
+/** Knobs of the coordinator side (runDistributedSweep). */
+struct DistributedSweepOptions
+{
+    /** Worker processes to spawn locally (mhprof_worker binaries). */
+    unsigned workers = 0;
+
+    /**
+     * Also (or only, when workers == 0) accept externally started
+     * workers that connect to the socket. With workers == 0 this must
+     * be set — a coordinator with no possible workers is an error.
+     */
+    bool acceptExternal = false;
+
+    /**
+     * Unix socket path the coordinator listens on; empty derives
+     * /tmp/mhprof-coord-<pid>.sock. Must fit in sockaddr_un.
+     */
+    std::string socketPath;
+
+    /**
+     * Path of the mhprof_worker binary to spawn; empty resolves
+     * "mhprof_worker" next to the running executable.
+     */
+    std::string workerBinary;
+
+    /**
+     * Cells per lease; 0 derives cells / (8 * workers), clamped to
+     * [1, 256]. Smaller leases spread better; larger ones amortize
+     * protocol overhead.
+     */
+    uint64_t chunkCells = 0;
+
+    /**
+     * A worker that has not sent any frame for this long is declared
+     * dead: its connection is dropped, the unfinished tail of its
+     * lease is repooled, and (spawned workers) a replacement is
+     * started. Must comfortably exceed the longest single cell.
+     */
+    uint64_t workerTimeoutMs = 15000;
+
+    /** Heartbeat period handed to spawned workers. */
+    uint64_t heartbeatMs = 500;
+
+    /** Replacement budget for dead spawned workers (total). */
+    unsigned maxWorkerRestarts = 8;
+
+    /**
+     * Worker deaths attributed to the same cell before that cell is
+     * quarantined as poisonous (IoError) instead of retried forever.
+     */
+    unsigned maxCellDeaths = 3;
+
+    /**
+     * Retry/quarantine/backoff/deadline knobs applied *inside each
+     * worker*, identical to the single-process executor: threads is
+     * ignored, checkpointPath names the coordinator's lease journal,
+     * and cancel stops the coordinator at a message boundary.
+     */
+    SweepResilienceOptions resilience;
+
+    /** Failpoint schedule forwarded to every worker via the Plan. */
+    std::string failpointSpec;
+    uint64_t failpointSeed = 0;
+
+    /** Log spawn/death/steal events to stderr (chaos tests parse it). */
+    bool verbose = false;
+};
+
+/**
+ * Execute `plan` across worker processes and merge the results.
+ *
+ * Only infrastructure failures (socket setup, spawn failure, journal
+ * I/O, every worker lost with no restart budget) fail the call; cell
+ * failures are data in the report, exactly like runResilient(). With
+ * options.resilience.checkpointPath set, a killed coordinator rerun
+ * with the same plan resumes from the journal; the merged report is
+ * bit-identical to an uninterrupted single-process run.
+ */
+StatusOr<SweepReport>
+runDistributedSweep(const SweepPlan &plan,
+                    const DistributedSweepOptions &options);
+
+/** Knobs of the worker side (runSweepWorker). */
+struct SweepWorkerOptions
+{
+    /** Coordinator socket to connect to. */
+    std::string socketPath;
+
+    /** Keep retrying the initial connect for this long (0 = once). */
+    uint64_t connectRetryMs = 0;
+
+    /** Heartbeat period while computing. */
+    uint64_t heartbeatMs = 500;
+
+    /**
+     * Exit with "lost coordinator" after this long with no frame
+     * while idle; also the send/handshake timeout.
+     */
+    uint64_t ioTimeoutMs = 120000;
+};
+
+/**
+ * Run one worker: connect, handshake, then pull leases and stream
+ * back per-cell results until the coordinator says Shutdown.
+ *
+ * Returns ok() on a clean shutdown; NotFound/InvalidArgument for
+ * connect/handshake problems; IoError (message begins with "lost
+ * coordinator") when the coordinator vanishes mid-run — tools map
+ * that to exit code 4 so a kill-matrix can tell orphaned workers
+ * from usage errors.
+ */
+Status runSweepWorker(const SweepWorkerOptions &options);
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_SWEEP_DISTRIBUTED_H

@@ -1,0 +1,317 @@
+#include "analysis/sweep_journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <utility>
+
+#include "support/crc32.h"
+#include "support/durable.h"
+#include "support/failpoint.h"
+
+namespace mhp {
+
+namespace {
+
+/** Checkpoint journal: magic(8) planFingerprint(8) crc(4) pad(4). */
+constexpr char kCkptMagic[8] = {'M', 'H', 'P', 'S', 'W', 'P', '1', '\0'};
+constexpr size_t kCkptHeaderSize = 24;
+constexpr size_t kCkptCrcSpan = 16;
+
+} // namespace
+
+void
+serializeCellRecord(ByteBuffer &payload, uint64_t cellIndex,
+                    const SweepCellResult &cell)
+{
+    payload.u64(cellIndex);
+    payload.u64(cell.benchmarkIndex);
+    payload.u64(cell.configIndex);
+    payload.u64(cell.intervalLengthIndex);
+    payload.str(cell.benchmark);
+    payload.str(cell.configLabel);
+    payload.u64(cell.intervalLength);
+    payload.u64(cell.thresholdCount);
+    payload.str(cell.run.profilerName);
+    payload.u64(cell.run.intervals.size());
+    for (const IntervalScore &score : cell.run.intervals) {
+        payload.f64(score.breakdown.falsePositive);
+        payload.f64(score.breakdown.falseNegative);
+        payload.f64(score.breakdown.neutralPositive);
+        payload.f64(score.breakdown.neutralNegative);
+        payload.u64(score.counts.falsePositive);
+        payload.u64(score.counts.falseNegative);
+        payload.u64(score.counts.neutralPositive);
+        payload.u64(score.counts.neutralNegative);
+        payload.u64(score.perfectCandidates);
+        payload.u64(score.hardwareCandidates);
+    }
+    payload.u64(cell.stream.distinctTuples.size());
+    for (uint64_t d : cell.stream.distinctTuples)
+        payload.u64(d);
+    payload.u64(cell.eventsConsumed);
+    payload.u64(cell.intervalsCompleted);
+}
+
+bool
+deserializeCellRecord(ByteCursor &cursor, uint64_t &cellIndex,
+                      SweepCellResult &cell)
+{
+    if (!cursor.u64(cellIndex) || !cursor.u64(cell.benchmarkIndex) ||
+        !cursor.u64(cell.configIndex) ||
+        !cursor.u64(cell.intervalLengthIndex) ||
+        !cursor.str(cell.benchmark) || !cursor.str(cell.configLabel) ||
+        !cursor.u64(cell.intervalLength) ||
+        !cursor.u64(cell.thresholdCount) ||
+        !cursor.str(cell.run.profilerName))
+        return false;
+
+    uint64_t scores;
+    if (!cursor.u64(scores) || scores > cursor.remaining() / (10 * 8))
+        return false;
+    cell.run.intervals.resize(scores);
+    for (IntervalScore &score : cell.run.intervals) {
+        if (!cursor.f64(score.breakdown.falsePositive) ||
+            !cursor.f64(score.breakdown.falseNegative) ||
+            !cursor.f64(score.breakdown.neutralPositive) ||
+            !cursor.f64(score.breakdown.neutralNegative) ||
+            !cursor.u64(score.counts.falsePositive) ||
+            !cursor.u64(score.counts.falseNegative) ||
+            !cursor.u64(score.counts.neutralPositive) ||
+            !cursor.u64(score.counts.neutralNegative) ||
+            !cursor.u64(score.perfectCandidates) ||
+            !cursor.u64(score.hardwareCandidates))
+            return false;
+    }
+
+    uint64_t distinct;
+    if (!cursor.u64(distinct) || distinct > cursor.remaining() / 8)
+        return false;
+    cell.stream.distinctTuples.resize(distinct);
+    for (uint64_t &d : cell.stream.distinctTuples) {
+        if (!cursor.u64(d))
+            return false;
+    }
+
+    return cursor.u64(cell.eventsConsumed) &&
+           cursor.u64(cell.intervalsCompleted) && cursor.atEnd();
+}
+
+void
+serializeLeaseRecord(ByteBuffer &payload, const LeaseRecord &lease)
+{
+    payload.u64(kLeaseRecordMark);
+    payload.u8(static_cast<uint8_t>(lease.action));
+    payload.u64(lease.leaseId);
+    payload.u64(lease.begin);
+    payload.u64(lease.end);
+    payload.u64(lease.workerId);
+}
+
+bool
+deserializeLeaseRecord(ByteCursor &cursor, LeaseRecord &lease)
+{
+    uint8_t action;
+    if (!cursor.u8(action) || !cursor.u64(lease.leaseId) ||
+        !cursor.u64(lease.begin) || !cursor.u64(lease.end) ||
+        !cursor.u64(lease.workerId) || !cursor.atEnd())
+        return false;
+    if (action < static_cast<uint8_t>(LeaseAction::Acquire) ||
+        action > static_cast<uint8_t>(LeaseAction::Trim))
+        return false;
+    if (lease.end < lease.begin)
+        return false;
+    lease.action = static_cast<LeaseAction>(action);
+    return true;
+}
+
+StatusOr<LoadedCheckpoint>
+loadSweepCheckpoint(const std::string &path, uint64_t fingerprint,
+                    size_t cellCount)
+{
+    LoadedCheckpoint loaded;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return loaded; // no journal yet: fresh run
+
+    loaded.exists = true;
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (bytes.size() < kCkptHeaderSize) {
+        // A kill during journal creation can cut the header short.
+        // Restart from scratch if what's there is our own debris (a
+        // prefix of the magic); refuse to clobber anything else.
+        const size_t prefix =
+            bytes.size() < sizeof(kCkptMagic) ? bytes.size()
+                                              : sizeof(kCkptMagic);
+        if (prefix > 0 &&
+            std::memcmp(bytes.data(), kCkptMagic, prefix) != 0)
+            return Status::corruptData(
+                path + ": not a sweep checkpoint file");
+        loaded.exists = false;
+        return loaded;
+    }
+    if (std::memcmp(bytes.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
+        return Status::corruptData(path +
+                                   ": not a sweep checkpoint file");
+    const uint32_t stored = getLe32(bytes.data() + 16);
+    if (stored != crc32(bytes.data(), kCkptCrcSpan))
+        return Status::corruptData(path +
+                                   ": checkpoint header CRC mismatch");
+    if (getLe64(bytes.data() + 8) != fingerprint) {
+        return Status::invalidArgument(
+            path + ": checkpoint was written by a different sweep "
+                   "plan (delete it to start over)");
+    }
+
+    // Records: size(8) payload crc(4). Anything that fails to parse —
+    // a record cut short by a kill, a flipped bit — ends the journal
+    // at the last intact record; those cells simply get recomputed.
+    size_t pos = kCkptHeaderSize;
+    loaded.goodOffset = pos;
+    while (pos + 8 <= bytes.size()) {
+        const uint64_t size = getLe64(bytes.data() + pos);
+        if (size > bytes.size() - pos - 8 ||
+            bytes.size() - pos - 8 - size < 4)
+            break; // truncated trailing record
+        const uint8_t *payload = bytes.data() + pos + 8;
+        const uint32_t recordCrc =
+            getLe32(payload + static_cast<size_t>(size));
+        if (recordCrc != crc32(payload, static_cast<size_t>(size)))
+            break; // corrupt trailing record
+        ByteCursor cursor(payload, static_cast<size_t>(size));
+        if (size >= 8 && getLe64(payload) == kLeaseRecordMark) {
+            uint64_t mark;
+            cursor.u64(mark);
+            LeaseRecord lease;
+            if (!deserializeLeaseRecord(cursor, lease))
+                break;
+            loaded.leases.push_back(lease);
+        } else {
+            uint64_t cellIndex;
+            SweepCellResult cell;
+            if (!deserializeCellRecord(cursor, cellIndex, cell) ||
+                cellIndex >= cellCount)
+                break;
+            loaded.completed[cellIndex] = std::move(cell);
+        }
+        pos += 8 + static_cast<size_t>(size) + 4;
+        loaded.goodOffset = pos;
+    }
+    return loaded;
+}
+
+Status
+CheckpointJournal::open(const std::string &journalPath,
+                        uint64_t fingerprint,
+                        const LoadedCheckpoint &loaded)
+{
+    path = journalPath;
+    if (loaded.exists) {
+        std::error_code ec;
+        std::filesystem::resize_file(path, loaded.goodOffset, ec);
+        if (ec) {
+            return Status::ioError(path +
+                                   ": cannot truncate checkpoint: " +
+                                   ec.message());
+        }
+        out.open(path, std::ios::binary | std::ios::app);
+    } else {
+        out.open(path, std::ios::binary | std::ios::trunc);
+        if (out) {
+            uint8_t header[kCkptHeaderSize] = {};
+            std::memcpy(header, kCkptMagic, sizeof(kCkptMagic));
+            putLe64(header + 8, fingerprint);
+            putLe32(header + 16, crc32(header, kCkptCrcSpan));
+            out.write(reinterpret_cast<const char *>(header),
+                      kCkptHeaderSize);
+            out.flush();
+        }
+    }
+    if (!out) {
+        return Status::ioError(
+            path + ": cannot open checkpoint for writing");
+    }
+    return Status::ok();
+}
+
+Status
+CheckpointJournal::appendRecordLocked(const ByteBuffer &payload,
+                                      uint64_t failpointKey)
+{
+    uint8_t sizeLe[8], crcLe[4];
+    putLe64(sizeLe, payload.size());
+    putLe32(crcLe, crc32(payload.data(), payload.size()));
+
+    if (failpointFires("ckpt.append.enospc", failpointKey)) {
+        return Status::ioError(
+            path + ": injected ENOSPC appending checkpoint record "
+                   "(failpoint ckpt.append.enospc)");
+    }
+    if (failpointFires("ckpt.append.short", failpointKey)) {
+        // Leave a torn record on disk — exactly what a kill or a
+        // full disk mid-append produces. The record fails its CRC
+        // on load, so resume recomputes this cell.
+        out.write(reinterpret_cast<const char *>(sizeLe), 8);
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size() / 2));
+        out.flush();
+        return Status::ioError(
+            path + ": injected short write appending checkpoint "
+                   "record (failpoint ckpt.append.short)");
+    }
+    out.write(reinterpret_cast<const char *>(sizeLe), 8);
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.write(reinterpret_cast<const char *>(crcLe), 4);
+    out.flush();
+    if (!out) {
+        return Status::ioError(
+            path + ": short write appending checkpoint record");
+    }
+    return Status::ok();
+}
+
+Status
+CheckpointJournal::append(uint64_t cellIndex,
+                          const SweepCellResult &cell)
+{
+    ByteBuffer payload;
+    serializeCellRecord(payload, cellIndex, cell);
+    std::lock_guard<std::mutex> lock(mutex);
+    return appendRecordLocked(payload, cellIndex);
+}
+
+Status
+CheckpointJournal::appendLease(const LeaseRecord &lease)
+{
+    ByteBuffer payload;
+    serializeLeaseRecord(payload, lease);
+    std::lock_guard<std::mutex> lock(mutex);
+    return appendRecordLocked(payload, lease.leaseId);
+}
+
+Status
+CheckpointJournal::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!out.is_open())
+        return Status::ok();
+    out.flush();
+    const bool healthy = static_cast<bool>(out);
+    out.close();
+    if (!healthy) {
+        return Status::ioError(path +
+                               ": short write flushing checkpoint");
+    }
+    if (failpointFires("ckpt.fsync")) {
+        return Status::ioError(
+            path + ": injected fsync failure (failpoint ckpt.fsync)");
+    }
+    if (Status synced = fsyncFile(path); !synced.isOk())
+        return synced;
+    return fsyncParentDir(path);
+}
+
+} // namespace mhp

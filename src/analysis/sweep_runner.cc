@@ -3,20 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <iterator>
 #include <mutex>
 #include <set>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
+#include "analysis/sweep_journal.h"
 #include "core/factory.h"
 #include "support/bytes.h"
-#include "support/crc32.h"
-#include "support/durable.h"
 #include "support/failpoint.h"
 #include "support/panic.h"
 #include "support/parallel.h"
@@ -26,285 +20,6 @@
 namespace mhp {
 
 namespace {
-
-/** Checkpoint journal: magic(8) planFingerprint(8) crc(4) pad(4). */
-constexpr char kCkptMagic[8] = {'M', 'H', 'P', 'S', 'W', 'P', '1', '\0'};
-constexpr size_t kCkptHeaderSize = 24;
-constexpr size_t kCkptCrcSpan = 16;
-
-/** Serialize one finished cell into a journal record payload. */
-void
-serializeCell(ByteBuffer &payload, uint64_t cellIndex,
-              const SweepCellResult &cell)
-{
-    payload.u64(cellIndex);
-    payload.u64(cell.benchmarkIndex);
-    payload.u64(cell.configIndex);
-    payload.u64(cell.intervalLengthIndex);
-    payload.str(cell.benchmark);
-    payload.str(cell.configLabel);
-    payload.u64(cell.intervalLength);
-    payload.u64(cell.thresholdCount);
-    payload.str(cell.run.profilerName);
-    payload.u64(cell.run.intervals.size());
-    for (const IntervalScore &score : cell.run.intervals) {
-        payload.f64(score.breakdown.falsePositive);
-        payload.f64(score.breakdown.falseNegative);
-        payload.f64(score.breakdown.neutralPositive);
-        payload.f64(score.breakdown.neutralNegative);
-        payload.u64(score.counts.falsePositive);
-        payload.u64(score.counts.falseNegative);
-        payload.u64(score.counts.neutralPositive);
-        payload.u64(score.counts.neutralNegative);
-        payload.u64(score.perfectCandidates);
-        payload.u64(score.hardwareCandidates);
-    }
-    payload.u64(cell.stream.distinctTuples.size());
-    for (uint64_t d : cell.stream.distinctTuples)
-        payload.u64(d);
-    payload.u64(cell.eventsConsumed);
-    payload.u64(cell.intervalsCompleted);
-}
-
-/** Parse a journal record payload; false on any bounds violation. */
-bool
-deserializeCell(ByteCursor &cursor, uint64_t &cellIndex,
-                SweepCellResult &cell)
-{
-    if (!cursor.u64(cellIndex) || !cursor.u64(cell.benchmarkIndex) ||
-        !cursor.u64(cell.configIndex) ||
-        !cursor.u64(cell.intervalLengthIndex) ||
-        !cursor.str(cell.benchmark) || !cursor.str(cell.configLabel) ||
-        !cursor.u64(cell.intervalLength) ||
-        !cursor.u64(cell.thresholdCount) ||
-        !cursor.str(cell.run.profilerName))
-        return false;
-
-    uint64_t scores;
-    if (!cursor.u64(scores) || scores > cursor.remaining() / (10 * 8))
-        return false;
-    cell.run.intervals.resize(scores);
-    for (IntervalScore &score : cell.run.intervals) {
-        if (!cursor.f64(score.breakdown.falsePositive) ||
-            !cursor.f64(score.breakdown.falseNegative) ||
-            !cursor.f64(score.breakdown.neutralPositive) ||
-            !cursor.f64(score.breakdown.neutralNegative) ||
-            !cursor.u64(score.counts.falsePositive) ||
-            !cursor.u64(score.counts.falseNegative) ||
-            !cursor.u64(score.counts.neutralPositive) ||
-            !cursor.u64(score.counts.neutralNegative) ||
-            !cursor.u64(score.perfectCandidates) ||
-            !cursor.u64(score.hardwareCandidates))
-            return false;
-    }
-
-    uint64_t distinct;
-    if (!cursor.u64(distinct) || distinct > cursor.remaining() / 8)
-        return false;
-    cell.stream.distinctTuples.resize(distinct);
-    for (uint64_t &d : cell.stream.distinctTuples) {
-        if (!cursor.u64(d))
-            return false;
-    }
-
-    return cursor.u64(cell.eventsConsumed) &&
-           cursor.u64(cell.intervalsCompleted) && cursor.atEnd();
-}
-
-/** What survived of an existing checkpoint journal. */
-struct LoadedCheckpoint
-{
-    std::unordered_map<uint64_t, SweepCellResult> completed;
-
-    /** File offset just past the last intact record. */
-    uint64_t goodOffset = 0;
-
-    /** False when the file does not exist (start a fresh journal). */
-    bool exists = false;
-};
-
-StatusOr<LoadedCheckpoint>
-loadCheckpoint(const std::string &path, uint64_t fingerprint,
-               size_t cellCount)
-{
-    LoadedCheckpoint loaded;
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return loaded; // no journal yet: fresh run
-
-    loaded.exists = true;
-    std::vector<uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
-    if (bytes.size() < kCkptHeaderSize) {
-        // A kill during journal creation can cut the header short.
-        // Restart from scratch if what's there is our own debris (a
-        // prefix of the magic); refuse to clobber anything else.
-        const size_t prefix =
-            bytes.size() < sizeof(kCkptMagic) ? bytes.size()
-                                              : sizeof(kCkptMagic);
-        if (prefix > 0 &&
-            std::memcmp(bytes.data(), kCkptMagic, prefix) != 0)
-            return Status::corruptData(
-                path + ": not a sweep checkpoint file");
-        loaded.exists = false;
-        return loaded;
-    }
-    if (std::memcmp(bytes.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
-        return Status::corruptData(path +
-                                   ": not a sweep checkpoint file");
-    const uint32_t stored = getLe32(bytes.data() + 16);
-    if (stored != crc32(bytes.data(), kCkptCrcSpan))
-        return Status::corruptData(path +
-                                   ": checkpoint header CRC mismatch");
-    if (getLe64(bytes.data() + 8) != fingerprint) {
-        return Status::invalidArgument(
-            path + ": checkpoint was written by a different sweep "
-                   "plan (delete it to start over)");
-    }
-
-    // Records: size(8) payload crc(4). Anything that fails to parse —
-    // a record cut short by a kill, a flipped bit — ends the journal
-    // at the last intact record; those cells simply get recomputed.
-    size_t pos = kCkptHeaderSize;
-    loaded.goodOffset = pos;
-    while (pos + 8 <= bytes.size()) {
-        const uint64_t size = getLe64(bytes.data() + pos);
-        if (size > bytes.size() - pos - 8 ||
-            bytes.size() - pos - 8 - size < 4)
-            break; // truncated trailing record
-        const uint8_t *payload = bytes.data() + pos + 8;
-        const uint32_t recordCrc =
-            getLe32(payload + static_cast<size_t>(size));
-        if (recordCrc != crc32(payload, static_cast<size_t>(size)))
-            break; // corrupt trailing record
-        ByteCursor cursor(payload, static_cast<size_t>(size));
-        uint64_t cellIndex;
-        SweepCellResult cell;
-        if (!deserializeCell(cursor, cellIndex, cell) ||
-            cellIndex >= cellCount)
-            break;
-        loaded.completed[cellIndex] = std::move(cell);
-        pos += 8 + static_cast<size_t>(size) + 4;
-        loaded.goodOffset = pos;
-    }
-    return loaded;
-}
-
-/**
- * Append-only writer over the checkpoint journal, shared by
- * runWithCheckpoint() and runResilient(). append() is thread-safe and
- * writes+flushes each record whole under its lock, so a kill can only
- * truncate the final record (which loadCheckpoint discards); finish()
- * makes the journal durable with an fsync of the file and its parent
- * directory.
- */
-class CheckpointJournal
-{
-  public:
-    /** Truncate any corrupt tail and open for append (or create). */
-    Status
-    open(const std::string &journalPath, uint64_t fingerprint,
-         const LoadedCheckpoint &loaded)
-    {
-        path = journalPath;
-        if (loaded.exists) {
-            std::error_code ec;
-            std::filesystem::resize_file(path, loaded.goodOffset, ec);
-            if (ec) {
-                return Status::ioError(path +
-                                       ": cannot truncate checkpoint: " +
-                                       ec.message());
-            }
-            out.open(path, std::ios::binary | std::ios::app);
-        } else {
-            out.open(path, std::ios::binary | std::ios::trunc);
-            if (out) {
-                uint8_t header[kCkptHeaderSize] = {};
-                std::memcpy(header, kCkptMagic, sizeof(kCkptMagic));
-                putLe64(header + 8, fingerprint);
-                putLe32(header + 16, crc32(header, kCkptCrcSpan));
-                out.write(reinterpret_cast<const char *>(header),
-                          kCkptHeaderSize);
-                out.flush();
-            }
-        }
-        if (!out) {
-            return Status::ioError(
-                path + ": cannot open checkpoint for writing");
-        }
-        return Status::ok();
-    }
-
-    /** Serialize, write, and flush one finished cell (thread-safe). */
-    Status
-    append(uint64_t cellIndex, const SweepCellResult &cell)
-    {
-        ByteBuffer payload;
-        serializeCell(payload, cellIndex, cell);
-        uint8_t sizeLe[8], crcLe[4];
-        putLe64(sizeLe, payload.size());
-        putLe32(crcLe, crc32(payload.data(), payload.size()));
-
-        std::lock_guard<std::mutex> lock(mutex);
-        if (failpointFires("ckpt.append.enospc", cellIndex)) {
-            return Status::ioError(
-                path + ": injected ENOSPC appending checkpoint record "
-                       "(failpoint ckpt.append.enospc)");
-        }
-        if (failpointFires("ckpt.append.short", cellIndex)) {
-            // Leave a torn record on disk — exactly what a kill or a
-            // full disk mid-append produces. The record fails its CRC
-            // on load, so resume recomputes this cell.
-            out.write(reinterpret_cast<const char *>(sizeLe), 8);
-            out.write(reinterpret_cast<const char *>(payload.data()),
-                      static_cast<std::streamsize>(payload.size() / 2));
-            out.flush();
-            return Status::ioError(
-                path + ": injected short write appending checkpoint "
-                       "record (failpoint ckpt.append.short)");
-        }
-        out.write(reinterpret_cast<const char *>(sizeLe), 8);
-        out.write(reinterpret_cast<const char *>(payload.data()),
-                  static_cast<std::streamsize>(payload.size()));
-        out.write(reinterpret_cast<const char *>(crcLe), 4);
-        out.flush();
-        if (!out) {
-            return Status::ioError(
-                path + ": short write appending checkpoint record");
-        }
-        return Status::ok();
-    }
-
-    /** Flush and fsync the journal and its directory. */
-    Status
-    finish()
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!out.is_open())
-            return Status::ok();
-        out.flush();
-        const bool healthy = static_cast<bool>(out);
-        out.close();
-        if (!healthy) {
-            return Status::ioError(path +
-                                   ": short write flushing checkpoint");
-        }
-        if (failpointFires("ckpt.fsync")) {
-            return Status::ioError(
-                path +
-                ": injected fsync failure (failpoint ckpt.fsync)");
-        }
-        if (Status synced = fsyncFile(path); !synced.isOk())
-            return synced;
-        return fsyncParentDir(path);
-    }
-
-  private:
-    std::string path;
-    std::ofstream out;
-    std::mutex mutex;
-};
 
 /** Milliseconds on the steady clock (watchdog bookkeeping). */
 int64_t
@@ -505,7 +220,7 @@ SweepRunner::runWithCheckpoint(const std::string &checkpointPath,
     const uint64_t fingerprint = planFingerprint();
 
     StatusOr<LoadedCheckpoint> loaded =
-        loadCheckpoint(checkpointPath, fingerprint, cells);
+        loadSweepCheckpoint(checkpointPath, fingerprint, cells);
     if (!loaded.isOk())
         return loaded.status();
 
@@ -548,6 +263,117 @@ SweepRunner::runWithCheckpoint(const std::string &checkpointPath,
     return out;
 }
 
+CellOutcome
+SweepRunner::runCellResilient(
+    uint64_t cell, const SweepResilienceOptions &options,
+    const std::function<void(bool running)> &attemptMark) const
+{
+    MHP_REQUIRE(options.maxAttempts >= 1,
+                "resilient cell needs at least one attempt");
+    CellOutcome outcome;
+    Status lastError;
+    unsigned attempt = 0;
+    for (; attempt < options.maxAttempts; ++attempt) {
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+            outcome.cancelled = true;
+            outcome.attempts = attempt;
+            outcome.status = Status::cancelled(
+                "cell " + std::to_string(cell) + " cancelled");
+            return outcome;
+        }
+        if (attemptMark)
+            attemptMark(true);
+        // An injected slowdown spends the attempt's deadline budget,
+        // so whether the deadline trips is still a pure function of
+        // (spec, seed, cell, attempt) — the sleep models a slow cell,
+        // not a slow clock.
+        uint64_t deadlineMs = options.cellDeadlineMs;
+        bool slowExhausted = false;
+        if (const uint64_t delay =
+                failpointDelayMs("sweep.cell.slow", cell, attempt)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                deadlineMs > 0 ? std::min(delay, deadlineMs) : delay));
+            if (deadlineMs > 0) {
+                slowExhausted = delay >= deadlineMs;
+                deadlineMs -= std::min(delay, deadlineMs - 1);
+            }
+        }
+        Status st;
+        if (slowExhausted) {
+            st = Status::deadlineExceeded(
+                "cell " + std::to_string(cell) + " exceeded its " +
+                std::to_string(options.cellDeadlineMs) +
+                " ms deadline");
+        } else if (failpointFires("sweep.cell.compute", cell,
+                                  attempt)) {
+            st = Status::ioError("cell " + std::to_string(cell) +
+                                 ": injected failure (failpoint "
+                                 "sweep.cell.compute)");
+        } else {
+            SweepCellResult result;
+            const RunStopReason stop = computeCellStream(
+                cell, result, options.cancel, deadlineMs);
+            if (stop == RunStopReason::Cancelled) {
+                if (attemptMark)
+                    attemptMark(false);
+                outcome.cancelled = true;
+                outcome.attempts = attempt;
+                outcome.status = Status::cancelled(
+                    "cell " + std::to_string(cell) + " cancelled");
+                return outcome;
+            }
+            if (stop == RunStopReason::DeadlineExceeded) {
+                st = Status::deadlineExceeded(
+                    "cell " + std::to_string(cell) + " exceeded its " +
+                    std::to_string(options.cellDeadlineMs) +
+                    " ms deadline");
+            } else {
+                outcome.result = std::move(result);
+            }
+        }
+        if (attemptMark)
+            attemptMark(false);
+
+        if (st.isOk()) {
+            outcome.status = Status::ok();
+            outcome.attempts = attempt + 1;
+            return outcome;
+        }
+        lastError = std::move(st);
+        if (attempt + 1 < options.maxAttempts &&
+            options.backoffBaseMs > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoffDelayMs(options, cell, attempt)));
+        }
+    }
+    outcome.status = std::move(lastError);
+    outcome.attempts = attempt;
+    return outcome;
+}
+
+QuarantinedCell
+SweepRunner::quarantineFor(uint64_t cell, unsigned attempts,
+                           Status lastError) const
+{
+    const SweepPlan &plan = sweepPlan;
+    const size_t lengths =
+        plan.intervalLengths.empty() ? 1 : plan.intervalLengths.size();
+    const size_t b = cell / (plan.configs.size() * lengths);
+    const size_t rem = cell % (plan.configs.size() * lengths);
+    const size_t c = rem / lengths;
+    const size_t l = rem % lengths;
+    QuarantinedCell q;
+    q.cellIndex = cell;
+    q.benchmark = plan.benchmarks[b];
+    q.configLabel = plan.configs[c].label;
+    q.intervalLength = plan.intervalLengths.empty()
+                           ? plan.configs[c].config.intervalLength
+                           : plan.intervalLengths[l];
+    q.attempts = attempts;
+    q.status = std::move(lastError);
+    return q;
+}
+
 StatusOr<SweepReport>
 SweepRunner::runResilient(const SweepResilienceOptions &options) const
 {
@@ -555,7 +381,6 @@ SweepRunner::runResilient(const SweepResilienceOptions &options) const
                 "resilient sweep needs at least one attempt per cell");
     const size_t cells = cellCount();
     const uint64_t fingerprint = planFingerprint();
-    const SweepPlan &plan = sweepPlan;
 
     SweepReport report;
     report.results.resize(cells);
@@ -564,7 +389,7 @@ SweepRunner::runResilient(const SweepResilienceOptions &options) const
     LoadedCheckpoint loaded;
     CheckpointJournal journal;
     if (checkpointing) {
-        StatusOr<LoadedCheckpoint> prior = loadCheckpoint(
+        StatusOr<LoadedCheckpoint> prior = loadSweepCheckpoint(
             options.checkpointPath, fingerprint, cells);
         if (!prior.isOk())
             return prior.status();
@@ -622,118 +447,40 @@ SweepRunner::runResilient(const SweepResilienceOptions &options) const
                 return;
             }
 
-            Status lastError;
-            unsigned attempt = 0;
-            for (; attempt < options.maxAttempts; ++attempt) {
-                if (options.cancel != nullptr &&
-                    options.cancel->cancelled()) {
-                    interrupted.store(true, std::memory_order_relaxed);
-                    return;
-                }
-                if (watch) {
-                    attemptStartMs[cell].store(
-                        steadyNowMs(), std::memory_order_relaxed);
-                }
-                // An injected slowdown spends the attempt's deadline
-                // budget, so whether the deadline trips is still a
-                // pure function of (spec, seed, cell, attempt) — the
-                // sleep models a slow cell, not a slow clock.
-                uint64_t deadlineMs = options.cellDeadlineMs;
-                bool slowExhausted = false;
-                if (const uint64_t delay = failpointDelayMs(
-                        "sweep.cell.slow", cell, attempt)) {
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(
-                            deadlineMs > 0 ? std::min(delay, deadlineMs)
-                                           : delay));
-                    if (deadlineMs > 0) {
-                        slowExhausted = delay >= deadlineMs;
-                        deadlineMs -= std::min(delay, deadlineMs - 1);
+            const std::function<void(bool)> mark =
+                watch ? std::function<void(bool)>([&, cell](
+                            bool running) {
+                      attemptStartMs[cell].store(
+                          running ? steadyNowMs() : -1,
+                          std::memory_order_relaxed);
+                  })
+                      : std::function<void(bool)>();
+            CellOutcome outcome =
+                runCellResilient(cell, options, mark);
+            if (outcome.cancelled) {
+                interrupted.store(true, std::memory_order_relaxed);
+                return;
+            }
+            if (outcome.status.isOk()) {
+                report.results[cell] = std::move(outcome.result);
+                completed.fetch_add(1, std::memory_order_relaxed);
+                if (checkpointing) {
+                    if (Status appended = journal.append(
+                            cell, report.results[cell]);
+                        !appended.isOk()) {
+                        std::lock_guard<std::mutex> lock(reportMutex);
+                        if (journalStatus.isOk())
+                            journalStatus = std::move(appended);
                     }
                 }
-                Status st;
-                if (slowExhausted) {
-                    st = Status::deadlineExceeded(
-                        "cell " + std::to_string(cell) +
-                        " exceeded its " +
-                        std::to_string(options.cellDeadlineMs) +
-                        " ms deadline");
-                } else if (failpointFires("sweep.cell.compute", cell,
-                                          attempt)) {
-                    st = Status::ioError(
-                        "cell " + std::to_string(cell) +
-                        ": injected failure (failpoint "
-                        "sweep.cell.compute)");
-                } else {
-                    SweepCellResult result;
-                    const RunStopReason stop = computeCellStream(
-                        cell, result, options.cancel, deadlineMs);
-                    if (stop == RunStopReason::Cancelled) {
-                        if (watch) {
-                            attemptStartMs[cell].store(
-                                -1, std::memory_order_relaxed);
-                        }
-                        interrupted.store(true,
-                                          std::memory_order_relaxed);
-                        return;
-                    }
-                    if (stop == RunStopReason::DeadlineExceeded) {
-                        st = Status::deadlineExceeded(
-                            "cell " + std::to_string(cell) +
-                            " exceeded its " +
-                            std::to_string(options.cellDeadlineMs) +
-                            " ms deadline");
-                    } else {
-                        report.results[cell] = std::move(result);
-                    }
-                }
-                if (watch) {
-                    attemptStartMs[cell].store(
-                        -1, std::memory_order_relaxed);
-                }
-
-                if (st.isOk()) {
-                    completed.fetch_add(1, std::memory_order_relaxed);
-                    if (checkpointing) {
-                        if (Status appended = journal.append(
-                                cell, report.results[cell]);
-                            !appended.isOk()) {
-                            std::lock_guard<std::mutex> lock(
-                                reportMutex);
-                            if (journalStatus.isOk())
-                                journalStatus = std::move(appended);
-                        }
-                    }
-                    return;
-                }
-                lastError = std::move(st);
-                if (attempt + 1 < options.maxAttempts &&
-                    options.backoffBaseMs > 0) {
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(
-                            backoffDelayMs(options, cell, attempt)));
-                }
+                return;
             }
 
             // Every attempt failed: quarantine the cell instead of
             // sinking the sweep.
-            const size_t lengths = plan.intervalLengths.empty()
-                                       ? 1
-                                       : plan.intervalLengths.size();
-            const size_t b = cell / (plan.configs.size() * lengths);
-            const size_t rem = cell % (plan.configs.size() * lengths);
-            const size_t c = rem / lengths;
-            const size_t l = rem % lengths;
-            QuarantinedCell q;
-            q.cellIndex = cell;
-            q.benchmark = plan.benchmarks[b];
-            q.configLabel = plan.configs[c].label;
-            q.intervalLength =
-                plan.intervalLengths.empty()
-                    ? plan.configs[c].config.intervalLength
-                    : plan.intervalLengths[l];
-            q.attempts = attempt;
-            q.status = std::move(lastError);
+            QuarantinedCell q =
+                quarantineFor(cell, outcome.attempts,
+                              std::move(outcome.status));
             std::lock_guard<std::mutex> lock(reportMutex);
             report.quarantined.push_back(std::move(q));
         },

@@ -38,6 +38,7 @@
 #define MHP_ANALYSIS_SWEEP_RUNNER_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -211,6 +212,26 @@ struct SweepResilienceOptions
     uint64_t watchdogPollMs = 0;
 };
 
+/**
+ * Outcome of one cell's full retry loop (runCellResilient): either a
+ * populated result, the final failure after every attempt, or a
+ * cooperative cancellation.
+ */
+struct CellOutcome
+{
+    /** Valid exactly when status.isOk() and !cancelled. */
+    SweepCellResult result;
+
+    /** ok() on success; otherwise the last attempt's failure. */
+    Status status;
+
+    /** Attempts actually made. */
+    unsigned attempts = 0;
+
+    /** True when the CancelToken stopped the loop. */
+    bool cancelled = false;
+};
+
 /** Shards a SweepPlan over worker threads with deterministic merging. */
 class SweepRunner
 {
@@ -265,6 +286,27 @@ class SweepRunner
      */
     StatusOr<SweepReport>
     runResilient(const SweepResilienceOptions &options = {}) const;
+
+    /**
+     * The retry loop of one cell, exactly as runResilient() executes
+     * it: up to options.maxAttempts attempts with deterministic
+     * backoff, per-attempt deadline, cooperative cancellation, and
+     * the same failpoint sites keyed by (cell, attempt) — which is
+     * what makes a distributed worker's successes, failures, and
+     * quarantine statuses bit-identical to the in-process engine's
+     * (the distributed executor in sweep_distributed.h is built on
+     * this). `attemptMark(true/false)` brackets each attempt for
+     * watchdog bookkeeping; pass an empty function when unused.
+     * Checkpointing and thread scheduling are the caller's business.
+     */
+    CellOutcome runCellResilient(
+        uint64_t cell, const SweepResilienceOptions &options,
+        const std::function<void(bool running)> &attemptMark =
+            {}) const;
+
+    /** Build the quarantine row for a cell that failed every attempt. */
+    QuarantinedCell quarantineFor(uint64_t cell, unsigned attempts,
+                                  Status lastError) const;
 
     const SweepPlan &plan() const { return sweepPlan; }
 

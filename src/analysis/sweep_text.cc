@@ -1,0 +1,58 @@
+#include "analysis/sweep_text.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mhp {
+
+void
+printQuarantineDiagnostics(const char *tool, const SweepReport &report)
+{
+    for (const QuarantinedCell &q : report.quarantined) {
+        std::fprintf(stderr,
+                     "%s: quarantined cell %llu (%s %s "
+                     "len=%llu) after %u attempts: %s\n",
+                     tool,
+                     static_cast<unsigned long long>(q.cellIndex),
+                     q.benchmark.c_str(), q.configLabel.c_str(),
+                     static_cast<unsigned long long>(q.intervalLength),
+                     q.attempts, q.status.toString().c_str());
+    }
+}
+
+bool
+writeQuarantineReport(const std::string &path,
+                      const SweepReport &report)
+{
+    std::ofstream rep(path, std::ios::trunc);
+    for (const QuarantinedCell &q : report.quarantined) {
+        rep << q.cellIndex << '\t' << q.benchmark << '\t'
+            << q.configLabel << '\t' << q.intervalLength << '\t'
+            << q.attempts << '\t' << q.status.toString() << '\n';
+    }
+    return static_cast<bool>(rep);
+}
+
+bool
+printSweepTable(const SweepReport &report)
+{
+    bool missing = false;
+    for (size_t cell = 0; cell < report.results.size(); ++cell) {
+        const SweepCellResult &r = report.results[cell];
+        if (r.run.profilerName.empty()) {
+            missing = true;
+            continue;
+        }
+        std::printf("%s %s len=%llu: %llu intervals, avg error "
+                    "%.4f%%, %.1f candidates/interval\n",
+                    r.benchmark.c_str(), r.configLabel.c_str(),
+                    static_cast<unsigned long long>(r.intervalLength),
+                    static_cast<unsigned long long>(
+                        r.intervalsCompleted),
+                    r.run.averageErrorPercent(),
+                    r.run.meanHardwareCandidates());
+    }
+    return missing;
+}
+
+} // namespace mhp

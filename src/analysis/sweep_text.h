@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The one textual rendering of a SweepReport, shared by every tool
+ * that prints one (mhprof_run's sweep mode and mhprof_coord). Keeping
+ * the format strings in a single place is what lets the distributed
+ * chaos tests assert byte-identical stdout between the in-process
+ * engine and the coordinator — the two tools cannot drift apart
+ * because there is nothing to drift.
+ *
+ * Convention (inherited from mhprof_run): stdout carries only the
+ * result table; quarantine lines are stderr diagnostics prefixed with
+ * the tool name, plus an optional tab-separated report file.
+ */
+
+#ifndef MHP_ANALYSIS_SWEEP_TEXT_H
+#define MHP_ANALYSIS_SWEEP_TEXT_H
+
+#include <string>
+
+#include "analysis/sweep_runner.h"
+
+namespace mhp {
+
+/** "<tool>: quarantined cell N (...) after K attempts: ..." lines. */
+void printQuarantineDiagnostics(const char *tool,
+                                const SweepReport &report);
+
+/**
+ * Write the tab-separated quarantine report (one line per cell:
+ * index, benchmark, config, length, attempts, status). False when
+ * the file cannot be written.
+ */
+bool writeQuarantineReport(const std::string &path,
+                           const SweepReport &report);
+
+/**
+ * Print the result table to stdout, one line per populated cell, in
+ * cell order — bit-identical for any execution schedule. Returns
+ * true when at least one cell is missing (quarantined or never run),
+ * which tools turn into exit code 3.
+ */
+bool printSweepTable(const SweepReport &report);
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_SWEEP_TEXT_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Message layer of the distributed sweep protocol: the typed payloads
+ * that travel inside wire frames (support/wire.h) between
+ * mhprof_coord and mhprof_worker. Frame format, handshake, and the
+ * crash/resume state machine are documented in docs/DISTRIBUTED.md.
+ *
+ * Everything here is untrusted input on arrival: every decode is
+ * bounds-checked through ByteCursor and returns a one-line Status
+ * instead of trusting a peer (a worker from a different build, a
+ * truncated plan, a fingerprint that does not match the coordinator's
+ * checkpoint). The plan envelope carries the coordinator's plan
+ * fingerprint, and decodeplan cross-checks it against a fingerprint
+ * recomputed from the decoded plan — any serialization drift between
+ * builds is caught at handshake, not as silently different results.
+ */
+
+#ifndef MHP_ANALYSIS_SWEEP_WIRE_H
+#define MHP_ANALYSIS_SWEEP_WIRE_H
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/sweep_journal.h"
+#include "analysis/sweep_runner.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace mhp {
+
+/** Protocol revision; bumped on any frame-payload change. */
+constexpr uint32_t kSweepProtoVersion = 1;
+
+/** Frame types of the sweep protocol (wire frame `type` byte). */
+enum class SweepMsg : uint8_t
+{
+    Hello = 1,      ///< w→c: protocol version + worker pid
+    Plan = 2,       ///< c→w: the full plan envelope
+    Ready = 3,      ///< w→c: idle, give me a range
+    Grant = 4,      ///< c→w: lease of a cell range
+    Result = 5,     ///< w→c: one completed cell, bit-exact
+    Quarantine = 6, ///< w→c: a cell that failed every attempt
+    Heartbeat = 7,  ///< w→c: liveness while computing
+    Trim = 8,       ///< c→w: shorten your lease (work-stealing)
+    TrimAck = 9,    ///< w→c: lease now ends at `end`
+    Shutdown = 10,  ///< c→w: no more work; exit cleanly
+    Bye = 11,       ///< w→c: clean goodbye
+};
+
+/** Printable frame-type name for diagnostics. */
+const char *sweepMsgName(uint8_t type);
+
+/** Hello payload. */
+struct WireHello
+{
+    uint32_t protoVersion = kSweepProtoVersion;
+    uint64_t pid = 0;
+};
+
+void encodeHello(ByteBuffer &out, const WireHello &hello);
+Status decodeHello(const uint8_t *data, size_t size, WireHello &hello);
+
+/**
+ * The Plan payload: everything a worker needs to reproduce the
+ * coordinator's cells bit-identically — the SweepPlan itself (a
+ * mapped trace travels as its path + content fingerprint, re-opened
+ * and re-verified worker-side), the resilience knobs of the retry
+ * loop, and the failpoint spec/seed so injected failures fire
+ * identically on every participant.
+ */
+struct WirePlan
+{
+    /** Workload plan fields (trace conveyed separately). */
+    SweepPlan plan;
+
+    /** Non-empty for trace-backed plans; worker re-opens and checks. */
+    std::string tracePath;
+    uint64_t traceFingerprint = 0;
+
+    /** Retry-loop knobs (subset of SweepResilienceOptions). */
+    uint32_t maxAttempts = 3;
+    uint64_t cellDeadlineMs = 0;
+    uint64_t backoffBaseMs = 0;
+    uint64_t backoffCapMs = 1000;
+    uint64_t backoffSeed = 0;
+
+    /** Failpoint schedule all participants share. */
+    std::string failpointSpec;
+    uint64_t failpointSeed = 0;
+
+    /** The coordinator's SweepRunner::planFingerprint(). */
+    uint64_t planFingerprint = 0;
+};
+
+void encodePlan(ByteBuffer &out, const WirePlan &plan);
+
+/**
+ * Decode a Plan payload. The embedded trace (if any) is NOT opened
+ * here — the worker does that and must verify both the trace
+ * fingerprint and the recomputed plan fingerprint.
+ */
+Status decodePlan(const uint8_t *data, size_t size, WirePlan &plan);
+
+/** Grant / Trim / TrimAck payload: a lease over [begin, end). */
+struct WireLease
+{
+    uint64_t leaseId = 0;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+};
+
+void encodeLease(ByteBuffer &out, const WireLease &lease);
+Status decodeLease(const uint8_t *data, size_t size, WireLease &lease);
+
+/** Result payload: leaseId + the journal cell record. */
+void encodeResult(ByteBuffer &out, uint64_t leaseId,
+                  uint64_t cellIndex, const SweepCellResult &cell);
+Status decodeResult(const uint8_t *data, size_t size,
+                    uint64_t &leaseId, uint64_t &cellIndex,
+                    SweepCellResult &cell);
+
+/** Quarantine payload. */
+struct WireQuarantine
+{
+    uint64_t leaseId = 0;
+    uint64_t cellIndex = 0;
+    uint32_t attempts = 0;
+    StatusCode code = StatusCode::IoError;
+    std::string message;
+};
+
+void encodeQuarantine(ByteBuffer &out, const WireQuarantine &q);
+Status decodeQuarantine(const uint8_t *data, size_t size,
+                        WireQuarantine &q);
+
+/** Heartbeat payload: cells completed so far (monitoring only). */
+void encodeHeartbeat(ByteBuffer &out, uint64_t cellsDone);
+Status decodeHeartbeat(const uint8_t *data, size_t size,
+                       uint64_t &cellsDone);
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_SWEEP_WIRE_H

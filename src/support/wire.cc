@@ -1,0 +1,447 @@
+#include "support/wire.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/crc32.h"
+#include "support/failpoint.h"
+
+namespace mhp {
+
+namespace {
+
+int64_t
+steadyNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Wait for `events` on `fd`. Returns 1 when ready, 0 on timeout, -1
+ * on a poll error (errno preserved). deadlineMs < 0 waits forever.
+ */
+int
+waitFor(int fd, short events, int64_t deadlineMs)
+{
+    for (;;) {
+        int waitMs = -1;
+        if (deadlineMs >= 0) {
+            const int64_t left = deadlineMs - steadyNowMs();
+            if (left <= 0)
+                return 0;
+            waitMs = static_cast<int>(left > 3600'000 ? 3600'000 : left);
+        }
+        struct pollfd pfd = {fd, events, 0};
+        const int rc = ::poll(&pfd, 1, waitMs);
+        if (rc > 0)
+            return 1;
+        if (rc == 0) {
+            if (deadlineMs < 0)
+                continue;
+            return 0;
+        }
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+void
+encodeFrame(uint8_t type, const uint8_t *payload, size_t payloadSize,
+            std::vector<uint8_t> &out)
+{
+    MHP_REQUIRE(payloadSize + 1 <= kWireMaxFrameLength,
+                "wire frame payload exceeds the protocol limit");
+    const uint32_t length = static_cast<uint32_t>(payloadSize) + 1;
+    uint8_t head[5];
+    putLe32(head, length);
+    head[4] = type;
+    const size_t base = out.size();
+    out.insert(out.end(), head, head + 5);
+    out.insert(out.end(), payload, payload + payloadSize);
+    const uint32_t crc = crc32(out.data() + base + 4,
+                               static_cast<size_t>(length));
+    uint8_t crcLe[4];
+    putLe32(crcLe, crc);
+    out.insert(out.end(), crcLe, crcLe + 4);
+}
+
+FrameDecode
+decodeFrame(const uint8_t *data, size_t size, WireFrame &frame,
+            size_t &consumed, Status &error)
+{
+    consumed = 0;
+    if (size < 4)
+        return FrameDecode::NeedMore;
+    const uint32_t length = getLe32(data);
+    if (length < 1) {
+        error = Status::corruptData(
+            "wire frame declares an empty body (no type byte)");
+        return FrameDecode::Corrupt;
+    }
+    if (length > kWireMaxFrameLength) {
+        error = Status::corruptDataf(
+            "wire frame length %u exceeds the %u-byte protocol limit",
+            length, kWireMaxFrameLength);
+        return FrameDecode::Corrupt;
+    }
+    const size_t total = 4 + static_cast<size_t>(length) + 4;
+    if (size < total)
+        return FrameDecode::NeedMore;
+    const uint32_t stored = getLe32(data + 4 + length);
+    const uint32_t actual = crc32(data + 4, length);
+    if (stored != actual) {
+        error = Status::corruptDataf(
+            "wire frame CRC mismatch (stored %08x, computed %08x)",
+            stored, actual);
+        return FrameDecode::Corrupt;
+    }
+    frame.type = data[4];
+    frame.payload.assign(data + 5, data + 4 + length);
+    consumed = total;
+    return FrameDecode::Frame;
+}
+
+WireConn::~WireConn()
+{
+    close();
+}
+
+WireConn::WireConn(WireConn &&other) noexcept
+    : sock(other.sock), inbuf(std::move(other.inbuf))
+{
+    other.sock = -1;
+}
+
+WireConn &
+WireConn::operator=(WireConn &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        sock = other.sock;
+        inbuf = std::move(other.inbuf);
+        other.sock = -1;
+    }
+    return *this;
+}
+
+void
+WireConn::close()
+{
+    if (sock >= 0) {
+        ::close(sock);
+        sock = -1;
+    }
+    inbuf.clear();
+}
+
+StatusOr<WireConn>
+WireConn::connect(const std::string &path)
+{
+    struct sockaddr_un addr = {};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        return Status::invalidArgument(path +
+                                       ": socket path too long");
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return Status::ioError(path + ": socket: " + errnoText());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        const Status bad =
+            (errno == ENOENT || errno == ECONNREFUSED)
+                ? Status::notFound(path + ": no coordinator listening (" +
+                                   errnoText() + ")")
+                : Status::ioError(path + ": connect: " + errnoText());
+        ::close(fd);
+        return bad;
+    }
+    return adopt(fd);
+}
+
+WireConn
+WireConn::adopt(int fd)
+{
+    WireConn conn;
+    conn.sock = fd;
+    return conn;
+}
+
+Status
+WireConn::send(uint8_t type, const ByteBuffer &payload,
+               uint64_t timeoutMs)
+{
+    if (sock < 0) {
+        return Status::failedPrecondition(
+            "send on a closed wire connection");
+    }
+    if (failpointFires("wire.send.eio")) {
+        return Status::ioError(
+            "injected send failure (failpoint wire.send.eio)");
+    }
+    std::vector<uint8_t> bytes;
+    bytes.reserve(payload.size() + kWireFrameOverhead);
+    encodeFrame(type, payload.data(), payload.size(), bytes);
+
+    const int64_t deadline =
+        timeoutMs > 0 ? steadyNowMs() + static_cast<int64_t>(timeoutMs)
+                      : -1;
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::send(sock, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            const int ready = waitFor(sock, POLLOUT, deadline);
+            if (ready == 0) {
+                return Status::deadlineExceeded(
+                    "wire send timed out (peer not draining)");
+            }
+            if (ready < 0)
+                return Status::ioError("wire send poll: " + errnoText());
+            continue;
+        }
+        return Status::ioError("wire send: " + errnoText());
+    }
+    return Status::ok();
+}
+
+Status
+WireConn::fill(bool &progressed, bool &eof)
+{
+    progressed = false;
+    eof = false;
+    uint8_t chunk[65536];
+    for (;;) {
+        const ssize_t n =
+            ::recv(sock, chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (n > 0) {
+            inbuf.insert(inbuf.end(), chunk, chunk + n);
+            progressed = true;
+            return Status::ok();
+        }
+        if (n == 0) {
+            eof = true;
+            return Status::ok();
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return Status::ok();
+        return Status::ioError("wire recv: " + errnoText());
+    }
+}
+
+Status
+WireConn::recv(WireFrame &frame, uint64_t timeoutMs)
+{
+    if (sock < 0) {
+        return Status::failedPrecondition(
+            "recv on a closed wire connection");
+    }
+    if (failpointFires("wire.recv.eio")) {
+        return Status::ioError(
+            "injected recv failure (failpoint wire.recv.eio)");
+    }
+    const int64_t deadline =
+        timeoutMs > 0 ? steadyNowMs() + static_cast<int64_t>(timeoutMs)
+                      : -1;
+    for (;;) {
+        Status error;
+        size_t consumed = 0;
+        const FrameDecode rc = decodeFrame(inbuf.data(), inbuf.size(),
+                                           frame, consumed, error);
+        if (rc == FrameDecode::Frame) {
+            inbuf.erase(inbuf.begin(),
+                        inbuf.begin() +
+                            static_cast<ptrdiff_t>(consumed));
+            return Status::ok();
+        }
+        if (rc == FrameDecode::Corrupt)
+            return error;
+
+        const int ready = waitFor(sock, POLLIN, deadline);
+        if (ready == 0) {
+            return Status::deadlineExceeded(
+                "wire recv timed out waiting for a frame");
+        }
+        if (ready < 0)
+            return Status::ioError("wire recv poll: " + errnoText());
+        bool progressed, eof;
+        if (Status bad = fill(progressed, eof); !bad.isOk())
+            return bad;
+        if (eof) {
+            return Status::ioError(
+                inbuf.empty()
+                    ? "wire connection closed by peer"
+                    : "wire connection closed mid-frame");
+        }
+    }
+}
+
+FrameDecode
+WireConn::poll(WireFrame &frame, Status &error)
+{
+    if (sock < 0) {
+        error = Status::failedPrecondition(
+            "poll on a closed wire connection");
+        return FrameDecode::Corrupt;
+    }
+    for (;;) {
+        size_t consumed = 0;
+        const FrameDecode rc = decodeFrame(inbuf.data(), inbuf.size(),
+                                           frame, consumed, error);
+        if (rc == FrameDecode::Frame) {
+            inbuf.erase(inbuf.begin(),
+                        inbuf.begin() +
+                            static_cast<ptrdiff_t>(consumed));
+            return rc;
+        }
+        if (rc == FrameDecode::Corrupt)
+            return rc;
+        bool progressed, eof;
+        if (Status bad = fill(progressed, eof); !bad.isOk()) {
+            error = std::move(bad);
+            return FrameDecode::Corrupt;
+        }
+        if (eof) {
+            error = Status::ioError(
+                inbuf.empty() ? "wire connection closed by peer"
+                              : "wire connection closed mid-frame");
+            return FrameDecode::Corrupt;
+        }
+        if (!progressed)
+            return FrameDecode::NeedMore;
+    }
+}
+
+WireListener::~WireListener()
+{
+    close();
+}
+
+WireListener::WireListener(WireListener &&other) noexcept
+    : sock(other.sock), sockPath(std::move(other.sockPath))
+{
+    other.sock = -1;
+}
+
+WireListener &
+WireListener::operator=(WireListener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        sock = other.sock;
+        sockPath = std::move(other.sockPath);
+        other.sock = -1;
+    }
+    return *this;
+}
+
+void
+WireListener::close()
+{
+    if (sock >= 0) {
+        ::close(sock);
+        sock = -1;
+        if (!sockPath.empty())
+            ::unlink(sockPath.c_str());
+    }
+}
+
+StatusOr<WireListener>
+WireListener::bind(const std::string &path)
+{
+    struct sockaddr_un addr = {};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        return Status::invalidArgument(path +
+                                       ": socket path too long");
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return Status::ioError(path + ": socket: " + errnoText());
+    // A stale socket file from a killed predecessor would make bind
+    // fail with EADDRINUSE; nothing can be listening on it (we were
+    // just asked to), so replace it.
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        const Status bad =
+            Status::ioError(path + ": bind: " + errnoText());
+        ::close(fd);
+        return bad;
+    }
+    if (::listen(fd, 64) < 0) {
+        const Status bad =
+            Status::ioError(path + ": listen: " + errnoText());
+        ::close(fd);
+        ::unlink(path.c_str());
+        return bad;
+    }
+    WireListener listener;
+    listener.sock = fd;
+    listener.sockPath = path;
+    return listener;
+}
+
+StatusOr<WireConn>
+WireListener::accept(uint64_t timeoutMs)
+{
+    if (sock < 0) {
+        return Status::failedPrecondition(
+            "accept on a closed wire listener");
+    }
+    const int64_t deadline =
+        timeoutMs > 0 ? steadyNowMs() + static_cast<int64_t>(timeoutMs)
+                      : -1;
+    for (;;) {
+        const int ready = waitFor(sock, POLLIN, deadline);
+        if (ready == 0) {
+            return Status::deadlineExceeded(
+                sockPath + ": no worker connected in time");
+        }
+        if (ready < 0) {
+            return Status::ioError(sockPath +
+                                   ": accept poll: " + errnoText());
+        }
+        const int fd = ::accept4(sock, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd >= 0)
+            return WireConn::adopt(fd);
+        if (errno == EINTR || errno == EAGAIN ||
+            errno == EWOULDBLOCK || errno == ECONNABORTED)
+            continue;
+        return Status::ioError(sockPath + ": accept: " + errnoText());
+    }
+}
+
+} // namespace mhp

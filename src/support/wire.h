@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Length-prefixed, CRC-framed message transport over Unix domain
+ * sockets — the substrate of the distributed sweep protocol (see
+ * docs/DISTRIBUTED.md).
+ *
+ * A frame on the wire is
+ *
+ *     | length u32 LE | type u8 | payload bytes | crc32 u32 LE |
+ *
+ * where `length` counts the type byte plus the payload, and the CRC
+ * covers exactly those bytes. Framing is split from socket I/O on
+ * purpose: encodeFrame()/decodeFrame() work on plain byte buffers, so
+ * the corruption corpus (tests/support/test_wire.cc) can feed the
+ * decoder truncated frames, flipped bits, oversized lengths, and
+ * interleaved garbage without a socket in sight — a malformed frame is
+ * always a one-line CorruptData Status, never a crash or a hang.
+ *
+ * WireConn/WireListener wrap the sockets with the same Status
+ * discipline as every other untrusted-input path: timeouts everywhere
+ * (a peer that stops talking is an IoError, not a hang), EINTR-safe
+ * loops, EPIPE folded into Status (SIGPIPE is suppressed per send),
+ * and failpoint sites (`wire.send.eio`, `wire.recv.eio`) so tests can
+ * sever a healthy connection deterministically.
+ */
+
+#ifndef MHP_SUPPORT_WIRE_H
+#define MHP_SUPPORT_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace mhp {
+
+/** Hard bound on a frame's (type + payload) length: 64 MiB. */
+constexpr uint32_t kWireMaxFrameLength = 64u << 20;
+
+/** Bytes of framing around a payload: length(4) + type(1) + crc(4). */
+constexpr size_t kWireFrameOverhead = 9;
+
+/** One decoded protocol frame. */
+struct WireFrame
+{
+    uint8_t type = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Append the framed encoding of (type, payload) to `out`. */
+void encodeFrame(uint8_t type, const uint8_t *payload,
+                 size_t payloadSize, std::vector<uint8_t> &out);
+
+/** Outcome of one decodeFrame() attempt. */
+enum class FrameDecode
+{
+    Frame,    ///< a complete frame was decoded and consumed
+    NeedMore, ///< the buffer holds only a prefix of a frame
+    Corrupt,  ///< the bytes cannot be a frame (see the Status)
+};
+
+/**
+ * Try to decode one frame from the front of [data, data+size).
+ *
+ * On Frame: `frame` is filled and `consumed` is the bytes to drop.
+ * On NeedMore: nothing is consumed; read more bytes and retry.
+ * On Corrupt: `error` holds a one-line CorruptData diagnostic
+ * (oversized length, CRC mismatch). A decoder loop must treat Corrupt
+ * as fatal for the connection — after a bad CRC there is no way to
+ * resynchronize a stream.
+ */
+FrameDecode decodeFrame(const uint8_t *data, size_t size,
+                        WireFrame &frame, size_t &consumed,
+                        Status &error);
+
+/**
+ * A connected Unix-domain stream socket carrying wire frames.
+ * Movable, not copyable; the destructor closes the descriptor.
+ */
+class WireConn
+{
+  public:
+    WireConn() = default;
+    ~WireConn();
+
+    WireConn(WireConn &&other) noexcept;
+    WireConn &operator=(WireConn &&other) noexcept;
+    WireConn(const WireConn &) = delete;
+    WireConn &operator=(const WireConn &) = delete;
+
+    /**
+     * Connect to the Unix socket at `path`. NotFound when nothing
+     * listens there; IoError for other socket failures.
+     */
+    static StatusOr<WireConn> connect(const std::string &path);
+
+    /** Adopt an already-connected descriptor (accept side). */
+    static WireConn adopt(int fd);
+
+    bool valid() const { return sock >= 0; }
+    int fd() const { return sock; }
+
+    /** Close now (idempotent); further I/O fails FailedPrecondition. */
+    void close();
+
+    /**
+     * Frame and send one message, blocking until fully written or
+     * `timeoutMs` elapses (0 = wait forever). Short windows where the
+     * peer's buffer is full are absorbed by poll(); a dead peer is an
+     * IoError naming the socket.
+     */
+    Status send(uint8_t type, const ByteBuffer &payload,
+                uint64_t timeoutMs = 0);
+
+    /**
+     * Receive one complete frame, blocking up to `timeoutMs`
+     * milliseconds (0 = wait forever). DeadlineExceeded on timeout,
+     * IoError on EOF/reset mid-frame, CorruptData on framing damage.
+     */
+    Status recv(WireFrame &frame, uint64_t timeoutMs);
+
+    /**
+     * Nonblocking variant: decode a frame from bytes already
+     * buffered, reading whatever the socket has without waiting.
+     * Returns Frame/NeedMore/Corrupt like decodeFrame(); EOF or a
+     * socket error surfaces as Corrupt with an IoError Status.
+     */
+    FrameDecode poll(WireFrame &frame, Status &error);
+
+  private:
+    /** Drain readable bytes into inbuf; false + status on EOF/error. */
+    Status fill(bool &progressed, bool &eof);
+
+    int sock = -1;
+    std::vector<uint8_t> inbuf;
+};
+
+/** A bound + listening Unix-domain socket accepting WireConns. */
+class WireListener
+{
+  public:
+    WireListener() = default;
+    ~WireListener();
+
+    WireListener(WireListener &&other) noexcept;
+    WireListener &operator=(WireListener &&other) noexcept;
+    WireListener(const WireListener &) = delete;
+    WireListener &operator=(const WireListener &) = delete;
+
+    /**
+     * Bind and listen on `path`, replacing any stale socket file left
+     * by a crashed predecessor. InvalidArgument when the path exceeds
+     * sockaddr_un limits; IoError otherwise.
+     */
+    static StatusOr<WireListener> bind(const std::string &path);
+
+    bool valid() const { return sock >= 0; }
+    int fd() const { return sock; }
+    const std::string &path() const { return sockPath; }
+
+    /**
+     * Accept one connection, waiting up to `timeoutMs` (0 = forever).
+     * DeadlineExceeded on timeout.
+     */
+    StatusOr<WireConn> accept(uint64_t timeoutMs);
+
+    /** Close and unlink the socket file (idempotent). */
+    void close();
+
+  private:
+    int sock = -1;
+    std::string sockPath;
+};
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_WIRE_H

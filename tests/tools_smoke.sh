@@ -140,4 +140,51 @@ expect_exit 3 "$TOOLS/mhprof_run" --benchmark=li --intervals=2 \
 grep -q "quarantined" "$TMP/err.out" || {
     echo "FAIL: quarantine diagnostic missing"; exit 1; }
 
+# --- distributed coordinator / worker exit codes ---------------------
+# Same contract, extended (docs/DISTRIBUTED.md): mhprof_worker exits 1
+# for usage/connect errors and 4 when it loses its coordinator;
+# mhprof_coord exits 3 when the sweep completes with quarantined
+# cells, even when every cell is quarantined.
+
+# A worker pointed at nothing: exit 1, diagnostic names the socket.
+expect_exit 1 "$TOOLS/mhprof_worker" --connect="$TMP/no-such.sock"
+grep -q "no-such.sock" "$TMP/err.out" || {
+    echo "FAIL: worker connect error does not name the socket";
+    cat "$TMP/err.out"; exit 1; }
+expect_exit 1 "$TOOLS/mhprof_worker"
+
+# Coordinator usage errors: no plan source, malformed sweep lengths,
+# malformed failpoint spec.
+expect_exit 1 "$TOOLS/mhprof_coord" --sweep-lengths=1000
+expect_exit 1 "$TOOLS/mhprof_coord" --benchmark=li \
+    --sweep-lengths=10,banana
+expect_exit 1 "$TOOLS/mhprof_coord" --benchmark=li \
+    --sweep-lengths=1000 --failpoints='x='
+
+# A corrupt checkpoint (not our magic) must be refused, not clobbered.
+printf 'this is the user file, not a checkpoint' > "$TMP/user.txt"
+expect_exit 1 "$TOOLS/mhprof_coord" --benchmark=li --intervals=2 \
+    --entries=512 --sweep-lengths=1000 --workers=1 \
+    --checkpoint="$TMP/user.txt"
+grep -q "user.txt" "$TMP/err.out" || {
+    echo "FAIL: corrupt-checkpoint diagnostic does not name the file";
+    cat "$TMP/err.out"; exit 1; }
+grep -q "user file" "$TMP/user.txt" || {
+    echo "FAIL: coordinator clobbered a non-checkpoint file"; exit 1; }
+
+# Quarantine-only completion: every cell fails every attempt on every
+# worker, yet the sweep completes with exit 3 — and identically under
+# the in-process engine.
+expect_exit 3 "$TOOLS/mhprof_coord" --workers=2 \
+    --socket="$TMP/q.sock" --benchmark=li --intervals=2 \
+    --entries=512 --sweep-lengths=1000,2000 --retries=0 \
+    --failpoints='sweep.cell.compute=*'
+cp "$TMP/err.out" "$TMP/qdist.err"
+expect_exit 3 "$TOOLS/mhprof_coord" --serial --benchmark=li \
+    --intervals=2 --entries=512 --sweep-lengths=1000,2000 \
+    --retries=0 --failpoints='sweep.cell.compute=*'
+cmp -s "$TMP/err.out" "$TMP/qdist.err" || {
+    echo "FAIL: quarantine-only diagnostics differ between serial "\
+"and distributed:"; diff "$TMP/err.out" "$TMP/qdist.err"; exit 1; }
+
 echo "tools smoke test passed"

@@ -38,7 +38,9 @@
 
 #include "analysis/interval_runner.h"
 #include "analysis/profile_io.h"
+#include "analysis/sweep_distributed.h"
 #include "analysis/sweep_runner.h"
+#include "analysis/sweep_text.h"
 #include "core/factory.h"
 #include "support/cancel.h"
 #include "support/cli.h"
@@ -137,8 +139,25 @@ runSweep(const mhp::CliParser &cli, const mhp::ProfilerConfig &cfg,
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
-    SweepRunner runner(std::move(plan));
-    StatusOr<SweepReport> swept = runner.runResilient(options);
+    // --distributed=N delegates the same plan and resilience knobs to
+    // the multi-process coordinator (spawning N mhprof_worker
+    // binaries found next to this executable); stdout stays
+    // bit-identical because both paths share the report renderer.
+    const unsigned distributed =
+        static_cast<unsigned>(cli.getInt("distributed"));
+    StatusOr<SweepReport> swept = [&]() -> StatusOr<SweepReport> {
+        if (distributed == 0) {
+            SweepRunner runner(std::move(plan));
+            return runner.runResilient(options);
+        }
+        DistributedSweepOptions dist;
+        dist.workers = distributed;
+        dist.resilience = options;
+        dist.failpointSpec = cli.getString("failpoints");
+        dist.failpointSeed =
+            static_cast<uint64_t>(cli.getInt("failpoint-seed"));
+        return runDistributedSweep(plan, dist);
+    }();
     if (!swept.isOk()) {
         std::fprintf(stderr, "mhprof_run: %s\n",
                      swept.status().toString().c_str());
@@ -149,28 +168,13 @@ runSweep(const mhp::CliParser &cli, const mhp::ProfilerConfig &cfg,
     // Quarantine lines are diagnostics (stderr) and, when asked for,
     // a machine-readable report file — never part of stdout, which
     // stays reserved for the result table.
-    for (const QuarantinedCell &q : report.quarantined) {
-        std::fprintf(stderr,
-                     "mhprof_run: quarantined cell %llu (%s %s "
-                     "len=%llu) after %u attempts: %s\n",
-                     static_cast<unsigned long long>(q.cellIndex),
-                     q.benchmark.c_str(), q.configLabel.c_str(),
-                     static_cast<unsigned long long>(q.intervalLength),
-                     q.attempts, q.status.toString().c_str());
-    }
+    printQuarantineDiagnostics("mhprof_run", report);
     const std::string reportPath = cli.getString("quarantine-report");
-    if (!reportPath.empty()) {
-        std::ofstream rep(reportPath, std::ios::trunc);
-        for (const QuarantinedCell &q : report.quarantined) {
-            rep << q.cellIndex << '\t' << q.benchmark << '\t'
-                << q.configLabel << '\t' << q.intervalLength << '\t'
-                << q.attempts << '\t' << q.status.toString() << '\n';
-        }
-        if (!rep) {
-            std::fprintf(stderr, "mhprof_run: cannot write %s\n",
-                         reportPath.c_str());
-            return 1;
-        }
+    if (!reportPath.empty() &&
+        !writeQuarantineReport(reportPath, report)) {
+        std::fprintf(stderr, "mhprof_run: cannot write %s\n",
+                     reportPath.c_str());
+        return 1;
     }
 
     if (report.interrupted) {
@@ -182,7 +186,7 @@ runSweep(const mhp::CliParser &cli, const mhp::ProfilerConfig &cfg,
                      sig,
                      static_cast<unsigned long long>(
                          report.completedCells),
-                     runner.cellCount(),
+                     report.results.size(),
                      options.checkpointPath.empty() ? " (none)" : "");
         return sig > 0 ? 128 + sig : 130;
     }
@@ -190,23 +194,7 @@ runSweep(const mhp::CliParser &cli, const mhp::ProfilerConfig &cfg,
     // The table is printed only from a finished report, so an
     // interrupted-and-resumed sweep emits stdout bit-identical to an
     // uninterrupted one.
-    bool quarantined = false;
-    for (size_t cell = 0; cell < report.results.size(); ++cell) {
-        const SweepCellResult &r = report.results[cell];
-        if (r.run.profilerName.empty()) {
-            quarantined = true;
-            continue;
-        }
-        std::printf("%s %s len=%llu: %llu intervals, avg error "
-                    "%.4f%%, %.1f candidates/interval\n",
-                    r.benchmark.c_str(), r.configLabel.c_str(),
-                    static_cast<unsigned long long>(r.intervalLength),
-                    static_cast<unsigned long long>(
-                        r.intervalsCompleted),
-                    r.run.averageErrorPercent(),
-                    r.run.meanHardwareCandidates());
-    }
-    return quarantined ? 3 : 0;
+    return printSweepTable(report) ? 3 : 0;
 }
 
 } // namespace
@@ -251,6 +239,9 @@ main(int argc, char **argv)
                "sweep: base retry backoff in ms (0 = immediate)");
     cli.addString("quarantine-report", "",
                   "sweep: write quarantined cells to this file");
+    cli.addInt("distributed", 0,
+               "sweep: run across this many mhprof_worker processes "
+               "(0 = in-process)");
     cli.addString("failpoints", "",
                   "failpoint spec, e.g. profile.write.enospc=2 "
                   "(see docs/ROBUSTNESS.md)");
@@ -283,11 +274,11 @@ main(int argc, char **argv)
     if (cli.getInt("intervals") < 0 || cli.getInt("batch") < 0 ||
         cli.getInt("threads") < 0 || cli.getInt("retries") < 0 ||
         cli.getInt("cell-deadline-ms") < 0 ||
-        cli.getInt("backoff-ms") < 0) {
+        cli.getInt("backoff-ms") < 0 || cli.getInt("distributed") < 0) {
         std::fprintf(stderr,
                      "--intervals, --batch, --threads, --retries, "
-                     "--cell-deadline-ms and --backoff-ms must be "
-                     ">= 0\n");
+                     "--cell-deadline-ms, --backoff-ms and "
+                     "--distributed must be >= 0\n");
         return 1;
     }
 

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * mhprof_worker — one worker process of a distributed sweep.
+ *
+ * Connects to an mhprof_coord socket, receives the plan envelope,
+ * verifies it reproduces the coordinator's world (protocol version,
+ * trace fingerprint, plan fingerprint), then pulls cell-range leases
+ * and streams back per-cell results until told to shut down. Normally
+ * spawned by mhprof_coord --workers, but can be started by hand (or
+ * on another terminal) against a coordinator running with
+ * --accept-external:
+ *
+ *   mhprof_worker --connect=/tmp/mhprof-coord.sock
+ *
+ * Exit codes (see docs/DISTRIBUTED.md): 0 clean shutdown; 1 usage
+ * error, connect failure, or a malformed/mismatched plan; 4 the
+ * coordinator vanished mid-run (EOF, reset, idle timeout) — distinct
+ * so a kill-matrix can tell orphaned workers from usage errors.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/sweep_distributed.h"
+#include "support/cli.h"
+#include "support/status.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("distributed-sweep worker: connect to an "
+                  "mhprof_coord socket and compute leased cells "
+                  "(exit codes: 0 ok, 1 error, 4 coordinator lost)");
+    cli.addString("connect", "", "coordinator Unix socket path");
+    cli.addInt("heartbeat-ms", 500, "liveness heartbeat period");
+    cli.addInt("connect-retry-ms", 0,
+               "keep retrying the initial connect for this long");
+    cli.addInt("io-timeout-ms", 120'000,
+               "give up after this long with no coordinator frame");
+    cli.parse(argc, argv);
+
+    if (cli.getInt("heartbeat-ms") <= 0 ||
+        cli.getInt("connect-retry-ms") < 0 ||
+        cli.getInt("io-timeout-ms") <= 0) {
+        std::fprintf(stderr,
+                     "mhprof_worker: --heartbeat-ms and "
+                     "--io-timeout-ms must be > 0, "
+                     "--connect-retry-ms >= 0\n");
+        return 1;
+    }
+
+    SweepWorkerOptions options;
+    options.socketPath = cli.getString("connect");
+    options.heartbeatMs =
+        static_cast<uint64_t>(cli.getInt("heartbeat-ms"));
+    options.connectRetryMs =
+        static_cast<uint64_t>(cli.getInt("connect-retry-ms"));
+    options.ioTimeoutMs =
+        static_cast<uint64_t>(cli.getInt("io-timeout-ms"));
+
+    const Status status = runSweepWorker(options);
+    if (status.isOk())
+        return 0;
+    std::fprintf(stderr, "mhprof_worker: %s\n",
+                 status.toString().c_str());
+    const bool lost = status.code() == StatusCode::IoError &&
+                      status.message().rfind("lost coordinator", 0) == 0;
+    return lost ? 4 : 1;
+}
