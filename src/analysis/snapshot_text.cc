@@ -1,0 +1,108 @@
+#include "analysis/snapshot_text.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "trace/tuple.h"
+
+namespace mhp {
+
+IntervalSnapshot
+applySnapshotQuery(const IntervalSnapshot &snapshot, const Query &query,
+                   uint64_t top)
+{
+    std::unordered_map<Tuple, uint64_t, TupleHash> groups;
+    for (const CandidateCount &c : snapshot) {
+        if (!query.matches(c.tuple))
+            continue;
+        Tuple key = c.tuple;
+        switch (query.groupBy) {
+          case QueryGroupBy::WholeTuple:
+            break;
+          case QueryGroupBy::First:
+            key.second = 0;
+            break;
+          case QueryGroupBy::Second:
+            key.first = 0;
+            break;
+        }
+        groups[key] += c.count;
+    }
+
+    IntervalSnapshot result;
+    result.reserve(groups.size());
+    for (const auto &[tuple, count] : groups)
+        result.push_back({tuple, count});
+    canonicalize(result);
+    if (top != 0 && result.size() > top)
+        result.resize(static_cast<size_t>(top));
+    return result;
+}
+
+std::string
+renderCandidateLines(const IntervalSnapshot &snapshot, uint64_t top)
+{
+    std::string out;
+    uint64_t shown = 0;
+    for (const CandidateCount &c : snapshot) {
+        if (top != 0 && shown == top)
+            break;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "  %s %llu\n",
+                      c.tuple.toString().c_str(),
+                      static_cast<unsigned long long>(c.count));
+        out += buf;
+        ++shown;
+    }
+    return out;
+}
+
+std::string
+renderSnapshotText(const std::string &title, uint64_t epoch,
+                   uint64_t intervals, const IntervalSnapshot &snapshot,
+                   uint64_t top)
+{
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "%s epoch %llu intervals %llu candidates %llu\n",
+                  title.c_str(), static_cast<unsigned long long>(epoch),
+                  static_cast<unsigned long long>(intervals),
+                  static_cast<unsigned long long>(snapshot.size()));
+    return head + renderCandidateLines(snapshot, top);
+}
+
+std::string
+renderTenantStatsTable(const std::vector<TenantStatsRow> &rows)
+{
+    std::string out = "id tenant state priority arrived accepted "
+                      "ingested intervals dropped queue rate quota "
+                      "shed quarantine pushbacks strikes epoch "
+                      "memory\n";
+    for (const TenantStatsRow &r : rows) {
+        char buf[352];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%llu %s %s %u %llu %llu %llu %llu %llu %llu %llu %llu "
+            "%llu %llu %llu %llu %llu %llu\n",
+            static_cast<unsigned long long>(r.id), r.name.c_str(),
+            r.state.c_str(), r.priority,
+            static_cast<unsigned long long>(r.arrived),
+            static_cast<unsigned long long>(r.accepted),
+            static_cast<unsigned long long>(r.ingested),
+            static_cast<unsigned long long>(r.intervals),
+            static_cast<unsigned long long>(r.dropped()),
+            static_cast<unsigned long long>(r.droppedQueueFull),
+            static_cast<unsigned long long>(r.droppedRate),
+            static_cast<unsigned long long>(r.droppedQuota),
+            static_cast<unsigned long long>(r.droppedShed),
+            static_cast<unsigned long long>(r.droppedQuarantine),
+            static_cast<unsigned long long>(r.pushbacks),
+            static_cast<unsigned long long>(r.poisonStrikes),
+            static_cast<unsigned long long>(r.epoch),
+            static_cast<unsigned long long>(r.memoryBytes));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace mhp

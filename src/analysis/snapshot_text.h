@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Snapshot query evaluation and text rendering shared by the
+ * profiling service (mhprofd / mhprof_client) and offline tools.
+ *
+ * The service's read side answers candidate queries with the same
+ * filter + group-by + count program the query co-processor runs in
+ * hardware (core/query_coprocessor.h) — applySnapshotQuery() is that
+ * program evaluated over an already-captured interval snapshot, so a
+ * client can ask "per-PC totals over the published candidates" with
+ * the exact Query struct the co-processor model uses.
+ *
+ * The render helpers produce the stable text formats the smoke tests
+ * grep: one candidate per line, and the per-tenant stats table whose
+ * columns account for every accepted, dropped, shed, and quarantined
+ * event (docs/SERVICE.md).
+ */
+
+#ifndef MHP_ANALYSIS_SNAPSHOT_TEXT_H
+#define MHP_ANALYSIS_SNAPSHOT_TEXT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/query_coprocessor.h"
+
+namespace mhp {
+
+/**
+ * Evaluate a query program over a snapshot's candidates: keep the
+ * candidates the filter passes, group them by the query's key, sum
+ * the counts per group, and return the groups in canonical snapshot
+ * order. `top` keeps only the heaviest `top` groups (0 = all).
+ */
+IntervalSnapshot applySnapshotQuery(const IntervalSnapshot &snapshot,
+                                    const Query &query, uint64_t top = 0);
+
+/** "  <a, b> count\n" per candidate; at most `top` lines (0 = all). */
+std::string renderCandidateLines(const IntervalSnapshot &snapshot,
+                                 uint64_t top = 0);
+
+/**
+ * A titled snapshot block: one header line carrying the epoch and
+ * interval provenance, then the candidate lines.
+ */
+std::string renderSnapshotText(const std::string &title, uint64_t epoch,
+                               uint64_t intervals,
+                               const IntervalSnapshot &snapshot,
+                               uint64_t top = 0);
+
+/**
+ * One tenant's accounting as reported by the service: every arrival
+ * is either accepted or attributed to exactly one drop reason, so
+ * arrived == accepted + dropped() always holds (asserted by
+ * tests/service/test_service_overload).
+ */
+struct TenantStatsRow
+{
+    uint64_t id = 0;
+    std::string name;
+    std::string state; ///< "active" / "shed" / "quarantined" / "closed"
+    uint32_t priority = 0;
+
+    uint64_t arrived = 0;   ///< events offered by the client
+    uint64_t accepted = 0;  ///< events admitted to the ingest queue
+    uint64_t ingested = 0;  ///< events the profiler has consumed
+    uint64_t intervals = 0; ///< completed profile intervals
+
+    uint64_t droppedQueueFull = 0;  ///< bounded-queue overflow
+    uint64_t droppedRate = 0;       ///< per-tenant byte-rate quota
+    uint64_t droppedQuota = 0;      ///< interval/memory quota reached
+    uint64_t droppedShed = 0;       ///< tenant shed under pressure
+    uint64_t droppedQuarantine = 0; ///< tenant quarantined (poison)
+
+    uint64_t pushbacks = 0;     ///< explicit backpressure replies sent
+    uint64_t poisonStrikes = 0; ///< ingest failures observed
+    uint64_t epoch = 0;         ///< latest published snapshot epoch
+    uint64_t memoryBytes = 0;   ///< live footprint charged to budget
+
+    uint64_t
+    dropped() const
+    {
+        return droppedQueueFull + droppedRate + droppedQuota +
+               droppedShed + droppedQuarantine;
+    }
+};
+
+/** Aligned per-tenant stats table with a header row. */
+std::string
+renderTenantStatsTable(const std::vector<TenantStatsRow> &rows);
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_SNAPSHOT_TEXT_H

@@ -1,0 +1,106 @@
+#include "service/registry.h"
+
+namespace mhp {
+namespace {
+
+bool
+nameChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+} // namespace
+
+Status
+checkTenantName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return Status::invalidArgument(
+            "tenant name must be 1-64 characters");
+    for (char c : name)
+        if (!nameChar(c))
+            return Status::invalidArgument(
+                "tenant name '" + name +
+                "' has characters outside [A-Za-z0-9_-]");
+    return Status::ok();
+}
+
+StatusOr<TenantSession *>
+TenantRegistry::create(const std::string &name, ProfileKind kind,
+                       const ProfilerConfig &config,
+                       const TenantQuota &quota)
+{
+    MHP_RETURN_IF_ERROR(checkTenantName(name));
+    MHP_RETURN_IF_ERROR(config.check());
+    if (ids.contains(name))
+        return Status::failedPrecondition(
+            "tenant '" + name + "' already exists");
+
+    const uint64_t id = sessions.size();
+    sessions.push_back(std::make_unique<TenantSession>(
+        id, name, kind, config, quota));
+    ids.emplace(name, id);
+    return sessions.back().get();
+}
+
+TenantSession *
+TenantRegistry::byName(const std::string &name)
+{
+    const auto it = ids.find(name);
+    return it == ids.end() ? nullptr : sessions[it->second].get();
+}
+
+TenantSession *
+TenantRegistry::byId(uint64_t id)
+{
+    return id < sessions.size() ? sessions[id].get() : nullptr;
+}
+
+const TenantSession *
+TenantRegistry::byId(uint64_t id) const
+{
+    return id < sessions.size() ? sessions[id].get() : nullptr;
+}
+
+std::vector<TenantSession *>
+TenantRegistry::active()
+{
+    std::vector<TenantSession *> out;
+    for (const auto &session : sessions)
+        if (session->state() == TenantState::Active)
+            out.push_back(session.get());
+    return out;
+}
+
+std::vector<const TenantSession *>
+TenantRegistry::all() const
+{
+    std::vector<const TenantSession *> out;
+    out.reserve(sessions.size());
+    for (const auto &session : sessions)
+        out.push_back(session.get());
+    return out;
+}
+
+uint64_t
+TenantRegistry::totalMemoryBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &session : sessions)
+        if (session->state() == TenantState::Active)
+            total += session->memoryBytes();
+    return total;
+}
+
+size_t
+TenantRegistry::activeCount() const
+{
+    size_t n = 0;
+    for (const auto &session : sessions)
+        if (session->state() == TenantState::Active)
+            ++n;
+    return n;
+}
+
+} // namespace mhp

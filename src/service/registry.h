@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tenant registry: name → session mapping with validated identities.
+ *
+ * Tenant names become snapshot filenames (`<dir>/<name>.mhp`) and
+ * appear verbatim in logs and stats tables, so they are validated on
+ * creation: 1–64 characters of [A-Za-z0-9_-] only. A hostile client
+ * cannot traverse paths or inject log noise through its name.
+ *
+ * Sessions are never destroyed while the daemon runs — a shed or
+ * quarantined tenant keeps its id, counters, and state reason so the
+ * stats table accounts for every decision ever made. Only Active
+ * sessions charge the global memory budget.
+ */
+
+#ifndef MHP_SERVICE_REGISTRY_H
+#define MHP_SERVICE_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/tenant.h"
+#include "support/status.h"
+
+namespace mhp {
+
+/** Validate a tenant name (filename-safe identity). */
+Status checkTenantName(const std::string &name);
+
+/** Owns every tenant session; ids are assigned densely from 0. */
+class TenantRegistry
+{
+  public:
+    /**
+     * Create a new Active session for `name`. InvalidArgument on a
+     * malformed name or a config that fails check();
+     * FailedPrecondition when the name is already registered.
+     */
+    StatusOr<TenantSession *> create(const std::string &name,
+                                     ProfileKind kind,
+                                     const ProfilerConfig &config,
+                                     const TenantQuota &quota);
+
+    /** Look up by name; null when unknown. */
+    TenantSession *byName(const std::string &name);
+
+    /** Look up by id; null when out of range. */
+    TenantSession *byId(uint64_t id);
+    const TenantSession *byId(uint64_t id) const;
+
+    /** Every Active session, in id order. */
+    std::vector<TenantSession *> active();
+
+    /** Every session (any state), in id order. */
+    std::vector<const TenantSession *> all() const;
+
+    /** Bytes charged to the global budget (Active sessions only). */
+    uint64_t totalMemoryBytes() const;
+
+    size_t size() const { return sessions.size(); }
+    size_t activeCount() const;
+
+  private:
+    std::vector<std::unique_ptr<TenantSession>> sessions;
+    std::unordered_map<std::string, uint64_t> ids;
+};
+
+} // namespace mhp
+
+#endif // MHP_SERVICE_REGISTRY_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The daemon's read side: the latest published interval snapshot per
+ * tenant, versioned by a monotonically increasing epoch.
+ *
+ * Tenant sessions publish into the store every time they close an
+ * interval; queries read from it without ever touching ingest state,
+ * so a slow or hostile reader cannot stall the write path. Each
+ * publication bumps a global epoch, giving clients a total order to
+ * reason about staleness ("this answer reflects publication #42").
+ *
+ * Query evaluation reuses the query co-processor's program shape
+ * (core/query_coprocessor.h) via applySnapshotQuery() — the service
+ * answers the same filter/group-by/count questions the paper's
+ * programmable co-processor runs in hardware, but over captured
+ * candidates instead of the raw event stream.
+ */
+
+#ifndef MHP_SERVICE_SNAPSHOT_STORE_H
+#define MHP_SERVICE_SNAPSHOT_STORE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "analysis/snapshot_text.h"
+#include "core/profiler.h"
+#include "core/query_coprocessor.h"
+
+namespace mhp {
+
+/** One tenant's latest published snapshot plus its provenance. */
+struct PublishedSnapshot
+{
+    uint64_t epoch = 0;     ///< global publication sequence number
+    uint64_t intervals = 0; ///< completed intervals at publication
+    IntervalSnapshot candidates;
+};
+
+/** Latest-snapshot-per-tenant store with a global publication epoch. */
+class EpochSnapshotStore
+{
+  public:
+    /** Replace tenant's published snapshot; bumps the global epoch. */
+    void
+    publish(uint64_t tenantId, uint64_t intervals,
+            const IntervalSnapshot &candidates)
+    {
+        PublishedSnapshot &slot = latest[tenantId];
+        slot.epoch = ++epochCounter;
+        slot.intervals = intervals;
+        slot.candidates = candidates;
+    }
+
+    /** The tenant's latest publication, if it has ever published. */
+    std::optional<PublishedSnapshot>
+    read(uint64_t tenantId) const
+    {
+        const auto it = latest.find(tenantId);
+        if (it == latest.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /**
+     * Run a query program over the tenant's latest publication. The
+     * returned snapshot keeps the publication's epoch and interval
+     * count so the client knows exactly which state it queried.
+     */
+    std::optional<PublishedSnapshot>
+    query(uint64_t tenantId, const Query &program, uint64_t top) const
+    {
+        std::optional<PublishedSnapshot> base = read(tenantId);
+        if (!base)
+            return std::nullopt;
+        base->candidates =
+            applySnapshotQuery(base->candidates, program, top);
+        return base;
+    }
+
+    /** Latest epoch published for the tenant (0 = never). */
+    uint64_t
+    epochOf(uint64_t tenantId) const
+    {
+        const auto it = latest.find(tenantId);
+        return it == latest.end() ? 0 : it->second.epoch;
+    }
+
+    /** Forget a tenant's publication (shed/evicted tenants). */
+    void evict(uint64_t tenantId) { latest.erase(tenantId); }
+
+    /** The global epoch: total publications so far. */
+    uint64_t epoch() const { return epochCounter; }
+
+    size_t size() const { return latest.size(); }
+
+  private:
+    uint64_t epochCounter = 0;
+    std::unordered_map<uint64_t, PublishedSnapshot> latest;
+};
+
+} // namespace mhp
+
+#endif // MHP_SERVICE_SNAPSHOT_STORE_H

@@ -1,0 +1,317 @@
+#include "service/tenant.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/profile_io.h"
+#include "core/factory.h"
+#include "support/failpoint.h"
+
+namespace mhp {
+namespace {
+
+/** Wire/accounting size of one profiling event. */
+constexpr uint64_t kBytesPerEvent = sizeof(Tuple);
+
+/** Pushback watermark: queue at or above 3/4 full asks for backoff. */
+bool
+nearlyFull(uint64_t queued, uint64_t capacity)
+{
+    return queued * 4 >= capacity * 3;
+}
+
+} // namespace
+
+const char *
+tenantStateName(TenantState state)
+{
+    switch (state) {
+      case TenantState::Active: return "active";
+      case TenantState::Shed: return "shed";
+      case TenantState::Quarantined: return "quarantined";
+      case TenantState::Closed: return "closed";
+    }
+    return "?";
+}
+
+TenantSession::TenantSession(uint64_t id, std::string name,
+                             ProfileKind kind,
+                             const ProfilerConfig &config,
+                             const TenantQuota &quota)
+    : tenantId(id), tenantName(std::move(name)), profileKind(kind),
+      profilerConfig(config), limits(quota),
+      profiler(makeProfiler(config)),
+      profilerArea(profiler->areaBytes()),
+      rateTokens(quota.maxBytesPerSec)
+{
+}
+
+TenantSession::Offer
+TenantSession::offer(TupleSpan events, uint64_t nowMs)
+{
+    Offer result;
+    const uint64_t n = events.size();
+    stats.arrived += n;
+
+    if (lifecycle != TenantState::Active) {
+        if (lifecycle == TenantState::Quarantined)
+            stats.droppedQuarantine += n;
+        else
+            stats.droppedShed += n;
+        result.dropped = n;
+        result.pushback = true;
+        result.reason = std::string("tenant '") + tenantName + "' is " +
+                        tenantStateName(lifecycle) + ": " + reason;
+        ++stats.pushbacks;
+        return result;
+    }
+
+    if (!quotaReason.empty()) {
+        stats.droppedQuota += n;
+        result.dropped = n;
+        result.pushback = true;
+        result.reason = quotaReason;
+        ++stats.pushbacks;
+        return result;
+    }
+
+    // Byte-rate quota: a token bucket refilled from the caller's
+    // clock, with one second of burst capacity.
+    uint64_t allowed = n;
+    if (limits.maxBytesPerSec != 0) {
+        if (!rateStarted) {
+            rateStarted = true;
+            rateLastMs = nowMs;
+        } else if (nowMs > rateLastMs) {
+            const uint64_t refill =
+                (nowMs - rateLastMs) * limits.maxBytesPerSec / 1000;
+            rateTokens =
+                std::min(limits.maxBytesPerSec, rateTokens + refill);
+            rateLastMs = nowMs;
+        }
+        allowed = std::min(allowed, rateTokens / kBytesPerEvent);
+    }
+    const uint64_t rateDropped = n - allowed;
+    stats.droppedRate += rateDropped;
+
+    // Bounded queue: admission is all-or-counted, never unbounded.
+    const uint64_t queued = queuedEvents();
+    const uint64_t free =
+        queued >= limits.maxQueueEvents
+            ? 0
+            : limits.maxQueueEvents - queued;
+    const uint64_t take = std::min(allowed, free);
+    const uint64_t queueDropped = allowed - take;
+    stats.droppedQueueFull += queueDropped;
+
+    if (take > 0) {
+        queue.insert(queue.end(), events.begin(),
+                     events.begin() + static_cast<ptrdiff_t>(take));
+        stats.accepted += take;
+        if (limits.maxBytesPerSec != 0)
+            rateTokens -= take * kBytesPerEvent;
+    }
+
+    result.accepted = take;
+    result.dropped = rateDropped + queueDropped;
+    if (result.dropped > 0 ||
+        nearlyFull(queuedEvents(), limits.maxQueueEvents)) {
+        result.pushback = true;
+        ++stats.pushbacks;
+        char buf[192];
+        if (queueDropped > 0)
+            std::snprintf(buf, sizeof(buf),
+                          "tenant '%s' ingest queue full "
+                          "(%llu-event bound)",
+                          tenantName.c_str(),
+                          static_cast<unsigned long long>(
+                              limits.maxQueueEvents));
+        else if (rateDropped > 0)
+            std::snprintf(buf, sizeof(buf),
+                          "tenant '%s' over its %llu-byte/s rate "
+                          "quota",
+                          tenantName.c_str(),
+                          static_cast<unsigned long long>(
+                              limits.maxBytesPerSec));
+        else
+            std::snprintf(buf, sizeof(buf),
+                          "tenant '%s' ingest queue at %llu/%llu "
+                          "events",
+                          tenantName.c_str(),
+                          static_cast<unsigned long long>(
+                              queuedEvents()),
+                          static_cast<unsigned long long>(
+                              limits.maxQueueEvents));
+        result.reason = buf;
+    }
+    return result;
+}
+
+uint64_t
+TenantSession::drain(uint64_t maxEvents, unsigned strikesAllowed,
+                     EpochSnapshotStore *store)
+{
+    if (lifecycle != TenantState::Active)
+        return 0;
+
+    uint64_t processed = 0;
+    while (processed < maxEvents && queueHead < queue.size()) {
+        if (!quotaReason.empty()) {
+            // A quota tripped mid-queue: the remainder can never be
+            // ingested. Reclassify it from accepted to dropped so
+            // arrived == accepted + dropped() keeps holding.
+            const uint64_t rest = queuedEvents();
+            stats.droppedQuota += rest;
+            stats.accepted -= rest;
+            queueHead = queue.size();
+            break;
+        }
+
+        if (failpointsArmed() &&
+            failpointFires("service.tenant.ingest", tenantId,
+                           strikes)) {
+            ++strikes;
+            ++stats.poisonStrikes;
+            if (strikes >= strikesAllowed) {
+                char buf[128];
+                std::snprintf(buf, sizeof(buf),
+                              "%u consecutive ingest failures",
+                              strikes);
+                quarantine(buf);
+            }
+            return processed;
+        }
+
+        uint64_t chunk = std::min<uint64_t>(
+            maxEvents - processed, queue.size() - queueHead);
+        chunk = std::min(
+            chunk, profilerConfig.intervalLength - eventsInInterval);
+        profiler->onEvents(queue.data() + queueHead,
+                           static_cast<size_t>(chunk));
+        queueHead += static_cast<size_t>(chunk);
+        processed += chunk;
+        stats.ingested += chunk;
+        eventsInInterval += chunk;
+        strikes = 0; // a successful chunk ends the strike streak
+
+        if (eventsInInterval == profilerConfig.intervalLength)
+            closeInterval(store);
+    }
+
+    // Compact the consumed prefix once it dominates the vector.
+    if (queueHead > 4096 && queueHead * 2 >= queue.size()) {
+        queue.erase(queue.begin(),
+                    queue.begin() +
+                        static_cast<ptrdiff_t>(queueHead));
+        queueHead = 0;
+    }
+    return processed;
+}
+
+void
+TenantSession::closeInterval(EpochSnapshotStore *store)
+{
+    IntervalSnapshot snap = profiler->endInterval();
+    eventsInInterval = 0;
+    ++intervalsDone;
+    ++stats.intervals;
+    snapshotCandidates += snap.size();
+    if (store != nullptr)
+        store->publish(tenantId, intervalsDone, snap);
+    snapshots.push_back(std::move(snap));
+
+    if (limits.maxIntervals != 0 &&
+        intervalsDone >= limits.maxIntervals) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "tenant '%s' reached its %llu-interval quota",
+                      tenantName.c_str(),
+                      static_cast<unsigned long long>(
+                          limits.maxIntervals));
+        quotaReason = buf;
+    } else if (limits.maxMemoryBytes != 0 &&
+               memoryBytes() > limits.maxMemoryBytes) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "tenant '%s' exceeded its %llu-byte memory "
+                      "quota",
+                      tenantName.c_str(),
+                      static_cast<unsigned long long>(
+                          limits.maxMemoryBytes));
+        quotaReason = buf;
+    }
+}
+
+void
+TenantSession::quarantine(std::string why)
+{
+    lifecycle = TenantState::Quarantined;
+    reason = std::move(why);
+    stats.droppedQuarantine += queuedEvents();
+    stats.accepted -= queuedEvents();
+    releaseMemory();
+}
+
+void
+TenantSession::shed(std::string why)
+{
+    if (lifecycle != TenantState::Active)
+        return;
+    lifecycle = TenantState::Shed;
+    reason = std::move(why);
+    stats.droppedShed += queuedEvents();
+    stats.accepted -= queuedEvents();
+    releaseMemory();
+}
+
+void
+TenantSession::close(std::string why)
+{
+    if (lifecycle != TenantState::Active)
+        return;
+    lifecycle = TenantState::Closed;
+    reason = std::move(why);
+    stats.droppedShed += queuedEvents();
+    stats.accepted -= queuedEvents();
+    releaseMemory();
+}
+
+void
+TenantSession::releaseMemory()
+{
+    queue.clear();
+    queue.shrink_to_fit();
+    queueHead = 0;
+    snapshots.clear();
+    snapshots.shrink_to_fit();
+    snapshotCandidates = 0;
+    profiler.reset();
+    profilerArea = 0;
+}
+
+uint64_t
+TenantSession::memoryBytes() const
+{
+    return profilerArea + queuedEvents() * kBytesPerEvent +
+           snapshotCandidates * sizeof(CandidateCount);
+}
+
+Status
+TenantSession::flushDurable(const std::string &dir) const
+{
+    const std::string path = dir + "/" + tenantName + ".mhp";
+    if (failpointsArmed() &&
+        failpointFires("service.snapshot.enospc", tenantId))
+        return Status::ioError(
+            path + ": injected out-of-space failure (failpoint "
+                   "service.snapshot.enospc)");
+
+    ProfileWriter writer(path, profileKind,
+                         profilerConfig.intervalLength,
+                         profilerConfig.thresholdCount());
+    for (const IntervalSnapshot &snap : snapshots)
+        MHP_RETURN_IF_ERROR(writer.writeInterval(snap));
+    return writer.close();
+}
+
+} // namespace mhp

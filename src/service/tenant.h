@@ -1,0 +1,239 @@
+/**
+ * @file
+ * One tenant of the profiling service: a sharded profiler instance
+ * behind a bounded ingest queue, with per-tenant quotas and exact
+ * drop accounting.
+ *
+ * The robustness contract (docs/SERVICE.md):
+ *
+ *  - the ingest queue is *bounded* — when it is full, events are
+ *    dropped at admission and counted, never buffered without limit;
+ *  - every arrived event is either accepted or attributed to exactly
+ *    one drop reason (queue overflow, rate quota, interval/memory
+ *    quota, shed, quarantine), so arrived == accepted + dropped()
+ *    always holds;
+ *  - ingest failures (the `service.tenant.ingest` failpoint, keyed by
+ *    tenant id) strike the tenant; a strike streak past the allowance
+ *    quarantines *this tenant only* — the daemon and every other
+ *    tenant keep running;
+ *  - time never comes from the wall clock: offer() takes an explicit
+ *    `nowMs`, so rate-limiting decisions replay identically in tests.
+ *
+ * Interval semantics mirror runIntervalsStream() exactly: the
+ * profiler sees accepted events in arrival order, endInterval() fires
+ * precisely every intervalLength ingested events, and a partial
+ * trailing interval is discarded — so a drained tenant's .mhp file is
+ * byte-identical to an mhprof_run over the same accepted stream.
+ */
+
+#ifndef MHP_SERVICE_TENANT_H
+#define MHP_SERVICE_TENANT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/snapshot_text.h"
+#include "core/config.h"
+#include "core/profiler.h"
+#include "service/snapshot_store.h"
+#include "support/status.h"
+#include "trace/source.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** Per-tenant resource quotas; 0 means "no limit" where noted. */
+struct TenantQuota
+{
+    /** Shedding victim order: lower priority is shed first. */
+    uint32_t priority = 0;
+
+    /** Ingest-queue capacity in events (the backpressure bound). */
+    uint64_t maxQueueEvents = 65536;
+
+    /** Ingest byte-rate quota (16 bytes/event); 0 = unlimited. */
+    uint64_t maxBytesPerSec = 0;
+
+    /** Completed-interval quota; 0 = unlimited. */
+    uint64_t maxIntervals = 0;
+
+    /** Per-tenant memory quota in bytes; 0 = unlimited. */
+    uint64_t maxMemoryBytes = 0;
+};
+
+/** Lifecycle of a tenant session. */
+enum class TenantState : uint8_t
+{
+    Active,      ///< ingesting and serving queries
+    Shed,        ///< dropped under resource pressure (admission ctrl)
+    Quarantined, ///< isolated after repeated ingest failures
+    Closed,      ///< evicted after idle timeout / clean shutdown
+};
+
+/** Printable state name (matches TenantStatsRow::state). */
+const char *tenantStateName(TenantState state);
+
+/** Exact per-tenant event accounting (see TenantStatsRow). */
+struct TenantCounters
+{
+    uint64_t arrived = 0;
+    uint64_t accepted = 0;
+    uint64_t ingested = 0;
+    uint64_t intervals = 0;
+    uint64_t droppedQueueFull = 0;
+    uint64_t droppedRate = 0;
+    uint64_t droppedQuota = 0;
+    uint64_t droppedShed = 0;
+    uint64_t droppedQuarantine = 0;
+    uint64_t pushbacks = 0;
+    uint64_t poisonStrikes = 0;
+
+    uint64_t
+    dropped() const
+    {
+        return droppedQueueFull + droppedRate + droppedQuota +
+               droppedShed + droppedQuarantine;
+    }
+};
+
+/** One tenant: profiler + bounded queue + quotas + counters. */
+class TenantSession
+{
+  public:
+    /**
+     * Build the tenant's profiler from `config` (must have passed
+     * check()). `name` is the client-chosen identity (validated by
+     * the registry) and `id` the registry-assigned index.
+     */
+    TenantSession(uint64_t id, std::string name, ProfileKind kind,
+                  const ProfilerConfig &config, const TenantQuota &quota);
+
+    TenantSession(const TenantSession &) = delete;
+    TenantSession &operator=(const TenantSession &) = delete;
+
+    /** Outcome of one offer(): exact split of the batch. */
+    struct Offer
+    {
+        uint64_t accepted = 0;
+        uint64_t dropped = 0;
+        bool pushback = false; ///< the client should back off
+        std::string reason;    ///< why, when pushback is set
+    };
+
+    /**
+     * Admit a batch into the bounded ingest queue. Every event is
+     * either accepted or dropped-and-counted here — admission is the
+     * only place events are lost, which is what makes the drop
+     * counters exact. `nowMs` drives the rate-quota token bucket.
+     */
+    Offer offer(TupleSpan events, uint64_t nowMs);
+
+    /**
+     * Ingest up to `maxEvents` queued events into the profiler,
+     * closing intervals at exact intervalLength boundaries and
+     * publishing each closed interval to `store` (which may be
+     * null). An ingest failure (failpoint `service.tenant.ingest`,
+     * key = tenant id, attempt = current strike streak) leaves the
+     * queue intact and strikes the tenant; `strikesAllowed`
+     * consecutive strikes quarantine it.
+     *
+     * @return Events actually ingested.
+     */
+    uint64_t drain(uint64_t maxEvents, unsigned strikesAllowed,
+                   EpochSnapshotStore *store);
+
+    /**
+     * Shed this tenant: drop its queue (counted), free the profiler,
+     * its history, and its memory charge. Admission control calls
+     * this on the lowest-priority tenants under global pressure.
+     */
+    void shed(std::string reason);
+
+    /** Evict after idle timeout or clean shutdown (memory freed). */
+    void close(std::string reason);
+
+    /**
+     * Write the completed-interval history as a durable .mhp profile
+     * at `dir`/`name`.mhp (write-to-temp + fsync + rename). A partial
+     * trailing interval is never written — drain the queue first.
+     * Failpoint `service.snapshot.enospc` (key = tenant id) injects
+     * the out-of-space failure the smoke test exercises.
+     */
+    Status flushDurable(const std::string &dir) const;
+
+    uint64_t id() const { return tenantId; }
+    const std::string &name() const { return tenantName; }
+    ProfileKind kind() const { return profileKind; }
+    TenantState state() const { return lifecycle; }
+    const std::string &stateReason() const { return reason; }
+    const TenantQuota &quota() const { return limits; }
+    const TenantCounters &counters() const { return stats; }
+    const ProfilerConfig &config() const { return profilerConfig; }
+
+    /** Events waiting in the ingest queue. */
+    uint64_t
+    queuedEvents() const
+    {
+        return queue.size() - queueHead;
+    }
+
+    /** Completed intervals retained for the durable flush. */
+    const std::vector<IntervalSnapshot> &history() const
+    {
+        return snapshots;
+    }
+
+    /**
+     * Live bytes charged against memory budgets: profiler hardware
+     * area + queued events + retained interval candidates. Shed and
+     * closed tenants charge nothing.
+     */
+    uint64_t memoryBytes() const;
+
+    /** Highest client batch sequence number acknowledged so far. */
+    uint64_t lastSeq() const { return lastAckedSeq; }
+    void setLastSeq(uint64_t seq) { lastAckedSeq = seq; }
+
+  private:
+    void closeInterval(EpochSnapshotStore *store);
+    void quarantine(std::string why);
+    void releaseMemory();
+
+    uint64_t tenantId;
+    std::string tenantName;
+    ProfileKind profileKind;
+    ProfilerConfig profilerConfig;
+    TenantQuota limits;
+    TenantState lifecycle = TenantState::Active;
+    std::string reason; ///< why shed/quarantined/closed
+
+    std::unique_ptr<HardwareProfiler> profiler;
+    uint64_t profilerArea = 0;
+
+    /** FIFO as vector + head index: drain reads contiguous spans. */
+    std::vector<Tuple> queue;
+    size_t queueHead = 0;
+
+    std::vector<IntervalSnapshot> snapshots;
+    uint64_t snapshotCandidates = 0; ///< total retained candidates
+    uint64_t eventsInInterval = 0;
+    uint64_t intervalsDone = 0;
+
+    /** Set once an interval/memory quota trips; offers then bounce. */
+    std::string quotaReason;
+
+    /** Token bucket for the byte-rate quota. */
+    uint64_t rateTokens = 0;
+    uint64_t rateLastMs = 0;
+    bool rateStarted = false;
+
+    unsigned strikes = 0;
+    uint64_t lastAckedSeq = 0;
+    TenantCounters stats;
+};
+
+} // namespace mhp
+
+#endif // MHP_SERVICE_TENANT_H

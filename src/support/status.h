@@ -44,6 +44,8 @@ enum class StatusCode
     FailedPrecondition, ///< the call is not valid in the current state
     Cancelled,          ///< the operation was cancelled cooperatively
     DeadlineExceeded,   ///< the operation outlived its time budget
+    ResourceExhausted,  ///< a quota/budget ran out (retry after backoff)
+    Unavailable,        ///< the peer/service cannot serve right now
 };
 
 /** Printable name of a status code. */
@@ -59,6 +61,8 @@ statusCodeName(StatusCode code)
       case StatusCode::FailedPrecondition: return "failed precondition";
       case StatusCode::Cancelled: return "cancelled";
       case StatusCode::DeadlineExceeded: return "deadline exceeded";
+      case StatusCode::ResourceExhausted: return "resource exhausted";
+      case StatusCode::Unavailable: return "unavailable";
     }
     return "unknown";
 }
@@ -119,6 +123,19 @@ class [[nodiscard]] Status
     {
         return Status(StatusCode::DeadlineExceeded,
                       std::move(message));
+    }
+
+    static Status
+    resourceExhausted(std::string message)
+    {
+        return Status(StatusCode::ResourceExhausted,
+                      std::move(message));
+    }
+
+    static Status
+    unavailable(std::string message)
+    {
+        return Status(StatusCode::Unavailable, std::move(message));
     }
 
     /** printf-style constructor for diagnostics with offsets. */

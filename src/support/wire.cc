@@ -84,7 +84,7 @@ encodeFrame(uint8_t type, const uint8_t *payload, size_t payloadSize,
 
 FrameDecode
 decodeFrame(const uint8_t *data, size_t size, WireFrame &frame,
-            size_t &consumed, Status &error)
+            size_t &consumed, Status &error, uint32_t maxFrameLength)
 {
     consumed = 0;
     if (size < 4)
@@ -95,10 +95,11 @@ decodeFrame(const uint8_t *data, size_t size, WireFrame &frame,
             "wire frame declares an empty body (no type byte)");
         return FrameDecode::Corrupt;
     }
-    if (length > kWireMaxFrameLength) {
+    if (length > maxFrameLength) {
         error = Status::corruptDataf(
-            "wire frame length %u exceeds the %u-byte protocol limit",
-            length, kWireMaxFrameLength);
+            "wire frame length %u exceeds this endpoint's %u-byte "
+            "frame cap",
+            length, maxFrameLength);
         return FrameDecode::Corrupt;
     }
     const size_t total = 4 + static_cast<size_t>(length) + 4;
@@ -124,7 +125,8 @@ WireConn::~WireConn()
 }
 
 WireConn::WireConn(WireConn &&other) noexcept
-    : sock(other.sock), inbuf(std::move(other.inbuf))
+    : sock(other.sock), maxFrame(other.maxFrame),
+      inbuf(std::move(other.inbuf))
 {
     other.sock = -1;
 }
@@ -135,6 +137,7 @@ WireConn::operator=(WireConn &&other) noexcept
     if (this != &other) {
         close();
         sock = other.sock;
+        maxFrame = other.maxFrame;
         inbuf = std::move(other.inbuf);
         other.sock = -1;
     }
@@ -152,7 +155,7 @@ WireConn::close()
 }
 
 StatusOr<WireConn>
-WireConn::connect(const std::string &path)
+WireConn::connect(const std::string &path, uint32_t maxFrameLength)
 {
     struct sockaddr_un addr = {};
     if (path.size() >= sizeof(addr.sun_path)) {
@@ -178,14 +181,15 @@ WireConn::connect(const std::string &path)
         ::close(fd);
         return bad;
     }
-    return adopt(fd);
+    return adopt(fd, maxFrameLength);
 }
 
 WireConn
-WireConn::adopt(int fd)
+WireConn::adopt(int fd, uint32_t maxFrameLength)
 {
     WireConn conn;
     conn.sock = fd;
+    conn.maxFrame = maxFrameLength;
     return conn;
 }
 
@@ -200,6 +204,12 @@ WireConn::send(uint8_t type, const ByteBuffer &payload,
     if (failpointFires("wire.send.eio")) {
         return Status::ioError(
             "injected send failure (failpoint wire.send.eio)");
+    }
+    if (payload.size() + 1 > maxFrame) {
+        return Status::invalidArgument(
+            "wire frame of " + std::to_string(payload.size() + 1) +
+            " bytes exceeds this endpoint's " +
+            std::to_string(maxFrame) + "-byte frame cap");
     }
     std::vector<uint8_t> bytes;
     bytes.reserve(payload.size() + kWireFrameOverhead);
@@ -277,8 +287,9 @@ WireConn::recv(WireFrame &frame, uint64_t timeoutMs)
     for (;;) {
         Status error;
         size_t consumed = 0;
-        const FrameDecode rc = decodeFrame(inbuf.data(), inbuf.size(),
-                                           frame, consumed, error);
+        const FrameDecode rc =
+            decodeFrame(inbuf.data(), inbuf.size(), frame, consumed,
+                        error, maxFrame);
         if (rc == FrameDecode::Frame) {
             inbuf.erase(inbuf.begin(),
                         inbuf.begin() +
@@ -317,8 +328,9 @@ WireConn::poll(WireFrame &frame, Status &error)
     }
     for (;;) {
         size_t consumed = 0;
-        const FrameDecode rc = decodeFrame(inbuf.data(), inbuf.size(),
-                                           frame, consumed, error);
+        const FrameDecode rc =
+            decodeFrame(inbuf.data(), inbuf.size(), frame, consumed,
+                        error, maxFrame);
         if (rc == FrameDecode::Frame) {
             inbuf.erase(inbuf.begin(),
                         inbuf.begin() +
@@ -349,7 +361,8 @@ WireListener::~WireListener()
 }
 
 WireListener::WireListener(WireListener &&other) noexcept
-    : sock(other.sock), sockPath(std::move(other.sockPath))
+    : sock(other.sock), maxFrame(other.maxFrame),
+      sockPath(std::move(other.sockPath))
 {
     other.sock = -1;
 }
@@ -360,6 +373,7 @@ WireListener::operator=(WireListener &&other) noexcept
     if (this != &other) {
         close();
         sock = other.sock;
+        maxFrame = other.maxFrame;
         sockPath = std::move(other.sockPath);
         other.sock = -1;
     }
@@ -378,7 +392,7 @@ WireListener::close()
 }
 
 StatusOr<WireListener>
-WireListener::bind(const std::string &path)
+WireListener::bind(const std::string &path, uint32_t maxFrameLength)
 {
     struct sockaddr_un addr = {};
     if (path.size() >= sizeof(addr.sun_path)) {
@@ -410,6 +424,7 @@ WireListener::bind(const std::string &path)
     }
     WireListener listener;
     listener.sock = fd;
+    listener.maxFrame = maxFrameLength;
     listener.sockPath = path;
     return listener;
 }
@@ -436,7 +451,7 @@ WireListener::accept(uint64_t timeoutMs)
         }
         const int fd = ::accept4(sock, nullptr, nullptr, SOCK_CLOEXEC);
         if (fd >= 0)
-            return WireConn::adopt(fd);
+            return WireConn::adopt(fd, maxFrame);
         if (errno == EINTR || errno == EAGAIN ||
             errno == EWOULDBLOCK || errno == ECONNABORTED)
             continue;

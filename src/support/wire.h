@@ -36,7 +36,14 @@
 
 namespace mhp {
 
-/** Hard bound on a frame's (type + payload) length: 64 MiB. */
+/**
+ * Default bound on a frame's (type + payload) length: 64 MiB. Every
+ * endpoint can tighten this per connection/listener — a service that
+ * only ever exchanges kilobyte-sized frames has no reason to let a
+ * confused or hostile peer make it buffer 64 MiB first (see
+ * docs/SERVICE.md). The decoder rejects an oversize length field with
+ * a one-line diagnostic naming the active cap.
+ */
 constexpr uint32_t kWireMaxFrameLength = 64u << 20;
 
 /** Bytes of framing around a payload: length(4) + type(1) + crc(4). */
@@ -70,10 +77,15 @@ enum class FrameDecode
  * (oversized length, CRC mismatch). A decoder loop must treat Corrupt
  * as fatal for the connection — after a bad CRC there is no way to
  * resynchronize a stream.
+ *
+ * `maxFrameLength` is the endpoint's frame-size cap (type + payload
+ * bytes); lengths above it are Corrupt with a diagnostic naming the
+ * cap, before any payload-sized allocation happens.
  */
 FrameDecode decodeFrame(const uint8_t *data, size_t size,
                         WireFrame &frame, size_t &consumed,
-                        Status &error);
+                        Status &error,
+                        uint32_t maxFrameLength = kWireMaxFrameLength);
 
 /**
  * A connected Unix-domain stream socket carrying wire frames.
@@ -93,11 +105,18 @@ class WireConn
     /**
      * Connect to the Unix socket at `path`. NotFound when nothing
      * listens there; IoError for other socket failures.
+     * `maxFrameLength` caps both directions on this endpoint.
      */
-    static StatusOr<WireConn> connect(const std::string &path);
+    static StatusOr<WireConn>
+    connect(const std::string &path,
+            uint32_t maxFrameLength = kWireMaxFrameLength);
 
     /** Adopt an already-connected descriptor (accept side). */
-    static WireConn adopt(int fd);
+    static WireConn adopt(int fd,
+                          uint32_t maxFrameLength = kWireMaxFrameLength);
+
+    /** This endpoint's frame-size cap (type + payload bytes). */
+    uint32_t maxFrameLength() const { return maxFrame; }
 
     bool valid() const { return sock >= 0; }
     int fd() const { return sock; }
@@ -134,6 +153,7 @@ class WireConn
     Status fill(bool &progressed, bool &eof);
 
     int sock = -1;
+    uint32_t maxFrame = kWireMaxFrameLength;
     std::vector<uint8_t> inbuf;
 };
 
@@ -152,9 +172,12 @@ class WireListener
     /**
      * Bind and listen on `path`, replacing any stale socket file left
      * by a crashed predecessor. InvalidArgument when the path exceeds
-     * sockaddr_un limits; IoError otherwise.
+     * sockaddr_un limits; IoError otherwise. `maxFrameLength` is
+     * inherited by every accepted connection.
      */
-    static StatusOr<WireListener> bind(const std::string &path);
+    static StatusOr<WireListener>
+    bind(const std::string &path,
+         uint32_t maxFrameLength = kWireMaxFrameLength);
 
     bool valid() const { return sock >= 0; }
     int fd() const { return sock; }
@@ -171,6 +194,7 @@ class WireListener
 
   private:
     int sock = -1;
+    uint32_t maxFrame = kWireMaxFrameLength;
     std::string sockPath;
 };
 

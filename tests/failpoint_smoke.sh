@@ -72,6 +72,84 @@ cmp -s "$TMP/p1.tsv" "$TMP/p2.tsv" || {
     echo "FAIL: p-trigger quarantine set is not seed-deterministic";
     exit 1; }
 
+# --- service failpoints against a live mhprofd -----------------------
+# The daemon's injection sites must degrade exactly as documented:
+# an injected drain-flush failure turns the clean-drain exit 0 into
+# exit 1 with a named diagnostic, and an injected per-tenant ingest
+# failure quarantines that tenant alone while the daemon (and every
+# other tenant) keeps serving.
+
+# wait_for_socket <path>: the daemon binds asynchronously.
+wait_for_socket() {
+    i=0
+    while [ ! -S "$1" ] && [ "$i" -lt 100 ]; do
+        sleep 0.05; i=$((i + 1))
+    done
+    [ -S "$1" ] || { echo "FAIL: $1 never appeared"; exit 1; }
+}
+
+# (1) service.snapshot.enospc: tenant id 0's durable flush fails on
+# drain; the daemon exits 1 and leaves no snapshot file behind.
+"$TOOLS/mhprofd" --socket="$TMP/fp1.sock" --snapshot-dir="$TMP" \
+    --failpoints='service.snapshot.enospc=1' \
+    > "$TMP/fp1d.out" 2> "$TMP/fp1d.err" &
+DPID=$!
+wait_for_socket "$TMP/fp1.sock"
+"$TOOLS/mhprof_client" --connect="$TMP/fp1.sock" --tenant=enospc0 \
+    --benchmark=li --events=20000 > /dev/null || {
+    echo "FAIL: client stream before injected drain failed"; exit 1; }
+kill -TERM "$DPID"
+set +e
+wait "$DPID"; rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "FAIL: injected drain ENOSPC: daemon" \
+    "exited $rc, expected 1"; cat "$TMP/fp1d.err"; exit 1; }
+grep -q "service.snapshot.enospc" "$TMP/fp1d.err" || {
+    echo "FAIL: drain diagnostic does not name the injection:";
+    cat "$TMP/fp1d.err"; exit 1; }
+[ ! -e "$TMP/enospc0.mhp" ] && [ ! -e "$TMP/enospc0.mhp.tmp" ] || {
+    echo "FAIL: snapshot left behind after injected drain ENOSPC";
+    exit 1; }
+
+# (2) service.tenant.ingest: trigger 1 poisons tenant id 0 only.
+# The poisoned tenant's client exits 3 with the quarantine reason;
+# a second tenant on the same daemon streams and drains untouched.
+"$TOOLS/mhprofd" --socket="$TMP/fp2.sock" --snapshot-dir="$TMP" \
+    --poison-strikes=2 --failpoints='service.tenant.ingest=1' \
+    > "$TMP/fp2d.out" 2> "$TMP/fp2d.err" &
+DPID=$!
+wait_for_socket "$TMP/fp2.sock"
+set +e
+"$TOOLS/mhprof_client" --connect="$TMP/fp2.sock" --tenant=poisoned \
+    --benchmark=li --events=500000 \
+    > "$TMP/qa.out" 2> "$TMP/qa.err"
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "FAIL: poisoned tenant's client exited" \
+    "$rc, expected 3"; cat "$TMP/qa.err"; exit 1; }
+grep -q "quarantined" "$TMP/qa.err" || {
+    echo "FAIL: client diagnostic does not say quarantined:";
+    cat "$TMP/qa.err"; exit 1; }
+"$TOOLS/mhprof_client" --connect="$TMP/fp2.sock" --tenant=healthy \
+    --benchmark=li --events=20000 > /dev/null || {
+    echo "FAIL: healthy tenant failed on the quarantining daemon";
+    exit 1; }
+"$TOOLS/mhprof_client" --connect="$TMP/fp2.sock" --query=stats \
+    > "$TMP/fp2stats.out"
+grep -q "poisoned quarantined" "$TMP/fp2stats.out" || {
+    echo "FAIL: stats table does not show the quarantine:";
+    cat "$TMP/fp2stats.out"; exit 1; }
+kill -TERM "$DPID"
+set +e
+wait "$DPID"; rc=$?
+set -e
+[ "$rc" -eq 0 ] || { echo "FAIL: daemon with a quarantined tenant" \
+    "exited $rc, expected a clean drain"; cat "$TMP/fp2d.err"; exit 1; }
+[ -e "$TMP/healthy.mhp" ] || {
+    echo "FAIL: healthy tenant's snapshot missing after drain"; exit 1; }
+[ ! -e "$TMP/poisoned.mhp" ] || {
+    echo "FAIL: quarantined tenant must not be flushed"; exit 1; }
+
 # Keep the report around as a CI artifact when asked to.
 if [ -n "$REPORT_OUT" ]; then
     cp "$TMP/q1.tsv" "$REPORT_OUT"

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * TenantSession unit tests: the bounded-queue backpressure contract,
+ * exact drop accounting (arrived == accepted + dropped() always),
+ * rate/interval quotas, poison quarantine via the deterministic
+ * `service.tenant.ingest` failpoint, and bit-identity of the drained
+ * interval history against a direct profiler run over the same
+ * accepted stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "service/snapshot_store.h"
+#include "service/tenant.h"
+#include "support/failpoint.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+namespace {
+
+ProfilerConfig
+smallConfig()
+{
+    ProfilerConfig config;
+    config.intervalLength = 100;
+    config.candidateThreshold = 0.01;
+    config.numHashTables = 2;
+    config.totalHashEntries = 64;
+    return config;
+}
+
+std::vector<Tuple>
+syntheticStream(size_t n, uint64_t salt = 0)
+{
+    // A skewed synthetic stream: a few hot tuples plus a cold tail,
+    // so intervals produce non-trivial candidate sets.
+    std::vector<Tuple> tuples;
+    tuples.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t hot = i % 7 < 5 ? i % 3 : 1000 + i;
+        tuples.push_back({0x4000 + hot, salt + hot * 17});
+    }
+    return tuples;
+}
+
+void
+expectInvariant(const TenantSession &tenant)
+{
+    const TenantCounters &c = tenant.counters();
+    EXPECT_EQ(c.arrived, c.accepted + c.dropped());
+    EXPECT_EQ(c.accepted, c.ingested + tenant.queuedEvents());
+}
+
+TEST(TenantSession, QueueBoundSplitsBatchExactly)
+{
+    TenantQuota quota;
+    quota.maxQueueEvents = 10;
+    TenantSession tenant(0, "bounded", ProfileKind::Value,
+                         smallConfig(), quota);
+
+    const std::vector<Tuple> burst = syntheticStream(25);
+    const TenantSession::Offer offer = tenant.offer(
+        TupleSpan(burst.data(), burst.size()), 0);
+
+    EXPECT_EQ(offer.accepted, 10u);
+    EXPECT_EQ(offer.dropped, 15u);
+    EXPECT_TRUE(offer.pushback);
+    EXPECT_NE(offer.reason.find("queue full"), std::string::npos);
+    EXPECT_NE(offer.reason.find("10-event bound"), std::string::npos);
+
+    const TenantCounters &c = tenant.counters();
+    EXPECT_EQ(c.arrived, 25u);
+    EXPECT_EQ(c.accepted, 10u);
+    EXPECT_EQ(c.droppedQueueFull, 15u);
+    EXPECT_EQ(c.pushbacks, 1u);
+    expectInvariant(tenant);
+}
+
+TEST(TenantSession, PushbackStartsAtWatermarkBeforeAnyDrop)
+{
+    TenantQuota quota;
+    quota.maxQueueEvents = 100;
+    TenantSession tenant(0, "watermark", ProfileKind::Value,
+                         smallConfig(), quota);
+
+    const std::vector<Tuple> stream = syntheticStream(100);
+    // 74/100 queued is below the 3/4 watermark: no pushback.
+    TenantSession::Offer offer =
+        tenant.offer(TupleSpan(stream.data(), 74), 0);
+    EXPECT_EQ(offer.accepted, 74u);
+    EXPECT_FALSE(offer.pushback);
+
+    // One more crosses 75/100: explicit backoff, zero drops.
+    offer = tenant.offer(TupleSpan(stream.data() + 74, 1), 0);
+    EXPECT_EQ(offer.accepted, 1u);
+    EXPECT_EQ(offer.dropped, 0u);
+    EXPECT_TRUE(offer.pushback);
+    EXPECT_NE(offer.reason.find("75/100"), std::string::npos);
+    expectInvariant(tenant);
+}
+
+TEST(TenantSession, RateQuotaTokenBucketIsDeterministic)
+{
+    TenantQuota quota;
+    quota.maxBytesPerSec = 160; // 10 events/s at 16 bytes each
+    TenantSession tenant(0, "metered", ProfileKind::Value,
+                         smallConfig(), quota);
+    const std::vector<Tuple> stream = syntheticStream(64);
+
+    // The bucket starts with one second of burst: 10 events.
+    TenantSession::Offer offer =
+        tenant.offer(TupleSpan(stream.data(), 25), 0);
+    EXPECT_EQ(offer.accepted, 10u);
+    EXPECT_EQ(offer.dropped, 15u);
+    EXPECT_TRUE(offer.pushback);
+    EXPECT_NE(offer.reason.find("160-byte/s rate"),
+              std::string::npos);
+
+    // Half a second refills half the bucket: 5 more events.
+    offer = tenant.offer(TupleSpan(stream.data(), 10), 500);
+    EXPECT_EQ(offer.accepted, 5u);
+    EXPECT_EQ(offer.dropped, 5u);
+
+    // A long quiet period refills to the burst cap, never beyond.
+    offer = tenant.offer(TupleSpan(stream.data(), 12), 60'000);
+    EXPECT_EQ(offer.accepted, 10u);
+    EXPECT_EQ(offer.dropped, 2u);
+
+    const TenantCounters &c = tenant.counters();
+    EXPECT_EQ(c.droppedRate, 22u);
+    expectInvariant(tenant);
+}
+
+TEST(TenantSession, IntervalQuotaTripsAndReclassifiesRemainder)
+{
+    TenantQuota quota;
+    quota.maxQueueEvents = 1000;
+    quota.maxIntervals = 2;
+    TenantSession tenant(0, "quota", ProfileKind::Value,
+                         smallConfig(), quota);
+    EpochSnapshotStore store;
+
+    const std::vector<Tuple> stream = syntheticStream(350);
+    tenant.offer(TupleSpan(stream.data(), stream.size()), 0);
+    EXPECT_EQ(tenant.counters().accepted, 350u);
+
+    // Two 100-event intervals complete, then the quota trips; the
+    // 150 already-accepted events that can never be ingested are
+    // reclassified to droppedQuota so the invariant keeps holding.
+    tenant.drain(UINT64_MAX, 3, &store);
+    const TenantCounters &c = tenant.counters();
+    EXPECT_EQ(c.intervals, 2u);
+    EXPECT_EQ(c.ingested, 200u);
+    EXPECT_EQ(c.accepted, 200u);
+    EXPECT_EQ(c.droppedQuota, 150u);
+    EXPECT_EQ(tenant.queuedEvents(), 0u);
+    expectInvariant(tenant);
+
+    // Later offers bounce off the tripped quota with its reason.
+    const TenantSession::Offer offer =
+        tenant.offer(TupleSpan(stream.data(), 10), 0);
+    EXPECT_EQ(offer.accepted, 0u);
+    EXPECT_EQ(offer.dropped, 10u);
+    EXPECT_TRUE(offer.pushback);
+    EXPECT_NE(offer.reason.find("2-interval quota"),
+              std::string::npos);
+    expectInvariant(tenant);
+}
+
+TEST(TenantSession, PoisonStrikesQuarantineThisTenantOnly)
+{
+    clearFailpoints();
+    // Trigger '1' fires for key 0 only: tenant id 0 is poisoned,
+    // tenant id 1 streams clean through the very same site.
+    ASSERT_TRUE(
+        configureFailpoints("service.tenant.ingest=1").isOk());
+
+    TenantQuota quota;
+    quota.maxQueueEvents = 1000;
+    TenantSession poisoned(0, "poisoned", ProfileKind::Value,
+                           smallConfig(), quota);
+    TenantSession healthy(1, "healthy", ProfileKind::Value,
+                          smallConfig(), quota);
+    EpochSnapshotStore store;
+
+    const std::vector<Tuple> stream = syntheticStream(200);
+    poisoned.offer(TupleSpan(stream.data(), stream.size()), 0);
+    healthy.offer(TupleSpan(stream.data(), stream.size()), 0);
+
+    // Three consecutive failed drains strike out the poisoned
+    // tenant; its queue is reclassified, its memory released.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(poisoned.drain(UINT64_MAX, 3, &store), 0u);
+    EXPECT_EQ(poisoned.state(), TenantState::Quarantined);
+    EXPECT_NE(poisoned.stateReason().find(
+                  "3 consecutive ingest failures"),
+              std::string::npos);
+    EXPECT_EQ(poisoned.counters().poisonStrikes, 3u);
+    EXPECT_EQ(poisoned.counters().droppedQuarantine, 200u);
+    EXPECT_EQ(poisoned.memoryBytes(), 0u);
+    expectInvariant(poisoned);
+
+    // The healthy tenant is untouched by its neighbour's poison.
+    EXPECT_EQ(healthy.drain(UINT64_MAX, 3, &store), 200u);
+    EXPECT_EQ(healthy.state(), TenantState::Active);
+    EXPECT_EQ(healthy.counters().intervals, 2u);
+    expectInvariant(healthy);
+
+    // Offers to a quarantined tenant are dropped and say why.
+    const TenantSession::Offer offer =
+        poisoned.offer(TupleSpan(stream.data(), 10), 0);
+    EXPECT_EQ(offer.dropped, 10u);
+    EXPECT_NE(offer.reason.find("quarantined"), std::string::npos);
+    expectInvariant(poisoned);
+    clearFailpoints();
+}
+
+TEST(TenantSession, TransientIngestFailureOutlastedByStrikeAllowance)
+{
+    clearFailpoints();
+    // '@2' makes the failure transient: attempts 0 and 1 fail, the
+    // third drain succeeds and resets the strike streak.
+    ASSERT_TRUE(
+        configureFailpoints("service.tenant.ingest=1@2").isOk());
+
+    TenantQuota quota;
+    quota.maxQueueEvents = 1000;
+    TenantSession tenant(0, "flaky", ProfileKind::Value,
+                         smallConfig(), quota);
+    EpochSnapshotStore store;
+    const std::vector<Tuple> stream = syntheticStream(100);
+    tenant.offer(TupleSpan(stream.data(), stream.size()), 0);
+
+    EXPECT_EQ(tenant.drain(UINT64_MAX, 3, &store), 0u);
+    EXPECT_EQ(tenant.drain(UINT64_MAX, 3, &store), 0u);
+    EXPECT_EQ(tenant.drain(UINT64_MAX, 3, &store), 100u);
+    EXPECT_EQ(tenant.state(), TenantState::Active);
+    EXPECT_EQ(tenant.counters().poisonStrikes, 2u);
+    expectInvariant(tenant);
+    clearFailpoints();
+}
+
+TEST(TenantSession, DrainedHistoryBitIdenticalToDirectProfilerRun)
+{
+    const ProfilerConfig config = smallConfig();
+    TenantQuota quota;
+    quota.maxQueueEvents = 10'000;
+    TenantSession tenant(0, "exact", ProfileKind::Value, config,
+                         quota);
+    EpochSnapshotStore store;
+
+    // 550 events: five complete intervals, one partial (discarded).
+    const std::vector<Tuple> stream = syntheticStream(550);
+    // Feed in ragged batches so queue chunking is exercised.
+    size_t at = 0;
+    for (const size_t batch : {13u, 250u, 1u, 200u, 86u}) {
+        tenant.offer(TupleSpan(stream.data() + at, batch), 0);
+        at += batch;
+    }
+    while (tenant.queuedEvents() > 0)
+        tenant.drain(37, 3, &store); // ragged drain slices, too
+
+    const std::unique_ptr<HardwareProfiler> reference =
+        makeProfiler(config);
+    std::vector<IntervalSnapshot> expected;
+    for (size_t i = 0; i < 5; ++i) {
+        reference->onEvents(stream.data() + i * 100, 100);
+        expected.push_back(reference->endInterval());
+    }
+
+    EXPECT_EQ(tenant.history(), expected);
+    EXPECT_EQ(tenant.counters().intervals, 5u);
+    EXPECT_EQ(tenant.counters().ingested, 550u);
+    EXPECT_EQ(store.epoch(), 5u);
+}
+
+TEST(TenantSession, FlushDurableWritesAndHonoursEnospcFailpoint)
+{
+    const std::string dir = ::testing::TempDir();
+    TenantQuota quota;
+    quota.maxQueueEvents = 1000;
+    TenantSession tenant(0, "durable", ProfileKind::Value,
+                         smallConfig(), quota);
+    const std::vector<Tuple> stream = syntheticStream(200);
+    tenant.offer(TupleSpan(stream.data(), stream.size()), 0);
+    tenant.drain(UINT64_MAX, 3, nullptr);
+
+    clearFailpoints();
+    ASSERT_TRUE(
+        configureFailpoints("service.snapshot.enospc=1").isOk());
+    const Status blocked = tenant.flushDurable(dir);
+    EXPECT_EQ(blocked.code(), StatusCode::IoError);
+    EXPECT_NE(blocked.toString().find("service.snapshot.enospc"),
+              std::string::npos);
+    clearFailpoints();
+
+    ASSERT_TRUE(tenant.flushDurable(dir).isOk());
+    const std::string path = dir + "/durable.mhp";
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_GT(std::filesystem::file_size(path), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TenantSession, CloseReclassifiesAbandonedQueue)
+{
+    TenantQuota quota;
+    quota.maxQueueEvents = 100;
+    TenantSession tenant(0, "closing", ProfileKind::Value,
+                         smallConfig(), quota);
+    const std::vector<Tuple> stream = syntheticStream(30);
+    tenant.offer(TupleSpan(stream.data(), stream.size()), 0);
+
+    tenant.close("idle timeout");
+    EXPECT_EQ(tenant.state(), TenantState::Closed);
+    EXPECT_EQ(tenant.counters().accepted, 0u);
+    EXPECT_EQ(tenant.counters().droppedShed, 30u);
+    EXPECT_EQ(tenant.memoryBytes(), 0u);
+    EXPECT_EQ(tenant.queuedEvents(), 0u);
+    expectInvariant(tenant);
+}
+
+} // namespace
+} // namespace mhp

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Overload-soak smoke test for mhprofd: 8 tenants stream concurrently,
+# one of them over its interval quota; a same-command rerun of one
+# tenant must be deduplicated (exactly-once); SIGTERM must drain the
+# daemon cleanly; and every durable snapshot must be byte-identical to
+# a direct mhprof_run over the same workload.
+# Usage: service_soak_smoke.sh <build-tools-dir> [artifact-dir]
+set -e
+TOOLS="$1"
+ARTIFACTS="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# fail <message>: preserve the evidence for CI before bailing out.
+fail() {
+    echo "FAIL: $1"
+    if [ -n "$ARTIFACTS" ]; then
+        mkdir -p "$ARTIFACTS"
+        cp "$TMP"/*.out "$TMP"/*.err "$ARTIFACTS"/ 2>/dev/null || true
+    fi
+    exit 1
+}
+
+"$TOOLS/mhprofd" --socket="$TMP/soak.sock" --snapshot-dir="$TMP/snap" \
+    > "$TMP/daemon.out" 2> "$TMP/daemon.err" &
+DPID=$!
+mkdir -p "$TMP/snap"
+i=0
+while [ ! -S "$TMP/soak.sock" ] && [ "$i" -lt 100 ]; do
+    sleep 0.05; i=$((i + 1))
+done
+[ -S "$TMP/soak.sock" ] || fail "daemon socket never appeared"
+
+# 8 tenants in parallel, distinct gcc workload seeds, 30000 events
+# each (3 full intervals at the default 10000-event length). t7 caps
+# itself at 2 intervals: its third interval's events are dropped
+# against the quota, which is graceful degradation, not an error —
+# the client still exits 0.
+for i in 0 1 2 3 4 5 6 7; do
+    quota=""
+    [ "$i" -eq 7 ] && quota="--max-intervals=2"
+    "$TOOLS/mhprof_client" --connect="$TMP/soak.sock" --tenant="t$i" \
+        --benchmark=gcc --seed=$((i + 1)) --events=30000 $quota \
+        > "$TMP/t$i.out" 2> "$TMP/t$i.err" &
+    eval "CPID$i=\$!"
+done
+for i in 0 1 2 3 4 5 6 7; do
+    eval "pid=\$CPID$i"
+    wait "$pid" || fail "tenant t$i's client failed: $(cat "$TMP/t$i.err")"
+done
+grep -q "ingested 30000 events, 3 intervals" "$TMP/t0.out" ||
+    fail "t0 summary wrong: $(cat "$TMP/t0.out")"
+grep -q "ingested 20000 events, 2 intervals" "$TMP/t7.out" ||
+    fail "over-quota t7 summary wrong: $(cat "$TMP/t7.out")"
+grep -q "dropped 10000" "$TMP/t7.out" ||
+    fail "t7 should report its quota drops: $(cat "$TMP/t7.out")"
+
+# Exactly-once on reconnect: the identical command replays the same
+# sequence numbers, the daemon acks them as duplicates, and nothing
+# is ingested twice (the final snapshot comparison below proves it).
+"$TOOLS/mhprof_client" --connect="$TMP/soak.sock" --tenant=t0 \
+    --benchmark=gcc --seed=1 --events=30000 > "$TMP/t0b.out" \
+    2> "$TMP/t0b.err" || fail "t0 rerun failed: $(cat "$TMP/t0b.err")"
+grep -q "accepted 0" "$TMP/t0b.out" ||
+    fail "t0 rerun was not deduplicated: $(cat "$TMP/t0b.out")"
+grep -q "ingested 30000 events, 3 intervals" "$TMP/t0b.out" ||
+    fail "t0 rerun summary wrong: $(cat "$TMP/t0b.out")"
+
+"$TOOLS/mhprof_client" --connect="$TMP/soak.sock" --query=stats \
+    > "$TMP/stats.out" || fail "stats query failed"
+[ "$(grep -c " active " "$TMP/stats.out")" -eq 8 ] ||
+    fail "expected 8 active tenants: $(cat "$TMP/stats.out")"
+
+kill -TERM "$DPID"
+set +e
+wait "$DPID"; rc=$?
+set -e
+[ "$rc" -eq 0 ] || fail "daemon exited $rc under SIGTERM, expected 0"
+grep -q "drained cleanly" "$TMP/daemon.out" ||
+    fail "daemon did not report a clean drain: $(cat "$TMP/daemon.out")"
+
+# Resume-and-compare: every tenant's drained snapshot must be
+# byte-identical to a direct single-process run over its workload —
+# concurrency, the rerun, and the quota trip leave no residue.
+for i in 0 1 2 3 4 5 6 7; do
+    intervals=3
+    [ "$i" -eq 7 ] && intervals=2
+    "$TOOLS/mhprof_run" --benchmark=gcc --seed=$((i + 1)) \
+        --intervals=$intervals --out="$TMP/ref$i.mhp" > /dev/null
+    cmp -s "$TMP/snap/t$i.mhp" "$TMP/ref$i.mhp" ||
+        fail "t$i snapshot differs from a direct run"
+done
+
+echo "service soak smoke test passed"

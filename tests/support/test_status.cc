@@ -33,6 +33,38 @@ TEST(Status, FactoriesCarryCodeAndMessage)
     EXPECT_EQ(Status::ioError("x").code(), StatusCode::IoError);
     EXPECT_EQ(Status::failedPrecondition("x").code(),
               StatusCode::FailedPrecondition);
+    EXPECT_EQ(Status::resourceExhausted("x").code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_EQ(Status::unavailable("x").code(),
+              StatusCode::Unavailable);
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    // The code→string mapping is part of every tool's diagnostic
+    // contract (and of the smoke tests that grep for it), so each
+    // name is pinned here.
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidArgument),
+                 "invalid argument");
+    EXPECT_STREQ(statusCodeName(StatusCode::NotFound), "not found");
+    EXPECT_STREQ(statusCodeName(StatusCode::CorruptData),
+                 "corrupt data");
+    EXPECT_STREQ(statusCodeName(StatusCode::IoError), "i/o error");
+    EXPECT_STREQ(statusCodeName(StatusCode::FailedPrecondition),
+                 "failed precondition");
+    EXPECT_STREQ(statusCodeName(StatusCode::Cancelled), "cancelled");
+    EXPECT_STREQ(statusCodeName(StatusCode::DeadlineExceeded),
+                 "deadline exceeded");
+    EXPECT_STREQ(statusCodeName(StatusCode::ResourceExhausted),
+                 "resource exhausted");
+    EXPECT_STREQ(statusCodeName(StatusCode::Unavailable),
+                 "unavailable");
+
+    EXPECT_EQ(Status::resourceExhausted("queue full").toString(),
+              "resource exhausted: queue full");
+    EXPECT_EQ(Status::unavailable("draining").toString(),
+              "unavailable: draining");
 }
 
 TEST(Status, FormattedFactory)

@@ -161,6 +161,71 @@ TEST(CorruptionCorpusWire, OversizedLengthRejectedWithoutAllocating)
     EXPECT_EQ(error.code(), StatusCode::CorruptData);
 }
 
+TEST(Wire, PerEndpointFrameCapAtTheBoundary)
+{
+    // A tightened per-endpoint cap must accept a frame exactly at the
+    // cap (length = type + payload = cap) and reject one a single
+    // byte over, naming the cap in the diagnostic.
+    constexpr uint32_t cap = 64;
+
+    const std::vector<uint8_t> atCap(cap - 1, 0x5A); // +1 type byte
+    std::vector<uint8_t> bytes = frame(2, atCap);
+    WireFrame decoded;
+    size_t consumed = 0;
+    Status error = Status::ok();
+    ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), decoded,
+                          consumed, error, cap),
+              FrameDecode::Frame);
+    EXPECT_EQ(decoded.payload, atCap);
+
+    const std::vector<uint8_t> overCap(cap, 0x5A); // length = cap + 1
+    bytes = frame(2, overCap);
+    ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), decoded,
+                          consumed, error, cap),
+              FrameDecode::Corrupt);
+    EXPECT_EQ(error.code(), StatusCode::CorruptData);
+    EXPECT_NE(error.message().find("64-byte"), std::string::npos)
+        << error.message();
+    EXPECT_EQ(error.message().find('\n'), std::string::npos);
+
+    // The default cap still applies when no override is given.
+    ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), decoded,
+                          consumed, error),
+              FrameDecode::Frame);
+}
+
+TEST(WireConn, SendRefusesFramesOverTheEndpointCap)
+{
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    WireConn narrow = WireConn::adopt(fds[0], 32);
+    WireConn wide = WireConn::adopt(fds[1]);
+
+    ByteBuffer big;
+    for (int i = 0; i < 32; ++i) // 32 payload + 1 type > 32 cap
+        big.u8(0x7);
+    const Status bad = narrow.send(1, big);
+    EXPECT_EQ(bad.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(bad.message().find("32-byte"), std::string::npos)
+        << bad.message();
+
+    // A frame within the cap still flows to the wide peer.
+    ByteBuffer small;
+    small.u8(0x7);
+    ASSERT_TRUE(narrow.send(1, small, 1000).isOk());
+    WireFrame got;
+    ASSERT_TRUE(wide.recv(got, 1000).isOk());
+    EXPECT_EQ(got.payload.size(), 1u);
+
+    // And the narrow receiver rejects an incoming oversize frame as
+    // CorruptData naming its cap.
+    ASSERT_TRUE(wide.send(1, big, 1000).isOk());
+    const Status rx = narrow.recv(got, 1000);
+    EXPECT_EQ(rx.code(), StatusCode::CorruptData);
+    EXPECT_NE(rx.message().find("32-byte"), std::string::npos)
+        << rx.message();
+}
+
 TEST(CorruptionCorpusWire, ZeroLengthFrameIsCorrupt)
 {
     ByteBuffer head;

@@ -187,4 +187,69 @@ cmp -s "$TMP/err.out" "$TMP/qdist.err" || {
     echo "FAIL: quarantine-only diagnostics differ between serial "\
 "and distributed:"; diff "$TMP/err.out" "$TMP/qdist.err"; exit 1; }
 
+# --- profiling daemon / client exit codes ----------------------------
+# Same contract, extended (docs/SERVICE.md): mhprofd exits 0 only on
+# a clean drain; mhprof_client exits 1 for usage/connect errors, 2
+# when admission refuses it, and 4 when it loses the daemon.
+
+expect_exit 1 "$TOOLS/mhprofd"
+expect_exit 1 "$TOOLS/mhprofd" --socket="$TMP/d.sock" --max-tenants=0
+expect_exit 1 "$TOOLS/mhprofd" --socket="$TMP/d.sock" --failpoints='x='
+expect_exit 1 "$TOOLS/mhprof_client" --tenant=x
+expect_exit 1 "$TOOLS/mhprof_client" --connect="$TMP/gone.sock" \
+    --tenant=x --connect-timeout-ms=200
+grep -q "gone.sock" "$TMP/err.out" || {
+    echo "FAIL: client connect error does not name the socket";
+    cat "$TMP/err.out"; exit 1; }
+expect_exit 1 "$TOOLS/mhprof_client" --connect="$TMP/gone.sock" \
+    --tenant=x --query=sideways
+
+# A live daemon: stream, query, and drain cleanly.
+"$TOOLS/mhprofd" --socket="$TMP/d.sock" --max-queue-events=10000 \
+    > "$TMP/daemon.out" 2>&1 &
+DPID=$!
+i=0
+while [ ! -S "$TMP/d.sock" ] && [ "$i" -lt 100 ]; do
+    sleep 0.05; i=$((i + 1))
+done
+[ -S "$TMP/d.sock" ] || { echo "FAIL: daemon socket never appeared";
+    cat "$TMP/daemon.out"; exit 1; }
+
+"$TOOLS/mhprof_client" --connect="$TMP/d.sock" --tenant=smoke \
+    --benchmark=li --events=20000 --max-queue-events=10000 \
+    > "$TMP/client.out"
+grep -q "accepted 20000" "$TMP/client.out" || {
+    echo "FAIL: client summary wrong:"; cat "$TMP/client.out"; exit 1; }
+"$TOOLS/mhprof_client" --connect="$TMP/d.sock" --query=stats \
+    | grep -q "smoke active" || {
+    echo "FAIL: stats query does not list the tenant"; exit 1; }
+
+# Admission refusal: a queue bound over the daemon's ceiling is a
+# Reject, which the client maps to exit 2.
+expect_exit 2 "$TOOLS/mhprof_client" --connect="$TMP/d.sock" \
+    --tenant=greedy --max-queue-events=20000 --events=100
+grep -q "ceiling" "$TMP/err.out" || {
+    echo "FAIL: rejection does not name the ceiling";
+    cat "$TMP/err.out"; exit 1; }
+
+# Daemon lost mid-stream: the draining daemon says goodbye and the
+# still-streaming client exits 4; the daemon itself drains to exit 0.
+"$TOOLS/mhprof_client" --connect="$TMP/d.sock" --tenant=longhaul \
+    --max-queue-events=10000 \
+    --benchmark=li --events=50000000 --max-reconnects=0 \
+    > /dev/null 2> "$TMP/lost.err" &
+CPID=$!
+sleep 0.4
+kill -TERM "$DPID"
+set +e
+wait "$CPID"; crc=$?
+wait "$DPID"; drc=$?
+set -e
+[ "$crc" -eq 4 ] || { echo "FAIL: client exited $crc after daemon" \
+    "loss, expected 4"; cat "$TMP/lost.err"; exit 1; }
+[ "$drc" -eq 0 ] || { echo "FAIL: daemon exited $drc, expected a" \
+    "clean drain"; cat "$TMP/daemon.out"; exit 1; }
+grep -q "drained cleanly" "$TMP/daemon.out" || {
+    echo "FAIL: daemon did not report a clean drain"; exit 1; }
+
 echo "tools smoke test passed"

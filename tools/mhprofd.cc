@@ -1,0 +1,161 @@
+/**
+ * @file
+ * mhprofd — the multi-tenant profiling daemon.
+ *
+ * Serves many concurrent tuple streams over one Unix socket: each
+ * client Hello admits (or resumes) a tenant with its own profiler
+ * instance, quotas, and bounded ingest queue. Under overload the
+ * daemon degrades gracefully instead of falling over: full queues
+ * push back explicitly, global memory pressure sheds the lowest-
+ * priority tenants first, and a tenant whose ingest keeps failing is
+ * quarantined alone while everyone else keeps profiling. Every drop,
+ * shed, and quarantine decision is counted per tenant and visible
+ * through `mhprof_client --query=stats`. See docs/SERVICE.md.
+ *
+ *   mhprofd --socket=/tmp/mhp.sock --snapshot-dir=out \
+ *           --memory-budget=67108864 --verbose
+ *
+ * On SIGTERM/SIGINT the daemon drains: connected clients are told,
+ * every tenant's queue is ingested to completion, and each surviving
+ * tenant's profile is flushed durably to --snapshot-dir (write to
+ * temp + fsync + rename), then the daemon exits 0.
+ *
+ * Exit codes: 0 clean drain; 1 usage error, bind failure, or a
+ * drain-flush failure (named on stderr).
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "service/daemon.h"
+#include "support/cli.h"
+#include "support/failpoint.h"
+
+namespace {
+
+std::atomic<bool> gStop{false};
+
+// Async-signal-safe: one lock-free atomic store.
+extern "C" void
+onSignal(int)
+{
+    gStop.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mhp;
+
+    CliParser cli("multi-tenant profiling daemon: admission control, "
+                  "backpressure, and graceful degradation under "
+                  "overload (exit codes: 0 clean drain, 1 error)");
+    cli.addString("socket", "", "Unix socket path to listen on");
+    cli.addString("snapshot-dir", "",
+                  "flush each tenant's durable .mhp here on drain");
+    cli.addInt("max-tenants", 64, "concurrently active tenant limit");
+    cli.addInt("memory-budget", 256 << 20,
+               "global live-memory budget in bytes across tenants");
+    cli.addInt("max-queue-events", 1 << 20,
+               "ceiling on any tenant's requested queue bound");
+    cli.addInt("max-intervals-ceiling", 0,
+               "ceiling on any tenant's interval quota (0 = none)");
+    cli.addInt("poison-strikes", 3,
+               "consecutive ingest failures before quarantine");
+    cli.addInt("drain-budget", 65536,
+               "events ingested across tenants per loop tick");
+    cli.addInt("idle-timeout-ms", 30'000,
+               "close connections silent this long (0 = never)");
+    cli.addInt("pushback-ms", 20,
+               "backoff hint carried in Pushback frames");
+    cli.addInt("max-frame-bytes", static_cast<int64_t>(kServiceFrameCap),
+               "per-endpoint wire frame cap");
+    cli.addString("failpoints", "",
+                  "failpoint spec, e.g. service.snapshot.enospc=1 "
+                  "(see docs/ROBUSTNESS.md)");
+    cli.addInt("failpoint-seed", 0,
+               "seed for probabilistic failpoints");
+    cli.addBool("verbose", false,
+                "log admission/shed/quarantine decisions to stderr");
+    cli.parse(argc, argv);
+
+    if (cli.getString("socket").empty()) {
+        std::fprintf(stderr, "mhprofd: --socket is required\n");
+        return 1;
+    }
+    if (cli.getInt("max-tenants") <= 0 ||
+        cli.getInt("memory-budget") <= 0 ||
+        cli.getInt("max-queue-events") <= 0 ||
+        cli.getInt("poison-strikes") <= 0 ||
+        cli.getInt("drain-budget") <= 0 ||
+        cli.getInt("max-frame-bytes") <= 0 ||
+        cli.getInt("idle-timeout-ms") < 0 ||
+        cli.getInt("pushback-ms") < 0 ||
+        cli.getInt("max-intervals-ceiling") < 0) {
+        std::fprintf(stderr,
+                     "mhprofd: limits must be positive (timeouts may "
+                     "be 0)\n");
+        return 1;
+    }
+
+    if (cli.getInt("failpoint-seed") != 0)
+        setFailpointSeed(
+            static_cast<uint64_t>(cli.getInt("failpoint-seed")));
+    if (const std::string spec = cli.getString("failpoints");
+        !spec.empty()) {
+        if (const Status bad = configureFailpoints(spec);
+            !bad.isOk()) {
+            std::fprintf(stderr, "mhprofd: %s\n",
+                         bad.toString().c_str());
+            return 1;
+        }
+    }
+
+    ServiceOptions options;
+    options.socketPath = cli.getString("socket");
+    options.snapshotDir = cli.getString("snapshot-dir");
+    options.limits.maxTenants =
+        static_cast<uint64_t>(cli.getInt("max-tenants"));
+    options.limits.globalMemoryBudget =
+        static_cast<uint64_t>(cli.getInt("memory-budget"));
+    options.limits.maxQueueEvents =
+        static_cast<uint64_t>(cli.getInt("max-queue-events"));
+    options.limits.maxIntervalsCeiling =
+        static_cast<uint64_t>(cli.getInt("max-intervals-ceiling"));
+    options.limits.poisonStrikes =
+        static_cast<unsigned>(cli.getInt("poison-strikes"));
+    options.drainBudgetPerTick =
+        static_cast<uint64_t>(cli.getInt("drain-budget"));
+    options.idleTimeoutMs =
+        static_cast<uint64_t>(cli.getInt("idle-timeout-ms"));
+    options.pushbackRetryMs =
+        static_cast<uint64_t>(cli.getInt("pushback-ms"));
+    options.maxFrameBytes =
+        static_cast<uint32_t>(cli.getInt("max-frame-bytes"));
+    options.verbose = cli.getBool("verbose");
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("mhprofd: serving on %s (budget %lld bytes, %lld "
+                "tenants max)\n",
+                options.socketPath.c_str(),
+                static_cast<long long>(cli.getInt("memory-budget")),
+                static_cast<long long>(cli.getInt("max-tenants")));
+    std::fflush(stdout);
+
+    const Status served = runDaemon(options, gStop);
+    if (!served.isOk()) {
+        std::fprintf(stderr, "mhprofd: %s\n",
+                     served.toString().c_str());
+        return 1;
+    }
+    std::printf("mhprofd: drained cleanly\n");
+    return 0;
+}
