@@ -151,7 +151,7 @@ runSuiteConfigs(const std::vector<std::string> &benchmarks, bool edges,
     // better-balanced cells to schedule.
     SweepPlan plan;
     plan.benchmarks = benchmarks;
-    plan.edges = edges;
+    plan.kind = edges ? ProfileKind::Edge : ProfileKind::Value;
     plan.configs.reserve(configs.size());
     for (const auto &lc : configs)
         plan.configs.push_back({lc.label, lc.config});

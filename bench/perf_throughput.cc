@@ -294,6 +294,53 @@ BM_WorkloadGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGeneration);
 
+/** A pre-generated Ball–Larus path-tuple stream. */
+const std::vector<Tuple> &
+pathStream()
+{
+    static const std::vector<Tuple> tuples = [] {
+        auto workload = makePathWorkload("gcc");
+        return collect(*workload, 200'000);
+    }();
+    return tuples;
+}
+
+/**
+ * The mh4 profiler over path tuples: the same ingest pipeline as
+ * BM_Profiler but a different key distribution (dense small path ids
+ * against sparse 64-bit PCs), so the path event class gets its own
+ * throughput series in BENCH_throughput.json.
+ */
+void
+BM_ProfilerPathTuples(benchmark::State &state)
+{
+    const ProfilerConfig cfg = bestMultiHashConfig(10'000, 0.01);
+    auto profiler = makeProfiler(cfg);
+    const auto &tuples = pathStream();
+    size_t i = 0;
+    uint64_t in_interval = 0;
+    for (auto _ : state) {
+        profiler->onEvent(tuples[i]);
+        i = (i + 1) % tuples.size();
+        if (++in_interval == cfg.intervalLength) {
+            benchmark::DoNotOptimize(profiler->endInterval());
+            in_interval = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerPathTuples);
+
+void
+BM_PathWorkloadGeneration(benchmark::State &state)
+{
+    auto workload = makePathWorkload("go");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workload->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathWorkloadGeneration);
+
 /**
  * Per-ISA-tier batched ingest: the mh4 profiler driven through
  * onEvents() with its kernel table pinned to one tier. Registered at

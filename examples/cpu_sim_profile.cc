@@ -16,6 +16,7 @@
 #include "sim/machine.h"
 #include "sim/probes.h"
 #include "support/cli.h"
+#include "trace/event_class.h"
 
 int
 main(int argc, char **argv)

@@ -1,0 +1,337 @@
+#include "analysis/pgo_pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/interval_runner.h"
+#include "core/factory.h"
+#include "opt/trace_formation.h"
+#include "sim/probes.h"
+#include "support/panic.h"
+#include "trace/tuple_span.h"
+
+namespace mhp {
+
+namespace {
+
+/** Static cost of one emitted path occurrence. */
+struct PathCost
+{
+    uint64_t instructions = 1;
+    uint64_t transitions = 0; ///< block-to-block control transfers
+};
+
+/**
+ * Memoizing decoder from path tuples to their static costs. The hot
+ * set is small (bounded by the program's path universe), so one map
+ * shared across the whole replay keeps the model O(distinct paths).
+ */
+class CostTable
+{
+  public:
+    explicit CostTable(const BallLarusNumbering &numbering)
+        : num(numbering)
+    {
+    }
+
+    const PathCost &
+    lookup(const Tuple &tuple)
+    {
+        auto it = table.find(tuple);
+        if (it != table.end())
+            return it->second;
+        PathCost cost;
+        const int routine = num.routineByPc(tuple.first);
+        if (routine >= 0) {
+            const uint64_t paths =
+                num.numPaths(static_cast<uint32_t>(routine));
+            const uint64_t id =
+                paths > 1 ? tuple.second % paths : 0;
+            const std::vector<uint32_t> blocks =
+                num.decodePath(static_cast<uint32_t>(routine), id);
+            if (!blocks.empty()) {
+                cost.instructions = num.pathInstructions(
+                    static_cast<uint32_t>(routine), id);
+                cost.transitions = blocks.size() - 1;
+            }
+        }
+        return table.emplace(tuple, cost).first->second;
+    }
+
+  private:
+    const BallLarusNumbering &num;
+    std::unordered_map<Tuple, PathCost, TupleHash> table;
+};
+
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+/**
+ * Replay the recorded stream under the trace-cache model: every path
+ * occurrence executes its instructions; its block transitions cost 1
+ * cycle when the path is selected (laid out straight-line — a single
+ * fetch redirect enters the trace) and `penalty` cycles each when it
+ * is not.
+ */
+double
+replayCost(const std::vector<Tuple> &stream, CostTable &costs,
+           const TupleSet &selected, double penalty)
+{
+    double total = 0.0;
+    for (const Tuple &t : stream) {
+        const PathCost &c = costs.lookup(t);
+        total += static_cast<double>(c.instructions);
+        if (c.transitions == 0)
+            continue;
+        total += selected.count(t) != 0
+                     ? 1.0
+                     : penalty * static_cast<double>(c.transitions);
+    }
+    return total;
+}
+
+/**
+ * The oracle selection at a threshold: exact per-interval counts,
+ * keeping every tuple that clears the threshold in any interval —
+ * what a perfect profiler with unbounded tables would capture.
+ */
+TupleSet
+oracleSelection(const std::vector<Tuple> &stream,
+                uint64_t intervalLength, uint64_t thresholdCount)
+{
+    TupleSet selected;
+    std::unordered_map<Tuple, uint64_t, TupleHash> counts;
+    const size_t events = stream.size();
+    for (size_t i = 0; i < events; ++i) {
+        counts[stream[i]] += 1;
+        if ((i + 1) % intervalLength == 0) {
+            for (const auto &[tuple, count] : counts) {
+                if (count >= thresholdCount)
+                    selected.insert(tuple);
+            }
+            counts.clear();
+        }
+    }
+    return selected;
+}
+
+} // namespace
+
+std::vector<Tuple>
+BallLarusPathDecoder::decode(const Tuple &path) const
+{
+    const int routine = num.routineByPc(path.first);
+    if (routine < 0)
+        return {};
+    const uint64_t paths = num.numPaths(static_cast<uint32_t>(routine));
+    if (paths == 0)
+        return {};
+    const uint64_t id = paths > 1 ? path.second % paths : 0;
+    return num.decodePathEdges(static_cast<uint32_t>(routine), id);
+}
+
+PgoPipeline::PgoPipeline(PgoOptions options) : opts(std::move(options))
+{
+    MHP_REQUIRE(opts.intervals >= 1, "pgo needs intervals");
+    MHP_REQUIRE(opts.intervalLength >= 1, "pgo needs interval length");
+    MHP_REQUIRE(opts.kIterations >= 1, "pgo needs k >= 1");
+    MHP_REQUIRE(opts.branchPenalty >= 1.0,
+                "branchPenalty below 1 would reward fetch breaks");
+    MHP_REQUIRE(!opts.configs.empty(), "pgo needs profiler configs");
+}
+
+PgoReport
+PgoPipeline::run() const
+{
+    // 1. Generate and analyze the program.
+    const Program program = generateProgram(opts.program);
+    const BallLarusNumbering numbering(program, opts.kIterations);
+
+    // 2. Record the path stream once; every configuration and the
+    //    cost model replay these exact tuples.
+    std::vector<Tuple> stream;
+    const uint64_t wanted = opts.intervals * opts.intervalLength;
+    stream.reserve(wanted);
+    Machine machine(program);
+    PathProbe probe(machine, numbering);
+    while (stream.size() < wanted && !probe.done())
+        stream.push_back(probe.next());
+
+    PgoReport report;
+    report.pathEvents = stream.size();
+    report.brokenPaths = probe.brokenPaths();
+    report.routines = numbering.routines().size();
+    report.kIterations = opts.kIterations;
+    {
+        TupleSet distinct(stream.begin(), stream.end());
+        report.distinctPaths = distinct.size();
+    }
+
+    CostTable costs(numbering);
+    report.baselineCost =
+        replayCost(stream, costs, {}, opts.branchPenalty);
+
+    const BallLarusPathDecoder decoder(numbering);
+    const TraceFormationEngine former;
+
+    // Oracle selections are shared across configs with equal
+    // thresholds (typically all of them).
+    std::unordered_map<uint64_t, double> oracleCostByThreshold;
+
+    for (const SweepConfig &entry : opts.configs) {
+        ProfilerConfig config = entry.config;
+        config.intervalLength = opts.intervalLength;
+        const uint64_t threshold = config.thresholdCount();
+
+        PgoConfigReport cr;
+        cr.label = entry.label;
+
+        // 3a. Profile the recorded stream with this configuration.
+        auto profiler = makeProfiler(config);
+        TupleSpanSource source(
+            TupleSpan(stream.data(), stream.size()),
+            ProfileKind::Path, "pgo-paths");
+        StreamRunOptions runOptions;
+        runOptions.keepSnapshots = true;
+        const RunOutput out = runIntervalsStream(
+            source, {profiler.get()}, opts.intervalLength, threshold,
+            opts.intervals, runOptions);
+        cr.avgErrorPercent = out.results[0].averageErrorPercent();
+
+        // 3b. Aggregate the captured candidates across intervals into
+        //     the selection set and a weighted snapshot for the
+        //     optimizer.
+        TupleSet selected;
+        std::unordered_map<Tuple, uint64_t, TupleHash> aggregate;
+        for (const IntervalSnapshot &snap : out.snapshots[0]) {
+            for (const CandidateCount &cand : snap) {
+                selected.insert(cand.tuple);
+                aggregate[cand.tuple] += cand.count;
+            }
+        }
+        cr.hotPaths = selected.size();
+
+        IntervalSnapshot hot;
+        hot.reserve(aggregate.size());
+        for (const auto &[tuple, count] : aggregate)
+            hot.push_back({tuple, count});
+        canonicalize(hot);
+
+        // 3c. Lower hot paths to edges and form traces; coverage is
+        //     the layout-quality metric next to the speedup.
+        ProfileView view;
+        view.kind = ProfileKind::Path;
+        view.snapshot = &hot;
+        view.decoder = &decoder;
+        const std::vector<Trace> traces = former.form(view);
+        cr.traceCoverage =
+            TraceFormationEngine::coverage(traces, view);
+
+        // 4. Re-execute under the cost model.
+        cr.optimizedCost =
+            replayCost(stream, costs, selected, opts.branchPenalty);
+        cr.speedup = cr.optimizedCost > 0.0
+                         ? report.baselineCost / cr.optimizedCost
+                         : 0.0;
+
+        auto oracle = oracleCostByThreshold.find(threshold);
+        if (oracle == oracleCostByThreshold.end()) {
+            const TupleSet exact = oracleSelection(
+                stream, opts.intervalLength, threshold);
+            oracle = oracleCostByThreshold
+                         .emplace(threshold,
+                                  replayCost(stream, costs, exact,
+                                             opts.branchPenalty))
+                         .first;
+        }
+        cr.oracleSpeedup = oracle->second > 0.0
+                               ? report.baselineCost / oracle->second
+                               : 0.0;
+
+        report.configs.push_back(std::move(cr));
+    }
+    return report;
+}
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    out += buf;
+}
+
+void
+appendu(std::string &out, uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+/** Escape the few JSON-special characters a config label can hold. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        if (ch == '"' || ch == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out += buf;
+            continue;
+        }
+        out += ch;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderPgoJson(const PgoReport &report)
+{
+    std::string out = "{\n";
+    out += "  \"path_events\": ";
+    appendu(out, report.pathEvents);
+    out += ",\n  \"distinct_paths\": ";
+    appendu(out, report.distinctPaths);
+    out += ",\n  \"broken_paths\": ";
+    appendu(out, report.brokenPaths);
+    out += ",\n  \"routines\": ";
+    appendu(out, report.routines);
+    out += ",\n  \"k_iterations\": ";
+    appendu(out, report.kIterations);
+    out += ",\n  \"baseline_cost\": ";
+    appendf(out, "%.6f", report.baselineCost);
+    out += ",\n  \"configs\": [";
+    for (size_t i = 0; i < report.configs.size(); ++i) {
+        const PgoConfigReport &c = report.configs[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"label\": \"" + jsonEscape(c.label) + "\"";
+        out += ", \"avg_error_percent\": ";
+        appendf(out, "%.6f", c.avgErrorPercent);
+        out += ", \"hot_paths\": ";
+        appendu(out, c.hotPaths);
+        out += ", \"trace_coverage\": ";
+        appendf(out, "%.6f", c.traceCoverage);
+        out += ", \"optimized_cost\": ";
+        appendf(out, "%.6f", c.optimizedCost);
+        out += ", \"speedup\": ";
+        appendf(out, "%.6f", c.speedup);
+        out += ", \"oracle_speedup\": ";
+        appendf(out, "%.6f", c.oracleSpeedup);
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace mhp

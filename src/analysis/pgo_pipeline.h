@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The closed profile→optimize→re-execute loop.
+ *
+ * Everything upstream of this file measures profiler *accuracy*
+ * (weighted error against a perfect profile). This pipeline measures
+ * what the paper motivates profiling for in the first place: the
+ * performance a client optimization realizes from the profile. It
+ * closes the loop end to end, entirely in-process:
+ *
+ *  1. generate — a seeded mini-CPU program (sim/codegen);
+ *  2. profile — run it under Ball–Larus path instrumentation
+ *     (sim/path_profile) and feed the <routineId, pathId> stream to
+ *     each hardware-profiler configuration under test;
+ *  3. optimize — lower each configuration's captured hot paths
+ *     through the kind-aware ProfileView into formed traces
+ *     (opt/trace_formation), selecting the paths worth laying out;
+ *  4. re-execute — replay the recorded path stream under a simple
+ *     trace-cache cost model (straight-line instructions are free of
+ *     fetch breaks; every control transfer off a selected trace costs
+ *     `branchPenalty` cycles) and report the realized speedup next to
+ *     the profile's weighted error.
+ *
+ * The event stream is recorded once and shared by every configuration
+ * and by the cost model, so the whole report is a pure function of
+ * (options, seed): same-seed reruns are byte-identical, and an oracle
+ * selection (exact per-interval counts) bounds each configuration
+ * from above.
+ */
+
+#ifndef MHP_ANALYSIS_PGO_PIPELINE_H
+#define MHP_ANALYSIS_PGO_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep_runner.h"
+#include "opt/profile_view.h"
+#include "sim/codegen.h"
+#include "sim/path_profile.h"
+
+namespace mhp {
+
+/**
+ * PathDecoder over a BallLarusNumbering: expands a captured
+ * <routineEntryPC, pathId> tuple into the branch edges of its last
+ * acyclic path (composite ids are reduced modulo numPaths). Tuples
+ * naming no known routine decode to nothing.
+ */
+class BallLarusPathDecoder final : public PathDecoder
+{
+  public:
+    explicit BallLarusPathDecoder(const BallLarusNumbering &numbering)
+        : num(numbering)
+    {
+    }
+
+    std::vector<Tuple> decode(const Tuple &path) const override;
+
+  private:
+    const BallLarusNumbering &num;
+};
+
+/** Everything a PgoPipeline run is parameterized by. */
+struct PgoOptions
+{
+    /** The program to generate, profile, and re-execute. */
+    CodegenConfig program;
+
+    /** Ball–Larus iteration depth k (1 = classic acyclic paths). */
+    unsigned kIterations = 1;
+
+    /** Profile intervals and events (completed paths) per interval. */
+    uint64_t intervals = 8;
+    uint64_t intervalLength = 10'000;
+
+    /**
+     * Cost-model price of a control transfer that leaves a selected
+     * trace (fetch break / misfetch), in cycles. On-trace transfers
+     * cost 1.
+     */
+    double branchPenalty = 3.0;
+
+    /**
+     * Profiler configurations to evaluate. Each config's
+     * intervalLength is overridden by `intervalLength` above so every
+     * configuration scores the same stream cut the same way.
+     */
+    std::vector<SweepConfig> configs;
+};
+
+/** Per-configuration outcome of the closed loop. */
+struct PgoConfigReport
+{
+    std::string label;
+
+    /** Weighted profile error against the perfect profile (percent). */
+    double avgErrorPercent = 0.0;
+
+    /** Distinct path tuples the profiler captured across intervals. */
+    uint64_t hotPaths = 0;
+
+    /** Fraction of lowered edge mass absorbed by formed traces. */
+    double traceCoverage = 0.0;
+
+    /** Modeled cycles of the re-executed stream with this selection. */
+    double optimizedCost = 0.0;
+
+    /** baselineCost / optimizedCost. */
+    double speedup = 0.0;
+
+    /** Speedup an exact (oracle) selection at the same threshold gets. */
+    double oracleSpeedup = 0.0;
+};
+
+/** The full machine-readable report of one pipeline run. */
+struct PgoReport
+{
+    uint64_t pathEvents = 0;    ///< recorded path tuples
+    uint64_t distinctPaths = 0; ///< distinct tuples in the stream
+    uint64_t brokenPaths = 0;   ///< transitions the tracker dropped
+    uint64_t routines = 0;      ///< routines in the numbering
+    uint64_t kIterations = 1;   ///< requested k
+    double baselineCost = 0.0;  ///< modeled cycles, nothing selected
+    std::vector<PgoConfigReport> configs;
+};
+
+/** Runs the generate→profile→optimize→re-execute loop. */
+class PgoPipeline
+{
+  public:
+    explicit PgoPipeline(PgoOptions options);
+
+    /** Execute the full loop. Deterministic in the options. */
+    PgoReport run() const;
+
+    const PgoOptions &options() const { return opts; }
+
+  private:
+    PgoOptions opts;
+};
+
+/**
+ * Render a report as deterministic JSON (fixed key order, %.6f
+ * floats): byte-identical for byte-identical reports.
+ */
+std::string renderPgoJson(const PgoReport &report);
+
+} // namespace mhp
+
+#endif // MHP_ANALYSIS_PGO_PIPELINE_H

@@ -7,15 +7,23 @@
 #include "support/crc32.h"
 #include "support/durable.h"
 #include "support/failpoint.h"
+#include "trace/event_class.h"
 
 namespace mhp {
 
 namespace {
 
+constexpr char kMagicV3[8] = {'M', 'H', 'P', 'R', 'O', 'F', '3', '\0'};
 constexpr char kMagicV2[8] = {'M', 'H', 'P', 'R', 'O', 'F', '2', '\0'};
 constexpr char kMagicV1[8] = {'M', 'H', 'P', 'R', 'O', 'F', '1', '\0'};
 
-/** v2: magic(8) kind(1) pad(7) len(8) thr(8) count(8) crc(4). */
+/**
+ * v2/v3: magic(8) kind(1) pad(7) len(8) thr(8) count(8) crc(4).
+ * v3 is byte-identical to v2 except for the magic and the kind byte's
+ * domain: v3 kinds come from the event-class registry (including
+ * 0xff = Unknown), while v2/v1 files predate Path and accept only the
+ * original four values.
+ */
 constexpr size_t kHeaderSizeV2 = 44;
 constexpr size_t kHeaderCrcSpan = 40; ///< bytes the header CRC covers
 
@@ -25,18 +33,18 @@ constexpr size_t kHeaderSizeV1 = 32;
 constexpr size_t kRecordSize = 24;
 constexpr size_t kCrcSize = 4;
 
-/** v2 sentinel: the writer is still open (count not yet patched). */
+/** v2/v3 sentinel: the writer is still open (count not yet patched). */
 constexpr uint64_t kUnterminated = UINT64_MAX;
 
-/** Serialize a v2 header with the given interval count. */
+/** Serialize a v3 header with the given interval count. */
 void
-buildHeaderV2(uint8_t (&header)[kHeaderSizeV2], ProfileKind kind,
+buildHeaderV3(uint8_t (&header)[kHeaderSizeV2], ProfileKind kind,
               uint64_t intervalLength, uint64_t thresholdCount,
               uint64_t intervalCount)
 {
     std::memset(header, 0, sizeof(header));
-    std::memcpy(header, kMagicV2, sizeof(kMagicV2));
-    header[8] = static_cast<uint8_t>(kind);
+    std::memcpy(header, kMagicV3, sizeof(kMagicV3));
+    header[8] = profileKindToByte(kind);
     putLe64(header + 16, intervalLength);
     putLe64(header + 24, thresholdCount);
     putLe64(header + 32, intervalCount);
@@ -55,7 +63,7 @@ ProfileWriter::ProfileWriter(const std::string &path, ProfileKind kind_,
     if (!out)
         return;
     uint8_t header[kHeaderSizeV2];
-    buildHeaderV2(header, kind, intervalLength, thresholdCount,
+    buildHeaderV3(header, kind, intervalLength, thresholdCount,
                   kUnterminated);
     out.write(reinterpret_cast<const char *>(header), kHeaderSizeV2);
 }
@@ -153,7 +161,7 @@ ProfileWriter::close()
     // Back-patch the interval count (and thus the header CRC), then
     // publish the finished file under its final name in one rename.
     uint8_t header[kHeaderSizeV2];
-    buildHeaderV2(header, kind, intervalLength, thresholdCount,
+    buildHeaderV3(header, kind, intervalLength, thresholdCount,
                   intervals);
     out.seekp(0);
     out.write(reinterpret_cast<const char *>(header), kHeaderSizeV2);
@@ -225,8 +233,9 @@ ProfileReader::open(const std::string &path)
     if (r.in.gcount() != static_cast<std::streamsize>(sizeof(magic)))
         return r.corruptHere("truncated profile header");
 
-    if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
-        r.version = 2;
+    const bool isV3 = std::memcmp(magic, kMagicV3, sizeof(magic)) == 0;
+    if (isV3 || std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+        r.version = isV3 ? 3 : 2;
         uint8_t header[kHeaderSizeV2];
         std::memcpy(header, magic, sizeof(magic));
         r.in.read(reinterpret_cast<char *>(header) + sizeof(magic),
@@ -241,9 +250,21 @@ ProfileReader::open(const std::string &path)
                 "%s: header CRC mismatch (stored %08x, computed %08x)",
                 path.c_str(), stored, computed);
         }
-        if (header[8] > static_cast<uint8_t>(ProfileKind::Mispredict))
-            return r.corruptHere("unknown profile kind");
-        r.profileKind = static_cast<ProfileKind>(header[8]);
+        if (isV3) {
+            // v3 kinds come from the registry (0xff = Unknown allowed).
+            std::optional<ProfileKind> kind =
+                profileKindFromByte(header[8]);
+            if (!kind)
+                return r.corruptHere("unknown profile kind");
+            r.profileKind = *kind;
+        } else {
+            // v2 predates Path; files written then can only carry the
+            // original four values, so anything else is corruption.
+            if (header[8] >
+                static_cast<uint8_t>(ProfileKind::Mispredict))
+                return r.corruptHere("unknown profile kind");
+            r.profileKind = static_cast<ProfileKind>(header[8]);
+        }
         r.length = getLe64(header + 16);
         r.threshold = getLe64(header + 24);
         r.intervalCount = getLe64(header + 32);

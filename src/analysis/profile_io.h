@@ -4,10 +4,10 @@
  *
  * A profile file stores the sequence of interval snapshots a profiler
  * produced — the artifact a run-time optimizer (or an offline tool)
- * consumes. The current on-disk format is v2 (see docs/FORMATS.md for
+ * consumes. The current on-disk format is v3 (see docs/FORMATS.md for
  * the byte-level specification):
  *
- *   header:   magic "MHPROF2\0" (8 bytes)
+ *   header:   magic "MHPROF3\0" (8 bytes)
  *             kind (1 byte)    reserved (7 bytes, zero)
  *             intervalLength (8 bytes LE)
  *             thresholdCount (8 bytes LE)
@@ -22,8 +22,10 @@
  * close(), so a crash never leaves a half-written profile under the
  * final name. The reader validates both CRCs, bounds every allocation
  * by the remaining file size, and detects truncation from the explicit
- * interval count; it still accepts the legacy v1 format ("MHPROF1\0",
- * no CRCs, implicit interval count read until EOF).
+ * interval count; it still accepts v2 ("MHPROF2\0", same layout but
+ * the kind byte predates the event-class registry, so only the
+ * original four kinds are valid) and the legacy v1 format
+ * ("MHPROF1\0", no CRCs, implicit interval count read until EOF).
  *
  * Everything here treats the file as untrusted input: failures are
  * reported as Status values whose messages carry path, offset, and
@@ -46,7 +48,7 @@
 
 namespace mhp {
 
-/** Streams interval snapshots into a .mhp file (v2, checksummed). */
+/** Streams interval snapshots into a .mhp file (v3, checksummed). */
 class ProfileWriter
 {
   public:
@@ -104,7 +106,7 @@ class ProfileWriter
     Status firstError;
 };
 
-/** Reads a .mhp file back (v2 with validation; v1 accepted). */
+/** Reads a .mhp file back (v3/v2 with validation; v1 accepted). */
 class ProfileReader
 {
   public:
@@ -119,10 +121,10 @@ class ProfileReader
     uint64_t intervalLength() const { return length; }
     uint64_t thresholdCount() const { return threshold; }
 
-    /** On-disk format version: 1 (legacy) or 2. */
+    /** On-disk format version: 1 (legacy), 2, or 3. */
     unsigned formatVersion() const { return version; }
 
-    /** Intervals the v2 header promises (0 for v1: implicit). */
+    /** Intervals the v2/v3 header promises (0 for v1: implicit). */
     uint64_t declaredIntervals() const
     {
         return version >= 2 ? intervalCount : 0;
@@ -161,8 +163,8 @@ class ProfileReader
     ProfileKind profileKind = ProfileKind::Value;
     uint64_t length = 0;
     uint64_t threshold = 0;
-    unsigned version = 2;
-    uint64_t intervalCount = 0; ///< declared (v2 only)
+    unsigned version = 3;
+    uint64_t intervalCount = 0; ///< declared (v2/v3 only)
     uint64_t intervalsRead = 0;
     uint64_t fileSize = 0;
     uint64_t offset = 0; ///< bytes consumed so far (diagnostics)

@@ -15,6 +15,7 @@
 #include "support/panic.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "trace/event_class.h"
 #include "workload/benchmarks.h"
 
 namespace mhp {
@@ -90,7 +91,9 @@ SweepRunner::planFingerprint() const
     ByteBuffer plan;
     for (const auto &name : sweepPlan.benchmarks)
         plan.str(name);
-    plan.u8(sweepPlan.edges ? 1 : 0);
+    // Byte-compatible with the old bool-edges encoding: Value = 0,
+    // Edge = 1, so pre-existing value/edge checkpoints still resume.
+    plan.u8(profileKindToByte(sweepPlan.kind));
     for (const auto &config : sweepPlan.configs) {
         plan.str(config.label);
         const ProfilerConfig &c = config.config;
@@ -169,12 +172,21 @@ SweepRunner::computeCellStream(size_t cell, SweepCellResult &result,
                                  config.thresholdCount(),
                                  plan.intervals, options);
     } else {
-        std::unique_ptr<EventSource> source =
-            plan.edges
-                ? std::unique_ptr<EventSource>(makeEdgeWorkload(
-                      result.benchmark, plan.workloadSeed))
-                : std::unique_ptr<EventSource>(makeValueWorkload(
-                      result.benchmark, plan.workloadSeed));
+        std::unique_ptr<EventSource> source;
+        switch (plan.kind) {
+        case ProfileKind::Edge:
+            source = makeEdgeWorkload(result.benchmark,
+                                      plan.workloadSeed);
+            break;
+        case ProfileKind::Path:
+            source = makePathWorkload(result.benchmark,
+                                      plan.workloadSeed);
+            break;
+        default:
+            source = makeValueWorkload(result.benchmark,
+                                       plan.workloadSeed);
+            break;
+        }
         // Mirror runIntervalsBatched() exactly (cursor capacity
         // clipped to one interval) so a resilient run's results stay
         // bit-identical to run()'s and to existing checkpoints.

@@ -47,6 +47,7 @@
 #include "core/config.h"
 #include "support/status.h"
 #include "trace/trace_map.h"
+#include "trace/tuple.h"
 
 namespace mhp {
 
@@ -63,8 +64,13 @@ struct SweepPlan
     /** Suite benchmarks to run (workload model names). */
     std::vector<std::string> benchmarks;
 
-    /** Use the edge model instead of the value model. */
-    bool edges = false;
+    /**
+     * Event class to sweep: selects the calibrated workload model
+     * (value, edge, or path) each cell regenerates. Fingerprints are
+     * backward compatible: Value and Edge encode the same bytes the
+     * old `edges` flag did, so existing checkpoints still resume.
+     */
+    ProfileKind kind = ProfileKind::Value;
 
     /** Profiler configurations to evaluate per benchmark. */
     std::vector<SweepConfig> configs;
@@ -92,7 +98,7 @@ struct SweepPlan
      * regenerating a workload stream — no cell copies the trace, and
      * all of them (parallel or resumed) read the same bytes. The
      * `benchmarks` list then holds a single display name (defaulted
-     * to the trace path by SweepRunner); `edges` and `workloadSeed`
+     * to the trace path by SweepRunner); `kind` and `workloadSeed`
      * are ignored. The trace fingerprint joins the plan fingerprint,
      * so a checkpoint cannot be resumed against a different trace.
      */

@@ -1,5 +1,7 @@
 #include "analysis/sweep_wire.h"
 
+#include "trace/event_class.h"
+
 namespace mhp {
 
 namespace {
@@ -77,7 +79,7 @@ encodePlan(ByteBuffer &out, const WirePlan &plan)
     out.u64(p.benchmarks.size());
     for (const std::string &name : p.benchmarks)
         out.str(name);
-    out.u8(p.edges ? 1 : 0);
+    out.u8(profileKindToByte(p.kind));
     out.u64(p.configs.size());
     for (const SweepConfig &config : p.configs) {
         out.str(config.label);
@@ -129,10 +131,14 @@ decodePlan(const uint8_t *data, size_t size, WirePlan &plan)
         if (!cursor.str(name))
             return malformed("Plan");
     }
-    uint8_t edges;
-    if (!cursor.u8(edges))
+    uint8_t kindByte;
+    if (!cursor.u8(kindByte))
         return malformed("Plan");
-    p.edges = edges != 0;
+    const std::optional<ProfileKind> kind = profileKindFromByte(kindByte);
+    if (!kind)
+        return Status::corruptData(
+            "Plan payload carries an unknown profile kind");
+    p.kind = *kind;
 
     uint64_t configs;
     if (!cursor.u64(configs) || configs > cursor.remaining() / 8)

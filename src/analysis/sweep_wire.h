@@ -29,7 +29,8 @@
 namespace mhp {
 
 /** Protocol revision; bumped on any frame-payload change. */
-constexpr uint32_t kSweepProtoVersion = 1;
+constexpr uint32_t kSweepProtoVersion = 2; // v2: Plan kind byte is a
+                                           // registry ProfileKind
 
 /** Frame types of the sweep protocol (wire frame `type` byte). */
 enum class SweepMsg : uint8_t

@@ -75,4 +75,18 @@ MultipathSelector::fromMispredictProfile(
     return chosen;
 }
 
+std::vector<MultipathChoice>
+MultipathSelector::fromProfile(const ProfileView &view) const
+{
+    switch (view.kind) {
+    case ProfileKind::Mispredict:
+        return fromMispredictProfile(*view.snapshot);
+    case ProfileKind::Edge:
+    case ProfileKind::Path:
+        return fromEdgeProfile(view.asEdges());
+    default:
+        return {}; // no branch information in this event class
+    }
+}
+
 } // namespace mhp

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/profiler.h"
+#include "opt/profile_view.h"
 
 namespace mhp {
 
@@ -71,6 +72,16 @@ class MultipathSelector
      */
     std::vector<MultipathChoice>
     fromMispredictProfile(const IntervalSnapshot &hotMispredicts) const;
+
+    /**
+     * Select from any kind-aware profile view: Mispredict snapshots
+     * take the misprediction-weight route; Edge snapshots (and Path
+     * snapshots, lowered to their implied edges first) take the bias
+     * route. Other kinds carry no branch information and select
+     * nothing.
+     */
+    std::vector<MultipathChoice>
+    fromProfile(const ProfileView &view) const;
 
   private:
     MultipathConfig config;

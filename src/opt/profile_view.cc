@@ -1,0 +1,31 @@
+#include "opt/profile_view.h"
+
+#include <unordered_map>
+
+#include "support/panic.h"
+
+namespace mhp {
+
+IntervalSnapshot
+ProfileView::asEdges() const
+{
+    MHP_REQUIRE(snapshot != nullptr, "ProfileView without a snapshot");
+    if (kind != ProfileKind::Path)
+        return *snapshot;
+    MHP_REQUIRE(decoder != nullptr,
+                "a path ProfileView needs a PathDecoder");
+
+    std::unordered_map<Tuple, uint64_t, TupleHash> weights;
+    for (const CandidateCount &cand : *snapshot) {
+        for (const Tuple &edge : decoder->decode(cand.tuple))
+            weights[edge] += cand.count;
+    }
+    IntervalSnapshot edges;
+    edges.reserve(weights.size());
+    for (const auto &[tuple, count] : weights)
+        edges.push_back({tuple, count});
+    canonicalize(edges);
+    return edges;
+}
+
+} // namespace mhp

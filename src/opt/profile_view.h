@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A kind-aware view over a profiler snapshot for the optimization
+ * clients (trace formation, multipath selection).
+ *
+ * The hardware profiler is tuple-opaque: it captures the hottest
+ * <a, b> pairs of whatever event class the probe fed it. The
+ * optimizers, though, reason in control-flow terms. ProfileView closes
+ * the gap: it carries the snapshot together with its ProfileKind and —
+ * for path profiles, whose tuples are <routineId, pathId> and mean
+ * nothing without the numbering that produced them — a PathDecoder
+ * that expands a path id back into the branch edges it implies. Edge
+ * snapshots pass through untouched; path snapshots are lowered to a
+ * weighted edge snapshot, each hot path contributing its count to
+ * every branch edge along the decoded path.
+ */
+
+#ifndef MHP_OPT_PROFILE_VIEW_H
+#define MHP_OPT_PROFILE_VIEW_H
+
+#include <vector>
+
+#include "core/profiler.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/**
+ * Expands a captured path tuple into its implied branch edges.
+ *
+ * Implemented by whoever owns the path numbering — in the simulator
+ * pipeline that is a BallLarusNumbering adapter; tests can supply a
+ * table-driven fake. Unknown or undecodable tuples expand to nothing.
+ */
+class PathDecoder
+{
+  public:
+    virtual ~PathDecoder() = default;
+
+    /**
+     * The <branchPC, targetPC> edges taken along the path `path`
+     * names, in control-flow order; empty if the tuple cannot be
+     * decoded (foreign routine, overflowed id).
+     */
+    virtual std::vector<Tuple> decode(const Tuple &path) const = 0;
+};
+
+/**
+ * A profiler snapshot plus the context needed to interpret it.
+ * Non-owning: the snapshot (and decoder, for path views) must outlive
+ * the view.
+ */
+struct ProfileView
+{
+    ProfileKind kind = ProfileKind::Edge;
+    const IntervalSnapshot *snapshot = nullptr;
+
+    /** Required exactly when kind == ProfileKind::Path. */
+    const PathDecoder *decoder = nullptr;
+
+    /**
+     * Lower the view to edge candidates: Edge and Mispredict
+     * snapshots copy through unchanged; Path snapshots decode each
+     * candidate and credit its count to every edge on the path
+     * (duplicate edges aggregate). The result is canonicalized, so
+     * downstream consumers see the usual hottest-first order.
+     */
+    IntervalSnapshot asEdges() const;
+};
+
+} // namespace mhp
+
+#endif // MHP_OPT_PROFILE_VIEW_H

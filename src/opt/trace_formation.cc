@@ -83,6 +83,19 @@ TraceFormationEngine::form(const IntervalSnapshot &hotEdges) const
     return traces;
 }
 
+std::vector<Trace>
+TraceFormationEngine::form(const ProfileView &view) const
+{
+    return form(view.asEdges());
+}
+
+double
+TraceFormationEngine::coverage(const std::vector<Trace> &traces,
+                               const ProfileView &view)
+{
+    return coverage(traces, view.asEdges());
+}
+
 double
 TraceFormationEngine::coverage(const std::vector<Trace> &traces,
                                const IntervalSnapshot &hotEdges)

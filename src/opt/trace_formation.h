@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/profiler.h"
+#include "opt/profile_view.h"
 
 namespace mhp {
 
@@ -69,11 +70,23 @@ class TraceFormationEngine
     std::vector<Trace> form(const IntervalSnapshot &hotEdges) const;
 
     /**
+     * Form traces from any kind-aware profile view: edge snapshots
+     * chain directly; path snapshots are first lowered to their
+     * implied weighted edges (see ProfileView::asEdges), so a hot-path
+     * profile drives the same relayout machinery.
+     */
+    std::vector<Trace> form(const ProfileView &view) const;
+
+    /**
      * Fraction of the snapshot's total edge mass covered by the given
      * traces (quality metric for the layout).
      */
     static double coverage(const std::vector<Trace> &traces,
                            const IntervalSnapshot &hotEdges);
+
+    /** Coverage against a view's lowered edge mass. */
+    static double coverage(const std::vector<Trace> &traces,
+                           const ProfileView &view);
 
   private:
     TraceFormationConfig config;

@@ -10,6 +10,7 @@
 #include "core/factory.h"
 #include "support/failpoint.h"
 #include "support/wire.h"
+#include "trace/event_class.h"
 
 namespace mhp {
 
@@ -191,6 +192,7 @@ ServiceCore::query(uint64_t tenantId, const WireQuery &request) const
 
     WireSnapshot snap;
     snap.tenantId = tenantId;
+    snap.kind = profileKindToByte(session->kind());
     std::optional<PublishedSnapshot> result =
         published.query(tenantId, request.program, request.top);
     if (result) {

@@ -1,5 +1,7 @@
 #include "service/service_wire.h"
 
+#include "trace/event_class.h"
+
 namespace mhp {
 namespace {
 
@@ -139,6 +141,9 @@ decodeHello(const uint8_t *data, size_t size, WireTenantHello &hello)
             "peer speaks service protocol version " +
             std::to_string(hello.protoVersion) + ", this build " +
             std::to_string(kServiceProtoVersion));
+    if (!profileKindFromByte(hello.kind))
+        return Status::corruptData(
+            "Hello carries an unknown profile kind");
     return Status::ok();
 }
 
@@ -283,6 +288,7 @@ encodeSnapshot(ByteBuffer &out, const WireSnapshot &snapshot)
     out.u64(snapshot.tenantId);
     out.u64(snapshot.epoch);
     out.u64(snapshot.intervals);
+    out.u8(snapshot.kind);
     out.u64(snapshot.candidates.size());
     for (const CandidateCount &c : snapshot.candidates) {
         out.u64(c.tuple.first);
@@ -298,8 +304,12 @@ decodeSnapshot(const uint8_t *data, size_t size, WireSnapshot &snapshot,
     ByteCursor cursor(data, size);
     uint64_t count = 0;
     if (!(cursor.u64(snapshot.tenantId) && cursor.u64(snapshot.epoch) &&
-          cursor.u64(snapshot.intervals) && cursor.u64(count)))
+          cursor.u64(snapshot.intervals) && cursor.u8(snapshot.kind) &&
+          cursor.u64(count)))
         return truncated("Snapshot");
+    if (!profileKindFromByte(snapshot.kind))
+        return Status::corruptData(
+            "Snapshot carries an unknown profile kind");
     if (cursor.remaining() % 24 != 0 ||
         count != cursor.remaining() / 24 || count > maxCandidates)
         return Status::corruptData(

@@ -37,7 +37,8 @@
 namespace mhp {
 
 /** Protocol revision; bumped on any frame-payload change. */
-constexpr uint32_t kServiceProtoVersion = 1;
+constexpr uint32_t kServiceProtoVersion = 2; // v2: Snapshot carries
+                                             // the tenant's kind
 
 /** Per-endpoint frame cap for service connections: 1 MiB. */
 constexpr uint32_t kServiceFrameCap = 1u << 20;
@@ -162,6 +163,12 @@ struct WireSnapshot
     uint64_t tenantId = 0;
     uint64_t epoch = 0;     ///< publication epoch answered from
     uint64_t intervals = 0; ///< completed intervals at publication
+    /**
+     * The tenant's ProfileKind (registry byte encoding): what the
+     * candidate tuples mean. Validated against the event-class
+     * registry on decode.
+     */
+    uint8_t kind = 0;
     IntervalSnapshot candidates;
 };
 

@@ -65,6 +65,9 @@ Machine::step()
         return false;
     MHP_ASSERT(pcIndex < program.code.size(), "pc out of range");
 
+    if (onStep)
+        onStep(pcIndex);
+
     const Instruction &inst = program.code[pcIndex];
     const uint64_t cur = pcIndex;
     uint64_t next = pcIndex + 1;

@@ -38,6 +38,12 @@ class Machine
     /** Fires on every load/store with the BYTE address touched. */
     using MemHook =
         std::function<void(uint64_t pc, uint64_t byteAddr, bool store)>;
+    /**
+     * Fires before every instruction executes with its INDEX (not
+     * byte address) — the raw control-flow trace path profiling
+     * consumes. Fires for Halt too, so a tracker sees the final block.
+     */
+    using StepHook = std::function<void(uint64_t index)>;
 
     /**
      * @param program The executable (copied in).
@@ -49,6 +55,10 @@ class Machine
     void setLoadHook(LoadHook hook) { onLoad = std::move(hook); }
     void setEdgeHook(EdgeHook hook) { onEdge = std::move(hook); }
     void setMemHook(MemHook hook) { onMem = std::move(hook); }
+    void setStepHook(StepHook hook) { onStep = std::move(hook); }
+
+    /** The executable this machine runs (for CFG analysis). */
+    const Program &programImage() const { return program; }
 
     /**
      * Execute one instruction.
@@ -97,6 +107,7 @@ class Machine
     LoadHook onLoad;
     EdgeHook onEdge;
     MemHook onMem;
+    StepHook onStep;
 };
 
 } // namespace mhp

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Ball–Larus path profiling for mini-CPU programs.
+ *
+ * ATOM-style instrumentation over the program's CFG: basic blocks are
+ * recovered from the code, each routine's acyclic paths are numbered
+ * with the Ball–Larus scheme (every acyclic path from a start block
+ * to a path terminator gets a unique id in [0, numPaths)), and a
+ * runtime tracker folds the machine's instruction stream into
+ * <routineEntryPC, pathId> tuples that flow through the profilers
+ * like any other event class.
+ *
+ * Two extensions over the textbook algorithm:
+ *
+ *  - Multi-iteration paths (D'Elia–Demetrescu, "Ball-Larus Path
+ *    Profiling Across Multiple Loop Iterations"): with kIterations
+ *    k > 1, the emitted id is a composite folding the last up-to-k
+ *    acyclic ids of the current routine activation
+ *    (c = ((id0 * N) + id1) * N + ... with N = numPaths), so
+ *    consecutive loop iterations are distinguished. Each routine
+ *    clamps k to the largest power that keeps the composite below
+ *    kMaxCompositeId; the plain acyclic id is always composite % N.
+ *
+ *  - Interprocedural execution: paths are intraprocedural (a call
+ *    does not break the caller's path — the tracker suspends the
+ *    caller on a shadow stack and resumes it across the matching
+ *    Ret), while indirect jumps and cross-routine jumps terminate
+ *    the current path and restart tracking at the landing block if
+ *    it is a legal path start. Transitions the static CFG cannot
+ *    explain drop the in-flight path and are counted in
+ *    brokenPaths() instead of emitting a bogus id.
+ *
+ * The numbering is a pure function of the Program (and k), so a
+ * profile recorded on one machine can be decoded on another — the
+ * decoder reconstructs the block sequence (and the taken branch
+ * edges) of any emitted id, which is what the opt/ layer consumes.
+ */
+
+#ifndef MHP_SIM_PATH_PROFILE_H
+#define MHP_SIM_PATH_PROFILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/program.h"
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** Routines whose acyclic-path count exceeds this are not tracked. */
+constexpr uint64_t kMaxPathsPerRoutine = 1ULL << 48;
+
+/** Composite (k-iteration) ids stay below this bound. */
+constexpr uint64_t kMaxCompositeId = 1ULL << 40;
+
+/** Static Ball–Larus numbering of one program's CFG. */
+class BallLarusNumbering
+{
+  public:
+    /** Sentinel successor: the path terminates after this block. */
+    static constexpr uint32_t kExit = UINT32_MAX;
+
+    struct Block
+    {
+        uint64_t first = 0; ///< index of the leader instruction
+        uint64_t last = 0;  ///< index of the final instruction
+        uint32_t routine = 0;
+        bool isStart = false; ///< a path may begin here
+        bool isEnd = false;   ///< has a dummy edge to EXIT
+        /** Id offset of paths beginning at this start block. */
+        uint64_t startOffset = 0;
+        /** Ball–Larus increment of the dummy edge to EXIT. */
+        uint64_t exitVal = 0;
+        /** DAG successors (block id, edge increment), EXIT excluded. */
+        std::vector<std::pair<uint32_t, uint64_t>> succ;
+        /** Loop back-edge targets (removed from the DAG). */
+        std::vector<uint32_t> retreatSucc;
+        /** Opcode of the final instruction (drives runtime tracking). */
+        Opcode termOp = Opcode::Nop;
+    };
+
+    struct Routine
+    {
+        uint64_t entry = 0; ///< instruction index of the routine entry
+        uint32_t firstBlock = 0;
+        uint32_t lastBlock = 0; ///< inclusive
+        uint64_t numPaths = 0;  ///< acyclic paths across all starts
+        unsigned effectiveK = 1;
+        /** numPaths^effectiveK — the composite-id span. */
+        uint64_t compositeSpan = 1;
+        /** Too many paths to track (numPaths saturated). */
+        bool overflowed = false;
+    };
+
+    /**
+     * Analyze a program.
+     * @param kIterations Requested iteration depth k >= 1; each
+     *        routine clamps it so numPaths^k <= kMaxCompositeId.
+     */
+    explicit BallLarusNumbering(const Program &program,
+                                unsigned kIterations = 1);
+
+    const std::vector<Block> &blocks() const { return blockList; }
+    const std::vector<Routine> &routines() const { return routineList; }
+
+    /** Block containing an instruction index. */
+    uint32_t blockAt(uint64_t instrIndex) const
+    {
+        return blockOf[instrIndex];
+    }
+
+    /** The PC stamped into tuples for a routine (its entry address). */
+    uint64_t routinePc(uint32_t routine) const
+    {
+        return Machine::pcAddress(routineList[routine].entry);
+    }
+
+    /** Routine whose entry PC is `pc`, or -1 if no routine starts there. */
+    int routineByPc(uint64_t pc) const;
+
+    /** Total acyclic paths of the routine (0 if overflowed). */
+    uint64_t numPaths(uint32_t routine) const
+    {
+        return routineList[routine].overflowed
+                   ? 0
+                   : routineList[routine].numPaths;
+    }
+
+    /**
+     * Reconstruct the block sequence of an acyclic path id (NOT a
+     * composite; pass composite % numPaths). Empty if the id is out
+     * of range or the routine overflowed.
+     */
+    std::vector<uint32_t> decodePath(uint32_t routine,
+                                     uint64_t pathId) const;
+
+    /**
+     * The <branchPC, targetPC> edge tuples a path's conditional
+     * branches and taken control transfers would produce — the bridge
+     * from path profiles back to the edge-profile consumers in opt/.
+     */
+    std::vector<Tuple> decodePathEdges(uint32_t routine,
+                                       uint64_t pathId) const;
+
+    /** Instructions executed along a decoded path. */
+    uint64_t pathInstructions(uint32_t routine, uint64_t pathId) const;
+
+  private:
+    friend class PathTracker;
+
+    void findLeaders(const Program &program,
+                     std::vector<uint8_t> &leader) const;
+    void buildBlocks(const Program &program,
+                     const std::vector<uint8_t> &leader);
+    void buildEdges(const Program &program);
+    void removeBackEdges();
+    void numberPaths(unsigned kIterations);
+
+    std::vector<Block> blockList;
+    std::vector<Routine> routineList;
+    std::vector<uint32_t> blockOf; ///< instruction index -> block id
+    std::vector<uint64_t> routineEntries;
+};
+
+/**
+ * Runtime path accumulator: feed it every executed instruction index
+ * (Machine::StepHook) and it emits completed path tuples.
+ */
+class PathTracker
+{
+  public:
+    explicit PathTracker(const BallLarusNumbering &numbering);
+
+    /** Observe the next executed instruction index. */
+    void onStep(uint64_t instrIndex);
+
+    /** Flush the in-flight path after the machine halted. */
+    void finish();
+
+    /** Completed paths, oldest first; consumed by the caller. */
+    std::vector<Tuple> &emitted() { return out; }
+
+    uint64_t pathsEmitted() const { return emittedCount; }
+
+    /** Transitions the static CFG could not explain (paths dropped). */
+    uint64_t brokenPaths() const { return broken; }
+
+  private:
+    struct Frame
+    {
+        uint32_t routine;
+        uint32_t callBlock;
+        uint64_t reg;
+        uint64_t pathStart;
+        std::vector<uint64_t> window;
+    };
+
+    void emitPath(uint64_t endExitVal);
+    void beginAt(uint32_t block);
+    void goUntracked();
+
+    const BallLarusNumbering &num;
+    bool tracking = false;
+    bool finished = false;
+    uint32_t curRoutine = 0;
+    uint32_t curBlock = 0;
+    uint64_t reg = 0;
+    uint64_t pathStart = 0; ///< startOffset of the in-flight path
+    uint64_t prevIndex = 0;
+    bool havePrev = false;
+    /** Last <= effectiveK acyclic ids of the current activation. */
+    std::vector<uint64_t> window;
+    std::vector<Frame> stack;
+    std::vector<Tuple> out;
+    uint64_t emittedCount = 0;
+    uint64_t broken = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_SIM_PATH_PROFILE_H

@@ -72,4 +72,49 @@ EdgeProbe::next()
     return t;
 }
 
+PathProbe::PathProbe(Machine &machine_,
+                     const BallLarusNumbering &numbering)
+    : machine(machine_), tracker(numbering)
+{
+    machine.setStepHook(
+        [this](uint64_t index) { tracker.onStep(index); });
+}
+
+PathProbe::~PathProbe()
+{
+    machine.setStepHook(nullptr);
+}
+
+bool
+PathProbe::done() const
+{
+    auto *self = const_cast<PathProbe *>(this);
+    while (self->consumed == self->tracker.emitted().size()) {
+        // Completed tuples accumulate in the tracker; recycle the
+        // buffer whenever it is fully drained so a long run stays at
+        // O(1) memory.
+        self->tracker.emitted().clear();
+        self->consumed = 0;
+        if (!self->machine.step()) {
+            // Halted: the in-flight path (ending at the Halt block)
+            // still needs to flush, exactly once.
+            if (!self->flushed) {
+                self->flushed = true;
+                self->tracker.finish();
+                continue;
+            }
+            return self->consumed == self->tracker.emitted().size();
+        }
+    }
+    return false;
+}
+
+Tuple
+PathProbe::next()
+{
+    const bool dry = done();
+    MHP_ASSERT(!dry, "next() on a halted machine");
+    return tracker.emitted()[consumed++];
+}
+
 } // namespace mhp

@@ -12,10 +12,12 @@
 #ifndef MHP_SIM_PROBES_H
 #define MHP_SIM_PROBES_H
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "sim/machine.h"
+#include "sim/path_profile.h"
 #include "trace/source.h"
 
 namespace mhp {
@@ -54,6 +56,37 @@ class EdgeProbe : public EventSource
   private:
     Machine &machine;
     std::optional<Tuple> pending;
+};
+
+/**
+ * EventSource of <routineEntryPC, pathId> tuples: Ball–Larus path
+ * profiling of a running machine (see sim/path_profile.h for the
+ * numbering and the k-iteration composite scheme).
+ */
+class PathProbe : public EventSource
+{
+  public:
+    /**
+     * @param machine The machine to drive (not owned).
+     * @param numbering CFG numbering of the machine's program (not
+     *        owned; must outlive the probe).
+     */
+    PathProbe(Machine &machine, const BallLarusNumbering &numbering);
+    ~PathProbe() override;
+
+    Tuple next() override;
+    bool done() const override;
+    ProfileKind kind() const override { return ProfileKind::Path; }
+    std::string name() const override { return "sim-paths"; }
+
+    /** Transitions the tracker could not explain (paths dropped). */
+    uint64_t brokenPaths() const { return tracker.brokenPaths(); }
+
+  private:
+    Machine &machine;
+    PathTracker tracker;
+    size_t consumed = 0; ///< tuples taken from tracker.emitted()
+    bool flushed = false;
 };
 
 } // namespace mhp

@@ -133,6 +133,7 @@ CliParser::tryParse(int argc, char **argv)
                 "\"");
         }
         it->second.value = value;
+        setFlags[name] = true;
     }
     return Status::ok();
 }

@@ -62,6 +62,16 @@ class CliParser
     double getDouble(const std::string &name) const;
     bool getBool(const std::string &name) const;
 
+    /**
+     * True when the flag appeared on the command line (as opposed to
+     * holding its registered default) — for flags whose default
+     * depends on what else was passed.
+     */
+    bool wasSet(const std::string &name) const
+    {
+        return setFlags.count(name) != 0;
+    }
+
     /** Non-flag positional arguments, in order. */
     const std::vector<std::string> &positional() const { return args; }
 
@@ -79,6 +89,7 @@ class CliParser
 
     std::string description;
     std::map<std::string, Flag> flags;
+    std::map<std::string, bool> setFlags;
     std::vector<std::string> args;
     bool helpWanted = false;
 };

@@ -1,0 +1,84 @@
+#include "trace/event_class.h"
+
+#include "support/panic.h"
+
+namespace mhp {
+
+const std::vector<EventClassInfo> &eventClasses()
+{
+    static const std::vector<EventClassInfo> kClasses = {
+        {ProfileKind::Value, "value", "loadPC", "value",
+         "load-value pairs from instruction profiling (paper Section 2)"},
+        {ProfileKind::Edge, "edge", "branchPC", "targetPC",
+         "taken control-flow edges (branch PC, target PC)"},
+        {ProfileKind::CacheMiss, "cache-miss", "loadPC", "lineAddr",
+         "data-cache misses (load PC, missing line address)"},
+        {ProfileKind::Mispredict, "mispredict", "branchPC", "targetPC",
+         "mispredicted branches (branch PC, resolved target)"},
+        {ProfileKind::Path, "path", "routineId", "pathId",
+         "Ball-Larus acyclic / k-iteration paths (routine entry PC, path id)"},
+        {ProfileKind::Unknown, "unknown", "a", "b",
+         "semantics lost (legacy container or foreign producer)"},
+    };
+    return kClasses;
+}
+
+const std::vector<ProfileKind> &allProfileKinds()
+{
+    static const std::vector<ProfileKind> kKinds = [] {
+        std::vector<ProfileKind> kinds;
+        for (const EventClassInfo &info : eventClasses())
+            kinds.push_back(info.kind);
+        return kinds;
+    }();
+    return kKinds;
+}
+
+const EventClassInfo &eventClassInfo(ProfileKind kind)
+{
+    for (const EventClassInfo &info : eventClasses()) {
+        if (info.kind == kind)
+            return info;
+    }
+    MHP_PANIC("unregistered ProfileKind value");
+}
+
+const char *profileKindName(ProfileKind kind)
+{
+    return eventClassInfo(kind).name;
+}
+
+std::optional<ProfileKind> parseProfileKind(const std::string &name)
+{
+    for (const EventClassInfo &info : eventClasses()) {
+        if (name == info.name)
+            return info.kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<ProfileKind> profileKindFromByte(uint8_t byte)
+{
+    if (byte == kProfileKindUnknownByte)
+        return ProfileKind::Unknown;
+    for (const EventClassInfo &info : eventClasses()) {
+        if (info.kind != ProfileKind::Unknown &&
+            static_cast<uint8_t>(info.kind) == byte)
+            return info.kind;
+    }
+    return std::nullopt;
+}
+
+uint8_t profileKindToByte(ProfileKind kind)
+{
+    if (kind == ProfileKind::Unknown)
+        return kProfileKindUnknownByte;
+    return static_cast<uint8_t>(eventClassInfo(kind).kind);
+}
+
+bool profileKindsComparable(ProfileKind a, ProfileKind b)
+{
+    return a == b || a == ProfileKind::Unknown || b == ProfileKind::Unknown;
+}
+
+} // namespace mhp

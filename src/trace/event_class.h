@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The event-class registry: one authoritative table describing every
+ * ProfileKind the system understands.
+ *
+ * The profilers themselves are tuple-opaque (paper Section 3) — they
+ * hash and count <a, b> pairs without interpreting them. Everything
+ * *around* the profilers, however, needs to know what a stream's
+ * tuples mean: file headers stamp the kind, tools refuse to compare
+ * profiles of different kinds, workload factories pick a model, and
+ * diagnostics name the tuple members. This registry centralizes that
+ * knowledge:
+ *
+ *  - checked name <-> enum conversion (profileKindName() aborts on an
+ *    unregistered value instead of returning "?"; parseProfileKind()
+ *    returns nullopt for unknown names);
+ *  - per-kind tuple-member semantics (what `first` and `second` mean),
+ *    consumed by workload/tuple_naming's describeTuple();
+ *  - header-byte conversion for the .mhp / .mht container formats,
+ *    where ProfileKind::Unknown is represented as 0xff and any other
+ *    out-of-registry byte is rejected as corrupt.
+ *
+ * ProfileKind::Unknown is a first-class member: it marks streams whose
+ * semantics were lost (a legacy container, a foreign producer). It is
+ * comparable with everything (a wildcard), prints as "unknown", and
+ * its tuples render as raw hex.
+ */
+
+#ifndef MHP_TRACE_EVENT_CLASS_H
+#define MHP_TRACE_EVENT_CLASS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/tuple.h"
+
+namespace mhp {
+
+/** One registered event class. */
+struct EventClassInfo
+{
+    ProfileKind kind = ProfileKind::Unknown;
+
+    /** Canonical parse/print name ("value", "edge", "path", ...). */
+    const char *name = "unknown";
+
+    /** What Tuple::first means for this kind ("loadPC", ...). */
+    const char *firstMember = "a";
+
+    /** What Tuple::second means for this kind ("value", ...). */
+    const char *secondMember = "b";
+
+    /** One-line description for --help output and docs. */
+    const char *description = "";
+};
+
+/**
+ * Every registered event class, including Unknown, in registry order
+ * (Value, Edge, CacheMiss, Mispredict, Path, Unknown).
+ */
+const std::vector<EventClassInfo> &eventClasses();
+
+/**
+ * All kinds, in registry order — the domain of the round-trip tests
+ * and of exhaustive per-kind loops.
+ */
+const std::vector<ProfileKind> &allProfileKinds();
+
+/**
+ * Registry row for a kind. Fatal on an unregistered enum value — a
+ * kind that reaches here without being in the registry is a
+ * programming error, not input.
+ */
+const EventClassInfo &eventClassInfo(ProfileKind kind);
+
+/** Checked canonical name (never "?"; fatal on unregistered values). */
+const char *profileKindName(ProfileKind kind);
+
+/** Parse a canonical name; nullopt if it names no registered kind. */
+std::optional<ProfileKind> parseProfileKind(const std::string &name);
+
+/** The byte that represents ProfileKind::Unknown in file headers. */
+constexpr uint8_t kProfileKindUnknownByte = 0xff;
+
+/**
+ * Decode a container-header kind byte. Registered kinds map to
+ * themselves, kProfileKindUnknownByte maps to Unknown, anything else
+ * is nullopt (the caller reports corrupt data).
+ */
+std::optional<ProfileKind> profileKindFromByte(uint8_t byte);
+
+/** Encode a kind for a container header (inverse of FromByte). */
+uint8_t profileKindToByte(ProfileKind kind);
+
+/**
+ * True when profiles of these kinds may be compared: equal kinds, or
+ * either side Unknown (a legacy file whose semantics were lost is
+ * comparable with anything — the caller opted into that ambiguity by
+ * keeping the file).
+ */
+bool profileKindsComparable(ProfileKind a, ProfileKind b);
+
+} // namespace mhp
+
+#endif // MHP_TRACE_EVENT_CLASS_H

@@ -7,6 +7,7 @@
 #include "support/durable.h"
 #include "support/failpoint.h"
 #include "support/panic.h"
+#include "trace/event_class.h"
 
 namespace mhp {
 
@@ -28,10 +29,13 @@ validateTraceHeader(const std::string &path, const uint8_t *header,
         return Status::corruptData(path + ": truncated trace header");
     if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
         return Status::corruptData(path + ": bad trace magic");
-    if (header[8] > static_cast<uint8_t>(ProfileKind::Mispredict))
+    // The kind byte's domain is the event-class registry (including
+    // 0xff = Unknown for streams whose semantics were lost).
+    std::optional<ProfileKind> decoded = profileKindFromByte(header[8]);
+    if (!decoded)
         return Status::corruptData(path +
                                    ": unknown profile kind in header");
-    kind = static_cast<ProfileKind>(header[8]);
+    kind = *decoded;
     count = getLe64(header + 16);
 
     // Validate the declared count against the bytes actually present,
@@ -63,7 +67,7 @@ TraceWriter::TraceWriter(const std::string &path_, ProfileKind kind)
         return;
     uint8_t header[kHeaderSize] = {};
     std::memcpy(header, kMagic, sizeof(kMagic));
-    header[8] = static_cast<uint8_t>(kind);
+    header[8] = profileKindToByte(kind);
     putLe64(header + 16, 0); // count, back-patched in close()
     out.write(reinterpret_cast<const char *>(header), kHeaderSize);
 }

@@ -18,31 +18,22 @@
 
 namespace mhp {
 
-/** The kind of profile a tuple stream represents. */
+/**
+ * The kind of profile a tuple stream represents.
+ *
+ * Parse/print, per-kind tuple-member semantics, and container-header
+ * byte encoding live in the event-class registry
+ * (trace/event_class.h) — this enum is only the identity.
+ */
 enum class ProfileKind : uint8_t
 {
     Value,      ///< <loadPC, loadedValue> pairs
     Edge,       ///< <branchPC, targetPC> pairs
     CacheMiss,  ///< <loadPC, missedLineAddress> pairs
     Mispredict, ///< <branchPC, actualTargetPC> on mispredictions
+    Path,       ///< <routineEntryPC, pathId> Ball-Larus paths
+    Unknown = 255, ///< semantics lost (legacy container, foreign producer)
 };
-
-/** Human-readable name of a profile kind. */
-inline const char *
-profileKindName(ProfileKind kind)
-{
-    switch (kind) {
-      case ProfileKind::Value:
-        return "value";
-      case ProfileKind::Edge:
-        return "edge";
-      case ProfileKind::CacheMiss:
-        return "cache-miss";
-      case ProfileKind::Mispredict:
-        return "mispredict";
-    }
-    return "?";
-}
 
 /**
  * A profiling event identifier: an ordered pair of 64-bit values.

@@ -213,6 +213,74 @@ edgeConfigFor(const std::string &name, uint64_t seed)
     return c;
 }
 
+PathWorkloadConfig
+pathConfigFor(const std::string &name, uint64_t seed)
+{
+    PathWorkloadConfig c;
+    c.name = name + "-paths";
+    c.seed = benchSeed(name, seed * 5 + 2);
+
+    // Path streams sit between values and edges in distinct-tuple
+    // count: each hot routine contributes a small dense hot-path set,
+    // but the acyclic-path universe (cold tail) is enormous for
+    // branchy code. Routine populations scale off each benchmark's
+    // static footprint; hot-path concentration follows how regular its
+    // control flow is.
+    if (name == "burg") {
+        c.hotRoutines = 100;
+        c.hotFraction = 0.88;
+        c.coldPathUniverse = 30'000;
+    } else if (name == "deltablue") {
+        // Phase behaviour carries into paths: each constraint graph
+        // exercises a different path set through the solver.
+        c.hotRoutines = 80;
+        c.hotFraction = 0.88;
+        c.coldPathUniverse = 20'000;
+        c.phaseLength = 2'000'000;
+        c.stableRanks = 4;
+    } else if (name == "gcc") {
+        // Branchy beyond all others: many routines, shallow path
+        // concentration, huge cold-path tail.
+        c.hotRoutines = 600;
+        c.routineSkew = 1.0;
+        c.hotPathsPerRoutine = 24;
+        c.pathSkew = 1.05;
+        c.hotFraction = 0.76;
+        c.coldPathUniverse = 400'000;
+    } else if (name == "go") {
+        c.hotRoutines = 500;
+        c.routineSkew = 1.0;
+        c.hotPathsPerRoutine = 28;
+        c.pathSkew = 1.0;
+        c.hotFraction = 0.74;
+        c.coldPathUniverse = 500'000;
+    } else if (name == "li") {
+        // Interpreter dispatch loop: few routines, highly concentrated
+        // paths.
+        c.hotRoutines = 60;
+        c.hotPathsPerRoutine = 8;
+        c.hotFraction = 0.92;
+        c.coldPathUniverse = 12'000;
+    } else if (name == "m88ksim") {
+        c.hotRoutines = 50;
+        c.hotPathsPerRoutine = 8;
+        c.hotFraction = 0.93;
+        c.coldPathUniverse = 8'000;
+    } else if (name == "sis") {
+        c.hotRoutines = 200;
+        c.hotPathsPerRoutine = 16;
+        c.hotFraction = 0.84;
+        c.coldPathUniverse = 80'000;
+    } else if (name == "vortex") {
+        c.hotRoutines = 120;
+        c.hotFraction = 0.89;
+        c.coldPathUniverse = 40'000;
+    } else {
+        MHP_FATAL("unknown benchmark name");
+    }
+    return c;
+}
+
 std::unique_ptr<ValueWorkload>
 makeValueWorkload(const std::string &name, uint64_t seed)
 {
@@ -223,6 +291,12 @@ std::unique_ptr<EdgeWorkload>
 makeEdgeWorkload(const std::string &name, uint64_t seed)
 {
     return std::make_unique<EdgeWorkload>(edgeConfigFor(name, seed));
+}
+
+std::unique_ptr<PathWorkload>
+makePathWorkload(const std::string &name, uint64_t seed)
+{
+    return std::make_unique<PathWorkload>(pathConfigFor(name, seed));
 }
 
 } // namespace mhp

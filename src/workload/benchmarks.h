@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "workload/edge_workload.h"
+#include "workload/path_workload.h"
 #include "workload/value_workload.h"
 
 namespace mhp {
@@ -52,6 +53,10 @@ ValueWorkloadConfig valueConfigFor(const std::string &name,
 EdgeWorkloadConfig edgeConfigFor(const std::string &name,
                                  uint64_t seed = 1);
 
+/** The calibrated path-profiling model for a benchmark. */
+PathWorkloadConfig pathConfigFor(const std::string &name,
+                                 uint64_t seed = 1);
+
 /** Construct a ready-to-run value workload for a benchmark. */
 std::unique_ptr<ValueWorkload>
 makeValueWorkload(const std::string &name, uint64_t seed = 1);
@@ -59,6 +64,10 @@ makeValueWorkload(const std::string &name, uint64_t seed = 1);
 /** Construct a ready-to-run edge workload for a benchmark. */
 std::unique_ptr<EdgeWorkload>
 makeEdgeWorkload(const std::string &name, uint64_t seed = 1);
+
+/** Construct a ready-to-run path workload for a benchmark. */
+std::unique_ptr<PathWorkload>
+makePathWorkload(const std::string &name, uint64_t seed = 1);
 
 } // namespace mhp
 

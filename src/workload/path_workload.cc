@@ -1,0 +1,54 @@
+#include "workload/path_workload.h"
+
+#include "support/panic.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+
+PathWorkload::PathWorkload(const PathWorkloadConfig &config_)
+    : config(config_), rng(config_.seed ^ 0x9a7edULL),
+      routineDist(config_.hotRoutines, config_.routineSkew),
+      pathDist(config_.hotPathsPerRoutine, config_.pathSkew),
+      coldDist(config_.coldPathUniverse, 0.3)
+{
+    MHP_REQUIRE(config.hotRoutines >= 1, "no hot routines");
+    MHP_REQUIRE(config.hotPathsPerRoutine >= 1,
+                "no hot paths per routine");
+    MHP_REQUIRE(config.coldPathUniverse >= 1, "no cold paths");
+    MHP_REQUIRE(config.hotFraction >= 0.0 && config.hotFraction <= 1.0,
+                "hotFraction must be a probability");
+}
+
+uint64_t
+PathWorkload::hotPathId(uint64_t routine, uint64_t rank) const
+{
+    // Hot path ids are small and dense, as Ball-Larus numbering makes
+    // them: derive a stable id in [0, 4 * hotPathsPerRoutine) so
+    // different routines hash their hot sets differently but stay in
+    // the low id range.
+    uint64_t slot = rank;
+    if (config.phaseLength != 0 && rank >= config.stableRanks) {
+        // Rename non-stable hot paths once per phase.
+        const uint64_t phase = events / config.phaseLength;
+        slot = mixIdentity(config.seed, rank + 1, phase);
+    }
+    return mixIdentity(config.seed ^ routine, slot + 1, 0x9a7dULL) %
+           (config.hotPathsPerRoutine * 4);
+}
+
+Tuple
+PathWorkload::next()
+{
+    ++events;
+    const uint64_t routine = routineDist.sample(rng);
+    if (rng.nextBool(config.hotFraction)) {
+        const uint64_t rank = pathDist.sample(rng);
+        return pathTuple(config.seed, routine, hotPathId(routine, rank));
+    }
+    // Cold path: offset past the hot id range so the two populations
+    // can never alias within a routine.
+    const uint64_t id = coldDist.sample(rng) + (1ULL << 20);
+    return pathTuple(config.seed, routine, id);
+}
+
+} // namespace mhp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic Ball–Larus path-profiling workload.
+ *
+ * Produces <routineEntryPC, pathId> tuples from a population of
+ * routines with Zipf-distributed invocation frequency; within a
+ * routine, executed paths are themselves Zipf-distributed over a small
+ * hot path set (real path profiles concentrate heavily: a handful of
+ * acyclic paths per routine cover most executions). A cold tail of
+ * rarely taken paths — error handling, init code — supplies the noise
+ * floor the hardware profiler has to reject, and optional phase
+ * renaming models the program moving to a different hot-path working
+ * set, exactly as in the value and edge workloads.
+ */
+
+#ifndef MHP_WORKLOAD_PATH_WORKLOAD_H
+#define MHP_WORKLOAD_PATH_WORKLOAD_H
+
+#include <string>
+
+#include "support/rng.h"
+#include "support/zipf.h"
+#include "trace/source.h"
+
+namespace mhp {
+
+/** Parameterization of a synthetic path-profiling workload. */
+struct PathWorkloadConfig
+{
+    std::string name = "synthetic-paths";
+
+    /** Seed; the stream is a pure function of (config, seed). */
+    uint64_t seed = 1;
+
+    /** Frequently invoked routines (Zipf ranks). */
+    uint64_t hotRoutines = 120;
+
+    /** Zipf exponent over routine invocation frequency. */
+    double routineSkew = 1.1;
+
+    /** Distinct hot acyclic paths per routine (Zipf ranks). */
+    uint64_t hotPathsPerRoutine = 12;
+
+    /** Zipf exponent over the per-routine hot path set. */
+    double pathSkew = 1.2;
+
+    /** Probability an event takes one of the routine's hot paths. */
+    double hotFraction = 0.90;
+
+    /** Distinct cold (noise) path ids per routine. */
+    uint64_t coldPathUniverse = 20'000;
+
+    /**
+     * Phase renaming: every phaseLength events the non-stable hot
+     * paths are renamed (the routine keeps its identity; its hot path
+     * set shifts). 0 disables.
+     */
+    uint64_t phaseLength = 0;
+    uint64_t stableRanks = 8;
+};
+
+/** Unbounded EventSource of Ball–Larus path tuples. */
+class PathWorkload : public EventSource
+{
+  public:
+    explicit PathWorkload(const PathWorkloadConfig &config);
+
+    Tuple next() override;
+    bool done() const override { return false; }
+    ProfileKind kind() const override { return ProfileKind::Path; }
+    std::string name() const override { return config.name; }
+
+    uint64_t eventCount() const { return events; }
+
+    const PathWorkloadConfig &configuration() const { return config; }
+
+  private:
+    uint64_t hotPathId(uint64_t routine, uint64_t rank) const;
+
+    PathWorkloadConfig config;
+    Rng rng;
+    ZipfDistribution routineDist;
+    ZipfDistribution pathDist;
+    ZipfDistribution coldDist;
+    uint64_t events = 0;
+};
+
+} // namespace mhp
+
+#endif // MHP_WORKLOAD_PATH_WORKLOAD_H

@@ -1,5 +1,10 @@
 #include "workload/tuple_naming.h"
 
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/event_class.h"
+
 namespace mhp {
 
 uint64_t
@@ -58,6 +63,35 @@ edgeTuple(uint64_t seed, uint64_t branchIndex, bool taken)
         t.second = pc + 4;
     }
     return t;
+}
+
+uint64_t
+routinePc(uint64_t seed, uint64_t index)
+{
+    const uint64_t h = mixIdentity(seed, index + 1, 0x70a7eULL);
+    return kRoutinePcBase + (h % (1ULL << 22)) * 4;
+}
+
+Tuple
+pathTuple(uint64_t seed, uint64_t routineIndex, uint64_t pathId)
+{
+    Tuple t;
+    t.first = routinePc(seed, routineIndex);
+    t.second = pathId;
+    return t;
+}
+
+std::string
+describeTuple(ProfileKind kind, const Tuple &tuple)
+{
+    if (kind == ProfileKind::Unknown)
+        return tuple.toString();
+    const EventClassInfo &info = eventClassInfo(kind);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "<%s=0x%" PRIx64 ", %s=0x%" PRIx64 ">",
+                  info.firstMember, tuple.first, info.secondMember,
+                  tuple.second);
+    return buf;
 }
 
 } // namespace mhp

@@ -16,6 +16,7 @@
 #define MHP_WORKLOAD_TUPLE_NAMING_H
 
 #include <cstdint>
+#include <string>
 
 #include "trace/tuple.h"
 
@@ -59,6 +60,22 @@ uint64_t branchPc(uint64_t seed, uint64_t index);
  *              fall through to pc + 4.
  */
 Tuple edgeTuple(uint64_t seed, uint64_t branchIndex, bool taken);
+
+/** Base of the synthetic text segment for routine entry points. */
+constexpr uint64_t kRoutinePcBase = 0x0000000138000000ULL;
+
+/** Entry PC of the routine with the given index. */
+uint64_t routinePc(uint64_t seed, uint64_t index);
+
+/** Build a <routineEntryPC, pathId> Ball–Larus path tuple. */
+Tuple pathTuple(uint64_t seed, uint64_t routineIndex, uint64_t pathId);
+
+/**
+ * Render a tuple with its members named per the event-class registry
+ * ("<loadPC=0x..., value=0x...>"); Unknown kinds fall back to the
+ * plain hex rendering of Tuple::toString().
+ */
+std::string describeTuple(ProfileKind kind, const Tuple &tuple);
 
 } // namespace mhp
 

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/pgo_pipeline.h"
+#include "core/factory.h"
+
+namespace mhp {
+namespace {
+
+PgoOptions
+smallOptions()
+{
+    PgoOptions options;
+    options.program.seed = 11;
+    options.program.numFunctions = 4;
+    options.intervals = 3;
+    options.intervalLength = 2000;
+    options.configs.push_back(
+        {"mh4", bestMultiHashConfig(2000, 0.01)});
+    options.configs.push_back(
+        {"sh1", bestSingleHashConfig(2000, 0.01)});
+    return options;
+}
+
+TEST(PgoPipeline, ClosesTheLoopForEveryConfig)
+{
+    const PgoPipeline pipeline(smallOptions());
+    const PgoReport report = pipeline.run();
+
+    EXPECT_EQ(report.pathEvents, 3u * 2000u);
+    EXPECT_GT(report.distinctPaths, 0u);
+    EXPECT_GT(report.routines, 1u);
+    EXPECT_EQ(report.kIterations, 1u);
+    EXPECT_GT(report.baselineCost, 0.0);
+
+    ASSERT_EQ(report.configs.size(), 2u);
+    for (const PgoConfigReport &c : report.configs) {
+        SCOPED_TRACE(c.label);
+        EXPECT_GE(c.avgErrorPercent, 0.0);
+        EXPECT_GT(c.hotPaths, 0u);
+        EXPECT_GE(c.traceCoverage, 0.0);
+        EXPECT_LE(c.traceCoverage, 1.0);
+        EXPECT_GT(c.optimizedCost, 0.0);
+        // Selecting traces can only remove fetch-break penalties.
+        EXPECT_LE(c.optimizedCost, report.baselineCost);
+        EXPECT_GE(c.speedup, 1.0);
+        // The oracle's exact selection also removes penalties only.
+        // (It need not dominate the profiler: an overestimating
+        // sketch can select extra paths the oracle's threshold
+        // rejects, and in this cost model more selection is faster.)
+        EXPECT_GE(c.oracleSpeedup, 1.0);
+    }
+}
+
+TEST(PgoPipeline, SameSeedRerunsAreByteIdentical)
+{
+    const PgoReport a = PgoPipeline(smallOptions()).run();
+    const PgoReport b = PgoPipeline(smallOptions()).run();
+    EXPECT_EQ(renderPgoJson(a), renderPgoJson(b));
+}
+
+TEST(PgoPipeline, SeedChangesTheProgramAndTheReport)
+{
+    PgoOptions other = smallOptions();
+    other.program.seed = 12;
+    const std::string a = renderPgoJson(PgoPipeline(smallOptions()).run());
+    const std::string b = renderPgoJson(PgoPipeline(other).run());
+    EXPECT_NE(a, b);
+}
+
+TEST(PgoPipeline, KIterationDepthIsReportedAndChangesTheStream)
+{
+    PgoOptions deep = smallOptions();
+    deep.kIterations = 2;
+    const PgoReport report = PgoPipeline(deep).run();
+    EXPECT_EQ(report.kIterations, 2u);
+    EXPECT_EQ(report.pathEvents, 3u * 2000u);
+}
+
+TEST(PgoPipeline, JsonCarriesEveryConfigAndFixedKeys)
+{
+    const PgoReport report = PgoPipeline(smallOptions()).run();
+    const std::string json = renderPgoJson(report);
+    EXPECT_NE(json.find("\"path_events\""), std::string::npos);
+    EXPECT_NE(json.find("\"baseline_cost\""), std::string::npos);
+    EXPECT_NE(json.find("\"mh4\""), std::string::npos);
+    EXPECT_NE(json.find("\"sh1\""), std::string::npos);
+    EXPECT_NE(json.find("\"avg_error_percent\""), std::string::npos);
+    EXPECT_NE(json.find("\"speedup\""), std::string::npos);
+    EXPECT_NE(json.find("\"oracle_speedup\""), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(PgoPipelineDeathTest, RejectsEmptyConfigLists)
+{
+    PgoOptions options = smallOptions();
+    options.configs.clear();
+    EXPECT_DEATH(PgoPipeline{options}, "config");
+}
+
+} // namespace
+} // namespace mhp

@@ -8,6 +8,7 @@
 #include "analysis/profile_io.h"
 #include "support/bytes.h"
 #include "support/crc32.h"
+#include "trace/event_class.h"
 
 namespace mhp {
 namespace {
@@ -56,7 +57,7 @@ TEST_F(ProfileIoTest, RoundTripsSnapshots)
     EXPECT_EQ(r.kind(), ProfileKind::Value);
     EXPECT_EQ(r.intervalLength(), 10'000u);
     EXPECT_EQ(r.thresholdCount(), 100u);
-    EXPECT_EQ(r.formatVersion(), 2u);
+    EXPECT_EQ(r.formatVersion(), 3u);
     EXPECT_EQ(r.declaredIntervals(), 2u);
 
     IntervalSnapshot snap;
@@ -184,9 +185,7 @@ TEST_F(ProfileIoTest, BadMagicIsError)
 
 TEST_F(ProfileIoTest, AllProfileKindsSurvive)
 {
-    for (const auto kind :
-         {ProfileKind::Value, ProfileKind::Edge, ProfileKind::CacheMiss,
-          ProfileKind::Mispredict}) {
+    for (const auto kind : allProfileKinds()) {
         {
             ProfileWriter w(path, kind, 1, 1);
             EXPECT_TRUE(w.writeInterval({}).isOk());
@@ -362,6 +361,70 @@ TEST_F(ProfileIoTest, TrailingGarbageIsDetected)
     ASSERT_FALSE(all.isOk());
     EXPECT_EQ(all.status().code(), StatusCode::CorruptData);
     EXPECT_NE(all.status().message().find("trailing garbage"),
+              std::string::npos);
+}
+
+/**
+ * Rewrite an on-disk v3 header in place: set the magic's version
+ * character and the kind byte, then recompute the header CRC so only
+ * the targeted field is "wrong".
+ */
+void
+patchHeader(const std::string &path, char versionChar, uint8_t kindByte)
+{
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    uint8_t header[40];
+    f.read(reinterpret_cast<char *>(header), sizeof(header));
+    header[6] = static_cast<uint8_t>(versionChar);
+    header[8] = kindByte;
+    uint8_t crcLe[4];
+    putLe32(crcLe, crc32(header, sizeof(header)));
+    f.seekp(0);
+    f.write(reinterpret_cast<const char *>(header), sizeof(header));
+    f.write(reinterpret_cast<const char *>(crcLe), sizeof(crcLe));
+}
+
+TEST_F(ProfileIoTest, ReadsV2FilesWithPreRegistryKinds)
+{
+    {
+        ProfileWriter w(path, ProfileKind::Value, 5000, 50);
+        ASSERT_TRUE(w.writeInterval({{Tuple{1, 2}, 3}}).isOk());
+    }
+    patchHeader(path, '2', 1); // Edge, in the v2 range
+    auto opened = ProfileReader::open(path);
+    ASSERT_TRUE(opened.isOk()) << opened.status().toString();
+    EXPECT_EQ(opened->formatVersion(), 2u);
+    EXPECT_EQ(opened->kind(), ProfileKind::Edge);
+    auto all = opened->readAll();
+    ASSERT_TRUE(all.isOk()) << all.status().toString();
+    EXPECT_EQ((*all)[0][0], (CandidateCount{{1, 2}, 3}));
+}
+
+TEST_F(ProfileIoTest, V2RejectsPostRegistryKindBytes)
+{
+    {
+        ProfileWriter w(path, ProfileKind::Path, 5000, 50);
+        ASSERT_TRUE(w.writeInterval({}).isOk());
+    }
+    // Path (4) postdates v2: a v2 header claiming it is corrupt.
+    patchHeader(path, '2', 4);
+    auto opened = ProfileReader::open(path);
+    ASSERT_FALSE(opened.isOk());
+    EXPECT_EQ(opened.status().code(), StatusCode::CorruptData);
+}
+
+TEST_F(ProfileIoTest, V3RejectsUnregisteredKindBytes)
+{
+    {
+        ProfileWriter w(path, ProfileKind::Value, 5000, 50);
+        ASSERT_TRUE(w.writeInterval({}).isOk());
+    }
+    patchHeader(path, '3', 9); // no registered kind has byte 9
+    auto opened = ProfileReader::open(path);
+    ASSERT_FALSE(opened.isOk());
+    EXPECT_EQ(opened.status().code(), StatusCode::CorruptData);
+    EXPECT_NE(opened.status().message().find("kind"),
               std::string::npos);
 }
 

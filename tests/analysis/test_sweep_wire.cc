@@ -25,7 +25,7 @@ samplePlan()
 {
     WirePlan plan;
     plan.plan.benchmarks = {"gcc"};
-    plan.plan.edges = true;
+    plan.plan.kind = ProfileKind::Path;
     ProfilerConfig cfg;
     cfg.intervalLength = 5000;
     cfg.candidateThreshold = 0.015;
@@ -79,7 +79,7 @@ TEST(SweepWire, PlanRoundTripsEveryField)
     ASSERT_TRUE(decodePlan(bytes.data(), bytes.size(), back).isOk());
 
     EXPECT_EQ(back.plan.benchmarks, plan.plan.benchmarks);
-    EXPECT_EQ(back.plan.edges, plan.plan.edges);
+    EXPECT_EQ(back.plan.kind, plan.plan.kind);
     ASSERT_EQ(back.plan.configs.size(), plan.plan.configs.size());
     for (size_t i = 0; i < plan.plan.configs.size(); ++i) {
         EXPECT_EQ(back.plan.configs[i].label,

@@ -191,7 +191,11 @@ TEST_F(SweepResumeTest, FingerprintIsSensitiveToEveryKnob)
                   p.benchmarks = {"gcc"};
               }),
               baseline);
-    EXPECT_NE(fingerprintWith([](SweepPlan &p) { p.edges = true; }),
+    EXPECT_NE(fingerprintWith(
+                  [](SweepPlan &p) { p.kind = ProfileKind::Edge; }),
+              baseline);
+    EXPECT_NE(fingerprintWith(
+                  [](SweepPlan &p) { p.kind = ProfileKind::Path; }),
               baseline);
     EXPECT_NE(fingerprintWith([](SweepPlan &p) { p.intervals = 4; }),
               baseline);

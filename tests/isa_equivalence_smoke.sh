@@ -21,7 +21,7 @@ run_profile() {
 }
 
 checked=0
-for cfg in "mh4 " "sh --tables=1 --reset"; do
+for cfg in "mh4 " "sh --tables=1 --reset" "path --kind=path"; do
     name=$(echo "$cfg" | cut -d' ' -f1)
     flags=$(echo "$cfg" | cut -d' ' -f2-)
 

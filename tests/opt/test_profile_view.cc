@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "opt/multipath_selector.h"
+#include "opt/profile_view.h"
+#include "opt/trace_formation.h"
+
+namespace mhp {
+namespace {
+
+/**
+ * Toy decoder: path id p of routine r expands to the edge chain
+ * <r, r+1>, <r+1, r+2>, ..., p+1 edges long. Deterministic and
+ * self-describing, no simulator needed.
+ */
+class ChainDecoder final : public PathDecoder
+{
+  public:
+    std::vector<Tuple> decode(const Tuple &path) const override
+    {
+        std::vector<Tuple> edges;
+        for (uint64_t i = 0; i <= path.second; ++i)
+            edges.push_back(Tuple{path.first + i, path.first + i + 1});
+        return edges;
+    }
+};
+
+TEST(ProfileView, EdgeSnapshotsPassThroughUntouched)
+{
+    const IntervalSnapshot snap{{{0xA, 0xB}, 100},
+                                {{0xB, 0xC}, 50}};
+    const ProfileView view{ProfileKind::Edge, &snap, nullptr};
+    EXPECT_EQ(view.asEdges(), snap);
+}
+
+TEST(ProfileView, PathSnapshotsLowerThroughTheDecoder)
+{
+    // Two paths of routine 0x100: id 0 (one edge) seen 70 times and
+    // id 1 (two edges) seen 30 times. The shared edge <0x100,0x101>
+    // must aggregate both path counts.
+    const IntervalSnapshot snap{{{0x100, 0}, 70}, {{0x100, 1}, 30}};
+    const ChainDecoder decoder;
+    const ProfileView view{ProfileKind::Path, &snap, &decoder};
+    const IntervalSnapshot edges = view.asEdges();
+    ASSERT_EQ(edges.size(), 2u);
+    // Canonical order: heaviest first.
+    EXPECT_EQ(edges[0].tuple, (Tuple{0x100, 0x101}));
+    EXPECT_EQ(edges[0].count, 100u);
+    EXPECT_EQ(edges[1].tuple, (Tuple{0x101, 0x102}));
+    EXPECT_EQ(edges[1].count, 30u);
+}
+
+TEST(ProfileView, LoweringIsDeterministic)
+{
+    IntervalSnapshot snap;
+    for (uint64_t r = 0; r < 40; ++r)
+        snap.push_back({{0x1000 + r * 0x10, r % 5}, 100 - r});
+    const ChainDecoder decoder;
+    const ProfileView view{ProfileKind::Path, &snap, &decoder};
+    EXPECT_EQ(view.asEdges(), view.asEdges());
+}
+
+TEST(ProfileView, TraceFormationConsumesPathProfiles)
+{
+    const IntervalSnapshot snap{{{0x200, 3}, 500}};
+    const ChainDecoder decoder;
+    const ProfileView view{ProfileKind::Path, &snap, &decoder};
+    TraceFormationEngine engine;
+    const std::vector<Trace> traces = engine.form(view);
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0].edges.size(), 4u); // the decoded chain
+    EXPECT_EQ(traces[0].entryPc(), 0x200u);
+    EXPECT_DOUBLE_EQ(
+        TraceFormationEngine::coverage(traces, view), 1.0);
+}
+
+TEST(ProfileView, SelectorTakesBranchKindsAndDeclinesValues)
+{
+    const IntervalSnapshot edges{{{0xA, 0xB}, 100}, {{0xA, 0xC}, 90}};
+    MultipathSelector selector;
+    const ProfileView edgeView{ProfileKind::Edge, &edges, nullptr};
+    EXPECT_FALSE(selector.fromProfile(edgeView).empty());
+
+    const ProfileView valueView{ProfileKind::Value, &edges, nullptr};
+    EXPECT_TRUE(selector.fromProfile(valueView).empty());
+}
+
+TEST(ProfileViewDeathTest, PathViewWithoutDecoderIsFatal)
+{
+    const IntervalSnapshot snap{{{0x100, 0}, 1}};
+    const ProfileView view{ProfileKind::Path, &snap, nullptr};
+    EXPECT_DEATH(view.asEdges(), "PathDecoder");
+}
+
+} // namespace
+} // namespace mhp

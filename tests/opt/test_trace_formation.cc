@@ -109,8 +109,9 @@ TEST(TraceFormation, CoverageIsMassFraction)
 TEST(TraceFormation, EmptySnapshot)
 {
     TraceFormationEngine engine;
-    EXPECT_TRUE(engine.form({}).empty());
-    EXPECT_DOUBLE_EQ(TraceFormationEngine::coverage({}, {}), 0.0);
+    EXPECT_TRUE(engine.form(IntervalSnapshot{}).empty());
+    EXPECT_DOUBLE_EQ(
+        TraceFormationEngine::coverage({}, IntervalSnapshot{}), 0.0);
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 
 #include "service/service_wire.h"
 #include "support/bytes.h"
+#include "trace/event_class.h"
 
 namespace mhp {
 namespace {
@@ -187,6 +188,7 @@ TEST(ServiceWire, SnapshotRoundTripsAndBoundsCandidates)
     snap.tenantId = 3;
     snap.epoch = 77;
     snap.intervals = 9;
+    snap.kind = profileKindToByte(ProfileKind::Path);
     snap.candidates = {{{0x10, 0x20}, 500}, {{0x30, 0x40}, 250}};
     ByteBuffer out;
     encodeSnapshot(out, snap);
@@ -196,10 +198,23 @@ TEST(ServiceWire, SnapshotRoundTripsAndBoundsCandidates)
     EXPECT_EQ(back.tenantId, snap.tenantId);
     EXPECT_EQ(back.epoch, snap.epoch);
     EXPECT_EQ(back.intervals, snap.intervals);
+    EXPECT_EQ(back.kind, snap.kind);
     EXPECT_EQ(back.candidates, snap.candidates);
 
     EXPECT_FALSE(
         decodeSnapshot(out.data(), out.size(), back, 1).isOk());
+}
+
+TEST(ServiceWire, SnapshotRejectsUnregisteredKindByte)
+{
+    WireSnapshot snap;
+    snap.tenantId = 3;
+    snap.kind = 0x7f; // not a registry byte
+    ByteBuffer out;
+    encodeSnapshot(out, snap);
+    WireSnapshot back;
+    EXPECT_FALSE(
+        decodeSnapshot(out.data(), out.size(), back, 16).isOk());
 }
 
 TEST(ServiceWire, StatsTableRoundTrips)
@@ -337,6 +352,7 @@ TEST(CorruptionCorpusServiceWire,
     out.u64(0);                     // tenantId
     out.u64(1);                     // epoch
     out.u64(1);                     // intervals
+    out.u8(0);                      // kind (Value)
     out.u64(0x0800000000000000ull); // candidate count
     WireSnapshot back;
     EXPECT_FALSE(decodeSnapshot(out.data(), out.size(), back,

@@ -71,6 +71,24 @@ grep -q "ingested 30000 events, 3 intervals" "$TMP/t0b.out" ||
 [ "$(grep -c " active " "$TMP/stats.out")" -eq 8 ] ||
     fail "expected 8 active tenants: $(cat "$TMP/stats.out")"
 
+# The tenant's profile kind rides the snapshot envelope: an edge
+# tenant's snapshot must identify itself as edge, a value tenant's
+# as value.
+"$TOOLS/mhprof_client" --connect="$TMP/soak.sock" --tenant=t8 \
+    --edges --benchmark=gcc --seed=9 --events=30000 \
+    > "$TMP/t8.out" 2> "$TMP/t8.err" ||
+    fail "edge tenant t8 failed: $(cat "$TMP/t8.err")"
+"$TOOLS/mhprof_client" --connect="$TMP/soak.sock" --tenant=t8 \
+    --query=snapshot > "$TMP/t8snap.out" ||
+    fail "t8 snapshot query failed"
+grep -q "^profile kind: edge$" "$TMP/t8snap.out" ||
+    fail "t8 snapshot lost its edge kind: $(cat "$TMP/t8snap.out")"
+"$TOOLS/mhprof_client" --connect="$TMP/soak.sock" --tenant=t0 \
+    --query=snapshot > "$TMP/t0snap.out" ||
+    fail "t0 snapshot query failed"
+grep -q "^profile kind: value$" "$TMP/t0snap.out" ||
+    fail "t0 snapshot lost its value kind: $(cat "$TMP/t0snap.out")"
+
 kill -TERM "$DPID"
 set +e
 wait "$DPID"; rc=$?

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/codegen.h"
+#include "sim/machine.h"
+#include "sim/path_profile.h"
+#include "sim/probes.h"
+
+namespace mhp {
+namespace {
+
+/**
+ * One routine: a four-trip counted loop whose body branches two ways
+ * (i < 2 takes the "small" arm). Every loop iteration completes one
+ * acyclic path at the back edge; the last one runs through to Halt.
+ */
+Program
+loopProgram()
+{
+    ProgramBuilder b;
+    b.loadImm(1, 0); // i
+    b.loadImm(2, 4); // trip count
+    b.loadImm(3, 2); // arm selector
+    b.label("loop");
+    b.blt(1, 3, "small");
+    b.addImm(4, 4, 10);
+    b.jmp("join");
+    b.label("small");
+    b.addImm(4, 4, 1);
+    b.label("join");
+    b.addImm(1, 1, 1);
+    b.blt(1, 2, "loop");
+    b.halt();
+    return b.build();
+}
+
+std::vector<Tuple>
+runPaths(const Program &program, const BallLarusNumbering &numbering,
+         uint64_t maxTuples)
+{
+    Machine machine(program);
+    PathProbe probe(machine, numbering);
+    std::vector<Tuple> out;
+    while (out.size() < maxTuples && !probe.done())
+        out.push_back(probe.next());
+    return out;
+}
+
+TEST(BallLarusNumbering, LoopProgramHasOneTrackableRoutine)
+{
+    const Program program = loopProgram();
+    const BallLarusNumbering numbering(program);
+    ASSERT_EQ(numbering.routines().size(), 1u);
+    const BallLarusNumbering::Routine &r = numbering.routines()[0];
+    EXPECT_FALSE(r.overflowed);
+    EXPECT_GT(numbering.numPaths(0), 0u);
+    EXPECT_EQ(numbering.routinePc(0), Machine::pcAddress(r.entry));
+    EXPECT_EQ(numbering.routineByPc(numbering.routinePc(0)), 0);
+    EXPECT_EQ(numbering.routineByPc(numbering.routinePc(0) + 4), -1);
+}
+
+TEST(BallLarusNumbering, EveryIdDecodesAndOutOfRangeDoesNot)
+{
+    const BallLarusNumbering numbering(loopProgram());
+    const uint64_t paths = numbering.numPaths(0);
+    std::set<std::vector<uint32_t>> sequences;
+    for (uint64_t id = 0; id < paths; ++id) {
+        const std::vector<uint32_t> blocks =
+            numbering.decodePath(0, id);
+        ASSERT_FALSE(blocks.empty()) << "id " << id;
+        EXPECT_TRUE(numbering.blocks()[blocks.front()].isStart);
+        EXPECT_GT(numbering.pathInstructions(0, id), 0u);
+        sequences.insert(blocks);
+    }
+    // Distinct ids decode to distinct block sequences (the numbering
+    // is a bijection onto the acyclic paths).
+    EXPECT_EQ(sequences.size(), paths);
+    EXPECT_TRUE(numbering.decodePath(0, paths).empty());
+}
+
+TEST(PathProfile, LoopRunAccountsForEveryInstruction)
+{
+    const Program program = loopProgram();
+    const BallLarusNumbering numbering(program);
+
+    Machine machine(program, 1 << 10);
+    PathProbe probe(machine, numbering);
+    EXPECT_EQ(probe.kind(), ProfileKind::Path);
+    EXPECT_EQ(probe.name(), "sim-paths");
+
+    std::vector<Tuple> tuples;
+    while (!probe.done())
+        tuples.push_back(probe.next());
+    EXPECT_TRUE(machine.halted());
+    EXPECT_EQ(probe.brokenPaths(), 0u);
+    ASSERT_FALSE(tuples.empty());
+
+    // With no calls and no broken paths, the decoded paths partition
+    // the dynamic instruction stream exactly.
+    uint64_t decoded = 0;
+    for (const Tuple &t : tuples) {
+        EXPECT_EQ(t.first, numbering.routinePc(0));
+        ASSERT_LT(t.second, numbering.numPaths(0));
+        decoded += numbering.pathInstructions(0, t.second);
+    }
+    EXPECT_EQ(decoded, machine.instructionsExecuted());
+
+    // Both loop arms executed, so at least two distinct path ids.
+    std::set<uint64_t> ids;
+    for (const Tuple &t : tuples)
+        ids.insert(t.second);
+    EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(PathProfile, RerunsAreByteIdentical)
+{
+    const Program program = loopProgram();
+    const BallLarusNumbering numbering(program);
+    EXPECT_EQ(runPaths(program, numbering, 1000),
+              runPaths(program, numbering, 1000));
+}
+
+TEST(PathProfile, KIterationCompositeProjectsToAcyclicIds)
+{
+    const Program program = loopProgram();
+    const BallLarusNumbering acyclic(program, 1);
+    const BallLarusNumbering composite(program, 2);
+    ASSERT_EQ(composite.routines().size(), 1u);
+    const BallLarusNumbering::Routine &r = composite.routines()[0];
+    EXPECT_EQ(r.effectiveK, 2u);
+    EXPECT_EQ(r.compositeSpan, r.numPaths * r.numPaths);
+
+    const std::vector<Tuple> flat = runPaths(program, acyclic, 1000);
+    const std::vector<Tuple> folded =
+        runPaths(program, composite, 1000);
+    ASSERT_FALSE(folded.empty());
+
+    const uint64_t n = acyclic.numPaths(0);
+    std::set<uint64_t> flatIds, foldedProjections;
+    for (const Tuple &t : flat)
+        flatIds.insert(t.second);
+    for (const Tuple &t : folded) {
+        EXPECT_LT(t.second, r.compositeSpan);
+        foldedProjections.insert(t.second % n);
+    }
+    // The composite id always projects onto the acyclic numbering.
+    EXPECT_EQ(foldedProjections, flatIds);
+    // Folding distinguishes iteration pairs the flat ids conflate.
+    std::set<uint64_t> foldedIds;
+    for (const Tuple &t : folded)
+        foldedIds.insert(t.second);
+    EXPECT_GT(foldedIds.size(), 1u);
+}
+
+TEST(PathProfile, DecodePathEdgesYieldsTakenTransfers)
+{
+    const BallLarusNumbering numbering(loopProgram());
+    bool sawEdge = false;
+    for (uint64_t id = 0; id < numbering.numPaths(0); ++id) {
+        const std::vector<uint32_t> blocks =
+            numbering.decodePath(0, id);
+        const std::vector<Tuple> edges =
+            numbering.decodePathEdges(0, id);
+        EXPECT_LE(edges.size(), blocks.size());
+        for (const Tuple &e : edges) {
+            EXPECT_GE(e.first, kCodeBase);
+            EXPECT_GE(e.second, kCodeBase);
+        }
+        sawEdge = sawEdge || !edges.empty();
+    }
+    EXPECT_TRUE(sawEdge);
+}
+
+TEST(PathProfile, GeneratedProgramStreamIsDecodableAndDeterministic)
+{
+    CodegenConfig config;
+    config.seed = 7;
+    config.numFunctions = 4;
+    const Program program = generateProgram(config);
+    const BallLarusNumbering numbering(program);
+    EXPECT_GT(numbering.routines().size(), 1u);
+
+    const std::vector<Tuple> a = runPaths(program, numbering, 5000);
+    const std::vector<Tuple> b = runPaths(program, numbering, 5000);
+    ASSERT_EQ(a.size(), 5000u) << "generated programs never halt";
+    EXPECT_EQ(a, b);
+
+    for (const Tuple &t : a) {
+        const int routine = numbering.routineByPc(t.first);
+        ASSERT_GE(routine, 0);
+        const uint64_t paths =
+            numbering.numPaths(static_cast<uint32_t>(routine));
+        ASSERT_GT(paths, 0u);
+        EXPECT_FALSE(numbering
+                         .decodePath(static_cast<uint32_t>(routine),
+                                     t.second % paths)
+                         .empty());
+    }
+}
+
+} // namespace
+} // namespace mhp

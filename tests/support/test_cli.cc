@@ -40,6 +40,18 @@ TEST(Cli, DefaultsSurviveEmptyArgv)
     EXPECT_FALSE(p.getBool("verbose"));
 }
 
+TEST(Cli, WasSetDistinguishesDefaultsFromExplicitValues)
+{
+    CliParser p("test");
+    p.addInt("n", 7, "count");
+    p.addString("name", "x", "name");
+    Argv a({"prog", "--n=7"});
+    p.parse(a.argc(), a.argv());
+    // --n carries its default value but was passed explicitly.
+    EXPECT_TRUE(p.wasSet("n"));
+    EXPECT_FALSE(p.wasSet("name"));
+}
+
 TEST(Cli, EqualsForm)
 {
     CliParser p("test");

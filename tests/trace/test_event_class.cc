@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "trace/event_class.h"
+
+namespace mhp {
+namespace {
+
+TEST(EventClassRegistry, CoversEveryKindExactlyOnce)
+{
+    const std::vector<ProfileKind> &kinds = allProfileKinds();
+    EXPECT_EQ(kinds.size(), eventClasses().size());
+    std::set<ProfileKind> seen(kinds.begin(), kinds.end());
+    EXPECT_EQ(seen.size(), kinds.size());
+    EXPECT_EQ(seen.count(ProfileKind::Value), 1u);
+    EXPECT_EQ(seen.count(ProfileKind::Edge), 1u);
+    EXPECT_EQ(seen.count(ProfileKind::CacheMiss), 1u);
+    EXPECT_EQ(seen.count(ProfileKind::Mispredict), 1u);
+    EXPECT_EQ(seen.count(ProfileKind::Path), 1u);
+    EXPECT_EQ(seen.count(ProfileKind::Unknown), 1u);
+}
+
+TEST(EventClassRegistry, NameParseRoundTripsEveryKind)
+{
+    for (const ProfileKind kind : allProfileKinds()) {
+        const char *name = profileKindName(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "?") << "registry names are checked";
+        const std::optional<ProfileKind> back = parseProfileKind(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, kind) << name;
+    }
+}
+
+TEST(EventClassRegistry, CanonicalNames)
+{
+    EXPECT_STREQ(profileKindName(ProfileKind::Value), "value");
+    EXPECT_STREQ(profileKindName(ProfileKind::Edge), "edge");
+    EXPECT_STREQ(profileKindName(ProfileKind::CacheMiss), "cache-miss");
+    EXPECT_STREQ(profileKindName(ProfileKind::Mispredict),
+                 "mispredict");
+    EXPECT_STREQ(profileKindName(ProfileKind::Path), "path");
+    EXPECT_STREQ(profileKindName(ProfileKind::Unknown), "unknown");
+}
+
+TEST(EventClassRegistry, ParseRejectsUnknownNames)
+{
+    EXPECT_FALSE(parseProfileKind("").has_value());
+    EXPECT_FALSE(parseProfileKind("?").has_value());
+    EXPECT_FALSE(parseProfileKind("Edge").has_value());
+    EXPECT_FALSE(parseProfileKind("paths").has_value());
+}
+
+TEST(EventClassRegistry, ByteEncodingRoundTripsEveryKind)
+{
+    for (const ProfileKind kind : allProfileKinds()) {
+        const uint8_t byte = profileKindToByte(kind);
+        const std::optional<ProfileKind> back =
+            profileKindFromByte(byte);
+        ASSERT_TRUE(back.has_value()) << static_cast<int>(byte);
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_EQ(profileKindToByte(ProfileKind::Unknown),
+              kProfileKindUnknownByte);
+}
+
+TEST(EventClassRegistry, ByteDecodeRejectsUnregisteredBytes)
+{
+    std::set<uint8_t> registered;
+    for (const ProfileKind kind : allProfileKinds())
+        registered.insert(profileKindToByte(kind));
+    int rejected = 0;
+    for (int b = 0; b <= 0xff; ++b) {
+        const bool ok =
+            profileKindFromByte(static_cast<uint8_t>(b)).has_value();
+        EXPECT_EQ(ok, registered.count(static_cast<uint8_t>(b)) == 1)
+            << "byte " << b;
+        rejected += ok ? 0 : 1;
+    }
+    EXPECT_EQ(rejected, 256 - static_cast<int>(registered.size()));
+}
+
+TEST(EventClassRegistry, MemberNamesAreKindSpecific)
+{
+    const EventClassInfo &path = eventClassInfo(ProfileKind::Path);
+    EXPECT_STREQ(path.name, "path");
+    EXPECT_STRNE(path.firstMember, path.secondMember);
+    const EventClassInfo &value = eventClassInfo(ProfileKind::Value);
+    EXPECT_STRNE(path.firstMember, value.firstMember);
+}
+
+TEST(EventClassRegistry, ComparabilityIsEqualOrUnknownWildcard)
+{
+    for (const ProfileKind a : allProfileKinds())
+        for (const ProfileKind b : allProfileKinds()) {
+            const bool expected = a == b ||
+                                  a == ProfileKind::Unknown ||
+                                  b == ProfileKind::Unknown;
+            EXPECT_EQ(profileKindsComparable(a, b), expected);
+            EXPECT_EQ(profileKindsComparable(a, b),
+                      profileKindsComparable(b, a));
+        }
+}
+
+} // namespace
+} // namespace mhp

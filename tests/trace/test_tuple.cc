@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "support/rng.h"
+#include "trace/event_class.h"
 #include "trace/tuple.h"
 
 namespace mhp {

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/benchmarks.h"
+#include "workload/path_workload.h"
+#include "workload/tuple_naming.h"
+
+namespace mhp {
+namespace {
+
+PathWorkloadConfig
+smallConfig()
+{
+    PathWorkloadConfig c;
+    c.name = "test-paths";
+    c.seed = 5;
+    c.hotRoutines = 30;
+    c.hotPathsPerRoutine = 8;
+    c.hotFraction = 0.85;
+    c.coldPathUniverse = 4000;
+    return c;
+}
+
+TEST(PathWorkload, IsDeterministicPerSeed)
+{
+    PathWorkload a(smallConfig()), b(smallConfig());
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(a.eventCount(), 5000u);
+}
+
+TEST(PathWorkload, ProducesPathKindAndNeverEnds)
+{
+    PathWorkload w(smallConfig());
+    EXPECT_EQ(w.kind(), ProfileKind::Path);
+    EXPECT_EQ(w.name(), "test-paths");
+    EXPECT_FALSE(w.done());
+}
+
+TEST(PathWorkload, RoutinePcsComeFromRoutineRegion)
+{
+    PathWorkloadConfig config = smallConfig();
+    PathWorkload w(config);
+    std::set<uint64_t> pcs;
+    for (int i = 0; i < 20000; ++i) {
+        const Tuple t = w.next();
+        EXPECT_GE(t.first, kRoutinePcBase);
+        EXPECT_EQ(t.first % 4, 0u);
+        pcs.insert(t.first);
+    }
+    // All events come from the configured routine population.
+    EXPECT_LE(pcs.size(), config.hotRoutines);
+    EXPECT_GE(pcs.size(), config.hotRoutines / 2);
+}
+
+TEST(PathWorkload, HotAndColdPathIdsNeverAlias)
+{
+    PathWorkload w(smallConfig());
+    for (int i = 0; i < 50000; ++i) {
+        const Tuple t = w.next();
+        // Hot ids are small and dense (as Ball–Larus numbers them);
+        // cold ids live past the 1<<20 offset. Nothing in between.
+        if (t.second < (1ULL << 20)) {
+            EXPECT_LT(t.second,
+                      smallConfig().hotPathsPerRoutine * 4);
+        }
+    }
+}
+
+TEST(PathWorkload, HotPathsDominateTheStream)
+{
+    PathWorkload w(smallConfig());
+    uint64_t hot = 0;
+    const int total = 100000;
+    for (int i = 0; i < total; ++i)
+        if (w.next().second < (1ULL << 20))
+            ++hot;
+    const double fraction = static_cast<double>(hot) / total;
+    EXPECT_NEAR(fraction, smallConfig().hotFraction, 0.02);
+}
+
+TEST(PathWorkload, PhaseRenamingShiftsOnlyUnstableRanks)
+{
+    PathWorkloadConfig config = smallConfig();
+    config.phaseLength = 20000;
+    config.stableRanks = 2;
+    PathWorkload w(config);
+
+    auto hotSetOver = [&w](int events) {
+        std::unordered_map<uint64_t, std::unordered_set<uint64_t>> m;
+        for (int i = 0; i < events; ++i) {
+            const Tuple t = w.next();
+            if (t.second < (1ULL << 20))
+                m[t.first].insert(t.second);
+        }
+        return m;
+    };
+    const auto phase0 = hotSetOver(20000);
+    const auto phase1 = hotSetOver(20000);
+
+    // Some routine's hot set must have changed across the boundary,
+    // but every routine keeps its stable head ranks alive.
+    bool shifted = false;
+    for (const auto &[pc, ids0] : phase0) {
+        const auto it = phase1.find(pc);
+        if (it == phase1.end())
+            continue;
+        for (const uint64_t id : it->second)
+            shifted = shifted || ids0.count(id) == 0;
+    }
+    EXPECT_TRUE(shifted);
+}
+
+TEST(PathWorkload, BenchmarkFactoryCoversTheSuite)
+{
+    for (const char *name : {"burg", "deltablue", "gcc", "go", "li",
+                             "m88ksim", "sis", "vortex"}) {
+        SCOPED_TRACE(name);
+        std::unique_ptr<PathWorkload> w = makePathWorkload(name, 3);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->kind(), ProfileKind::Path);
+        const Tuple first = w->next();
+        // Distinct benchmark, distinct seed, same API.
+        std::unique_ptr<PathWorkload> again = makePathWorkload(name, 3);
+        EXPECT_EQ(again->next(), first);
+    }
+    EXPECT_NE(makePathWorkload("gcc", 1)->next(),
+              makePathWorkload("go", 1)->next());
+}
+
+} // namespace
+} // namespace mhp

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <unordered_set>
 
+#include "trace/event_class.h"
 #include "trace/tuple.h"
 #include "workload/tuple_naming.h"
 
@@ -89,6 +91,69 @@ TEST(TupleNaming, EachBranchHasAtMostTwoEdges)
         const Tuple t2 = edgeTuple(1, b, true);
         EXPECT_EQ(t1, t2); // taken target is fixed per branch
     }
+}
+
+TEST(TupleNaming, RoutinePcsComeFromTheRoutineRegion)
+{
+    for (uint64_t i = 0; i < 100; ++i) {
+        const uint64_t pc = routinePc(1, i);
+        EXPECT_GE(pc, kRoutinePcBase);
+        EXPECT_EQ(pc % 4, 0u);
+        EXPECT_EQ(pc, routinePc(1, i));
+    }
+    EXPECT_NE(routinePc(1, 3), routinePc(2, 3));
+}
+
+TEST(TupleNaming, PathTuplePairsRoutineWithPathId)
+{
+    const Tuple t = pathTuple(1, 5, 42);
+    EXPECT_EQ(t.first, routinePc(1, 5));
+    EXPECT_EQ(t.second, 42u);
+}
+
+TEST(TupleNaming, DescribeTupleUsesRegistryMemberNames)
+{
+    const Tuple t{0x120000000, 0x2a};
+    for (const ProfileKind kind : allProfileKinds()) {
+        if (kind == ProfileKind::Unknown)
+            continue;
+        const EventClassInfo &info = eventClassInfo(kind);
+        const std::string text = describeTuple(kind, t);
+        SCOPED_TRACE(info.name);
+        EXPECT_NE(text.find(info.firstMember), std::string::npos);
+        EXPECT_NE(text.find(info.secondMember), std::string::npos);
+        EXPECT_NE(text.find("0x120000000"), std::string::npos);
+        EXPECT_NE(text.find("0x2a"), std::string::npos);
+    }
+}
+
+TEST(TupleNaming, DescribeTupleNamesEveryClassDistinctly)
+{
+    // Classes with distinct member-name pairs must render distinctly
+    // (edge and mispredict share <branchPC, targetPC> by design, so
+    // they legitimately collide); the Unknown fallback is distinct
+    // from every registered rendering.
+    const Tuple t{0x1000, 0x2000};
+    std::unordered_set<std::string> renderings;
+    std::unordered_set<std::string> memberPairs;
+    for (const ProfileKind kind : allProfileKinds()) {
+        renderings.insert(describeTuple(kind, t));
+        if (kind == ProfileKind::Unknown) {
+            memberPairs.insert("unknown-fallback");
+            continue;
+        }
+        const EventClassInfo &info = eventClassInfo(kind);
+        memberPairs.insert(std::string(info.firstMember) + "/" +
+                           info.secondMember);
+    }
+    EXPECT_EQ(renderings.size(), memberPairs.size());
+    EXPECT_GE(renderings.size(), 4u);
+}
+
+TEST(TupleNaming, UnknownKindFallsBackToRawHex)
+{
+    const Tuple t{0xdead, 0xbeef};
+    EXPECT_EQ(describeTuple(ProfileKind::Unknown, t), t.toString());
 }
 
 } // namespace

@@ -33,6 +33,7 @@
 
 #include "analysis/snapshot_text.h"
 #include "service/service_wire.h"
+#include "trace/event_class.h"
 #include "support/cli.h"
 #include "support/failpoint.h"
 #include "support/wire.h"
@@ -343,6 +344,10 @@ runQuery(ClientSession &session, const std::string &tenantName,
         const std::string title =
             "tenant " +
             (tenantName.empty() ? session.hello.tenant : tenantName);
+        const std::optional<ProfileKind> kind =
+            profileKindFromByte(snap.kind);
+        std::printf("profile kind: %s\n",
+                    kind ? profileKindName(*kind) : "?");
         std::fputs(renderSnapshotText(title, snap.epoch,
                                       snap.intervals,
                                       snap.candidates, 0)
@@ -420,11 +425,13 @@ main(int argc, char **argv)
     }
     const std::string tenantName = cli.getString("tenant");
     const std::string queryWhat = cli.getString("query");
-    // No tenant named means there is nothing to stream as: with a
-    // --query this is query-only mode, whatever --events says.
-    const int64_t events =
-        tenantName.empty() && !queryWhat.empty() ? 0
-                                                 : cli.getInt("events");
+    // A --query without an explicit --events is query-only: the
+    // default event count is for streaming runs, and silently
+    // streaming it before a query would mutate the tenant being
+    // inspected.
+    const int64_t events = !queryWhat.empty() && !cli.wasSet("events")
+                               ? 0
+                               : cli.getInt("events");
     if (cli.getInt("events") < 0 || cli.getInt("batch") <= 0 ||
         cli.getInt("priority") < 0 ||
         cli.getInt("max-queue-events") <= 0) {

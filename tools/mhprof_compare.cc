@@ -24,6 +24,7 @@
 
 #include "analysis/profile_io.h"
 #include "support/cli.h"
+#include "trace/event_class.h"
 
 int
 main(int argc, char **argv)
@@ -56,11 +57,14 @@ main(int argc, char **argv)
     }
     ProfileReader &ra = *openedA;
     ProfileReader &rb = *openedB;
-    if (ra.kind() != rb.kind()) {
-        std::fprintf(stderr, "profiles have different kinds (%s vs "
-                             "%s)\n",
+    if (!profileKindsComparable(ra.kind(), rb.kind())) {
+        std::fprintf(stderr,
+                     "mhprof_compare: cannot compare %s profile %s "
+                     "against %s profile %s (event classes differ)\n",
                      profileKindName(ra.kind()),
-                     profileKindName(rb.kind()));
+                     cli.positional()[0].c_str(),
+                     profileKindName(rb.kind()),
+                     cli.positional()[1].c_str());
         return 1;
     }
 

@@ -211,7 +211,8 @@ main(int argc, char **argv)
         plan.trace = std::move(*mapped);
     } else if (isBenchmarkName(bench)) {
         plan.benchmarks.push_back(bench);
-        plan.edges = cli.getBool("edges");
+        plan.kind = cli.getBool("edges") ? ProfileKind::Edge
+                                         : ProfileKind::Value;
     } else {
         std::fprintf(stderr,
                      "mhprof_coord: needs --trace=<file> or a valid "

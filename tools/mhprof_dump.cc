@@ -14,6 +14,7 @@
 #include "analysis/profile_io.h"
 #include "analysis/simpoint.h"
 #include "support/cli.h"
+#include "trace/event_class.h"
 
 int
 main(int argc, char **argv)

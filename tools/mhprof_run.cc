@@ -4,7 +4,8 @@
  * profile, or sweep one configuration across interval lengths.
  *
  * Input is one of:
- *   --benchmark <name>    a calibrated suite model (value or edge);
+ *   --benchmark <name>    a calibrated suite model (value, edge, or
+ *                         path — pick with --kind);
  *   --trace <file.mht>    a recorded tuple trace.
  *
  * The profiler configuration mirrors the paper's knobs. Example:
@@ -26,6 +27,7 @@
  * 143 = SIGTERM).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdint>
@@ -46,6 +48,7 @@
 #include "support/cli.h"
 #include "support/cpu.h"
 #include "support/failpoint.h"
+#include "trace/event_class.h"
 #include "trace/trace_io.h"
 #include "trace/trace_map.h"
 #include "workload/benchmarks.h"
@@ -63,7 +66,11 @@ onSignal(int sig)
     gCancel.cancel();
 }
 
-/** Parse a comma-separated list of positive interval lengths. */
+/**
+ * Parse a comma-separated list of positive interval lengths.
+ * Duplicates are dropped (with a warning): a repeated length would
+ * silently double its sweep cells, skewing checkpoints and the table.
+ */
 bool
 parseLengths(const std::string &csv, std::vector<uint64_t> &lengths)
 {
@@ -78,13 +85,50 @@ parseLengths(const std::string &csv, std::vector<uint64_t> &lengths)
             const unsigned long long v = std::stoull(item, &used);
             if (used != item.size() || v == 0)
                 return false;
-            lengths.push_back(v);
+            if (std::find(lengths.begin(), lengths.end(), v) !=
+                lengths.end()) {
+                std::fprintf(stderr,
+                             "mhprof_run: warning: duplicate sweep "
+                             "length %llu ignored\n",
+                             v);
+            } else {
+                lengths.push_back(v);
+            }
         } catch (...) {
             return false;
         }
         pos = comma + 1;
     }
     return !lengths.empty();
+}
+
+/**
+ * Resolve the requested event class: --kind wins; the legacy --edges
+ * flag maps to the edge model. Only kinds with a calibrated workload
+ * model are accepted.
+ */
+bool
+resolveKind(const mhp::CliParser &cli, mhp::ProfileKind &kind)
+{
+    using namespace mhp;
+    const std::string name = cli.getString("kind");
+    if (name.empty()) {
+        kind = cli.getBool("edges") ? ProfileKind::Edge
+                                    : ProfileKind::Value;
+        return true;
+    }
+    const std::optional<ProfileKind> parsed = parseProfileKind(name);
+    if (!parsed || (*parsed != ProfileKind::Value &&
+                    *parsed != ProfileKind::Edge &&
+                    *parsed != ProfileKind::Path)) {
+        std::fprintf(stderr,
+                     "mhprof_run: --kind=%s not recognized "
+                     "(value|edge|path)\n",
+                     name.c_str());
+        return false;
+    }
+    kind = *parsed;
+    return true;
 }
 
 int
@@ -106,7 +150,8 @@ runSweep(const mhp::CliParser &cli, const mhp::ProfilerConfig &cfg,
         plan.trace = std::move(*mapped);
     } else if (isBenchmarkName(bench)) {
         plan.benchmarks.push_back(bench);
-        plan.edges = cli.getBool("edges");
+        if (!resolveKind(cli, plan.kind))
+            return 1;
     } else {
         std::fprintf(stderr, "mhprof_run: sweep mode needs "
                              "--trace=<file> or a valid --benchmark\n");
@@ -209,7 +254,11 @@ main(int argc, char **argv)
                   "lengths (exit codes: 0 ok, 1 error, 3 quarantined "
                   "cells, 128+N signal)");
     cli.addString("benchmark", "", "suite benchmark to profile");
-    cli.addBool("edges", false, "use the edge model (with --benchmark)");
+    cli.addBool("edges", false,
+                "use the edge model (alias for --kind=edge)");
+    cli.addString("kind", "",
+                  "event class of the workload model "
+                  "(value|edge|path; default value)");
     cli.addString("trace", "", "input .mht trace (instead of a model)");
     cli.addString("out", "profile.mhp", "output .mhp path");
     cli.addInt("intervals", 10, "profile intervals to run");
@@ -351,12 +400,21 @@ main(int argc, char **argv)
             source = std::move(*opened);
         }
     } else if (isBenchmarkName(bench)) {
-        if (cli.getBool("edges")) {
-            source = makeEdgeWorkload(
-                bench, static_cast<uint64_t>(cli.getInt("seed")));
-        } else {
-            source = makeValueWorkload(
-                bench, static_cast<uint64_t>(cli.getInt("seed")));
+        ProfileKind kind;
+        if (!resolveKind(cli, kind))
+            return 1;
+        const uint64_t seed =
+            static_cast<uint64_t>(cli.getInt("seed"));
+        switch (kind) {
+        case ProfileKind::Edge:
+            source = makeEdgeWorkload(bench, seed);
+            break;
+        case ProfileKind::Path:
+            source = makePathWorkload(bench, seed);
+            break;
+        default:
+            source = makeValueWorkload(bench, seed);
+            break;
         }
     } else {
         std::fprintf(stderr,

@@ -23,6 +23,7 @@
 #include "sim/probes.h"
 #include "support/cli.h"
 #include "support/failpoint.h"
+#include "trace/event_class.h"
 #include "trace/trace_io.h"
 #include "trace/trace_map.h"
 #include "workload/benchmarks.h"
