@@ -183,6 +183,99 @@ AccumulatorTable::flipCountBit(uint64_t slotIndex, unsigned bit)
     slots[slotIndex].count ^= 1ULL << bit;
 }
 
+void
+AccumulatorTable::saveState(ByteBuffer &out) const
+{
+    out.u64(slots.size());
+    for (const Slot &slot : slots) {
+        out.u64(slot.tuple.first);
+        out.u64(slot.tuple.second);
+        out.u64(slot.count);
+        out.u8(slot.valid ? 1 : 0);
+        out.u8(slot.replaceable ? 1 : 0);
+    }
+    out.u64(freeSlots.size());
+    for (uint32_t index : freeSlots)
+        out.u32(index);
+    out.u64(dropped);
+}
+
+Status
+AccumulatorTable::loadState(ByteCursor &in)
+{
+    const Status bad =
+        Status::corruptData("accumulator state is truncated");
+    uint64_t capacity = 0;
+    if (!in.u64(capacity))
+        return bad;
+    if (capacity != slots.size())
+        return Status::corruptDataf(
+            "accumulator state holds %llu slots, this table %llu",
+            static_cast<unsigned long long>(capacity),
+            static_cast<unsigned long long>(slots.size()));
+
+    std::vector<Slot> loaded(slots.size());
+    for (Slot &slot : loaded) {
+        uint8_t valid = 0;
+        uint8_t replaceable = 0;
+        if (!(in.u64(slot.tuple.first) && in.u64(slot.tuple.second) &&
+              in.u64(slot.count) && in.u8(valid) &&
+              in.u8(replaceable)))
+            return bad;
+        slot.valid = valid != 0;
+        slot.replaceable = replaceable != 0;
+    }
+
+    uint64_t freeCount = 0;
+    if (!in.u64(freeCount) || freeCount > slots.size())
+        return bad;
+    std::vector<uint32_t> loadedFree(
+        static_cast<size_t>(freeCount));
+    std::vector<uint8_t> seen(slots.size(), 0);
+    for (uint32_t &index : loadedFree) {
+        if (!in.u32(index))
+            return bad;
+        // Every free index must name a distinct invalid slot, or the
+        // allocator would hand out live storage after restore.
+        if (index >= slots.size() || loaded[index].valid ||
+            seen[index] != 0)
+            return Status::corruptData(
+                "accumulator state free-slot stack is inconsistent "
+                "with its slot validity bits");
+        seen[index] = 1;
+    }
+    uint64_t invalid = 0;
+    for (const Slot &slot : loaded)
+        if (!slot.valid)
+            ++invalid;
+    if (invalid != freeCount)
+        return Status::corruptData(
+            "accumulator state free-slot stack does not cover every "
+            "empty slot");
+
+    uint64_t loadedDropped = 0;
+    if (!in.u64(loadedDropped))
+        return bad;
+
+    slots = std::move(loaded);
+    freeSlots = std::move(loadedFree);
+    dropped = loadedDropped;
+    indexClear();
+    for (uint32_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].valid)
+            continue;
+        if (contains(slots[i].tuple)) {
+            // Roll back to an empty table rather than leave a probe
+            // index with duplicate keys behind.
+            reset();
+            return Status::corruptData(
+                "accumulator state holds duplicate tuples");
+        }
+        indexInsert(slots[i].tuple, i);
+    }
+    return Status::ok();
+}
+
 uint64_t
 AccumulatorTable::countOf(const Tuple &t) const
 {

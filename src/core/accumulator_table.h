@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/profiler.h"
+#include "support/bytes.h"
+#include "support/status.h"
 #include "trace/tuple.h"
 
 namespace mhp {
@@ -158,6 +160,24 @@ class AccumulatorTable
      * (insert() overwrites the count), mirroring real hardware.
      */
     void flipCountBit(uint64_t slotIndex, unsigned bit);
+
+    /**
+     * Serialize the slots (in index order), the free-slot stack (in
+     * exact allocation order — insert() pops from the back and
+     * endInterval() refills in ascending index order, so the order is
+     * behaviour), and the dropped-promotion count. The probe index is
+     * not stored; loadState() rebuilds it from the valid slots, which
+     * reproduces membership exactly (tombstone layout only affects
+     * probe latency, never results).
+     */
+    void saveState(ByteBuffer &out) const;
+
+    /**
+     * Restore state captured by saveState() on a table of identical
+     * capacity. CorruptData when the capacity differs or the free-slot
+     * stack is inconsistent with the slot validity bits.
+     */
+    Status loadState(ByteCursor &in);
 
   private:
     struct Slot

@@ -57,6 +57,42 @@ CounterTable::flush()
     std::fill_n(counts, numEntries, 0);
 }
 
+void
+CounterTable::saveState(ByteBuffer &out) const
+{
+    out.u64(numEntries);
+    for (uint64_t i = 0; i < numEntries; ++i)
+        out.u64(counts[i]);
+}
+
+Status
+CounterTable::loadState(ByteCursor &in)
+{
+    uint64_t entries = 0;
+    if (!in.u64(entries))
+        return Status::corruptData(
+            "counter-table state is truncated");
+    if (entries != numEntries)
+        return Status::corruptDataf(
+            "counter-table state holds %llu entries, this table %llu",
+            static_cast<unsigned long long>(entries),
+            static_cast<unsigned long long>(numEntries));
+    for (uint64_t i = 0; i < numEntries; ++i) {
+        uint64_t v = 0;
+        if (!in.u64(v))
+            return Status::corruptData(
+                "counter-table state is truncated");
+        if (v > saturation)
+            return Status::corruptDataf(
+                "counter-table state value %llu exceeds the %llu "
+                "saturation point",
+                static_cast<unsigned long long>(v),
+                static_cast<unsigned long long>(saturation));
+        counts[i] = v;
+    }
+    return Status::ok();
+}
+
 uint64_t
 CounterTable::countAtLeast(uint64_t value) const
 {

@@ -22,6 +22,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/bytes.h"
+#include "support/status.h"
+
 namespace mhp {
 
 /** Fixed-size array of width-limited saturating up-counters. */
@@ -85,6 +88,16 @@ class CounterTable
 
     /** Number of counters currently at or above a value (analysis). */
     uint64_t countAtLeast(uint64_t value) const;
+
+    /** Serialize every counter value (entry count + raw values). */
+    void saveState(ByteBuffer &out) const;
+
+    /**
+     * Restore counter values captured by saveState() on a table of
+     * identical geometry. CorruptData when the entry count differs or
+     * a stored value exceeds this table's saturation point.
+     */
+    Status loadState(ByteCursor &in);
 
   private:
     /** Backing storage when owning; empty when viewing. */

@@ -273,4 +273,43 @@ MultiHashProfiler::minCounterFor(const Tuple &t) const
     return minVal;
 }
 
+namespace {
+/** saveState layout revision for MultiHashProfiler. */
+constexpr uint8_t kMhStateVersion = 1;
+} // namespace
+
+Status
+MultiHashProfiler::saveState(ByteBuffer &out) const
+{
+    out.u8(kMhStateVersion);
+    out.u32(static_cast<uint32_t>(tables.size()));
+    for (const CounterTable &table : tables)
+        table.saveState(out);
+    accumulator.saveState(out);
+    return Status::ok();
+}
+
+Status
+MultiHashProfiler::loadState(ByteCursor &in)
+{
+    uint8_t version = 0;
+    uint32_t tableCount = 0;
+    if (!in.u8(version) || !in.u32(tableCount))
+        return Status::corruptData(
+            "multi-hash profiler state is truncated");
+    if (version != kMhStateVersion)
+        return Status::corruptDataf(
+            "multi-hash profiler state version %u, this build "
+            "writes %u",
+            version, kMhStateVersion);
+    if (tableCount != tables.size())
+        return Status::corruptDataf(
+            "multi-hash profiler state holds %u tables, this "
+            "configuration %zu",
+            tableCount, tables.size());
+    for (CounterTable &table : tables)
+        MHP_RETURN_IF_ERROR(table.loadState(in));
+    return accumulator.loadState(in);
+}
+
 } // namespace mhp

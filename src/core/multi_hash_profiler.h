@@ -78,6 +78,14 @@ class MultiHashProfiler : public HardwareProfiler
         return targets;
     }
 
+    /**
+     * Mid-stream state capture/restore for daemon crash recovery:
+     * all n counter tables (the CounterBank) and the accumulator.
+     * See HardwareProfiler.
+     */
+    Status saveState(ByteBuffer &out) const override;
+    Status loadState(ByteCursor &in) override;
+
   private:
     /** Events per batched-ingest precompute block. */
     static constexpr size_t kIngestBlock = 256;

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "support/bytes.h"
+#include "support/status.h"
 #include "trace/source.h"
 #include "trace/tuple.h"
 
@@ -107,6 +109,39 @@ class HardwareProfiler : public EventSink
      * return the default empty set.
      */
     virtual FaultTargets faultTargets() { return {}; }
+
+    /**
+     * Serialize the profiler's mutable mid-stream state (counter
+     * values, accumulator entries — everything endInterval() and the
+     * ingest path read) into `out`, such that loadState() on a fresh
+     * instance built from the same config reproduces bit-identical
+     * future behaviour. Configuration is NOT included; the caller
+     * persists it separately and rebuilds the instance first.
+     *
+     * The service checkpointer (src/service/wal.h) relies on this for
+     * crash recovery; profilers that never serve as daemon tenants
+     * keep the default FailedPrecondition.
+     */
+    virtual Status
+    saveState(ByteBuffer &out) const
+    {
+        (void)out;
+        return Status::failedPrecondition(
+            name() + " does not support state serialization");
+    }
+
+    /**
+     * Restore state captured by saveState() on an identically
+     * configured instance. CorruptData when the bytes do not match
+     * this configuration's shape.
+     */
+    virtual Status
+    loadState(ByteCursor &in)
+    {
+        (void)in;
+        return Status::failedPrecondition(
+            name() + " does not support state serialization");
+    }
 };
 
 inline void

@@ -188,4 +188,34 @@ SingleHashProfiler::counterValueFor(const Tuple &t) const
     return table.value(hasher.index(t));
 }
 
+namespace {
+/** saveState layout revision for SingleHashProfiler. */
+constexpr uint8_t kShStateVersion = 1;
+} // namespace
+
+Status
+SingleHashProfiler::saveState(ByteBuffer &out) const
+{
+    out.u8(kShStateVersion);
+    table.saveState(out);
+    accumulator.saveState(out);
+    return Status::ok();
+}
+
+Status
+SingleHashProfiler::loadState(ByteCursor &in)
+{
+    uint8_t version = 0;
+    if (!in.u8(version))
+        return Status::corruptData(
+            "single-hash profiler state is truncated");
+    if (version != kShStateVersion)
+        return Status::corruptDataf(
+            "single-hash profiler state version %u, this build "
+            "writes %u",
+            version, kShStateVersion);
+    MHP_RETURN_IF_ERROR(table.loadState(in));
+    return accumulator.loadState(in);
+}
+
 } // namespace mhp

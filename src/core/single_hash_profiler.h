@@ -64,6 +64,14 @@ class SingleHashProfiler : public HardwareProfiler
         return {{&table}, &accumulator};
     }
 
+    /**
+     * Mid-stream state capture/restore for daemon crash recovery:
+     * the hash counters and the accumulator (the hasher and kernels
+     * are pure functions of the config). See HardwareProfiler.
+     */
+    Status saveState(ByteBuffer &out) const override;
+    Status loadState(ByteCursor &in) override;
+
   private:
     /** Events per batched-ingest precompute block. */
     static constexpr size_t kIngestBlock = 256;

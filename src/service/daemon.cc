@@ -6,8 +6,11 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 
 #include "core/factory.h"
+#include "service/wal.h"
 #include "support/failpoint.h"
 #include "support/wire.h"
 #include "trace/event_class.h"
@@ -20,6 +23,15 @@ namespace mhp {
 ServiceCore::ServiceCore(const ServiceOptions &opts)
     : options(opts), controller(opts.limits)
 {
+}
+
+void
+ServiceCore::recordStateChange(uint64_t tenantId)
+{
+    if (durable == nullptr)
+        return;
+    if (const TenantSession *session = tenants.byId(tenantId))
+        durable->logStateChange(*session);
 }
 
 StatusOr<WireHelloAck>
@@ -65,6 +77,7 @@ ServiceCore::connectTenant(const WireTenantHello &hello)
         const TenantSession *victim = tenants.byId(id);
         pending.push_back({id, false, victim->stateReason()});
         published.evict(id);
+        recordStateChange(id);
     }
 
     StatusOr<TenantSession *> created = tenants.create(
@@ -72,6 +85,10 @@ ServiceCore::connectTenant(const WireTenantHello &hello)
         hello.config, hello.quota);
     if (!created.isOk())
         return created.status();
+    if (durable != nullptr) {
+        (*created)->setHistorySink(durable);
+        durable->logAdmit(**created);
+    }
 
     WireHelloAck ack;
     ack.tenantId = (*created)->id();
@@ -99,6 +116,14 @@ ServiceCore::ingest(uint64_t tenantId, uint64_t seq, TupleSpan events,
     const TenantSession::Offer offer = session->offer(events, nowMs);
     if (seq > session->lastSeq())
         session->setLastSeq(seq);
+    if (durable != nullptr)
+        // offer() queues the accepted prefix of the batch; the
+        // journal record carries it so replay re-applies this exact
+        // outcome instead of re-deciding under a different clock.
+        durable->logIngest(
+            *session, seq, events.size(), offer,
+            TupleSpan(events.data(),
+                      static_cast<size_t>(offer.accepted)));
     ack.accepted = offer.accepted;
     ack.dropped = offer.dropped;
     ack.queuedEvents = session->queuedEvents();
@@ -134,6 +159,7 @@ ServiceCore::tick()
                 pending.push_back({session->id(), true,
                                    session->stateReason()});
                 published.evict(session->id());
+                recordStateChange(session->id());
             }
             budget -= did;
             total += did;
@@ -147,6 +173,7 @@ ServiceCore::tick()
         const TenantSession *victim = tenants.byId(id);
         pending.push_back({id, false, victim->stateReason()});
         published.evict(id);
+        recordStateChange(id);
     }
     return total;
 }
@@ -168,8 +195,16 @@ ServiceCore::finishTenant(uint64_t tenantId)
             pending.push_back(
                 {session->id(), true, session->stateReason()});
             published.evict(session->id());
+            recordStateChange(session->id());
         }
     }
+    // The queue is empty (or the tenant left Active trying): journal
+    // the fully-drained accounting so a restart after the client
+    // departs still reports final numbers (and replay gains a
+    // drain-and-verify barrier).
+    if (durable != nullptr && session != nullptr &&
+        session->state() == TenantState::Active)
+        durable->logFinal(*session);
     return total;
 }
 
@@ -262,7 +297,13 @@ ServiceCore::drainAll(const std::string &dir)
             if (session->state() != TenantState::Active)
                 break;
         }
-        if (session->state() != TenantState::Active || dir.empty())
+        if (session->state() != TenantState::Active) {
+            recordStateChange(session->id());
+            continue;
+        }
+        if (durable != nullptr)
+            durable->logFinal(*session);
+        if (dir.empty())
             continue;
         const Status flushed = session->flushDurable(dir);
         if (!flushed.isOk() && first.isOk())
@@ -287,13 +328,28 @@ monotonicMs()
 
 constexpr uint64_t kNoTenant = UINT64_MAX;
 
-/** One connected client. */
+/** One frame queued for a client, awaiting the journal commit. */
+struct Outgoing
+{
+    uint8_t type = 0;
+    ByteBuffer payload;
+};
+
+/**
+ * One connected client. Replies are queued in `outbox` and flushed
+ * once per loop iteration, *after* the journal commit — an ack the
+ * client can observe is therefore always durable (exactly-once
+ * across a daemon crash). `closing` drains the outbox first and then
+ * dies (the Goodbye path); `dead` is immediate.
+ */
 struct Conn
 {
     WireConn wire;
     uint64_t tenantId = kNoTenant;
     uint64_t lastActivityMs = 0;
     bool dead = false;
+    bool closing = false;
+    std::vector<Outgoing> outbox;
 };
 
 void
@@ -309,7 +365,7 @@ logLine(const ServiceOptions &options, const char *fmt, ...)
     va_end(ap);
 }
 
-/** Send a frame; a failure (or the write failpoint) kills the conn. */
+/** Queue a frame; the write failpoint still kills the conn here. */
 void
 sendFrame(Conn &conn, ServiceMsg type, const ByteBuffer &payload,
           const ServiceOptions &options)
@@ -323,11 +379,34 @@ sendFrame(Conn &conn, ServiceMsg type, const ByteBuffer &payload,
         conn.dead = true;
         return;
     }
-    const Status sent =
-        conn.wire.send(static_cast<uint8_t>(type), payload, 5000);
-    if (!sent.isOk()) {
-        logLine(options, "send failed: %s", sent.toString().c_str());
-        conn.dead = true;
+    conn.outbox.push_back({static_cast<uint8_t>(type), payload});
+}
+
+/**
+ * Flush every queued reply. Called once per loop iteration after the
+ * journal commit; a dead connection's queue is still attempted
+ * best-effort (matching the old send-immediately behaviour for
+ * Rejects that precede a disconnect), and a closing connection dies
+ * once its farewell is on the wire.
+ */
+void
+flushOutboxes(std::vector<Conn> &conns, const ServiceOptions &options)
+{
+    for (Conn &conn : conns) {
+        bool broken = false;
+        for (const Outgoing &frame : conn.outbox) {
+            const Status sent =
+                conn.wire.send(frame.type, frame.payload, 5000);
+            if (!sent.isOk()) {
+                logLine(options, "send failed: %s",
+                        sent.toString().c_str());
+                broken = true;
+                break;
+            }
+        }
+        conn.outbox.clear();
+        if (broken || conn.closing)
+            conn.dead = true;
     }
 }
 
@@ -351,6 +430,7 @@ struct DaemonCtx
     std::vector<Conn> &conns;
     uint64_t maxBatchEvents;
     uint64_t nowMs;
+    ServiceState *state; ///< null when running stateless
 };
 
 bool
@@ -393,6 +473,8 @@ handleHello(DaemonCtx &ctx, Conn &conn, const WireFrame &frame)
         return;
     }
     conn.tenantId = ack->tenantId;
+    if (ctx.state != nullptr)
+        ack->bootId = ctx.state->bootId();
     logLine(ctx.options, "tenant '%s' %s as id %llu (priority %u)",
             hello.tenant.c_str(),
             ack->resumed != 0 ? "resumed" : "admitted",
@@ -517,7 +599,7 @@ handleGoodbye(DaemonCtx &ctx, Conn &conn)
         encodeGoodbyeAck(payload, TenantStatsRow{});
     }
     sendFrame(conn, ServiceMsg::GoodbyeAck, payload, ctx.options);
-    conn.dead = true; // the client is done; close our side
+    conn.closing = true; // flush the farewell, then close our side
 }
 
 void
@@ -552,7 +634,7 @@ dispatchFrame(DaemonCtx &ctx, Conn &conn, const WireFrame &frame)
 void
 handleReadable(DaemonCtx &ctx, Conn &conn)
 {
-    while (!conn.dead) {
+    while (!conn.dead && !conn.closing) {
         WireFrame frame;
         Status error = Status::ok();
         const FrameDecode got = conn.wire.poll(frame, error);
@@ -592,6 +674,38 @@ runDaemon(const ServiceOptions &options, const std::atomic<bool> &stop)
     const uint64_t maxBatchEvents =
         options.maxFrameBytes / sizeof(Tuple) + 1;
 
+    // Crash recovery: rebuild every tenant from the state directory
+    // before the first connection is served. Unrecoverable state
+    // (beyond the torn-tail contract) is a refusal to start — better
+    // no daemon than one serving a partial rebuild.
+    std::unique_ptr<ServiceState> state;
+    if (!options.stateDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.stateDir, ec);
+        state = std::make_unique<ServiceState>(
+            options.stateDir, options.checkpointWalBytes);
+        core.attachState(state.get());
+        RecoveryReport report;
+        const Status recovered = state->recover(core, report);
+        if (!recovered.isOk()) {
+            std::fprintf(stderr, "mhprofd: unrecoverable state: %s\n",
+                         recovered.toString().c_str());
+            listener.close();
+            return recovered;
+        }
+        std::fprintf(
+            stderr,
+            "mhprofd: %s: epoch=%llu tenants=%llu intervals=%llu "
+            "wal_records=%llu wal_bytes=%llu replay_ms=%llu\n",
+            report.recovered ? "recovery" : "cold start",
+            static_cast<unsigned long long>(report.checkpointEpoch),
+            static_cast<unsigned long long>(report.tenantsRestored),
+            static_cast<unsigned long long>(report.intervalsLoaded),
+            static_cast<unsigned long long>(report.walRecordsReplayed),
+            static_cast<unsigned long long>(report.walBytesReplayed),
+            static_cast<unsigned long long>(report.replayMs));
+    }
+
     while (!stop.load(std::memory_order_relaxed)) {
         std::vector<pollfd> fds;
         fds.reserve(conns.size() + 1);
@@ -610,7 +724,8 @@ runDaemon(const ServiceOptions &options, const std::atomic<bool> &stop)
         ::poll(fds.data(), fds.size(), core.backlog() ? 0 : 50);
 
         const uint64_t nowMs = monotonicMs();
-        DaemonCtx ctx{options, core, conns, maxBatchEvents, nowMs};
+        DaemonCtx ctx{options,       core,  conns,
+                      maxBatchEvents, nowMs, state.get()};
 
         if ((fds[0].revents & POLLIN) != 0) {
             StatusOr<WireConn> accepted = listener.accept(100);
@@ -663,16 +778,44 @@ runDaemon(const ServiceOptions &options, const std::atomic<bool> &stop)
         }
 
         // Idle sweep: a silent connection is closed (its tenant
-        // stays resumable by name).
+        // stays resumable by name). Its queue is drained and the
+        // final accounting journaled first, so a crash after the
+        // sweep still reports the departed client's exact numbers.
         for (Conn &conn : conns)
             if (!conn.dead && options.idleTimeoutMs != 0 &&
                 nowMs - conn.lastActivityMs > options.idleTimeoutMs) {
+                if (conn.tenantId != kNoTenant)
+                    core.finishTenant(conn.tenantId);
                 logLine(options,
                         "closing idle connection (tenant id %llu)",
                         static_cast<unsigned long long>(
                             conn.tenantId));
                 conn.dead = true;
             }
+
+        // Group commit, then flush: no client observes an ack whose
+        // journal record is not yet durable. A commit failure is
+        // fatal by design (crash-only — die and recover rather than
+        // ack what is not on disk); a checkpoint failure is not (the
+        // previous generation is still complete; retry next round).
+        if (state != nullptr) {
+            const Status committed = state->commit();
+            if (!committed.isOk()) {
+                std::fprintf(stderr,
+                             "mhprofd: journal commit failed: %s\n",
+                             committed.toString().c_str());
+                listener.close();
+                return committed;
+            }
+            if (state->wantCheckpoint()) {
+                const Status cut = state->checkpoint(core);
+                if (!cut.isOk())
+                    logLine(options,
+                            "checkpoint failed (will retry): %s",
+                            cut.toString().c_str());
+            }
+        }
+        flushOutboxes(conns, options);
 
         conns.erase(std::remove_if(conns.begin(), conns.end(),
                                    [](const Conn &conn) {
@@ -689,7 +832,25 @@ runDaemon(const ServiceOptions &options, const std::atomic<bool> &stop)
         sendStatus(conn, ServiceMsg::Goodbye,
                    Status::unavailable("mhprofd is draining"),
                    options);
+    flushOutboxes(conns, options);
     const Status drained = core.drainAll(options.snapshotDir);
+    if (state != nullptr) {
+        // drainAll journaled every tenant's final accounting; make
+        // it durable and cut a farewell checkpoint so the next boot
+        // recovers instantly instead of replaying the whole segment.
+        const Status committed = state->commit();
+        if (!committed.isOk()) {
+            std::fprintf(stderr,
+                         "mhprofd: journal commit failed: %s\n",
+                         committed.toString().c_str());
+            listener.close();
+            return committed;
+        }
+        const Status cut = state->checkpoint(core);
+        if (!cut.isOk())
+            logLine(options, "final checkpoint failed: %s",
+                    cut.toString().c_str());
+    }
     listener.close();
     return drained;
 }

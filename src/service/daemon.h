@@ -43,6 +43,8 @@
 
 namespace mhp {
 
+class ServiceState;
+
 /** Everything runDaemon() needs to serve. */
 struct ServiceOptions
 {
@@ -51,6 +53,18 @@ struct ServiceOptions
 
     /** Durable snapshot directory; empty = no flush on drain. */
     std::string snapshotDir;
+
+    /**
+     * Crash-recovery state directory (WAL + checkpoints, see
+     * service/wal.h); empty = run stateless, as before. With a state
+     * dir the daemon recovers on start, journals every admission and
+     * ingest decision, and flushes client acks only after the journal
+     * fsync — exactly-once across a kill -9.
+     */
+    std::string stateDir;
+
+    /** WAL bytes between checkpoints (recovery-time budget). */
+    uint64_t checkpointWalBytes = 4ull << 20;
 
     /** Global ceilings and budgets. */
     AdmissionLimits limits;
@@ -150,13 +164,27 @@ class ServiceCore
     AdmissionController &admission() { return controller; }
     const EpochSnapshotStore &store() const { return published; }
 
+    /** Mutable read side, for recovery's republish (service/wal.h). */
+    EpochSnapshotStore &publishedStore() { return published; }
+
+    /**
+     * Attach the durability layer: every admission, ingest outcome,
+     * state change, and final accounting from here on is journaled
+     * through `state` (null detaches — the stateless default).
+     */
+    void attachState(ServiceState *state) { durable = state; }
+
   private:
+    /** Journal a shed/quarantine/close if durability is attached. */
+    void recordStateChange(uint64_t tenantId);
+
     ServiceOptions options;
     TenantRegistry tenants;
     AdmissionController controller;
     EpochSnapshotStore published;
     std::vector<TenantEvent> pending;
     uint64_t nextDrainTenant = 0; ///< round-robin fairness cursor
+    ServiceState *durable = nullptr; ///< null: no crash recovery
 };
 
 /**

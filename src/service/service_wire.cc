@@ -76,13 +76,8 @@ serviceMsgName(uint8_t type)
 }
 
 void
-encodeHello(ByteBuffer &out, const WireTenantHello &hello)
+encodeProfilerConfig(ByteBuffer &out, const ProfilerConfig &c)
 {
-    out.u32(hello.protoVersion);
-    out.str(hello.tenant);
-    out.u8(hello.kind);
-
-    const ProfilerConfig &c = hello.config;
     out.u64(c.intervalLength);
     out.f64(c.candidateThreshold);
     out.u64(c.totalHashEntries);
@@ -95,19 +90,11 @@ encodeHello(ByteBuffer &out, const WireTenantHello &hello)
     out.u8(c.flushHashTables ? 1 : 0);
     out.u64(c.accumulatorEntries);
     out.u64(c.seed);
-
-    const TenantQuota &q = hello.quota;
-    out.u32(q.priority);
-    out.u64(q.maxQueueEvents);
-    out.u64(q.maxBytesPerSec);
-    out.u64(q.maxIntervals);
-    out.u64(q.maxMemoryBytes);
 }
 
-Status
-decodeHello(const uint8_t *data, size_t size, WireTenantHello &hello)
+bool
+decodeProfilerConfig(ByteCursor &cursor, ProfilerConfig &c)
 {
-    ByteCursor cursor(data, size);
     uint32_t tables = 0;
     uint32_t bits = 0;
     uint8_t retaining = 0;
@@ -115,20 +102,14 @@ decodeHello(const uint8_t *data, size_t size, WireTenantHello &hello)
     uint8_t conservative = 0;
     uint8_t shielding = 0;
     uint8_t flush = 0;
-    ProfilerConfig &c = hello.config;
-    TenantQuota &q = hello.quota;
-    if (!(cursor.u32(hello.protoVersion) && cursor.str(hello.tenant) &&
-          cursor.u8(hello.kind) && cursor.u64(c.intervalLength) &&
+    if (!(cursor.u64(c.intervalLength) &&
           cursor.f64(c.candidateThreshold) &&
           cursor.u64(c.totalHashEntries) && cursor.u32(tables) &&
           cursor.u32(bits) && cursor.u8(retaining) &&
           cursor.u8(resetOnPromote) && cursor.u8(conservative) &&
           cursor.u8(shielding) && cursor.u8(flush) &&
-          cursor.u64(c.accumulatorEntries) && cursor.u64(c.seed) &&
-          cursor.u32(q.priority) && cursor.u64(q.maxQueueEvents) &&
-          cursor.u64(q.maxBytesPerSec) && cursor.u64(q.maxIntervals) &&
-          cursor.u64(q.maxMemoryBytes) && cursor.atEnd()))
-        return truncated("Hello");
+          cursor.u64(c.accumulatorEntries) && cursor.u64(c.seed)))
+        return false;
     c.numHashTables = tables;
     c.counterBits = bits;
     c.retaining = retaining != 0;
@@ -136,6 +117,46 @@ decodeHello(const uint8_t *data, size_t size, WireTenantHello &hello)
     c.conservativeUpdate = conservative != 0;
     c.shielding = shielding != 0;
     c.flushHashTables = flush != 0;
+    return true;
+}
+
+void
+encodeTenantQuota(ByteBuffer &out, const TenantQuota &q)
+{
+    out.u32(q.priority);
+    out.u64(q.maxQueueEvents);
+    out.u64(q.maxBytesPerSec);
+    out.u64(q.maxIntervals);
+    out.u64(q.maxMemoryBytes);
+}
+
+bool
+decodeTenantQuota(ByteCursor &cursor, TenantQuota &q)
+{
+    return cursor.u32(q.priority) && cursor.u64(q.maxQueueEvents) &&
+           cursor.u64(q.maxBytesPerSec) && cursor.u64(q.maxIntervals) &&
+           cursor.u64(q.maxMemoryBytes);
+}
+
+void
+encodeHello(ByteBuffer &out, const WireTenantHello &hello)
+{
+    out.u32(hello.protoVersion);
+    out.str(hello.tenant);
+    out.u8(hello.kind);
+    encodeProfilerConfig(out, hello.config);
+    encodeTenantQuota(out, hello.quota);
+}
+
+Status
+decodeHello(const uint8_t *data, size_t size, WireTenantHello &hello)
+{
+    ByteCursor cursor(data, size);
+    if (!(cursor.u32(hello.protoVersion) && cursor.str(hello.tenant) &&
+          cursor.u8(hello.kind) &&
+          decodeProfilerConfig(cursor, hello.config) &&
+          decodeTenantQuota(cursor, hello.quota) && cursor.atEnd()))
+        return truncated("Hello");
     if (hello.protoVersion != kServiceProtoVersion)
         return Status::invalidArgument(
             "peer speaks service protocol version " +
@@ -153,6 +174,7 @@ encodeHelloAck(ByteBuffer &out, const WireHelloAck &ack)
     out.u64(ack.tenantId);
     out.u8(ack.resumed);
     out.u64(ack.lastSeq);
+    out.u64(ack.bootId);
 }
 
 Status
@@ -160,7 +182,8 @@ decodeHelloAck(const uint8_t *data, size_t size, WireHelloAck &ack)
 {
     ByteCursor cursor(data, size);
     if (!(cursor.u64(ack.tenantId) && cursor.u8(ack.resumed) &&
-          cursor.u64(ack.lastSeq) && cursor.atEnd()))
+          cursor.u64(ack.lastSeq) && cursor.u64(ack.bootId) &&
+          cursor.atEnd()))
         return truncated("HelloAck");
     return Status::ok();
 }

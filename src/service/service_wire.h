@@ -37,8 +37,8 @@
 namespace mhp {
 
 /** Protocol revision; bumped on any frame-payload change. */
-constexpr uint32_t kServiceProtoVersion = 2; // v2: Snapshot carries
-                                             // the tenant's kind
+constexpr uint32_t kServiceProtoVersion = 3; // v3: HelloAck carries
+                                             // the daemon's boot id
 
 /** Per-endpoint frame cap for service connections: 1 MiB. */
 constexpr uint32_t kServiceFrameCap = 1u << 20;
@@ -79,12 +79,31 @@ void encodeHello(ByteBuffer &out, const WireTenantHello &hello);
 Status decodeHello(const uint8_t *data, size_t size,
                    WireTenantHello &hello);
 
+/**
+ * The profiler-config and quota field encodings shared by the Hello
+ * payload and the service journal's admit/checkpoint records
+ * (service/wal.h) — one codec, so a config admitted over the wire
+ * and one replayed from the journal can never disagree.
+ */
+void encodeProfilerConfig(ByteBuffer &out, const ProfilerConfig &c);
+bool decodeProfilerConfig(ByteCursor &cursor, ProfilerConfig &c);
+void encodeTenantQuota(ByteBuffer &out, const TenantQuota &q);
+bool decodeTenantQuota(ByteCursor &cursor, TenantQuota &q);
+
 /** HelloAck payload. */
 struct WireHelloAck
 {
     uint64_t tenantId = 0;
     uint8_t resumed = 0;  ///< 1: reattached to an existing tenant
     uint64_t lastSeq = 0; ///< highest Events seq already accounted
+    /**
+     * Random identity of this daemon process, drawn at startup. A
+     * reconnecting client that sees a different bootId than last time
+     * knows the daemon restarted and must trust `lastSeq` (recovered
+     * from the journal) over its own — see docs/SERVICE.md, "Crash
+     * recovery".
+     */
+    uint64_t bootId = 0;
 };
 
 void encodeHelloAck(ByteBuffer &out, const WireHelloAck &ack);

@@ -54,10 +54,13 @@ TenantSession::offer(TupleSpan events, uint64_t nowMs)
     stats.arrived += n;
 
     if (lifecycle != TenantState::Active) {
-        if (lifecycle == TenantState::Quarantined)
+        if (lifecycle == TenantState::Quarantined) {
             stats.droppedQuarantine += n;
-        else
+            result.droppedQuarantine = n;
+        } else {
             stats.droppedShed += n;
+            result.droppedShed = n;
+        }
         result.dropped = n;
         result.pushback = true;
         result.reason = std::string("tenant '") + tenantName + "' is " +
@@ -68,6 +71,7 @@ TenantSession::offer(TupleSpan events, uint64_t nowMs)
 
     if (!quotaReason.empty()) {
         stats.droppedQuota += n;
+        result.droppedQuota = n;
         result.dropped = n;
         result.pushback = true;
         result.reason = quotaReason;
@@ -114,6 +118,8 @@ TenantSession::offer(TupleSpan events, uint64_t nowMs)
 
     result.accepted = take;
     result.dropped = rateDropped + queueDropped;
+    result.droppedRate = rateDropped;
+    result.droppedQueueFull = queueDropped;
     if (result.dropped > 0 ||
         nearlyFull(queuedEvents(), limits.maxQueueEvents)) {
         result.pushback = true;
@@ -218,6 +224,8 @@ TenantSession::closeInterval(EpochSnapshotStore *store)
     snapshotCandidates += snap.size();
     if (store != nullptr)
         store->publish(tenantId, intervalsDone, snap);
+    if (historySink != nullptr)
+        historySink->onIntervalClosed(*this, intervalsDone, snap);
     snapshots.push_back(std::move(snap));
 
     if (limits.maxIntervals != 0 &&
@@ -312,6 +320,209 @@ TenantSession::flushDurable(const std::string &dir) const
     for (const IntervalSnapshot &snap : snapshots)
         MHP_RETURN_IF_ERROR(writer.writeInterval(snap));
     return writer.close();
+}
+
+namespace {
+/** saveState layout revision for TenantSession. */
+constexpr uint8_t kTenantStateVersion = 1;
+} // namespace
+
+void
+TenantSession::saveState(ByteBuffer &out) const
+{
+    out.u8(kTenantStateVersion);
+    out.u8(static_cast<uint8_t>(lifecycle));
+    out.str(reason);
+    out.str(quotaReason);
+    out.u64(stats.arrived);
+    out.u64(stats.accepted);
+    out.u64(stats.ingested);
+    out.u64(stats.intervals);
+    out.u64(stats.droppedQueueFull);
+    out.u64(stats.droppedRate);
+    out.u64(stats.droppedQuota);
+    out.u64(stats.droppedShed);
+    out.u64(stats.droppedQuarantine);
+    out.u64(stats.pushbacks);
+    out.u64(stats.poisonStrikes);
+    out.u64(lastAckedSeq);
+    out.u64(eventsInInterval);
+    out.u64(intervalsDone);
+    out.u64(rateTokens);
+    out.u32(strikes);
+    out.u64(queuedEvents());
+    for (size_t i = queueHead; i < queue.size(); ++i) {
+        out.u64(queue[i].first);
+        out.u64(queue[i].second);
+    }
+    const bool hasProfiler = profiler != nullptr;
+    out.u8(hasProfiler ? 1 : 0);
+    if (hasProfiler) {
+        const Status saved = profiler->saveState(out);
+        // Every profiler makeProfiler() can build supports state
+        // serialization; a failure here is a programming error.
+        MHP_REQUIRE(saved.isOk(), saved.message().c_str());
+    }
+}
+
+Status
+TenantSession::loadState(ByteCursor &in)
+{
+    uint8_t version = 0;
+    uint8_t rawState = 0;
+    if (!in.u8(version) || !in.u8(rawState) || !in.str(reason) ||
+        !in.str(quotaReason))
+        return Status::corruptData("tenant state blob is truncated");
+    if (version != kTenantStateVersion)
+        return Status::corruptDataf(
+            "tenant state version %u, this build writes %u", version,
+            kTenantStateVersion);
+    if (rawState > static_cast<uint8_t>(TenantState::Closed))
+        return Status::corruptDataf("tenant state byte %u is not a "
+                                    "TenantState",
+                                    rawState);
+    lifecycle = static_cast<TenantState>(rawState);
+
+    uint64_t queued = 0;
+    uint32_t strikes32 = 0;
+    if (!in.u64(stats.arrived) || !in.u64(stats.accepted) ||
+        !in.u64(stats.ingested) || !in.u64(stats.intervals) ||
+        !in.u64(stats.droppedQueueFull) || !in.u64(stats.droppedRate) ||
+        !in.u64(stats.droppedQuota) || !in.u64(stats.droppedShed) ||
+        !in.u64(stats.droppedQuarantine) || !in.u64(stats.pushbacks) ||
+        !in.u64(stats.poisonStrikes) || !in.u64(lastAckedSeq) ||
+        !in.u64(eventsInInterval) || !in.u64(intervalsDone) ||
+        !in.u64(rateTokens) || !in.u32(strikes32) || !in.u64(queued))
+        return Status::corruptData("tenant state blob is truncated");
+    strikes = strikes32;
+
+    if (eventsInInterval >= profilerConfig.intervalLength)
+        return Status::corruptDataf(
+            "tenant state has %llu events in an open interval of "
+            "length %llu",
+            static_cast<unsigned long long>(eventsInInterval),
+            static_cast<unsigned long long>(
+                profilerConfig.intervalLength));
+    if (queued > limits.maxQueueEvents)
+        return Status::corruptDataf(
+            "tenant state queues %llu events past the %llu-event "
+            "bound",
+            static_cast<unsigned long long>(queued),
+            static_cast<unsigned long long>(limits.maxQueueEvents));
+
+    queue.clear();
+    queueHead = 0;
+    queue.reserve(static_cast<size_t>(queued));
+    for (uint64_t i = 0; i < queued; ++i) {
+        Tuple t;
+        if (!in.u64(t.first) || !in.u64(t.second))
+            return Status::corruptData(
+                "tenant state queue is truncated");
+        queue.push_back(t);
+    }
+
+    uint8_t hasProfiler = 0;
+    if (!in.u8(hasProfiler))
+        return Status::corruptData("tenant state blob is truncated");
+    const bool active = lifecycle == TenantState::Active;
+    if ((hasProfiler != 0) != active)
+        return Status::corruptDataf(
+            "tenant state is %s but %s profiler state",
+            tenantStateName(lifecycle),
+            hasProfiler ? "carries" : "lacks");
+    if (!active && queued != 0)
+        return Status::corruptDataf(
+            "%s tenant state still queues events",
+            tenantStateName(lifecycle));
+
+    if (active) {
+        MHP_RETURN_IF_ERROR(profiler->loadState(in));
+    } else {
+        profiler.reset();
+        profilerArea = 0;
+    }
+
+    // Interval history is restored separately (restoreHistory), and
+    // the rate bucket restarts: the saved clock belongs to a dead
+    // boot.
+    snapshots.clear();
+    snapshotCandidates = 0;
+    rateLastMs = 0;
+    rateStarted = false;
+    return Status::ok();
+}
+
+void
+TenantSession::applyIngest(uint64_t seq, uint64_t arrived,
+                           const Offer &outcome, TupleSpan accepted,
+                           uint64_t rateTokensAfter)
+{
+    stats.arrived += arrived;
+    stats.droppedRate += outcome.droppedRate;
+    stats.droppedQueueFull += outcome.droppedQueueFull;
+    stats.droppedQuota += outcome.droppedQuota;
+    stats.droppedShed += outcome.droppedShed;
+    stats.droppedQuarantine += outcome.droppedQuarantine;
+    if (outcome.pushback)
+        ++stats.pushbacks;
+    if (!accepted.empty()) {
+        queue.insert(queue.end(), accepted.begin(), accepted.end());
+        stats.accepted += accepted.size();
+    }
+    rateTokens = rateTokensAfter;
+    if (seq > lastAckedSeq)
+        lastAckedSeq = seq;
+}
+
+void
+TenantSession::applyStateChange(TenantState state, std::string why,
+                                const TenantCounters &recorded)
+{
+    lifecycle = state;
+    reason = std::move(why);
+    stats = recorded;
+    eventsInInterval = 0;
+    releaseMemory();
+}
+
+void
+TenantSession::restoreHistory(std::vector<IntervalSnapshot> intervals)
+{
+    snapshots = std::move(intervals);
+    snapshotCandidates = 0;
+    for (const IntervalSnapshot &snap : snapshots)
+        snapshotCandidates += snap.size();
+}
+
+Status
+TenantSession::verifyInvariants() const
+{
+    if (stats.arrived != stats.accepted + stats.dropped())
+        return Status::corruptDataf(
+            "tenant '%s': arrived %llu != accepted %llu + dropped "
+            "%llu",
+            tenantName.c_str(),
+            static_cast<unsigned long long>(stats.arrived),
+            static_cast<unsigned long long>(stats.accepted),
+            static_cast<unsigned long long>(stats.dropped()));
+    if (lifecycle == TenantState::Active) {
+        if (stats.accepted != stats.ingested + queuedEvents())
+            return Status::corruptDataf(
+                "tenant '%s': accepted %llu != ingested %llu + "
+                "queued %llu",
+                tenantName.c_str(),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.ingested),
+                static_cast<unsigned long long>(queuedEvents()));
+        if (stats.intervals != intervalsDone)
+            return Status::corruptDataf(
+                "tenant '%s': %llu interval closes recorded but "
+                "%llu completed",
+                tenantName.c_str(),
+                static_cast<unsigned long long>(stats.intervals),
+                static_cast<unsigned long long>(intervalsDone));
+    }
+    return Status::ok();
 }
 
 } // namespace mhp

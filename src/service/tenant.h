@@ -38,11 +38,31 @@
 #include "core/config.h"
 #include "core/profiler.h"
 #include "service/snapshot_store.h"
+#include "support/bytes.h"
 #include "support/status.h"
 #include "trace/source.h"
 #include "trace/tuple.h"
 
 namespace mhp {
+
+class TenantSession;
+
+/**
+ * Observer of interval closes, implemented by the service WAL layer
+ * (src/service/wal.h): each closed interval is appended to the
+ * tenant's incremental on-disk history so checkpoints stay O(live
+ * state) instead of O(total intervals). Null sink = no persistence.
+ */
+class TenantHistorySink
+{
+  public:
+    virtual ~TenantHistorySink() = default;
+
+    /** `index` is the 1-based interval number just closed. */
+    virtual void onIntervalClosed(const TenantSession &session,
+                                  uint64_t index,
+                                  const IntervalSnapshot &snap) = 0;
+};
 
 /** Per-tenant resource quotas; 0 means "no limit" where noted. */
 struct TenantQuota
@@ -120,6 +140,17 @@ class TenantSession
         uint64_t dropped = 0;
         bool pushback = false; ///< the client should back off
         std::string reason;    ///< why, when pushback is set
+
+        /**
+         * Per-reason split of `dropped` (sums to it). The WAL ingest
+         * record persists the split so crash replay can re-apply the
+         * decision instead of re-deriving it under a different clock.
+         */
+        uint64_t droppedRate = 0;
+        uint64_t droppedQueueFull = 0;
+        uint64_t droppedQuota = 0;
+        uint64_t droppedShed = 0;
+        uint64_t droppedQuarantine = 0;
     };
 
     /**
@@ -196,6 +227,70 @@ class TenantSession
     uint64_t lastSeq() const { return lastAckedSeq; }
     void setLastSeq(uint64_t seq) { lastAckedSeq = seq; }
 
+    // ---- Durable state (crash recovery; see docs/SERVICE.md) ----
+
+    /**
+     * Serialize the full mutable session state — lifecycle, exact
+     * counters, quota/rate bookkeeping, queued events, and the
+     * profiler's hardware state — into a checkpoint blob. The
+     * completed-interval history is persisted incrementally through
+     * the TenantHistorySink instead and re-attached with
+     * restoreHistory(), so checkpoints stay O(live state).
+     */
+    void saveState(ByteBuffer &out) const;
+
+    /**
+     * Restore from a saveState() blob. The session must be freshly
+     * constructed with the same config and quota (both are recorded
+     * in the WAL admit record, not here). The rate bucket restarts on
+     * the next offer() — monotonic clocks do not survive reboots, so
+     * the saved rateLastMs would be meaningless.
+     */
+    Status loadState(ByteCursor &in);
+
+    /**
+     * Replay one WAL ingest record: re-apply the recorded admission
+     * outcome verbatim — drop splits, accepted prefix into the queue,
+     * post-offer token balance, ack watermark — instead of re-running
+     * offer(), whose rate and queue decisions depended on the crashed
+     * boot's clock and drain interleaving.
+     */
+    void applyIngest(uint64_t seq, uint64_t arrived,
+                     const Offer &outcome, TupleSpan accepted,
+                     uint64_t rateTokensAfter);
+
+    /**
+     * Replay one WAL state-change record: adopt the recorded
+     * lifecycle, reason, and counters as authoritative and release
+     * the (no longer Active) session's memory.
+     */
+    void applyStateChange(TenantState state, std::string why,
+                          const TenantCounters &recorded);
+
+    /**
+     * Adopt completed intervals loaded from the tenant's on-disk
+     * history during recovery. The caller (ServiceState) has already
+     * verified the count matches intervalsDone.
+     */
+    void restoreHistory(std::vector<IntervalSnapshot> intervals);
+
+    /** Interval-close observer for incremental history persistence. */
+    void setHistorySink(TenantHistorySink *sink) { historySink = sink; }
+
+    /** Post-offer token balance, persisted in WAL ingest records. */
+    uint64_t rateTokensNow() const { return rateTokens; }
+
+    /** Completed intervals so far (history-file cursor). */
+    uint64_t intervalCount() const { return intervalsDone; }
+
+    /**
+     * Accounting invariants, checked after recovery replay: arrived
+     * == accepted + dropped(), and for Active tenants accepted ==
+     * ingested + queued. Returns CorruptData naming the violated
+     * equation.
+     */
+    Status verifyInvariants() const;
+
   private:
     void closeInterval(EpochSnapshotStore *store);
     void quarantine(std::string why);
@@ -232,6 +327,9 @@ class TenantSession
     unsigned strikes = 0;
     uint64_t lastAckedSeq = 0;
     TenantCounters stats;
+
+    /** Interval-close observer (null = no persistence). */
+    TenantHistorySink *historySink = nullptr;
 };
 
 } // namespace mhp

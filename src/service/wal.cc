@@ -1,0 +1,969 @@
+#include "service/wal.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <iterator>
+#include <random>
+
+#include <time.h>
+#include <unistd.h>
+
+#include "service/daemon.h"
+#include "service/service_wire.h"
+#include "support/durable.h"
+#include "support/failpoint.h"
+#include "support/wire.h"
+#include "trace/event_class.h"
+
+namespace mhp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Leading u64 of every state file, per kind ("MHPWAL1\0" etc.). */
+constexpr uint64_t kWalMagic = 0x0031'4c41'5750'484dULL;
+constexpr uint64_t kHistMagic = 0x0031'5349'4850'484dULL;
+constexpr uint64_t kCkptMagic = 0x0031'504b'4350'484dULL;
+
+/** On-disk format revision shared by all three state-file kinds. */
+constexpr uint32_t kStateFormat = 1;
+
+std::string
+walFileName(const std::string &dir, uint64_t epoch)
+{
+    return dir + "/wal-" + std::to_string(epoch) + ".log";
+}
+
+std::string
+ckptFileName(const std::string &dir, uint64_t epoch)
+{
+    return dir + "/ckpt-" + std::to_string(epoch);
+}
+
+std::string
+histFileName(const std::string &dir, uint64_t tenantId)
+{
+    return dir + "/hist-" + std::to_string(tenantId) + ".hlog";
+}
+
+uint64_t
+drawBootId()
+{
+    // Identity, not cryptography: distinct across restarts is all the
+    // client's restart detection needs.
+    std::random_device rd;
+    uint64_t id = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    id ^= static_cast<uint64_t>(::getpid()) << 17;
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    id ^= static_cast<uint64_t>(ts.tv_nsec);
+    return id != 0 ? id : 1;
+}
+
+uint64_t
+monotonicMsNow()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+           static_cast<uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+void
+appendFrame(std::vector<uint8_t> &out, WalRecord type,
+            const ByteBuffer &payload)
+{
+    encodeFrame(static_cast<uint8_t>(type), payload.data(),
+                payload.size(), out);
+}
+
+void
+encodeCounters(ByteBuffer &out, const TenantCounters &c)
+{
+    out.u64(c.arrived);
+    out.u64(c.accepted);
+    out.u64(c.ingested);
+    out.u64(c.intervals);
+    out.u64(c.droppedQueueFull);
+    out.u64(c.droppedRate);
+    out.u64(c.droppedQuota);
+    out.u64(c.droppedShed);
+    out.u64(c.droppedQuarantine);
+    out.u64(c.pushbacks);
+    out.u64(c.poisonStrikes);
+}
+
+bool
+decodeCounters(ByteCursor &cursor, TenantCounters &c)
+{
+    return cursor.u64(c.arrived) && cursor.u64(c.accepted) &&
+           cursor.u64(c.ingested) && cursor.u64(c.intervals) &&
+           cursor.u64(c.droppedQueueFull) &&
+           cursor.u64(c.droppedRate) && cursor.u64(c.droppedQuota) &&
+           cursor.u64(c.droppedShed) &&
+           cursor.u64(c.droppedQuarantine) &&
+           cursor.u64(c.pushbacks) && cursor.u64(c.poisonStrikes);
+}
+
+/**
+ * One state file scanned into frames. `goodBytes` is the offset just
+ * past the last intact frame; a shorter value than `totalBytes`
+ * means a torn tail (the legal crash signature). A CRC mismatch or
+ * malformed length anywhere is a hard CorruptData instead.
+ */
+struct ScannedFile
+{
+    bool exists = false;
+    std::vector<WireFrame> frames;
+    std::vector<uint64_t> offsets; ///< start offset of each frame
+    uint64_t goodBytes = 0;
+    uint64_t totalBytes = 0;
+};
+
+Status
+scanStateFile(const std::string &path, ScannedFile &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return Status::ok(); // exists stays false
+    out.exists = true;
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    out.totalBytes = bytes.size();
+
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+        WireFrame frame;
+        size_t consumed = 0;
+        Status error = Status::ok();
+        const FrameDecode got =
+            decodeFrame(bytes.data() + pos, bytes.size() - pos, frame,
+                        consumed, error);
+        if (got == FrameDecode::NeedMore)
+            break; // torn tail: a frame prefix cut by a crash
+        if (got == FrameDecode::Corrupt)
+            return Status::corruptDataf(
+                "%s@%zu: %s", path.c_str(), pos,
+                error.message().c_str());
+        out.offsets.push_back(pos);
+        out.frames.push_back(std::move(frame));
+        pos += consumed;
+    }
+    out.goodBytes = pos;
+    return Status::ok();
+}
+
+Status
+corruptAt(const std::string &path, uint64_t offset, const char *why)
+{
+    return Status::corruptDataf("%s@%llu: %s", path.c_str(),
+                                static_cast<unsigned long long>(offset),
+                                why);
+}
+
+/** Write `bytes` to a fresh file, flush, fsync. */
+Status
+writeFileDurably(const std::string &path,
+                 const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path,
+                      std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+        return Status::ioError(path + ": cannot open for writing");
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good())
+        return Status::ioError(path + ": write failed");
+    out.close();
+    return fsyncFile(path);
+}
+
+} // namespace
+
+ServiceState::ServiceState(std::string dir, uint64_t checkpointWalBytes)
+    : stateDir(std::move(dir)),
+      checkpointEvery(checkpointWalBytes != 0 ? checkpointWalBytes
+                                              : 4ull << 20),
+      bootIdValue(drawBootId())
+{
+}
+
+ServiceState::~ServiceState() = default;
+
+// ---------------------------------------------------------------------------
+// Decision logging
+
+void
+ServiceState::logAdmit(const TenantSession &session)
+{
+    if (replaying)
+        return;
+    ByteBuffer payload;
+    payload.u64(session.id());
+    payload.str(session.name());
+    payload.u8(profileKindToByte(session.kind()));
+    encodeProfilerConfig(payload, session.config());
+    encodeTenantQuota(payload, session.quota());
+    appendFrame(walPending, WalRecord::Admit, payload);
+}
+
+void
+ServiceState::logIngest(const TenantSession &session, uint64_t seq,
+                        uint64_t arrived,
+                        const TenantSession::Offer &outcome,
+                        TupleSpan accepted)
+{
+    if (replaying)
+        return;
+    ByteBuffer payload;
+    payload.u64(session.id());
+    payload.u64(seq);
+    payload.u64(arrived);
+    payload.u8(outcome.pushback ? 1 : 0);
+    payload.u64(outcome.droppedRate);
+    payload.u64(outcome.droppedQueueFull);
+    payload.u64(outcome.droppedQuota);
+    payload.u64(outcome.droppedShed);
+    payload.u64(outcome.droppedQuarantine);
+    payload.u64(session.rateTokensNow());
+    payload.u64(accepted.size());
+    for (const Tuple &t : accepted) {
+        payload.u64(t.first);
+        payload.u64(t.second);
+    }
+    appendFrame(walPending, WalRecord::Ingest, payload);
+}
+
+void
+ServiceState::logStateChange(const TenantSession &session)
+{
+    if (replaying)
+        return;
+    ByteBuffer payload;
+    payload.u64(session.id());
+    payload.u8(static_cast<uint8_t>(session.state()));
+    payload.str(session.stateReason());
+    encodeCounters(payload, session.counters());
+    appendFrame(walPending, WalRecord::StateChange, payload);
+}
+
+void
+ServiceState::logFinal(const TenantSession &session)
+{
+    if (replaying)
+        return;
+    ByteBuffer payload;
+    payload.u64(session.id());
+    encodeCounters(payload, session.counters());
+    payload.u64(session.intervalCount());
+    appendFrame(walPending, WalRecord::Final, payload);
+}
+
+void
+ServiceState::onIntervalClosed(const TenantSession &session,
+                               uint64_t index,
+                               const IntervalSnapshot &snap)
+{
+    // Replay re-closes intervals the crashed boot already persisted;
+    // the per-tenant frame count dedups them exactly.
+    uint64_t &frames = histFrames[session.id()];
+    if (index <= frames)
+        return;
+    ByteBuffer payload;
+    payload.u64(index);
+    payload.u64(snap.size());
+    for (const CandidateCount &c : snap) {
+        payload.u64(c.tuple.first);
+        payload.u64(c.tuple.second);
+        payload.u64(c.count);
+    }
+    appendFrame(histPending[session.id()], WalRecord::HistInterval,
+                payload);
+    frames = index;
+}
+
+// ---------------------------------------------------------------------------
+// Commit and checkpoint
+
+Status
+ServiceState::commit()
+{
+    if (walPending.empty())
+        return Status::ok();
+    if (failpointsArmed()) {
+        if (failpointFires("daemon.crash.commit"))
+            ::raise(SIGKILL);
+        if (failpointFires("wal.write.eio"))
+            return Status::ioError(
+                walPath + ": injected write failure (failpoint "
+                          "wal.write.eio)");
+    }
+    // Append only what a previous failed commit has not already
+    // pushed into the file — an fsync retry must not duplicate
+    // records the earlier write() landed.
+    if (walPendingWritten < walPending.size()) {
+        walOut.write(reinterpret_cast<const char *>(
+                         walPending.data() + walPendingWritten),
+                     static_cast<std::streamsize>(
+                         walPending.size() - walPendingWritten));
+        walOut.flush();
+        if (!walOut.good())
+            return Status::ioError(walPath +
+                                   ": journal append failed");
+        walPendingWritten = walPending.size();
+    }
+    if (failpointsArmed() && failpointFires("wal.fsync.eio"))
+        return Status::ioError(
+            walPath + ": injected fsync failure (failpoint "
+                      "wal.fsync.eio)");
+    MHP_RETURN_IF_ERROR(fsyncFile(walPath));
+    if (failpointsArmed() && failpointFires("daemon.crash.postcommit"))
+        ::raise(SIGKILL);
+    walBytesSinceCheckpoint += walPending.size();
+    walPending.clear();
+    walPendingWritten = 0;
+    return Status::ok();
+}
+
+Status
+ServiceState::flushHistory(ServiceCore &core)
+{
+    for (const TenantSession *session : core.registry().all()) {
+        const uint64_t id = session->id();
+        if (session->state() != TenantState::Active) {
+            // A shed/quarantined/closed tenant released its history;
+            // its file and pending appends are dead weight.
+            histPending.erase(id);
+            histFrames.erase(id);
+            const std::string path = histFileName(stateDir, id);
+            std::error_code ec;
+            if (fs::remove(path, ec))
+                MHP_RETURN_IF_ERROR(fsyncParentDir(path));
+            continue;
+        }
+        auto pending = histPending.find(id);
+        if (pending == histPending.end() || pending->second.empty())
+            continue;
+        const std::string path = histFileName(stateDir, id);
+        const bool fresh = !fs::exists(path);
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        if (!out.is_open())
+            return Status::ioError(path +
+                                   ": cannot open for append");
+        if (fresh) {
+            ByteBuffer header;
+            header.u64(kHistMagic);
+            header.u32(kStateFormat);
+            header.u64(id);
+            header.str(session->name());
+            std::vector<uint8_t> frame;
+            appendFrame(frame, WalRecord::HistHeader, header);
+            out.write(reinterpret_cast<const char *>(frame.data()),
+                      static_cast<std::streamsize>(frame.size()));
+        }
+        out.write(
+            reinterpret_cast<const char *>(pending->second.data()),
+            static_cast<std::streamsize>(pending->second.size()));
+        out.flush();
+        if (!out.good())
+            return Status::ioError(path + ": history append failed");
+        out.close();
+        MHP_RETURN_IF_ERROR(fsyncFile(path));
+        if (fresh)
+            MHP_RETURN_IF_ERROR(fsyncParentDir(path));
+        pending->second.clear();
+    }
+    return Status::ok();
+}
+
+Status
+ServiceState::writeCheckpointFile(ServiceCore &core, uint64_t epoch)
+{
+    if (failpointsArmed() &&
+        failpointFires("snapshot.checkpoint.eio"))
+        return Status::ioError(
+            ckptFileName(stateDir, epoch) +
+            ": injected checkpoint failure (failpoint "
+            "snapshot.checkpoint.eio)");
+
+    const std::vector<const TenantSession *> sessions =
+        core.registry().all();
+    std::vector<uint8_t> bytes;
+    ByteBuffer manifest;
+    manifest.u64(kCkptMagic);
+    manifest.u32(kStateFormat);
+    manifest.u64(epoch);
+    manifest.u64(sessions.size());
+    appendFrame(bytes, WalRecord::CkptManifest, manifest);
+    for (const TenantSession *session : sessions) {
+        ByteBuffer payload;
+        payload.u64(session->id());
+        payload.str(session->name());
+        payload.u8(profileKindToByte(session->kind()));
+        encodeProfilerConfig(payload, session->config());
+        encodeTenantQuota(payload, session->quota());
+        session->saveState(payload);
+        appendFrame(bytes, WalRecord::CkptTenant, payload);
+    }
+    ByteBuffer footer;
+    footer.u64(sessions.size());
+    appendFrame(bytes, WalRecord::CkptFooter, footer);
+
+    const std::string path = ckptFileName(stateDir, epoch);
+    const std::string tmp = path + ".tmp";
+    MHP_RETURN_IF_ERROR(writeFileDurably(tmp, bytes));
+    if (failpointsArmed() && failpointFires("daemon.crash.checkpoint"))
+        ::raise(SIGKILL);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        return Status::ioError(tmp + " -> " + path +
+                               ": rename failed: " + ec.message());
+    return fsyncParentDir(path);
+}
+
+Status
+ServiceState::openWalSegment(uint64_t epoch)
+{
+    const std::string path = walFileName(stateDir, epoch);
+    if (failpointsArmed() && failpointFires("wal.rotate.eio"))
+        return Status::ioError(
+            path + ": injected rotation failure (failpoint "
+                   "wal.rotate.eio)");
+    ByteBuffer header;
+    header.u64(kWalMagic);
+    header.u32(kStateFormat);
+    header.u64(epoch);
+    header.u64(bootIdValue);
+    std::vector<uint8_t> frame;
+    appendFrame(frame, WalRecord::SegmentHeader, header);
+    // tmp + rename, like the checkpoint: a crash mid-rotation leaves
+    // the segment absent (a state recovery accepts), never a torn
+    // header it would have to refuse.
+    const std::string tmp = path + ".tmp";
+    MHP_RETURN_IF_ERROR(writeFileDurably(tmp, frame));
+    std::error_code renameEc;
+    fs::rename(tmp, path, renameEc);
+    if (renameEc)
+        return Status::ioError(tmp + " -> " + path +
+                               ": rename failed: " +
+                               renameEc.message());
+    MHP_RETURN_IF_ERROR(fsyncParentDir(path));
+    if (walOut.is_open())
+        walOut.close();
+    walOut.open(path, std::ios::binary | std::ios::app);
+    if (!walOut.is_open())
+        return Status::ioError(path + ": cannot open for append");
+    walPath = path;
+    return Status::ok();
+}
+
+Status
+ServiceState::checkpoint(ServiceCore &core)
+{
+    // WAL first: history (and the checkpoint derived with it) must
+    // never claim decisions the journal does not hold.
+    MHP_RETURN_IF_ERROR(commit());
+    MHP_RETURN_IF_ERROR(flushHistory(core));
+    const uint64_t next = currentEpoch + 1;
+    MHP_RETURN_IF_ERROR(writeCheckpointFile(core, next));
+    MHP_RETURN_IF_ERROR(openWalSegment(next));
+    if (failpointsArmed() && failpointFires("daemon.crash.rotate"))
+        ::raise(SIGKILL);
+    currentEpoch = next;
+    walBytesSinceCheckpoint = 0;
+
+    // Sweep every stale generation (the predecessor, plus any debris
+    // a crash mid-rotation left behind) and orphaned temp files.
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(stateDir, ec)) {
+        const std::string name = entry.path().filename().string();
+        const bool ckpt = name.rfind("ckpt-", 0) == 0;
+        const bool wal = name.rfind("wal-", 0) == 0;
+        if (!ckpt && !wal)
+            continue;
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            fs::remove(entry.path(), ec);
+            continue;
+        }
+        if (entry.path().string() != ckptFileName(stateDir, next) &&
+            entry.path().string() != walFileName(stateDir, next))
+            fs::remove(entry.path(), ec);
+    }
+    return fsyncParentDir(ckptFileName(stateDir, next));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+Status
+ServiceState::loadCheckpoint(ServiceCore &core, uint64_t epoch,
+                             RecoveryReport &report)
+{
+    const std::string path = ckptFileName(stateDir, epoch);
+    ScannedFile file;
+    MHP_RETURN_IF_ERROR(scanStateFile(path, file));
+    if (!file.exists)
+        return Status::corruptDataf("%s@0: checkpoint file vanished",
+                                    path.c_str());
+    // Checkpoints are published by rename after an fsync, so unlike
+    // the WAL a torn tail here is corruption, not a crash signature.
+    if (file.goodBytes != file.totalBytes)
+        return corruptAt(path, file.goodBytes,
+                         "checkpoint has a torn tail");
+    if (file.frames.empty())
+        return corruptAt(path, 0, "checkpoint holds no manifest");
+
+    const WireFrame &head = file.frames.front();
+    if (head.type != static_cast<uint8_t>(WalRecord::CkptManifest))
+        return corruptAt(path, 0,
+                         "checkpoint does not start with a manifest");
+    ByteCursor manifest(head.payload.data(), head.payload.size());
+    uint64_t magic = 0;
+    uint32_t format = 0;
+    uint64_t fileEpoch = 0;
+    uint64_t count = 0;
+    if (!manifest.u64(magic) || !manifest.u32(format) ||
+        !manifest.u64(fileEpoch) || !manifest.u64(count) ||
+        !manifest.atEnd())
+        return corruptAt(path, 0, "checkpoint manifest is malformed");
+    if (magic != kCkptMagic)
+        return corruptAt(path, 0, "not a service checkpoint (magic)");
+    if (format != kStateFormat)
+        return corruptAt(path, 0,
+                         "checkpoint format this build cannot read");
+    if (fileEpoch != epoch)
+        return corruptAt(path, 0,
+                         "checkpoint epoch disagrees with its name");
+    if (file.frames.size() != count + 2)
+        return corruptAt(path, 0,
+                         "checkpoint frame count disagrees with its "
+                         "manifest");
+
+    const WireFrame &tail = file.frames.back();
+    uint64_t footerCount = 0;
+    ByteCursor footer(tail.payload.data(), tail.payload.size());
+    if (tail.type != static_cast<uint8_t>(WalRecord::CkptFooter) ||
+        !footer.u64(footerCount) || !footer.atEnd() ||
+        footerCount != count)
+        return corruptAt(path, file.offsets.back(),
+                         "checkpoint footer is missing or disagrees "
+                         "with the manifest");
+
+    for (size_t i = 1; i + 1 < file.frames.size(); ++i) {
+        const WireFrame &frame = file.frames[i];
+        const uint64_t at = file.offsets[i];
+        if (frame.type != static_cast<uint8_t>(WalRecord::CkptTenant))
+            return corruptAt(path, at,
+                             "unexpected frame inside a checkpoint");
+        ByteCursor cursor(frame.payload.data(), frame.payload.size());
+        uint64_t id = 0;
+        std::string name;
+        uint8_t kindByte = 0;
+        ProfilerConfig config;
+        TenantQuota quota;
+        if (!cursor.u64(id) || !cursor.str(name) ||
+            !cursor.u8(kindByte) ||
+            !decodeProfilerConfig(cursor, config) ||
+            !decodeTenantQuota(cursor, quota))
+            return corruptAt(path, at,
+                             "tenant checkpoint record is truncated");
+        const std::optional<ProfileKind> kind =
+            profileKindFromByte(kindByte);
+        if (!kind)
+            return corruptAt(path, at,
+                             "tenant checkpoint record carries an "
+                             "unknown profile kind");
+        StatusOr<TenantSession *> created =
+            core.registry().create(name, *kind, config, quota);
+        if (!created.isOk())
+            return corruptAt(path, at,
+                             created.status().message().c_str());
+        if ((*created)->id() != id)
+            return corruptAt(path, at,
+                             "tenant checkpoint records are not in "
+                             "id order");
+        const Status loaded = (*created)->loadState(cursor);
+        if (!loaded.isOk())
+            return corruptAt(path, at, loaded.message().c_str());
+        if (!cursor.atEnd())
+            return corruptAt(path, at,
+                             "tenant checkpoint record carries "
+                             "trailing bytes");
+        (*created)->setHistorySink(this);
+        ++report.tenantsRestored;
+    }
+    report.checkpointEpoch = epoch;
+    return Status::ok();
+}
+
+Status
+ServiceState::loadHistory(TenantSession &session,
+                          RecoveryReport &report)
+{
+    const std::string path = histFileName(stateDir, session.id());
+    ScannedFile file;
+    MHP_RETURN_IF_ERROR(scanStateFile(path, file));
+    const uint64_t want = session.intervalCount();
+    if (!file.exists) {
+        if (want != 0)
+            return Status::corruptDataf(
+                "%s@0: checkpoint claims %llu intervals but the "
+                "history file is missing",
+                path.c_str(), static_cast<unsigned long long>(want));
+        return Status::ok();
+    }
+    if (file.frames.empty())
+        return corruptAt(path, 0, "history file holds no header");
+    const WireFrame &head = file.frames.front();
+    ByteCursor header(head.payload.data(), head.payload.size());
+    uint64_t magic = 0;
+    uint32_t format = 0;
+    uint64_t id = 0;
+    std::string name;
+    if (head.type != static_cast<uint8_t>(WalRecord::HistHeader) ||
+        !header.u64(magic) || !header.u32(format) ||
+        !header.u64(id) || !header.str(name) || !header.atEnd())
+        return corruptAt(path, 0, "history header is malformed");
+    if (magic != kHistMagic)
+        return corruptAt(path, 0, "not a tenant history (magic)");
+    if (format != kStateFormat)
+        return corruptAt(path, 0,
+                         "history format this build cannot read");
+    if (id != session.id() || name != session.name())
+        return corruptAt(path, 0,
+                         "history header names a different tenant");
+
+    std::vector<IntervalSnapshot> intervals;
+    for (size_t i = 1; i < file.frames.size(); ++i) {
+        const WireFrame &frame = file.frames[i];
+        const uint64_t at = file.offsets[i];
+        if (frame.type !=
+            static_cast<uint8_t>(WalRecord::HistInterval))
+            return corruptAt(path, at,
+                             "unexpected frame inside a history "
+                             "file");
+        ByteCursor cursor(frame.payload.data(), frame.payload.size());
+        uint64_t index = 0;
+        uint64_t count = 0;
+        if (!cursor.u64(index) || !cursor.u64(count) ||
+            count != cursor.remaining() / 24 ||
+            cursor.remaining() % 24 != 0)
+            return corruptAt(path, at,
+                             "history interval record is malformed");
+        if (index != static_cast<uint64_t>(i))
+            return corruptAt(path, at,
+                             "history interval indexes are not "
+                             "sequential");
+        IntervalSnapshot snap(static_cast<size_t>(count));
+        for (CandidateCount &c : snap) {
+            cursor.u64(c.tuple.first);
+            cursor.u64(c.tuple.second);
+            cursor.u64(c.count);
+        }
+        intervals.push_back(std::move(snap));
+    }
+
+    const uint64_t onDisk = intervals.size();
+    if (onDisk < want)
+        return Status::corruptDataf(
+            "%s@%llu: checkpoint claims %llu intervals but only "
+            "%llu are on disk",
+            path.c_str(),
+            static_cast<unsigned long long>(file.goodBytes),
+            static_cast<unsigned long long>(want),
+            static_cast<unsigned long long>(onDisk));
+
+    // The file may run ahead of the checkpoint (a newer rotation's
+    // history flush that crashed before publishing its ckpt): adopt
+    // exactly the checkpoint's prefix and let replay re-close the
+    // rest — the frame count dedups the re-appends.
+    intervals.resize(static_cast<size_t>(want));
+    session.restoreHistory(std::move(intervals));
+    histFrames[session.id()] = onDisk;
+    report.intervalsLoaded += want;
+
+    // Cut any torn tail so post-recovery appends start at a frame
+    // boundary.
+    if (file.goodBytes != file.totalBytes) {
+        std::error_code ec;
+        fs::resize_file(path, file.goodBytes, ec);
+        if (ec)
+            return Status::ioError(path + ": cannot truncate torn "
+                                          "tail: " +
+                                   ec.message());
+        MHP_RETURN_IF_ERROR(fsyncFile(path));
+    }
+    return Status::ok();
+}
+
+Status
+ServiceState::replayWal(ServiceCore &core, uint64_t epoch,
+                        RecoveryReport &report)
+{
+    const std::string path = walFileName(stateDir, epoch);
+    ScannedFile file;
+    MHP_RETURN_IF_ERROR(scanStateFile(path, file));
+    if (!file.exists)
+        return Status::ok(); // crashed between publish and rotation
+    if (file.frames.empty()) {
+        if (file.totalBytes != 0)
+            return corruptAt(path, 0, "journal header is torn");
+        return corruptAt(path, 0, "journal holds no header");
+    }
+
+    const WireFrame &head = file.frames.front();
+    ByteCursor header(head.payload.data(), head.payload.size());
+    uint64_t magic = 0;
+    uint32_t format = 0;
+    uint64_t fileEpoch = 0;
+    uint64_t creatorBoot = 0;
+    if (head.type != static_cast<uint8_t>(WalRecord::SegmentHeader) ||
+        !header.u64(magic) || !header.u32(format) ||
+        !header.u64(fileEpoch) || !header.u64(creatorBoot) ||
+        !header.atEnd())
+        return corruptAt(path, 0, "journal header is malformed");
+    if (magic != kWalMagic)
+        return corruptAt(path, 0, "not a service journal (magic)");
+    if (format != kStateFormat)
+        return corruptAt(path, 0,
+                         "journal format this build cannot read");
+    if (fileEpoch != epoch)
+        return corruptAt(path, 0,
+                         "journal epoch disagrees with its name");
+
+    for (size_t i = 1; i < file.frames.size(); ++i) {
+        const WireFrame &frame = file.frames[i];
+        const uint64_t at = file.offsets[i];
+        ByteCursor cursor(frame.payload.data(), frame.payload.size());
+        switch (static_cast<WalRecord>(frame.type)) {
+          case WalRecord::Admit: {
+            uint64_t id = 0;
+            std::string name;
+            uint8_t kindByte = 0;
+            ProfilerConfig config;
+            TenantQuota quota;
+            if (!cursor.u64(id) || !cursor.str(name) ||
+                !cursor.u8(kindByte) ||
+                !decodeProfilerConfig(cursor, config) ||
+                !decodeTenantQuota(cursor, quota) || !cursor.atEnd())
+                return corruptAt(path, at,
+                                 "admit record is malformed");
+            const std::optional<ProfileKind> kind =
+                profileKindFromByte(kindByte);
+            if (!kind)
+                return corruptAt(path, at,
+                                 "admit record carries an unknown "
+                                 "profile kind");
+            StatusOr<TenantSession *> created =
+                core.registry().create(name, *kind, config, quota);
+            if (!created.isOk())
+                return corruptAt(path, at,
+                                 created.status().message().c_str());
+            if ((*created)->id() != id)
+                return corruptAt(path, at,
+                                 "admit record id disagrees with "
+                                 "replay order");
+            (*created)->setHistorySink(this);
+            ++report.tenantsRestored;
+            break;
+          }
+          case WalRecord::Ingest: {
+            uint64_t id = 0;
+            uint64_t seq = 0;
+            uint64_t arrived = 0;
+            uint8_t pushback = 0;
+            TenantSession::Offer outcome;
+            uint64_t rateTokensAfter = 0;
+            uint64_t count = 0;
+            if (!cursor.u64(id) || !cursor.u64(seq) ||
+                !cursor.u64(arrived) || !cursor.u8(pushback) ||
+                !cursor.u64(outcome.droppedRate) ||
+                !cursor.u64(outcome.droppedQueueFull) ||
+                !cursor.u64(outcome.droppedQuota) ||
+                !cursor.u64(outcome.droppedShed) ||
+                !cursor.u64(outcome.droppedQuarantine) ||
+                !cursor.u64(rateTokensAfter) || !cursor.u64(count) ||
+                cursor.remaining() % 16 != 0 ||
+                count != cursor.remaining() / 16)
+                return corruptAt(path, at,
+                                 "ingest record is malformed");
+            outcome.pushback = pushback != 0;
+            std::vector<Tuple> accepted(static_cast<size_t>(count));
+            for (Tuple &t : accepted) {
+                cursor.u64(t.first);
+                cursor.u64(t.second);
+            }
+            TenantSession *session = core.registry().byId(id);
+            if (session == nullptr)
+                return corruptAt(path, at,
+                                 "ingest record names an unknown "
+                                 "tenant");
+            session->applyIngest(
+                seq, arrived, outcome,
+                TupleSpan(accepted.data(), accepted.size()),
+                rateTokensAfter);
+            break;
+          }
+          case WalRecord::StateChange: {
+            uint64_t id = 0;
+            uint8_t rawState = 0;
+            std::string why;
+            TenantCounters recorded;
+            if (!cursor.u64(id) || !cursor.u8(rawState) ||
+                !cursor.str(why) ||
+                !decodeCounters(cursor, recorded) || !cursor.atEnd())
+                return corruptAt(path, at,
+                                 "state-change record is malformed");
+            if (rawState >
+                    static_cast<uint8_t>(TenantState::Closed) ||
+                rawState ==
+                    static_cast<uint8_t>(TenantState::Active))
+                return corruptAt(path, at,
+                                 "state-change record carries an "
+                                 "impossible state");
+            TenantSession *session = core.registry().byId(id);
+            if (session == nullptr)
+                return corruptAt(path, at,
+                                 "state-change record names an "
+                                 "unknown tenant");
+            session->applyStateChange(
+                static_cast<TenantState>(rawState), std::move(why),
+                recorded);
+            histPending.erase(id);
+            histFrames.erase(id);
+            break;
+          }
+          case WalRecord::Final: {
+            uint64_t id = 0;
+            TenantCounters recorded;
+            uint64_t intervals = 0;
+            if (!cursor.u64(id) ||
+                !decodeCounters(cursor, recorded) ||
+                !cursor.u64(intervals) || !cursor.atEnd())
+                return corruptAt(path, at,
+                                 "final record is malformed");
+            TenantSession *session = core.registry().byId(id);
+            if (session == nullptr)
+                return corruptAt(path, at,
+                                 "final record names an unknown "
+                                 "tenant");
+            // The record was cut after a drain-to-empty; replaying
+            // the same accepted events must land on the same
+            // counters. poisonStrikes is excluded: strike schedules
+            // are failpoint-driven and need not replay.
+            core.finishTenant(id);
+            const TenantCounters &now = session->counters();
+            if (now.arrived != recorded.arrived ||
+                now.accepted != recorded.accepted ||
+                now.ingested != recorded.ingested ||
+                now.intervals != recorded.intervals ||
+                now.droppedQueueFull != recorded.droppedQueueFull ||
+                now.droppedRate != recorded.droppedRate ||
+                now.droppedQuota != recorded.droppedQuota ||
+                now.droppedShed != recorded.droppedShed ||
+                now.droppedQuarantine !=
+                    recorded.droppedQuarantine ||
+                now.pushbacks != recorded.pushbacks ||
+                session->intervalCount() != intervals)
+                return corruptAt(path, at,
+                                 "replayed counters disagree with "
+                                 "the final record");
+            break;
+          }
+          default:
+            return corruptAt(path, at,
+                             "unexpected record type in a journal");
+        }
+        ++report.walRecordsReplayed;
+    }
+    report.walBytesReplayed = file.goodBytes;
+    return Status::ok();
+}
+
+Status
+ServiceState::recover(ServiceCore &core, RecoveryReport &report)
+{
+    const uint64_t t0 = monotonicMsNow();
+    replaying = true;
+
+    // Find the newest published checkpoint generation.
+    bool found = false;
+    bool sawJournal = false;
+    uint64_t newest = 0;
+    std::error_code ec;
+    if (!fs::is_directory(stateDir, ec))
+        return Status::ioError(stateDir +
+                               ": state directory does not exist");
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(stateDir, ec)) {
+        const std::string name = entry.path().filename().string();
+        sawJournal = sawJournal || name.rfind("wal-", 0) == 0;
+        if (name.rfind("ckpt-", 0) != 0 ||
+            (name.size() > 4 &&
+             name.compare(name.size() - 4, 4, ".tmp") == 0))
+            continue;
+        char *end = nullptr;
+        const unsigned long long epoch =
+            std::strtoull(name.c_str() + 5, &end, 10);
+        if (end == nullptr || *end != '\0')
+            continue;
+        if (!found || epoch > newest)
+            newest = epoch;
+        found = true;
+    }
+
+    // A journal can never legally exist without its checkpoint (the
+    // checkpoint is published first on every path): treating this as
+    // a cold start would silently discard every journaled tenant.
+    if (!found && sawJournal)
+        return corruptAt(walFileName(stateDir, 0), 0,
+                         "journal present but no checkpoint; "
+                         "refusing to cold-start over live state");
+
+    if (found) {
+        report.recovered = true;
+        MHP_RETURN_IF_ERROR(loadCheckpoint(core, newest, report));
+        for (const TenantSession *snap : core.registry().all()) {
+            TenantSession *session =
+                core.registry().byId(snap->id());
+            if (session->state() == TenantState::Active)
+                MHP_RETURN_IF_ERROR(loadHistory(*session, report));
+        }
+        MHP_RETURN_IF_ERROR(replayWal(core, newest, report));
+        currentEpoch = newest;
+
+        // Drain to the deterministic fixed point: every accepted
+        // event ingested, every full interval closed.
+        for (const TenantSession *snap : core.registry().all())
+            if (snap->state() == TenantState::Active)
+                core.finishTenant(snap->id());
+        core.takeEvents(); // replay-time decisions have no audience
+
+        for (const TenantSession *session : core.registry().all())
+            MHP_RETURN_IF_ERROR(session->verifyInvariants());
+
+        // Republish the read side: queries must see the latest
+        // interval immediately, not after the next close.
+        for (const TenantSession *session : core.registry().all())
+            if (session->state() == TenantState::Active &&
+                !session->history().empty())
+                core.publishedStore().publish(
+                    session->id(), session->intervalCount(),
+                    session->history().back());
+    }
+
+    // Cut a fresh generation so recovery work is never repeated (and
+    // a cold start gets its initial empty checkpoint + journal).
+    MHP_RETURN_IF_ERROR(checkpoint(core));
+    replaying = false;
+    report.replayMs = monotonicMsNow() - t0;
+    return Status::ok();
+}
+
+} // namespace mhp

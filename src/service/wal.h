@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Crash-only durability for mhprofd: the per-daemon write-ahead
+ * tenant journal, incremental checkpoints, and restart recovery.
+ *
+ * ServiceState owns a state directory holding exactly one checkpoint
+ * generation at a time:
+ *
+ *   ckpt-<E>        the epoch-E checkpoint: every tenant's config,
+ *                   quota, and full mutable state (TenantSession::
+ *                   saveState), manifest + footer framed
+ *   wal-<E>.log     decisions made since ckpt-<E>: admissions,
+ *                   ingest outcomes, state changes, final accounting
+ *   hist-<id>.hlog  one tenant's completed intervals, appended
+ *                   incrementally so checkpoints stay O(live state)
+ *
+ * Every file is a sequence of CRC-framed records (support/wire.h
+ * framing — the same `length, type, payload, crc32` envelope the
+ * service socket speaks), so the corruption-corpus machinery of PR 2
+ * applies to the journal verbatim.
+ *
+ * ## What is logged, and what is replayed
+ *
+ * Admission decisions and ingest *outcomes* are journaled; drains are
+ * not. An offer()'s split of a batch depends on the crashed boot's
+ * clock (the rate bucket) and drain interleaving (queue occupancy),
+ * so replay applies the recorded outcome verbatim
+ * (TenantSession::applyIngest) instead of re-deciding it. Draining —
+ * profiler ingest and interval closes — is a pure function of the
+ * accepted event sequence, so recovery simply re-drains; the interval
+ * history file dedups re-closed intervals by index.
+ *
+ * ## Commit ordering
+ *
+ * commit() appends and fsyncs the WAL. History appends are buffered
+ * in memory and only reach disk (and fsync) inside checkpoint(),
+ * *after* the WAL they derive from is durable — the history file can
+ * therefore lag the WAL but never lead it, and a lagging history is
+ * rebuilt by replay. Acks are flushed to clients only after commit()
+ * returns, which is what makes a client-visible ack durable and the
+ * ingest path exactly-once across a crash (docs/SERVICE.md).
+ *
+ * ## Failure handling
+ *
+ * A torn tail — a record cut mid-write by a crash — is truncated and
+ * replay continues; that is the expected crash signature. Anything
+ * else (CRC mismatch, semantic violation, duplicate admission) is
+ * CorruptData carrying `path@offset: why`, and the daemon refuses to
+ * start rather than serve a partial rebuild.
+ *
+ * Failpoint sites (docs/ROBUSTNESS.md): `wal.write.eio`,
+ * `wal.fsync.eio`, `wal.rotate.eio`, `snapshot.checkpoint.eio`
+ * (injected I/O errors), and the crash points `daemon.crash.commit`,
+ * `daemon.crash.postcommit`, `daemon.crash.checkpoint`,
+ * `daemon.crash.rotate`, which SIGKILL the process at the exact
+ * commit/rotation boundaries the recovery protocol must survive.
+ */
+
+#ifndef MHP_SERVICE_WAL_H
+#define MHP_SERVICE_WAL_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/tenant.h"
+#include "support/status.h"
+
+namespace mhp {
+
+class ServiceCore;
+
+/** Record type bytes of the service journal's framed files. */
+enum class WalRecord : uint8_t
+{
+    SegmentHeader = 1, ///< wal-<E>.log: magic, format, epoch, bootId
+    Admit = 2,         ///< a tenant was admitted (config + quota)
+    Ingest = 3,        ///< one offer() outcome (splits + accepted)
+    StateChange = 4,   ///< shed/quarantine/close (authoritative)
+    Final = 5,         ///< fully-drained accounting (drain-and-verify)
+
+    HistHeader = 16,   ///< hist-<id>.hlog: magic, format, id, name
+    HistInterval = 17, ///< one closed interval (index + candidates)
+
+    CkptManifest = 32, ///< ckpt-<E>: magic, format, epoch, count
+    CkptTenant = 33,   ///< one tenant: identity + saveState blob
+    CkptFooter = 34,   ///< completeness marker (count again)
+};
+
+/** What recovery found and how long it took (startup report). */
+struct RecoveryReport
+{
+    bool recovered = false; ///< false: cold start, nothing on disk
+    uint64_t checkpointEpoch = 0;
+    uint64_t tenantsRestored = 0;   ///< sessions rebuilt (any state)
+    uint64_t intervalsLoaded = 0;   ///< history frames adopted
+    uint64_t walRecordsReplayed = 0;
+    uint64_t walBytesReplayed = 0;
+    uint64_t replayMs = 0; ///< wall time of the whole recover()
+};
+
+/**
+ * The daemon's durable spine: WAL writer, checkpoint writer, history
+ * sink, and the recovery that stitches them back into a ServiceCore.
+ * Single-threaded like the daemon it serves; every method is called
+ * from the poll loop.
+ */
+class ServiceState : public TenantHistorySink
+{
+  public:
+    /**
+     * `dir` must exist (mhprofd creates it). `checkpointWalBytes`
+     * bounds how much WAL accumulates before wantCheckpoint() trips —
+     * i.e. the recovery-time budget.
+     */
+    ServiceState(std::string dir, uint64_t checkpointWalBytes);
+    ~ServiceState() override;
+    ServiceState(const ServiceState &) = delete;
+    ServiceState &operator=(const ServiceState &) = delete;
+
+    /** This process's random identity (HelloAck bootId). */
+    uint64_t bootId() const { return bootIdValue; }
+
+    /**
+     * Rebuild `core` from the state directory: load the newest
+     * complete checkpoint, re-attach interval history, replay the
+     * WAL, drain every Active tenant to a deterministic point, verify
+     * the accounting invariants, republish the read side, and cut a
+     * fresh checkpoint + WAL segment. On a cold start (empty
+     * directory) it just writes the initial generation. CorruptData
+     * (`path@offset: why`) means the state is damaged beyond the
+     * torn-tail contract and the daemon must exit rather than serve.
+     */
+    Status recover(ServiceCore &core, RecoveryReport &report);
+
+    // -- Decision logging (buffered until commit()) --------------
+
+    void logAdmit(const TenantSession &session);
+    void logIngest(const TenantSession &session, uint64_t seq,
+                   uint64_t arrived,
+                   const TenantSession::Offer &outcome,
+                   TupleSpan accepted);
+    void logStateChange(const TenantSession &session);
+    void logFinal(const TenantSession &session);
+
+    /** TenantHistorySink: buffer one closed interval for `hist-`. */
+    void onIntervalClosed(const TenantSession &session, uint64_t index,
+                          const IntervalSnapshot &snap) override;
+
+    /** True when commit() has buffered records to make durable. */
+    bool dirty() const { return !walPending.empty(); }
+
+    /**
+     * Group commit: append every buffered WAL record and fsync the
+     * segment. The caller flushes client acks only after this
+     * returns Ok. An injected or real write/fsync failure is IoError
+     * — the daemon treats it as fatal (crash-only: better to die and
+     * recover than to ack what is not durable).
+     */
+    Status commit();
+
+    /** WAL grew past the checkpoint threshold since the last cut. */
+    bool wantCheckpoint() const
+    {
+        return walBytesSinceCheckpoint >= checkpointEvery;
+    }
+
+    /**
+     * Cut checkpoint epoch+1: flush history appends, write
+     * ckpt-<E+1> beside the live generation, atomically publish it,
+     * start wal-<E+1>.log, and delete the epoch-E pair. A failure
+     * is returned but is not fatal: the epoch-E generation is still
+     * complete, so the daemon keeps serving and retries later
+     * (wantCheckpoint() stays true).
+     */
+    Status checkpoint(ServiceCore &core);
+
+    uint64_t epoch() const { return currentEpoch; }
+
+  private:
+    Status loadCheckpoint(ServiceCore &core, uint64_t epoch,
+                          RecoveryReport &report);
+    Status loadHistory(TenantSession &session,
+                       RecoveryReport &report);
+    Status replayWal(ServiceCore &core, uint64_t epoch,
+                     RecoveryReport &report);
+    Status writeCheckpointFile(ServiceCore &core, uint64_t epoch);
+    Status openWalSegment(uint64_t epoch);
+    Status flushHistory(ServiceCore &core);
+
+    std::string stateDir;
+    uint64_t checkpointEvery;
+    uint64_t bootIdValue;
+    uint64_t currentEpoch = 0;
+    uint64_t walBytesSinceCheckpoint = 0;
+    std::string walPath;
+    std::ofstream walOut;
+
+    /** Encoded frames awaiting the next commit(). */
+    std::vector<uint8_t> walPending;
+
+    /**
+     * Bytes of walPending already written (but not yet fsynced) to
+     * the journal: a commit() retried after an fsync failure must
+     * not append the same records twice.
+     */
+    size_t walPendingWritten = 0;
+
+    /** Per-tenant encoded HistInterval frames awaiting checkpoint. */
+    std::unordered_map<uint64_t, std::vector<uint8_t>> histPending;
+
+    /** Frames per tenant already in its history file or pending. */
+    std::unordered_map<uint64_t, uint64_t> histFrames;
+
+    /** Recovery replay in progress: suppress decision logging. */
+    bool replaying = false;
+};
+
+} // namespace mhp
+
+#endif // MHP_SERVICE_WAL_H

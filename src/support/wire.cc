@@ -220,9 +220,19 @@ WireConn::send(uint8_t type, const ByteBuffer &payload,
                       : -1;
     size_t sent = 0;
     while (sent < bytes.size()) {
-        const ssize_t n =
-            ::send(sock, bytes.data() + sent, bytes.size() - sent,
-                   MSG_NOSIGNAL);
+        size_t len = bytes.size() - sent;
+        // wire.send.short: force 1-byte send() syscalls so tests
+        // exercise the partial-write reassembly the kernel only
+        // produces under memory pressure.
+        if (failpointsArmed() && len > 1 &&
+            failpointFires("wire.send.short"))
+            len = 1;
+        // MSG_DONTWAIT on a blocking socket: without it send() can
+        // never return EAGAIN, which made the deadline handling
+        // below dead code — a peer that stopped draining would hang
+        // this call forever regardless of timeoutMs.
+        const ssize_t n = ::send(sock, bytes.data() + sent, len,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
         if (n > 0) {
             sent += static_cast<size_t>(n);
             continue;
@@ -251,8 +261,12 @@ WireConn::fill(bool &progressed, bool &eof)
     eof = false;
     uint8_t chunk[65536];
     for (;;) {
-        const ssize_t n =
-            ::recv(sock, chunk, sizeof(chunk), MSG_DONTWAIT);
+        size_t want = sizeof(chunk);
+        // wire.recv.short: force 1-byte recv() syscalls — frames must
+        // reassemble correctly from arbitrarily fragmented reads.
+        if (failpointsArmed() && failpointFires("wire.recv.short"))
+            want = 1;
+        const ssize_t n = ::recv(sock, chunk, want, MSG_DONTWAIT);
         if (n > 0) {
             inbuf.insert(inbuf.end(), chunk, chunk + n);
             progressed = true;

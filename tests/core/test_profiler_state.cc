@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Profiler state serialization tests: a profiler checkpointed
+ * mid-stream (saveState) and restored onto a fresh instance
+ * (loadState) must produce bit-identical future behaviour to the
+ * original that kept running — the property the service checkpointer
+ * (src/service/wal.h) builds crash recovery on. Also the corruption
+ * side: truncated or shape-mismatched blobs are a clean CorruptData,
+ * never a crash or a silently wrong profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/factory.h"
+#include "core/profiler.h"
+#include "support/bytes.h"
+
+namespace mhp {
+namespace {
+
+ProfilerConfig
+baseConfig(unsigned tables)
+{
+    ProfilerConfig c;
+    c.intervalLength = 1000;
+    c.candidateThreshold = 0.01;
+    c.totalHashEntries = 256;
+    c.numHashTables = tables;
+    c.seed = 4242;
+    return c;
+}
+
+/** Deterministic skewed tuple stream (xorshift over a small key set). */
+Tuple
+tupleAt(uint64_t i)
+{
+    uint64_t x = i * 0x9e3779b97f4a7c15ULL + 1;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    // Zipf-ish skew: a quarter of the stream is one of 8 hot tuples.
+    if (x % 4 == 0)
+        return Tuple{x % 8, (x % 8) * 3 + 1};
+    return Tuple{x % 97, x % 31};
+}
+
+void
+feed(HardwareProfiler &p, uint64_t from, uint64_t count)
+{
+    for (uint64_t i = 0; i < count; ++i)
+        p.onEvent(tupleAt(from + i));
+}
+
+/**
+ * Run `config` to a mid-interval point, checkpoint, and verify the
+ * restored copy and the original agree snapshot-for-snapshot over
+ * several more intervals.
+ */
+void
+expectResumeIdentity(const ProfilerConfig &config)
+{
+    std::unique_ptr<HardwareProfiler> original =
+        makeProfiler(config);
+    // One full interval (exercises the retaining policy), then stop
+    // mid-interval so live counter state is on the table.
+    feed(*original, 0, config.intervalLength);
+    original->endInterval();
+    feed(*original, config.intervalLength, 437);
+
+    ByteBuffer blob;
+    ASSERT_TRUE(original->saveState(blob).isOk());
+
+    std::unique_ptr<HardwareProfiler> restored =
+        makeProfiler(config);
+    ByteCursor cursor(blob.data(), blob.size());
+    const Status loaded = restored->loadState(cursor);
+    ASSERT_TRUE(loaded.isOk()) << loaded.toString();
+    EXPECT_TRUE(cursor.atEnd());
+
+    uint64_t at = config.intervalLength + 437;
+    for (int interval = 0; interval < 3; ++interval) {
+        const uint64_t n = config.intervalLength - (interval == 0 ? 437 : 0);
+        feed(*original, at, n);
+        feed(*restored, at, n);
+        at += n;
+        const IntervalSnapshot a = original->endInterval();
+        const IntervalSnapshot b = restored->endInterval();
+        ASSERT_EQ(a, b) << "diverged in interval " << interval;
+    }
+}
+
+TEST(ProfilerState, SingleHashResumesBitIdentically)
+{
+    expectResumeIdentity(baseConfig(1));
+}
+
+TEST(ProfilerState, MultiHashResumesBitIdentically)
+{
+    expectResumeIdentity(baseConfig(4));
+}
+
+TEST(ProfilerState, ResumeIdentityAcrossPolicyMatrix)
+{
+    // The R/P/C policy axes of the paper's design space all touch
+    // what endInterval() keeps, so each must round-trip.
+    for (unsigned tables : {1u, 4u}) {
+        for (bool retaining : {true, false}) {
+            for (bool resetOnPromote : {true, false}) {
+                for (bool conservative : {true, false}) {
+                    ProfilerConfig c = baseConfig(tables);
+                    c.retaining = retaining;
+                    c.resetOnPromote = resetOnPromote;
+                    c.conservativeUpdate = conservative;
+                    expectResumeIdentity(c);
+                }
+            }
+        }
+    }
+}
+
+TEST(ProfilerState, TruncatedBlobIsCorruptDataAtEveryLength)
+{
+    const ProfilerConfig config = baseConfig(4);
+    std::unique_ptr<HardwareProfiler> p = makeProfiler(config);
+    feed(*p, 0, 700);
+    ByteBuffer blob;
+    ASSERT_TRUE(p->saveState(blob).isOk());
+
+    for (size_t cut = 0; cut < blob.size();
+         cut += std::max<size_t>(1, blob.size() / 64)) {
+        std::unique_ptr<HardwareProfiler> fresh =
+            makeProfiler(config);
+        ByteCursor cursor(blob.data(), cut);
+        const Status loaded = fresh->loadState(cursor);
+        EXPECT_FALSE(loaded.isOk()) << "cut=" << cut;
+    }
+}
+
+TEST(ProfilerState, BlobFromDifferentShapeIsRejected)
+{
+    std::unique_ptr<HardwareProfiler> small =
+        makeProfiler(baseConfig(1));
+    feed(*small, 0, 500);
+    ByteBuffer blob;
+    ASSERT_TRUE(small->saveState(blob).isOk());
+
+    // A 4-table profiler must refuse a 1-table blob.
+    std::unique_ptr<HardwareProfiler> big =
+        makeProfiler(baseConfig(4));
+    ByteCursor cursor(blob.data(), blob.size());
+    EXPECT_FALSE(big->loadState(cursor).isOk());
+}
+
+} // namespace
+} // namespace mhp

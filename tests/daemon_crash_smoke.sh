@@ -1,0 +1,141 @@
+#!/bin/sh
+# Crash-only smoke for mhprofd: 8 tenants stream concurrently while
+# the daemon is kill -9'd three times — twice at deterministic
+# failpoint crash points inside the commit path, once externally at
+# an arbitrary moment — and restarted on the same --state-dir each
+# time. Every client must ride the bounces to exit 0 (exactly-once:
+# no batch lost, none double-counted), at least one must report the
+# boot-id restart notice, and after a final SIGTERM drain every
+# tenant's snapshot must be byte-identical to a direct mhprof_run
+# over the same workload. The daemon must report "cold start" on the
+# first boot and "recovery" with a replay report on every restart.
+# Usage: daemon_crash_smoke.sh <build-tools-dir> [artifact-dir]
+set -e
+TOOLS="$1"
+ARTIFACTS="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+SOCK="$TMP/crash.sock"
+STATE="$TMP/state"
+mkdir -p "$TMP/snap"
+
+# fail <message>: preserve the state dir and logs for CI before
+# bailing out — a recovery bug is undebuggable without the journal.
+fail() {
+    echo "FAIL: $1"
+    if [ -n "$ARTIFACTS" ]; then
+        mkdir -p "$ARTIFACTS"
+        cp "$TMP"/*.out "$TMP"/*.err "$ARTIFACTS"/ 2>/dev/null || true
+        cp -r "$STATE" "$ARTIFACTS"/state 2>/dev/null || true
+    fi
+    exit 1
+}
+
+# start_daemon <boot#> [failpoint-spec]: boot (or reboot) the daemon
+# on the shared state dir and wait until it serves.
+start_daemon() {
+    boot="$1"
+    fp=""
+    [ -n "$2" ] && fp="--failpoints=$2"
+    "$TOOLS/mhprofd" --socket="$SOCK" --snapshot-dir="$TMP/snap" \
+        --state-dir="$STATE" --checkpoint-wal-bytes=65536 $fp \
+        > "$TMP/daemon$boot.out" 2> "$TMP/daemon$boot.err" &
+    DPID=$!
+    # The recovery report is printed after the state dir is rebuilt
+    # and before the first connection is served — the true "ready"
+    # signal ("serving on" appears before recovery even starts).
+    i=0
+    while ! grep -q "epoch=" "$TMP/daemon$boot.err" 2>/dev/null &&
+        [ "$i" -lt 200 ]; do
+        sleep 0.05
+        i=$((i + 1))
+    done
+    grep -q "epoch=" "$TMP/daemon$boot.err" ||
+        fail "daemon boot $boot never finished recovery"
+}
+
+# wait_crash <boot#>: block until the current daemon dies and insist
+# the death was violent (SIGKILL), not a polite exit.
+wait_crash() {
+    set +e
+    wait "$DPID"
+    rc=$?
+    set -e
+    [ "$rc" -ne 0 ] || fail "daemon boot $1 exited 0, expected a kill"
+}
+
+# Boot 1: cold start, with a SIGKILL planted after the 4th durable
+# commit — mid-admission/mid-stream for 8 concurrent tenants. (The
+# triggers are deliberately small: with stop-and-wait clients a
+# commit round can carry up to 8 batches, and the crash must land
+# while batches are still in flight.)
+start_daemon 1 "daemon.crash.postcommit=4"
+grep -q "cold start: epoch=" "$TMP/daemon1.err" ||
+    fail "boot 1 did not report a cold start: $(cat "$TMP/daemon1.err")"
+
+# 8 tenants, distinct workload seeds, 30000 events each; a generous
+# reconnect budget so every daemon bounce is ridden, not fatal.
+for i in 0 1 2 3 4 5 6 7; do
+    "$TOOLS/mhprof_client" --connect="$SOCK" --tenant="t$i" \
+        --benchmark=gcc --seed=$((i + 1)) --events=30000 \
+        --max-reconnects=200 --backoff-ms=50 --backoff-cap-ms=200 \
+        > "$TMP/t$i.out" 2> "$TMP/t$i.err" &
+    eval "CPID$i=\$!"
+done
+
+wait_crash 1
+
+# Boot 2: recovery, with a SIGKILL planted before the 4th commit's
+# journal write — batches in flight are unacked and must be resent.
+start_daemon 2 "daemon.crash.commit=4"
+grep -q "recovery: epoch=" "$TMP/daemon2.err" ||
+    fail "boot 2 did not report recovery: $(cat "$TMP/daemon2.err")"
+wait_crash 2
+
+# Boot 3: recovery, no failpoints; the third crash is an external
+# kill -9 at whatever moment the schedule lands on.
+start_daemon 3
+grep -q "recovery: epoch=" "$TMP/daemon3.err" ||
+    fail "boot 3 did not report recovery: $(cat "$TMP/daemon3.err")"
+sleep 1
+kill -9 "$DPID" 2>/dev/null || true
+wait_crash 3
+
+# Boot 4: recovery; the survivors finish here.
+start_daemon 4
+grep -q "recovery: epoch=" "$TMP/daemon4.err" ||
+    fail "boot 4 did not report recovery: $(cat "$TMP/daemon4.err")"
+grep -q "replay_ms=" "$TMP/daemon4.err" ||
+    fail "boot 4 recovery report lacks replay_ms: $(cat "$TMP/daemon4.err")"
+
+for i in 0 1 2 3 4 5 6 7; do
+    eval "pid=\$CPID$i"
+    wait "$pid" ||
+        fail "tenant t$i did not survive the crashes: $(cat "$TMP/t$i.err")"
+done
+
+# At least one client must have noticed a boot-id change and resumed
+# from the daemon's recovered watermark.
+grep -l "daemon restarted; resuming" "$TMP"/t*.err > /dev/null ||
+    fail "no client reported the daemon restart notice"
+
+# Clean drain of the final boot.
+kill -TERM "$DPID"
+set +e
+wait "$DPID"
+rc=$?
+set -e
+[ "$rc" -eq 0 ] || fail "final drain exited $rc, expected 0"
+grep -q "drained cleanly" "$TMP/daemon4.out" ||
+    fail "final boot did not drain cleanly: $(cat "$TMP/daemon4.out")"
+
+# The headline: three kill -9s later, every tenant's snapshot is
+# byte-identical to a direct uncrashed single-process run.
+for i in 0 1 2 3 4 5 6 7; do
+    "$TOOLS/mhprof_run" --benchmark=gcc --seed=$((i + 1)) \
+        --intervals=3 --out="$TMP/ref$i.mhp" > /dev/null
+    cmp -s "$TMP/snap/t$i.mhp" "$TMP/ref$i.mhp" ||
+        fail "t$i snapshot differs from an uncrashed run"
+done
+
+echo "daemon crash smoke test passed"

@@ -81,8 +81,10 @@ class WorkerPool
                 SweepWorkerOptions options;
                 options.socketPath = socket;
                 // The pool starts before the coordinator binds; keep
-                // retrying the connect until it is listening.
-                options.connectRetryMs = 10'000;
+                // retrying the connect until it is listening. The
+                // budget must absorb a multi-second journal fsync
+                // stall ahead of the bind on a loaded disk.
+                options.connectRetryMs = 60'000;
                 options.heartbeatMs = 100;
                 statuses[i] = runSweepWorker(options);
             });
@@ -95,8 +97,15 @@ class WorkerPool
         for (std::thread &t : threads)
             t.join();
         threads.clear();
-        for (const Status &status : statuses)
+        for (const Status &status : statuses) {
+            // A small sweep can finish and unlink the socket inside
+            // a worker's connect-poll gap; a worker that never found
+            // the coordinator is a legal schedule, but one that
+            // connected must exit clean.
+            if (status.code() == StatusCode::NotFound)
+                continue;
             EXPECT_TRUE(status.isOk()) << status.toString();
+        }
     }
 
   private:

@@ -91,6 +91,7 @@ TEST(ServiceWire, HelloAckRoundTrips)
     ack.tenantId = 42;
     ack.resumed = 1;
     ack.lastSeq = 0x1122334455667788ull;
+    ack.bootId = 0xdeadbeefcafef00dull;
     ByteBuffer out;
     encodeHelloAck(out, ack);
     WireHelloAck back;
@@ -98,6 +99,7 @@ TEST(ServiceWire, HelloAckRoundTrips)
     EXPECT_EQ(back.tenantId, ack.tenantId);
     EXPECT_EQ(back.resumed, ack.resumed);
     EXPECT_EQ(back.lastSeq, ack.lastSeq);
+    EXPECT_EQ(back.bootId, ack.bootId);
 }
 
 TEST(ServiceWire, StatusMsgRoundTripsThroughStatus)

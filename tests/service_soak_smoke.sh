@@ -21,15 +21,22 @@ fail() {
     exit 1
 }
 
+# The soak runs with crash-recovery journaling on, so the whole
+# overload scenario also exercises the durable path; the daemon must
+# print its recovery-time report (a cold start here) before serving.
 "$TOOLS/mhprofd" --socket="$TMP/soak.sock" --snapshot-dir="$TMP/snap" \
+    --state-dir="$TMP/state" \
     > "$TMP/daemon.out" 2> "$TMP/daemon.err" &
 DPID=$!
 mkdir -p "$TMP/snap"
 i=0
-while [ ! -S "$TMP/soak.sock" ] && [ "$i" -lt 100 ]; do
+while ! grep -q "epoch=" "$TMP/daemon.err" 2>/dev/null &&
+    [ "$i" -lt 100 ]; do
     sleep 0.05; i=$((i + 1))
 done
 [ -S "$TMP/soak.sock" ] || fail "daemon socket never appeared"
+grep -q "cold start: epoch=.*replay_ms=" "$TMP/daemon.err" ||
+    fail "daemon did not print its recovery-time report"
 
 # 8 tenants in parallel, distinct gcc workload seeds, 30000 events
 # each (3 full intervals at the default 10000-event length). t7 caps

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -379,6 +380,71 @@ TEST_F(WireConnTest, RecvFailpointSeversConnection)
     const Status status = b.recv(received, 1000);
     clearFailpoints();
     EXPECT_EQ(status.code(), StatusCode::IoError);
+}
+
+TEST_F(WireConnTest, ShortSendSyscallsStillDeliverWholeFrames)
+{
+    // wire.send.short=* degrades every send() to one byte — the
+    // interrupted/partial-write schedule the kernel only produces
+    // under pressure. The frame must still arrive intact.
+    ASSERT_TRUE(configureFailpoints("wire.send.short=*").isOk());
+    ByteBuffer payload;
+    for (uint32_t i = 0; i < 512; ++i)
+        payload.u32(i);
+    // Drain concurrently: thousands of 1-byte sends exhaust the
+    // socketpair's send budget (per-skb accounting) long before the
+    // 2 KiB of payload, so a same-thread recv would deadlock.
+    WireFrame received;
+    Status got = Status::ok();
+    std::thread drainer(
+        [&]() { got = b.recv(received, 5000); });
+    const Status sent = a.send(9, payload, 5000);
+    drainer.join();
+    clearFailpoints();
+    ASSERT_TRUE(sent.isOk()) << sent.toString();
+    ASSERT_TRUE(got.isOk()) << got.toString();
+    EXPECT_EQ(received.type, 9);
+    ASSERT_EQ(received.payload.size(), payload.size());
+    EXPECT_EQ(std::memcmp(received.payload.data(), payload.data(),
+                          payload.size()),
+              0);
+}
+
+TEST_F(WireConnTest, ShortRecvSyscallsStillAssembleWholeFrames)
+{
+    ByteBuffer payload;
+    for (uint32_t i = 0; i < 512; ++i)
+        payload.u32(i ^ 0xA5A5A5A5u);
+    ASSERT_TRUE(a.send(11, payload, 5000).isOk());
+
+    // Every recv() returns a single byte; reassembly must still
+    // produce the exact frame (and its CRC must still verify).
+    ASSERT_TRUE(configureFailpoints("wire.recv.short=*").isOk());
+    WireFrame received;
+    const Status got = b.recv(received, 5000);
+    clearFailpoints();
+    ASSERT_TRUE(got.isOk()) << got.toString();
+    EXPECT_EQ(received.type, 11);
+    ASSERT_EQ(received.payload.size(), payload.size());
+    EXPECT_EQ(std::memcmp(received.payload.data(), payload.data(),
+                          payload.size()),
+              0);
+}
+
+TEST_F(WireConnTest, SendTimesOutWhenPeerStopsDraining)
+{
+    // Regression: send() used a blocking socket, so EAGAIN never
+    // surfaced and the deadline branch was dead code — this test
+    // hung forever instead of returning DeadlineExceeded.
+    const int small = 8192;
+    ASSERT_EQ(setsockopt(a.fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+              0);
+    ByteBuffer payload;
+    for (uint32_t i = 0; i < (1u << 16); ++i)
+        payload.u64(i); // 512 KiB, far beyond both socket buffers
+    const Status status = a.send(9, payload, 200);
+    EXPECT_EQ(status.code(), StatusCode::DeadlineExceeded);
 }
 
 TEST(WireListener, BindAcceptConnectRoundTrip)

@@ -196,8 +196,12 @@ expect_exit 1 "$TOOLS/mhprofd"
 expect_exit 1 "$TOOLS/mhprofd" --socket="$TMP/d.sock" --max-tenants=0
 expect_exit 1 "$TOOLS/mhprofd" --socket="$TMP/d.sock" --failpoints='x='
 expect_exit 1 "$TOOLS/mhprof_client" --tenant=x
-expect_exit 1 "$TOOLS/mhprof_client" --connect="$TMP/gone.sock" \
-    --tenant=x --connect-timeout-ms=200
+# An unreachable daemon is indistinguishable from one mid-restart
+# (the socket is briefly unlinked during a crash-recovery bounce), so
+# the client retries through its budget and reports the daemon lost.
+expect_exit 4 "$TOOLS/mhprof_client" --connect="$TMP/gone.sock" \
+    --tenant=x --connect-timeout-ms=200 --max-reconnects=1 \
+    --backoff-ms=10
 grep -q "gone.sock" "$TMP/err.out" || {
     echo "FAIL: client connect error does not name the socket";
     cat "$TMP/err.out"; exit 1; }
@@ -251,5 +255,84 @@ set -e
     "clean drain"; cat "$TMP/daemon.out"; exit 1; }
 grep -q "drained cleanly" "$TMP/daemon.out" || {
     echo "FAIL: daemon did not report a clean drain"; exit 1; }
+
+# --- crash-only restart: state dir, recovery, exactly-once ----------
+# A daemon with --state-dir journals every decision; a kill -9 plus
+# restart on the same directory must report recovery (vs cold start),
+# dedup an identical rerun, and a damaged journal must refuse to
+# start with a path@offset diagnostic (docs/SERVICE.md).
+STATE="$TMP/state"
+
+wait_epoch() { # <err-file>: daemon ready == recovery report printed
+    j=0
+    while ! grep -q "epoch=" "$1" 2>/dev/null && [ "$j" -lt 100 ]; do
+        sleep 0.05; j=$((j + 1))
+    done
+    grep -q "epoch=" "$1" || { echo "FAIL: no recovery report in $1";
+        cat "$1" 2>/dev/null; exit 1; }
+}
+
+"$TOOLS/mhprofd" --socket="$TMP/r.sock" --state-dir="$STATE" \
+    > "$TMP/r1.out" 2> "$TMP/r1.err" &
+DPID=$!
+wait_epoch "$TMP/r1.err"
+grep -q "cold start: epoch=" "$TMP/r1.err" || {
+    echo "FAIL: first boot should be a cold start:";
+    cat "$TMP/r1.err"; exit 1; }
+
+"$TOOLS/mhprof_client" --connect="$TMP/r.sock" --tenant=rider \
+    --benchmark=li --events=20000 > "$TMP/rider.out"
+grep -q "accepted 20000" "$TMP/rider.out" || {
+    echo "FAIL: rider summary wrong:"; cat "$TMP/rider.out"; exit 1; }
+
+kill -9 "$DPID"
+set +e
+wait "$DPID"
+set -e
+
+# Daemon gone for good: a spent reconnect budget is exit 4.
+expect_exit 4 "$TOOLS/mhprof_client" --connect="$TMP/r.sock" \
+    --tenant=rider --benchmark=li --events=20000 \
+    --max-reconnects=1 --backoff-ms=10 --connect-timeout-ms=200
+
+# Restart on the same state dir: recovery, and the same exit-4
+# command now dedups to exit 0 — nothing ingested twice.
+"$TOOLS/mhprofd" --socket="$TMP/r.sock" --state-dir="$STATE" \
+    > "$TMP/r2.out" 2> "$TMP/r2.err" &
+DPID=$!
+wait_epoch "$TMP/r2.err"
+grep -q "recovery: epoch=" "$TMP/r2.err" || {
+    echo "FAIL: restart should report recovery:";
+    cat "$TMP/r2.err"; exit 1; }
+grep -q "tenants=1" "$TMP/r2.err" || {
+    echo "FAIL: recovery should restore the tenant:";
+    cat "$TMP/r2.err"; exit 1; }
+"$TOOLS/mhprof_client" --connect="$TMP/r.sock" --tenant=rider \
+    --benchmark=li --events=20000 > "$TMP/rider2.out"
+grep -q "accepted 0" "$TMP/rider2.out" || {
+    echo "FAIL: rerun across the bounce was not deduplicated:";
+    cat "$TMP/rider2.out"; exit 1; }
+grep -q "ingested 20000 events" "$TMP/rider2.out" || {
+    echo "FAIL: rerun lost the recovered accounting:";
+    cat "$TMP/rider2.out"; exit 1; }
+kill -9 "$DPID"
+set +e
+wait "$DPID"
+set -e
+
+# Damage the journal's segment header (byte 4 is the record type,
+# always 0x01): the CRC no longer verifies, and the daemon must
+# refuse to start with a one-line path@offset diagnostic instead of
+# serving a partial rebuild.
+WAL="$(ls "$STATE"/wal-*.log)"
+printf 'XXX' | dd of="$WAL" bs=1 seek=4 conv=notrunc 2> /dev/null
+expect_exit 1 "$TOOLS/mhprofd" --socket="$TMP/r.sock" \
+    --state-dir="$STATE"
+grep -q "unrecoverable state" "$TMP/err.out" || {
+    echo "FAIL: corrupt journal not reported as unrecoverable:";
+    cat "$TMP/err.out"; exit 1; }
+grep -q "wal-.*@0" "$TMP/err.out" || {
+    echo "FAIL: corruption diagnostic lacks path@offset:";
+    cat "$TMP/err.out"; exit 1; }
 
 echo "tools smoke test passed"

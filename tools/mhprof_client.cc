@@ -17,10 +17,12 @@
  *       --events=0 --query=snapshot --top=10
  *
  * Exit codes (asserted by tests/tools_smoke.sh): 0 stream/query
- * completed; 1 usage error, connect failure, or protocol error;
- * 2 admission refused at Hello; 3 this tenant was shed or
- * quarantined; 4 the daemon was lost mid-stream (reconnect budget
- * exhausted or the daemon drained).
+ * completed; 1 usage error or protocol error; 2 admission refused at
+ * Hello; 3 this tenant was shed or quarantined; 4 the daemon was
+ * lost (reconnect budget exhausted — before or mid-stream — or the
+ * daemon drained). A daemon bounce inside the budget is survived
+ * transparently: the client detects the new boot id, trusts the
+ * journal-recovered watermark, and resumes exactly-once.
  */
 
 #include <chrono>
@@ -74,6 +76,7 @@ struct ClientSession
     WireConn conn;
     bool connected = false;
     uint64_t daemonLastSeq = 0; ///< from the latest HelloAck
+    uint64_t daemonBootId = 0;  ///< 0 until the first HelloAck
     unsigned reconnects = 0;
 };
 
@@ -132,6 +135,18 @@ helloExchange(ClientSession &session)
     WireHelloAck ack;
     MHP_RETURN_IF_ERROR(decodeHelloAck(frame.payload.data(),
                                        frame.payload.size(), ack));
+    if (session.daemonBootId != 0 && ack.bootId != 0 &&
+        ack.bootId != session.daemonBootId)
+        // The daemon died and came back between our connections. Its
+        // journal-recovered watermark is authoritative — resume from
+        // there; stop-and-wait + seq dedup make the handoff
+        // exactly-once (docs/SERVICE.md, "Crash recovery").
+        std::fprintf(stderr,
+                     "mhprof_client: daemon restarted; resuming "
+                     "tenant '%s' from acknowledged seq %llu\n",
+                     session.hello.tenant.c_str(),
+                     static_cast<unsigned long long>(ack.lastSeq));
+    session.daemonBootId = ack.bootId;
     session.daemonLastSeq = ack.lastSeq;
     return Status::ok();
 }
@@ -167,6 +182,27 @@ loseConnection(ClientSession &session, const Status &why)
 }
 
 /**
+ * ensureSession with the transact() transport-retry policy: the very
+ * first Hello must ride a daemon crash just like any later frame, or
+ * a restart during the admission handshake kills the client while
+ * every already-admitted neighbour survives.
+ */
+Status
+establishSession(ClientSession &session)
+{
+    for (;;) {
+        const Status attempt = ensureSession(session);
+        if (attempt.isOk())
+            return attempt;
+        if (attempt.code() != StatusCode::IoError &&
+            attempt.code() != StatusCode::DeadlineExceeded &&
+            attempt.code() != StatusCode::NotFound)
+            return attempt; // admission refusal / protocol damage
+        MHP_RETURN_IF_ERROR(loseConnection(session, attempt));
+    }
+}
+
+/**
  * Send one request frame and receive the reply, reconnecting through
  * connection loss. Returns the reply frame.
  */
@@ -183,8 +219,13 @@ transact(ClientSession &session, ServiceMsg type,
         WireFrame frame;
         if (attempt.isOk())
             attempt = session.conn.recv(frame, session.ioTimeoutMs);
-        if (attempt.isOk())
+        if (attempt.isOk()) {
+            // A round trip succeeded: the daemon is back for real, so
+            // a later bounce gets the full reconnect budget again (a
+            // long stream may survive several daemon restarts).
+            session.reconnects = 0;
             return frame;
+        }
         // Admission refusals and protocol damage are final; only
         // transport-level loss is retried.
         if (attempt.code() != StatusCode::IoError &&
@@ -531,10 +572,15 @@ main(int argc, char **argv)
     hello.quota.maxMemoryBytes =
         static_cast<uint64_t>(cli.getInt("max-memory-bytes"));
 
-    Status ready = ensureSession(session);
+    Status ready = establishSession(session);
     if (!ready.isOk()) {
         std::fprintf(stderr, "mhprof_client: %s\n",
                      ready.toString().c_str());
+        // A spent reconnect budget means the daemon was lost, not
+        // that it said "no" — the same exit 4 a mid-stream loss gets.
+        if (ready.code() == StatusCode::Unavailable &&
+            session.reconnects >= session.maxReconnects)
+            return 4;
         // An admission refusal is the daemon saying "no", not a
         // transport failure — its own exit code.
         return (ready.code() == StatusCode::ResourceExhausted ||

@@ -58,6 +58,13 @@ main(int argc, char **argv)
     cli.addString("socket", "", "Unix socket path to listen on");
     cli.addString("snapshot-dir", "",
                   "flush each tenant's durable .mhp here on drain");
+    cli.addString("state-dir", "",
+                  "crash-recovery directory (WAL + checkpoints): "
+                  "recover on start, journal every decision, "
+                  "survive kill -9 (empty = stateless)");
+    cli.addInt("checkpoint-wal-bytes", 4 << 20,
+               "journal bytes between checkpoints (bounds recovery "
+               "replay time)");
     cli.addInt("max-tenants", 64, "concurrently active tenant limit");
     cli.addInt("memory-budget", 256 << 20,
                "global live-memory budget in bytes across tenants");
@@ -96,7 +103,8 @@ main(int argc, char **argv)
         cli.getInt("max-frame-bytes") <= 0 ||
         cli.getInt("idle-timeout-ms") < 0 ||
         cli.getInt("pushback-ms") < 0 ||
-        cli.getInt("max-intervals-ceiling") < 0) {
+        cli.getInt("max-intervals-ceiling") < 0 ||
+        cli.getInt("checkpoint-wal-bytes") <= 0) {
         std::fprintf(stderr,
                      "mhprofd: limits must be positive (timeouts may "
                      "be 0)\n");
@@ -119,6 +127,9 @@ main(int argc, char **argv)
     ServiceOptions options;
     options.socketPath = cli.getString("socket");
     options.snapshotDir = cli.getString("snapshot-dir");
+    options.stateDir = cli.getString("state-dir");
+    options.checkpointWalBytes =
+        static_cast<uint64_t>(cli.getInt("checkpoint-wal-bytes"));
     options.limits.maxTenants =
         static_cast<uint64_t>(cli.getInt("max-tenants"));
     options.limits.globalMemoryBudget =
