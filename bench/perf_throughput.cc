@@ -415,7 +415,8 @@ void
 registerIsaTierBenches()
 {
     const IsaTier tiers[] = {IsaTier::Scalar, IsaTier::Sse42,
-                             IsaTier::Avx2, IsaTier::Neon};
+                             IsaTier::Avx2, IsaTier::Neon,
+                             IsaTier::Avx512};
     for (const IsaTier tier : tiers) {
         if (ingestKernelsFor(tier) == nullptr)
             continue;
@@ -428,6 +429,109 @@ registerIsaTierBenches()
             [tier](benchmark::State &s) { BM_IsaHashBlock(s, tier); });
     }
 }
+
+/**
+ * STREAM-style peak-bandwidth probes, sized far beyond the last-level
+ * cache so they measure DRAM, not cache. items_per_second in the JSON
+ * is bytes/second; tools/bench_check.py divides the mh4 batched-ingest
+ * event bandwidth (16 bytes/event of streamed tuples) by the read
+ * roofline to report how close ingest runs to the memory wall
+ * (docs/PERF.md). Four probes because "peak" depends on the access
+ * pattern: pure streaming reads (the ingest stream's own pattern),
+ * copy and triad (the classic STREAM kernels, read+write mixes), and
+ * dependent-free random gathers (the counter banks' pattern when they
+ * spill past the caches).
+ */
+constexpr size_t kRooflineWords = size_t{8} << 20; // 64 MiB per array
+
+const std::vector<uint64_t> &
+rooflineSrc()
+{
+    static const std::vector<uint64_t> buf = [] {
+        std::vector<uint64_t> b(kRooflineWords);
+        for (size_t i = 0; i < b.size(); ++i)
+            b[i] = i * 0x9e3779b97f4a7c15ULL;
+        return b;
+    }();
+    return buf;
+}
+
+void
+BM_RooflineRead(benchmark::State &state)
+{
+    const std::vector<uint64_t> &src = rooflineSrc();
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < src.size(); ++i)
+            acc += src[i];
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(src.size() * 8));
+}
+BENCHMARK(BM_RooflineRead);
+
+void
+BM_RooflineCopy(benchmark::State &state)
+{
+    const std::vector<uint64_t> &src = rooflineSrc();
+    std::vector<uint64_t> dst(src.size());
+    for (auto _ : state) {
+        std::copy(src.begin(), src.end(), dst.begin());
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    // Read + write traffic.
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(src.size() * 16));
+}
+BENCHMARK(BM_RooflineCopy);
+
+void
+BM_RooflineTriad(benchmark::State &state)
+{
+    const std::vector<uint64_t> &b = rooflineSrc();
+    std::vector<uint64_t> a(b.size());
+    std::vector<uint64_t> c(b.size(), 3);
+    for (auto _ : state) {
+        for (size_t i = 0; i < b.size(); ++i)
+            a[i] = b[i] + 3 * c[i];
+        benchmark::DoNotOptimize(a.data());
+        benchmark::ClobberMemory();
+    }
+    // Two streams read, one written.
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(b.size() * 24));
+}
+BENCHMARK(BM_RooflineTriad);
+
+void
+BM_RooflineGather(benchmark::State &state)
+{
+    const std::vector<uint64_t> &src = rooflineSrc();
+    // Independent pseudo-random positions (no pointer chase): peak
+    // *parallel* random-access bandwidth, the counter banks' pattern.
+    static const std::vector<uint32_t> pos = [] {
+        std::vector<uint32_t> p(1 << 20);
+        uint64_t s = 0x2545f4914f6cdd1dULL;
+        for (auto &v : p) {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            v = static_cast<uint32_t>(s & (kRooflineWords - 1));
+        }
+        return p;
+    }();
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < pos.size(); ++i)
+            acc += src[pos[i]];
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(pos.size() * 8));
+}
+BENCHMARK(BM_RooflineGather);
 
 } // namespace
 
@@ -447,10 +551,13 @@ main(int argc, char **argv)
     std::vector<char *> args(argv, argv + argc);
     bool haveOut = false;
     bool haveReps = false;
+    std::string outPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
-        if (arg.rfind("--benchmark_out=", 0) == 0)
+        if (arg.rfind("--benchmark_out=", 0) == 0) {
             haveOut = true;
+            outPath = arg.substr(16);
+        }
         if (arg.rfind("--benchmark_repetitions=", 0) == 0)
             haveReps = true;
     }
@@ -486,10 +593,10 @@ main(int argc, char **argv)
     if (!haveOut) {
         if (releaseBuild) {
             const char *path = std::getenv("MHP_BENCH_JSON");
-            outFlag = std::string("--benchmark_out=") +
-                      (path != nullptr && *path != '\0'
-                           ? path
-                           : "BENCH_throughput.json");
+            outPath = (path != nullptr && *path != '\0')
+                          ? path
+                          : "BENCH_throughput.json";
+            outFlag = std::string("--benchmark_out=") + outPath;
             args.push_back(outFlag.data());
             args.push_back(formatFlag.data());
         } else {
@@ -531,5 +638,39 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    // benchmark::AddCustomContext can only carry strings, which used
+    // to leave "invalid" in the JSON as the *string* "false" — easy
+    // for a consumer to mis-read as truthy. Rewrite the validity flag
+    // as a real JSON boolean after the library has written the file
+    // (tools/bench_check.py rejects the stringly form outright).
+    if (!outPath.empty()) {
+        if (std::FILE *f = std::fopen(outPath.c_str(), "rb")) {
+            std::string text;
+            char buf[1 << 16];
+            size_t got;
+            while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                text.append(buf, got);
+            std::fclose(f);
+            bool changed = false;
+            for (const char *boolean : {"false", "true"}) {
+                const std::string from =
+                    std::string("\"invalid\": \"") + boolean + "\"";
+                const std::string to =
+                    std::string("\"invalid\": ") + boolean;
+                for (size_t at = text.find(from);
+                     at != std::string::npos; at = text.find(from, at)) {
+                    text.replace(at, from.size(), to);
+                    changed = true;
+                }
+            }
+            if (changed) {
+                if (std::FILE *out = std::fopen(outPath.c_str(), "wb")) {
+                    std::fwrite(text.data(), 1, text.size(), out);
+                    std::fclose(out);
+                }
+            }
+        }
+    }
     return 0;
 }

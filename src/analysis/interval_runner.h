@@ -129,6 +129,19 @@ struct StreamRunOptions
      * the completed prefix with stopped == DeadlineExceeded.
      */
     uint64_t deadlineMs = 0;
+
+    /**
+     * Software-pipeline the interval drain: at each boundary the
+     * profiler snapshots and the interval's exact counts are handed
+     * to a drain worker that scores them while the main thread is
+     * already hashing the next interval's events, instead of stalling
+     * ingest for the full scoring pass. Joins happen in interval
+     * order against per-interval state the worker owns outright, so
+     * the output is bit-identical to the stalling form (asserted by
+     * tests); disable only to measure that equivalence. Scoring-off
+     * runs have no drain work to overlap and ignore this.
+     */
+    bool overlapDrain = true;
 };
 
 /**
@@ -150,6 +163,44 @@ RunOutput runIntervalsStream(
     const std::vector<HardwareProfiler *> &profilers,
     uint64_t intervalLength, uint64_t thresholdCount,
     uint64_t numIntervals, const StreamRunOptions &options = {});
+
+/**
+ * One independent stream in an interleaved run: its cursor, the
+ * profilers it feeds (not owned, disjoint from every other lane's),
+ * and the interval geometry a dedicated runIntervalsStream() call
+ * would get.
+ */
+struct InterleavedLane
+{
+    StreamCursor *stream = nullptr;
+    std::vector<HardwareProfiler *> profilers;
+    uint64_t intervalLength = 0;
+    uint64_t thresholdCount = 0;
+    uint64_t numIntervals = 0;
+};
+
+/**
+ * Drive K independent streams on ONE thread, round-robin one chunk
+ * (<= options.batchSize events, clipped to each lane's interval
+ * boundary) per visit. The point is memory-level parallelism, not
+ * concurrency: a single lane's hash-indexed counter-bank gathers
+ * serialize on dTLB/cache misses, but with K lanes the core hashes
+ * and probes lane B's block while lane A's misses are still in
+ * flight, hiding miss latency behind the other streams' work — this
+ * is how sweep cells share a worker (SweepRunner) and how mhprofd
+ * drains tenant queues.
+ *
+ * Each lane runs the exact state machine runIntervalsStream() runs
+ * (same code path, merely scheduled differently), so out[i] is
+ * bit-identical to a dedicated runIntervalsStream() call on lane i —
+ * asserted by tests. Lanes finish independently; a dry or cancelled
+ * lane drops out of the rotation while the rest continue. The shared
+ * options apply to every lane (one deadline budget from entry, one
+ * cancel token checked at each lane's boundaries).
+ */
+std::vector<RunOutput> runIntervalsInterleaved(
+    const std::vector<InterleavedLane> &lanes,
+    const StreamRunOptions &options = {});
 
 /**
  * Run the stream through every profiler for a number of intervals.

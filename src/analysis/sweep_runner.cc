@@ -11,6 +11,7 @@
 #include "analysis/sweep_journal.h"
 #include "core/factory.h"
 #include "support/bytes.h"
+#include "support/env.h"
 #include "support/failpoint.h"
 #include "support/panic.h"
 #include "support/parallel.h"
@@ -122,17 +123,37 @@ SweepRunner::planFingerprint() const
     return fnv1a64(plan.data(), plan.size());
 }
 
-void
-SweepRunner::computeCell(size_t cell, SweepCellResult &result) const
+/**
+ * A cell ready to stream. The cursor always points at storage owned
+ * here, so a group of executions can outlive the preparing scope and
+ * interleave.
+ */
+struct SweepRunner::CellExecution
 {
-    // No cancel, no deadline: the stream can only stop by finishing.
-    computeCellStream(cell, result, nullptr, 0);
-}
+    /** Workload-backed cells: the regenerated source + its cursor. */
+    std::unique_ptr<EventSource> workload;
+    std::unique_ptr<EventSourceCursor> workloadCursor;
+    /** Trace-backed cells: a zero-copy cursor on the shared map. */
+    std::unique_ptr<TraceMapSource> traceCursor;
 
-RunStopReason
-SweepRunner::computeCellStream(size_t cell, SweepCellResult &result,
-                               const CancelToken *cancel,
-                               uint64_t deadlineMs) const
+    std::unique_ptr<HardwareProfiler> profiler;
+    StreamCursor *stream = nullptr;
+    uint64_t intervalLength = 0;
+    uint64_t thresholdCount = 0;
+
+    /** Move a finished lane's output into the cell's result slot. */
+    static void
+    fill(SweepCellResult &result, RunOutput &&run)
+    {
+        result.run = std::move(run.results[0]);
+        result.stream = std::move(run.stream);
+        result.eventsConsumed = run.eventsConsumed;
+        result.intervalsCompleted = run.intervalsCompleted;
+    }
+};
+
+std::unique_ptr<SweepRunner::CellExecution>
+SweepRunner::prepareCell(size_t cell, SweepCellResult &result) const
 {
     const SweepPlan &plan = sweepPlan;
     const size_t lengths =
@@ -155,70 +176,117 @@ SweepRunner::computeCellStream(size_t cell, SweepCellResult &result,
     result.intervalLength = config.intervalLength;
     result.thresholdCount = config.thresholdCount();
 
-    auto profiler = makeProfiler(config);
+    auto exec = std::make_unique<CellExecution>();
+    exec->profiler = makeProfiler(config);
+    exec->intervalLength = config.intervalLength;
+    exec->thresholdCount = config.thresholdCount();
 
-    StreamRunOptions options;
-    options.batchSize = plan.batchSize;
-    options.cancel = cancel;
-    options.deadlineMs = deadlineMs;
-
-    RunOutput run;
     if (plan.trace) {
         // Every cell gets its own cursor over the one shared mapping:
         // zero-copy chunks, no per-cell trace materialization.
-        TraceMapSource source(plan.trace);
-        run = runIntervalsStream(source, {profiler.get()},
-                                 config.intervalLength,
-                                 config.thresholdCount(),
-                                 plan.intervals, options);
+        exec->traceCursor =
+            std::make_unique<TraceMapSource>(plan.trace);
+        exec->stream = exec->traceCursor.get();
     } else {
-        std::unique_ptr<EventSource> source;
         switch (plan.kind) {
         case ProfileKind::Edge:
-            source = makeEdgeWorkload(result.benchmark,
-                                      plan.workloadSeed);
+            exec->workload =
+                makeEdgeWorkload(result.benchmark, plan.workloadSeed);
             break;
         case ProfileKind::Path:
-            source = makePathWorkload(result.benchmark,
-                                      plan.workloadSeed);
+            exec->workload =
+                makePathWorkload(result.benchmark, plan.workloadSeed);
             break;
         default:
-            source = makeValueWorkload(result.benchmark,
-                                       plan.workloadSeed);
+            exec->workload =
+                makeValueWorkload(result.benchmark, plan.workloadSeed);
             break;
         }
         // Mirror runIntervalsBatched() exactly (cursor capacity
         // clipped to one interval) so a resilient run's results stay
         // bit-identical to run()'s and to existing checkpoints.
-        EventSourceCursor cursor(
-            *source, static_cast<size_t>(std::min(
-                         plan.batchSize, config.intervalLength)));
-        run = runIntervalsStream(cursor, {profiler.get()},
-                                 config.intervalLength,
-                                 config.thresholdCount(),
-                                 plan.intervals, options);
+        exec->workloadCursor = std::make_unique<EventSourceCursor>(
+            *exec->workload,
+            static_cast<size_t>(
+                std::min(plan.batchSize, config.intervalLength)));
+        exec->stream = exec->workloadCursor.get();
     }
+    return exec;
+}
 
-    result.run = std::move(run.results[0]);
-    result.stream = std::move(run.stream);
-    result.eventsConsumed = run.eventsConsumed;
-    result.intervalsCompleted = run.intervalsCompleted;
-    return run.stopped;
+void
+SweepRunner::computeCell(size_t cell, SweepCellResult &result) const
+{
+    // No cancel, no deadline: the stream can only stop by finishing.
+    computeCellStream(cell, result, nullptr, 0);
+}
+
+RunStopReason
+SweepRunner::computeCellStream(size_t cell, SweepCellResult &result,
+                               const CancelToken *cancel,
+                               uint64_t deadlineMs) const
+{
+    std::unique_ptr<CellExecution> exec = prepareCell(cell, result);
+
+    StreamRunOptions options;
+    options.batchSize = sweepPlan.batchSize;
+    options.cancel = cancel;
+    options.deadlineMs = deadlineMs;
+
+    RunOutput run = runIntervalsStream(
+        *exec->stream, {exec->profiler.get()}, exec->intervalLength,
+        exec->thresholdCount, sweepPlan.intervals, options);
+
+    const RunStopReason stopped = run.stopped;
+    CellExecution::fill(result, std::move(run));
+    return stopped;
 }
 
 std::vector<SweepCellResult>
-SweepRunner::run(unsigned threads) const
+SweepRunner::run(unsigned threads, unsigned lanesPerWorker) const
 {
     const size_t cells = cellCount();
     std::vector<SweepCellResult> out(cells);
 
+    size_t lanes = lanesPerWorker;
+    if (lanes == 0)
+        lanes = static_cast<size_t>(
+            std::max<int64_t>(1, envInt("MHP_INTERLEAVE", 4)));
+
     // Cells are independent: each streams its own cursor (regenerated
     // workload or a view of the shared mapping) and writes only its
-    // own slot, so any schedule merges into the same output. grain=1
-    // because cells are few and unevenly sized (a 1M-event interval
-    // next to a 10K one).
+    // own slot, so any schedule merges into the same output. Each
+    // worker interleaves a contiguous group of `lanes` cells, one
+    // block per cell round-robin, hiding one cell's counter-bank
+    // misses behind the others' hashing. grain=1 because groups are
+    // few and unevenly sized (a 1M-event interval next to a 10K one).
+    const size_t groups = (cells + lanes - 1) / lanes;
     parallelFor(
-        cells, [&](size_t cell) { computeCell(cell, out[cell]); },
+        groups,
+        [&](size_t group) {
+            const size_t lo = group * lanes;
+            const size_t hi = std::min(cells, lo + lanes);
+            std::vector<std::unique_ptr<CellExecution>> execs;
+            std::vector<InterleavedLane> laneSpecs;
+            execs.reserve(hi - lo);
+            laneSpecs.reserve(hi - lo);
+            for (size_t cell = lo; cell < hi; ++cell) {
+                execs.push_back(prepareCell(cell, out[cell]));
+                CellExecution &exec = *execs.back();
+                laneSpecs.push_back({exec.stream,
+                                     {exec.profiler.get()},
+                                     exec.intervalLength,
+                                     exec.thresholdCount,
+                                     sweepPlan.intervals});
+            }
+            StreamRunOptions options;
+            options.batchSize = sweepPlan.batchSize;
+            std::vector<RunOutput> runs =
+                runIntervalsInterleaved(laneSpecs, options);
+            for (size_t i = 0; i < runs.size(); ++i)
+                CellExecution::fill(out[lo + i],
+                                    std::move(runs[i]));
+        },
         threads, /*grain=*/1);
 
     return out;

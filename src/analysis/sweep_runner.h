@@ -250,12 +250,25 @@ class SweepRunner
     /**
      * Evaluate every cell, possibly concurrently, and return the
      * results in benchmark-major (benchmark, config, interval-length)
-     * order. The output is bit-identical for every thread count.
+     * order. The output is bit-identical for every thread count and
+     * every interleave width.
+     *
+     * Each worker thread drives its cells through the interleaved
+     * multi-stream engine (runIntervalsInterleaved): contiguous
+     * groups of `lanesPerWorker` cells ingest round-robin, one block
+     * at a time, so one cell's counter-bank miss latency is hidden
+     * behind the other cells' hashing — the single-core win the
+     * ISSUE's memory-wall tier calls for. Grouping only reschedules
+     * the same per-cell state machine, so results are unchanged.
      *
      * @param threads Worker count; 0 = min(hardware concurrency,
      *        cells), overridable via MHP_THREADS.
+     * @param lanesPerWorker Cells interleaved per worker; 0 = the
+     *        MHP_INTERLEAVE environment override or 4. 1 disables
+     *        interleaving (cells run back to back).
      */
-    std::vector<SweepCellResult> run(unsigned threads = 0) const;
+    std::vector<SweepCellResult> run(unsigned threads = 0,
+                                     unsigned lanesPerWorker = 0) const;
 
     /**
      * Crash-safe variant of run(): journal every completed cell to
@@ -320,6 +333,21 @@ class SweepRunner
     uint64_t planFingerprint() const;
 
   private:
+    /**
+     * A cell ready to stream: its (owned) event source and cursor,
+     * profiler, and resolved interval geometry. Defined in the .cc;
+     * built by prepareCell() for both the one-cell paths and the
+     * interleaved groups of run().
+     */
+    struct CellExecution;
+
+    /**
+     * Resolve cell -> (benchmark, config, length), fill `result`'s
+     * metadata, and construct the cell's source and profiler.
+     */
+    std::unique_ptr<CellExecution>
+    prepareCell(size_t cell, SweepCellResult &result) const;
+
     /** Evaluate one cell into `result` (shared by both run paths). */
     void computeCell(size_t cell, SweepCellResult &result) const;
 

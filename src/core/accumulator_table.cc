@@ -1,9 +1,17 @@
 #include "core/accumulator_table.h"
 
+#include <algorithm>
+
 #include "support/bit_util.h"
 #include "support/panic.h"
 
 namespace mhp {
+
+using accum_layout::fullTag;
+using accum_layout::groupOf;
+using accum_layout::kEmptyTag;
+using accum_layout::kGroupLanes;
+using accum_layout::kTombstoneTag;
 
 AccumulatorTable::AccumulatorTable(uint64_t capacity,
                                    uint64_t thresholdCount_,
@@ -13,40 +21,94 @@ AccumulatorTable::AccumulatorTable(uint64_t capacity,
     MHP_REQUIRE(capacity >= 1, "accumulator needs capacity");
     MHP_REQUIRE(thresholdCount >= 1, "threshold must be positive");
     slots.resize(capacity);
-    // Keep the open-addressing index at most ~25% loaded so probe
-    // chains stay short; the bucket count never changes after this.
-    uint64_t wanted = capacity * 4;
-    if (wanted < 16)
-        wanted = 16;
-    const size_t bucketCount =
-        size_t{1} << ceilLog2(static_cast<uint64_t>(wanted));
-    buckets.resize(bucketCount);
-    bucketMask = bucketCount - 1;
+    // Size the group index so entries fill at most half the lanes and
+    // (with the quarter-of-lanes tombstone bound maintained by
+    // insert()) at least a quarter of the lanes stay empty — every
+    // probe chain therefore terminates, and almost every probe ends in
+    // its home group.
+    const uint64_t wantedGroups = (capacity + kGroupLanes / 2 - 1) /
+                                  (kGroupLanes / 2);
+    const size_t numGroups = size_t{1} << ceilLog2(wantedGroups);
+    const size_t lanes = numGroups * kGroupLanes;
+    tags.assign(lanes, kEmptyTag);
+    // One pad lane past the end: branch-free probe kernels read the
+    // lane at ctz(matchMask | 1 << kGroupLanes) unconditionally, which
+    // is lane base+16 when a group has no tag match (AccumProbeView).
+    laneKeys.resize(lanes + 1);
+    laneSlots.resize(lanes + 1);
+    groupMask = numGroups - 1;
     freeSlots.reserve(capacity);
     for (uint64_t i = capacity; i-- > 0;)
         freeSlots.push_back(static_cast<uint32_t>(i));
+}
+
+size_t
+AccumulatorTable::findLane(const Tuple &t) const
+{
+    const uint64_t hash = TupleHash{}(t);
+    const uint8_t tag = fullTag(hash);
+    size_t g = groupOf(hash, groupMask);
+    for (;;) {
+        const size_t base = g * kGroupLanes;
+        bool anyEmpty = false;
+        for (size_t l = 0; l < kGroupLanes; ++l) {
+            const uint8_t laneTag = tags[base + l];
+            if (laneTag == tag && laneKeys[base + l] == t)
+                return base + l;
+            anyEmpty |= laneTag == kEmptyTag;
+        }
+        if (anyEmpty)
+            return kNoLane;
+        g = (g + 1) & groupMask;
+    }
 }
 
 void
 AccumulatorTable::indexInsert(const Tuple &t, uint32_t slotIndex)
 {
     // Precondition: t is not present (AccumulatorTable::insert asserts
-    // it), so stopping at the first reusable bucket is safe.
-    size_t b = TupleHash{}(t) & bucketMask;
-    while (buckets[b].state == kFull)
-        b = (b + 1) & bucketMask;
-    if (buckets[b].state == kTombstone)
+    // it). The key must land no later than the first group a lookup
+    // could stop at (the first group with an empty lane), so the scan
+    // remembers the earliest tombstone on the way and reuses it when
+    // the stopping group is reached.
+    const uint64_t hash = TupleHash{}(t);
+    size_t g = groupOf(hash, groupMask);
+    size_t lane = kNoLane;
+    for (;;) {
+        const size_t base = g * kGroupLanes;
+        size_t emptyLane = kNoLane;
+        for (size_t l = 0; l < kGroupLanes; ++l) {
+            const uint8_t laneTag = tags[base + l];
+            if (laneTag == kEmptyTag) {
+                emptyLane = base + l;
+                break;
+            }
+            if (lane == kNoLane && laneTag == kTombstoneTag)
+                lane = base + l;
+        }
+        if (emptyLane != kNoLane) {
+            if (lane == kNoLane)
+                lane = emptyLane;
+            break;
+        }
+        if (lane != kNoLane)
+            break;
+        g = (g + 1) & groupMask;
+    }
+    if (tags[lane] == kTombstoneTag)
         --tombstones;
-    buckets[b] = {t, slotIndex, kFull};
+    tags[lane] = fullTag(hash);
+    laneKeys[lane] = t;
+    laneSlots[lane] = slotIndex;
     ++entryCount;
 }
 
 void
 AccumulatorTable::indexErase(const Tuple &t)
 {
-    const size_t b = findBucket(t);
-    MHP_ASSERT(b != kNoBucket, "erasing an absent tuple");
-    buckets[b].state = kTombstone;
+    const size_t lane = findLane(t);
+    MHP_ASSERT(lane != kNoLane, "erasing an absent tuple");
+    tags[lane] = kTombstoneTag;
     ++tombstones;
     --entryCount;
 }
@@ -54,10 +116,19 @@ AccumulatorTable::indexErase(const Tuple &t)
 void
 AccumulatorTable::indexClear()
 {
-    for (auto &bucket : buckets)
-        bucket.state = kEmpty;
+    std::fill(tags.begin(), tags.end(), kEmptyTag);
     entryCount = 0;
     tombstones = 0;
+}
+
+void
+AccumulatorTable::indexRebuild()
+{
+    indexClear();
+    for (uint32_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].valid)
+            indexInsert(slots[i].tuple, i);
+    }
 }
 
 bool
@@ -69,12 +140,20 @@ AccumulatorTable::incrementIfPresent(const Tuple &t)
 bool
 AccumulatorTable::contains(const Tuple &t) const
 {
-    return findBucket(t) != kNoBucket;
+    return findLane(t) != kNoLane;
 }
 
 bool
 AccumulatorTable::insert(const Tuple &t, uint64_t initialCount)
 {
+    // Steady state is a full table with every entry pinned, and every
+    // threshold crossing retries the promotion — the drop path must be
+    // O(1), not a slot scan.
+    if (freeSlots.empty() && replaceableCount == 0) {
+        ++dropped;
+        return false;
+    }
+
     MHP_ASSERT(!contains(t), "inserting an already-present tuple");
 
     uint32_t victim;
@@ -90,23 +169,18 @@ AccumulatorTable::insert(const Tuple &t, uint64_t initialCount)
                 break;
             }
         }
-        if (found == UINT32_MAX) {
-            ++dropped;
-            return false;
-        }
+        MHP_ASSERT(found != UINT32_MAX,
+                   "replaceableCount positive but no replaceable slot");
         indexErase(slots[found].tuple);
         victim = found;
+        --replaceableCount;
     }
 
-    // Evictions leave tombstones behind; rebuild the index before they
-    // stretch probe chains (rare — bounded by mid-interval evictions).
-    if (tombstones * 4 > buckets.size()) {
-        indexClear();
-        for (uint32_t i = 0; i < slots.size(); ++i) {
-            if (slots[i].valid)
-                indexInsert(slots[i].tuple, i);
-        }
-    }
+    // Evictions leave tombstone lanes behind; re-pack the index before
+    // they exceed a quarter of the lanes so probe chains stay bounded
+    // (rare — tombstones only accrue through mid-interval evictions).
+    if (tombstones * 4 > tags.size())
+        indexRebuild();
 
     Slot &slot = slots[victim];
     slot.tuple = t;
@@ -116,6 +190,8 @@ AccumulatorTable::insert(const Tuple &t, uint64_t initialCount)
     // interval (Section 5.2); a promotion implies the threshold was
     // crossed, so this matches the re-pinning rule as well.
     slot.replaceable = initialCount < thresholdCount;
+    if (slot.replaceable)
+        ++replaceableCount;
     indexInsert(t, victim);
     return true;
 }
@@ -136,6 +212,7 @@ AccumulatorTable::endInterval()
         for (auto &slot : slots)
             slot.valid = false;
         indexClear();
+        replaceableCount = 0;
         freeSlots.clear();
         for (uint64_t i = slots.size(); i-- > 0;)
             freeSlots.push_back(static_cast<uint32_t>(i));
@@ -147,6 +224,7 @@ AccumulatorTable::endInterval()
     // from the surviving slots (cheaper than per-entry erases, and it
     // sheds any tombstones).
     indexClear();
+    replaceableCount = 0;
     for (uint32_t i = 0; i < slots.size(); ++i) {
         Slot &slot = slots[i];
         if (!slot.valid)
@@ -157,6 +235,7 @@ AccumulatorTable::endInterval()
         } else {
             slot.count = 0;
             slot.replaceable = true;
+            ++replaceableCount;
             indexInsert(slot.tuple, i);
         }
     }
@@ -169,6 +248,7 @@ AccumulatorTable::reset()
     for (auto &slot : slots)
         slot.valid = false;
     indexClear();
+    replaceableCount = 0;
     freeSlots.clear();
     for (uint64_t i = slots.size(); i-- > 0;)
         freeSlots.push_back(static_cast<uint32_t>(i));
@@ -214,7 +294,7 @@ AccumulatorTable::loadState(ByteCursor &in)
             static_cast<unsigned long long>(capacity),
             static_cast<unsigned long long>(slots.size()));
 
-    std::vector<Slot> loaded(slots.size());
+    HugeVector<Slot> loaded(slots.size());
     for (Slot &slot : loaded) {
         uint8_t valid = 0;
         uint8_t replaceable = 0;
@@ -260,6 +340,10 @@ AccumulatorTable::loadState(ByteCursor &in)
     slots = std::move(loaded);
     freeSlots = std::move(loadedFree);
     dropped = loadedDropped;
+    replaceableCount = 0;
+    for (const Slot &slot : slots)
+        if (slot.valid && slot.replaceable)
+            ++replaceableCount;
     indexClear();
     for (uint32_t i = 0; i < slots.size(); ++i) {
         if (!slots[i].valid)
@@ -279,16 +363,39 @@ AccumulatorTable::loadState(ByteCursor &in)
 uint64_t
 AccumulatorTable::countOf(const Tuple &t) const
 {
-    const size_t b = findBucket(t);
-    return b == kNoBucket ? 0 : slots[buckets[b].slot].count;
+    const size_t lane = findLane(t);
+    return lane == kNoLane ? 0 : slots[laneSlots[lane]].count;
 }
 
 bool
 AccumulatorTable::isReplaceable(const Tuple &t) const
 {
-    const size_t b = findBucket(t);
-    MHP_ASSERT(b != kNoBucket, "tuple not present");
-    return slots[buckets[b].slot].replaceable;
+    const size_t lane = findLane(t);
+    MHP_ASSERT(lane != kNoLane, "tuple not present");
+    return slots[laneSlots[lane]].replaceable;
+}
+
+size_t
+AccumulatorTable::probeChainLength(const Tuple &t) const
+{
+    const uint64_t hash = TupleHash{}(t);
+    const uint8_t tag = fullTag(hash);
+    size_t g = groupOf(hash, groupMask);
+    for (size_t visited = 1;; ++visited) {
+        const size_t base = g * kGroupLanes;
+        bool anyEmpty = false;
+        for (size_t l = 0; l < kGroupLanes; ++l) {
+            const uint8_t laneTag = tags[base + l];
+            if (laneTag == tag && laneKeys[base + l] == t)
+                return visited;
+            anyEmpty |= laneTag == kEmptyTag;
+        }
+        if (anyEmpty)
+            return visited;
+        MHP_ASSERT(visited <= groupMask + 1,
+                   "probe chain exceeds the group count");
+        g = (g + 1) & groupMask;
+    }
 }
 
 } // namespace mhp

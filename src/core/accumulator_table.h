@@ -12,6 +12,15 @@
  * in the table as *replaceable* entries so recurring candidates never
  * touch the hash tables again; a retained entry is re-pinned (made
  * non-replaceable) once it crosses the threshold in the new interval.
+ *
+ * The paper's table is a hardware CAM: the shield check is a one-cycle
+ * parallel tag compare. The software analogue is the probe index's
+ * structure-of-arrays *tag group* layout (accum_layout in
+ * core/ingest_kernels.h): all sixteen one-byte tags of a group are
+ * contiguous, so the batched probe kernels compare a whole group per
+ * vector instruction instead of walking a bucket chain. The layout is
+ * kernel ABI — AccumulatorTable maintains the arrays, the per-tier
+ * accumProbeBlock kernels search them, and probeView() is the bridge.
  */
 
 #ifndef MHP_CORE_ACCUMULATOR_TABLE_H
@@ -21,8 +30,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/ingest_kernels.h"
+#include "core/ingest_kernels_ref.h"
 #include "core/profiler.h"
 #include "support/bytes.h"
+#include "support/huge_page.h"
 #include "support/status.h"
 #include "trace/tuple.h"
 
@@ -85,26 +97,39 @@ class AccumulatorTable
     /**
      * probeSlot() with the tuple's TupleHash precomputed — batched
      * kernels hash a whole block in one SIMD pass (the tupleHashBlock
-     * ingest kernel), prefetch the bucket lines via bucketAddr(), then
-     * probe. `hash` must equal TupleHash{}(t).
+     * ingest kernel) and probe via the accumProbeBlock kernel; this
+     * scalar form is the per-event path and the kernels' reference.
+     * `hash` must equal TupleHash{}(t).
      */
     uint32_t
     probeSlotHashed(const Tuple &t, uint64_t hash) const
     {
-        const size_t b = findBucketHashed(t, hash);
-        return b == kNoBucket ? kNoSlot : buckets[b].slot;
+        return kernel_ref::accumProbeOne(probeView(), t, hash);
     }
 
     /**
-     * The address of the bucket a hash lands on first, for software
+     * The probe index in the accum_layout kernel format. The view is
+     * invalidated by insert(), endInterval(), reset(), and
+     * loadState(); probes against a stale view are the caller's bug.
+     */
+    AccumProbeView
+    probeView() const
+    {
+        return {tags.data(), laneKeys.data(), laneSlots.data(),
+                groupMask};
+    }
+
+    /**
+     * The address of the tag group a hash lands on first, for software
      * prefetch ahead of probeSlotHashed(). Probing may continue past
-     * this line on collisions; prefetching just the head of the chain
-     * already covers the common case.
+     * this group on overflow; prefetching just the home group already
+     * covers the common case.
      */
     const void *
     bucketAddr(uint64_t hash) const
     {
-        return buckets.data() + (hash & bucketMask);
+        return tags.data() + accum_layout::groupOf(hash, groupMask) *
+                                 accum_layout::kGroupLanes;
     }
 
     /** Count an occurrence of the tuple known to sit in `slot`. */
@@ -115,8 +140,10 @@ class AccumulatorTable
         ++slot.count;
         // A retained entry that re-crosses the threshold is a
         // candidate again: pin it for the interval (Section 5.4.1).
-        if (slot.replaceable && slot.count >= thresholdCount)
+        if (slot.replaceable && slot.count >= thresholdCount) {
             slot.replaceable = false;
+            --replaceableCount;
+        }
     }
 
     /** True if the tuple currently has an entry. */
@@ -151,6 +178,14 @@ class AccumulatorTable
 
     /** Whether a present tuple is replaceable (tests). */
     bool isReplaceable(const Tuple &t) const;
+
+    /**
+     * The longest group chain a probe of `t` would walk right now
+     * (1 = found in, or absent from, its home group). Exposes probe
+     * cost to the tombstone-churn regression tests without exposing
+     * the index internals.
+     */
+    size_t probeChainLength(const Tuple &t) const;
 
     /**
      * Soft-error hook (sim/fault_injector): XOR one bit of the
@@ -188,58 +223,47 @@ class AccumulatorTable
         bool replaceable = false;
     };
 
-    /**
-     * The tuple -> slot index is a flat open-addressing table (linear
-     * probing, tombstones on erase) with a power-of-two bucket count.
-     * A prime-bucket map (std::unordered_map) pays an integer division
-     * per lookup, and 64-bit division is unpipelined on most cores —
-     * it dominated the shield check on every single event. The index
-     * is only ever probed, never iterated, so the container swap is
-     * invisible to behaviour.
-     */
-    struct Bucket
-    {
-        Tuple key;
-        uint32_t slot = 0;
-        uint8_t state = 0; ///< kEmpty, kFull, or kTombstone
-    };
+    static constexpr size_t kNoLane = SIZE_MAX;
 
-    static constexpr uint8_t kEmpty = 0;
-    static constexpr uint8_t kFull = 1;
-    static constexpr uint8_t kTombstone = 2;
-    static constexpr size_t kNoBucket = SIZE_MAX;
-
-    /** The bucket holding the tuple, or kNoBucket. */
-    size_t
-    findBucket(const Tuple &t) const
-    {
-        return findBucketHashed(t, TupleHash{}(t));
-    }
-
-    /** findBucket() with the tuple's hash precomputed. */
-    size_t
-    findBucketHashed(const Tuple &t, uint64_t hash) const
-    {
-        const Bucket *const bk = buckets.data();
-        size_t b = hash & bucketMask;
-        for (;; b = (b + 1) & bucketMask) {
-            const Bucket &bucket = bk[b];
-            if (bucket.state == kEmpty)
-                return kNoBucket;
-            if (bucket.state == kFull && bucket.key == t)
-                return b;
-        }
-    }
+    /** The flat lane index holding the tuple, or kNoLane. */
+    size_t findLane(const Tuple &t) const;
 
     void indexInsert(const Tuple &t, uint32_t slotIndex);
     void indexErase(const Tuple &t);
     void indexClear();
+    /** Re-pack the index from the valid slots, shedding tombstones. */
+    void indexRebuild();
 
-    std::vector<Slot> slots;
-    std::vector<Bucket> buckets;
-    size_t bucketMask = 0;
+    /**
+     * Huge-page preferred (support/huge_page.h), like the SoA index
+     * below: every accumulator hit bumps a slot, so at paper scale
+     * the array is part of the hash-indexed hot working set.
+     */
+    HugeVector<Slot> slots;
+
+    /**
+     * The tuple -> slot probe index, in the accum_layout tag-group
+     * format (see the file comment): one tag byte per lane with the
+     * group's sixteen tags contiguous, and the lane-parallel key and
+     * slot arrays beside them. Groups are power-of-two counted and
+     * sized so the load factor never exceeds 1/2; erases leave
+     * tombstone lanes behind, and insert() re-packs the index before
+     * tombstones exceed a quarter of the lanes, which bounds every
+     * probe chain (an empty lane always exists within the wraparound).
+     */
+    HugeVector<uint8_t> tags;
+    HugeVector<Tuple> laneKeys;
+    HugeVector<uint32_t> laneSlots;
+    uint64_t groupMask = 0;
     uint64_t entryCount = 0;
     uint64_t tombstones = 0;
+    /**
+     * Number of slots with valid && replaceable set. Promotions are
+     * attempted on every threshold crossing, and in steady state most
+     * are drops (full table, everything pinned); the count makes that
+     * common case O(1) instead of a scan over the slot array.
+     */
+    uint64_t replaceableCount = 0;
     std::vector<uint32_t> freeSlots;
     uint64_t thresholdCount;
     bool retaining;

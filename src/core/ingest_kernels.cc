@@ -17,6 +17,8 @@ ingestKernelsFor(IsaTier tier)
         return ingestKernelsSse42();
       case IsaTier::Avx2:
         return ingestKernelsAvx2();
+      case IsaTier::Avx512:
+        return ingestKernelsAvx512();
       case IsaTier::Neon:
         return ingestKernelsNeon();
     }
@@ -34,12 +36,7 @@ ingestKernels()
     for (;;) {
         if (const IngestKernels *k = ingestKernelsFor(tier))
             return *k;
-        if (tier == IsaTier::Neon) {
-            tier = IsaTier::Scalar;
-            continue;
-        }
-        tier = static_cast<IsaTier>(static_cast<unsigned char>(tier) -
-                                    1);
+        tier = isaTierFallback(tier);
     }
 }
 

@@ -414,19 +414,20 @@ bumpMinConservativeAvx2(uint64_t *soa, const uint32_t *idx, unsigned n,
         minVal = minVal < v ? minVal : v;
     }
 
-    // Pass 2: advance only the lanes at the minimum (saturating).
-    const __m256i satv =
-        _mm256_set1_epi64x(static_cast<long long>(saturation));
+    // Saturated floor: no lane can advance, the minimum is unchanged.
+    if (minVal >= saturation)
+        return minVal;
+
+    // Pass 2: advance exactly the lanes at the minimum (a min lane's
+    // compare mask is all-ones, so subtracting it is the +1). No
+    // second reduction: advanced lanes land on minVal + 1 and every
+    // other lane was already >= minVal + 1.
     const __m256i minValv =
         _mm256_set1_epi64x(static_cast<long long>(minVal));
-    __m256i newMinv =
-        _mm256_set1_epi64x(static_cast<long long>(kSignedSafe));
     for (unsigned c = 0; c < chunks; ++c) {
         const unsigned base = c * 4;
         const __m256i isMin = _mm256_cmpeq_epi64(vals[c], minValv);
-        const __m256i canInc =
-            _mm256_and_si256(isMin, _mm256_cmpgt_epi64(satv, vals[c]));
-        const __m256i newv = _mm256_sub_epi64(vals[c], canInc);
+        const __m256i newv = _mm256_sub_epi64(vals[c], isMin);
         soa[idx[base]] =
             static_cast<uint64_t>(_mm256_extract_epi64(newv, 0));
         soa[idx[base + 1]] =
@@ -435,18 +436,162 @@ bumpMinConservativeAvx2(uint64_t *soa, const uint32_t *idx, unsigned n,
             static_cast<uint64_t>(_mm256_extract_epi64(newv, 2));
         soa[idx[base + 3]] =
             static_cast<uint64_t>(_mm256_extract_epi64(newv, 3));
-        newMinv = min4(newMinv, newv);
     }
-    uint64_t newMin = hmin4(newMinv);
     for (unsigned t = i; t < n; ++t) {
-        uint64_t v = soa[idx[t]];
-        if (v == minVal) {
-            v += (v < saturation) ? 1 : 0;
-            soa[idx[t]] = v;
-        }
-        newMin = newMin < v ? newMin : v;
+        if (soa[idx[t]] == minVal)
+            soa[idx[t]] = minVal + 1;
     }
-    return newMin;
+    return minVal + 1;
+}
+
+/**
+ * The rare leg of the probe: the home group either held a tag
+ * collision (multiple match candidates) or was full with no hit, so
+ * walk the chain generically from the home group.
+ */
+__attribute__((noinline)) uint32_t
+accumProbeChainAvx2(const AccumProbeView &view, const Tuple &t,
+                    __m128i tagv, size_t g)
+{
+    using namespace accum_layout;
+    const __m128i emptyv = _mm_setzero_si128();
+    for (;;) {
+        const size_t base = g * kGroupLanes;
+        const __m128i tv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(view.tags + base));
+        unsigned match = static_cast<unsigned>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(tv, tagv)));
+        while (match != 0) {
+            const unsigned l =
+                static_cast<unsigned>(__builtin_ctz(match));
+            if (view.keys[base + l] == t)
+                return view.slotOf[base + l];
+            match &= match - 1;
+        }
+        if (_mm_movemask_epi8(_mm_cmpeq_epi8(tv, emptyv)) != 0)
+            return UINT32_MAX;
+        g = (g + 1) & view.groupMask;
+    }
+}
+
+/**
+ * Tag-group probe for a whole block. One 16-byte SSE compare per group
+ * (AVX2 implies SSE4.2; a group is exactly one xmm register) finds all
+ * candidate lanes at once, the first candidate's key confirms the hit,
+ * and a group with an empty lane ends the chain. The fast path is
+ * branch-free — the candidate lane index defaults to the pad lane
+ * (AccumProbeView) and the hit/miss distinction is a conditional move,
+ * so the 30/70 hit/absent mix of a shielded stream costs no
+ * mispredictions. Only tag collisions and overfull home groups fall
+ * into the chain walker.
+ */
+size_t
+accumProbeBlockAvx2(const AccumProbeView &view, const Tuple *block,
+                    const uint64_t *hashes, size_t m, uint32_t *__restrict slots,
+                    uint32_t *__restrict absentPos,
+                      Tuple *__restrict absentTuples, uint32_t *__restrict hitPos)
+{
+    // Hoisted so the unconditional list stores (which GCC must
+    // otherwise assume alias the view arrays and the view struct
+    // itself) cannot force per-event reloads of the index pointers.
+    const uint8_t *const tags = view.tags;
+    const Tuple *const keys = view.keys;
+    const uint32_t *const slotOf = view.slotOf;
+    const uint64_t groupMask = view.groupMask;
+    using namespace accum_layout;
+    if ((groupMask + 1) * kGroupLanes > 8192) {
+        for (size_t k = 0; k < m; ++k) {
+            __builtin_prefetch(tags +
+                                   groupOf(hashes[k], groupMask) *
+                                       kGroupLanes,
+                               0, 1);
+        }
+    }
+    const __m128i emptyv = _mm_setzero_si128();
+    size_t numAbsent = 0;
+    for (size_t k = 0; k < m; ++k) {
+        const uint64_t h = hashes[k];
+        const __m128i tagv =
+            _mm_set1_epi8(static_cast<char>(fullTag(h)));
+        const size_t g = groupOf(h, groupMask);
+        const size_t base = g * kGroupLanes;
+        const __m128i tv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tags + base));
+        const unsigned match = static_cast<unsigned>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(tv, tagv)));
+        const unsigned empty = static_cast<unsigned>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(tv, emptyv)));
+        const unsigned l = static_cast<unsigned>(
+            __builtin_ctz(match | (1u << kGroupLanes)));
+        // XOR-OR key compare instead of operator== so the comparison
+        // cannot be compiled as short-circuit branches; the whole
+        // hit/miss decision must stay a conditional move.
+        const Tuple &cand = keys[base + l];
+        const uint64_t keyDiff = (cand.first ^ block[k].first) |
+                                 (cand.second ^ block[k].second);
+        const uint32_t hit =
+            static_cast<uint32_t>(match != 0) &
+            static_cast<uint32_t>(keyDiff == 0);
+        // slot | 0 on a hit, slot | ~0 on a miss: the select is pure
+        // arithmetic, so no branch exists for the 30/70 hit/absent mix
+        // to mispredict.
+        uint32_t s = slotOf[base + l] | (hit - 1);
+        // The chain is only needed when the single-candidate answer can
+        // be wrong: a multi-candidate tag collision, or a full group
+        // with no first-candidate hit. Both are rare, so this is the
+        // one branch in the loop and it predicts not-taken. The empty
+        // asm keeps GCC from re-splitting the compound predicate into a
+        // separate (mispredicting) branch on `hit`.
+        unsigned needChain =
+            (static_cast<unsigned>((match & (match - 1)) != 0) |
+             static_cast<unsigned>(empty == 0)) &
+            (hit ^ 1u);
+        asm("" : "+r"(needChain));
+        if (__builtin_expect(needChain != 0, 0))
+            s = accumProbeChainAvx2(view, block[k], tagv, g);
+        slots[k] = s;
+        // Every event lands on exactly one list, so both appends are
+        // unconditional stores (a dead store at the losing list's
+        // cursor is overwritten by the next event of that kind).
+        absentPos[numAbsent] = static_cast<uint32_t>(k);
+        absentTuples[numAbsent] = block[k];
+        hitPos[k - numAbsent] = static_cast<uint32_t>(k);
+        numAbsent += (s == UINT32_MAX) ? 1 : 0;
+    }
+    return numAbsent;
+}
+
+size_t
+bumpMinBlockAvx2(uint64_t *soa, const uint32_t *idx, unsigned n,
+                 size_t start, size_t numAbsent, uint64_t saturation,
+                 uint64_t threshold, uint64_t *stopMin)
+{
+    for (size_t j = start; j < numAbsent; ++j) {
+        const uint64_t newMin =
+            bumpMinAvx2(soa, idx + j * n, n, saturation);
+        if (newMin >= threshold) {
+            *stopMin = newMin;
+            return j;
+        }
+    }
+    return numAbsent;
+}
+
+size_t
+bumpMinConservativeBlockAvx2(uint64_t *soa, const uint32_t *idx,
+                             unsigned n, size_t start,
+                             size_t numAbsent, uint64_t saturation,
+                             uint64_t threshold, uint64_t *stopMin)
+{
+    for (size_t j = start; j < numAbsent; ++j) {
+        const uint64_t newMin =
+            bumpMinConservativeAvx2(soa, idx + j * n, n, saturation);
+        if (newMin >= threshold) {
+            *stopMin = newMin;
+            return j;
+        }
+    }
+    return numAbsent;
 }
 
 } // namespace
@@ -462,6 +607,9 @@ ingestKernelsAvx2()
         tupleHashBlockAvx2,
         bumpMinAvx2,
         bumpMinConservativeAvx2,
+        accumProbeBlockAvx2,
+        bumpMinBlockAvx2,
+        bumpMinConservativeBlockAvx2,
     };
     return &table;
 }

@@ -245,29 +245,184 @@ bumpMinConservativeNeon(uint64_t *soa, const uint32_t *idx, unsigned n,
         minVal = minVal < v ? minVal : v;
     }
 
-    const uint64x2_t satv = vdupq_n_u64(saturation);
+    // Saturated floor: no lane can advance, the minimum is unchanged.
+    if (minVal >= saturation)
+        return minVal;
+
+    // Advance exactly the lanes at the minimum (a min lane's compare
+    // mask is all-ones, so subtracting it is the +1). No second
+    // reduction: advanced lanes land on minVal + 1 and every other
+    // lane was already >= minVal + 1.
     const uint64x2_t minValv = vdupq_n_u64(minVal);
-    uint64x2_t newMinv = vdupq_n_u64(UINT64_MAX);
     for (unsigned c = 0; c < chunks; ++c) {
         const unsigned base = c * 2;
         const uint64x2_t isMin = vceqq_u64(vals[c], minValv);
-        const uint64x2_t canInc =
-            vandq_u64(isMin, vcgtq_u64(satv, vals[c]));
-        const uint64x2_t newv = vsubq_u64(vals[c], canInc);
+        const uint64x2_t newv = vsubq_u64(vals[c], isMin);
         soa[idx[base]] = vgetq_lane_u64(newv, 0);
         soa[idx[base + 1]] = vgetq_lane_u64(newv, 1);
-        newMinv = min2(newMinv, newv);
     }
-    uint64_t newMin = hmin2(newMinv);
     for (unsigned t = i; t < n; ++t) {
-        uint64_t v = soa[idx[t]];
-        if (v == minVal) {
-            v += (v < saturation) ? 1 : 0;
-            soa[idx[t]] = v;
-        }
-        newMin = newMin < v ? newMin : v;
+        if (soa[idx[t]] == minVal)
+            soa[idx[t]] = minVal + 1;
     }
-    return newMin;
+    return minVal + 1;
+}
+
+/**
+ * The rare leg of the probe: the home group either held a tag
+ * collision (multiple match candidates) or was full with no hit, so
+ * walk the chain generically from the home group. vceqq_u8 compares a
+ * full 16-lane group at once, and the narrowing-shift trick (vshrn
+ * across the 16-bit view) compresses the byte mask into a 64-bit
+ * nibble mask — NEON's substitute for SSE's movemask.
+ */
+__attribute__((noinline)) uint32_t
+accumProbeChainNeon(const AccumProbeView &view, const Tuple &t,
+                    uint8x16_t tagv, size_t g)
+{
+    using namespace accum_layout;
+    const uint8x16_t emptyv = vdupq_n_u8(kEmptyTag);
+    for (;;) {
+        const size_t base = g * kGroupLanes;
+        const uint8x16_t tv = vld1q_u8(view.tags + base);
+        const uint8x16_t eq = vceqq_u8(tv, tagv);
+        uint64_t match = vget_lane_u64(
+            vreinterpret_u64_u8(
+                vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)),
+            0);
+        while (match != 0) {
+            const unsigned l =
+                static_cast<unsigned>(__builtin_ctzll(match) >> 2);
+            if (view.keys[base + l] == t)
+                return view.slotOf[base + l];
+            match &= ~(uint64_t{0xf} << (l * 4));
+        }
+        if (vmaxvq_u8(vceqq_u8(tv, emptyv)) != 0)
+            return UINT32_MAX;
+        g = (g + 1) & view.groupMask;
+    }
+}
+
+/**
+ * Tag-group probe for a whole block. The fast path is branch-light:
+ * the candidate lane index defaults to the pad lane (AccumProbeView)
+ * and the hit/miss distinction is a conditional select, so the 30/70
+ * hit/absent mix of a shielded stream costs no mispredictions. Only
+ * tag collisions and overfull home groups fall into the chain walker.
+ */
+size_t
+accumProbeBlockNeon(const AccumProbeView &view, const Tuple *block,
+                    const uint64_t *hashes, size_t m, uint32_t *__restrict slots,
+                    uint32_t *__restrict absentPos,
+                      Tuple *__restrict absentTuples, uint32_t *__restrict hitPos)
+{
+    // Hoisted so the unconditional list stores (which GCC must
+    // otherwise assume alias the view arrays and the view struct
+    // itself) cannot force per-event reloads of the index pointers.
+    const uint8_t *const tags = view.tags;
+    const Tuple *const keys = view.keys;
+    const uint32_t *const slotOf = view.slotOf;
+    const uint64_t groupMask = view.groupMask;
+    using namespace accum_layout;
+    if ((groupMask + 1) * kGroupLanes > 8192) {
+        for (size_t k = 0; k < m; ++k) {
+            __builtin_prefetch(tags +
+                                   groupOf(hashes[k], groupMask) *
+                                       kGroupLanes,
+                               0, 1);
+        }
+    }
+    const uint8x16_t emptyv = vdupq_n_u8(kEmptyTag);
+    size_t numAbsent = 0;
+    for (size_t k = 0; k < m; ++k) {
+        const uint64_t h = hashes[k];
+        const uint8x16_t tagv = vdupq_n_u8(fullTag(h));
+        const size_t g = groupOf(h, groupMask);
+        const size_t base = g * kGroupLanes;
+        const uint8x16_t tv = vld1q_u8(tags + base);
+        const uint8x16_t eq = vceqq_u8(tv, tagv);
+        // Nibble mask: four bits per lane, so a lone candidate still
+        // leaves a multi-bit mask — "other candidates remain" must
+        // clear the whole nibble, not the low bit.
+        const uint64_t match = vget_lane_u64(
+            vreinterpret_u64_u8(
+                vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)),
+            0);
+        const unsigned l =
+            match != 0
+                ? static_cast<unsigned>(__builtin_ctzll(match) >> 2)
+                : static_cast<unsigned>(kGroupLanes);
+        // XOR-OR key compare instead of operator== so the comparison
+        // cannot be compiled as short-circuit branches; the whole
+        // hit/miss decision must stay a conditional select.
+        const Tuple &cand = keys[base + l];
+        const uint64_t keyDiff = (cand.first ^ block[k].first) |
+                                 (cand.second ^ block[k].second);
+        const uint32_t hit =
+            static_cast<uint32_t>(match != 0) &
+            static_cast<uint32_t>(keyDiff == 0);
+        // slot | 0 on a hit, slot | ~0 on a miss: the select is pure
+        // arithmetic, so no branch exists for the 30/70 hit/absent mix
+        // to mispredict.
+        uint32_t s = slotOf[base + l] | (hit - 1);
+        const uint64_t rest =
+            match & ~(uint64_t{0xf} << ((l & 15) * 4));
+        const bool anyEmpty = vmaxvq_u8(vceqq_u8(tv, emptyv)) != 0;
+        // The chain is only needed when the single-candidate answer can
+        // be wrong: a multi-candidate tag collision, or a full group
+        // with no first-candidate hit. Both are rare, so this is the
+        // one branch in the loop and it predicts not-taken. The empty
+        // asm keeps the compiler from re-splitting the compound
+        // predicate into a separate (mispredicting) branch on `hit`.
+        unsigned needChain = (static_cast<unsigned>(rest != 0) |
+                              static_cast<unsigned>(!anyEmpty)) &
+                             (hit ^ 1u);
+        asm("" : "+r"(needChain));
+        if (__builtin_expect(needChain != 0, 0))
+            s = accumProbeChainNeon(view, block[k], tagv, g);
+        slots[k] = s;
+        // Every event lands on exactly one list, so both appends are
+        // unconditional stores (a dead store at the losing list's
+        // cursor is overwritten by the next event of that kind).
+        absentPos[numAbsent] = static_cast<uint32_t>(k);
+        absentTuples[numAbsent] = block[k];
+        hitPos[k - numAbsent] = static_cast<uint32_t>(k);
+        numAbsent += (s == UINT32_MAX) ? 1 : 0;
+    }
+    return numAbsent;
+}
+
+size_t
+bumpMinBlockNeon(uint64_t *soa, const uint32_t *idx, unsigned n,
+                 size_t start, size_t numAbsent, uint64_t saturation,
+                 uint64_t threshold, uint64_t *stopMin)
+{
+    for (size_t j = start; j < numAbsent; ++j) {
+        const uint64_t newMin =
+            bumpMinNeon(soa, idx + j * n, n, saturation);
+        if (newMin >= threshold) {
+            *stopMin = newMin;
+            return j;
+        }
+    }
+    return numAbsent;
+}
+
+size_t
+bumpMinConservativeBlockNeon(uint64_t *soa, const uint32_t *idx,
+                             unsigned n, size_t start,
+                             size_t numAbsent, uint64_t saturation,
+                             uint64_t threshold, uint64_t *stopMin)
+{
+    for (size_t j = start; j < numAbsent; ++j) {
+        const uint64_t newMin =
+            bumpMinConservativeNeon(soa, idx + j * n, n, saturation);
+        if (newMin >= threshold) {
+            *stopMin = newMin;
+            return j;
+        }
+    }
+    return numAbsent;
 }
 
 } // namespace
@@ -283,6 +438,9 @@ ingestKernelsNeon()
         tupleHashBlockNeon,
         bumpMinNeon,
         bumpMinConservativeNeon,
+        accumProbeBlockNeon,
+        bumpMinBlockNeon,
+        bumpMinConservativeBlockNeon,
     };
     return &table;
 }

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/ingest_kernels.h"
 #include "support/bit_util.h"
 #include "trace/tuple.h"
 
@@ -119,6 +120,99 @@ bumpMinConservative(uint64_t *soa, const uint32_t *idx, unsigned n,
         newMin = newMin < v ? newMin : v;
     }
     return newMin;
+}
+
+/**
+ * One tag-group probe (AccumulatorTable::probeSlotHashed): the slot
+ * holding tuple t, or UINT32_MAX. `hash` must equal TupleHash{}(t).
+ */
+inline uint32_t
+accumProbeOne(const AccumProbeView &view, const Tuple &t, uint64_t hash)
+{
+    using namespace accum_layout;
+    const uint8_t tag = fullTag(hash);
+    size_t g = groupOf(hash, view.groupMask);
+    for (;;) {
+        const size_t base = g * kGroupLanes;
+        bool anyEmpty = false;
+        for (size_t l = 0; l < kGroupLanes; ++l) {
+            const uint8_t laneTag = view.tags[base + l];
+            if (laneTag == tag && view.keys[base + l] == t)
+                return view.slotOf[base + l];
+            anyEmpty |= laneTag == kEmptyTag;
+        }
+        if (anyEmpty)
+            return UINT32_MAX;
+        g = (g + 1) & view.groupMask;
+    }
+}
+
+/** IngestKernels::accumProbeBlock, restated as plain loops. */
+inline size_t
+accumProbeBlock(const AccumProbeView &view, const Tuple *block,
+                const uint64_t *hashes, size_t m, uint32_t *slots,
+                uint32_t *absentPos, Tuple *absentTuples,
+                uint32_t *hitPos)
+{
+    using namespace accum_layout;
+    // The home-group prefetch pass only pays for itself when the tag
+    // array can actually fall out of cache; typical accumulators
+    // (a few hundred lanes) are permanently L1-resident and the pass
+    // would be pure overhead.
+    if ((view.groupMask + 1) * kGroupLanes > 8192) {
+        for (size_t k = 0; k < m; ++k) {
+            __builtin_prefetch(view.tags +
+                                   groupOf(hashes[k], view.groupMask) *
+                                       kGroupLanes,
+                               0, 1);
+        }
+    }
+    size_t numAbsent = 0;
+    for (size_t k = 0; k < m; ++k) {
+        slots[k] = accumProbeOne(view, block[k], hashes[k]);
+        // Every event lands on exactly one list, so both appends are
+        // unconditional stores (a dead store at the losing list's
+        // cursor is overwritten by the next event of that kind).
+        absentPos[numAbsent] = static_cast<uint32_t>(k);
+        absentTuples[numAbsent] = block[k];
+        hitPos[k - numAbsent] = static_cast<uint32_t>(k);
+        numAbsent += (slots[k] == UINT32_MAX) ? 1 : 0;
+    }
+    return numAbsent;
+}
+
+/** IngestKernels::bumpMinBlock, restated as a plain loop. */
+inline size_t
+bumpMinBlock(uint64_t *soa, const uint32_t *idx, unsigned n,
+             size_t start, size_t numAbsent, uint64_t saturation,
+             uint64_t threshold, uint64_t *stopMin)
+{
+    for (size_t j = start; j < numAbsent; ++j) {
+        const uint64_t newMin = bumpMin(soa, idx + j * n, n, saturation);
+        if (newMin >= threshold) {
+            *stopMin = newMin;
+            return j;
+        }
+    }
+    return numAbsent;
+}
+
+/** IngestKernels::bumpMinConservativeBlock, restated as a plain loop. */
+inline size_t
+bumpMinConservativeBlock(uint64_t *soa, const uint32_t *idx, unsigned n,
+                         size_t start, size_t numAbsent,
+                         uint64_t saturation, uint64_t threshold,
+                         uint64_t *stopMin)
+{
+    for (size_t j = start; j < numAbsent; ++j) {
+        const uint64_t newMin =
+            bumpMinConservative(soa, idx + j * n, n, saturation);
+        if (newMin >= threshold) {
+            *stopMin = newMin;
+            return j;
+        }
+    }
+    return numAbsent;
 }
 
 } // namespace kernel_ref

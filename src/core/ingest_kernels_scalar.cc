@@ -66,6 +66,9 @@ ingestKernelsScalar()
         tupleHashBlockScalar,
         kernel_ref::bumpMin,
         kernel_ref::bumpMinConservative,
+        kernel_ref::accumProbeBlock,
+        kernel_ref::bumpMinBlock,
+        kernel_ref::bumpMinConservativeBlock,
     };
     return &table;
 }

@@ -17,6 +17,7 @@ struct IngestKernels;
 const IngestKernels *ingestKernelsScalar();
 const IngestKernels *ingestKernelsSse42();
 const IngestKernels *ingestKernelsAvx2();
+const IngestKernels *ingestKernelsAvx512();
 const IngestKernels *ingestKernelsNeon();
 
 } // namespace mhp

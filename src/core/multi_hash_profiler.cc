@@ -1,5 +1,7 @@
 #include "core/multi_hash_profiler.h"
 
+#include "core/ingest_kernels_ref.h"
+
 #include <algorithm>
 
 #include "core/area_model.h"
@@ -32,7 +34,10 @@ MultiHashProfiler::MultiHashProfiler(const ProfilerConfig &config_)
     blockIndexScratch.resize(kIngestBlock * config.numHashTables);
     blockSlotScratch.resize(kIngestBlock);
     blockAbsentScratch.resize(kIngestBlock);
+    blockHitScratch.resize(kIngestBlock);
     blockTupleHashScratch.resize(kIngestBlock);
+    blockDenseScratch.resize(kIngestBlock);
+    repairIndexScratch.resize(config.numHashTables);
 }
 
 void
@@ -96,6 +101,7 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
     uint32_t *const blk = blockIndexScratch.data();
     uint32_t *const slot = blockSlotScratch.data();
     uint32_t *const absent = blockAbsentScratch.data();
+    uint32_t *const hits = blockHitScratch.data();
     uint64_t *const th = blockTupleHashScratch.data();
     const unsigned bits = hashers.function(0).indexBits();
     const uint32_t entries =
@@ -109,23 +115,21 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
 
         // Phase 1: accumulator membership for the whole block, so the
         // lookups' dependent load chains overlap instead of
-        // interleaving with table updates. The bucket hashes come from
-        // one vectorized pass, the head bucket of every chain is
-        // prefetched, then the probes run against warm lines. The
-        // probed slots stay exact until the first promotion below
-        // (increments never change membership), after which the rest
-        // of the block falls back to live probes. Absent events are
-        // compacted into a dense list (branchlessly) so the hash phase
-        // runs without data-dependent branches.
+        // interleaving with table updates. The tuple hashes come from
+        // one vectorized pass, then the probe kernel prefetches every
+        // home tag group and compares whole sixteen-lane groups per
+        // instruction (the accum_layout SoA index). The probed slots
+        // stay exact until the first promotion below (increments never
+        // change membership), after which the rest of the block falls
+        // back to live probes. Absent events come back as a dense
+        // stream-order list so the hash phase runs without
+        // data-dependent branches.
         kern.tupleHashBlock(block, m, th);
-        for (size_t k = 0; k < m; ++k)
-            __builtin_prefetch(accumulator.bucketAddr(th[k]), 0, 1);
-        size_t numAbsent = 0;
-        for (size_t k = 0; k < m; ++k) {
-            slot[k] = accumulator.probeSlotHashed(block[k], th[k]);
-            absent[numAbsent] = static_cast<uint32_t>(k);
-            numAbsent += (slot[k] == AccumulatorTable::kNoSlot) ? 1 : 0;
-        }
+        Tuple *const dense = blockDenseScratch.data();
+        const size_t numAbsent = kern.accumProbeBlock(
+            accumulator.probeView(), block, th, m, slot, absent, dense,
+            hits);
+        const size_t numHits = m - numAbsent;
 
         // Phase 2: hash indexes. Pure per-tuple computation with no
         // profiler state, run as one fused kernel pass over all n
@@ -133,23 +137,118 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
         // across hashers); the i*entries addend stride pre-offsets
         // each index into the counter bank's structure-of-arrays
         // layout. Under shielding, accumulator-resident events never
-        // touch the hash tables, so only absent events are hashed
-        // (events whose probe goes stale through an eviction are
-        // repaired in phase 3); the ablation pressures the tables with
-        // every event, so everything is hashed.
-        if (Shielding)
-            kern.hashBlockMulti(hashers.tableWords(), n, bits, block,
-                                absent, numAbsent, blk, entries);
-        else
+        // touch the hash tables, so only absent events are hashed —
+        // the probe kernel already emitted them densely compacted, so
+        // the kernel's loads and stores are sequential instead of
+        // gathered through the position list, and blk row j belongs to
+        // absent event absent[j] (events whose probe goes stale
+        // through an eviction are repaired in phase 3). The ablation
+        // pressures the tables with every event, so everything is
+        // hashed and blk stays event-indexed.
+        if (Shielding) {
+            kern.hashBlockMulti(hashers.tableWords(), n, bits, dense,
+                                nullptr, numAbsent, blk, entries);
+        } else {
             kern.hashBlockMulti(hashers.tableWords(), n, bits, block,
                                 nullptr, m, blk, entries);
+        }
 
         // Phase 3: the event state machine. Promotions change which
-        // later events the accumulator shields, so this phase is
-        // strictly sequential in stream order. The n counters of an
+        // later events the accumulator shields, so crossings are
+        // handled strictly in stream order. The n counters of an
         // event live at distinct bank offsets (disjoint per-table
         // segments), which is what lets the bump kernels gather,
         // update, and scatter them as a vector.
+        if (Shielding) {
+            // Under shielding, hits touch only the accumulator and
+            // absent events touch only the counter bank, so the two
+            // interleave freely *between* threshold crossings: the
+            // block-bump kernel drains runs of absent events in one
+            // call and stops at the first counter-minimum to reach the
+            // threshold. Hits are then replayed up to the crossing
+            // (their re-pinning must precede the promotion's eviction
+            // choice) before the promotion itself is attempted. The
+            // replay walks the probe kernel's dense hit list instead
+            // of re-testing every event's slot — the per-event
+            // hit-or-absent branch is unpredictable (the stream is a
+            // ~30/70 mix), the list bound is not.
+            size_t hi = 0; // next hit-list entry owed its increment
+            size_t aj = 0; // next absent-list entry owed its bump
+            for (;;) {
+                uint64_t stopMin = 0;
+                const size_t j =
+                    Conservative
+                        ? kern.bumpMinConservativeBlock(
+                              bank, blk, n, aj, numAbsent, saturation,
+                              threshold, &stopMin)
+                        : kern.bumpMinBlock(bank, blk, n, aj, numAbsent,
+                                            saturation, threshold,
+                                            &stopMin);
+                const size_t stopEvent =
+                    j < numAbsent ? absent[j] : m;
+                for (; hi < numHits && hits[hi] < stopEvent; ++hi)
+                    accumulator.incrementSlotHot(slot[hits[hi]]);
+                if (j >= numAbsent)
+                    break;
+
+                // Event stopEvent crossed the threshold in every
+                // table (its bump was applied by the kernel).
+                const Tuple &t = block[stopEvent];
+                uint32_t *const idx = blk + j * n;
+                aj = j + 1;
+                if (!accumulator.insert(t, stopMin))
+                    continue; // dropped: membership unchanged
+                if (Reset) {
+                    for (unsigned i = 0; i < n; ++i)
+                        bank[idx[i]] = 0;
+                }
+
+                // Membership changed (insertion, possibly an
+                // eviction): the probed slots and the absent list are
+                // stale. Finish the block sequentially on live probes
+                // (rare — a handful of promotions per interval). jj
+                // tracks the event's dense row in blk; it advances for
+                // every event that was absent at probe time, even one
+                // the just-inserted tuple now shields.
+                size_t jj = j + 1;
+                for (size_t k = stopEvent + 1; k < m; ++k) {
+                    const Tuple &tk = block[k];
+                    uint32_t *kidx = nullptr;
+                    if (jj < numAbsent && absent[jj] == k)
+                        kidx = blk + (jj++) * n;
+                    const uint32_t s = accumulator.probeSlot(tk);
+                    if (s != AccumulatorTable::kNoSlot) {
+                        accumulator.incrementSlotHot(s);
+                        continue;
+                    }
+                    if (kidx == nullptr) {
+                        // Shielded at probe time but evicted above:
+                        // phase 2 skipped its indexes.
+                        kidx = repairIndexScratch.data();
+                        kernel_ref::indexMulti(hashers.tableWords(), n,
+                                               bits, tk, entries, kidx);
+                    }
+                    const uint64_t newMin =
+                        Conservative
+                            ? kern.bumpMinConservative(bank, kidx, n,
+                                                       saturation)
+                            : kern.bumpMin(bank, kidx, n, saturation);
+                    if (newMin >= threshold) {
+                        if (accumulator.insert(tk, newMin) && Reset) {
+                            for (unsigned i = 0; i < n; ++i)
+                                bank[kidx[i]] = 0;
+                        }
+                    }
+                }
+                break;
+            }
+            continue;
+        }
+
+        // Ablation (!Shielding): hits also pressure the hash tables,
+        // and the conservative update reads the minima hits produce,
+        // so hit and absent bank updates cannot be reordered — the
+        // state machine replays strictly event by event.
         bool reprobe = false;
         for (size_t k = 0; k < m; ++k) {
             const Tuple &t = block[k];
@@ -158,18 +257,9 @@ MultiHashProfiler::ingestBatch(const Tuple *events, size_t count)
                 reprobe ? accumulator.probeSlot(t) : slot[k];
             if (s != AccumulatorTable::kNoSlot) {
                 accumulator.incrementSlotHot(s);
-                if (!Shielding) {
-                    // Ablation only: keep pressuring the hash tables.
-                    kern.bumpMin(bank, idx, n, saturation);
-                }
+                // Keep pressuring the hash tables.
+                kern.bumpMin(bank, idx, n, saturation);
                 continue;
-            }
-            if (Shielding && slot[k] != AccumulatorTable::kNoSlot) {
-                // Shielded at probe time but evicted by a mid-block
-                // promotion: phase 2 skipped its indexes, so compute
-                // them here (rare — needs an eviction in this block).
-                kernel_ref::indexMulti(hashers.tableWords(), n, bits, t,
-                                       entries, idx);
             }
 
             const uint64_t newMin =

@@ -28,6 +28,7 @@
 #include "core/hash_function.h"
 #include "core/ingest_kernels.h"
 #include "core/profiler.h"
+#include "support/huge_page.h"
 
 namespace mhp {
 
@@ -101,9 +102,11 @@ class MultiHashProfiler : public HardwareProfiler
      * structure-of-arrays block, table i at offset i*entriesPerTable.
      * Hash indexes are produced pre-offset into this block, so the
      * counter kernels update all of a tuple's counters from one base
-     * pointer. `tables` are views into the bank.
+     * pointer. `tables` are views into the bank. Huge-page-backed
+     * (support/huge_page.h): the bank is hash-indexed, so 4 KiB pages
+     * cost the gather kernels a dTLB walk per lane at paper scale.
      */
-    std::vector<uint64_t> counterBank;
+    HugeVector<uint64_t> counterBank;
     std::vector<CounterTable> tables;
     AccumulatorTable accumulator;
     uint64_t thresholdCount;
@@ -116,8 +119,19 @@ class MultiHashProfiler : public HardwareProfiler
     std::vector<uint32_t> blockSlotScratch;
     /** Positions of non-shielded events in a block (batched only). */
     std::vector<uint32_t> blockAbsentScratch;
+    /** Positions of accumulator-hit events in a block (batched only). */
+    std::vector<uint32_t> blockHitScratch;
     /** kIngestBlock precomputed TupleHash values (batched only). */
     std::vector<uint64_t> blockTupleHashScratch;
+    /**
+     * The absent events of a block compacted densely in stream order,
+     * so the hash kernel runs its sequential (pos == nullptr) form and
+     * the bump kernels read their indexes back-to-back (batched only,
+     * shielded path).
+     */
+    std::vector<Tuple> blockDenseScratch;
+    /** One event's n recomputed indexes (stale-probe repair). */
+    std::vector<uint32_t> repairIndexScratch;
 };
 
 } // namespace mhp

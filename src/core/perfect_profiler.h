@@ -50,6 +50,22 @@ class PerfectProfiler : public HardwareProfiler
     /** Distinct tuples seen so far this interval. */
     uint64_t distinctTuples() const { return table.size(); }
 
+    /**
+     * Close the interval by moving its exact counts out instead of
+     * producing a snapshot: the profiler is left in the same
+     * fresh-interval state endInterval() leaves, and the caller owns
+     * the truth table outright. This is what lets the streaming
+     * runner score interval i on a drain worker while interval i+1 is
+     * already being ingested into this (now empty) table.
+     */
+    std::unordered_map<Tuple, uint64_t, TupleHash>
+    takeCounts()
+    {
+        std::unordered_map<Tuple, uint64_t, TupleHash> out;
+        out.swap(table);
+        return out;
+    }
+
     uint64_t thresholdCount() const { return threshold; }
 
   private:

@@ -22,6 +22,8 @@ SingleHashProfiler::SingleHashProfiler(const ProfilerConfig &config_)
     blockSlotScratch.resize(kIngestBlock);
     blockAbsentScratch.resize(kIngestBlock);
     blockTupleHashScratch.resize(kIngestBlock);
+    blockDenseScratch.resize(kIngestBlock);
+    blockHitScratch.resize(kIngestBlock);
 }
 
 void
@@ -72,56 +74,73 @@ SingleHashProfiler::ingestBatch(const Tuple *events, size_t count)
         const Tuple *const block = events + base;
 
         // Phase 1: accumulator membership for the whole block, so the
-        // lookups' dependent load chains overlap. The bucket hashes
-        // come from one vectorized pass, the head bucket of every
-        // chain is prefetched, then the probes run against warm lines.
-        // The probed slots stay exact until the first promotion below
-        // (increments never change membership), after which the rest
-        // of the block falls back to live probes. Absent events are
-        // compacted into a dense list (branchlessly) for the hash
-        // phase.
+        // lookups' dependent load chains overlap. The tuple hashes
+        // come from one vectorized pass, then the probe kernel
+        // prefetches every home tag group and compares whole
+        // sixteen-lane groups per instruction (the accum_layout SoA
+        // index). The probed slots stay exact until the first
+        // promotion below (increments never change membership), after
+        // which the rest of the block falls back to live probes.
+        // Absent events come back as a dense stream-order list for the
+        // hash phase.
         kern.tupleHashBlock(block, m, th);
-        for (size_t k = 0; k < m; ++k)
-            __builtin_prefetch(accumulator.bucketAddr(th[k]), 0, 1);
-        size_t numAbsent = 0;
-        for (size_t k = 0; k < m; ++k) {
-            slot[k] = accumulator.probeSlotHashed(block[k], th[k]);
-            absent[numAbsent] = static_cast<uint32_t>(k);
-            numAbsent += (slot[k] == AccumulatorTable::kNoSlot) ? 1 : 0;
-        }
+        // The single-hash state machine walks every event in order
+        // (each absent event bumps its own counter), so the kernel's
+        // hit list lands in scratch unused here.
+        Tuple *const dense = blockDenseScratch.data();
+        const size_t numAbsent = kern.accumProbeBlock(
+            accumulator.probeView(), block, th, m, slot, absent, dense,
+            blockHitScratch.data());
 
         // Phase 2: hash indexes — pure per-tuple computation, run as
         // one vectorized kernel pass. Under shielding, only events
-        // absent from the accumulator need indexes; the ablation
-        // hashes everything.
-        if (Shielding)
-            kern.hashBlock(tables, bits, block, absent, numAbsent, blk,
-                           1, 0);
-        else
+        // absent from the accumulator need indexes — the probe kernel
+        // already emitted them densely compacted, so the hash kernel's
+        // loads and stores are sequential and blk[j] belongs to absent
+        // event absent[j]; the ablation hashes everything and blk
+        // stays event-indexed.
+        if (Shielding) {
+            kern.hashBlock(tables, bits, dense, nullptr, numAbsent,
+                           blk, 1, 0);
+        } else {
             kern.hashBlock(tables, bits, block, nullptr, m, blk, 1, 0);
+        }
 
         // Phase 3: the event state machine, strictly in stream order
-        // (promotions change which later events are shielded).
+        // (promotions change which later events are shielded). jj
+        // tracks an event's dense row in blk; it advances for every
+        // event that was absent at probe time, even one a mid-block
+        // promotion now shields.
         bool reprobe = false;
+        size_t jj = 0;
         for (size_t k = 0; k < m; ++k) {
             const Tuple &t = block[k];
+            uint32_t idx;
+            bool haveIdx;
+            if (Shielding) {
+                haveIdx = jj < numAbsent && absent[jj] == k;
+                idx = haveIdx ? blk[jj++] : 0;
+            } else {
+                haveIdx = true;
+                idx = blk[k];
+            }
             const uint32_t s =
                 reprobe ? accumulator.probeSlot(t) : slot[k];
             if (s != AccumulatorTable::kNoSlot) {
                 accumulator.incrementSlotHot(s);
                 if (!Shielding) {
-                    uint64_t &c = counters[blk[k]];
+                    uint64_t &c = counters[idx];
                     c += (c < saturation) ? 1 : 0;
                 }
                 continue;
             }
-            if (Shielding && slot[k] != AccumulatorTable::kNoSlot) {
+            if (Shielding && !haveIdx) {
                 // Shielded at probe time but evicted by a mid-block
                 // promotion: phase 2 skipped its index.
-                blk[k] = static_cast<uint32_t>(hasher.indexHot(t));
+                idx = static_cast<uint32_t>(hasher.indexHot(t));
             }
 
-            uint64_t &c = counters[blk[k]];
+            uint64_t &c = counters[idx];
             c += (c < saturation) ? 1 : 0;
             if (c >= threshold) {
                 if (accumulator.insert(t, c)) {

@@ -95,6 +95,14 @@ class SingleHashProfiler : public HardwareProfiler
     std::vector<uint32_t> blockAbsentScratch;
     /** kIngestBlock precomputed TupleHash values (batched only). */
     std::vector<uint64_t> blockTupleHashScratch;
+    /**
+     * The absent events of a block compacted densely in stream order,
+     * so the hash kernel runs its sequential (pos == nullptr) form
+     * (batched only, shielded path).
+     */
+    std::vector<Tuple> blockDenseScratch;
+    /** Hit-position list the probe kernel emits (unused here). */
+    std::vector<uint32_t> blockHitScratch;
 };
 
 } // namespace mhp

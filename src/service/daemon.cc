@@ -152,7 +152,8 @@ ServiceCore::tick()
             if (session->state() != TenantState::Active ||
                 session->queuedEvents() == 0)
                 continue;
-            const uint64_t slice = std::min<uint64_t>(budget, 4096);
+            const uint64_t slice = std::min<uint64_t>(
+                budget, std::max<uint64_t>(1, options.drainQuantum));
             const uint64_t did = session->drain(
                 slice, options.limits.poisonStrikes, &published);
             if (session->state() == TenantState::Quarantined) {

@@ -30,6 +30,20 @@ cpuHasTier(IsaTier tier)
 #else
         return false;
 #endif
+      case IsaTier::Avx512:
+#if defined(__x86_64__) || defined(__i386__)
+        // The AVX-512 kernels use F (gather/scatter, rotates),
+        // BW (byte shuffles/compares), DQ (64-bit multiply), VL
+        // (256-bit forms), and CD (conflict detection); require the
+        // full set so one check covers every instruction emitted.
+        return __builtin_cpu_supports("avx512f") != 0 &&
+               __builtin_cpu_supports("avx512bw") != 0 &&
+               __builtin_cpu_supports("avx512dq") != 0 &&
+               __builtin_cpu_supports("avx512vl") != 0 &&
+               __builtin_cpu_supports("avx512cd") != 0;
+#else
+        return false;
+#endif
       case IsaTier::Neon:
 #if defined(__aarch64__)
         // NEON (AdvSIMD) is architecturally mandatory on AArch64.
@@ -59,6 +73,8 @@ isaTierName(IsaTier tier)
         return "sse42";
       case IsaTier::Avx2:
         return "avx2";
+      case IsaTier::Avx512:
+        return "avx512";
       case IsaTier::Neon:
         return "neon";
     }
@@ -68,12 +84,29 @@ isaTierName(IsaTier tier)
 std::optional<IsaTier>
 parseIsaTier(const std::string &name)
 {
-    for (const IsaTier tier : {IsaTier::Scalar, IsaTier::Sse42,
-                               IsaTier::Avx2, IsaTier::Neon}) {
+    for (const IsaTier tier :
+         {IsaTier::Scalar, IsaTier::Sse42, IsaTier::Avx2,
+          IsaTier::Avx512, IsaTier::Neon}) {
         if (name == isaTierName(tier))
             return tier;
     }
     return std::nullopt;
+}
+
+IsaTier
+isaTierFallback(IsaTier tier)
+{
+    switch (tier) {
+      case IsaTier::Avx512:
+        return IsaTier::Avx2;
+      case IsaTier::Avx2:
+        return IsaTier::Sse42;
+      case IsaTier::Sse42:
+      case IsaTier::Neon:
+      case IsaTier::Scalar:
+        return IsaTier::Scalar;
+    }
+    return IsaTier::Scalar;
 }
 
 bool
@@ -88,6 +121,8 @@ bestIsaTier()
 #if defined(__aarch64__)
     return IsaTier::Neon;
 #else
+    if (cpuHasTier(IsaTier::Avx512))
+        return IsaTier::Avx512;
     if (cpuHasTier(IsaTier::Avx2))
         return IsaTier::Avx2;
     if (cpuHasTier(IsaTier::Sse42))
@@ -107,7 +142,7 @@ forcedIsaTier()
         if (!gForced) {
             std::fprintf(stderr,
                          "mhp: MHP_FORCE_ISA=%s not recognized "
-                         "(scalar|sse42|avx2|neon); ignoring\n",
+                         "(scalar|sse42|avx2|avx512|neon); ignoring\n",
                          value);
         }
     });

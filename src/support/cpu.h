@@ -22,9 +22,12 @@
 namespace mhp {
 
 /**
- * The kernel dispatch tiers, ordered weakest to strongest within an
- * architecture. Scalar is the portable reference; Sse42/Avx2 are x86
- * tiers; Neon is the aarch64 tier.
+ * The kernel dispatch tiers. Scalar is the portable reference;
+ * Sse42/Avx2/Avx512 are the x86 tiers (weakest to strongest); Neon is
+ * the aarch64 tier. The enumerator values are append-only (Avx512
+ * arrived after Neon), so ordering comparisons are meaningless —
+ * dispatch walks an explicit fall-down chain instead
+ * (isaTierFallback()).
  */
 enum class IsaTier : unsigned char
 {
@@ -32,7 +35,15 @@ enum class IsaTier : unsigned char
     Sse42 = 1,
     Avx2 = 2,
     Neon = 3,
+    Avx512 = 4,
 };
+
+/**
+ * The next-weaker tier to try when `tier` is unavailable (compiled
+ * out or unsupported): Avx512 -> Avx2 -> Sse42 -> Scalar, and
+ * Neon -> Scalar. Scalar maps to itself.
+ */
+IsaTier isaTierFallback(IsaTier tier);
 
 /** The tier's MHP_FORCE_ISA spelling ("scalar", "sse42", ...). */
 const char *isaTierName(IsaTier tier);

@@ -1,0 +1,180 @@
+#include "support/huge_page.h"
+
+#include <atomic>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+
+#include "support/env.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace mhp {
+
+namespace {
+
+// The two allocation paths hand out indistinguishable pointers (both
+// 2 MiB aligned is possible), so mapped allocations are tracked in a
+// registry keyed by base address. Counter banks are allocated at
+// profiler construction, not per event, so the mutex is nowhere near
+// any hot path.
+struct MappedRegistry
+{
+    std::mutex mutex;
+    std::unordered_map<const void *, size_t> lengths;
+};
+
+MappedRegistry &
+registry()
+{
+    static MappedRegistry r;
+    return r;
+}
+
+std::atomic<uint64_t> statMappedAllocs{0};
+std::atomic<uint64_t> statMappedBytes{0};
+std::atomic<uint64_t> statAdvisedAllocs{0};
+std::atomic<uint64_t> statFallbackAllocs{0};
+
+bool
+hugePagesDisabled()
+{
+    // Latched once: the dealloc path must agree with the alloc path
+    // for the life of the process.
+    static const bool disabled = envInt("MHP_NO_HUGEPAGES", 0) != 0;
+    return disabled;
+}
+
+#if defined(__linux__)
+/**
+ * Map `length` (a huge-page multiple) at 2 MiB alignment by
+ * over-mapping one extra granule and trimming the ends. Returns
+ * nullptr when the kernel refuses.
+ */
+void *
+mapAligned(size_t length)
+{
+    const size_t span = length + kHugePageBytes;
+    void *raw = mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED)
+        return nullptr;
+    const uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+    const uintptr_t aligned =
+        (base + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    const size_t head = aligned - base;
+    const size_t tail = span - head - length;
+    if (head != 0)
+        munmap(raw, head);
+    if (tail != 0)
+        munmap(reinterpret_cast<void *>(aligned + length), tail);
+    return reinterpret_cast<void *>(aligned);
+}
+#endif
+
+} // namespace
+
+void *
+hugePageAlloc(size_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+#if defined(__linux__)
+    if (bytes >= kHugePageBytes && !hugePagesDisabled()) {
+        const size_t length =
+            (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+        if (void *p = mapAligned(length)) {
+            if (madvise(p, length, MADV_HUGEPAGE) == 0)
+                statAdvisedAllocs.fetch_add(
+                    1, std::memory_order_relaxed);
+            statMappedAllocs.fetch_add(1, std::memory_order_relaxed);
+            statMappedBytes.fetch_add(length,
+                                      std::memory_order_relaxed);
+            MappedRegistry &r = registry();
+            std::lock_guard<std::mutex> lock(r.mutex);
+            r.lengths.emplace(p, length);
+            return p;
+        }
+        statFallbackAllocs.fetch_add(1, std::memory_order_relaxed);
+    }
+#else
+    if (bytes >= kHugePageBytes && !hugePagesDisabled())
+        statFallbackAllocs.fetch_add(1, std::memory_order_relaxed);
+#endif
+    return ::operator new(bytes);
+}
+
+void
+hugePageFree(void *p, size_t) noexcept
+{
+    if (p == nullptr)
+        return;
+#if defined(__linux__)
+    {
+        MappedRegistry &r = registry();
+        size_t length = 0;
+        {
+            std::lock_guard<std::mutex> lock(r.mutex);
+            auto it = r.lengths.find(p);
+            if (it != r.lengths.end()) {
+                length = it->second;
+                r.lengths.erase(it);
+            }
+        }
+        if (length != 0) {
+            statMappedBytes.fetch_sub(length,
+                                      std::memory_order_relaxed);
+            munmap(p, length);
+            return;
+        }
+    }
+#endif
+    ::operator delete(p);
+}
+
+bool
+hugePageBacked(const void *p)
+{
+    MappedRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.lengths.count(p) != 0;
+}
+
+bool
+adviseHugeSpan(void *addr, size_t bytes)
+{
+    if (addr == nullptr || hugePagesDisabled())
+        return false;
+#if defined(__linux__)
+    // madvise wants a huge-aligned interior extent; anything smaller
+    // than one granule after trimming has nothing to promote.
+    const uintptr_t base = reinterpret_cast<uintptr_t>(addr);
+    const uintptr_t lo =
+        (base + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    const uintptr_t hi = (base + bytes) & ~(kHugePageBytes - 1);
+    if (hi <= lo)
+        return false;
+    return madvise(reinterpret_cast<void *>(lo), hi - lo,
+                   MADV_HUGEPAGE) == 0;
+#else
+    (void)bytes;
+    return false;
+#endif
+}
+
+HugePageStats
+hugePageStats()
+{
+    HugePageStats s;
+    s.mappedAllocs = statMappedAllocs.load(std::memory_order_relaxed);
+    s.mappedBytes = statMappedBytes.load(std::memory_order_relaxed);
+    s.advisedAllocs =
+        statAdvisedAllocs.load(std::memory_order_relaxed);
+    s.fallbackAllocs =
+        statFallbackAllocs.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace mhp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Transparent-huge-page-aware allocation for the hot counter banks.
+ *
+ * The profiling data plane's working set is a handful of large flat
+ * arrays — the multi-hash CounterBank, the accumulator's SoA tag/key
+ * index, the sampler's counter strip — indexed by hash, so every event
+ * touches a random cache line. With 4 KiB pages a paper-scale bank
+ * spans hundreds of TLB entries and the gather-heavy SIMD kernels pay
+ * a dTLB walk per lane; backed by one or two 2 MiB pages the same bank
+ * fits in a couple of entries (docs/PERF.md measures the effect).
+ *
+ * hugePageAlloc() serves any size: requests of at least one huge page
+ * take a 2 MiB-aligned anonymous mmap tagged MADV_HUGEPAGE so the
+ * kernel can install huge mappings immediately (or collapse them via
+ * khugepaged later); smaller requests — and every request when THP is
+ * unavailable, the mmap fails, or MHP_NO_HUGEPAGES=1 — fall back to
+ * plain operator new. The fallback is silent and loses nothing but
+ * the TLB win: no configuration, privilege, or reserved hugetlbfs
+ * pool is required, and madvise failing (e.g. kernels built without
+ * THP) is ignored. hugePageFree() routes each pointer back to
+ * whichever path produced it.
+ *
+ * HugePageAllocator<T> wraps the pair as a std::allocator drop-in, so
+ * the hot containers opt in with a vector typedef and nothing else in
+ * their API changes.
+ */
+
+#ifndef MHP_SUPPORT_HUGE_PAGE_H
+#define MHP_SUPPORT_HUGE_PAGE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mhp {
+
+/** Huge-page granule the allocator aligns to (x86-64/aarch64 THP). */
+inline constexpr size_t kHugePageBytes = size_t{2} << 20;
+
+/**
+ * Allocate `bytes` of zero-initialized-on-first-touch memory,
+ * huge-page-backed when eligible (see file comment). Never returns
+ * nullptr for a serviceable request; throws std::bad_alloc like
+ * operator new when memory is truly exhausted.
+ */
+void *hugePageAlloc(size_t bytes);
+
+/**
+ * Release memory from hugePageAlloc(). `bytes` must be the original
+ * request size. Null is a no-op.
+ */
+void hugePageFree(void *p, size_t bytes) noexcept;
+
+/** True when `p` is live and came from the mmap huge-page path. */
+bool hugePageBacked(const void *p);
+
+/**
+ * Advise an existing mapping (e.g. a TraceMap's file mapping) toward
+ * huge pages. Best effort: trims the span to its interior 2 MiB-
+ * aligned extent, returns false (harmlessly) when nothing remains,
+ * THP is disabled, or the kernel refuses the advice.
+ */
+bool adviseHugeSpan(void *addr, size_t bytes);
+
+/** Allocator-path counters, for tests and the perf methodology docs. */
+struct HugePageStats
+{
+    uint64_t mappedAllocs = 0;   ///< allocations on the mmap path
+    uint64_t mappedBytes = 0;    ///< bytes currently mapped that way
+    uint64_t advisedAllocs = 0;  ///< of those, madvise(HUGEPAGE) ok
+    uint64_t fallbackAllocs = 0; ///< huge-eligible sizes served by new
+};
+
+/** Snapshot of the process-wide allocator counters. */
+HugePageStats hugePageStats();
+
+/** std::allocator drop-in over hugePageAlloc()/hugePageFree(). */
+template <typename T>
+struct HugePageAllocator
+{
+    using value_type = T;
+    using propagate_on_container_move_assignment = std::true_type;
+    using is_always_equal = std::true_type;
+
+    HugePageAllocator() noexcept = default;
+    template <typename U>
+    HugePageAllocator(const HugePageAllocator<U> &) noexcept
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(hugePageAlloc(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, size_t n) noexcept
+    {
+        hugePageFree(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    friend bool
+    operator==(const HugePageAllocator &, const HugePageAllocator<U> &)
+    {
+        return true;
+    }
+};
+
+/** Vector whose backing store prefers huge pages once it is large. */
+template <typename T>
+using HugeVector = std::vector<T, HugePageAllocator<T>>;
+
+} // namespace mhp
+
+#endif // MHP_SUPPORT_HUGE_PAGE_H

@@ -99,6 +99,24 @@ TEST(SweepRunner, ThreadCountDoesNotChangeResults)
     }
 }
 
+TEST(SweepRunner, InterleaveWidthDoesNotChangeResults)
+{
+    // Interleaved cell groups only reschedule the per-cell state
+    // machine; every width must produce what a cell-at-a-time run
+    // does, cell for cell.
+    const SweepRunner runner(smallPlan());
+    const auto serial = runner.run(1, 1);
+    for (unsigned lanes : {2u, 4u, 16u}) {
+        const auto interleaved = runner.run(1, lanes);
+        ASSERT_EQ(interleaved.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            const SweepCellResult &a = serial[i];
+            const SweepCellResult &b = interleaved[i];
+            EXPECT_EQ(a, b) << "cell " << i << " lanes " << lanes;
+        }
+    }
+}
+
 TEST(SweepRunner, ResultsArriveInPlanOrder)
 {
     const SweepRunner runner(smallPlan());

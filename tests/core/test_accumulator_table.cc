@@ -144,6 +144,59 @@ TEST(AccumulatorTable, SnapshotCountsAreExactAfterPromotion)
     EXPECT_EQ(snap[0].count, kThreshold + 7);
 }
 
+TEST(AccumulatorTable, EvictionChurnKeepsProbeChainsBounded)
+{
+    // Regression test for tombstone rot: before the index re-packed
+    // itself, a long eviction churn filled the probe index with
+    // tombstone lanes, and probes for absent tuples degraded toward
+    // full-index scans (a tombstone never ends a chain — only an
+    // empty lane does). The rebuild trigger must keep at least a
+    // quarter of the lanes empty, which bounds every chain.
+    const uint64_t capacity = 64;
+    AccumulatorTable acc(capacity, 10, true);
+    // Fill with replaceable entries, then churn: every insert evicts
+    // one replaceable entry (a tombstone) and adds a fresh key.
+    uint64_t next = 1;
+    for (uint64_t i = 0; i < capacity; ++i)
+        ASSERT_TRUE(acc.insert({next++, 0}, 1));
+    for (int round = 0; round < 10'000; ++round)
+        ASSERT_TRUE(acc.insert({next++, 0}, 1));
+    EXPECT_EQ(acc.size(), capacity);
+
+    // Chains stay short for present keys and, critically, for absent
+    // probes (the hot path: most events are not in the accumulator).
+    size_t worst = 0;
+    for (uint64_t probe = 0; probe < 4096; ++probe)
+        worst = std::max(worst,
+                         acc.probeChainLength({next + probe, 99}));
+    EXPECT_LE(worst, 3u);
+}
+
+TEST(AccumulatorTable, ChurnNeverLosesEntries)
+{
+    // The re-pack must preserve membership exactly: every surviving
+    // slot stays probe-able through arbitrary churn.
+    AccumulatorTable acc(16, 5, true);
+    uint64_t next = 1;
+    std::vector<Tuple> inserted;
+    for (int round = 0; round < 2'000; ++round) {
+        const Tuple t{next++, 7};
+        ASSERT_TRUE(acc.insert(t, 1));
+        inserted.push_back(t);
+        ASSERT_TRUE(acc.contains(t));
+        ASSERT_EQ(acc.countOf(t), 1u);
+        // Exactly size() of everything ever inserted is still
+        // probe-able (which eviction victims were chosen is the
+        // table's business; losing or duplicating keys is not).
+        if (round % 250 == 0) {
+            size_t present = 0;
+            for (const Tuple &k : inserted)
+                present += acc.contains(k) ? 1 : 0;
+            EXPECT_EQ(present, acc.size());
+        }
+    }
+}
+
 TEST(AccumulatorTableDeathTest, RejectsBadShape)
 {
     EXPECT_EXIT(AccumulatorTable(0, 10, true),

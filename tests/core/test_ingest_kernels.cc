@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/accumulator_table.h"
 #include "core/factory.h"
 #include "core/hash_function.h"
 #include "core/ingest_kernels.h"
@@ -44,7 +45,8 @@ availableTiers()
 {
     std::vector<IsaTier> tiers;
     for (const IsaTier tier : {IsaTier::Scalar, IsaTier::Sse42,
-                               IsaTier::Avx2, IsaTier::Neon}) {
+                               IsaTier::Avx2, IsaTier::Neon,
+                               IsaTier::Avx512}) {
         if (ingestKernelsFor(tier) != nullptr)
             tiers.push_back(tier);
     }
@@ -358,6 +360,246 @@ TEST_P(IngestKernelTiers, BumpMinConservativeAdvancesAllTies)
         EXPECT_EQ(bank[i], 6u);
 }
 
+/**
+ * A hand-built accum_layout probe index: the test controls every tag,
+ * key, and group, so chains that cross group boundaries, collide on
+ * tags, or wade through tombstones can be staged exactly.
+ */
+struct SyntheticIndex
+{
+    std::vector<uint8_t> tags;
+    std::vector<Tuple> keys;
+    std::vector<uint32_t> slotOf;
+    uint64_t groupMask;
+
+    explicit SyntheticIndex(size_t numGroups)
+        : tags(numGroups * accum_layout::kGroupLanes,
+               accum_layout::kEmptyTag),
+          // One readable pad lane past the end, per the AccumProbeView
+          // contract for branch-free probe kernels.
+          keys(tags.size() + 1), slotOf(tags.size() + 1, 0),
+          groupMask(numGroups - 1)
+    {
+    }
+
+    AccumProbeView
+    view() const
+    {
+        return {tags.data(), keys.data(), slotOf.data(), groupMask};
+    }
+
+    /** A hash landing on group g with the given 7-bit tag payload. */
+    static uint64_t
+    hashFor(size_t g, unsigned tagBits)
+    {
+        return static_cast<uint64_t>(g) |
+               (static_cast<uint64_t>(tagBits & 0x7f) << 57);
+    }
+
+    void
+    place(size_t lane, uint64_t hash, const Tuple &key, uint32_t slot)
+    {
+        tags[lane] = accum_layout::fullTag(hash);
+        keys[lane] = key;
+        slotOf[lane] = slot;
+    }
+};
+
+TEST_P(IngestKernelTiers, AccumProbeBlockMatchesTable)
+{
+    // A real table under churn: the kernel's block probe must agree
+    // with AccumulatorTable::probeSlot event for event, and the absent
+    // list must be the compacted stream-order positions.
+    AccumulatorTable table(64, 3, true);
+    Rng rng(0x51ab);
+    std::vector<Tuple> population;
+    for (int i = 0; i < 48; ++i) {
+        population.push_back({rng.next(), rng.next()});
+        table.insert(population.back(), 1);
+    }
+    for (const size_t m : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                           size_t{256}}) {
+        std::vector<Tuple> block(m);
+        for (auto &t : block) {
+            if (rng.nextBool(0.5))
+                t = population[rng.nextBelow(population.size())];
+            else
+                t = {rng.next(), rng.next()};
+        }
+        std::vector<uint64_t> hashes(m);
+        for (size_t k = 0; k < m; ++k)
+            hashes[k] = TupleHash{}(block[k]);
+        std::vector<uint32_t> slots(m + 1, 0x7777u);
+        std::vector<uint32_t> absent(m + 1, 0x7777u);
+        std::vector<Tuple> absentTuples(m + 1, Tuple{~0ULL, ~0ULL});
+        std::vector<uint32_t> hits(m + 1, 0x7777u);
+        const size_t numAbsent = kernels().accumProbeBlock(
+            table.probeView(), block.data(), hashes.data(), m,
+            slots.data(), absent.data(), absentTuples.data(),
+            hits.data());
+        size_t wantAbsent = 0, wantHits = 0;
+        for (size_t k = 0; k < m; ++k) {
+            EXPECT_EQ(slots[k], table.probeSlot(block[k])) << "k=" << k;
+            if (slots[k] == AccumulatorTable::kNoSlot) {
+                ASSERT_LT(wantAbsent, numAbsent);
+                EXPECT_EQ(absent[wantAbsent], k);
+                EXPECT_EQ(absentTuples[wantAbsent], block[k]);
+                ++wantAbsent;
+            } else {
+                ASSERT_LT(wantHits, m - numAbsent);
+                EXPECT_EQ(hits[wantHits], k);
+                ++wantHits;
+            }
+        }
+        EXPECT_EQ(numAbsent, wantAbsent);
+        EXPECT_EQ(m - numAbsent, wantHits);
+        EXPECT_EQ(slots[m], 0x7777u);
+    }
+}
+
+TEST_P(IngestKernelTiers, AccumProbeBlockCrossesGroupBoundaries)
+{
+    using namespace accum_layout;
+    // Group 2 is packed with same-tag impostors; the real keys sit in
+    // the last lane of group 2 and spill into group 3 and (wrapping)
+    // group 0, with the chain ended by an empty lane in group 0.
+    SyntheticIndex ix(4);
+    const uint64_t h = SyntheticIndex::hashFor(2, 0x15);
+    for (size_t l = 0; l < kGroupLanes; ++l)
+        ix.place(2 * kGroupLanes + l, h, {1000 + l, 0}, 99);
+    const Tuple inLast{1000 + kGroupLanes - 1, 0};
+    ix.place(2 * kGroupLanes + kGroupLanes - 1, h, inLast, 7);
+    const Tuple spilled{5, 5};
+    ix.place(3 * kGroupLanes + 0, h, spilled, 8);
+    for (size_t l = 1; l < kGroupLanes; ++l)
+        ix.place(3 * kGroupLanes + l, h, {2000 + l, 0}, 99);
+    const Tuple wrapped{6, 6};
+    ix.place(0 * kGroupLanes + 0, h, wrapped, 9);
+    // Lane 1 of group 0 stays empty: probes for an absent key with
+    // this tag must stop here, after visiting three groups.
+    const Tuple absent{7, 7};
+
+    const Tuple block[] = {inLast, spilled, wrapped, absent};
+    const uint64_t hashes[] = {h, h, h, h};
+    uint32_t slots[4];
+    uint32_t absentPos[4];
+    Tuple absentTuples[4];
+    uint32_t hitPos[4];
+    const size_t numAbsent = kernels().accumProbeBlock(
+        ix.view(), block, hashes, 4, slots, absentPos, absentTuples,
+        hitPos);
+    EXPECT_EQ(slots[0], 7u);
+    EXPECT_EQ(slots[1], 8u);
+    EXPECT_EQ(slots[2], 9u);
+    EXPECT_EQ(slots[3], UINT32_MAX);
+    ASSERT_EQ(numAbsent, 1u);
+    EXPECT_EQ(absentPos[0], 3u);
+}
+
+TEST_P(IngestKernelTiers, AccumProbeBlockSkipsTombstones)
+{
+    using namespace accum_layout;
+    // A tombstone-ridden home group: tombstones must neither match a
+    // probe tag nor stop the chain, while an empty lane ends it.
+    SyntheticIndex ix(2);
+    const uint64_t h = SyntheticIndex::hashFor(1, 0x01);
+    // Tag payload 0x01 makes fullTag 0x81 — distinct from the
+    // tombstone byte 0x01, which the probe must never treat as a hit.
+    ASSERT_EQ(fullTag(h), 0x81);
+    for (size_t l = 0; l < kGroupLanes; ++l)
+        ix.tags[1 * kGroupLanes + l] = kTombstoneTag;
+    const Tuple buried{42, 42};
+    ix.place(1 * kGroupLanes + 9, h, buried, 3);
+    // Full-of-tombstones group 1 must chain into group 0; the key
+    // there is found even though every home lane is dead.
+    const Tuple next{43, 43};
+    ix.place(0 * kGroupLanes + 2, h, next, 4);
+    ix.tags[0 * kGroupLanes + 3] = kEmptyTag;
+
+    const Tuple block[] = {buried, next, {44, 44}};
+    const uint64_t hashes[] = {h, h, h};
+    uint32_t slots[3];
+    uint32_t absentPos[3];
+    Tuple absentTuples[3];
+    uint32_t hitPos[3];
+    const size_t numAbsent = kernels().accumProbeBlock(
+        ix.view(), block, hashes, 3, slots, absentPos, absentTuples,
+        hitPos);
+    EXPECT_EQ(slots[0], 3u);
+    EXPECT_EQ(slots[1], 4u);
+    EXPECT_EQ(slots[2], UINT32_MAX);
+    EXPECT_EQ(numAbsent, 1u);
+}
+
+TEST_P(IngestKernelTiers, BumpMinBlockMatchesReference)
+{
+    const uint64_t saturation = (uint64_t{1} << 24) - 1;
+    for (const unsigned n : {1u, 4u, 8u}) {
+        for (uint64_t seed = 0; seed < 6; ++seed) {
+            // Dense index rows, one per absent event (the caller
+            // compacts before hashing, so row j is event j's indexes).
+            const size_t numAbsent = 24;
+            Rng rng(seed * 17 + n);
+            BankFixture got(n, saturation, seed * 31 + n);
+            std::vector<uint32_t> idx(numAbsent * n);
+            for (size_t j = 0; j < numAbsent; ++j)
+                for (unsigned i = 0; i < n; ++i)
+                    idx[j * n + i] = i * 64 +
+                                     static_cast<uint32_t>(
+                                         rng.nextBelow(64));
+            BankFixture want = got;
+            // A threshold low enough that mid-block stops happen.
+            const uint64_t threshold = saturation - 3;
+            for (const size_t start : {size_t{0}, numAbsent / 2}) {
+                uint64_t gotStop = 0, wantStop = 1;
+                const size_t g = kernels().bumpMinBlock(
+                    got.bank.data(), idx.data(), n, start, numAbsent,
+                    saturation, threshold, &gotStop);
+                const size_t w = kernel_ref::bumpMinBlock(
+                    want.bank.data(), idx.data(), n, start, numAbsent,
+                    saturation, threshold, &wantStop);
+                EXPECT_EQ(g, w) << "n=" << n << " seed=" << seed;
+                if (w < numAbsent)
+                    EXPECT_EQ(gotStop, wantStop);
+                EXPECT_EQ(got.bank, want.bank)
+                    << "n=" << n << " seed=" << seed;
+            }
+        }
+    }
+}
+
+TEST_P(IngestKernelTiers, BumpMinConservativeBlockMatchesReference)
+{
+    const uint64_t saturation = 40;
+    for (const unsigned n : {1u, 4u, 8u}) {
+        for (uint64_t seed = 0; seed < 6; ++seed) {
+            const size_t numAbsent = 24;
+            Rng rng(seed * 23 + n);
+            BankFixture got(n, saturation, seed * 53 + n);
+            std::vector<uint32_t> idx(numAbsent * n);
+            for (size_t j = 0; j < numAbsent; ++j)
+                for (unsigned i = 0; i < n; ++i)
+                    idx[j * n + i] = i * 64 +
+                                     static_cast<uint32_t>(
+                                         rng.nextBelow(64));
+            BankFixture want = got;
+            const uint64_t threshold = saturation - 2;
+            uint64_t gotStop = 0, wantStop = 1;
+            const size_t g = kernels().bumpMinConservativeBlock(
+                got.bank.data(), idx.data(), n, 0, numAbsent,
+                saturation, threshold, &gotStop);
+            const size_t w = kernel_ref::bumpMinConservativeBlock(
+                want.bank.data(), idx.data(), n, 0, numAbsent,
+                saturation, threshold, &wantStop);
+            EXPECT_EQ(g, w) << "n=" << n << " seed=" << seed;
+            if (w < numAbsent)
+                EXPECT_EQ(gotStop, wantStop);
+            EXPECT_EQ(got.bank, want.bank)
+                << "n=" << n << " seed=" << seed;
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AvailableTiers, IngestKernelTiers,
     ::testing::ValuesIn(availableTiers()),
@@ -449,7 +691,7 @@ TEST(IngestKernelDispatch, ScalarTierAlwaysPresent)
 TEST(IngestKernelDispatch, UnsupportedTierResolvesToNull)
 {
     for (const IsaTier tier : {IsaTier::Sse42, IsaTier::Avx2,
-                               IsaTier::Neon}) {
+                               IsaTier::Neon, IsaTier::Avx512}) {
         if (!isaTierSupported(tier)) {
             EXPECT_EQ(ingestKernelsFor(tier), nullptr);
         }

@@ -17,7 +17,8 @@ namespace mhp {
 namespace {
 
 const IsaTier kAllTiers[] = {IsaTier::Scalar, IsaTier::Sse42,
-                             IsaTier::Avx2, IsaTier::Neon};
+                             IsaTier::Avx2, IsaTier::Neon,
+                             IsaTier::Avx512};
 
 TEST(Cpu, TierNamesRoundTripThroughParse)
 {
@@ -31,7 +32,7 @@ TEST(Cpu, TierNamesRoundTripThroughParse)
 TEST(Cpu, ParseRejectsUnknownSpellings)
 {
     EXPECT_FALSE(parseIsaTier("").has_value());
-    EXPECT_FALSE(parseIsaTier("avx512").has_value());
+    EXPECT_FALSE(parseIsaTier("avx1024").has_value());
     EXPECT_FALSE(parseIsaTier("SSE42").has_value());
     EXPECT_FALSE(parseIsaTier("scalar ").has_value());
 }
@@ -51,13 +52,29 @@ TEST(Cpu, SupportIsArchitectureConsistent)
     // x86 tiers and the aarch64 tier are mutually exclusive: no CPU
     // reports both.
     const bool x86 = isaTierSupported(IsaTier::Sse42) ||
-                     isaTierSupported(IsaTier::Avx2);
+                     isaTierSupported(IsaTier::Avx2) ||
+                     isaTierSupported(IsaTier::Avx512);
     const bool arm = isaTierSupported(IsaTier::Neon);
     EXPECT_FALSE(x86 && arm);
-    // AVX2 machines all have SSE4.2.
+    // AVX2 machines all have SSE4.2; AVX-512 machines all have AVX2.
     if (isaTierSupported(IsaTier::Avx2)) {
         EXPECT_TRUE(isaTierSupported(IsaTier::Sse42));
     }
+    if (isaTierSupported(IsaTier::Avx512)) {
+        EXPECT_TRUE(isaTierSupported(IsaTier::Avx2));
+    }
+}
+
+TEST(Cpu, FallbackChainsReachScalar)
+{
+    // Every tier's fallback chain must terminate at Scalar without
+    // crossing architectures (dispatch walks this chain when a tier's
+    // kernels were compiled out).
+    EXPECT_EQ(isaTierFallback(IsaTier::Avx512), IsaTier::Avx2);
+    EXPECT_EQ(isaTierFallback(IsaTier::Avx2), IsaTier::Sse42);
+    EXPECT_EQ(isaTierFallback(IsaTier::Sse42), IsaTier::Scalar);
+    EXPECT_EQ(isaTierFallback(IsaTier::Neon), IsaTier::Scalar);
+    EXPECT_EQ(isaTierFallback(IsaTier::Scalar), IsaTier::Scalar);
 }
 
 TEST(Cpu, ActiveTierIsSupported)

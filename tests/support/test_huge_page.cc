@@ -1,0 +1,102 @@
+#include "support/huge_page.h"
+
+#include <cstring>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace mhp {
+namespace {
+
+TEST(HugePage, SmallAllocationsUsePlainPathAndWork)
+{
+    void *p = hugePageAlloc(64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_FALSE(hugePageBacked(p));
+    std::memset(p, 0xab, 64);
+    hugePageFree(p, 64);
+}
+
+TEST(HugePage, ZeroByteRequestIsServed)
+{
+    void *p = hugePageAlloc(0);
+    ASSERT_NE(p, nullptr);
+    hugePageFree(p, 0);
+}
+
+TEST(HugePage, NullFreeIsANoOp)
+{
+    hugePageFree(nullptr, 123);
+}
+
+TEST(HugePage, LargeAllocationIsAlignedWritableAndTracked)
+{
+    const size_t bytes = kHugePageBytes + (kHugePageBytes / 2);
+    void *p = hugePageAlloc(bytes);
+    ASSERT_NE(p, nullptr);
+    // Whichever path served it, the memory must be fully usable.
+    std::memset(p, 0x5c, bytes);
+    if (hugePageBacked(p)) {
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kHugePageBytes,
+                  0u);
+        const HugePageStats s = hugePageStats();
+        EXPECT_GE(s.mappedAllocs, 1u);
+        EXPECT_GE(s.mappedBytes, bytes);
+    }
+    hugePageFree(p, bytes);
+    EXPECT_FALSE(hugePageBacked(p));
+}
+
+TEST(HugePage, MappedBytesReturnToBaselineAfterFree)
+{
+    const uint64_t before = hugePageStats().mappedBytes;
+    void *p = hugePageAlloc(4 * kHugePageBytes);
+    ASSERT_NE(p, nullptr);
+    hugePageFree(p, 4 * kHugePageBytes);
+    EXPECT_EQ(hugePageStats().mappedBytes, before);
+}
+
+TEST(HugePage, HugeVectorBehavesLikeAVector)
+{
+    // Grow across the plain/mapped size boundary: every reallocation
+    // must carry the contents, whatever path each block came from.
+    HugeVector<uint64_t> v;
+    const size_t n = (3 * kHugePageBytes / 2) / sizeof(uint64_t);
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), n);
+    uint64_t sum = std::accumulate(v.begin(), v.end(), uint64_t{0});
+    EXPECT_EQ(sum, static_cast<uint64_t>(n) * (n - 1) / 2);
+    EXPECT_EQ(v.front(), 0u);
+    EXPECT_EQ(v.back(), n - 1);
+
+    HugeVector<uint64_t> moved = std::move(v);
+    EXPECT_EQ(moved.size(), n);
+    EXPECT_EQ(moved[n / 2], n / 2);
+}
+
+TEST(HugePage, AdviseHugeSpanRejectsDegenerateSpans)
+{
+    EXPECT_FALSE(adviseHugeSpan(nullptr, kHugePageBytes));
+    // A span too small to contain an aligned granule has nothing to
+    // promote, whatever its address.
+    alignas(64) static char tiny[64];
+    EXPECT_FALSE(adviseHugeSpan(tiny, sizeof(tiny)));
+}
+
+TEST(HugePage, AdviseHugeSpanAcceptsAMappedRegionInterior)
+{
+    // A huge allocation's interior is aligned by construction, so on
+    // a Linux/THP host the advice lands; elsewhere false is the
+    // documented graceful answer.
+    const size_t bytes = 3 * kHugePageBytes;
+    void *p = hugePageAlloc(bytes);
+    ASSERT_NE(p, nullptr);
+    const bool advised = adviseHugeSpan(p, bytes);
+    if (hugePageBacked(p))
+        EXPECT_TRUE(advised);
+    hugePageFree(p, bytes);
+}
+
+} // namespace
+} // namespace mhp
